@@ -1,0 +1,20 @@
+"""Benchmark regenerating Fig. 1 — link-load heat maps of basic algorithms vs. TACOS."""
+
+from repro.experiments import fig01_heatmap
+
+
+def test_fig01_link_load_heatmaps(run_once, benchmark):
+    cells = run_once(lambda: fig01_heatmap.run(num_npus=16, collective_size=256e6))
+    for cell in cells:
+        key = f"{cell.topology}/{cell.algorithm}"
+        benchmark.extra_info[f"{key} imbalance"] = round(cell.statistics["imbalance"], 2)
+        benchmark.extra_info[f"{key} idle_fraction"] = round(cell.statistics["idle_fraction"], 2)
+    # The topology-aware choice is balanced on every topology (the red-boxed
+    # cells of the figure): Ring on Ring, Direct on FullyConnected, TACOS on
+    # the asymmetric Mesh and Hypercube.
+    by_key = {(cell.topology, cell.algorithm): cell for cell in cells}
+    assert by_key[("Ring(16)", "Ring")].statistics["imbalance"] < 1.1
+    assert by_key[("FullyConnected(16)", "Direct")].statistics["imbalance"] < 1.1
+    assert by_key[("Mesh(4x4)", "TACOS")].statistics["idle_fraction"] < 0.05
+    hypercube_name = next(cell.topology for cell in cells if "Hypercube3D" in cell.topology)
+    assert by_key[(hypercube_name, "TACOS")].statistics["idle_fraction"] < 0.05

@@ -1,0 +1,36 @@
+"""Benchmarks regenerating Fig. 2 — All-Reduce bandwidth of basic algorithms."""
+
+from repro.experiments import fig02_motivation
+
+
+def test_fig02a_topology_sweep(run_once, benchmark):
+    results = run_once(
+        lambda: fig02_motivation.run_topology_sweep(num_npus=16, collective_size=1e9)
+    )
+    for topology, rows in results.items():
+        for row in rows:
+            benchmark.extra_info[f"{topology}/{row.algorithm} GB/s"] = round(row.bandwidth_gbps, 1)
+    ring_rows = {row.algorithm: row for row in results["Ring(16)"]}
+    fc_rows = {row.algorithm: row for row in results["FullyConnected(16)"]}
+    # The paper's headline ratios: Ring wins on the Ring topology, Direct on
+    # FullyConnected, by large factors.
+    assert ring_rows["Ring"].bandwidth_gbps / ring_rows["Direct"].bandwidth_gbps > 3.0
+    assert fc_rows["Direct"].bandwidth_gbps / fc_rows["Ring"].bandwidth_gbps > 3.0
+
+
+def test_fig02b_size_sweep(run_once, benchmark):
+    results = run_once(
+        lambda: fig02_motivation.run_size_sweep(
+            num_npus=64, collective_sizes=[1e3, 512e3, 1e6, 256e6]
+        )
+    )
+    for size, rows in results.items():
+        for row in rows:
+            benchmark.extra_info[f"{size / 1e6:g}MB/{row.algorithm} GB/s"] = round(
+                row.bandwidth_gbps, 3
+            )
+    tiny = {row.algorithm: row for row in results[1e3]}
+    large = {row.algorithm: row for row in results[256e6]}
+    # The optimal algorithm flips with the collective size (Fig. 2b).
+    assert tiny["Direct"].bandwidth_gbps > tiny["Ring"].bandwidth_gbps
+    assert large["Ring"].bandwidth_gbps > large["Direct"].bandwidth_gbps

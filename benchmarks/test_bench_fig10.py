@@ -1,0 +1,14 @@
+"""Benchmark regenerating Fig. 10 — All-Gather synthesis on 4-NPU topologies."""
+
+from repro.experiments import fig10_topologies
+
+
+def test_fig10_four_npu_topologies(run_once, benchmark):
+    rows = run_once(fig10_topologies.run)
+    for row in rows:
+        benchmark.extra_info[f"{row.topology} time spans"] = row.num_time_spans
+    spans = [row.num_time_spans for row in rows]
+    # Fig. 10: FullyConnected finishes in 1 span, the bidirectional ring in 2,
+    # the asymmetric topology and the unidirectional ring in 3.
+    assert spans == [1, 2, 3, 3]
+    assert all(row.verified for row in rows)

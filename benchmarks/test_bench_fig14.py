@@ -1,0 +1,14 @@
+"""Benchmark regenerating Fig. 14 — All-Gather synthesized for a 3x3 2D Mesh."""
+
+from repro.experiments import fig14_mesh_synthesis
+
+
+def test_fig14_mesh_all_gather(run_once, benchmark):
+    result = run_once(lambda: fig14_mesh_synthesis.run(rows=3, cols=3, collective_size=9e6))
+    benchmark.extra_info["time spans"] = result.num_time_spans
+    benchmark.extra_info["transfers per span"] = list(result.transfers_per_span.values())
+    assert result.verified
+    # Fig. 14: the mesh keeps every link busy at t=0 and needs a handful of
+    # spans; the ramp-down at the end is the unavoidable asymmetry effect.
+    assert result.link_utilization_per_span[0] == 1.0
+    assert 4 <= result.num_time_spans <= 6

@@ -1,0 +1,29 @@
+"""Benchmark regenerating Fig. 15 — All-Reduce on heterogeneous topologies."""
+
+from repro.experiments import fig15_heterogeneous
+
+
+def test_fig15_heterogeneous_topologies(run_once, benchmark):
+    results = run_once(lambda: fig15_heterogeneous.run(collective_size=512e6, taccl_restarts=3))
+    speedups = []
+    for topology, rows in results.items():
+        by_algorithm = {row.algorithm: row for row in rows}
+        for row in rows:
+            benchmark.extra_info[f"{topology}/{row.algorithm} GB/s"] = round(row.bandwidth_gbps, 1)
+        tacos = by_algorithm["TACOS"]
+        benchmark.extra_info[f"{topology}/TACOS efficiency"] = round(
+            tacos.bandwidth_gbps / by_algorithm["Ideal"].bandwidth_gbps, 3
+        )
+        # Paper shape: TACOS beats the basic algorithms everywhere and the
+        # TACCL-like synthesizer on (at least) the switch-based topologies.
+        assert tacos.bandwidth_gbps > by_algorithm["Ring"].bandwidth_gbps
+        assert tacos.bandwidth_gbps > by_algorithm["Direct"].bandwidth_gbps
+        assert tacos.bandwidth_gbps >= by_algorithm["TACCL-like"].bandwidth_gbps * 0.95
+        for baseline in ("Ring", "Direct"):
+            speedups.append(tacos.bandwidth_gbps / by_algorithm[baseline].bandwidth_gbps)
+    benchmark.extra_info["mean speedup over basic algorithms"] = round(
+        sum(speedups) / len(speedups), 2
+    )
+    # The paper reports an average 2.56x speedup over the baselines; our
+    # congestion model yields an even larger gap — assert at least ~2.5x.
+    assert sum(speedups) / len(speedups) > 2.5

@@ -1,0 +1,40 @@
+"""Benchmarks regenerating Fig. 16 — TACOS vs. BlueConnect / Themis."""
+
+from repro.experiments import fig16_themis
+
+
+def test_fig16a_bandwidth_sweep(run_once, benchmark):
+    sweep = run_once(
+        lambda: fig16_themis.run_bandwidth_sweep(
+            side=3, collective_sizes=(64e6, 512e6, 1e9), themis_high_chunks=16
+        )
+    )
+    for topology, per_size in sweep.items():
+        for size, rows in per_size.items():
+            by_algorithm = {row.algorithm: row for row in rows}
+            for row in rows:
+                benchmark.extra_info[f"{topology}/{size / 1e6:g}MB/{row.algorithm} GB/s"] = round(
+                    row.bandwidth_gbps, 1
+                )
+            tacos = by_algorithm["TACOS (4 chunks)"]
+            ideal = by_algorithm["Ideal"]
+            # Fig. 16(a): TACOS stays close to ideal and ahead of BlueConnect
+            # and the 4-chunk Themis configuration for every collective size.
+            assert tacos.bandwidth_gbps >= by_algorithm["BlueConnect (4 chunks)"].bandwidth_gbps
+            assert tacos.bandwidth_gbps >= by_algorithm["Themis (4 chunks)"].bandwidth_gbps * 0.95
+            if size >= 512e6:
+                assert tacos.bandwidth_gbps / ideal.bandwidth_gbps > 0.75
+
+
+def test_fig16b_utilization_timeline(run_once, benchmark):
+    traces = run_once(lambda: fig16_themis.run_utilization(side=3, collective_size=512e6))
+    for trace in traces:
+        benchmark.extra_info[f"{trace.topology}/{trace.algorithm} avg util"] = round(
+            trace.average_utilization, 3
+        )
+    by_key = {(trace.topology, trace.algorithm): trace for trace in traces}
+    # TACOS sustains higher utilization than Themis on the asymmetric hypercube.
+    assert (
+        by_key[("3D Hypercube", "TACOS")].average_utilization
+        >= by_key[("3D Hypercube", "Themis")].average_utilization
+    )

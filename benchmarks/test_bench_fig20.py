@@ -1,0 +1,29 @@
+"""Benchmark regenerating Fig. 20 — end-to-end training time on 3D-RFS clusters."""
+
+from repro.experiments import fig20_end_to_end
+
+
+def test_fig20_end_to_end_training(run_once, benchmark):
+    rows = run_once(
+        lambda: fig20_end_to_end.run(
+            algorithms=("Ring", "Direct", "Themis", "TACOS", "Ideal"),
+            small_nodes=2,
+            large_nodes=4,
+            chunks_per_npu=2,
+        )
+    )
+    normalized = fig20_end_to_end.normalized_over_tacos(rows)
+    for model, times in normalized.items():
+        for algorithm, value in times.items():
+            benchmark.extra_info[f"{model}/{algorithm} (x TACOS)"] = round(value, 3)
+    for model, times in normalized.items():
+        # Fig. 20: TACOS is the fastest real algorithm; only the ideal bound is faster.
+        assert times["Ring"] >= 1.0
+        assert times["Direct"] >= 1.0
+        assert times["Themis"] >= 0.99
+        assert times["Ideal"] <= 1.0 + 1e-9
+    # Communication-bound models (GNMT, Turing-NLG) benefit more than ResNet-50.
+    assert normalized["GNMT"]["Ring"] > normalized["ResNet-50"]["Ring"]
+    exposed = {row.model: row.breakdown.communication_fraction for row in rows if row.algorithm == "TACOS"}
+    for model, fraction in exposed.items():
+        benchmark.extra_info[f"{model}/TACOS comm fraction"] = round(fraction, 3)

@@ -1,0 +1,30 @@
+"""Benchmark regenerating Fig. 21 — training-time breakdown on a 3D Torus."""
+
+from repro.experiments import fig21_breakdown
+
+
+def test_fig21_training_breakdown(run_once, benchmark):
+    rows = run_once(
+        lambda: fig21_breakdown.run(
+            torus_dims=(4, 4, 4),
+            algorithms=("Ring", "Themis", "TACOS", "Ideal"),
+            chunks_per_npu=2,
+        )
+    )
+    normalized = fig21_breakdown.normalized_over_ring(rows)
+    for model, per_algorithm in normalized.items():
+        for algorithm, breakdown in per_algorithm.items():
+            benchmark.extra_info[f"{model}/{algorithm} total (x Ring)"] = round(breakdown.total, 3)
+            benchmark.extra_info[f"{model}/{algorithm} exposed comm (x Ring)"] = round(
+                breakdown.exposed_communication, 3
+            )
+    for model, per_algorithm in normalized.items():
+        # Fig. 21: TACOS cuts the exposed communication relative to Ring and
+        # Themis while compute stays constant; the ideal bound is the floor.
+        assert per_algorithm["TACOS"].total <= per_algorithm["Ring"].total + 1e-9
+        assert per_algorithm["TACOS"].total <= per_algorithm["Themis"].total + 1e-9
+        assert per_algorithm["Ideal"].total <= per_algorithm["TACOS"].total + 1e-9
+        assert per_algorithm["TACOS"].compute == per_algorithm["Ring"].compute
+    # MSFT-1T (hybrid parallel, trillion parameters) is communication dominated.
+    msft_ring = normalized["MSFT-1T"]["Ring"]
+    assert msft_ring.exposed_communication > msft_ring.compute

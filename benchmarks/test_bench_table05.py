@@ -1,0 +1,25 @@
+"""Benchmark regenerating Table V — multi-node 3D-RFS All-Reduce scaling."""
+
+from repro.experiments import table05_multinode
+
+
+def test_table05_multinode_scaling(run_once, benchmark):
+    rows = run_once(
+        lambda: table05_multinode.run(node_counts=(2, 4, 8), collective_size=256e6, taccl_restarts=3)
+    )
+    for row in rows:
+        normalized = row.normalized_times()
+        for algorithm, value in normalized.items():
+            benchmark.extra_info[f"{row.num_npus} NPUs/{algorithm} (x TACOS)"] = round(value, 2)
+        for algorithm, seconds in row.synthesis_times().items():
+            benchmark.extra_info[f"{row.num_npus} NPUs/{algorithm} synthesis s"] = round(seconds, 3)
+        # Table V shape: every baseline is slower than TACOS, and the Direct
+        # algorithm degrades the most as the system grows.
+        assert normalized["Ring"] > 1.5
+        assert normalized["Direct"] > 1.5
+        if "TACCL-like" in normalized:
+            assert normalized["TACCL-like"] >= 1.0
+        assert normalized["Ideal"] <= 1.0
+    # Direct's normalized time grows with the NPU count (36x at 128 NPUs in the paper).
+    direct_trend = [row.normalized_times()["Direct"] for row in rows]
+    assert direct_trend[-1] > direct_trend[0]

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``.  This file exists
+so the package can be installed in editable mode in offline environments whose
+setuptools predates PEP 660 wheel-less editable installs
+(``python setup.py develop`` or ``pip install -e . --no-build-isolation``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,115 @@
+"""TACOS reproduction: topology-aware collective algorithm synthesis for distributed ML.
+
+The package is organised in layers (bottom-up):
+
+* :mod:`repro.topology` — physical network topologies with alpha-beta links.
+* :mod:`repro.collectives` — collective patterns as pre/postconditions.
+* :mod:`repro.ten` — the time-expanded network representation.
+* :mod:`repro.core` — the TACOS synthesizer (matching + iterative expansion).
+* :mod:`repro.simulator` — congestion-aware analytical network simulator.
+* :mod:`repro.baselines` — basic and manually designed collective algorithms.
+* :mod:`repro.analysis` — ideal bounds, bandwidth, heat maps, utilization.
+* :mod:`repro.workloads` — DNN training workload / parallelism model.
+* :mod:`repro.experiments` — paper table and figure reproduction harness.
+
+The most common entry points are re-exported here.
+"""
+
+from repro.collectives import (
+    AllGather,
+    AllReduce,
+    AllToAll,
+    Broadcast,
+    CollectivePattern,
+    Gather,
+    Reduce,
+    ReduceScatter,
+    Scatter,
+)
+from repro.core import (
+    ChunkTransfer,
+    CollectiveAlgorithm,
+    SynthesisConfig,
+    SynthesisResult,
+    TacosSynthesizer,
+    synthesize,
+    verify_algorithm,
+)
+from repro.errors import (
+    CollectiveError,
+    ReproError,
+    SimulationError,
+    SynthesisError,
+    TopologyError,
+    VerificationError,
+    WorkloadError,
+)
+from repro.topology import (
+    DimensionSpec,
+    Link,
+    Topology,
+    build_2d_switch,
+    build_3d_rfs,
+    build_binary_hypercube,
+    build_dgx1,
+    build_dragonfly,
+    build_fully_connected,
+    build_hypercube_3d,
+    build_mesh,
+    build_mesh_2d,
+    build_mesh_3d,
+    build_multidim,
+    build_ring,
+    build_switch,
+    build_torus,
+    build_torus_2d,
+    build_torus_3d,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AllGather",
+    "AllReduce",
+    "AllToAll",
+    "Broadcast",
+    "ChunkTransfer",
+    "CollectiveAlgorithm",
+    "CollectiveError",
+    "CollectivePattern",
+    "DimensionSpec",
+    "Gather",
+    "Link",
+    "Reduce",
+    "ReduceScatter",
+    "ReproError",
+    "Scatter",
+    "SimulationError",
+    "SynthesisConfig",
+    "SynthesisError",
+    "SynthesisResult",
+    "TacosSynthesizer",
+    "Topology",
+    "TopologyError",
+    "VerificationError",
+    "WorkloadError",
+    "build_2d_switch",
+    "build_3d_rfs",
+    "build_binary_hypercube",
+    "build_dgx1",
+    "build_dragonfly",
+    "build_fully_connected",
+    "build_hypercube_3d",
+    "build_mesh",
+    "build_mesh_2d",
+    "build_mesh_3d",
+    "build_multidim",
+    "build_ring",
+    "build_switch",
+    "build_torus",
+    "build_torus_2d",
+    "build_torus_3d",
+    "synthesize",
+    "verify_algorithm",
+    "__version__",
+]

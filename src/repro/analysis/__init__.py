@@ -1,0 +1,54 @@
+"""Analysis utilities: ideal bounds, bandwidths, heat maps, utilization."""
+
+from repro.analysis.bandwidth import (
+    collective_bandwidth,
+    collective_bandwidth_gbps,
+    efficiency,
+    normalize_by,
+    speedup,
+)
+from repro.analysis.cost_models import (
+    direct_all_reduce_time,
+    hierarchical_all_reduce_time,
+    rhd_all_reduce_time,
+    ring_all_gather_time,
+    ring_all_reduce_time,
+    tree_all_reduce_time,
+)
+from repro.analysis.heatmap import link_load_matrix, link_load_statistics
+from repro.analysis.ideal import (
+    ideal_all_gather_bandwidth,
+    ideal_all_gather_time,
+    ideal_all_reduce_bandwidth,
+    ideal_all_reduce_time,
+    ideal_reduce_scatter_time,
+)
+from repro.analysis.utilization import (
+    average_utilization,
+    normalized_timeline,
+    utilization_timeline,
+)
+
+__all__ = [
+    "average_utilization",
+    "collective_bandwidth",
+    "collective_bandwidth_gbps",
+    "direct_all_reduce_time",
+    "efficiency",
+    "hierarchical_all_reduce_time",
+    "rhd_all_reduce_time",
+    "ring_all_gather_time",
+    "ring_all_reduce_time",
+    "tree_all_reduce_time",
+    "ideal_all_gather_bandwidth",
+    "ideal_all_gather_time",
+    "ideal_all_reduce_bandwidth",
+    "ideal_all_reduce_time",
+    "ideal_reduce_scatter_time",
+    "link_load_matrix",
+    "link_load_statistics",
+    "normalize_by",
+    "normalized_timeline",
+    "speedup",
+    "utilization_timeline",
+]

@@ -1,0 +1,76 @@
+"""Collective bandwidth and efficiency metrics."""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.core.algorithm import CollectiveAlgorithm
+from repro.errors import ReproError
+from repro.simulator.result import SimulationResult
+from repro.topology.link import GIGABYTE
+
+__all__ = [
+    "collective_bandwidth",
+    "collective_bandwidth_gbps",
+    "efficiency",
+    "speedup",
+    "normalize_by",
+]
+
+_Measurable = Union[CollectiveAlgorithm, SimulationResult]
+
+
+def _collective_time(measured: _Measurable) -> float:
+    if isinstance(measured, CollectiveAlgorithm):
+        return measured.collective_time
+    return measured.completion_time
+
+
+def _collective_size(measured: _Measurable) -> float:
+    if isinstance(measured, CollectiveAlgorithm):
+        return measured.collective_size
+    return measured.collective_size
+
+
+def collective_bandwidth(measured: _Measurable) -> float:
+    """Collective bandwidth in bytes/s (collective size divided by completion time)."""
+    size = _collective_size(measured)
+    duration = _collective_time(measured)
+    if size <= 0:
+        raise ReproError("collective size is unknown; cannot compute bandwidth")
+    if duration <= 0:
+        return float("inf")
+    return size / duration
+
+
+def collective_bandwidth_gbps(measured: _Measurable) -> float:
+    """Collective bandwidth in GB/s, the unit used throughout the paper's figures."""
+    return collective_bandwidth(measured) / GIGABYTE
+
+
+def efficiency(measured: _Measurable, ideal_bandwidth: float) -> float:
+    """Achieved fraction of the theoretical ideal bandwidth (0..1, can exceed 1 only on bound slack)."""
+    if ideal_bandwidth <= 0:
+        raise ReproError(f"ideal bandwidth must be positive, got {ideal_bandwidth}")
+    return collective_bandwidth(measured) / ideal_bandwidth
+
+
+def speedup(baseline_time: float, improved_time: float) -> float:
+    """How many times faster ``improved_time`` is than ``baseline_time``."""
+    if improved_time <= 0:
+        raise ReproError(f"improved time must be positive, got {improved_time}")
+    return baseline_time / improved_time
+
+
+def normalize_by(values: dict, reference_key: str) -> dict:
+    """Normalize a ``{label: value}`` mapping by the value at ``reference_key``.
+
+    Used to present tables the way the paper does (e.g. Table V normalizes
+    every collective time over TACOS).
+    """
+    if reference_key not in values:
+        raise ReproError(f"reference {reference_key!r} missing from {sorted(values)}")
+    reference = values[reference_key]
+    if reference == 0:
+        raise ReproError(f"reference value for {reference_key!r} is zero")
+    return {key: value / reference for key, value in values.items()}

@@ -1,0 +1,171 @@
+"""Closed-form alpha-beta cost models for the classic collective algorithms.
+
+These are the textbook analytical costs (Thakur et al., Chan et al.) of the
+basic All-Reduce algorithms on their *preferred* topologies, parameterized by
+the per-link alpha and beta.  They serve two purposes:
+
+* validating the congestion-aware simulator: when an algorithm runs on the
+  topology it was designed for, the simulated time must match the closed form
+  (this is the role the real-system validation plays for ASTRA-sim in the
+  paper, Sec. V-C); and
+* quick what-if estimates without running a simulation.
+
+All functions return seconds for a per-NPU buffer of ``collective_size``
+bytes.  ``alpha`` is the per-message latency and ``bandwidth`` the per-link
+bandwidth in bytes/s (a bidirectional ring has ``2 *`` the link bandwidth
+available per NPU because both directions carry half the blocks).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ReproError
+
+__all__ = [
+    "ring_all_reduce_time",
+    "ring_all_gather_time",
+    "direct_all_reduce_time",
+    "rhd_all_reduce_time",
+    "tree_all_reduce_time",
+    "hierarchical_all_reduce_time",
+]
+
+
+def _check(num_npus: int, collective_size: float, bandwidth: float) -> None:
+    if num_npus < 2:
+        raise ReproError(f"need at least 2 NPUs, got {num_npus}")
+    if collective_size <= 0:
+        raise ReproError(f"collective size must be positive, got {collective_size}")
+    if bandwidth <= 0:
+        raise ReproError(f"bandwidth must be positive, got {bandwidth}")
+
+
+def ring_all_reduce_time(
+    num_npus: int,
+    collective_size: float,
+    *,
+    alpha: float,
+    bandwidth: float,
+    bidirectional: bool = True,
+) -> float:
+    """Ring All-Reduce: ``2(N-1)`` steps, each moving ``size/N`` per direction.
+
+    On a bidirectional ring both directions carry half of the blocks, so the
+    effective per-step payload per link direction is ``size / (2N)``.
+    """
+    _check(num_npus, collective_size, bandwidth)
+    steps = 2 * (num_npus - 1)
+    per_step_bytes = collective_size / num_npus / (2 if bidirectional else 1)
+    return steps * (alpha + per_step_bytes / bandwidth)
+
+
+def ring_all_gather_time(
+    num_npus: int,
+    collective_size: float,
+    *,
+    alpha: float,
+    bandwidth: float,
+    bidirectional: bool = True,
+) -> float:
+    """Ring All-Gather: ``N-1`` steps of ``size/N`` per direction."""
+    _check(num_npus, collective_size, bandwidth)
+    steps = num_npus - 1
+    per_step_bytes = collective_size / num_npus / (2 if bidirectional else 1)
+    return steps * (alpha + per_step_bytes / bandwidth)
+
+
+def direct_all_reduce_time(
+    num_npus: int,
+    collective_size: float,
+    *,
+    alpha: float,
+    bandwidth: float,
+) -> float:
+    """Direct All-Reduce on a fully-connected topology.
+
+    One Reduce-Scatter step and one All-Gather step; in each, every NPU sends
+    ``(N-1)`` messages of ``size/N`` bytes over its ``N-1`` dedicated links
+    concurrently, so each step costs ``alpha + size / (N * bandwidth)``.
+    """
+    _check(num_npus, collective_size, bandwidth)
+    per_step = alpha + collective_size / num_npus / bandwidth
+    return 2 * per_step
+
+
+def rhd_all_reduce_time(
+    num_npus: int,
+    collective_size: float,
+    *,
+    alpha: float,
+    bandwidth: float,
+) -> float:
+    """Recursive Halving-Doubling All-Reduce on a power-of-two NPU count.
+
+    ``2 log2(N)`` exchange steps; the halving steps move ``size/2, size/4, ...``
+    and the doubling steps mirror them, for a total payload of
+    ``2 (N-1)/N * size`` per NPU.
+    """
+    _check(num_npus, collective_size, bandwidth)
+    stages = int(math.log2(num_npus))
+    if 1 << stages != num_npus:
+        raise ReproError(f"RHD needs a power-of-two NPU count, got {num_npus}")
+    latency = 2 * stages * alpha
+    payload = 2 * (num_npus - 1) / num_npus * collective_size
+    return latency + payload / bandwidth
+
+
+def tree_all_reduce_time(
+    num_npus: int,
+    collective_size: float,
+    *,
+    alpha: float,
+    bandwidth: float,
+    num_trees: int = 2,
+) -> float:
+    """Binary-tree All-Reduce (reduce up + broadcast down), DBT-style.
+
+    Each of the ``num_trees`` trees carries ``1/num_trees`` of the buffer over
+    ``~2 ceil(log2 N)`` levels; the payload term is the full buffer share both
+    up and down.
+    """
+    _check(num_npus, collective_size, bandwidth)
+    if num_trees < 1:
+        raise ReproError(f"need at least one tree, got {num_trees}")
+    depth = max(1, math.ceil(math.log2(num_npus)))
+    share = collective_size / num_trees
+    return 2 * depth * alpha + 2 * share / bandwidth
+
+
+def hierarchical_all_reduce_time(
+    dims,
+    collective_size: float,
+    *,
+    alpha: float,
+    bandwidths,
+) -> float:
+    """BlueConnect-style hierarchical All-Reduce over multi-dimensional networks.
+
+    Reduce-Scatter sweeps run over dimensions ``0..k`` and All-Gather sweeps in
+    reverse; the sweep over dimension ``j`` moves ``(d_j - 1)/d_j`` of the data
+    remaining at that level (``size / prod_{i<j} d_i``) over that dimension's
+    per-link bandwidth.
+    """
+    dims = [int(dim) for dim in dims]
+    bandwidths = list(bandwidths)
+    if len(dims) != len(bandwidths):
+        raise ReproError("dims and bandwidths must have the same length")
+    num_npus = 1
+    for dim in dims:
+        num_npus *= dim
+    _check(num_npus, collective_size, min(bandwidths))
+    total = 0.0
+    remaining = collective_size
+    for dim, bandwidth in zip(dims, bandwidths):
+        if dim == 1:
+            continue
+        steps = dim - 1
+        payload = remaining * (dim - 1) / dim
+        total += 2 * (steps * alpha + payload / bandwidth)  # RS sweep + AG sweep
+        remaining /= dim
+    return total

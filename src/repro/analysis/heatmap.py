@@ -1,0 +1,76 @@
+"""Link-load heat maps (Fig. 1 and Fig. 15b).
+
+The heat map at position ``(src, dest)`` shows the total bytes transferred
+over the link ``src -> dest`` during a collective, normalized to the largest
+per-link load.  Cells for non-existent links are marked with ``numpy.nan``
+(rendered black in the paper's figures).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple, Union
+
+import numpy as np
+
+from repro.core.algorithm import CollectiveAlgorithm
+from repro.simulator.result import SimulationResult
+from repro.topology.topology import Topology
+
+__all__ = ["link_load_matrix", "link_load_statistics"]
+
+
+def _link_loads(measured: Union[CollectiveAlgorithm, SimulationResult]) -> Dict[Tuple[int, int], float]:
+    if isinstance(measured, CollectiveAlgorithm):
+        return measured.link_bytes()
+    return dict(measured.link_bytes)
+
+
+def link_load_matrix(
+    measured: Union[CollectiveAlgorithm, SimulationResult],
+    topology: Topology,
+    *,
+    normalize: bool = True,
+) -> np.ndarray:
+    """Build the ``num_npus x num_npus`` link-load matrix of Fig. 1.
+
+    Entry ``[src, dest]`` is the load of the physical link ``src -> dest``
+    (normalized by the maximum load when ``normalize`` is True); entries for
+    missing links are ``nan``.
+    """
+    size = topology.num_npus
+    matrix = np.full((size, size), np.nan)
+    for source, dest in topology.link_keys():
+        matrix[source, dest] = 0.0
+    loads = _link_loads(measured)
+    for (source, dest), load in loads.items():
+        matrix[source, dest] = load
+    if normalize:
+        peak = np.nanmax(matrix)
+        if peak and peak > 0:
+            matrix = matrix / peak
+    return matrix
+
+
+def link_load_statistics(
+    measured: Union[CollectiveAlgorithm, SimulationResult],
+    topology: Topology,
+) -> Dict[str, float]:
+    """Summary statistics of per-link loads: max, mean, imbalance, and idle share.
+
+    ``imbalance`` is max/mean over links that exist (1.0 means perfectly
+    balanced); ``idle_fraction`` is the share of physical links that carried
+    no traffic at all (the undersubscription the paper highlights).
+    """
+    loads = _link_loads(measured)
+    existing = list(topology.link_keys())
+    values = np.array([loads.get(link, 0.0) for link in existing], dtype=float)
+    if values.size == 0:
+        return {"max": 0.0, "mean": 0.0, "imbalance": 1.0, "idle_fraction": 0.0}
+    mean = float(values.mean())
+    peak = float(values.max())
+    return {
+        "max": peak,
+        "mean": mean,
+        "imbalance": peak / mean if mean > 0 else float("inf"),
+        "idle_fraction": float(np.count_nonzero(values == 0.0)) / values.size,
+    }

@@ -1,0 +1,60 @@
+"""Theoretical ideal collective performance bounds (Sec. V-A).
+
+The paper reports every synthesized algorithm's efficiency against a
+topology-derived upper bound:
+
+``Ideal = CollectiveSize * 2(n-1)/n / min_NPU_bandwidth + Diameter``
+
+The first term is the bottleneck serialization delay — every NPU must inject
+and eject ``2(n-1)/n`` of the buffer for an All-Reduce, limited by the
+slowest NPU's aggregate link bandwidth — and the second term is the minimum
+latency for the two farthest NPUs to communicate.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TopologyError
+from repro.topology.topology import Topology
+
+__all__ = [
+    "ideal_all_reduce_time",
+    "ideal_all_reduce_bandwidth",
+    "ideal_all_gather_time",
+    "ideal_all_gather_bandwidth",
+    "ideal_reduce_scatter_time",
+]
+
+
+def ideal_all_reduce_time(topology: Topology, collective_size: float) -> float:
+    """Lower bound on All-Reduce time (seconds) for ``collective_size`` bytes per NPU."""
+    if collective_size <= 0:
+        raise TopologyError(f"collective size must be positive, got {collective_size}")
+    n = topology.num_npus
+    bottleneck_bandwidth = topology.min_npu_bandwidth()
+    serialization = collective_size * 2.0 * (n - 1) / n / bottleneck_bandwidth
+    return serialization + topology.diameter_latency()
+
+
+def ideal_all_reduce_bandwidth(topology: Topology, collective_size: float) -> float:
+    """Upper bound on All-Reduce bandwidth (bytes/s): size divided by the ideal time."""
+    return collective_size / ideal_all_reduce_time(topology, collective_size)
+
+
+def ideal_all_gather_time(topology: Topology, collective_size: float) -> float:
+    """Lower bound on All-Gather time: each NPU must eject ``(n-1)/n`` of the buffer."""
+    if collective_size <= 0:
+        raise TopologyError(f"collective size must be positive, got {collective_size}")
+    n = topology.num_npus
+    bottleneck_bandwidth = topology.min_npu_bandwidth()
+    serialization = collective_size * (n - 1) / n / bottleneck_bandwidth
+    return serialization + topology.diameter_latency()
+
+
+def ideal_all_gather_bandwidth(topology: Topology, collective_size: float) -> float:
+    """Upper bound on All-Gather bandwidth (bytes/s)."""
+    return collective_size / ideal_all_gather_time(topology, collective_size)
+
+
+def ideal_reduce_scatter_time(topology: Topology, collective_size: float) -> float:
+    """Lower bound on Reduce-Scatter time (same traffic volume as All-Gather)."""
+    return ideal_all_gather_time(topology, collective_size)

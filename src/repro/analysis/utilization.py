@@ -1,0 +1,80 @@
+"""Link-utilization analysis over the course of a collective (Fig. 16b, Fig. 18)."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple, Union
+
+import numpy as np
+
+from repro.core.algorithm import CollectiveAlgorithm
+from repro.simulator.result import SimulationResult
+
+__all__ = ["utilization_timeline", "average_utilization", "normalized_timeline"]
+
+_Measurable = Union[CollectiveAlgorithm, SimulationResult]
+
+
+def _busy_intervals(measured: _Measurable) -> Tuple[Dict[Tuple[int, int], list], float, int]:
+    if isinstance(measured, SimulationResult):
+        return measured.link_busy_intervals, measured.completion_time, measured.num_links
+    intervals = {
+        link: [(transfer.start, transfer.end) for transfer in transfers]
+        for link, transfers in measured.link_occupancy().items()
+    }
+    # For a synthesized algorithm the number of physical links is not stored;
+    # use the links it touches as the denominator (a lower bound used only
+    # when a topology-aware denominator is unavailable).
+    return intervals, measured.collective_time, len(intervals)
+
+
+def utilization_timeline(
+    measured: _Measurable,
+    *,
+    num_samples: int = 200,
+    num_links: int = 0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Fraction of links busy at each sampled time.
+
+    ``num_links`` overrides the denominator (pass ``topology.num_links`` when
+    analysing a :class:`CollectiveAlgorithm` so idle links count as idle).
+    """
+    intervals, horizon, default_links = _busy_intervals(measured)
+    denominator = num_links or default_links
+    times = np.linspace(0.0, horizon, num_samples) if horizon > 0 else np.zeros(num_samples)
+    utilization = np.zeros(num_samples)
+    if denominator == 0 or horizon <= 0:
+        return times, utilization
+    for link_intervals in intervals.values():
+        for start, end in link_intervals:
+            utilization[(times >= start) & (times < end)] += 1.0
+    return times, utilization / denominator
+
+
+def average_utilization(measured: _Measurable, *, num_links: int = 0) -> float:
+    """Time-averaged fraction of busy links over the collective's duration."""
+    intervals, horizon, default_links = _busy_intervals(measured)
+    denominator = num_links or default_links
+    if denominator == 0 or horizon <= 0:
+        return 0.0
+    busy = sum(end - start for link_intervals in intervals.values() for start, end in link_intervals)
+    return busy / (denominator * horizon)
+
+
+def normalized_timeline(
+    measured: _Measurable,
+    reference_time: float,
+    *,
+    num_samples: int = 200,
+    num_links: int = 0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Utilization timeline with the time axis normalized by ``reference_time``.
+
+    The paper normalizes each algorithm's collective duration by the TACOS
+    collective time (Fig. 16b / Fig. 18); pass the TACOS time as the reference.
+    """
+    times, utilization = utilization_timeline(
+        measured, num_samples=num_samples, num_links=num_links
+    )
+    if reference_time <= 0:
+        raise ValueError(f"reference time must be positive, got {reference_time}")
+    return times / reference_time, utilization

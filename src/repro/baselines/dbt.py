@@ -1,0 +1,68 @@
+"""Double Binary Tree (DBT) All-Reduce, as popularized by NCCL 2.4.
+
+Two complementary binary trees are laid over the ranks; each tree reduces and
+broadcasts half of the buffer blocks, so both trees work concurrently and
+every rank's links are used in both directions.  Like RHD it assumes a
+power-of-two-friendly, low-diameter network; on sparse physical topologies
+its long tree edges become multi-hop and congest (Fig. 2a).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.baselines.trees import SpanningTree, trees_to_all_reduce_schedule
+from repro.errors import SimulationError
+from repro.simulator.schedule import LogicalSchedule
+
+__all__ = ["dbt_all_reduce", "build_complete_binary_tree"]
+
+
+def build_complete_binary_tree(num_npus: int, rank_order: List[int]) -> SpanningTree:
+    """Build a complete binary tree over ``rank_order`` (heap layout).
+
+    ``rank_order[0]`` becomes the root; the node at position ``i`` has the
+    nodes at positions ``2i + 1`` and ``2i + 2`` as children.
+    """
+    if len(rank_order) != num_npus:
+        raise SimulationError(
+            f"rank order has {len(rank_order)} entries but the collective has {num_npus} NPUs"
+        )
+    parent: Dict[int, int] = {}
+    for position in range(1, num_npus):
+        parent_position = (position - 1) // 2
+        parent[rank_order[position]] = rank_order[parent_position]
+    return SpanningTree(root=rank_order[0], parent=parent)
+
+
+def dbt_all_reduce(
+    num_npus: int,
+    collective_size: float,
+    *,
+    chunks_per_npu: int = 1,
+) -> LogicalSchedule:
+    """Build the Double Binary Tree All-Reduce schedule.
+
+    Tree 1 is a complete binary tree over ranks ``0..N-1``; tree 2 uses the
+    reversed rank order so interior nodes of one tree tend to be leaves of the
+    other (the NCCL construction's load-balancing intent).  Even-indexed
+    blocks ride tree 1, odd-indexed blocks ride tree 2.
+    """
+    if num_npus < 2:
+        raise SimulationError(f"DBT All-Reduce needs at least 2 NPUs, got {num_npus}")
+    tree_one = build_complete_binary_tree(num_npus, list(range(num_npus)))
+    tree_two = build_complete_binary_tree(num_npus, list(reversed(range(num_npus))))
+    even_blocks = [block for block in range(num_npus) if block % 2 == 0]
+    odd_blocks = [block for block in range(num_npus) if block % 2 == 1]
+    assignments: List[Tuple[SpanningTree, List[int]]] = [
+        (tree_one, even_blocks),
+        (tree_two, odd_blocks),
+    ]
+    schedule = trees_to_all_reduce_schedule(
+        assignments,
+        num_npus,
+        collective_size,
+        chunks_per_npu=chunks_per_npu,
+        name="DBT",
+    )
+    return schedule

@@ -1,0 +1,110 @@
+"""Direct (all-to-all) collective algorithms.
+
+The Direct All-Reduce sends every partial straight to the block's owner
+(one step of Reduce-Scatter) and then has every owner broadcast its reduced
+block to everyone (one step of All-Gather).  It is latency-optimal and is the
+preferred algorithm for fully-connected topologies, but it grossly
+oversubscribes sparse networks (Fig. 2a).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import SimulationError
+from repro.simulator.schedule import LogicalSchedule, LogicalSend
+
+__all__ = ["direct_all_reduce", "direct_all_gather", "direct_reduce_scatter"]
+
+
+def _block_chunks(block: int, chunks_per_npu: int) -> range:
+    return range(block * chunks_per_npu, (block + 1) * chunks_per_npu)
+
+
+def _reduce_scatter_sends(num_npus: int, chunks_per_npu: int, step: int) -> List[LogicalSend]:
+    sends = []
+    for block in range(num_npus):
+        for source in range(num_npus):
+            if source == block:
+                continue
+            for chunk in _block_chunks(block, chunks_per_npu):
+                sends.append(LogicalSend(step=step, chunk=chunk, source=source, dest=block))
+    return sends
+
+
+def _all_gather_sends(num_npus: int, chunks_per_npu: int, step: int) -> List[LogicalSend]:
+    sends = []
+    for block in range(num_npus):
+        for dest in range(num_npus):
+            if dest == block:
+                continue
+            for chunk in _block_chunks(block, chunks_per_npu):
+                sends.append(LogicalSend(step=step, chunk=chunk, source=block, dest=dest))
+    return sends
+
+
+def direct_all_reduce(
+    num_npus: int,
+    collective_size: float,
+    *,
+    chunks_per_npu: int = 1,
+) -> LogicalSchedule:
+    """Build the Direct All-Reduce schedule (1-step RS + 1-step AG)."""
+    if num_npus < 2:
+        raise SimulationError(f"Direct All-Reduce needs at least 2 NPUs, got {num_npus}")
+    sends = _reduce_scatter_sends(num_npus, chunks_per_npu, step=0)
+    sends.extend(_all_gather_sends(num_npus, chunks_per_npu, step=1))
+    chunk_size = collective_size / (num_npus * chunks_per_npu)
+    return LogicalSchedule(
+        sends=sends,
+        num_npus=num_npus,
+        chunk_size=chunk_size,
+        collective_size=collective_size,
+        name="Direct",
+        pattern_name="AllReduce",
+        metadata={"chunks_per_npu": chunks_per_npu},
+    )
+
+
+def direct_all_gather(
+    num_npus: int,
+    collective_size: float,
+    *,
+    chunks_per_npu: int = 1,
+) -> LogicalSchedule:
+    """Build the Direct All-Gather schedule (every NPU broadcasts its block)."""
+    if num_npus < 2:
+        raise SimulationError(f"Direct All-Gather needs at least 2 NPUs, got {num_npus}")
+    sends = _all_gather_sends(num_npus, chunks_per_npu, step=0)
+    chunk_size = collective_size / (num_npus * chunks_per_npu)
+    return LogicalSchedule(
+        sends=sends,
+        num_npus=num_npus,
+        chunk_size=chunk_size,
+        collective_size=collective_size,
+        name="Direct",
+        pattern_name="AllGather",
+        metadata={"chunks_per_npu": chunks_per_npu},
+    )
+
+
+def direct_reduce_scatter(
+    num_npus: int,
+    collective_size: float,
+    *,
+    chunks_per_npu: int = 1,
+) -> LogicalSchedule:
+    """Build the Direct Reduce-Scatter schedule (every NPU sends partials to owners)."""
+    if num_npus < 2:
+        raise SimulationError(f"Direct Reduce-Scatter needs at least 2 NPUs, got {num_npus}")
+    sends = _reduce_scatter_sends(num_npus, chunks_per_npu, step=0)
+    chunk_size = collective_size / (num_npus * chunks_per_npu)
+    return LogicalSchedule(
+        sends=sends,
+        num_npus=num_npus,
+        chunk_size=chunk_size,
+        collective_size=collective_size,
+        name="Direct",
+        pattern_name="ReduceScatter",
+        metadata={"chunks_per_npu": chunks_per_npu},
+    )

@@ -1,0 +1,80 @@
+"""MultiTree-style spanning-tree collective synthesis.
+
+MultiTree (Huang et al., ISCA 2021) synthesizes collectives by constructing a
+height-balanced spanning tree rooted at every NPU over the *physical*
+topology and running every block's reduction/broadcast over its owner's tree.
+Two properties matter for the paper's comparison (Fig. 17a):
+
+* the trees only use network connectivity, not link bandwidths, so on
+  heterogeneous networks the tree edges are not bandwidth-aware; and
+* concurrent chunks are **not** overlapped — with more than one chunk per
+  NPU, the chunks are processed one after another, which caps the achievable
+  bandwidth for large collectives.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Tuple
+
+from repro.baselines.trees import SpanningTree, trees_to_all_reduce_schedule
+from repro.errors import SimulationError
+from repro.simulator.schedule import LogicalSchedule
+from repro.topology.topology import Topology
+
+__all__ = ["multitree_all_reduce", "build_bfs_tree"]
+
+
+def build_bfs_tree(topology: Topology, root: int) -> SpanningTree:
+    """Breadth-first (height-balanced) spanning tree of ``topology`` rooted at ``root``.
+
+    Tree edges point from parent to child along physical links, so a
+    broadcast down the tree (and a reduction up the reversed edges) only ever
+    uses single-hop transfers.
+    """
+    parent: Dict[int, int] = {}
+    visited = {root}
+    queue = deque([root])
+    while queue:
+        node = queue.popleft()
+        for neighbour in topology.out_neighbors(node):
+            if neighbour not in visited:
+                visited.add(neighbour)
+                parent[neighbour] = node
+                queue.append(neighbour)
+    if len(visited) != topology.num_npus:
+        raise SimulationError(
+            f"topology {topology.name} is not connected from NPU {root}; cannot build a spanning tree"
+        )
+    return SpanningTree(root=root, parent=parent)
+
+
+def multitree_all_reduce(
+    topology: Topology,
+    collective_size: float,
+    *,
+    chunks_per_npu: int = 1,
+) -> LogicalSchedule:
+    """Build a MultiTree-style All-Reduce schedule for ``topology``.
+
+    Block ``b`` is reduced up and broadcast down the BFS tree rooted at NPU
+    ``b``.  Multiple chunks per NPU are serialized (``serialize_chunks=True``)
+    to reproduce MultiTree's lack of chunk-level overlap.
+    """
+    num_npus = topology.num_npus
+    if num_npus < 2:
+        raise SimulationError(f"MultiTree needs at least 2 NPUs, got {num_npus}")
+    assignments: List[Tuple[SpanningTree, List[int]]] = []
+    for root in range(num_npus):
+        tree = build_bfs_tree(topology, root)
+        assignments.append((tree, [root]))
+    schedule = trees_to_all_reduce_schedule(
+        assignments,
+        num_npus,
+        collective_size,
+        chunks_per_npu=chunks_per_npu,
+        name="MultiTree",
+        serialize_chunks=chunks_per_npu > 1,
+    )
+    schedule.metadata["topology"] = topology.name
+    return schedule

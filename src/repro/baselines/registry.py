@@ -1,0 +1,137 @@
+"""Registry of baseline All-Reduce algorithms and their capability matrix.
+
+This module centralizes two things the paper presents as Tables I and II:
+
+* a uniform way to instantiate the basic All-Reduce baselines
+  (:func:`build_baseline_all_reduce`), used by the motivation and evaluation
+  experiments to sweep over algorithms; and
+* the qualitative capability matrices of collective algorithms
+  (:data:`ALGORITHM_CAPABILITIES`, Table I) and synthesizers
+  (:data:`SYNTHESIZER_CAPABILITIES`, Table II), with tests asserting the
+  claims the paper makes about TACOS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.baselines.dbt import dbt_all_reduce
+from repro.baselines.direct import direct_all_reduce
+from repro.baselines.multitree import multitree_all_reduce
+from repro.baselines.rhd import rhd_all_reduce
+from repro.baselines.ring import ring_all_reduce
+from repro.errors import SimulationError
+from repro.simulator.schedule import LogicalSchedule
+from repro.topology.topology import Topology
+
+__all__ = [
+    "ALGORITHM_CAPABILITIES",
+    "SYNTHESIZER_CAPABILITIES",
+    "BASIC_ALL_REDUCE_BASELINES",
+    "build_baseline_all_reduce",
+]
+
+
+def build_baseline_all_reduce(
+    name: str,
+    topology: Topology,
+    collective_size: float,
+    *,
+    chunks_per_npu: int = 1,
+) -> LogicalSchedule:
+    """Instantiate a basic All-Reduce baseline by name.
+
+    Supported names: ``"Ring"``, ``"UniRing"``, ``"Direct"``, ``"RHD"``,
+    ``"DBT"``, ``"MultiTree"``.  ``RHD`` requires a power-of-two NPU count.
+    """
+    num_npus = topology.num_npus
+    if name in ("Ring", "UniRing"):
+        return ring_all_reduce(
+            num_npus,
+            collective_size,
+            chunks_per_npu=chunks_per_npu,
+            bidirectional=(name == "Ring"),
+        )
+    if name == "Direct":
+        return direct_all_reduce(num_npus, collective_size, chunks_per_npu=chunks_per_npu)
+    if name == "RHD":
+        return rhd_all_reduce(num_npus, collective_size, chunks_per_npu=chunks_per_npu)
+    if name == "DBT":
+        return dbt_all_reduce(num_npus, collective_size, chunks_per_npu=chunks_per_npu)
+    if name == "MultiTree":
+        return multitree_all_reduce(topology, collective_size, chunks_per_npu=chunks_per_npu)
+    raise SimulationError(f"unknown baseline algorithm {name!r}")
+
+
+#: Names accepted by :func:`build_baseline_all_reduce` that need no extra inputs.
+BASIC_ALL_REDUCE_BASELINES = ("Ring", "UniRing", "Direct", "RHD", "DBT")
+
+
+@dataclass(frozen=True)
+class AlgorithmCapability:
+    """One row of Table I: which topologies an All-Reduce algorithm targets."""
+
+    name: str
+    ring: bool = False
+    fully_connected: bool = False
+    switch: bool = False
+    multidim_homogeneous: bool = False
+    multidim_heterogeneous: bool = False
+    asymmetric: bool = False
+    any_topology: bool = False
+
+
+#: Table I — All-Reduce algorithms and their preferred physical topologies.
+ALGORITHM_CAPABILITIES: Dict[str, AlgorithmCapability] = {
+    "Ring": AlgorithmCapability(name="Ring", ring=True),
+    "Direct": AlgorithmCapability(name="Direct", fully_connected=True),
+    "RHD": AlgorithmCapability(name="RHD", switch=True),
+    "DBT": AlgorithmCapability(name="DBT", switch=True),
+    "BlueConnect": AlgorithmCapability(
+        name="BlueConnect", ring=True, fully_connected=True, switch=True,
+        multidim_homogeneous=True, multidim_heterogeneous=True,
+    ),
+    "Themis": AlgorithmCapability(
+        name="Themis", ring=True, fully_connected=True, switch=True,
+        multidim_homogeneous=True, multidim_heterogeneous=True,
+    ),
+    "TTO": AlgorithmCapability(name="TTO", multidim_homogeneous=True, asymmetric=True),
+    "C-Cube": AlgorithmCapability(
+        name="C-Cube", multidim_homogeneous=True, multidim_heterogeneous=True, asymmetric=True
+    ),
+    "TACOS": AlgorithmCapability(
+        name="TACOS", ring=True, fully_connected=True, switch=True,
+        multidim_homogeneous=True, multidim_heterogeneous=True,
+        asymmetric=True, any_topology=True,
+    ),
+}
+
+
+@dataclass(frozen=True)
+class SynthesizerCapability:
+    """One row of Table II: qualitative comparison of collective synthesizers."""
+
+    name: str
+    asymmetric: bool = False
+    heterogeneous: bool = False
+    autonomous: bool = False
+    removes_congestion: bool = False
+    scalable: bool = False
+
+
+#: Table II — qualitative comparison of collective algorithm synthesizers.
+SYNTHESIZER_CAPABILITIES: Dict[str, SynthesizerCapability] = {
+    "SCCL": SynthesizerCapability(name="SCCL", autonomous=True),
+    "Blink": SynthesizerCapability(name="Blink", asymmetric=True, autonomous=True),
+    "MultiTree": SynthesizerCapability(
+        name="MultiTree", asymmetric=True, autonomous=True, scalable=True
+    ),
+    "TACCL": SynthesizerCapability(
+        name="TACCL", asymmetric=False, heterogeneous=False, autonomous=False
+    ),
+    "TACOS": SynthesizerCapability(
+        name="TACOS", asymmetric=True, heterogeneous=True, autonomous=True,
+        removes_congestion=True, scalable=True,
+    ),
+}

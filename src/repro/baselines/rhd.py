@@ -1,0 +1,123 @@
+"""Recursive Halving-Doubling (RHD) All-Reduce.
+
+RHD performs ``log2(N)`` recursive-halving exchange steps (Reduce-Scatter)
+followed by ``log2(N)`` recursive-doubling steps (All-Gather).  At halving
+step ``k`` every NPU exchanges, with the partner differing in bit ``k``, the
+half of its current responsibility range that belongs to the partner's side.
+It requires a power-of-two NPU count and prefers hypercube-like connectivity;
+on other topologies the long-distance partners cause congestion (Fig. 1).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import SimulationError
+from repro.simulator.schedule import LogicalSchedule, LogicalSend
+
+__all__ = ["rhd_all_reduce", "rhd_all_gather"]
+
+
+def _log2_exact(value: int) -> int:
+    exponent = value.bit_length() - 1
+    if value <= 0 or (1 << exponent) != value:
+        raise SimulationError(f"RHD requires a power-of-two NPU count, got {value}")
+    return exponent
+
+
+def _block_chunks(block: int, chunks_per_npu: int) -> range:
+    return range(block * chunks_per_npu, (block + 1) * chunks_per_npu)
+
+
+def _matches_in_low_bits(block: int, reference: int, bits: int) -> bool:
+    """Whether ``block`` and ``reference`` agree in bit positions ``0 .. bits-1``."""
+    if bits <= 0:
+        return True
+    mask = (1 << bits) - 1
+    return (block & mask) == (reference & mask)
+
+
+def _halving_sends(
+    num_npus: int, chunks_per_npu: int, step_offset: int
+) -> List[LogicalSend]:
+    """Recursive-halving (Reduce-Scatter) exchange steps."""
+    stages = _log2_exact(num_npus)
+    sends = []
+    for k in range(stages):
+        for npu in range(num_npus):
+            partner = npu ^ (1 << k)
+            for block in range(num_npus):
+                # Blocks still owned by this NPU's responsibility range ...
+                if not _matches_in_low_bits(block, npu, k):
+                    continue
+                # ... that belong to the partner's half at bit k.
+                if ((block >> k) & 1) != ((partner >> k) & 1):
+                    continue
+                for chunk in _block_chunks(block, chunks_per_npu):
+                    sends.append(
+                        LogicalSend(step=step_offset + k, chunk=chunk, source=npu, dest=partner)
+                    )
+    return sends
+
+
+def _doubling_sends(
+    num_npus: int, chunks_per_npu: int, step_offset: int
+) -> List[LogicalSend]:
+    """Recursive-doubling (All-Gather) exchange steps."""
+    stages = _log2_exact(num_npus)
+    sends = []
+    for index, k in enumerate(reversed(range(stages))):
+        for npu in range(num_npus):
+            partner = npu ^ (1 << k)
+            for block in range(num_npus):
+                # The NPU currently holds blocks agreeing with it in bits 0..k.
+                if not _matches_in_low_bits(block, npu, k + 1):
+                    continue
+                for chunk in _block_chunks(block, chunks_per_npu):
+                    sends.append(
+                        LogicalSend(step=step_offset + index, chunk=chunk, source=npu, dest=partner)
+                    )
+    return sends
+
+
+def rhd_all_reduce(
+    num_npus: int,
+    collective_size: float,
+    *,
+    chunks_per_npu: int = 1,
+) -> LogicalSchedule:
+    """Build the Recursive Halving-Doubling All-Reduce schedule."""
+    stages = _log2_exact(num_npus)
+    sends = _halving_sends(num_npus, chunks_per_npu, step_offset=0)
+    sends.extend(_doubling_sends(num_npus, chunks_per_npu, step_offset=stages))
+    chunk_size = collective_size / (num_npus * chunks_per_npu)
+    return LogicalSchedule(
+        sends=sends,
+        num_npus=num_npus,
+        chunk_size=chunk_size,
+        collective_size=collective_size,
+        name="RHD",
+        pattern_name="AllReduce",
+        metadata={"chunks_per_npu": chunks_per_npu},
+    )
+
+
+def rhd_all_gather(
+    num_npus: int,
+    collective_size: float,
+    *,
+    chunks_per_npu: int = 1,
+) -> LogicalSchedule:
+    """Build the recursive-doubling All-Gather schedule."""
+    _log2_exact(num_npus)
+    sends = _doubling_sends(num_npus, chunks_per_npu, step_offset=0)
+    chunk_size = collective_size / (num_npus * chunks_per_npu)
+    return LogicalSchedule(
+        sends=sends,
+        num_npus=num_npus,
+        chunk_size=chunk_size,
+        collective_size=collective_size,
+        name="RHD",
+        pattern_name="AllGather",
+        metadata={"chunks_per_npu": chunks_per_npu},
+    )

@@ -1,0 +1,78 @@
+"""Themis-style chunk-scheduled hierarchical All-Reduce.
+
+Themis (Rashidi et al., ISCA 2022) improves on BlueConnect by letting
+different chunks traverse the network dimensions in different orders, which
+balances the load across dimensions with unequal bandwidth-time products.
+We reproduce the mechanism that matters for the paper's comparison (Fig. 16):
+the collective is split into ``chunks_per_npu`` sub-chunks and sub-chunk
+``j`` runs the hierarchical Reduce-Scatter/All-Gather pass with the dimension
+order rotated by ``j``, so at any moment different sub-chunks occupy
+different dimensions.
+
+Like BlueConnect, Themis cannot change the path a chunk takes *within* a
+dimension (it always uses the per-dimension logical ring), which is why it
+degrades on asymmetric topologies such as meshes — exactly the effect the
+paper reports.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.baselines.blueconnect import hierarchical_all_reduce_sends
+from repro.errors import SimulationError
+from repro.simulator.schedule import LogicalSchedule, LogicalSend
+
+__all__ = ["themis_all_reduce"]
+
+
+def themis_all_reduce(
+    dims: Sequence[int],
+    collective_size: float,
+    *,
+    chunks_per_npu: int = 4,
+) -> LogicalSchedule:
+    """Build the Themis-style All-Reduce schedule for a multi-dimensional network.
+
+    Parameters
+    ----------
+    dims:
+        Per-dimension sizes of the (logically symmetric) network.
+    collective_size:
+        Per-NPU buffer size in bytes.
+    chunks_per_npu:
+        Number of sub-chunks; the paper evaluates 4 and 64.
+    """
+    dims = tuple(int(dim) for dim in dims)
+    num_npus = 1
+    for dim in dims:
+        num_npus *= dim
+    if num_npus < 2:
+        raise SimulationError(f"Themis needs at least 2 NPUs, got dims {dims}")
+    if chunks_per_npu < 1:
+        raise SimulationError(f"chunks_per_npu must be positive, got {chunks_per_npu}")
+
+    num_dims = len(dims)
+    sends: List[LogicalSend] = []
+    for sub_chunk in range(chunks_per_npu):
+        rotation = sub_chunk % num_dims
+        dimension_order = [(axis + rotation) % num_dims for axis in range(num_dims)]
+        pass_sends, _ = hierarchical_all_reduce_sends(
+            dims,
+            dimension_order,
+            chunks_per_npu=chunks_per_npu,
+            sub_chunk=sub_chunk,
+            direction=1 if sub_chunk % 2 == 0 else -1,
+        )
+        sends.extend(pass_sends)
+
+    chunk_size = collective_size / (num_npus * chunks_per_npu)
+    return LogicalSchedule(
+        sends=sends,
+        num_npus=num_npus,
+        chunk_size=chunk_size,
+        collective_size=collective_size,
+        name="Themis",
+        pattern_name="AllReduce",
+        metadata={"dims": dims, "chunks_per_npu": chunks_per_npu},
+    )

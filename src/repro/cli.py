@@ -1,0 +1,10 @@
+"""``tacos-repro`` command-line entry point (thin wrapper over the experiment runner)."""
+
+from __future__ import annotations
+
+from repro.experiments.runner import main
+
+__all__ = ["main"]
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,37 @@
+"""All-Gather collective pattern."""
+
+from __future__ import annotations
+
+from repro.collectives.pattern import ChunkOwnership, CollectivePattern
+
+__all__ = ["AllGather"]
+
+
+class AllGather(CollectivePattern):
+    """All-Gather: every NPU ends up with every NPU's chunk(s).
+
+    Precondition: NPU ``i`` holds its own ``chunks_per_npu`` chunks.
+    Postcondition: every NPU holds all ``num_npus * chunks_per_npu`` chunks.
+    """
+
+    name = "AllGather"
+    requires_reduction = False
+
+    @property
+    def num_chunks(self) -> int:
+        return self.num_npus * self.chunks_per_npu
+
+    def precondition(self) -> ChunkOwnership:
+        return {npu: self.owned_chunks(npu) for npu in range(self.num_npus)}
+
+    def postcondition(self) -> ChunkOwnership:
+        everything = self.all_chunks()
+        return {npu: everything for npu in range(self.num_npus)}
+
+    def chunk_size(self, collective_size: float) -> float:
+        """Each chunk is ``1 / (num_npus * chunks_per_npu)`` of the buffer.
+
+        ``collective_size`` is the size of the fully gathered buffer each NPU
+        ends up with (the paper's "All-Gather size").
+        """
+        return collective_size / (self.num_npus * self.chunks_per_npu)

@@ -1,0 +1,48 @@
+"""All-Reduce collective pattern."""
+
+from __future__ import annotations
+
+from repro.collectives.all_gather import AllGather
+from repro.collectives.pattern import ChunkOwnership, CollectivePattern
+from repro.collectives.reduce_scatter import ReduceScatter
+
+__all__ = ["AllReduce"]
+
+
+class AllReduce(CollectivePattern):
+    """All-Reduce: every NPU ends up with the sum of every NPU's buffer.
+
+    The paper (Sec. II-A) treats All-Reduce as Reduce-Scatter followed by
+    All-Gather, and TACOS synthesizes it exactly that way; the two phases are
+    exposed through :meth:`reduce_scatter_phase` and :meth:`all_gather_phase`.
+
+    Precondition: every NPU holds a local copy of all chunks.
+    Postcondition: every NPU holds all (reduced) chunks.
+    """
+
+    name = "AllReduce"
+    requires_reduction = True
+
+    @property
+    def num_chunks(self) -> int:
+        return self.num_npus * self.chunks_per_npu
+
+    def precondition(self) -> ChunkOwnership:
+        everything = self.all_chunks()
+        return {npu: everything for npu in range(self.num_npus)}
+
+    def postcondition(self) -> ChunkOwnership:
+        everything = self.all_chunks()
+        return {npu: everything for npu in range(self.num_npus)}
+
+    def chunk_size(self, collective_size: float) -> float:
+        """Each chunk is ``1 / (num_npus * chunks_per_npu)`` of the per-NPU buffer."""
+        return collective_size / (self.num_npus * self.chunks_per_npu)
+
+    def reduce_scatter_phase(self) -> ReduceScatter:
+        """The Reduce-Scatter executed as the first half of the All-Reduce."""
+        return ReduceScatter(self.num_npus, self.chunks_per_npu)
+
+    def all_gather_phase(self) -> AllGather:
+        """The All-Gather executed as the second half of the All-Reduce."""
+        return AllGather(self.num_npus, self.chunks_per_npu)

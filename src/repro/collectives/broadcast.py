@@ -1,0 +1,107 @@
+"""Broadcast and Reduce collective patterns (rooted collectives)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.collectives.pattern import ChunkOwnership, CollectivePattern
+from repro.errors import CollectiveError
+
+__all__ = ["Broadcast", "Reduce"]
+
+
+class Broadcast(CollectivePattern):
+    """Broadcast: the root NPU's chunk(s) are delivered to every NPU.
+
+    Precondition: only the root holds the ``chunks_per_npu`` chunks.
+    Postcondition: every NPU holds them.
+    """
+
+    name = "Broadcast"
+    requires_reduction = False
+
+    def __init__(self, num_npus: int, chunks_per_npu: int = 1, root: int = 0) -> None:
+        super().__init__(num_npus, chunks_per_npu)
+        if not 0 <= root < num_npus:
+            raise CollectiveError(f"broadcast root {root} out of range for {num_npus} NPUs")
+        self.root = int(root)
+
+    @property
+    def num_chunks(self) -> int:
+        return self.chunks_per_npu
+
+    def precondition(self) -> ChunkOwnership:
+        chunks = self.all_chunks()
+        return {
+            npu: (chunks if npu == self.root else frozenset())
+            for npu in range(self.num_npus)
+        }
+
+    def postcondition(self) -> ChunkOwnership:
+        chunks = self.all_chunks()
+        return {npu: chunks for npu in range(self.num_npus)}
+
+    def chunk_size(self, collective_size: float) -> float:
+        """The broadcast buffer is split into ``chunks_per_npu`` chunks."""
+        return collective_size / self.chunks_per_npu
+
+    def __eq__(self, other: object) -> bool:
+        base = super().__eq__(other)
+        if base is NotImplemented or not base:
+            return base
+        return self.root == other.root  # type: ignore[attr-defined]
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.num_npus, self.chunks_per_npu, self.root))
+
+
+class Reduce(CollectivePattern):
+    """Reduce: every NPU's partial is summed into the root NPU.
+
+    TACOS synthesizes a Reduce by synthesizing the corresponding Broadcast on
+    the link-reversed topology and reversing it in time (Fig. 11).
+
+    Precondition: every NPU holds its partial copy of the chunk(s).
+    Postcondition: the root holds the reduced chunk(s).
+    """
+
+    name = "Reduce"
+    requires_reduction = True
+
+    def __init__(self, num_npus: int, chunks_per_npu: int = 1, root: int = 0) -> None:
+        super().__init__(num_npus, chunks_per_npu)
+        if not 0 <= root < num_npus:
+            raise CollectiveError(f"reduce root {root} out of range for {num_npus} NPUs")
+        self.root = int(root)
+
+    @property
+    def num_chunks(self) -> int:
+        return self.chunks_per_npu
+
+    def precondition(self) -> ChunkOwnership:
+        chunks = self.all_chunks()
+        return {npu: chunks for npu in range(self.num_npus)}
+
+    def postcondition(self) -> ChunkOwnership:
+        chunks = self.all_chunks()
+        return {
+            npu: (chunks if npu == self.root else frozenset())
+            for npu in range(self.num_npus)
+        }
+
+    def chunk_size(self, collective_size: float) -> float:
+        """The reduce buffer is split into ``chunks_per_npu`` chunks."""
+        return collective_size / self.chunks_per_npu
+
+    def non_reducing_dual(self) -> Optional[CollectivePattern]:
+        """The Broadcast whose time-reversal implements this Reduce."""
+        return Broadcast(self.num_npus, self.chunks_per_npu, root=self.root)
+
+    def __eq__(self, other: object) -> bool:
+        base = super().__eq__(other)
+        if base is NotImplemented or not base:
+            return base
+        return self.root == other.root  # type: ignore[attr-defined]
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.num_npus, self.chunks_per_npu, self.root))

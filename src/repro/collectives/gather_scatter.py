@@ -1,0 +1,144 @@
+"""Gather, Scatter, and All-to-All collective patterns.
+
+These patterns round out the collective library beyond what the paper's
+evaluation uses directly; they are expressible in exactly the same
+pre/postcondition formulation and are synthesized by the same machinery.
+"""
+
+from __future__ import annotations
+
+from repro.collectives.pattern import ChunkOwnership, CollectivePattern
+from repro.errors import CollectiveError
+
+__all__ = ["Gather", "Scatter", "AllToAll"]
+
+
+class Gather(CollectivePattern):
+    """Gather: every NPU's chunk(s) are collected at the root NPU."""
+
+    name = "Gather"
+    requires_reduction = False
+
+    def __init__(self, num_npus: int, chunks_per_npu: int = 1, root: int = 0) -> None:
+        super().__init__(num_npus, chunks_per_npu)
+        if not 0 <= root < num_npus:
+            raise CollectiveError(f"gather root {root} out of range for {num_npus} NPUs")
+        self.root = int(root)
+
+    @property
+    def num_chunks(self) -> int:
+        return self.num_npus * self.chunks_per_npu
+
+    def precondition(self) -> ChunkOwnership:
+        return {npu: self.owned_chunks(npu) for npu in range(self.num_npus)}
+
+    def postcondition(self) -> ChunkOwnership:
+        post = {npu: self.owned_chunks(npu) for npu in range(self.num_npus)}
+        post[self.root] = self.all_chunks()
+        return post
+
+    def chunk_size(self, collective_size: float) -> float:
+        """``collective_size`` is the fully gathered buffer at the root."""
+        return collective_size / (self.num_npus * self.chunks_per_npu)
+
+    def __eq__(self, other: object) -> bool:
+        base = super().__eq__(other)
+        if base is NotImplemented or not base:
+            return base
+        return self.root == other.root  # type: ignore[attr-defined]
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.num_npus, self.chunks_per_npu, self.root))
+
+
+class Scatter(CollectivePattern):
+    """Scatter: the root distributes a distinct chunk (set) to every NPU."""
+
+    name = "Scatter"
+    requires_reduction = False
+
+    def __init__(self, num_npus: int, chunks_per_npu: int = 1, root: int = 0) -> None:
+        super().__init__(num_npus, chunks_per_npu)
+        if not 0 <= root < num_npus:
+            raise CollectiveError(f"scatter root {root} out of range for {num_npus} NPUs")
+        self.root = int(root)
+
+    @property
+    def num_chunks(self) -> int:
+        return self.num_npus * self.chunks_per_npu
+
+    def precondition(self) -> ChunkOwnership:
+        pre = {npu: frozenset() for npu in range(self.num_npus)}
+        pre[self.root] = self.all_chunks()
+        return pre
+
+    def postcondition(self) -> ChunkOwnership:
+        post = {npu: self.owned_chunks(npu) for npu in range(self.num_npus)}
+        post[self.root] = post[self.root] | self.owned_chunks(self.root) | self.all_chunks()
+        # The root already holds everything; its postcondition only requires
+        # its own shard, but keeping the full set is equivalent because the
+        # precondition already satisfies it.
+        post[self.root] = self.all_chunks()
+        return post
+
+    def chunk_size(self, collective_size: float) -> float:
+        """``collective_size`` is the root's full buffer before scattering."""
+        return collective_size / (self.num_npus * self.chunks_per_npu)
+
+    def __eq__(self, other: object) -> bool:
+        base = super().__eq__(other)
+        if base is NotImplemented or not base:
+            return base
+        return self.root == other.root  # type: ignore[attr-defined]
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.num_npus, self.chunks_per_npu, self.root))
+
+
+class AllToAll(CollectivePattern):
+    """All-to-All: every NPU sends a distinct chunk to every other NPU.
+
+    Chunk ids are laid out as ``source * num_npus + dest`` (times
+    ``chunks_per_npu`` sub-chunks), so NPU ``i`` starts with the chunks whose
+    source is ``i`` and must end with the chunks whose destination is ``i``.
+    """
+
+    name = "AllToAll"
+    requires_reduction = False
+
+    @property
+    def num_chunks(self) -> int:
+        return self.num_npus * self.num_npus * self.chunks_per_npu
+
+    def _chunk_id(self, source: int, dest: int, sub: int) -> int:
+        return (source * self.num_npus + dest) * self.chunks_per_npu + sub
+
+    def precondition(self) -> ChunkOwnership:
+        pre = {}
+        for source in range(self.num_npus):
+            chunks = set()
+            for dest in range(self.num_npus):
+                for sub in range(self.chunks_per_npu):
+                    chunks.add(self._chunk_id(source, dest, sub))
+            pre[source] = frozenset(chunks)
+        return pre
+
+    def postcondition(self) -> ChunkOwnership:
+        post = {}
+        for dest in range(self.num_npus):
+            chunks = set()
+            for source in range(self.num_npus):
+                for sub in range(self.chunks_per_npu):
+                    chunks.add(self._chunk_id(source, dest, sub))
+            post[dest] = frozenset(chunks)
+        return post
+
+    def chunk_size(self, collective_size: float) -> float:
+        """``collective_size`` is the per-NPU send buffer."""
+        return collective_size / (self.num_npus * self.chunks_per_npu)
+
+    def chunk_owner(self, chunk: int) -> int:
+        """The NPU that originally holds ``chunk`` (its source)."""
+        if not 0 <= chunk < self.num_chunks:
+            raise CollectiveError(f"chunk {chunk} out of range for {self!r}")
+        return chunk // (self.num_npus * self.chunks_per_npu)

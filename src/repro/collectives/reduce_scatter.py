@@ -1,0 +1,42 @@
+"""Reduce-Scatter collective pattern."""
+
+from __future__ import annotations
+
+from repro.collectives.all_gather import AllGather
+from repro.collectives.pattern import ChunkOwnership, CollectivePattern
+
+__all__ = ["ReduceScatter"]
+
+
+class ReduceScatter(CollectivePattern):
+    """Reduce-Scatter: every NPU ends up with the sum of one buffer shard.
+
+    Precondition: every NPU holds a local copy of all chunks.
+    Postcondition: NPU ``i`` holds the (reduced) chunks of its own shard.
+
+    TACOS synthesizes this pattern by synthesizing an All-Gather on the
+    link-reversed topology and reversing the result in time (Fig. 11); the
+    :meth:`non_reducing_dual` method exposes that dual.
+    """
+
+    name = "ReduceScatter"
+    requires_reduction = True
+
+    @property
+    def num_chunks(self) -> int:
+        return self.num_npus * self.chunks_per_npu
+
+    def precondition(self) -> ChunkOwnership:
+        everything = self.all_chunks()
+        return {npu: everything for npu in range(self.num_npus)}
+
+    def postcondition(self) -> ChunkOwnership:
+        return {npu: self.owned_chunks(npu) for npu in range(self.num_npus)}
+
+    def chunk_size(self, collective_size: float) -> float:
+        """Each chunk is ``1 / (num_npus * chunks_per_npu)`` of the per-NPU buffer."""
+        return collective_size / (self.num_npus * self.chunks_per_npu)
+
+    def non_reducing_dual(self) -> CollectivePattern:
+        """The All-Gather whose time-reversal implements this Reduce-Scatter."""
+        return AllGather(self.num_npus, self.chunks_per_npu)

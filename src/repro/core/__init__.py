@@ -1,0 +1,19 @@
+"""TACOS core: synthesizer, matching algorithm, and algorithm representation."""
+
+from repro.core.algorithm import ChunkTransfer, CollectiveAlgorithm
+from repro.core.config import SynthesisConfig
+from repro.core.matching import MatchingState, run_matching_round
+from repro.core.synthesizer import SynthesisResult, TacosSynthesizer, synthesize
+from repro.core.verification import verify_algorithm
+
+__all__ = [
+    "ChunkTransfer",
+    "CollectiveAlgorithm",
+    "MatchingState",
+    "SynthesisConfig",
+    "SynthesisResult",
+    "TacosSynthesizer",
+    "run_matching_round",
+    "synthesize",
+    "verify_algorithm",
+]

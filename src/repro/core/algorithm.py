@@ -1,0 +1,268 @@
+"""Representation of a synthesized collective algorithm.
+
+A collective algorithm is the static path of every chunk through the network
+(Sec. II-B): a set of link-chunk matches, each occupying one physical link for
+one time span.  :class:`CollectiveAlgorithm` is the output of both the TACOS
+synthesizer and the baseline algorithm generators, and the input to the
+congestion-aware simulator and the analysis utilities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+__all__ = ["ChunkTransfer", "CollectiveAlgorithm"]
+
+#: Tolerance used when comparing floating-point times.
+_TIME_EPS = 1e-9
+
+
+@dataclass(frozen=True, order=True)
+class ChunkTransfer:
+    """One link-chunk match: ``chunk`` travels ``source -> dest`` over [start, end].
+
+    Attributes
+    ----------
+    start, end:
+        Transmission start and completion times in seconds.
+    chunk:
+        Chunk identifier (see the collective pattern for its meaning).
+    source, dest:
+        Endpoint NPUs of the physical link used.
+    """
+
+    start: float
+    end: float
+    chunk: int
+    source: int
+    dest: int
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(f"transfer ends before it starts: {self}")
+
+    @property
+    def link(self) -> Tuple[int, int]:
+        """The ``(source, dest)`` key of the physical link used."""
+        return (self.source, self.dest)
+
+    @property
+    def duration(self) -> float:
+        """Transmission time in seconds."""
+        return self.end - self.start
+
+
+@dataclass
+class CollectiveAlgorithm:
+    """A complete collective algorithm: every chunk's static path with timing.
+
+    Attributes
+    ----------
+    transfers:
+        All link-chunk matches, in no particular order.
+    num_npus:
+        Number of NPUs the algorithm spans.
+    chunk_size:
+        Size of each chunk in bytes.
+    collective_size:
+        Per-NPU collective buffer size in bytes.
+    pattern_name:
+        Name of the collective pattern (e.g. ``"AllGather"``).
+    topology_name:
+        Name of the topology the algorithm was synthesized for.
+    metadata:
+        Free-form extra information (e.g. the Reduce-Scatter/All-Gather phase
+        boundary of an All-Reduce, or the synthesizer trial that produced it).
+    """
+
+    transfers: List[ChunkTransfer]
+    num_npus: int
+    chunk_size: float
+    collective_size: float
+    pattern_name: str = "Collective"
+    topology_name: str = ""
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Timing
+    # ------------------------------------------------------------------
+    @property
+    def collective_time(self) -> float:
+        """Completion time of the last transfer (seconds); 0 for empty algorithms."""
+        if not self.transfers:
+            return 0.0
+        return max(transfer.end for transfer in self.transfers)
+
+    @property
+    def start_time(self) -> float:
+        """Start time of the earliest transfer (seconds)."""
+        if not self.transfers:
+            return 0.0
+        return min(transfer.start for transfer in self.transfers)
+
+    @property
+    def num_transfers(self) -> int:
+        """Total number of link-chunk matches."""
+        return len(self.transfers)
+
+    def algorithmic_bandwidth(self) -> float:
+        """Collective bandwidth (bytes/s) = collective size / collective time."""
+        duration = self.collective_time
+        if duration <= 0:
+            return float("inf")
+        return self.collective_size / duration
+
+    # ------------------------------------------------------------------
+    # Per-link views
+    # ------------------------------------------------------------------
+    def link_occupancy(self) -> Dict[Tuple[int, int], List[ChunkTransfer]]:
+        """Transfers grouped by physical link, sorted by start time."""
+        occupancy: Dict[Tuple[int, int], List[ChunkTransfer]] = {}
+        for transfer in self.transfers:
+            occupancy.setdefault(transfer.link, []).append(transfer)
+        for entries in occupancy.values():
+            entries.sort(key=lambda transfer: transfer.start)
+        return occupancy
+
+    def link_bytes(self) -> Dict[Tuple[int, int], float]:
+        """Total bytes sent over each link (the Fig. 1 heat-map quantity)."""
+        loads: Dict[Tuple[int, int], float] = {}
+        for transfer in self.transfers:
+            loads[transfer.link] = loads.get(transfer.link, 0.0) + self.chunk_size
+        return loads
+
+    def link_busy_time(self) -> Dict[Tuple[int, int], float]:
+        """Total busy time of each link in seconds."""
+        busy: Dict[Tuple[int, int], float] = {}
+        for transfer in self.transfers:
+            busy[transfer.link] = busy.get(transfer.link, 0.0) + transfer.duration
+        return busy
+
+    def chunk_paths(self) -> Dict[int, List[ChunkTransfer]]:
+        """Transfers grouped by chunk id, sorted by start time."""
+        paths: Dict[int, List[ChunkTransfer]] = {}
+        for transfer in self.transfers:
+            paths.setdefault(transfer.chunk, []).append(transfer)
+        for entries in paths.values():
+            entries.sort(key=lambda transfer: transfer.start)
+        return paths
+
+    def delivered_chunks(self, precondition: Mapping[int, Iterable[int]]) -> Dict[int, set]:
+        """Final chunk ownership implied by the transfers.
+
+        Starting from ``precondition`` (chunk sets per NPU), every transfer
+        adds its chunk to its destination's set.
+        """
+        holdings = {npu: set(chunks) for npu, chunks in precondition.items()}
+        for npu in range(self.num_npus):
+            holdings.setdefault(npu, set())
+        for transfer in sorted(self.transfers, key=lambda item: item.end):
+            holdings[transfer.dest].add(transfer.chunk)
+        return holdings
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def shifted(self, offset: float) -> "CollectiveAlgorithm":
+        """Return a copy with every transfer shifted later by ``offset`` seconds."""
+        moved = [
+            ChunkTransfer(
+                start=transfer.start + offset,
+                end=transfer.end + offset,
+                chunk=transfer.chunk,
+                source=transfer.source,
+                dest=transfer.dest,
+            )
+            for transfer in self.transfers
+        ]
+        return CollectiveAlgorithm(
+            transfers=moved,
+            num_npus=self.num_npus,
+            chunk_size=self.chunk_size,
+            collective_size=self.collective_size,
+            pattern_name=self.pattern_name,
+            topology_name=self.topology_name,
+            metadata=dict(self.metadata),
+        )
+
+    def reversed_in_time(self, duration: Optional[float] = None) -> "CollectiveAlgorithm":
+        """Time-reverse the algorithm and flip every transfer's direction.
+
+        This is the Fig. 11 transformation: an All-Gather synthesized on the
+        link-reversed topology, played backwards, is a Reduce-Scatter on the
+        original topology.  ``duration`` defaults to the collective time.
+        """
+        total = self.collective_time if duration is None else duration
+        reversed_transfers = [
+            ChunkTransfer(
+                start=total - transfer.end,
+                end=total - transfer.start,
+                chunk=transfer.chunk,
+                source=transfer.dest,
+                dest=transfer.source,
+            )
+            for transfer in self.transfers
+        ]
+        return CollectiveAlgorithm(
+            transfers=reversed_transfers,
+            num_npus=self.num_npus,
+            chunk_size=self.chunk_size,
+            collective_size=self.collective_size,
+            pattern_name=self.pattern_name,
+            topology_name=self.topology_name,
+            metadata=dict(self.metadata),
+        )
+
+    def concatenated(
+        self,
+        other: "CollectiveAlgorithm",
+        *,
+        pattern_name: Optional[str] = None,
+    ) -> "CollectiveAlgorithm":
+        """Append ``other`` after this algorithm in time (e.g. RS then AG).
+
+        ``other`` is shifted so it starts when this algorithm completes.  The
+        phase boundary is recorded in the result's metadata.
+        """
+        boundary = self.collective_time
+        shifted_other = other.shifted(boundary)
+        combined = list(self.transfers) + list(shifted_other.transfers)
+        metadata = dict(self.metadata)
+        metadata["phase_boundary"] = boundary
+        metadata["phase_names"] = (self.pattern_name, other.pattern_name)
+        return CollectiveAlgorithm(
+            transfers=combined,
+            num_npus=self.num_npus,
+            chunk_size=self.chunk_size,
+            collective_size=self.collective_size,
+            pattern_name=pattern_name or f"{self.pattern_name}+{other.pattern_name}",
+            topology_name=self.topology_name,
+            metadata=metadata,
+        )
+
+    # ------------------------------------------------------------------
+    # Structural checks (full semantic verification lives in core.verification)
+    # ------------------------------------------------------------------
+    def has_link_overlap(self) -> bool:
+        """Whether any link carries two chunks at overlapping times."""
+        for entries in self.link_occupancy().values():
+            for earlier, later in zip(entries, entries[1:]):
+                if later.start < earlier.end - _TIME_EPS:
+                    return True
+        return False
+
+    def summary(self) -> str:
+        """One-line human-readable description of the algorithm."""
+        return (
+            f"{self.pattern_name} on {self.topology_name}: "
+            f"{self.num_transfers} transfers, "
+            f"{self.collective_time * 1e6:.2f} us, "
+            f"{self.algorithmic_bandwidth() / 1e9:.2f} GB/s"
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"CollectiveAlgorithm(pattern={self.pattern_name!r}, topology={self.topology_name!r}, "
+            f"transfers={self.num_transfers}, time={self.collective_time:.3e}s)"
+        )

@@ -1,0 +1,58 @@
+"""Synthesis configuration for the TACOS synthesizer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import SynthesisError
+
+__all__ = ["SynthesisConfig"]
+
+
+@dataclass(frozen=True)
+class SynthesisConfig:
+    """Knobs controlling the randomized TACOS search.
+
+    Attributes
+    ----------
+    seed:
+        Base random seed.  Trial ``i`` uses ``seed + i`` so results are
+        reproducible while still exploring different random matchings.
+    trials:
+        Number of independent randomized synthesis runs; the algorithm with
+        the smallest collective time is kept (the artifact's randomized
+        search behaves the same way).
+    prefer_lowest_cost_links:
+        When several candidate links can serve a match, restrict the random
+        choice to the lowest-cost ones (Sec. IV-F, "Prioritizing Lower-cost
+        Links").  Only matters on heterogeneous topologies.
+    enable_forwarding:
+        Allow the matching round to additionally push a chunk one hop closer
+        to a destination that cannot yet be served directly.  This is a
+        superset of Alg. 1 needed for rooted/personalized collectives
+        (Gather, Scatter, All-to-All) where intermediate NPUs never request
+        the chunk themselves; it never fires for the paper's All-Gather /
+        Broadcast style patterns when a direct match exists.
+    max_rounds:
+        Safety bound on the number of time spans; exceeded only if synthesis
+        cannot make progress (e.g. disconnected topology).
+    """
+
+    seed: int = 0
+    trials: int = 1
+    prefer_lowest_cost_links: bool = True
+    enable_forwarding: bool = True
+    max_rounds: int = 1_000_000
+
+    def __post_init__(self) -> None:
+        if self.trials < 1:
+            raise SynthesisError(f"trials must be at least 1, got {self.trials}")
+        if self.max_rounds < 1:
+            raise SynthesisError(f"max_rounds must be at least 1, got {self.max_rounds}")
+
+    def trial_seed(self, trial: int) -> int:
+        """Seed used for the ``trial``-th randomized synthesis run."""
+        if not 0 <= trial < self.trials:
+            raise SynthesisError(f"trial {trial} out of range for {self.trials} trials")
+        return self.seed + trial

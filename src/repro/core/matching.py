@@ -1,0 +1,231 @@
+"""Network Utilization Maximizing Matching (Alg. 1 of the paper).
+
+Given the TEN state at one time span ``t``, the matching algorithm iterates
+over the *unsatisfied postconditions* — (destination NPU, chunk) pairs the
+destination still needs — in random order.  For each pair it backtracks the
+destination's idle incoming links, collects the candidate source NPUs that
+already hold the chunk, and randomly picks one (preferring the lowest-cost
+link on heterogeneous networks).  Each matched link is occupied for the whole
+span, so at most one chunk rides a link at a time and congestion never forms.
+
+An optional *forwarding* pass extends Alg. 1 for rooted and personalized
+collectives (Gather / Scatter / All-to-All): when a requested chunk is not yet
+adjacent to its destination, it is pushed one hop closer along an idle link.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.algorithm import ChunkTransfer
+from repro.ten.network import TimeExpandedNetwork
+
+__all__ = ["MatchingState", "run_matching_round"]
+
+#: Tolerance used when comparing floating-point times.
+_TIME_EPS = 1e-12
+
+
+class MatchingState:
+    """Mutable chunk-ownership state shared across matching rounds.
+
+    Attributes
+    ----------
+    holdings:
+        ``holdings[npu][chunk]`` is the time at which ``npu`` acquired
+        ``chunk`` (0.0 for precondition chunks).
+    unsatisfied:
+        The remaining (dest, chunk) postconditions.
+    """
+
+    def __init__(
+        self,
+        num_npus: int,
+        precondition: Dict[int, frozenset],
+        postcondition: Dict[int, frozenset],
+    ) -> None:
+        self.num_npus = num_npus
+        self.holdings: List[Dict[int, float]] = [dict() for _ in range(num_npus)]
+        for npu, chunks in precondition.items():
+            for chunk in chunks:
+                self.holdings[npu][chunk] = 0.0
+        self.unsatisfied: Set[Tuple[int, int]] = set()
+        for npu in range(num_npus):
+            needed = postcondition.get(npu, frozenset()) - precondition.get(npu, frozenset())
+            for chunk in needed:
+                self.unsatisfied.add((npu, chunk))
+
+    def holds(self, npu: int, chunk: int, time: float) -> bool:
+        """Whether ``npu`` holds ``chunk`` no later than ``time``."""
+        acquired = self.holdings[npu].get(chunk)
+        return acquired is not None and acquired <= time + _TIME_EPS
+
+    def acquisition_time(self, npu: int, chunk: int) -> Optional[float]:
+        """Time at which ``npu`` holds (or is scheduled to receive) ``chunk``, if any."""
+        return self.holdings[npu].get(chunk)
+
+    def will_hold(self, npu: int, chunk: int) -> bool:
+        """Whether ``npu`` holds or is already scheduled to receive ``chunk``."""
+        return chunk in self.holdings[npu]
+
+    def grant(self, npu: int, chunk: int, time: float) -> None:
+        """Record that ``npu`` acquires ``chunk`` at ``time``."""
+        existing = self.holdings[npu].get(chunk)
+        if existing is None or time < existing:
+            self.holdings[npu][chunk] = time
+        self.unsatisfied.discard((npu, chunk))
+
+    @property
+    def done(self) -> bool:
+        """Whether every postcondition has been satisfied or scheduled."""
+        return not self.unsatisfied
+
+
+def _cheaper_source_pending(
+    ten: TimeExpandedNetwork,
+    state: "MatchingState",
+    dest: int,
+    chunk: int,
+    candidates: Sequence[Tuple[int, int]],
+    cheap_regions: Optional[Dict[float, List[frozenset]]],
+) -> bool:
+    """Whether ``chunk`` can still reach ``dest`` over strictly cheaper links only.
+
+    This implements the lower-cost-link prioritization of Sec. IV-F for
+    heterogeneous networks: if the chunk is already held — or scheduled to be
+    received — by some NPU from which ``dest`` is reachable using only links
+    strictly cheaper than the best currently matchable candidate, the match is
+    deferred.  Burning a scarce high-cost (low-bandwidth) link on a chunk that
+    the cheap portion of the network can deliver shortly wastes exactly the
+    capacity that limits the collective.  On homogeneous topologies there is
+    no strictly cheaper tier, so this never defers.
+    """
+    if cheap_regions is None:
+        return False
+    best_available = min(ten.link_cost(link) for link in candidates)
+    region_by_dest = cheap_regions.get(best_available)
+    if region_by_dest is None:
+        return False
+    for holder in region_by_dest[dest]:
+        if state.acquisition_time(holder, chunk) is not None:
+            return True
+    return False
+
+
+def _pick_link(
+    candidates: Sequence[Tuple[int, int]],
+    ten: TimeExpandedNetwork,
+    rng: random.Random,
+    prefer_lowest_cost: bool,
+) -> Tuple[int, int]:
+    """Randomly select one candidate link, optionally restricted to the cheapest."""
+    if prefer_lowest_cost and len(candidates) > 1:
+        best = min(ten.link_cost(key) for key in candidates)
+        cheapest = [key for key in candidates if ten.link_cost(key) <= best + _TIME_EPS]
+        return rng.choice(cheapest)
+    return rng.choice(list(candidates))
+
+
+def run_matching_round(
+    ten: TimeExpandedNetwork,
+    state: MatchingState,
+    time: float,
+    rng: random.Random,
+    *,
+    prefer_lowest_cost: bool = True,
+    enable_forwarding: bool = True,
+    hop_distances: Optional[List[List[int]]] = None,
+    cheap_regions: Optional[Dict[float, List[frozenset]]] = None,
+) -> List[ChunkTransfer]:
+    """Run Alg. 1 for one time span; return the link-chunk matches created.
+
+    Parameters
+    ----------
+    ten:
+        The time-expanded network state (mutated: matched links are occupied).
+    state:
+        Chunk ownership state (mutated: destinations are granted chunks at
+        their arrival times).
+    time:
+        The current time span ``t``.
+    rng:
+        Random source driving the shuffles and tie-breaking choices.
+    prefer_lowest_cost:
+        Restrict random link choice to the cheapest candidates (Sec. IV-F).
+    enable_forwarding:
+        Run the forwarding pass for postconditions that could not be matched
+        directly (needed only for rooted/personalized collectives).
+    hop_distances:
+        ``hop_distances[a][b]`` = hop distance from ``a`` to ``b``; required
+        when ``enable_forwarding`` is True (used to push chunks strictly
+        closer to their destination and guarantee progress).
+    cheap_regions:
+        For heterogeneous topologies: ``cheap_regions[cost][dest]`` is the set
+        of NPUs that can reach ``dest`` using only links strictly cheaper than
+        ``cost``.  Used by the lower-cost-link prioritization to avoid
+        redundant transfers over scarce expensive links; ``None`` disables the
+        deferral (homogeneous topologies need none).
+    """
+    transfers: List[ChunkTransfer] = []
+
+    # ------------------------------------------------------------------
+    # Pass 1 — Alg. 1: direct matches onto destinations that request a chunk.
+    # ------------------------------------------------------------------
+    pending = list(state.unsatisfied)
+    rng.shuffle(pending)
+    deferred: List[Tuple[int, int]] = []
+    for dest, chunk in pending:
+        if (dest, chunk) not in state.unsatisfied:
+            continue  # satisfied earlier in this round
+        idle_links = ten.idle_in_links(dest, time)
+        candidates = [
+            (source, dest)
+            for source, dest_ in idle_links
+            if state.holds(source, chunk, time)
+        ]
+        if not candidates:
+            deferred.append((dest, chunk))
+            continue
+        if prefer_lowest_cost and _cheaper_source_pending(
+            ten, state, dest, chunk, candidates, cheap_regions
+        ):
+            # Lower-cost-link prioritization (Sec. IV-F): a strictly cheaper
+            # incoming link will be able to supply this chunk soon (its source
+            # is already scheduled to receive it), so do not burn an expensive
+            # link on it now.  On homogeneous topologies this never triggers.
+            continue
+        link = _pick_link(candidates, ten, rng, prefer_lowest_cost)
+        end = ten.occupy(link, time)
+        state.grant(dest, chunk, end)
+        transfers.append(
+            ChunkTransfer(start=time, end=end, chunk=chunk, source=link[0], dest=link[1])
+        )
+
+    # ------------------------------------------------------------------
+    # Pass 2 — forwarding: push still-unserved chunks one hop closer.
+    # ------------------------------------------------------------------
+    if enable_forwarding and deferred and hop_distances is not None:
+        rng.shuffle(deferred)
+        for dest, chunk in deferred:
+            if (dest, chunk) not in state.unsatisfied:
+                continue
+            candidates = []
+            for holder in range(state.num_npus):
+                if not state.holds(holder, chunk, time):
+                    continue
+                for _, neighbour in ten.idle_out_links(holder, time):
+                    if state.will_hold(neighbour, chunk):
+                        continue
+                    if hop_distances[neighbour][dest] < hop_distances[holder][dest]:
+                        candidates.append((holder, neighbour))
+            if not candidates:
+                continue
+            link = _pick_link(candidates, ten, rng, prefer_lowest_cost)
+            end = ten.occupy(link, time)
+            state.grant(link[1], chunk, end)
+            transfers.append(
+                ChunkTransfer(start=time, end=end, chunk=chunk, source=link[0], dest=link[1])
+            )
+
+    return transfers

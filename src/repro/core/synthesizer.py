@@ -1,0 +1,332 @@
+"""TACOS end-to-end collective algorithm synthesis (Alg. 2 of the paper).
+
+The synthesizer starts from the TEN at ``t = 0``, runs the utilization
+maximizing matching algorithm for the current time span, expands the TEN to
+the next time span, and repeats until every postcondition is satisfied.
+Reduction collectives are handled by reversal (Fig. 11): a Reduce-Scatter is
+synthesized as an All-Gather over the link-reversed topology and reversed in
+time; an All-Reduce is a Reduce-Scatter followed by an All-Gather.
+"""
+
+from __future__ import annotations
+
+import random
+import time as _time
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.collectives.all_reduce import AllReduce
+from repro.collectives.pattern import CollectivePattern
+from repro.core.algorithm import CollectiveAlgorithm
+from repro.core.config import SynthesisConfig
+from repro.core.matching import MatchingState, run_matching_round
+from repro.errors import SynthesisError
+from repro.ten.network import TimeExpandedNetwork
+from repro.topology.topology import Topology
+
+__all__ = ["SynthesisResult", "TacosSynthesizer", "synthesize"]
+
+
+@dataclass
+class SynthesisResult:
+    """Outcome of a synthesis call.
+
+    Attributes
+    ----------
+    algorithm:
+        The best collective algorithm found across all trials.
+    wall_clock_seconds:
+        Total synthesis time across all trials (the Fig. 19 / Table V metric).
+    trials:
+        Number of randomized trials that were run.
+    rounds:
+        Number of TEN time spans processed by the winning trial (0 when the
+        algorithm was composed from sub-syntheses, e.g. All-Reduce).
+    """
+
+    algorithm: CollectiveAlgorithm
+    wall_clock_seconds: float
+    trials: int
+    rounds: int = 0
+
+
+class TacosSynthesizer:
+    """Autonomous topology-aware collective algorithm synthesizer.
+
+    Parameters
+    ----------
+    config:
+        Search configuration; defaults to a single deterministic trial with
+        lowest-cost-link prioritization enabled.
+
+    Examples
+    --------
+    >>> from repro.topology import build_ring
+    >>> from repro.collectives import AllGather
+    >>> synthesizer = TacosSynthesizer()
+    >>> algorithm = synthesizer.synthesize(build_ring(4), AllGather(4), collective_size=4e6)
+    >>> algorithm.num_transfers > 0
+    True
+    """
+
+    def __init__(self, config: Optional[SynthesisConfig] = None) -> None:
+        self.config = config or SynthesisConfig()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def synthesize(
+        self,
+        topology: Topology,
+        pattern: CollectivePattern,
+        collective_size: float,
+    ) -> CollectiveAlgorithm:
+        """Synthesize a collective algorithm; convenience wrapper returning only the algorithm."""
+        return self.synthesize_with_stats(topology, pattern, collective_size).algorithm
+
+    def synthesize_with_stats(
+        self,
+        topology: Topology,
+        pattern: CollectivePattern,
+        collective_size: float,
+    ) -> SynthesisResult:
+        """Synthesize a collective algorithm and report synthesis statistics."""
+        if collective_size <= 0:
+            raise SynthesisError(f"collective size must be positive, got {collective_size}")
+        if pattern.num_npus != topology.num_npus:
+            raise SynthesisError(
+                f"pattern spans {pattern.num_npus} NPUs but topology {topology.name} has {topology.num_npus}"
+            )
+        started = _time.perf_counter()
+
+        if isinstance(pattern, AllReduce):
+            result = self._synthesize_all_reduce(topology, pattern, collective_size)
+        elif pattern.requires_reduction:
+            result = self._synthesize_by_reversal(topology, pattern, collective_size)
+        else:
+            result = self._synthesize_direct(topology, pattern, collective_size)
+
+        result.wall_clock_seconds = _time.perf_counter() - started
+        return result
+
+    # ------------------------------------------------------------------
+    # Pattern dispatch
+    # ------------------------------------------------------------------
+    def _synthesize_all_reduce(
+        self,
+        topology: Topology,
+        pattern: AllReduce,
+        collective_size: float,
+    ) -> SynthesisResult:
+        """All-Reduce = Reduce-Scatter followed by All-Gather (Sec. IV-E)."""
+        reduce_scatter = self._synthesize_by_reversal(
+            topology, pattern.reduce_scatter_phase(), collective_size
+        )
+        all_gather = self._synthesize_direct(
+            topology, pattern.all_gather_phase(), collective_size
+        )
+        combined = reduce_scatter.algorithm.concatenated(
+            all_gather.algorithm, pattern_name=pattern.name
+        )
+        combined.topology_name = topology.name
+        combined.metadata["reduce_scatter_time"] = reduce_scatter.algorithm.collective_time
+        combined.metadata["all_gather_time"] = all_gather.algorithm.collective_time
+        return SynthesisResult(
+            algorithm=combined,
+            wall_clock_seconds=0.0,
+            trials=self.config.trials,
+            rounds=reduce_scatter.rounds + all_gather.rounds,
+        )
+
+    def _synthesize_by_reversal(
+        self,
+        topology: Topology,
+        pattern: CollectivePattern,
+        collective_size: float,
+    ) -> SynthesisResult:
+        """Synthesize a reduction collective via its non-reducing dual (Fig. 11)."""
+        dual = pattern.non_reducing_dual()
+        if dual is None:
+            raise SynthesisError(
+                f"{pattern.name} requires reduction but provides no non-reducing dual"
+            )
+        reversed_topology = topology.reversed()
+        dual_result = self._synthesize_direct(reversed_topology, dual, collective_size)
+        reversed_algorithm = dual_result.algorithm.reversed_in_time()
+        reversed_algorithm.pattern_name = pattern.name
+        reversed_algorithm.topology_name = topology.name
+        reversed_algorithm.metadata["synthesized_via"] = f"reversal of {dual.name}"
+        return SynthesisResult(
+            algorithm=reversed_algorithm,
+            wall_clock_seconds=0.0,
+            trials=dual_result.trials,
+            rounds=dual_result.rounds,
+        )
+
+    # ------------------------------------------------------------------
+    # Direct synthesis (non-reducing patterns)
+    # ------------------------------------------------------------------
+    def _synthesize_direct(
+        self,
+        topology: Topology,
+        pattern: CollectivePattern,
+        collective_size: float,
+    ) -> SynthesisResult:
+        """Run the randomized search directly on ``pattern`` and keep the best trial."""
+        best_algorithm: Optional[CollectiveAlgorithm] = None
+        best_rounds = 0
+        for trial in range(self.config.trials):
+            algorithm, rounds = self._run_trial(
+                topology, pattern, collective_size, seed=self.config.trial_seed(trial)
+            )
+            if best_algorithm is None or algorithm.collective_time < best_algorithm.collective_time:
+                best_algorithm = algorithm
+                best_rounds = rounds
+        assert best_algorithm is not None  # trials >= 1 guaranteed by SynthesisConfig
+        return SynthesisResult(
+            algorithm=best_algorithm,
+            wall_clock_seconds=0.0,
+            trials=self.config.trials,
+            rounds=best_rounds,
+        )
+
+    def _run_trial(
+        self,
+        topology: Topology,
+        pattern: CollectivePattern,
+        collective_size: float,
+        seed: int,
+    ) -> tuple:
+        """One randomized synthesis run (Alg. 2): returns (algorithm, rounds)."""
+        chunk_size = pattern.chunk_size(collective_size)
+        ten = TimeExpandedNetwork(topology, chunk_size)
+        state = MatchingState(
+            topology.num_npus, pattern.precondition(), pattern.postcondition()
+        )
+        rng = random.Random(seed)
+
+        hop_distances = None
+        if self.config.enable_forwarding and self._needs_forwarding(pattern):
+            hop_distances = _all_pairs_hop_distances(topology)
+
+        cheap_regions = None
+        if self.config.prefer_lowest_cost_links and not topology.is_homogeneous():
+            cheap_regions = _cheaper_reachability_regions(topology, chunk_size)
+
+        transfers = []
+        current_time = 0.0
+        rounds = 0
+        while not state.done:
+            rounds += 1
+            if rounds > self.config.max_rounds:
+                raise SynthesisError(
+                    f"synthesis of {pattern.name} on {topology.name} exceeded "
+                    f"{self.config.max_rounds} time spans"
+                )
+            new_transfers = run_matching_round(
+                ten,
+                state,
+                current_time,
+                rng,
+                prefer_lowest_cost=self.config.prefer_lowest_cost_links,
+                enable_forwarding=hop_distances is not None,
+                hop_distances=hop_distances,
+                cheap_regions=cheap_regions,
+            )
+            transfers.extend(new_transfers)
+            if state.done:
+                break
+            next_time = ten.next_event_after(current_time)
+            if next_time is None:
+                raise SynthesisError(
+                    f"synthesis of {pattern.name} on {topology.name} stalled at t={current_time:.3e}s; "
+                    "is the topology strongly connected?"
+                )
+            current_time = next_time
+
+        algorithm = CollectiveAlgorithm(
+            transfers=transfers,
+            num_npus=topology.num_npus,
+            chunk_size=chunk_size,
+            collective_size=float(collective_size),
+            pattern_name=pattern.name,
+            topology_name=topology.name,
+            metadata={"seed": seed, "rounds": rounds},
+        )
+        return algorithm, rounds
+
+    @staticmethod
+    def _needs_forwarding(pattern: CollectivePattern) -> bool:
+        """Whether some chunk must traverse NPUs that never request it.
+
+        This is the case exactly when a chunk is absent from some NPU's
+        postcondition — then that NPU can only ever act as a relay, which the
+        plain Alg. 1 matching never schedules.
+        """
+        post = pattern.postcondition()
+        all_chunks = pattern.all_chunks()
+        return any(post.get(npu, frozenset()) != all_chunks for npu in range(pattern.num_npus))
+
+
+def _cheaper_reachability_regions(topology: Topology, chunk_size: float):
+    """Per link-cost tier, the NPUs that can reach each destination over cheaper links only.
+
+    Returns ``{cost: regions}`` where ``regions[dest]`` is a frozenset of NPUs
+    from which ``dest`` is reachable using only links whose one-chunk cost is
+    strictly below ``cost``.  Used by the matching algorithm's lower-cost-link
+    prioritization on heterogeneous topologies.
+    """
+    from collections import deque
+
+    costs = sorted({link.cost(chunk_size) for link in topology.links()})
+    regions = {}
+    for cost in costs[1:]:  # the cheapest tier has no strictly cheaper links
+        cheaper_in: List[List[int]] = [[] for _ in range(topology.num_npus)]
+        for link in topology.links():
+            if link.cost(chunk_size) < cost - 1e-15:
+                cheaper_in[link.dest].append(link.source)
+        per_dest = []
+        for dest in topology.npus:
+            reachable = {dest}
+            queue = deque([dest])
+            while queue:
+                node = queue.popleft()
+                for predecessor in cheaper_in[node]:
+                    if predecessor not in reachable:
+                        reachable.add(predecessor)
+                        queue.append(predecessor)
+            reachable.discard(dest)
+            per_dest.append(frozenset(reachable))
+        regions[cost] = per_dest
+    return regions
+
+
+def _all_pairs_hop_distances(topology: Topology) -> List[List[int]]:
+    """Hop distances between every NPU pair via per-source BFS."""
+    from collections import deque
+
+    size = topology.num_npus
+    unreachable = size + 1
+    distances = [[unreachable] * size for _ in range(size)]
+    for source in range(size):
+        row = distances[source]
+        row[source] = 0
+        queue = deque([source])
+        while queue:
+            node = queue.popleft()
+            for neighbour in topology.out_neighbors(node):
+                if row[neighbour] == unreachable:
+                    row[neighbour] = row[node] + 1
+                    queue.append(neighbour)
+    return distances
+
+
+def synthesize(
+    topology: Topology,
+    pattern: CollectivePattern,
+    collective_size: float,
+    *,
+    config: Optional[SynthesisConfig] = None,
+) -> CollectiveAlgorithm:
+    """Module-level convenience wrapper around :class:`TacosSynthesizer`."""
+    return TacosSynthesizer(config).synthesize(topology, pattern, collective_size)

@@ -1,0 +1,249 @@
+"""Semantic verification of collective algorithms.
+
+A synthesized (or hand-written) :class:`~repro.core.algorithm.CollectiveAlgorithm`
+is checked against the physical topology and the collective pattern's
+contract:
+
+* every transfer rides an existing physical link and takes exactly the
+  alpha-beta time of one chunk on that link;
+* no link carries two chunks at overlapping times (congestion-freedom);
+* non-reducing collectives respect *forward causality* — a chunk leaves an NPU
+  only after the NPU holds it — and deliver every postcondition chunk;
+* reduction collectives respect *reduction causality* — an NPU forwards its
+  partial of a chunk only after every partial routed through it has arrived —
+  and every NPU's contribution reaches the chunk's final owner exactly once.
+
+All checks raise :class:`~repro.errors.VerificationError` with a descriptive
+message; :func:`verify_algorithm` returns ``True`` on success so it can be
+used directly in assertions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.collectives.all_reduce import AllReduce
+from repro.collectives.pattern import CollectivePattern
+from repro.core.algorithm import ChunkTransfer, CollectiveAlgorithm
+from repro.errors import VerificationError
+from repro.topology.topology import Topology
+
+__all__ = ["verify_algorithm"]
+
+#: Tolerance used when comparing floating-point times.
+_TIME_EPS = 1e-9
+
+
+def verify_algorithm(
+    algorithm: CollectiveAlgorithm,
+    topology: Topology,
+    pattern: CollectivePattern,
+    *,
+    check_link_timing: bool = True,
+) -> bool:
+    """Verify ``algorithm`` implements ``pattern`` on ``topology``.
+
+    Parameters
+    ----------
+    check_link_timing:
+        When True, every transfer's duration must equal the alpha-beta cost of
+        one chunk on its link.  Disable for schedules produced by simulation
+        (where queueing delays stretch transfer windows).
+    """
+    _check_links(algorithm, topology, check_link_timing)
+    _check_no_link_overlap(algorithm)
+
+    if isinstance(pattern, AllReduce):
+        _verify_all_reduce(algorithm, pattern)
+    elif pattern.requires_reduction:
+        _verify_reduction(algorithm, pattern)
+    else:
+        _verify_non_reducing(algorithm, pattern)
+    return True
+
+
+# ----------------------------------------------------------------------
+# Structural checks
+# ----------------------------------------------------------------------
+def _check_links(
+    algorithm: CollectiveAlgorithm, topology: Topology, check_link_timing: bool
+) -> None:
+    for transfer in algorithm.transfers:
+        if not topology.has_link(transfer.source, transfer.dest):
+            raise VerificationError(
+                f"transfer {transfer} uses a nonexistent link on {topology.name}"
+            )
+        if check_link_timing:
+            expected = topology.link(transfer.source, transfer.dest).cost(algorithm.chunk_size)
+            if abs(transfer.duration - expected) > max(_TIME_EPS, expected * 1e-6):
+                raise VerificationError(
+                    f"transfer {transfer} takes {transfer.duration:.3e}s but the link cost is {expected:.3e}s"
+                )
+
+
+def _check_no_link_overlap(algorithm: CollectiveAlgorithm) -> None:
+    for link, entries in algorithm.link_occupancy().items():
+        for earlier, later in zip(entries, entries[1:]):
+            if later.start < earlier.end - _TIME_EPS:
+                raise VerificationError(
+                    f"link {link} carries two chunks at overlapping times: {earlier} and {later}"
+                )
+
+
+# ----------------------------------------------------------------------
+# Non-reducing collectives (All-Gather, Broadcast, Gather, Scatter, All-to-All)
+# ----------------------------------------------------------------------
+def _verify_non_reducing(algorithm: CollectiveAlgorithm, pattern: CollectivePattern) -> None:
+    precondition = pattern.precondition()
+    _check_forward_causality(algorithm.transfers, precondition)
+    _check_postcondition(algorithm, pattern)
+
+
+def _check_forward_causality(
+    transfers: List[ChunkTransfer], precondition: Dict[int, frozenset]
+) -> None:
+    arrival: Dict[Tuple[int, int], float] = {}
+    for npu, chunks in precondition.items():
+        for chunk in chunks:
+            arrival[(npu, chunk)] = 0.0
+    for transfer in sorted(transfers, key=lambda item: (item.start, item.end)):
+        key = (transfer.source, transfer.chunk)
+        if key not in arrival or arrival[key] > transfer.start + _TIME_EPS:
+            raise VerificationError(
+                f"forward causality violated: {transfer.source} sends chunk {transfer.chunk} "
+                f"at {transfer.start:.3e}s before holding it"
+            )
+        dest_key = (transfer.dest, transfer.chunk)
+        arrival[dest_key] = min(arrival.get(dest_key, float("inf")), transfer.end)
+
+
+def _check_postcondition(algorithm: CollectiveAlgorithm, pattern: CollectivePattern) -> None:
+    final = algorithm.delivered_chunks(pattern.precondition())
+    for npu, required in pattern.postcondition().items():
+        missing = set(required) - final.get(npu, set())
+        if missing:
+            raise VerificationError(
+                f"NPU {npu} is missing chunks {sorted(missing)} at the end of {algorithm.pattern_name}"
+            )
+
+
+# ----------------------------------------------------------------------
+# Reduction collectives (Reduce-Scatter, Reduce)
+# ----------------------------------------------------------------------
+def _verify_reduction(algorithm: CollectiveAlgorithm, pattern: CollectivePattern) -> None:
+    _check_reduction_causality(algorithm.transfers)
+    _check_reduction_coverage(algorithm, pattern)
+
+
+def _check_reduction_causality(transfers: List[ChunkTransfer]) -> None:
+    """Every transfer of a chunk out of an NPU starts after all of that chunk's inbound transfers end."""
+    inbound: Dict[Tuple[int, int], List[ChunkTransfer]] = {}
+    for transfer in transfers:
+        inbound.setdefault((transfer.dest, transfer.chunk), []).append(transfer)
+    for transfer in transfers:
+        for incoming in inbound.get((transfer.source, transfer.chunk), []):
+            if incoming.end > transfer.start + _TIME_EPS:
+                raise VerificationError(
+                    f"reduction causality violated: {transfer.source} forwards chunk {transfer.chunk} "
+                    f"at {transfer.start:.3e}s before the partial from {incoming.source} arrives "
+                    f"at {incoming.end:.3e}s"
+                )
+
+
+def _check_reduction_coverage(
+    algorithm: CollectiveAlgorithm, pattern: CollectivePattern
+) -> None:
+    """Every NPU's partial of every chunk reaches the chunk's final owner exactly once."""
+    postcondition = pattern.postcondition()
+    owners: Dict[int, Set[int]] = {}
+    for npu, chunks in postcondition.items():
+        for chunk in chunks:
+            owners.setdefault(chunk, set()).add(npu)
+
+    by_chunk: Dict[int, List[ChunkTransfer]] = {}
+    for transfer in algorithm.transfers:
+        by_chunk.setdefault(transfer.chunk, []).append(transfer)
+
+    for chunk, chunk_owners in owners.items():
+        if len(chunk_owners) != 1:
+            raise VerificationError(
+                f"reduction chunk {chunk} has {len(chunk_owners)} final owners; expected exactly one"
+            )
+        owner = next(iter(chunk_owners))
+        transfers = by_chunk.get(chunk, [])
+
+        sends_per_npu: Dict[int, int] = {}
+        for transfer in transfers:
+            sends_per_npu[transfer.source] = sends_per_npu.get(transfer.source, 0) + 1
+        for npu in range(pattern.num_npus):
+            expected = 0 if npu == owner else 1
+            actual = sends_per_npu.get(npu, 0)
+            if actual != expected:
+                raise VerificationError(
+                    f"NPU {npu} sends its partial of chunk {chunk} {actual} times; expected {expected}"
+                )
+
+        # Walk the contribution tree backwards from the owner.
+        reached = {owner}
+        frontier = [owner]
+        inbound: Dict[int, List[ChunkTransfer]] = {}
+        for transfer in transfers:
+            inbound.setdefault(transfer.dest, []).append(transfer)
+        while frontier:
+            node = frontier.pop()
+            for transfer in inbound.get(node, []):
+                if transfer.source not in reached:
+                    reached.add(transfer.source)
+                    frontier.append(transfer.source)
+        missing = set(range(pattern.num_npus)) - reached
+        if missing:
+            raise VerificationError(
+                f"partials of chunk {chunk} from NPUs {sorted(missing)} never reach owner {owner}"
+            )
+
+
+# ----------------------------------------------------------------------
+# All-Reduce (Reduce-Scatter phase + All-Gather phase)
+# ----------------------------------------------------------------------
+def _verify_all_reduce(algorithm: CollectiveAlgorithm, pattern: AllReduce) -> None:
+    boundary = algorithm.metadata.get("phase_boundary")
+    if boundary is None:
+        raise VerificationError(
+            "All-Reduce algorithm lacks the phase_boundary metadata required for verification"
+        )
+    reduce_scatter_transfers = [
+        transfer for transfer in algorithm.transfers if transfer.end <= boundary + _TIME_EPS
+    ]
+    all_gather_transfers = [
+        transfer for transfer in algorithm.transfers if transfer.end > boundary + _TIME_EPS
+    ]
+
+    reduce_scatter = CollectiveAlgorithm(
+        transfers=reduce_scatter_transfers,
+        num_npus=algorithm.num_npus,
+        chunk_size=algorithm.chunk_size,
+        collective_size=algorithm.collective_size,
+        pattern_name="ReduceScatter",
+        topology_name=algorithm.topology_name,
+    )
+    _verify_reduction(reduce_scatter, pattern.reduce_scatter_phase())
+
+    shifted_back = [
+        ChunkTransfer(
+            start=transfer.start - boundary,
+            end=transfer.end - boundary,
+            chunk=transfer.chunk,
+            source=transfer.source,
+            dest=transfer.dest,
+        )
+        for transfer in all_gather_transfers
+    ]
+    all_gather = CollectiveAlgorithm(
+        transfers=shifted_back,
+        num_npus=algorithm.num_npus,
+        chunk_size=algorithm.chunk_size,
+        collective_size=algorithm.collective_size,
+        pattern_name="AllGather",
+        topology_name=algorithm.topology_name,
+    )
+    _verify_non_reducing(all_gather, pattern.all_gather_phase())

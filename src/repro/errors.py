@@ -1,0 +1,47 @@
+"""Exception hierarchy for the TACOS reproduction library.
+
+All errors raised by the library derive from :class:`ReproError`, so callers
+can catch library-level problems with a single ``except`` clause while still
+being able to distinguish configuration problems from synthesis or simulation
+failures.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "TopologyError",
+    "CollectiveError",
+    "SynthesisError",
+    "SimulationError",
+    "WorkloadError",
+    "VerificationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class TopologyError(ReproError):
+    """Raised when a topology is malformed or a builder receives bad input."""
+
+
+class CollectiveError(ReproError):
+    """Raised when a collective pattern is configured inconsistently."""
+
+
+class SynthesisError(ReproError):
+    """Raised when collective-algorithm synthesis cannot make progress."""
+
+
+class SimulationError(ReproError):
+    """Raised when the network simulator receives an unroutable workload."""
+
+
+class WorkloadError(ReproError):
+    """Raised when a training workload description is invalid."""
+
+
+class VerificationError(ReproError):
+    """Raised when a synthesized algorithm violates a collective contract."""

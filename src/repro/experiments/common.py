@@ -1,0 +1,179 @@
+"""Shared helpers for the paper-reproduction experiments.
+
+Every ``figXX_*`` / ``tableXX_*`` module builds its workload with these
+helpers so that algorithms are always compared the same way:
+
+* baselines are generated as logical schedules and timed by the
+  congestion-aware simulator;
+* TACOS algorithms are synthesized, verified, and timed by the same
+  simulator;
+* the ideal bound comes from :mod:`repro.analysis.ideal`.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.analysis.bandwidth import collective_bandwidth_gbps
+from repro.analysis.ideal import ideal_all_reduce_bandwidth, ideal_all_reduce_time
+from repro.baselines.registry import build_baseline_all_reduce
+from repro.baselines.taccl_like import TacclLikeSynthesizer
+from repro.collectives.all_reduce import AllReduce
+from repro.core.config import SynthesisConfig
+from repro.core.synthesizer import TacosSynthesizer
+from repro.errors import ReproError
+from repro.simulator.adapters import simulate_algorithm, simulate_schedule
+from repro.simulator.result import SimulationResult
+from repro.topology.link import GIGABYTE
+from repro.topology.topology import Topology
+
+__all__ = [
+    "Measurement",
+    "measure_baseline_all_reduce",
+    "measure_tacos_all_reduce",
+    "measure_taccl_like_all_reduce",
+    "ideal_all_reduce_measurement",
+    "format_table",
+]
+
+
+@dataclass
+class Measurement:
+    """One (algorithm, topology, collective size) data point.
+
+    Attributes
+    ----------
+    algorithm:
+        Algorithm label (e.g. ``"Ring"``, ``"TACOS"``, ``"Ideal"``).
+    topology:
+        Topology name.
+    collective_size:
+        Per-NPU collective size in bytes.
+    collective_time:
+        Simulated (or bound) collective completion time in seconds.
+    bandwidth_gbps:
+        Collective bandwidth in GB/s.
+    synthesis_seconds:
+        Synthesis wall-clock time, when the algorithm was synthesized.
+    extras:
+        Additional metrics (e.g. average link utilization).
+    """
+
+    algorithm: str
+    topology: str
+    collective_size: float
+    collective_time: float
+    bandwidth_gbps: float
+    synthesis_seconds: Optional[float] = None
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    def efficiency_vs(self, ideal_bandwidth_gbps: float) -> float:
+        """Fraction of the ideal bandwidth achieved."""
+        if ideal_bandwidth_gbps <= 0:
+            raise ReproError("ideal bandwidth must be positive")
+        return self.bandwidth_gbps / ideal_bandwidth_gbps
+
+
+def _measurement_from_result(
+    label: str,
+    topology: Topology,
+    collective_size: float,
+    result: SimulationResult,
+    synthesis_seconds: Optional[float] = None,
+) -> Measurement:
+    return Measurement(
+        algorithm=label,
+        topology=topology.name,
+        collective_size=collective_size,
+        collective_time=result.completion_time,
+        bandwidth_gbps=collective_bandwidth_gbps(result),
+        synthesis_seconds=synthesis_seconds,
+        extras={"avg_link_utilization": result.average_link_utilization()},
+    )
+
+
+def measure_baseline_all_reduce(
+    name: str,
+    topology: Topology,
+    collective_size: float,
+    *,
+    chunks_per_npu: int = 1,
+) -> Measurement:
+    """Simulate one of the registered baseline All-Reduce algorithms."""
+    schedule = build_baseline_all_reduce(
+        name, topology, collective_size, chunks_per_npu=chunks_per_npu
+    )
+    result = simulate_schedule(topology, schedule)
+    return _measurement_from_result(name, topology, collective_size, result)
+
+
+def measure_tacos_all_reduce(
+    topology: Topology,
+    collective_size: float,
+    *,
+    chunks_per_npu: int = 1,
+    config: Optional[SynthesisConfig] = None,
+    label: str = "TACOS",
+) -> Measurement:
+    """Synthesize an All-Reduce with TACOS and simulate it."""
+    synthesizer = TacosSynthesizer(config)
+    pattern = AllReduce(topology.num_npus, chunks_per_npu)
+    stats = synthesizer.synthesize_with_stats(topology, pattern, collective_size)
+    result = simulate_algorithm(topology, stats.algorithm)
+    return _measurement_from_result(
+        label, topology, collective_size, result, synthesis_seconds=stats.wall_clock_seconds
+    )
+
+
+def measure_taccl_like_all_reduce(
+    topology: Topology,
+    collective_size: float,
+    *,
+    chunks_per_npu: int = 1,
+    restarts: int = 10,
+    label: str = "TACCL-like",
+) -> Measurement:
+    """Synthesize an All-Reduce with the TACCL-like baseline and simulate it."""
+    synthesizer = TacclLikeSynthesizer(restarts=restarts)
+    result = synthesizer.synthesize_all_reduce(
+        topology, collective_size, chunks_per_npu=chunks_per_npu
+    )
+    simulated = simulate_schedule(topology, result.schedule)
+    return _measurement_from_result(
+        label, topology, collective_size, simulated, synthesis_seconds=result.wall_clock_seconds
+    )
+
+
+def ideal_all_reduce_measurement(topology: Topology, collective_size: float) -> Measurement:
+    """Theoretical ideal All-Reduce bound as a measurement row."""
+    duration = ideal_all_reduce_time(topology, collective_size)
+    bandwidth = ideal_all_reduce_bandwidth(topology, collective_size) / GIGABYTE
+    return Measurement(
+        algorithm="Ideal",
+        topology=topology.name,
+        collective_size=collective_size,
+        collective_time=duration,
+        bandwidth_gbps=bandwidth,
+    )
+
+
+def format_table(measurements: Sequence[Measurement], *, title: str = "") -> str:
+    """Render measurements as a plain-text table, one row per measurement."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("-" * len(title))
+    header = (
+        f"{'algorithm':<16} {'topology':<26} {'size (MB)':>10} "
+        f"{'time (ms)':>10} {'BW (GB/s)':>10} {'synth (s)':>10}"
+    )
+    lines.append(header)
+    for row in measurements:
+        synth = f"{row.synthesis_seconds:.3f}" if row.synthesis_seconds is not None else "-"
+        lines.append(
+            f"{row.algorithm:<16} {row.topology:<26} {row.collective_size / 1e6:>10.1f} "
+            f"{row.collective_time * 1e3:>10.3f} {row.bandwidth_gbps:>10.2f} {synth:>10}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,132 @@
+"""Fig. 19 — synthesis-time scalability of TACOS (and the TACCL-like baseline).
+
+The paper synthesizes All-Reduce algorithms for 2D Mesh and 3D Hypercube
+topologies of growing size and shows that TACOS' synthesis time grows as
+O(n^2) in the number of NPUs (linear in the search space of O(n) chunks times
+Theta(n) links), while the ILP-based TACCL blows up after a few tens of NPUs.
+
+The reproduction keeps the same code path and fits the same quadratic model;
+the absolute sizes are scaled down (pure-Python synthesis is slower per
+step), which does not affect the complexity-trend conclusion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.collectives.all_reduce import AllReduce
+from repro.core.config import SynthesisConfig
+from repro.core.synthesizer import TacosSynthesizer
+from repro.baselines.taccl_like import TacclLikeSynthesizer
+from repro.topology.builders.hypercube import build_hypercube_3d
+from repro.topology.builders.mesh import build_mesh_2d
+
+__all__ = ["ScalabilityPoint", "run", "fit_quadratic"]
+
+
+@dataclass
+class ScalabilityPoint:
+    """Synthesis time measured for one topology size."""
+
+    family: str
+    num_npus: int
+    synthesis_seconds: float
+    synthesizer: str
+
+
+def fit_quadratic(points: Sequence[ScalabilityPoint]) -> Tuple[np.ndarray, float]:
+    """Least-squares fit of ``time = a * n^2 + b * n + c``; returns (coefficients, R^2)."""
+    sizes = np.array([point.num_npus for point in points], dtype=float)
+    times = np.array([point.synthesis_seconds for point in points], dtype=float)
+    design = np.vstack([sizes ** 2, sizes, np.ones_like(sizes)]).T
+    coefficients, _, _, _ = np.linalg.lstsq(design, times, rcond=None)
+    predictions = design @ coefficients
+    residual = float(np.sum((times - predictions) ** 2))
+    total = float(np.sum((times - times.mean()) ** 2))
+    r_squared = 1.0 - residual / total if total > 0 else 1.0
+    return coefficients, r_squared
+
+
+def run(
+    *,
+    mesh_sides: Sequence[int] = (3, 4, 5, 6, 8),
+    hypercube_sides: Sequence[int] = (2, 3, 4),
+    collective_size: float = 64e6,
+    include_taccl: bool = True,
+    taccl_max_npus: int = 36,
+    taccl_restarts: int = 5,
+    synthesis_config: Optional[SynthesisConfig] = None,
+) -> Dict[str, List[ScalabilityPoint]]:
+    """Measure synthesis wall-clock time across topology sizes.
+
+    Returns points grouped by family: ``"2D Mesh"``, ``"3D Hypercube"`` for
+    TACOS, and ``"2D Mesh (TACCL-like)"`` for the baseline synthesizer on
+    small meshes (mirroring the paper's left-hand plot of Fig. 19).
+    """
+    synthesizer = TacosSynthesizer(synthesis_config)
+    results: Dict[str, List[ScalabilityPoint]] = {"2D Mesh": [], "3D Hypercube": []}
+
+    for side in mesh_sides:
+        topology = build_mesh_2d(side, side)
+        stats = synthesizer.synthesize_with_stats(
+            topology, AllReduce(topology.num_npus), collective_size
+        )
+        results["2D Mesh"].append(
+            ScalabilityPoint(
+                family="2D Mesh",
+                num_npus=topology.num_npus,
+                synthesis_seconds=stats.wall_clock_seconds,
+                synthesizer="TACOS",
+            )
+        )
+
+    for side in hypercube_sides:
+        topology = build_hypercube_3d(side, side, side)
+        stats = synthesizer.synthesize_with_stats(
+            topology, AllReduce(topology.num_npus), collective_size
+        )
+        results["3D Hypercube"].append(
+            ScalabilityPoint(
+                family="3D Hypercube",
+                num_npus=topology.num_npus,
+                synthesis_seconds=stats.wall_clock_seconds,
+                synthesizer="TACOS",
+            )
+        )
+
+    if include_taccl:
+        taccl_points: List[ScalabilityPoint] = []
+        taccl = TacclLikeSynthesizer(restarts=taccl_restarts)
+        for side in mesh_sides:
+            topology = build_mesh_2d(side, side)
+            if topology.num_npus > taccl_max_npus:
+                continue
+            result = taccl.synthesize_all_reduce(topology, collective_size)
+            taccl_points.append(
+                ScalabilityPoint(
+                    family="2D Mesh (TACCL-like)",
+                    num_npus=topology.num_npus,
+                    synthesis_seconds=result.wall_clock_seconds,
+                    synthesizer="TACCL-like",
+                )
+            )
+        results["2D Mesh (TACCL-like)"] = taccl_points
+
+    return results
+
+
+def main() -> None:  # pragma: no cover - convenience CLI
+    results = run()
+    for family, points in results.items():
+        for point in points:
+            print(f"{family:<22} n={point.num_npus:<5} {point.synthesis_seconds * 1e3:.1f} ms")
+        if len(points) >= 3 and "TACCL" not in family:
+            _, r_squared = fit_quadratic(points)
+            print(f"{family:<22} quadratic fit R^2 = {r_squared:.4f}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,116 @@
+"""Export a synthesized algorithm as an MSCCL-style XML program.
+
+Collective communication libraries in the MSCCL/MSCCLang ecosystem consume
+XML "algorithm programs": per-GPU lists of threadblocks whose steps are
+`send` / `recv` / `recv_reduce_copy` style operations referencing chunk
+indices.  This exporter lowers a :class:`CollectiveAlgorithm` into that shape
+so a synthesized algorithm can be inspected by (or adapted into) such
+toolchains.
+
+The output is a faithful structural lowering rather than a byte-exact NCCL
+injection artifact: each physical link used by the algorithm becomes one
+threadblock per GPU (one for its sends, one for its receives), and the steps
+within a threadblock follow the synthesized transmission order.  Reduction
+collectives emit ``rrc`` (receive-reduce-copy) receive steps; non-reducing
+collectives emit plain ``recv`` steps.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+from xml.etree import ElementTree
+from xml.dom import minidom
+
+from repro.core.algorithm import CollectiveAlgorithm
+from repro.errors import ReproError
+
+__all__ = ["algorithm_to_msccl_xml", "save_msccl_xml"]
+
+
+def _receive_opcode(pattern_name: str) -> str:
+    """MSCCL receive opcode for the collective: reduce-copy for reducing patterns."""
+    reducing = pattern_name in ("ReduceScatter", "Reduce", "AllReduce")
+    return "rrc" if reducing else "recv"
+
+
+def algorithm_to_msccl_xml(algorithm: CollectiveAlgorithm, *, proto: str = "Simple") -> str:
+    """Render ``algorithm`` as an MSCCL-style XML string."""
+    if not algorithm.transfers:
+        raise ReproError("cannot export an empty collective algorithm")
+
+    root = ElementTree.Element(
+        "algo",
+        name=f"tacos-{algorithm.pattern_name.lower()}",
+        proto=proto,
+        ngpus=str(algorithm.num_npus),
+        coll=algorithm.pattern_name.lower(),
+        nchunksperloop=str(_num_chunks(algorithm)),
+    )
+
+    transfers = sorted(algorithm.transfers)
+    sends_per_gpu: Dict[int, Dict[int, List]] = {}
+    receives_per_gpu: Dict[int, Dict[int, List]] = {}
+    for transfer in transfers:
+        sends_per_gpu.setdefault(transfer.source, {}).setdefault(transfer.dest, []).append(transfer)
+        receives_per_gpu.setdefault(transfer.dest, {}).setdefault(transfer.source, []).append(transfer)
+
+    receive_opcode = _receive_opcode(algorithm.pattern_name)
+
+    for gpu in range(algorithm.num_npus):
+        gpu_element = ElementTree.SubElement(root, "gpu", id=str(gpu))
+        threadblock_id = 0
+        for peer, outgoing in sorted(sends_per_gpu.get(gpu, {}).items()):
+            block = ElementTree.SubElement(
+                gpu_element, "tb", id=str(threadblock_id), send=str(peer), recv="-1", chan="0"
+            )
+            for step_index, transfer in enumerate(outgoing):
+                ElementTree.SubElement(
+                    block,
+                    "step",
+                    s=str(step_index),
+                    type="s",
+                    srcbuf="o",
+                    srcoff=str(transfer.chunk),
+                    dstbuf="o",
+                    dstoff=str(transfer.chunk),
+                    cnt="1",
+                    depid="-1",
+                    deps="-1",
+                    hasdep="0",
+                )
+            threadblock_id += 1
+        for peer, incoming in sorted(receives_per_gpu.get(gpu, {}).items()):
+            block = ElementTree.SubElement(
+                gpu_element, "tb", id=str(threadblock_id), send="-1", recv=str(peer), chan="0"
+            )
+            for step_index, transfer in enumerate(incoming):
+                ElementTree.SubElement(
+                    block,
+                    "step",
+                    s=str(step_index),
+                    type=receive_opcode,
+                    srcbuf="o",
+                    srcoff=str(transfer.chunk),
+                    dstbuf="o",
+                    dstoff=str(transfer.chunk),
+                    cnt="1",
+                    depid="-1",
+                    deps="-1",
+                    hasdep="0",
+                )
+            threadblock_id += 1
+
+    raw = ElementTree.tostring(root, encoding="unicode")
+    return minidom.parseString(raw).toprettyxml(indent="  ")
+
+
+def _num_chunks(algorithm: CollectiveAlgorithm) -> int:
+    return max(transfer.chunk for transfer in algorithm.transfers) + 1
+
+
+def save_msccl_xml(algorithm: CollectiveAlgorithm, path: Union[str, Path], *, proto: str = "Simple") -> Path:
+    """Write the MSCCL-style XML rendering of ``algorithm`` to ``path``."""
+    path = Path(path)
+    path.write_text(algorithm_to_msccl_xml(algorithm, proto=proto))
+    return path

@@ -1,0 +1,137 @@
+"""Adapters that turn collective algorithms and schedules into simulator messages.
+
+Two kinds of collective descriptions are simulated:
+
+* :class:`~repro.core.algorithm.CollectiveAlgorithm` — physically routed,
+  timed link-chunk matches (the TACOS output and the spanning-tree baselines);
+* :class:`~repro.simulator.schedule.LogicalSchedule` — topology-unaware step
+  schedules (Ring, Direct, RHD, ... executed on arbitrary topologies).
+
+In both cases the dependency rule is the same: a send of chunk ``c`` out of
+NPU ``s`` depends on every earlier send of chunk ``c`` *into* ``s``.  For
+non-reducing collectives that expresses forwarding order; for reduction
+collectives it expresses that all partials routed through ``s`` must have
+arrived before ``s`` forwards its accumulated partial.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.algorithm import CollectiveAlgorithm
+from repro.simulator.engine import CongestionAwareSimulator
+from repro.simulator.messages import Message
+from repro.simulator.result import SimulationResult
+from repro.simulator.schedule import LogicalSchedule
+from repro.topology.topology import Topology
+
+__all__ = [
+    "algorithm_to_messages",
+    "schedule_to_messages",
+    "simulate_algorithm",
+    "simulate_schedule",
+]
+
+#: Tolerance used when comparing floating-point times.
+_TIME_EPS = 1e-9
+
+
+def algorithm_to_messages(algorithm: CollectiveAlgorithm) -> List[Message]:
+    """Convert a timed collective algorithm into dependency-linked messages.
+
+    The synthesized timing is used only to derive the dependency structure
+    (which inbound transfer enables which outbound transfer); the simulator
+    re-times everything according to link availability, so a TACOS algorithm
+    simulated on its own topology reproduces its synthesized schedule, while
+    the same structure simulated on a slower network stretches accordingly.
+    """
+    transfers = sorted(algorithm.transfers, key=lambda item: (item.start, item.end))
+    inbound: Dict[Tuple[int, int], List[Tuple[float, int]]] = {}
+    for index, transfer in enumerate(transfers):
+        inbound.setdefault((transfer.dest, transfer.chunk), []).append((transfer.end, index))
+
+    # A static collective algorithm also prescribes the order in which each
+    # physical link transmits its chunks; preserving that order as a
+    # dependency keeps the simulated execution faithful to the algorithm
+    # (otherwise an early-ready later chunk could jump the queue and delay the
+    # chunk the algorithm scheduled first).
+    previous_on_link: Dict[Tuple[int, int], int] = {}
+    link_predecessor: List[int] = []
+    for index, transfer in enumerate(transfers):
+        link_predecessor.append(previous_on_link.get(transfer.link, -1))
+        previous_on_link[transfer.link] = index
+
+    messages = []
+    for index, transfer in enumerate(transfers):
+        providers = inbound.get((transfer.source, transfer.chunk), [])
+        depends_on = {
+            provider_index
+            for end, provider_index in providers
+            if end <= transfer.start + _TIME_EPS
+        }
+        if link_predecessor[index] >= 0:
+            depends_on.add(link_predecessor[index])
+        messages.append(
+            Message(
+                message_id=index,
+                source=transfer.source,
+                dest=transfer.dest,
+                size=algorithm.chunk_size,
+                chunk=transfer.chunk,
+                depends_on=frozenset(depends_on),
+            )
+        )
+    return messages
+
+
+def schedule_to_messages(schedule: LogicalSchedule) -> List[Message]:
+    """Convert a logical step schedule into dependency-linked messages."""
+    schedule.validate()
+    sends = sorted(schedule.sends, key=lambda send: (send.step, send.source, send.dest, send.chunk))
+    inbound: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
+    for index, send in enumerate(sends):
+        inbound.setdefault((send.dest, send.chunk), []).append((send.step, index))
+
+    messages = []
+    for index, send in enumerate(sends):
+        providers = inbound.get((send.source, send.chunk), [])
+        depends_on = frozenset(
+            provider_index for step, provider_index in providers if step < send.step
+        )
+        messages.append(
+            Message(
+                message_id=index,
+                source=send.source,
+                dest=send.dest,
+                size=schedule.chunk_size,
+                chunk=send.chunk,
+                depends_on=depends_on,
+            )
+        )
+    return messages
+
+
+def simulate_algorithm(
+    topology: Topology,
+    algorithm: CollectiveAlgorithm,
+    *,
+    routing_message_size: Optional[float] = None,
+) -> SimulationResult:
+    """Simulate a physically routed collective algorithm on ``topology``."""
+    simulator = CongestionAwareSimulator(topology, routing_message_size=routing_message_size)
+    return simulator.run(
+        algorithm_to_messages(algorithm), collective_size=algorithm.collective_size
+    )
+
+
+def simulate_schedule(
+    topology: Topology,
+    schedule: LogicalSchedule,
+    *,
+    routing_message_size: Optional[float] = None,
+) -> SimulationResult:
+    """Simulate a topology-unaware logical schedule on ``topology``."""
+    simulator = CongestionAwareSimulator(topology, routing_message_size=routing_message_size)
+    return simulator.run(
+        schedule_to_messages(schedule), collective_size=schedule.collective_size
+    )

@@ -1,0 +1,150 @@
+"""Congestion-aware analytical network simulator (Sec. V-C).
+
+The simulator reproduces the behaviour of the paper's analytical backend:
+
+* every message is routed over a shortest path of physical links
+  (store-and-forward: a hop starts only after the previous one completes);
+* every link has a message queue and transmits **one message at a time** in
+  first-come, first-served order, so contending messages serialize — this is
+  the first-order congestion model that exposes the oversubscription of
+  topology-unaware collectives;
+* a link is occupied for the serialization term of the alpha-beta model
+  (``beta * size``); the latency term ``alpha`` is propagation delay, so it
+  adds to the message's arrival time but does not block the next message —
+  small latency-bound messages therefore pipeline over a link, which is what
+  makes the Direct algorithm win for tiny collectives (Fig. 2b);
+* a message becomes ready only after all of its dependencies have completed,
+  which models the data dependencies inside a collective algorithm (a chunk
+  cannot be forwarded before it has been received / reduced).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import SimulationError
+from repro.simulator.messages import Message, validate_messages
+from repro.simulator.result import SimulationResult
+from repro.topology.topology import Topology
+
+__all__ = ["CongestionAwareSimulator"]
+
+
+class CongestionAwareSimulator:
+    """Discrete-event network simulator with per-link FCFS queues.
+
+    Parameters
+    ----------
+    topology:
+        The physical network to simulate on.
+    routing_message_size:
+        Message size used to weight the shortest-path routing decision.
+        ``None`` (the default) weights each hop by its cost for the actual
+        message size, so latency-bound messages prefer short paths and
+        bandwidth-bound messages prefer fast links.
+    """
+
+    def __init__(self, topology: Topology, routing_message_size: Optional[float] = None) -> None:
+        self.topology = topology
+        self.routing_message_size = routing_message_size
+        self._route_cache: Dict[Tuple[int, int, float], List[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run(self, messages: Sequence[Message], *, collective_size: float = 0.0) -> SimulationResult:
+        """Simulate ``messages`` and return timing plus per-link statistics."""
+        messages = list(messages)
+        validate_messages(messages)
+        by_id = {message.message_id: message for message in messages}
+
+        dependents: Dict[int, List[int]] = {message.message_id: [] for message in messages}
+        missing_deps: Dict[int, int] = {}
+        ready_time: Dict[int, float] = {}
+        for message in messages:
+            missing_deps[message.message_id] = len(message.depends_on)
+            ready_time[message.message_id] = 0.0
+            for dep in message.depends_on:
+                dependents[dep].append(message.message_id)
+
+        routes = {message.message_id: self._route(message) for message in messages}
+
+        link_next_free: Dict[Tuple[int, int], float] = {key: 0.0 for key in self.topology.link_keys()}
+        link_busy_intervals: Dict[Tuple[int, int], List[Tuple[float, float]]] = {}
+        link_bytes: Dict[Tuple[int, int], float] = {}
+        message_completion: Dict[int, float] = {}
+
+        counter = itertools.count()
+        # Event: (time, sequence, message_id, hop_index). A hop event means the
+        # message is ready to *enter* the queue of its ``hop_index``-th link.
+        events: List[Tuple[float, int, int, int]] = []
+
+        def schedule_hop(message_id: int, hop_index: int, time: float) -> None:
+            heapq.heappush(events, (time, next(counter), message_id, hop_index))
+
+        for message in messages:
+            if missing_deps[message.message_id] == 0:
+                schedule_hop(message.message_id, 0, 0.0)
+
+        completed = 0
+        while events:
+            time, _, message_id, hop_index = heapq.heappop(events)
+            message = by_id[message_id]
+            route = routes[message_id]
+            link_key = (route[hop_index], route[hop_index + 1])
+            link = self.topology.link(*link_key)
+
+            start = max(time, link_next_free[link_key])
+            serialization_end = start + link.beta * message.size
+            arrival = serialization_end + link.alpha
+            link_next_free[link_key] = serialization_end
+            link_busy_intervals.setdefault(link_key, []).append((start, serialization_end))
+            link_bytes[link_key] = link_bytes.get(link_key, 0.0) + message.size
+
+            if hop_index + 1 < len(route) - 1:
+                schedule_hop(message_id, hop_index + 1, arrival)
+                continue
+
+            # Final hop: the message is delivered.
+            message_completion[message_id] = arrival
+            completed += 1
+            for dependent_id in dependents[message_id]:
+                ready_time[dependent_id] = max(ready_time[dependent_id], arrival)
+                missing_deps[dependent_id] -= 1
+                if missing_deps[dependent_id] == 0:
+                    schedule_hop(dependent_id, 0, ready_time[dependent_id])
+
+        if completed != len(messages):
+            unfinished = sorted(set(by_id) - set(message_completion))
+            raise SimulationError(
+                f"{len(unfinished)} messages never became ready (dependency cycle?): {unfinished[:10]}"
+            )
+
+        completion_time = max(message_completion.values()) if message_completion else 0.0
+        return SimulationResult(
+            completion_time=completion_time,
+            message_completion=message_completion,
+            link_busy_intervals=link_busy_intervals,
+            link_bytes=link_bytes,
+            num_links=self.topology.num_links,
+            collective_size=collective_size,
+        )
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def _route(self, message: Message) -> List[int]:
+        """Shortest physical path for ``message`` (cached per endpoint pair and size)."""
+        weight_size = self.routing_message_size if self.routing_message_size is not None else message.size
+        cache_key = (message.source, message.dest, weight_size)
+        route = self._route_cache.get(cache_key)
+        if route is None:
+            route = self.topology.shortest_path(message.source, message.dest, weight_size)
+            self._route_cache[cache_key] = route
+        if len(route) < 2:
+            raise SimulationError(
+                f"message {message.message_id} has a degenerate route {route}"
+            )
+        return route

@@ -1,0 +1,67 @@
+"""Message-level workload representation for the network simulator.
+
+The congestion-aware backend (Sec. V-C) simulates *messages*: point-to-point
+transfers of one chunk between two NPUs that may be several hops apart.  A
+message becomes ready once all of its dependencies have completed, then
+traverses its route link by link (store-and-forward), queueing FCFS behind
+other messages on every link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.errors import SimulationError
+
+__all__ = ["Message"]
+
+
+@dataclass(frozen=True)
+class Message:
+    """One point-to-point chunk transfer submitted to the simulator.
+
+    Attributes
+    ----------
+    message_id:
+        Unique identifier; dependencies reference these ids.
+    source, dest:
+        Endpoint NPUs.  They do not need to be physically adjacent — the
+        simulator routes the message over a shortest path.
+    size:
+        Payload size in bytes.
+    chunk:
+        The chunk this message carries (used for reporting only).
+    depends_on:
+        Ids of messages that must complete before this one may start.
+    """
+
+    message_id: int
+    source: int
+    dest: int
+    size: float
+    chunk: int = 0
+    depends_on: FrozenSet[int] = frozenset()
+
+    def __post_init__(self) -> None:
+        if self.source == self.dest:
+            raise SimulationError(f"message {self.message_id} has identical source and dest {self.source}")
+        if self.size <= 0:
+            raise SimulationError(f"message {self.message_id} has non-positive size {self.size}")
+        if self.message_id in self.depends_on:
+            raise SimulationError(f"message {self.message_id} depends on itself")
+
+
+def validate_messages(messages: Sequence[Message]) -> None:
+    """Check ids are unique and dependencies reference existing messages."""
+    ids = set()
+    for message in messages:
+        if message.message_id in ids:
+            raise SimulationError(f"duplicate message id {message.message_id}")
+        ids.add(message.message_id)
+    for message in messages:
+        unknown = message.depends_on - ids
+        if unknown:
+            raise SimulationError(
+                f"message {message.message_id} depends on unknown messages {sorted(unknown)}"
+            )

@@ -1,0 +1,119 @@
+"""Simulation results and derived network metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+__all__ = ["SimulationResult"]
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one network simulation run.
+
+    Attributes
+    ----------
+    completion_time:
+        Time at which the last message was fully delivered (seconds).
+    message_completion:
+        Per-message delivery time, keyed by message id.
+    link_busy_intervals:
+        Per-link list of (start, end) busy windows, in start order.
+    link_bytes:
+        Total payload bytes that crossed each link.
+    num_links:
+        Number of directed links in the simulated topology.
+    collective_size:
+        Per-NPU collective size in bytes (0 when simulating raw messages),
+        used to report collective bandwidth.
+    """
+
+    completion_time: float
+    message_completion: Dict[int, float]
+    link_busy_intervals: Dict[Tuple[int, int], List[Tuple[float, float]]]
+    link_bytes: Dict[Tuple[int, int], float]
+    num_links: int
+    collective_size: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Collective-level metrics
+    # ------------------------------------------------------------------
+    def collective_bandwidth(self) -> float:
+        """All-Reduce-style bandwidth: collective size divided by completion time."""
+        if self.collective_size <= 0:
+            raise SimulationError("collective_size was not set on this result")
+        if self.completion_time <= 0:
+            return float("inf")
+        return self.collective_size / self.completion_time
+
+    # ------------------------------------------------------------------
+    # Per-link metrics
+    # ------------------------------------------------------------------
+    def link_busy_time(self) -> Dict[Tuple[int, int], float]:
+        """Total busy seconds per link."""
+        return {
+            link: sum(end - start for start, end in intervals)
+            for link, intervals in self.link_busy_intervals.items()
+        }
+
+    def per_link_utilization(self) -> Dict[Tuple[int, int], float]:
+        """Busy fraction of each link over the whole run."""
+        if self.completion_time <= 0:
+            return {link: 0.0 for link in self.link_busy_intervals}
+        return {
+            link: busy / self.completion_time
+            for link, busy in self.link_busy_time().items()
+        }
+
+    def average_link_utilization(self) -> float:
+        """Mean busy fraction across all links (the Fig. 15(b) quantity)."""
+        if self.num_links == 0 or self.completion_time <= 0:
+            return 0.0
+        total_busy = sum(self.link_busy_time().values())
+        return total_busy / (self.num_links * self.completion_time)
+
+    def normalized_link_loads(self) -> Dict[Tuple[int, int], float]:
+        """Per-link bytes normalized by the maximum (the Fig. 1 heat-map values)."""
+        if not self.link_bytes:
+            return {}
+        peak = max(self.link_bytes.values())
+        if peak <= 0:
+            return {link: 0.0 for link in self.link_bytes}
+        return {link: load / peak for link, load in self.link_bytes.items()}
+
+    # ------------------------------------------------------------------
+    # Time series
+    # ------------------------------------------------------------------
+    def utilization_timeline(self, num_samples: int = 100) -> Tuple[np.ndarray, np.ndarray]:
+        """Fraction of links busy over time (the Fig. 16(b) / Fig. 18 series).
+
+        Returns ``(times, utilization)`` arrays of length ``num_samples``.
+        """
+        if num_samples < 1:
+            raise SimulationError(f"num_samples must be positive, got {num_samples}")
+        horizon = self.completion_time
+        times = np.linspace(0.0, horizon, num_samples) if horizon > 0 else np.zeros(num_samples)
+        utilization = np.zeros(num_samples)
+        if self.num_links == 0 or horizon <= 0:
+            return times, utilization
+        for intervals in self.link_busy_intervals.values():
+            for start, end in intervals:
+                busy = (times >= start) & (times < end)
+                utilization[busy] += 1.0
+        utilization /= self.num_links
+        return times, utilization
+
+    def busy_link_count_at(self, time: float) -> int:
+        """Number of links transmitting at ``time``."""
+        count = 0
+        for intervals in self.link_busy_intervals.values():
+            for start, end in intervals:
+                if start <= time < end:
+                    count += 1
+                    break
+        return count

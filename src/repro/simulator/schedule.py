@@ -1,0 +1,106 @@
+"""Logical collective schedules (topology-unaware algorithm descriptions).
+
+Basic collective algorithms such as Ring, Direct, or Recursive
+Halving-Doubling are defined as *logical* schedules over NPU ranks: ordered
+steps of chunk sends that do not reference physical links at all.  When such
+a schedule is executed on a physical topology whose connectivity does not
+match (the Fig. 1 scenario), sends between non-adjacent NPUs are routed over
+multiple hops and contend for links — which is exactly what the
+congestion-aware simulator models.
+
+Dependency semantics: a send of chunk ``c`` out of NPU ``s`` at step ``k``
+implicitly depends on every send of chunk ``c`` *into* ``s`` at a step smaller
+than ``k``.  This captures both forwarding (the chunk must have arrived) and
+reduction (all partials routed through ``s`` must have arrived) without the
+schedule having to enumerate dependencies explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import SimulationError
+
+__all__ = ["LogicalSend", "LogicalSchedule"]
+
+
+@dataclass(frozen=True, order=True)
+class LogicalSend:
+    """One logical chunk send at a given algorithm step."""
+
+    step: int
+    chunk: int
+    source: int
+    dest: int
+
+    def __post_init__(self) -> None:
+        if self.step < 0:
+            raise SimulationError(f"step must be non-negative, got {self.step}")
+        if self.source == self.dest:
+            raise SimulationError(f"send {self} has identical source and dest")
+
+
+@dataclass
+class LogicalSchedule:
+    """A topology-unaware collective algorithm: steps of logical chunk sends.
+
+    Attributes
+    ----------
+    sends:
+        All logical sends.
+    num_npus:
+        Number of participating NPUs.
+    chunk_size:
+        Size of each chunk in bytes.
+    collective_size:
+        Per-NPU collective buffer size in bytes.
+    name:
+        Algorithm name, e.g. ``"Ring"`` or ``"Direct"``.
+    pattern_name:
+        Collective pattern implemented, e.g. ``"AllReduce"``.
+    """
+
+    sends: List[LogicalSend]
+    num_npus: int
+    chunk_size: float
+    collective_size: float
+    name: str
+    pattern_name: str = "AllReduce"
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def num_steps(self) -> int:
+        """Number of distinct algorithm steps."""
+        if not self.sends:
+            return 0
+        return max(send.step for send in self.sends) + 1
+
+    @property
+    def num_sends(self) -> int:
+        """Total number of logical sends."""
+        return len(self.sends)
+
+    def sends_at_step(self, step: int) -> List[LogicalSend]:
+        """All sends scheduled at ``step``."""
+        return [send for send in self.sends if send.step == step]
+
+    def total_bytes(self) -> float:
+        """Total payload bytes moved by the schedule (ignoring multi-hop routing)."""
+        return self.num_sends * self.chunk_size
+
+    def sends_per_npu(self) -> Dict[int, int]:
+        """Number of sends originating at each NPU."""
+        counts: Dict[int, int] = {npu: 0 for npu in range(self.num_npus)}
+        for send in self.sends:
+            counts[send.source] += 1
+        return counts
+
+    def validate(self) -> None:
+        """Check every endpoint is a valid NPU index."""
+        for send in self.sends:
+            for endpoint in (send.source, send.dest):
+                if not 0 <= endpoint < self.num_npus:
+                    raise SimulationError(
+                        f"send {send} references NPU {endpoint} outside 0..{self.num_npus - 1}"
+                    )

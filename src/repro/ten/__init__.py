@@ -1,0 +1,5 @@
+"""Time-expanded network (TEN) representation."""
+
+from repro.ten.network import TimeExpandedNetwork
+
+__all__ = ["TimeExpandedNetwork"]

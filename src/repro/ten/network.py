@@ -1,0 +1,149 @@
+"""Time-expanded network (TEN) state used during synthesis.
+
+The TEN (Sec. IV-A) integrates the spatial topology with a time axis.  For
+homogeneous topologies the time axis is a sequence of uniform spans; for
+heterogeneous topologies (Sec. IV-F) the spans are the union of link
+completion events (Fig. 12).  Rather than materializing every vertex of the
+expanded graph, this class keeps the equivalent sparse state:
+
+* per directed link, the time at which it next becomes idle, and
+* a heap of future event times (transfer completions) at which the
+  synthesizer should re-run the matching algorithm.
+
+A link-chunk match occupies one link for one time span (``alpha + beta *
+chunk_size`` seconds), which is exactly one edge of the conceptual TEN.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import SynthesisError
+from repro.topology.topology import Topology
+
+__all__ = ["TimeExpandedNetwork"]
+
+#: Tolerance used when comparing floating-point event times.
+_TIME_EPS = 1e-12
+
+
+class TimeExpandedNetwork:
+    """Sparse time-expanded view of a topology for a fixed chunk size.
+
+    Parameters
+    ----------
+    topology:
+        The physical network.
+    chunk_size:
+        Size of each chunk in bytes; fixes the per-link span length
+        ``alpha + beta * chunk_size``.
+    """
+
+    def __init__(self, topology: Topology, chunk_size: float) -> None:
+        if chunk_size <= 0:
+            raise SynthesisError(f"chunk size must be positive, got {chunk_size}")
+        self.topology = topology
+        self.chunk_size = float(chunk_size)
+        self._link_cost: Dict[Tuple[int, int], float] = {
+            link.key: link.cost(chunk_size) for link in topology.links()
+        }
+        self._link_next_free: Dict[Tuple[int, int], float] = {
+            key: 0.0 for key in self._link_cost
+        }
+        self._event_heap: List[float] = []
+
+    # ------------------------------------------------------------------
+    # Link state
+    # ------------------------------------------------------------------
+    def link_cost(self, key: Tuple[int, int]) -> float:
+        """Span length (transmission time) of the link ``key`` for one chunk."""
+        return self._link_cost[key]
+
+    def is_link_idle(self, key: Tuple[int, int], time: float) -> bool:
+        """Whether the link can start a new transmission at ``time``."""
+        return self._link_next_free[key] <= time + _TIME_EPS
+
+    def idle_in_links(self, dest: int, time: float) -> List[Tuple[int, int]]:
+        """All links into ``dest`` that are idle at ``time``.
+
+        This is the backtracking step of the matching algorithm (Fig. 8b):
+        from an unsatisfied postcondition at ``dest``, walk the TEN backwards
+        over the incoming edges of the current time span.
+        """
+        links = []
+        for source in self.topology.in_neighbors(dest):
+            key = (source, dest)
+            if self.is_link_idle(key, time):
+                links.append(key)
+        return links
+
+    def idle_out_links(self, source: int, time: float) -> List[Tuple[int, int]]:
+        """All links out of ``source`` that are idle at ``time``."""
+        links = []
+        for dest in self.topology.out_neighbors(source):
+            key = (source, dest)
+            if self.is_link_idle(key, time):
+                links.append(key)
+        return links
+
+    def occupy(self, key: Tuple[int, int], time: float) -> float:
+        """Mark ``key`` busy starting at ``time``; return the completion time.
+
+        The completion time is also pushed onto the event heap so the
+        synthesizer revisits it as a future time span boundary.
+        """
+        if not self.is_link_idle(key, time):
+            raise SynthesisError(
+                f"link {key} is busy until {self._link_next_free[key]:.3e}s, cannot occupy at {time:.3e}s"
+            )
+        end = time + self._link_cost[key]
+        self._link_next_free[key] = end
+        self.push_event(end)
+        return end
+
+    # ------------------------------------------------------------------
+    # Event management (time-span expansion)
+    # ------------------------------------------------------------------
+    def push_event(self, time: float) -> None:
+        """Register a future time at which the network state changes."""
+        heapq.heappush(self._event_heap, time)
+
+    def next_event_after(self, time: float) -> Optional[float]:
+        """Pop and return the earliest event strictly after ``time``.
+
+        Returns ``None`` when no future events exist, which means the
+        synthesis is stuck (no in-flight transfer will ever free a link or
+        deliver a chunk).
+        """
+        while self._event_heap:
+            candidate = heapq.heappop(self._event_heap)
+            if candidate > time + _TIME_EPS:
+                return candidate
+        return None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_links(self) -> int:
+        """Number of directed links (TEN edges per time span)."""
+        return len(self._link_cost)
+
+    def busy_links_at(self, time: float) -> int:
+        """Number of links still transmitting at ``time``."""
+        return sum(1 for free in self._link_next_free.values() if free > time + _TIME_EPS)
+
+    def utilization_at(self, time: float) -> float:
+        """Fraction of links busy at ``time``."""
+        if not self._link_cost:
+            return 0.0
+        return self.busy_links_at(time) / self.num_links
+
+    def link_next_free(self, key: Tuple[int, int]) -> float:
+        """Time at which link ``key`` next becomes idle."""
+        return self._link_next_free[key]
+
+    def snapshot_free_times(self) -> Dict[Tuple[int, int], float]:
+        """Copy of the per-link next-free times (used by tests and analysis)."""
+        return dict(self._link_next_free)

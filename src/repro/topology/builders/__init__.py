@@ -1,0 +1,44 @@
+"""Topology builders for every network family evaluated in the paper."""
+
+from repro.topology.builders.dgx1 import build_dgx1
+from repro.topology.builders.dragonfly import build_dragonfly
+from repro.topology.builders.fully_connected import build_fully_connected
+from repro.topology.builders.hypercube import build_binary_hypercube, build_hypercube_3d
+from repro.topology.builders.mesh import (
+    build_mesh,
+    build_mesh_2d,
+    build_mesh_3d,
+    grid_coordinates,
+    grid_index,
+)
+from repro.topology.builders.multidim import (
+    DimensionSpec,
+    build_2d_switch,
+    build_3d_rfs,
+    build_multidim,
+)
+from repro.topology.builders.ring import build_ring
+from repro.topology.builders.switch import build_switch
+from repro.topology.builders.torus import build_torus, build_torus_2d, build_torus_3d
+
+__all__ = [
+    "DimensionSpec",
+    "build_2d_switch",
+    "build_3d_rfs",
+    "build_binary_hypercube",
+    "build_dgx1",
+    "build_dragonfly",
+    "build_fully_connected",
+    "build_hypercube_3d",
+    "build_mesh",
+    "build_mesh_2d",
+    "build_mesh_3d",
+    "build_multidim",
+    "build_ring",
+    "build_switch",
+    "build_torus",
+    "build_torus_2d",
+    "build_torus_3d",
+    "grid_coordinates",
+    "grid_index",
+]

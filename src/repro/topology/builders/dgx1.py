@@ -1,0 +1,49 @@
+"""DGX-1-like 8-GPU topology used for the C-Cube comparison (Fig. 17b).
+
+The NVIDIA DGX-1 (V100) connects 8 GPUs with NVLink in a hybrid cube-mesh
+where every GPU has 6 NVLink ports.  We reproduce that degree-6 structure as:
+
+* two fully-connected quads (GPUs 0-3 and 4-7): 3 links per GPU, and
+* three cross-quad links per GPU: ``i <-> i+4``, ``i <-> ((i+1) % 4) + 4``
+  and ``i <-> ((i+3) % 4) + 4``.
+
+The exact NVLink wiring of the product differs in which pairs receive doubled
+links, but the properties the C-Cube comparison relies on — 6 usable links per
+GPU, two disjoint binary trees embeddable using 4 of them — are preserved.
+"""
+
+from __future__ import annotations
+
+from repro.topology.defaults import DEFAULT_ALPHA
+from repro.topology.topology import Topology
+
+__all__ = ["build_dgx1"]
+
+
+def build_dgx1(
+    *,
+    alpha: float = DEFAULT_ALPHA,
+    bandwidth_gbps: float = 25.0,
+) -> Topology:
+    """Build the 8-GPU DGX-1-like topology (degree 6 per GPU)."""
+    topology = Topology(8, name="DGX-1")
+    added = set()
+
+    def connect(a: int, b: int) -> None:
+        if (a, b) in added or (b, a) in added:
+            return
+        topology.add_link(a, b, alpha=alpha, bandwidth_gbps=bandwidth_gbps, bidirectional=True)
+        added.add((a, b))
+
+    # Two fully-connected quads.
+    for base in (0, 4):
+        for a in range(base, base + 4):
+            for b in range(a + 1, base + 4):
+                connect(a, b)
+
+    # Cross-quad links giving every GPU three inter-quad neighbours.
+    for i in range(4):
+        connect(i, i + 4)
+        connect(i, ((i + 1) % 4) + 4)
+        connect(i, ((i + 3) % 4) + 4)
+    return topology

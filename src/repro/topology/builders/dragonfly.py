@@ -1,0 +1,80 @@
+"""DragonFly topology builder.
+
+The DragonFly in the paper's Fig. 15 is a ``groups x group_size`` arrangement
+(4 x 5) that is both heterogeneous and asymmetric: NPUs within a group are
+fully connected by fast local links, while groups are connected pairwise by a
+single slower global link whose endpoints rotate across the NPUs of each
+group (so some NPUs host global links and others do not — the asymmetry).
+"""
+
+from __future__ import annotations
+
+from repro.errors import TopologyError
+from repro.topology.defaults import DEFAULT_ALPHA
+from repro.topology.topology import Topology
+
+__all__ = ["build_dragonfly"]
+
+
+def build_dragonfly(
+    num_groups: int,
+    group_size: int,
+    *,
+    alpha: float = DEFAULT_ALPHA,
+    local_bandwidth_gbps: float = 400.0,
+    global_bandwidth_gbps: float = 200.0,
+) -> Topology:
+    """Build a DragonFly topology.
+
+    Parameters
+    ----------
+    num_groups:
+        Number of groups (the first dimension; 4 in the paper).
+    group_size:
+        NPUs per group (the second dimension; 5 in the paper).
+    alpha:
+        Latency of every link in seconds.
+    local_bandwidth_gbps:
+        Bandwidth of intra-group (local) links in GB/s.
+    global_bandwidth_gbps:
+        Bandwidth of inter-group (global) links in GB/s.
+    """
+    if num_groups < 2:
+        raise TopologyError(f"DragonFly needs at least 2 groups, got {num_groups}")
+    if group_size < 2:
+        raise TopologyError(f"DragonFly groups need at least 2 NPUs, got {group_size}")
+    num_npus = num_groups * group_size
+    topology = Topology(num_npus, name=f"DragonFly({num_groups}x{group_size})")
+
+    def npu(group: int, member: int) -> int:
+        return group * group_size + member
+
+    # Intra-group: fully connected with fast local links.
+    for group in range(num_groups):
+        for a in range(group_size):
+            for b in range(group_size):
+                if a != b:
+                    topology.add_link(
+                        npu(group, a),
+                        npu(group, b),
+                        alpha=alpha,
+                        bandwidth_gbps=local_bandwidth_gbps,
+                    )
+
+    # Inter-group: one bidirectional global link per group pair.  The NPU that
+    # hosts the global link rotates with the pair index so global connectivity
+    # is spread (unevenly, hence asymmetric) across group members.
+    pair_index = 0
+    for group_a in range(num_groups):
+        for group_b in range(group_a + 1, num_groups):
+            member_a = pair_index % group_size
+            member_b = (pair_index + 1) % group_size
+            topology.add_link(
+                npu(group_a, member_a),
+                npu(group_b, member_b),
+                alpha=alpha,
+                bandwidth_gbps=global_bandwidth_gbps,
+                bidirectional=True,
+            )
+            pair_index += 1
+    return topology

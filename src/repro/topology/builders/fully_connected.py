@@ -1,0 +1,36 @@
+"""Fully-connected (all-to-all) topology builder."""
+
+from __future__ import annotations
+
+from repro.errors import TopologyError
+from repro.topology.defaults import DEFAULT_ALPHA, DEFAULT_BANDWIDTH_GBPS
+from repro.topology.topology import Topology
+
+__all__ = ["build_fully_connected"]
+
+
+def build_fully_connected(
+    num_npus: int,
+    *,
+    alpha: float = DEFAULT_ALPHA,
+    bandwidth_gbps: float = DEFAULT_BANDWIDTH_GBPS,
+) -> Topology:
+    """Build a fully-connected topology where every NPU pair has a direct link.
+
+    Parameters
+    ----------
+    num_npus:
+        Number of NPUs; must be at least 2.
+    alpha:
+        Per-link latency in seconds.
+    bandwidth_gbps:
+        Per-link bandwidth in GB/s.
+    """
+    if num_npus < 2:
+        raise TopologyError(f"a fully-connected topology needs at least 2 NPUs, got {num_npus}")
+    topology = Topology(num_npus, name=f"FullyConnected({num_npus})")
+    for src in range(num_npus):
+        for dest in range(num_npus):
+            if src != dest:
+                topology.add_link(src, dest, alpha=alpha, bandwidth_gbps=bandwidth_gbps)
+    return topology

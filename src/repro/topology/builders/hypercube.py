@@ -1,0 +1,61 @@
+"""Hypercube topology builders.
+
+The paper uses "3D Hypercube" for a three-dimensional grid without wraparound
+(e.g. "3D Hypercube (5x5x5)" in Fig. 18), which is an asymmetric topology —
+equivalent to a 3D mesh.  We expose that meaning as
+:func:`build_hypercube_3d`, and additionally provide the classical binary
+n-cube (:func:`build_binary_hypercube`) that algorithms such as Recursive
+Halving-Doubling prefer.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TopologyError
+from repro.topology.builders.mesh import build_mesh
+from repro.topology.defaults import DEFAULT_ALPHA, DEFAULT_BANDWIDTH_GBPS
+from repro.topology.topology import Topology
+
+__all__ = ["build_hypercube_3d", "build_binary_hypercube"]
+
+
+def build_hypercube_3d(
+    x: int,
+    y: int,
+    z: int,
+    *,
+    alpha: float = DEFAULT_ALPHA,
+    bandwidth_gbps: float = DEFAULT_BANDWIDTH_GBPS,
+) -> Topology:
+    """Build the paper's "3D Hypercube": a 3D grid without wraparound.
+
+    This is structurally a 3D mesh; the separate builder exists so experiment
+    code reads like the paper ("3D Hypercube (5x5x5)").
+    """
+    topology = build_mesh((x, y, z), alpha=alpha, bandwidth_gbps=bandwidth_gbps)
+    topology.name = f"Hypercube3D({x}x{y}x{z})"
+    return topology
+
+
+def build_binary_hypercube(
+    dimension: int,
+    *,
+    alpha: float = DEFAULT_ALPHA,
+    bandwidth_gbps: float = DEFAULT_BANDWIDTH_GBPS,
+) -> Topology:
+    """Build a classical binary hypercube with ``2 ** dimension`` NPUs.
+
+    NPUs ``a`` and ``b`` are connected (bidirectionally) when their indices
+    differ in exactly one bit.  This is the preferred topology of Recursive
+    Halving-Doubling.
+    """
+    if dimension < 1:
+        raise TopologyError(f"binary hypercube dimension must be at least 1, got {dimension}")
+    num_npus = 1 << dimension
+    topology = Topology(num_npus, name=f"BinaryHypercube({dimension})")
+    for npu in range(num_npus):
+        for bit in range(dimension):
+            other = npu ^ (1 << bit)
+            if other > npu:
+                topology.add_link(npu, other, alpha=alpha, bandwidth_gbps=bandwidth_gbps)
+                topology.add_link(other, npu, alpha=alpha, bandwidth_gbps=bandwidth_gbps)
+    return topology

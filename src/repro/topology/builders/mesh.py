@@ -1,0 +1,102 @@
+"""Mesh (grid, no wraparound) topology builders.
+
+Meshes are the paper's canonical *asymmetric* topologies: corner NPUs have
+degree 2, edge NPUs degree 3, and interior NPUs degree 4 in the 2D case, so
+no basic algorithm matches them perfectly.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.errors import TopologyError
+from repro.topology.defaults import DEFAULT_ALPHA, DEFAULT_BANDWIDTH_GBPS
+from repro.topology.topology import Topology
+
+__all__ = ["build_mesh_2d", "build_mesh_3d", "build_mesh", "grid_coordinates", "grid_index"]
+
+
+def grid_index(coords: Sequence[int], dims: Sequence[int]) -> int:
+    """Convert multi-dimensional grid coordinates to a flat NPU index.
+
+    The first dimension varies fastest (mixed-radix, little-endian), i.e.
+    ``index = c0 + c1 * d0 + c2 * d0 * d1 + ...``.
+    """
+    if len(coords) != len(dims):
+        raise TopologyError(f"coordinate rank {len(coords)} does not match dims rank {len(dims)}")
+    index = 0
+    stride = 1
+    for coord, dim in zip(coords, dims):
+        if not 0 <= coord < dim:
+            raise TopologyError(f"coordinate {coord} out of range for dimension of size {dim}")
+        index += coord * stride
+        stride *= dim
+    return index
+
+
+def grid_coordinates(index: int, dims: Sequence[int]) -> Tuple[int, ...]:
+    """Convert a flat NPU index back to grid coordinates (inverse of :func:`grid_index`)."""
+    coords = []
+    remaining = index
+    for dim in dims:
+        coords.append(remaining % dim)
+        remaining //= dim
+    if remaining != 0:
+        raise TopologyError(f"index {index} out of range for dims {tuple(dims)}")
+    return tuple(coords)
+
+
+def build_mesh(
+    dims: Sequence[int],
+    *,
+    alpha: float = DEFAULT_ALPHA,
+    bandwidth_gbps: float = DEFAULT_BANDWIDTH_GBPS,
+) -> Topology:
+    """Build an n-dimensional mesh (grid without wraparound).
+
+    Neighbouring NPUs along every dimension are connected with a pair of
+    opposite-direction links.
+    """
+    dims = tuple(int(d) for d in dims)
+    if not dims or any(d < 1 for d in dims):
+        raise TopologyError(f"mesh dimensions must be positive, got {dims}")
+    num_npus = 1
+    for dim in dims:
+        num_npus *= dim
+    if num_npus < 2:
+        raise TopologyError("a mesh needs at least 2 NPUs")
+    shape = "x".join(str(d) for d in dims)
+    topology = Topology(num_npus, name=f"Mesh({shape})")
+    for index in range(num_npus):
+        coords = grid_coordinates(index, dims)
+        for axis, dim in enumerate(dims):
+            if coords[axis] + 1 < dim:
+                neighbour = list(coords)
+                neighbour[axis] += 1
+                other = grid_index(neighbour, dims)
+                topology.add_link(index, other, alpha=alpha, bandwidth_gbps=bandwidth_gbps)
+                topology.add_link(other, index, alpha=alpha, bandwidth_gbps=bandwidth_gbps)
+    return topology
+
+
+def build_mesh_2d(
+    rows: int,
+    cols: int,
+    *,
+    alpha: float = DEFAULT_ALPHA,
+    bandwidth_gbps: float = DEFAULT_BANDWIDTH_GBPS,
+) -> Topology:
+    """Build a 2D mesh of ``rows x cols`` NPUs."""
+    return build_mesh((cols, rows), alpha=alpha, bandwidth_gbps=bandwidth_gbps)
+
+
+def build_mesh_3d(
+    x: int,
+    y: int,
+    z: int,
+    *,
+    alpha: float = DEFAULT_ALPHA,
+    bandwidth_gbps: float = DEFAULT_BANDWIDTH_GBPS,
+) -> Topology:
+    """Build a 3D mesh of ``x * y * z`` NPUs."""
+    return build_mesh((x, y, z), alpha=alpha, bandwidth_gbps=bandwidth_gbps)

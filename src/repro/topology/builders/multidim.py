@@ -1,0 +1,193 @@
+"""Multi-dimensional (hierarchical) topology composition.
+
+State-of-the-art ML clusters stack several network dimensions — e.g. the
+paper's 3D-RFS topology is Ring x FullyConnected x Switch with per-dimension
+bandwidths — and the 2D Switch of Fig. 15 stacks two switch dimensions.  This
+module composes per-dimension connectivity patterns into a single flat
+:class:`~repro.topology.topology.Topology`.
+
+NPU indices follow the mixed-radix convention of
+:func:`repro.topology.builders.mesh.grid_index`: the first dimension varies
+fastest.  For every dimension, every *fiber* (the set of NPUs that differ only
+in that dimension's coordinate) is wired with that dimension's pattern and
+link parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.errors import TopologyError
+from repro.topology.builders.mesh import grid_coordinates, grid_index
+from repro.topology.defaults import DEFAULT_ALPHA
+from repro.topology.topology import Topology
+
+__all__ = ["DimensionSpec", "build_multidim", "build_3d_rfs", "build_2d_switch"]
+
+#: Connectivity patterns supported for a single dimension.
+_SUPPORTED_KINDS = ("ring", "unidirectional_ring", "fully_connected", "switch", "line")
+
+
+@dataclass(frozen=True)
+class DimensionSpec:
+    """Description of one dimension of a hierarchical topology.
+
+    Attributes
+    ----------
+    kind:
+        One of ``"ring"`` (bidirectional ring), ``"unidirectional_ring"``,
+        ``"fully_connected"``, ``"switch"`` (degree-``unwind_degree`` unwound
+        switch, Sec. IV-G) or ``"line"`` (mesh dimension without wraparound).
+    size:
+        Number of NPUs along this dimension.
+    bandwidth_gbps:
+        Link bandwidth of this dimension in GB/s (per switch port for
+        ``"switch"`` dimensions, per link otherwise).
+    alpha:
+        Link latency of this dimension in seconds.
+    unwind_degree:
+        Only used by ``"switch"`` dimensions; defaults to 1.
+    """
+
+    kind: str
+    size: int
+    bandwidth_gbps: float
+    alpha: float = DEFAULT_ALPHA
+    unwind_degree: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in _SUPPORTED_KINDS:
+            raise TopologyError(f"unknown dimension kind {self.kind!r}; expected one of {_SUPPORTED_KINDS}")
+        if self.size < 1:
+            raise TopologyError(f"dimension size must be positive, got {self.size}")
+        if self.bandwidth_gbps <= 0:
+            raise TopologyError(f"dimension bandwidth must be positive, got {self.bandwidth_gbps}")
+        if self.kind == "switch" and not 1 <= self.unwind_degree <= max(1, self.size - 1):
+            raise TopologyError(
+                f"switch unwind degree {self.unwind_degree} invalid for dimension of size {self.size}"
+            )
+
+    def edges(self) -> List[Tuple[int, int, float]]:
+        """Directed edges ``(src, dest, bandwidth_gbps)`` of this dimension's pattern.
+
+        Indices are local to the dimension (``0 .. size-1``).
+        """
+        edges: List[Tuple[int, int, float]] = []
+        size = self.size
+        if size == 1:
+            return edges
+        if self.kind in ("ring", "unidirectional_ring"):
+            for i in range(size):
+                nxt = (i + 1) % size
+                edges.append((i, nxt, self.bandwidth_gbps))
+                if self.kind == "ring":
+                    edges.append((nxt, i, self.bandwidth_gbps))
+            if size == 2:
+                # A 2-ring would duplicate links; keep a single bidirectional pair.
+                deduped = {(src, dest): bw for src, dest, bw in edges}
+                edges = [(src, dest, bw) for (src, dest), bw in deduped.items()]
+        elif self.kind == "fully_connected":
+            for src in range(size):
+                for dest in range(size):
+                    if src != dest:
+                        edges.append((src, dest, self.bandwidth_gbps))
+        elif self.kind == "switch":
+            shared = self.bandwidth_gbps / self.unwind_degree
+            for src in range(size):
+                for offset in range(1, self.unwind_degree + 1):
+                    edges.append((src, (src + offset) % size, shared))
+        elif self.kind == "line":
+            for i in range(size - 1):
+                edges.append((i, i + 1, self.bandwidth_gbps))
+                edges.append((i + 1, i, self.bandwidth_gbps))
+        return edges
+
+
+def build_multidim(dimensions: Sequence[DimensionSpec], name: str = "") -> Topology:
+    """Compose a hierarchical topology from per-dimension specifications."""
+    dimensions = list(dimensions)
+    if not dimensions:
+        raise TopologyError("at least one dimension is required")
+    dims = [spec.size for spec in dimensions]
+    num_npus = 1
+    for size in dims:
+        num_npus *= size
+    if num_npus < 2:
+        raise TopologyError("a multi-dimensional topology needs at least 2 NPUs")
+    shape = "x".join(str(spec.size) for spec in dimensions)
+    kinds = "-".join(spec.kind for spec in dimensions)
+    topology = Topology(num_npus, name=name or f"MultiDim({kinds};{shape})")
+
+    for axis, spec in enumerate(dimensions):
+        edges = spec.edges()
+        if not edges:
+            continue
+        for index in range(num_npus):
+            coords = grid_coordinates(index, dims)
+            if coords[axis] != 0:
+                continue  # enumerate each fiber exactly once, from its 0-coordinate NPU
+            fiber = []
+            for position in range(spec.size):
+                member = list(coords)
+                member[axis] = position
+                fiber.append(grid_index(member, dims))
+            seen = set()
+            for src_local, dest_local, bandwidth in edges:
+                key = (fiber[src_local], fiber[dest_local])
+                if key in seen:
+                    continue
+                seen.add(key)
+                topology.add_link(key[0], key[1], alpha=spec.alpha, bandwidth_gbps=bandwidth)
+    return topology
+
+
+def build_3d_rfs(
+    ring_size: int = 2,
+    fc_size: int = 4,
+    switch_size: int = 8,
+    *,
+    bandwidths_gbps: Iterable[float] = (200.0, 100.0, 50.0),
+    alpha: float = DEFAULT_ALPHA,
+    switch_unwind_degree: int = 1,
+) -> Topology:
+    """Build the paper's 3D Ring-FC-Switch topology (Table IV, Fig. 15, Table V).
+
+    The default 2 x 4 x 8 configuration with [200, 100, 50] GB/s matches
+    Fig. 15; Table V scales the last (switch) dimension to add nodes.
+    """
+    ring_bw, fc_bw, switch_bw = tuple(bandwidths_gbps)
+    dimensions = [
+        DimensionSpec(kind="ring", size=ring_size, bandwidth_gbps=ring_bw, alpha=alpha),
+        DimensionSpec(kind="fully_connected", size=fc_size, bandwidth_gbps=fc_bw, alpha=alpha),
+        DimensionSpec(
+            kind="switch",
+            size=switch_size,
+            bandwidth_gbps=switch_bw,
+            alpha=alpha,
+            unwind_degree=switch_unwind_degree,
+        ),
+    ]
+    return build_multidim(dimensions, name=f"3D-RFS({ring_size}x{fc_size}x{switch_size})")
+
+
+def build_2d_switch(
+    first_size: int = 8,
+    second_size: int = 4,
+    *,
+    bandwidths_gbps: Iterable[float] = (300.0, 25.0),
+    alpha: float = DEFAULT_ALPHA,
+    unwind_degrees: Iterable[int] = (1, 1),
+) -> Topology:
+    """Build the 2D Switch topology of Fig. 15 (8 x 4, [300, 25] GB/s)."""
+    first_bw, second_bw = tuple(bandwidths_gbps)
+    first_degree, second_degree = tuple(unwind_degrees)
+    dimensions = [
+        DimensionSpec(
+            kind="switch", size=first_size, bandwidth_gbps=first_bw, alpha=alpha, unwind_degree=first_degree
+        ),
+        DimensionSpec(
+            kind="switch", size=second_size, bandwidth_gbps=second_bw, alpha=alpha, unwind_degree=second_degree
+        ),
+    ]
+    return build_multidim(dimensions, name=f"2DSwitch({first_size}x{second_size})")

@@ -1,0 +1,55 @@
+"""Switch topology with degree-d unwinding (Sec. IV-G).
+
+A switch offers all-to-all connectivity through a shared fabric, but
+unregulated use causes contention.  TACOS unwinds an N-NPU switch into fixed
+point-to-point links: with degree ``d``, each NPU ``i`` gets outgoing links to
+``(i+1), (i+2), ..., (i+d) (mod N)``.  The per-link alpha stays the same while
+beta is multiplied by ``d`` because the NPU's switch-port bandwidth is shared
+among the ``d`` unwound links.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TopologyError
+from repro.topology.defaults import DEFAULT_ALPHA, DEFAULT_BANDWIDTH_GBPS
+from repro.topology.topology import Topology
+
+__all__ = ["build_switch"]
+
+
+def build_switch(
+    num_npus: int,
+    *,
+    alpha: float = DEFAULT_ALPHA,
+    bandwidth_gbps: float = DEFAULT_BANDWIDTH_GBPS,
+    unwind_degree: int = 1,
+) -> Topology:
+    """Build an unwound switch topology.
+
+    Parameters
+    ----------
+    num_npus:
+        Number of NPUs attached to the switch.
+    alpha:
+        Switch traversal latency per message, in seconds.
+    bandwidth_gbps:
+        Per-NPU switch port bandwidth in GB/s (before unwinding).
+    unwind_degree:
+        The unwinding degree ``d``; must satisfy ``1 <= d <= num_npus - 1``.
+        ``d=1`` produces a unidirectional ring suited to bandwidth-bound
+        collectives, ``d=N-1`` a fully-connected graph suited to
+        latency-bound collectives.
+    """
+    if num_npus < 2:
+        raise TopologyError(f"a switch needs at least 2 NPUs, got {num_npus}")
+    if not 1 <= unwind_degree <= num_npus - 1:
+        raise TopologyError(
+            f"unwind degree must be between 1 and {num_npus - 1}, got {unwind_degree}"
+        )
+    shared_bandwidth = bandwidth_gbps / unwind_degree
+    topology = Topology(num_npus, name=f"Switch({num_npus},deg={unwind_degree})")
+    for npu in range(num_npus):
+        for offset in range(1, unwind_degree + 1):
+            dest = (npu + offset) % num_npus
+            topology.add_link(npu, dest, alpha=alpha, bandwidth_gbps=shared_bandwidth)
+    return topology

@@ -1,0 +1,79 @@
+"""Torus (grid with wraparound) topology builders.
+
+Tori are the paper's canonical *symmetric* multi-dimensional topologies
+(Table IV): every NPU has identical degree, which is why Themis/BlueConnect
+perform well on them.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import TopologyError
+from repro.topology.builders.mesh import grid_coordinates, grid_index
+from repro.topology.defaults import DEFAULT_ALPHA, DEFAULT_BANDWIDTH_GBPS
+from repro.topology.topology import Topology
+
+__all__ = ["build_torus", "build_torus_2d", "build_torus_3d"]
+
+
+def build_torus(
+    dims: Sequence[int],
+    *,
+    alpha: float = DEFAULT_ALPHA,
+    bandwidth_gbps: float = DEFAULT_BANDWIDTH_GBPS,
+) -> Topology:
+    """Build an n-dimensional torus.
+
+    Each dimension forms a bidirectional ring.  Dimensions of size 2 are
+    connected with a single bidirectional link pair (the wraparound link would
+    duplicate the direct link and is omitted).
+    """
+    dims = tuple(int(d) for d in dims)
+    if not dims or any(d < 1 for d in dims):
+        raise TopologyError(f"torus dimensions must be positive, got {dims}")
+    num_npus = 1
+    for dim in dims:
+        num_npus *= dim
+    if num_npus < 2:
+        raise TopologyError("a torus needs at least 2 NPUs")
+    shape = "x".join(str(d) for d in dims)
+    topology = Topology(num_npus, name=f"Torus({shape})")
+    for index in range(num_npus):
+        coords = grid_coordinates(index, dims)
+        for axis, dim in enumerate(dims):
+            if dim == 1:
+                continue
+            neighbour = list(coords)
+            neighbour[axis] = (coords[axis] + 1) % dim
+            other = grid_index(neighbour, dims)
+            if dim == 2 and coords[axis] == 1:
+                # The wraparound from the second node duplicates the forward
+                # link added when visiting the first node.
+                continue
+            topology.add_link(index, other, alpha=alpha, bandwidth_gbps=bandwidth_gbps)
+            topology.add_link(other, index, alpha=alpha, bandwidth_gbps=bandwidth_gbps)
+    return topology
+
+
+def build_torus_2d(
+    rows: int,
+    cols: int,
+    *,
+    alpha: float = DEFAULT_ALPHA,
+    bandwidth_gbps: float = DEFAULT_BANDWIDTH_GBPS,
+) -> Topology:
+    """Build a 2D torus of ``rows x cols`` NPUs."""
+    return build_torus((cols, rows), alpha=alpha, bandwidth_gbps=bandwidth_gbps)
+
+
+def build_torus_3d(
+    x: int,
+    y: int,
+    z: int,
+    *,
+    alpha: float = DEFAULT_ALPHA,
+    bandwidth_gbps: float = DEFAULT_BANDWIDTH_GBPS,
+) -> Topology:
+    """Build a 3D torus of ``x * y * z`` NPUs."""
+    return build_torus((x, y, z), alpha=alpha, bandwidth_gbps=bandwidth_gbps)

@@ -1,0 +1,15 @@
+"""Default link parameters used across topology builders.
+
+The paper's footnote 8 fixes the default configuration for all experiments
+unless stated otherwise: ``alpha = 0.5 us`` and ``1/beta = 50 GB/s``.
+"""
+
+from __future__ import annotations
+
+__all__ = ["DEFAULT_ALPHA", "DEFAULT_BANDWIDTH_GBPS"]
+
+#: Default link latency in seconds (0.5 microseconds).
+DEFAULT_ALPHA = 0.5e-6
+
+#: Default link bandwidth in GB/s.
+DEFAULT_BANDWIDTH_GBPS = 50.0

@@ -1,0 +1,333 @@
+"""Directed network topology with alpha-beta link costs.
+
+A :class:`Topology` is the spatial half of the time-expanded network used by
+TACOS.  It is a directed multigraph restricted to at most one link per
+``(source, dest)`` pair; heterogeneity is expressed through per-link alpha and
+beta values, and asymmetry through the absence of links or through NPUs with
+different degrees.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.errors import TopologyError
+from repro.topology.link import Link, bandwidth_to_beta
+
+__all__ = ["Topology"]
+
+
+class Topology:
+    """A directed network of NPUs connected by alpha-beta links.
+
+    Parameters
+    ----------
+    num_npus:
+        Number of NPUs (endpoints).  NPUs are identified by integers
+        ``0 .. num_npus - 1``.
+    name:
+        Optional human-readable name (e.g. ``"Ring(8)"``), used in reports.
+    """
+
+    def __init__(self, num_npus: int, name: str = "") -> None:
+        if num_npus <= 0:
+            raise TopologyError(f"topology needs at least one NPU, got {num_npus}")
+        self._num_npus = int(num_npus)
+        self.name = name or f"Topology({num_npus})"
+        self._links: Dict[Tuple[int, int], Link] = {}
+        self._out: Dict[int, List[int]] = {npu: [] for npu in range(num_npus)}
+        self._in: Dict[int, List[int]] = {npu: [] for npu in range(num_npus)}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_link(
+        self,
+        source: int,
+        dest: int,
+        *,
+        alpha: float,
+        beta: Optional[float] = None,
+        bandwidth_gbps: Optional[float] = None,
+        bidirectional: bool = False,
+    ) -> None:
+        """Add a directed link (and optionally its reverse).
+
+        Exactly one of ``beta`` (seconds per byte) or ``bandwidth_gbps`` must
+        be provided.  Adding a link that already exists raises
+        :class:`TopologyError` to catch accidental double-definitions in
+        topology builders.
+        """
+        self._check_npu(source)
+        self._check_npu(dest)
+        if (beta is None) == (bandwidth_gbps is None):
+            raise TopologyError("provide exactly one of beta or bandwidth_gbps")
+        if beta is None:
+            beta = bandwidth_to_beta(bandwidth_gbps)
+        key = (source, dest)
+        if key in self._links:
+            raise TopologyError(f"link {source}->{dest} already exists in {self.name}")
+        link = Link(source=source, dest=dest, alpha=alpha, beta=beta)
+        self._links[key] = link
+        self._out[source].append(dest)
+        self._in[dest].append(source)
+        if bidirectional:
+            self.add_link(dest, source, alpha=alpha, beta=beta, bidirectional=False)
+
+    def _check_npu(self, npu: int) -> None:
+        if not 0 <= npu < self._num_npus:
+            raise TopologyError(f"NPU {npu} out of range for {self.name} with {self._num_npus} NPUs")
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_npus(self) -> int:
+        """Number of NPUs in the topology."""
+        return self._num_npus
+
+    @property
+    def num_links(self) -> int:
+        """Number of directed links."""
+        return len(self._links)
+
+    @property
+    def npus(self) -> range:
+        """Iterable over all NPU indices."""
+        return range(self._num_npus)
+
+    def links(self) -> Iterator[Link]:
+        """Iterate over all directed links."""
+        return iter(self._links.values())
+
+    def link_keys(self) -> Iterator[Tuple[int, int]]:
+        """Iterate over all ``(source, dest)`` link keys."""
+        return iter(self._links.keys())
+
+    def has_link(self, source: int, dest: int) -> bool:
+        """Whether a directed link ``source -> dest`` exists."""
+        return (source, dest) in self._links
+
+    def link(self, source: int, dest: int) -> Link:
+        """Return the link ``source -> dest`` or raise :class:`TopologyError`."""
+        try:
+            return self._links[(source, dest)]
+        except KeyError:
+            raise TopologyError(f"no link {source}->{dest} in {self.name}") from None
+
+    def out_neighbors(self, npu: int) -> Sequence[int]:
+        """NPUs reachable from ``npu`` over a single link."""
+        self._check_npu(npu)
+        return tuple(self._out[npu])
+
+    def in_neighbors(self, npu: int) -> Sequence[int]:
+        """NPUs with a direct link into ``npu``."""
+        self._check_npu(npu)
+        return tuple(self._in[npu])
+
+    def out_degree(self, npu: int) -> int:
+        """Number of outgoing links of ``npu``."""
+        return len(self.out_neighbors(npu))
+
+    def in_degree(self, npu: int) -> int:
+        """Number of incoming links of ``npu``."""
+        return len(self.in_neighbors(npu))
+
+    # ------------------------------------------------------------------
+    # Derived properties
+    # ------------------------------------------------------------------
+    def is_connected(self) -> bool:
+        """Whether every NPU can reach every other NPU over directed links."""
+        graph = self.to_networkx()
+        return nx.is_strongly_connected(graph) if self._num_npus > 1 else True
+
+    def is_homogeneous(self) -> bool:
+        """Whether every link has identical alpha and beta (Sec. I, footnote 2)."""
+        links = list(self._links.values())
+        if not links:
+            return True
+        first = links[0]
+        return all(
+            math.isclose(link.alpha, first.alpha) and math.isclose(link.beta, first.beta)
+            for link in links
+        )
+
+    def is_symmetric(self) -> bool:
+        """Whether every NPU has identical in- and out-degree profiles.
+
+        This is the degree-regularity notion of symmetry used informally by
+        the paper (NPUs at the centre vs. the edge of a mesh have different
+        degrees, making the mesh asymmetric).
+        """
+        degrees = {(self.out_degree(npu), self.in_degree(npu)) for npu in self.npus}
+        return len(degrees) <= 1
+
+    def npu_egress_bandwidth(self, npu: int) -> float:
+        """Aggregate outgoing bandwidth of ``npu`` in bytes per second."""
+        return sum(1.0 / self._links[(npu, dest)].beta for dest in self.out_neighbors(npu))
+
+    def npu_ingress_bandwidth(self, npu: int) -> float:
+        """Aggregate incoming bandwidth of ``npu`` in bytes per second."""
+        return sum(1.0 / self._links[(src, npu)].beta for src in self.in_neighbors(npu))
+
+    def min_npu_bandwidth(self) -> float:
+        """Bottleneck NPU bandwidth (bytes/s), used by the ideal bound (Sec. V-A).
+
+        The bottleneck is the smallest of all per-NPU ingress and egress
+        aggregate bandwidths; injection and ejection both constrain an
+        All-Reduce.
+        """
+        values = []
+        for npu in self.npus:
+            values.append(self.npu_egress_bandwidth(npu))
+            values.append(self.npu_ingress_bandwidth(npu))
+        if not values or min(values) == 0:
+            raise TopologyError(f"{self.name} has an NPU with no links")
+        return min(values)
+
+    def diameter_hops(self) -> int:
+        """Longest shortest-path length in hops between any NPU pair."""
+        graph = self.to_networkx()
+        lengths = dict(nx.all_pairs_shortest_path_length(graph))
+        diameter = 0
+        for src in self.npus:
+            for dest in self.npus:
+                if src == dest:
+                    continue
+                if dest not in lengths.get(src, {}):
+                    raise TopologyError(f"{self.name} is not strongly connected")
+                diameter = max(diameter, lengths[src][dest])
+        return diameter
+
+    def diameter_latency(self) -> float:
+        """Minimum latency (alpha-only) for the farthest NPU pair to communicate.
+
+        This is the alpha term of the theoretical ideal collective time in
+        Sec. V-A: the time for the two most distant NPUs to exchange a
+        zero-sized message along their cheapest path.
+        """
+        worst = 0.0
+        for src in self.npus:
+            distances = self._dijkstra(src, message_size=0.0)
+            for dest in self.npus:
+                if src == dest:
+                    continue
+                if math.isinf(distances[dest]):
+                    raise TopologyError(f"{self.name} is not strongly connected")
+                worst = max(worst, distances[dest])
+        return worst
+
+    def total_link_bandwidth(self) -> float:
+        """Sum of all link bandwidths in bytes per second."""
+        return sum(1.0 / link.beta for link in self._links.values())
+
+    # ------------------------------------------------------------------
+    # Routing helpers
+    # ------------------------------------------------------------------
+    def _dijkstra(self, source: int, message_size: float) -> List[float]:
+        """Shortest transmission-cost distances from ``source`` to all NPUs."""
+        distances = [math.inf] * self._num_npus
+        distances[source] = 0.0
+        heap: List[Tuple[float, int]] = [(0.0, source)]
+        while heap:
+            dist, node = heapq.heappop(heap)
+            if dist > distances[node]:
+                continue
+            for dest in self._out[node]:
+                link = self._links[(node, dest)]
+                candidate = dist + link.cost(message_size)
+                if candidate < distances[dest]:
+                    distances[dest] = candidate
+                    heapq.heappush(heap, (candidate, dest))
+        return distances
+
+    def shortest_path(self, source: int, dest: int, message_size: float = 0.0) -> List[int]:
+        """Cheapest path (list of NPU indices) from ``source`` to ``dest``.
+
+        The path cost of each hop is the alpha-beta transmission time of
+        ``message_size`` bytes, so large messages prefer high-bandwidth links
+        while small messages prefer low-latency links.
+        """
+        self._check_npu(source)
+        self._check_npu(dest)
+        if source == dest:
+            return [source]
+        distances = [math.inf] * self._num_npus
+        previous: List[Optional[int]] = [None] * self._num_npus
+        distances[source] = 0.0
+        heap: List[Tuple[float, int]] = [(0.0, source)]
+        while heap:
+            dist, node = heapq.heappop(heap)
+            if node == dest:
+                break
+            if dist > distances[node]:
+                continue
+            for nxt in self._out[node]:
+                link = self._links[(node, nxt)]
+                candidate = dist + link.cost(message_size)
+                if candidate < distances[nxt]:
+                    distances[nxt] = candidate
+                    previous[nxt] = node
+                    heapq.heappush(heap, (candidate, nxt))
+        if math.isinf(distances[dest]):
+            raise TopologyError(f"no path from {source} to {dest} in {self.name}")
+        path = [dest]
+        while path[-1] != source:
+            path.append(previous[path[-1]])
+        path.reverse()
+        return path
+
+    def all_shortest_paths_from(self, source: int, message_size: float = 0.0) -> Dict[int, List[int]]:
+        """Cheapest paths from ``source`` to every other NPU."""
+        return {dest: self.shortest_path(source, dest, message_size) for dest in self.npus if dest != source}
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def reversed(self) -> "Topology":
+        """Return a copy of the topology with every link direction flipped.
+
+        Used for synthesizing reduction collectives (Fig. 11): a Reduce-Scatter
+        is an All-Gather over the reversed topology played backwards in time.
+        """
+        rev = Topology(self._num_npus, name=f"{self.name}.reversed")
+        for link in self._links.values():
+            rev.add_link(link.dest, link.source, alpha=link.alpha, beta=link.beta)
+        return rev
+
+    def copy(self, name: Optional[str] = None) -> "Topology":
+        """Return a deep copy of the topology."""
+        duplicate = Topology(self._num_npus, name=name or self.name)
+        for link in self._links.values():
+            duplicate.add_link(link.source, link.dest, alpha=link.alpha, beta=link.beta)
+        return duplicate
+
+    def to_networkx(self) -> "nx.DiGraph":
+        """Export the topology as a :class:`networkx.DiGraph`.
+
+        Link attributes ``alpha`` and ``beta`` are preserved as edge data so
+        analysis code can reuse networkx graph algorithms.
+        """
+        graph = nx.DiGraph(name=self.name)
+        graph.add_nodes_from(self.npus)
+        for link in self._links.values():
+            graph.add_edge(link.source, link.dest, alpha=link.alpha, beta=link.beta)
+        return graph
+
+    # ------------------------------------------------------------------
+    # Dunder helpers
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        return f"Topology(name={self.name!r}, num_npus={self._num_npus}, num_links={self.num_links})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Topology):
+            return NotImplemented
+        return self._num_npus == other._num_npus and self._links == other._links
+
+    def __hash__(self) -> int:  # pragma: no cover - topologies are rarely hashed
+        return hash((self._num_npus, tuple(sorted(self._links))))

@@ -1,0 +1,25 @@
+"""Distributed-training workload model (models, parallelism, iteration time)."""
+
+from repro.workloads.models import MODEL_ZOO, ModelConfig, get_model
+from repro.workloads.parallelism import (
+    PARALLELISM_COLLECTIVES,
+    CollectiveRequirement,
+    ParallelismStrategy,
+)
+from repro.workloads.training import (
+    CollectiveTimeProvider,
+    TrainingBreakdown,
+    training_iteration_time,
+)
+
+__all__ = [
+    "MODEL_ZOO",
+    "PARALLELISM_COLLECTIVES",
+    "CollectiveRequirement",
+    "CollectiveTimeProvider",
+    "ModelConfig",
+    "ParallelismStrategy",
+    "TrainingBreakdown",
+    "get_model",
+    "training_iteration_time",
+]

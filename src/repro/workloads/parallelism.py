@@ -1,0 +1,99 @@
+"""Parallelization strategies and the collectives they require (Table III).
+
+Each strategy maps a model onto a set of NPUs and determines which collective
+patterns must run per training iteration and how large their payloads are.
+Only the communication that is *exposed* (not overlapped with compute) enters
+the end-to-end training time; following the paper (Sec. VI-D), data-parallel
+gradient synchronization is exposed at the end of every iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import WorkloadError
+from repro.workloads.models import ModelConfig
+
+__all__ = ["CollectiveRequirement", "ParallelismStrategy", "PARALLELISM_COLLECTIVES"]
+
+
+@dataclass(frozen=True)
+class CollectiveRequirement:
+    """One collective a parallelization strategy must execute per iteration.
+
+    Attributes
+    ----------
+    pattern:
+        Collective pattern name: ``"AllReduce"``, ``"AllGather"`` or
+        ``"ReduceScatter"``.
+    size:
+        Per-NPU payload in bytes.
+    exposed:
+        Whether the collective sits on the critical path (cannot be hidden
+        behind compute).
+    label:
+        Human-readable tag used in breakdowns (e.g. ``"WG Comm"``).
+    """
+
+    pattern: str
+    size: float
+    exposed: bool = True
+    label: str = ""
+
+
+#: Table III — collectives required by each parallelization strategy.
+PARALLELISM_COLLECTIVES: Dict[str, Tuple[str, ...]] = {
+    "data": ("AllReduce",),
+    "tensor": ("AllReduce",),
+    "fsdp": ("AllGather", "ReduceScatter"),
+    "zero": ("AllGather", "ReduceScatter"),
+    "hybrid": ("AllReduce", "AllGather", "ReduceScatter"),
+}
+
+
+@dataclass(frozen=True)
+class ParallelismStrategy:
+    """A parallelization strategy applied to a model on ``num_npus`` NPUs."""
+
+    name: str
+    num_npus: int
+
+    def __post_init__(self) -> None:
+        if self.name not in PARALLELISM_COLLECTIVES:
+            raise WorkloadError(
+                f"unknown parallelism strategy {self.name!r}; available: {sorted(PARALLELISM_COLLECTIVES)}"
+            )
+        if self.num_npus < 2:
+            raise WorkloadError(f"parallel training needs at least 2 NPUs, got {self.num_npus}")
+
+    def collectives(self, model: ModelConfig) -> List[CollectiveRequirement]:
+        """Per-iteration collective requirements for ``model``.
+
+        Data parallelism All-Reduces the full gradient.  Tensor parallelism
+        All-Reduces activations of comparable size to the gradients (a
+        simplification that keeps the payload model-derived).  FSDP / ZeRO
+        replace the All-Reduce with an All-Gather plus a Reduce-Scatter of the
+        same total volume.  Hybrid runs a data-parallel All-Reduce for weight
+        gradients and an All-Gather/Reduce-Scatter pair for input gradients.
+        """
+        gradient_bytes = model.gradient_bytes
+        if self.name == "data":
+            return [
+                CollectiveRequirement("AllReduce", gradient_bytes, exposed=True, label="WG Comm"),
+            ]
+        if self.name == "tensor":
+            return [
+                CollectiveRequirement("AllReduce", gradient_bytes, exposed=True, label="IG Comm"),
+            ]
+        if self.name in ("fsdp", "zero"):
+            return [
+                CollectiveRequirement("AllGather", gradient_bytes, exposed=True, label="WG Comm"),
+                CollectiveRequirement("ReduceScatter", gradient_bytes, exposed=True, label="WG Comm"),
+            ]
+        # hybrid
+        return [
+            CollectiveRequirement("AllReduce", gradient_bytes, exposed=True, label="WG Comm"),
+            CollectiveRequirement("AllGather", gradient_bytes / 2, exposed=True, label="IG Comm"),
+            CollectiveRequirement("ReduceScatter", gradient_bytes / 2, exposed=True, label="IG Comm"),
+        ]

@@ -1,0 +1,114 @@
+"""End-to-end training-iteration time model (Fig. 20 and Fig. 21).
+
+A training iteration consists of forward compute, backward compute, and the
+exposed collective communication required by the parallelization strategy.
+The communication time of each required collective is supplied by a
+*collective time provider* — a callable mapping ``(pattern_name, size)`` to
+seconds — so the same workload model can be evaluated with Ring, Themis,
+TACOS, or the theoretical ideal bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+from repro.errors import WorkloadError
+from repro.workloads.models import ModelConfig
+from repro.workloads.parallelism import CollectiveRequirement, ParallelismStrategy
+
+__all__ = ["TrainingBreakdown", "training_iteration_time", "CollectiveTimeProvider"]
+
+#: Callable returning the collective execution time in seconds for (pattern, size).
+CollectiveTimeProvider = Callable[[str, float], float]
+
+
+@dataclass
+class TrainingBreakdown:
+    """Per-iteration training time broken into compute and exposed communication.
+
+    Attributes
+    ----------
+    forward_compute:
+        Forward-pass compute seconds.
+    backward_compute:
+        Backward-pass compute seconds.
+    exposed_communication:
+        Total exposed collective seconds on the critical path.
+    communication_by_label:
+        Exposed communication grouped by the requirement label
+        (e.g. ``{"WG Comm": ..., "IG Comm": ...}``), matching Fig. 21's bars.
+    """
+
+    forward_compute: float
+    backward_compute: float
+    exposed_communication: float
+    communication_by_label: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total(self) -> float:
+        """Total per-iteration training time in seconds."""
+        return self.forward_compute + self.backward_compute + self.exposed_communication
+
+    @property
+    def compute(self) -> float:
+        """Total compute time in seconds."""
+        return self.forward_compute + self.backward_compute
+
+    @property
+    def communication_fraction(self) -> float:
+        """Share of the iteration spent in exposed communication."""
+        total = self.total
+        return self.exposed_communication / total if total > 0 else 0.0
+
+    def normalized_by(self, reference_total: float) -> "TrainingBreakdown":
+        """Return a copy with every component divided by ``reference_total``."""
+        if reference_total <= 0:
+            raise WorkloadError(f"reference total must be positive, got {reference_total}")
+        return TrainingBreakdown(
+            forward_compute=self.forward_compute / reference_total,
+            backward_compute=self.backward_compute / reference_total,
+            exposed_communication=self.exposed_communication / reference_total,
+            communication_by_label={
+                label: value / reference_total
+                for label, value in self.communication_by_label.items()
+            },
+        )
+
+
+def training_iteration_time(
+    model: ModelConfig,
+    strategy: ParallelismStrategy,
+    collective_time: CollectiveTimeProvider,
+) -> TrainingBreakdown:
+    """Compute the per-iteration training time breakdown for ``model``.
+
+    Parameters
+    ----------
+    model:
+        The DNN workload descriptor.
+    strategy:
+        Parallelization strategy (determines the required collectives).
+    collective_time:
+        Callable ``(pattern_name, size_bytes) -> seconds`` supplying the
+        execution time of each required collective on the target system.
+    """
+    requirements: List[CollectiveRequirement] = strategy.collectives(model)
+    exposed = 0.0
+    by_label: Dict[str, float] = {}
+    for requirement in requirements:
+        duration = collective_time(requirement.pattern, requirement.size)
+        if duration < 0:
+            raise WorkloadError(
+                f"collective time provider returned a negative duration for {requirement}"
+            )
+        if requirement.exposed:
+            exposed += duration
+            label = requirement.label or requirement.pattern
+            by_label[label] = by_label.get(label, 0.0) + duration
+    return TrainingBreakdown(
+        forward_compute=model.forward_compute_time,
+        backward_compute=model.backward_compute_time,
+        exposed_communication=exposed,
+        communication_by_label=by_label,
+    )

@@ -1,0 +1,104 @@
+"""Property-based tests on collective pattern invariants."""
+
+import math
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.collectives import (
+    AllGather,
+    AllReduce,
+    AllToAll,
+    Broadcast,
+    Gather,
+    Reduce,
+    ReduceScatter,
+    Scatter,
+)
+
+_sizes = st.integers(min_value=2, max_value=16)
+_chunks = st.integers(min_value=1, max_value=4)
+
+
+@given(num_npus=_sizes, chunks_per_npu=_chunks)
+def test_all_gather_preconditions_partition_the_chunks(num_npus, chunks_per_npu):
+    pattern = AllGather(num_npus, chunks_per_npu)
+    pre = pattern.precondition()
+    union = set()
+    total = 0
+    for chunks in pre.values():
+        union |= chunks
+        total += len(chunks)
+    assert union == set(range(pattern.num_chunks))
+    assert total == pattern.num_chunks  # disjoint shards
+
+
+@given(num_npus=_sizes, chunks_per_npu=_chunks)
+def test_all_gather_and_reduce_scatter_are_duals(num_npus, chunks_per_npu):
+    all_gather = AllGather(num_npus, chunks_per_npu)
+    reduce_scatter = ReduceScatter(num_npus, chunks_per_npu)
+    assert all_gather.precondition() == reduce_scatter.postcondition()
+    assert all_gather.postcondition() == reduce_scatter.precondition()
+
+
+@given(num_npus=_sizes, chunks_per_npu=_chunks)
+def test_postcondition_always_contains_precondition_targets(num_npus, chunks_per_npu):
+    # For every pattern, the unsatisfied set plus the precondition equals the postcondition.
+    for pattern in (
+        AllGather(num_npus, chunks_per_npu),
+        AllReduce(num_npus, chunks_per_npu),
+        Broadcast(num_npus, chunks_per_npu, root=0),
+        Gather(num_npus, chunks_per_npu, root=num_npus - 1),
+        AllToAll(num_npus, chunks_per_npu),
+    ):
+        pre = pattern.precondition()
+        post = pattern.postcondition()
+        unsatisfied = pattern.unsatisfied()
+        for npu in range(num_npus):
+            assert unsatisfied[npu] == post[npu] - pre[npu]
+            assert unsatisfied[npu].isdisjoint(pre[npu])
+
+
+@given(num_npus=_sizes, chunks_per_npu=_chunks, size=st.floats(min_value=1e3, max_value=1e10))
+def test_chunk_sizes_add_up_to_the_buffer(num_npus, chunks_per_npu, size):
+    all_gather = AllGather(num_npus, chunks_per_npu)
+    assert math.isclose(
+        all_gather.chunk_size(size) * num_npus * chunks_per_npu, size, rel_tol=1e-9
+    )
+    broadcast = Broadcast(num_npus, chunks_per_npu)
+    assert math.isclose(broadcast.chunk_size(size) * chunks_per_npu, size, rel_tol=1e-9)
+
+
+@given(num_npus=_sizes, chunks_per_npu=_chunks, root=st.integers(min_value=0, max_value=15))
+def test_rooted_patterns_respect_their_root(num_npus, chunks_per_npu, root):
+    root = root % num_npus
+    gather = Gather(num_npus, chunks_per_npu, root=root)
+    scatter = Scatter(num_npus, chunks_per_npu, root=root)
+    reduce_pattern = Reduce(num_npus, chunks_per_npu, root=root)
+    assert gather.postcondition()[root] == gather.all_chunks()
+    assert scatter.precondition()[root] == scatter.all_chunks()
+    assert reduce_pattern.postcondition()[root] == reduce_pattern.all_chunks()
+    for npu in range(num_npus):
+        if npu != root:
+            assert reduce_pattern.postcondition()[npu] == frozenset()
+
+
+@given(num_npus=_sizes, chunks_per_npu=_chunks)
+def test_all_to_all_conserves_chunks(num_npus, chunks_per_npu):
+    pattern = AllToAll(num_npus, chunks_per_npu)
+    pre_total = sum(len(chunks) for chunks in pattern.precondition().values())
+    post_total = sum(len(chunks) for chunks in pattern.postcondition().values())
+    assert pre_total == post_total == pattern.num_chunks
+
+
+@given(num_npus=_sizes, chunks_per_npu=_chunks)
+def test_lower_bound_transfer_counts(num_npus, chunks_per_npu):
+    assert AllGather(num_npus, chunks_per_npu).total_transfers_lower_bound() == (
+        num_npus * (num_npus - 1) * chunks_per_npu
+    )
+    assert Broadcast(num_npus, chunks_per_npu).total_transfers_lower_bound() == (
+        (num_npus - 1) * chunks_per_npu
+    )
+    assert AllToAll(num_npus, chunks_per_npu).total_transfers_lower_bound() == (
+        num_npus * (num_npus - 1) * chunks_per_npu
+    )

@@ -1,0 +1,122 @@
+"""Unit tests for the CollectiveAlgorithm representation."""
+
+import pytest
+
+from repro.core import ChunkTransfer, CollectiveAlgorithm
+
+
+def make_algorithm():
+    """A tiny 3-NPU broadcast-like algorithm used across the tests."""
+    transfers = [
+        ChunkTransfer(start=0.0, end=1.0, chunk=0, source=0, dest=1),
+        ChunkTransfer(start=1.0, end=2.0, chunk=0, source=1, dest=2),
+        ChunkTransfer(start=0.0, end=1.0, chunk=1, source=0, dest=2),
+    ]
+    return CollectiveAlgorithm(
+        transfers=transfers,
+        num_npus=3,
+        chunk_size=1e6,
+        collective_size=3e6,
+        pattern_name="Broadcastish",
+        topology_name="Line(3)",
+    )
+
+
+class TestChunkTransfer:
+    def test_duration_and_link(self):
+        transfer = ChunkTransfer(start=1.0, end=3.0, chunk=5, source=2, dest=4)
+        assert transfer.duration == pytest.approx(2.0)
+        assert transfer.link == (2, 4)
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ValueError):
+            ChunkTransfer(start=2.0, end=1.0, chunk=0, source=0, dest=1)
+
+    def test_ordering_by_start_time(self):
+        early = ChunkTransfer(start=0.0, end=1.0, chunk=0, source=0, dest=1)
+        late = ChunkTransfer(start=1.0, end=2.0, chunk=0, source=1, dest=2)
+        assert sorted([late, early])[0] == early
+
+
+class TestTiming:
+    def test_collective_time(self):
+        assert make_algorithm().collective_time == pytest.approx(2.0)
+
+    def test_empty_algorithm_time_is_zero(self):
+        empty = CollectiveAlgorithm([], num_npus=2, chunk_size=1.0, collective_size=1.0)
+        assert empty.collective_time == 0.0
+        assert empty.algorithmic_bandwidth() == float("inf")
+
+    def test_algorithmic_bandwidth(self):
+        assert make_algorithm().algorithmic_bandwidth() == pytest.approx(3e6 / 2.0)
+
+    def test_num_transfers(self):
+        assert make_algorithm().num_transfers == 3
+
+
+class TestPerLinkViews:
+    def test_link_occupancy_sorted(self):
+        occupancy = make_algorithm().link_occupancy()
+        assert set(occupancy) == {(0, 1), (1, 2), (0, 2)}
+        assert [t.start for t in occupancy[(0, 1)]] == [0.0]
+
+    def test_link_bytes(self):
+        loads = make_algorithm().link_bytes()
+        assert loads[(0, 1)] == pytest.approx(1e6)
+
+    def test_link_busy_time(self):
+        busy = make_algorithm().link_busy_time()
+        assert busy[(1, 2)] == pytest.approx(1.0)
+
+    def test_chunk_paths(self):
+        paths = make_algorithm().chunk_paths()
+        assert [t.dest for t in paths[0]] == [1, 2]
+
+    def test_delivered_chunks(self):
+        final = make_algorithm().delivered_chunks({0: {0, 1}, 1: set(), 2: set()})
+        assert final[1] == {0}
+        assert final[2] == {0, 1}
+
+    def test_has_link_overlap_false(self):
+        assert not make_algorithm().has_link_overlap()
+
+    def test_has_link_overlap_true(self):
+        transfers = [
+            ChunkTransfer(start=0.0, end=2.0, chunk=0, source=0, dest=1),
+            ChunkTransfer(start=1.0, end=3.0, chunk=1, source=0, dest=1),
+        ]
+        algorithm = CollectiveAlgorithm(transfers, num_npus=2, chunk_size=1.0, collective_size=2.0)
+        assert algorithm.has_link_overlap()
+
+
+class TestTransformations:
+    def test_shifted(self):
+        shifted = make_algorithm().shifted(5.0)
+        assert shifted.start_time == pytest.approx(5.0)
+        assert shifted.collective_time == pytest.approx(7.0)
+        assert shifted.num_transfers == 3
+
+    def test_reversed_in_time_swaps_directions_and_mirrors_times(self):
+        reversed_algorithm = make_algorithm().reversed_in_time()
+        assert reversed_algorithm.collective_time == pytest.approx(2.0)
+        # The transfer that ended last now starts first, with flipped endpoints.
+        first = min(reversed_algorithm.transfers, key=lambda t: t.start)
+        assert (first.source, first.dest) == (2, 1)
+        assert first.start == pytest.approx(0.0)
+
+    def test_double_reverse_restores_schedule(self):
+        original = make_algorithm()
+        twice = original.reversed_in_time().reversed_in_time()
+        assert sorted(twice.transfers) == sorted(original.transfers)
+
+    def test_concatenated_shifts_second_phase(self):
+        first = make_algorithm()
+        second = make_algorithm()
+        combined = first.concatenated(second, pattern_name="AllReduce")
+        assert combined.collective_time == pytest.approx(4.0)
+        assert combined.metadata["phase_boundary"] == pytest.approx(2.0)
+        assert combined.pattern_name == "AllReduce"
+        assert combined.num_transfers == 6
+
+    def test_summary_mentions_pattern(self):
+        assert "Broadcastish" in make_algorithm().summary()

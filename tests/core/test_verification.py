@@ -1,0 +1,179 @@
+"""Unit tests for the algorithm verification checks."""
+
+import pytest
+
+from repro.collectives import AllGather, AllReduce, ReduceScatter
+from repro.core import ChunkTransfer, CollectiveAlgorithm, TacosSynthesizer, verify_algorithm
+from repro.errors import VerificationError
+from repro.topology import build_ring
+
+MB = 1e6
+
+
+def ring_and_pattern():
+    topology = build_ring(3)
+    pattern = AllGather(3)
+    return topology, pattern
+
+
+def valid_all_gather_algorithm():
+    """Hand-written 3-NPU bidirectional ring All-Gather (one span)."""
+    topology, pattern = ring_and_pattern()
+    chunk_size = pattern.chunk_size(3 * MB)
+    span = topology.link(0, 1).cost(chunk_size)
+    transfers = []
+    for npu in range(3):
+        transfers.append(
+            ChunkTransfer(start=0.0, end=span, chunk=npu, source=npu, dest=(npu + 1) % 3)
+        )
+        transfers.append(
+            ChunkTransfer(start=0.0, end=span, chunk=npu, source=npu, dest=(npu - 1) % 3)
+        )
+    return CollectiveAlgorithm(
+        transfers=transfers,
+        num_npus=3,
+        chunk_size=chunk_size,
+        collective_size=3 * MB,
+        pattern_name="AllGather",
+        topology_name=topology.name,
+    )
+
+
+class TestStructuralChecks:
+    def test_valid_algorithm_passes(self):
+        topology, pattern = ring_and_pattern()
+        assert verify_algorithm(valid_all_gather_algorithm(), topology, pattern)
+
+    def test_nonexistent_link_rejected(self):
+        topology, pattern = ring_and_pattern()
+        algorithm = valid_all_gather_algorithm()
+        algorithm.transfers.append(
+            ChunkTransfer(start=0.0, end=1.0, chunk=0, source=0, dest=0 if False else 2)
+        )
+        # 0 -> 2 exists on a 3-ring (it is the "previous" neighbour), so instead
+        # build a transfer over a truly missing link by growing the ring.
+        bigger = build_ring(5)
+        with pytest.raises(VerificationError):
+            verify_algorithm(
+                CollectiveAlgorithm(
+                    transfers=[ChunkTransfer(start=0.0, end=1.0, chunk=0, source=0, dest=2)],
+                    num_npus=5,
+                    chunk_size=1.0,
+                    collective_size=5.0,
+                ),
+                bigger,
+                AllGather(5),
+            )
+
+    def test_wrong_duration_rejected(self):
+        topology, pattern = ring_and_pattern()
+        algorithm = valid_all_gather_algorithm()
+        bad = ChunkTransfer(start=0.0, end=1.0, chunk=1, source=1, dest=2)
+        algorithm.transfers[0] = bad
+        with pytest.raises(VerificationError):
+            verify_algorithm(algorithm, topology, pattern)
+
+    def test_duration_check_can_be_disabled(self):
+        topology, pattern = ring_and_pattern()
+        algorithm = valid_all_gather_algorithm()
+        chunk_size = algorithm.chunk_size
+        stretched = [
+            ChunkTransfer(
+                start=t.start, end=t.end * 2 + 1e-6, chunk=t.chunk, source=t.source, dest=t.dest
+            )
+            for t in algorithm.transfers
+        ]
+        relaxed = CollectiveAlgorithm(
+            transfers=stretched,
+            num_npus=3,
+            chunk_size=chunk_size,
+            collective_size=3 * MB,
+        )
+        assert verify_algorithm(relaxed, topology, pattern, check_link_timing=False)
+
+    def test_link_overlap_rejected(self):
+        topology, pattern = ring_and_pattern()
+        algorithm = valid_all_gather_algorithm()
+        duplicate = algorithm.transfers[0]
+        algorithm.transfers.append(
+            ChunkTransfer(
+                start=duplicate.start + duplicate.duration / 2,
+                end=duplicate.end + duplicate.duration / 2,
+                chunk=2,
+                source=duplicate.source,
+                dest=duplicate.dest,
+            )
+        )
+        with pytest.raises(VerificationError):
+            verify_algorithm(algorithm, topology, pattern)
+
+
+class TestSemanticChecks:
+    def test_causality_violation_rejected(self):
+        topology, pattern = ring_and_pattern()
+        chunk_size = pattern.chunk_size(3 * MB)
+        span = topology.link(0, 1).cost(chunk_size)
+        # NPU 1 forwards chunk 0 before ever receiving it.
+        transfers = [
+            ChunkTransfer(start=0.0, end=span, chunk=0, source=1, dest=2),
+        ]
+        algorithm = CollectiveAlgorithm(
+            transfers=transfers, num_npus=3, chunk_size=chunk_size, collective_size=3 * MB
+        )
+        with pytest.raises(VerificationError):
+            verify_algorithm(algorithm, topology, pattern)
+
+    def test_missing_postcondition_rejected(self):
+        topology, pattern = ring_and_pattern()
+        algorithm = valid_all_gather_algorithm()
+        algorithm.transfers.pop()
+        with pytest.raises(VerificationError):
+            verify_algorithm(algorithm, topology, pattern)
+
+    def test_reduce_scatter_duplicate_contribution_rejected(self):
+        topology = build_ring(3)
+        pattern = ReduceScatter(3)
+        chunk_size = pattern.chunk_size(3 * MB)
+        span = topology.link(0, 1).cost(chunk_size)
+        # NPU 1 sends its partial of chunk 0 twice (double counting).
+        transfers = [
+            ChunkTransfer(start=0.0, end=span, chunk=0, source=1, dest=0),
+            ChunkTransfer(start=span, end=2 * span, chunk=0, source=1, dest=2),
+            ChunkTransfer(start=0.0, end=span, chunk=0, source=2, dest=0),
+        ]
+        algorithm = CollectiveAlgorithm(
+            transfers=transfers, num_npus=3, chunk_size=chunk_size, collective_size=3 * MB
+        )
+        with pytest.raises(VerificationError):
+            verify_algorithm(algorithm, topology, pattern)
+
+    def test_reduction_causality_rejected(self):
+        topology = build_ring(3)
+        pattern = ReduceScatter(3)
+        chunk_size = pattern.chunk_size(3 * MB)
+        span = topology.link(0, 1).cost(chunk_size)
+        # NPU 1 forwards its partial of chunk 2 before NPU 0's partial arrives.
+        transfers = [
+            ChunkTransfer(start=0.0, end=span, chunk=2, source=1, dest=2),
+            ChunkTransfer(start=0.0, end=span, chunk=2, source=0, dest=1),
+        ]
+        algorithm = CollectiveAlgorithm(
+            transfers=transfers, num_npus=3, chunk_size=chunk_size, collective_size=3 * MB
+        )
+        with pytest.raises(VerificationError):
+            verify_algorithm(algorithm, topology, pattern)
+
+    def test_all_reduce_requires_phase_boundary(self):
+        topology = build_ring(3)
+        pattern = AllReduce(3)
+        algorithm = CollectiveAlgorithm(
+            transfers=[], num_npus=3, chunk_size=1.0, collective_size=3.0
+        )
+        with pytest.raises(VerificationError):
+            verify_algorithm(algorithm, topology, pattern)
+
+    def test_synthesized_all_reduce_passes(self):
+        topology = build_ring(4)
+        pattern = AllReduce(4)
+        algorithm = TacosSynthesizer().synthesize(topology, pattern, 4 * MB)
+        assert verify_algorithm(algorithm, topology, pattern)

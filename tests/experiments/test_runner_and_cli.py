@@ -1,0 +1,43 @@
+"""Tests for the experiment runner and the command-line entry point."""
+
+import pytest
+
+from repro.experiments import runner
+
+
+class TestRunnerRegistry:
+    def test_every_design_md_experiment_is_registered(self):
+        expected = {
+            "fig01", "fig02a", "fig02b", "fig10", "fig14", "fig15", "table05",
+            "fig16a", "fig16b", "fig17a", "fig17b", "fig18", "fig19", "fig20", "fig21",
+        }
+        assert expected == set(runner.EXPERIMENTS)
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            runner.run_experiment("fig99")
+
+    def test_run_experiment_returns_data(self):
+        rows = runner.run_experiment("fig10")
+        assert rows and all(row.verified for row in rows)
+
+
+class TestCommandLine:
+    def test_list_option(self, capsys):
+        exit_code = runner.main(["--list"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "fig15" in captured.out
+        assert "table05" in captured.out
+
+    def test_running_a_single_cheap_experiment(self, capsys):
+        exit_code = runner.main(["fig10"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "fig10" in captured.out
+        assert "completed" in captured.out
+
+    def test_cli_module_exposes_main(self):
+        from repro import cli
+
+        assert cli.main is runner.main

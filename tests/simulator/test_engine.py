@@ -1,0 +1,165 @@
+"""Unit tests for the congestion-aware discrete-event simulator."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulator import CongestionAwareSimulator, Message
+from repro.topology import Topology, build_fully_connected, build_ring
+
+MB = 1e6
+
+
+def line_topology() -> Topology:
+    """0 -> 1 -> 2 with default 0.5 us / 50 GB/s links."""
+    topology = Topology(3, name="Line3")
+    topology.add_link(0, 1, alpha=0.5e-6, bandwidth_gbps=50.0)
+    topology.add_link(1, 2, alpha=0.5e-6, bandwidth_gbps=50.0)
+    return topology
+
+
+class TestBasicTiming:
+    def test_single_message_direct_link(self):
+        topology = line_topology()
+        simulator = CongestionAwareSimulator(topology)
+        result = simulator.run([Message(message_id=0, source=0, dest=1, size=MB)])
+        expected = 0.5e-6 + MB / 50e9
+        assert result.completion_time == pytest.approx(expected)
+
+    def test_multi_hop_store_and_forward(self):
+        topology = line_topology()
+        simulator = CongestionAwareSimulator(topology)
+        result = simulator.run([Message(message_id=0, source=0, dest=2, size=MB)])
+        per_hop = 0.5e-6 + MB / 50e9
+        assert result.completion_time == pytest.approx(2 * per_hop)
+
+    def test_contending_messages_serialize_fcfs(self):
+        topology = line_topology()
+        simulator = CongestionAwareSimulator(topology)
+        messages = [
+            Message(message_id=0, source=0, dest=1, size=MB),
+            Message(message_id=1, source=0, dest=1, size=MB),
+        ]
+        result = simulator.run(messages)
+        serialization = MB / 50e9
+        # The second message waits for the first one's serialization (the link
+        # is busy for beta * size) but the alpha latencies pipeline.
+        assert result.message_completion[0] == pytest.approx(0.5e-6 + serialization)
+        assert result.message_completion[1] == pytest.approx(0.5e-6 + 2 * serialization)
+        assert result.completion_time == pytest.approx(0.5e-6 + 2 * serialization)
+
+    def test_independent_links_run_in_parallel(self):
+        topology = build_ring(4)
+        simulator = CongestionAwareSimulator(topology)
+        messages = [
+            Message(message_id=0, source=0, dest=1, size=MB),
+            Message(message_id=1, source=2, dest=3, size=MB),
+        ]
+        result = simulator.run(messages)
+        per_hop = 0.5e-6 + MB / 50e9
+        assert result.completion_time == pytest.approx(per_hop)
+
+    def test_empty_workload(self):
+        result = CongestionAwareSimulator(build_ring(3)).run([])
+        assert result.completion_time == 0.0
+
+
+class TestDependencies:
+    def test_dependent_message_waits(self):
+        topology = line_topology()
+        simulator = CongestionAwareSimulator(topology)
+        messages = [
+            Message(message_id=0, source=0, dest=1, size=MB),
+            Message(message_id=1, source=1, dest=2, size=MB, depends_on=frozenset({0})),
+        ]
+        result = simulator.run(messages)
+        per_hop = 0.5e-6 + MB / 50e9
+        assert result.message_completion[1] == pytest.approx(2 * per_hop)
+
+    def test_diamond_dependency(self):
+        topology = build_fully_connected(4)
+        simulator = CongestionAwareSimulator(topology)
+        messages = [
+            Message(message_id=0, source=0, dest=1, size=MB),
+            Message(message_id=1, source=0, dest=2, size=MB),
+            Message(message_id=2, source=1, dest=3, size=MB, depends_on=frozenset({0, 1})),
+        ]
+        result = simulator.run(messages)
+        # Message 1 contends with 0 on no common link, so both finish after one
+        # hop; message 2 then takes another hop.
+        per_hop = 0.5e-6 + MB / 50e9
+        assert result.message_completion[2] == pytest.approx(2 * per_hop)
+
+    def test_dependency_cycle_detected(self):
+        topology = build_fully_connected(3)
+        simulator = CongestionAwareSimulator(topology)
+        messages = [
+            Message(message_id=0, source=0, dest=1, size=MB, depends_on=frozenset({1})),
+            Message(message_id=1, source=1, dest=2, size=MB, depends_on=frozenset({0})),
+        ]
+        with pytest.raises(SimulationError):
+            simulator.run(messages)
+
+    def test_unknown_dependency_rejected(self):
+        topology = build_fully_connected(3)
+        simulator = CongestionAwareSimulator(topology)
+        with pytest.raises(SimulationError):
+            simulator.run([Message(message_id=0, source=0, dest=1, size=MB, depends_on=frozenset({9}))])
+
+    def test_duplicate_ids_rejected(self):
+        topology = build_fully_connected(3)
+        simulator = CongestionAwareSimulator(topology)
+        messages = [
+            Message(message_id=0, source=0, dest=1, size=MB),
+            Message(message_id=0, source=1, dest=2, size=MB),
+        ]
+        with pytest.raises(SimulationError):
+            simulator.run(messages)
+
+
+class TestAccounting:
+    def test_link_bytes_accumulate(self):
+        topology = line_topology()
+        simulator = CongestionAwareSimulator(topology)
+        result = simulator.run([Message(message_id=0, source=0, dest=2, size=MB)])
+        assert result.link_bytes[(0, 1)] == pytest.approx(MB)
+        assert result.link_bytes[(1, 2)] == pytest.approx(MB)
+
+    def test_busy_intervals_do_not_overlap_per_link(self):
+        topology = build_ring(6)
+        simulator = CongestionAwareSimulator(topology)
+        messages = [
+            Message(message_id=i, source=i % 6, dest=(i + 2) % 6, size=MB) for i in range(12)
+        ]
+        result = simulator.run(messages)
+        for intervals in result.link_busy_intervals.values():
+            ordered = sorted(intervals)
+            for (start_a, end_a), (start_b, _) in zip(ordered, ordered[1:]):
+                assert start_b >= end_a - 1e-12
+
+    def test_collective_bandwidth_requires_size(self):
+        topology = line_topology()
+        result = CongestionAwareSimulator(topology).run(
+            [Message(message_id=0, source=0, dest=1, size=MB)]
+        )
+        with pytest.raises(SimulationError):
+            result.collective_bandwidth()
+
+    def test_unroutable_message_raises(self):
+        topology = line_topology()  # no path from 2 back to 0
+        simulator = CongestionAwareSimulator(topology)
+        with pytest.raises(Exception):
+            simulator.run([Message(message_id=0, source=2, dest=0, size=MB)])
+
+
+class TestMessageValidation:
+    def test_self_message_rejected(self):
+        with pytest.raises(SimulationError):
+            Message(message_id=0, source=1, dest=1, size=MB)
+
+    def test_non_positive_size_rejected(self):
+        with pytest.raises(SimulationError):
+            Message(message_id=0, source=0, dest=1, size=0.0)
+
+    def test_self_dependency_rejected(self):
+        with pytest.raises(SimulationError):
+            Message(message_id=3, source=0, dest=1, size=MB, depends_on=frozenset({3}))

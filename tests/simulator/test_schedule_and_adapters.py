@@ -1,0 +1,146 @@
+"""Tests for logical schedules, adapters, and simulation results."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ring_all_gather, ring_all_reduce
+from repro.collectives import AllGather
+from repro.core import TacosSynthesizer
+from repro.errors import SimulationError
+from repro.simulator import (
+    LogicalSchedule,
+    LogicalSend,
+    algorithm_to_messages,
+    schedule_to_messages,
+    simulate_algorithm,
+    simulate_schedule,
+)
+from repro.topology import build_mesh_2d, build_ring
+
+MB = 1e6
+
+
+class TestLogicalSchedule:
+    def test_num_steps_and_sends(self):
+        schedule = ring_all_gather(4, 4 * MB, bidirectional=False)
+        assert schedule.num_steps == 3
+        assert schedule.num_sends == 12
+
+    def test_sends_at_step(self):
+        schedule = ring_all_gather(4, 4 * MB, bidirectional=False)
+        assert len(schedule.sends_at_step(0)) == 4
+
+    def test_total_bytes(self):
+        schedule = ring_all_gather(4, 4 * MB, bidirectional=False)
+        assert schedule.total_bytes() == pytest.approx(12 * MB)
+
+    def test_sends_per_npu(self):
+        schedule = ring_all_gather(4, 4 * MB, bidirectional=False)
+        assert schedule.sends_per_npu() == {0: 3, 1: 3, 2: 3, 3: 3}
+
+    def test_validate_rejects_out_of_range(self):
+        schedule = LogicalSchedule(
+            sends=[LogicalSend(step=0, chunk=0, source=0, dest=5)],
+            num_npus=3,
+            chunk_size=MB,
+            collective_size=MB,
+            name="bad",
+        )
+        with pytest.raises(SimulationError):
+            schedule.validate()
+
+    def test_negative_step_rejected(self):
+        with pytest.raises(SimulationError):
+            LogicalSend(step=-1, chunk=0, source=0, dest=1)
+
+
+class TestScheduleToMessages:
+    def test_dependency_on_earlier_inbound_send(self):
+        schedule = ring_all_gather(4, 4 * MB, bidirectional=False)
+        messages = schedule_to_messages(schedule)
+        by_id = {m.message_id: m for m in messages}
+        # Find a step-1 send; it must depend on the step-0 send that delivered
+        # the same chunk to its source.
+        sends = sorted(schedule.sends, key=lambda s: (s.step, s.source, s.dest, s.chunk))
+        for index, send in enumerate(sends):
+            if send.step == 0:
+                assert by_id[index].depends_on == frozenset()
+            else:
+                assert len(by_id[index].depends_on) >= 1
+
+    def test_message_sizes_match_chunk_size(self):
+        schedule = ring_all_gather(4, 4 * MB)
+        for message in schedule_to_messages(schedule):
+            assert message.size == pytest.approx(schedule.chunk_size)
+
+
+class TestAlgorithmToMessages:
+    def test_link_order_is_preserved_as_dependency(self):
+        topology = build_mesh_2d(3, 3)
+        algorithm = TacosSynthesizer().synthesize(topology, AllGather(9), 9 * MB)
+        messages = algorithm_to_messages(algorithm)
+        transfers = sorted(algorithm.transfers, key=lambda t: (t.start, t.end))
+        by_link = {}
+        for index, transfer in enumerate(transfers):
+            previous = by_link.get(transfer.link)
+            if previous is not None:
+                assert previous in messages[index].depends_on
+            by_link[transfer.link] = index
+
+    def test_simulated_time_matches_synthesized_time(self):
+        topology = build_mesh_2d(3, 3)
+        algorithm = TacosSynthesizer().synthesize(topology, AllGather(9), 9 * MB)
+        result = simulate_algorithm(topology, algorithm)
+        assert result.completion_time == pytest.approx(algorithm.collective_time, rel=1e-6)
+
+    def test_simulating_on_slower_network_stretches_time(self):
+        fast = build_ring(4, bandwidth_gbps=100.0)
+        slow = build_ring(4, bandwidth_gbps=25.0)
+        algorithm = TacosSynthesizer().synthesize(fast, AllGather(4), 4 * MB)
+        fast_time = simulate_algorithm(fast, algorithm).completion_time
+        slow_time = simulate_algorithm(slow, algorithm).completion_time
+        assert slow_time > fast_time
+
+
+class TestSimulationResultMetrics:
+    def test_ring_all_reduce_on_ring_hits_known_bandwidth(self):
+        topology = build_ring(8)
+        result = simulate_schedule(topology, ring_all_reduce(8, 1e9))
+        # 2(N-1)/N * size over two directions of 50 GB/s each, plus small alpha terms.
+        expected = 2 * 7 / 8 * 1e9 / 100e9
+        assert result.completion_time == pytest.approx(expected, rel=0.01)
+
+    def test_average_link_utilization_bounds(self):
+        topology = build_ring(8)
+        result = simulate_schedule(topology, ring_all_reduce(8, 1e9))
+        assert 0.9 <= result.average_link_utilization() <= 1.0
+
+    def test_per_link_utilization_values(self):
+        topology = build_ring(4)
+        result = simulate_schedule(topology, ring_all_reduce(4, 4 * MB))
+        for value in result.per_link_utilization().values():
+            assert 0.0 <= value <= 1.0 + 1e-9
+
+    def test_normalized_link_loads_peak_at_one(self):
+        topology = build_ring(4)
+        result = simulate_schedule(topology, ring_all_reduce(4, 4 * MB))
+        loads = result.normalized_link_loads()
+        assert max(loads.values()) == pytest.approx(1.0)
+
+    def test_utilization_timeline_shape_and_range(self):
+        topology = build_ring(4)
+        result = simulate_schedule(topology, ring_all_reduce(4, 4 * MB))
+        times, utilization = result.utilization_timeline(num_samples=50)
+        assert times.shape == (50,) and utilization.shape == (50,)
+        assert np.all(utilization >= 0.0) and np.all(utilization <= 1.0)
+
+    def test_busy_link_count_at(self):
+        topology = build_ring(4)
+        result = simulate_schedule(topology, ring_all_reduce(4, 4 * MB))
+        assert result.busy_link_count_at(1e-9) > 0
+
+    def test_invalid_sample_count_rejected(self):
+        topology = build_ring(4)
+        result = simulate_schedule(topology, ring_all_reduce(4, 4 * MB))
+        with pytest.raises(SimulationError):
+            result.utilization_timeline(num_samples=0)

@@ -1,0 +1,102 @@
+"""Unit tests for the time-expanded network state."""
+
+import pytest
+
+from repro.errors import SynthesisError
+from repro.ten import TimeExpandedNetwork
+from repro.topology import build_ring
+
+
+@pytest.fixture
+def ten():
+    return TimeExpandedNetwork(build_ring(4), chunk_size=1e6)
+
+
+class TestConstruction:
+    def test_rejects_non_positive_chunk_size(self):
+        with pytest.raises(SynthesisError):
+            TimeExpandedNetwork(build_ring(4), chunk_size=0.0)
+
+    def test_link_cost_matches_alpha_beta(self, ten):
+        # Default: alpha = 0.5 us, 50 GB/s -> 1 MB takes 20 us + alpha.
+        assert ten.link_cost((0, 1)) == pytest.approx(0.5e-6 + 1e6 / 50e9)
+
+    def test_num_links(self, ten):
+        assert ten.num_links == 8
+
+
+class TestOccupancy:
+    def test_links_start_idle(self, ten):
+        assert ten.is_link_idle((0, 1), 0.0)
+        assert ten.busy_links_at(0.0) == 0
+
+    def test_occupy_marks_busy_until_completion(self, ten):
+        end = ten.occupy((0, 1), 0.0)
+        assert end == pytest.approx(ten.link_cost((0, 1)))
+        assert not ten.is_link_idle((0, 1), end / 2)
+        assert ten.is_link_idle((0, 1), end)
+
+    def test_occupying_busy_link_raises(self, ten):
+        ten.occupy((0, 1), 0.0)
+        with pytest.raises(SynthesisError):
+            ten.occupy((0, 1), 1e-9)
+
+    def test_idle_in_links_excludes_busy(self, ten):
+        assert set(ten.idle_in_links(1, 0.0)) == {(0, 1), (2, 1)}
+        ten.occupy((0, 1), 0.0)
+        assert set(ten.idle_in_links(1, 0.0)) == {(2, 1)}
+
+    def test_idle_out_links(self, ten):
+        assert set(ten.idle_out_links(0, 0.0)) == {(0, 1), (0, 3)}
+
+    def test_utilization_at(self, ten):
+        ten.occupy((0, 1), 0.0)
+        ten.occupy((1, 2), 0.0)
+        assert ten.utilization_at(1e-9) == pytest.approx(2 / 8)
+
+    def test_link_next_free(self, ten):
+        end = ten.occupy((0, 1), 0.0)
+        assert ten.link_next_free((0, 1)) == pytest.approx(end)
+        assert ten.link_next_free((1, 2)) == 0.0
+
+    def test_snapshot_is_a_copy(self, ten):
+        snapshot = ten.snapshot_free_times()
+        snapshot[(0, 1)] = 42.0
+        assert ten.link_next_free((0, 1)) == 0.0
+
+
+class TestEvents:
+    def test_next_event_after_returns_earliest_future_event(self, ten):
+        first = ten.occupy((0, 1), 0.0)
+        ten.occupy((1, 2), first)
+        assert ten.next_event_after(0.0) == pytest.approx(first)
+
+    def test_events_are_consumed(self, ten):
+        first = ten.occupy((0, 1), 0.0)
+        assert ten.next_event_after(0.0) == pytest.approx(first)
+        assert ten.next_event_after(0.0) is None
+
+    def test_no_events_returns_none(self, ten):
+        assert ten.next_event_after(0.0) is None
+
+    def test_past_events_are_skipped(self, ten):
+        ten.push_event(1.0)
+        ten.push_event(2.0)
+        assert ten.next_event_after(1.5) == pytest.approx(2.0)
+
+
+class TestHeterogeneousSpans:
+    def test_heterogeneous_link_costs(self):
+        from repro.topology import Topology
+
+        topology = Topology(3, name="Fig12")
+        topology.add_link(0, 1, alpha=0.5e-6, bandwidth_gbps=100.0, bidirectional=True)
+        topology.add_link(1, 2, alpha=1e-6, bandwidth_gbps=70.0, bidirectional=True)
+        ten = TimeExpandedNetwork(topology, chunk_size=1e6)
+        # Fig. 12: 1 MB chunk -> 10.5 us over the fast link, ~15.3 us over the slow one.
+        assert ten.link_cost((0, 1)) == pytest.approx(0.5e-6 + 1e6 / 100e9)
+        assert ten.link_cost((1, 2)) == pytest.approx(1e-6 + 1e6 / 70e9)
+        fast_end = ten.occupy((0, 1), 0.0)
+        slow_end = ten.occupy((1, 2), 0.0)
+        assert fast_end < slow_end
+        assert ten.next_event_after(0.0) == pytest.approx(fast_end)

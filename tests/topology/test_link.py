@@ -1,0 +1,91 @@
+"""Unit tests for the alpha-beta link model."""
+
+import math
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.link import GIGABYTE, Link, bandwidth_to_beta, beta_to_bandwidth
+
+
+class TestBandwidthConversion:
+    def test_bandwidth_to_beta_roundtrip(self):
+        beta = bandwidth_to_beta(50.0)
+        assert beta_to_bandwidth(beta) == pytest.approx(50.0)
+
+    def test_bandwidth_to_beta_value(self):
+        # 50 GB/s means 1 byte takes 1 / 50e9 seconds.
+        assert bandwidth_to_beta(50.0) == pytest.approx(1.0 / (50.0 * GIGABYTE))
+
+    def test_zero_bandwidth_rejected(self):
+        with pytest.raises(TopologyError):
+            bandwidth_to_beta(0.0)
+
+    def test_negative_bandwidth_rejected(self):
+        with pytest.raises(TopologyError):
+            bandwidth_to_beta(-1.0)
+
+    def test_zero_beta_rejected(self):
+        with pytest.raises(TopologyError):
+            beta_to_bandwidth(0.0)
+
+
+class TestLink:
+    def test_cost_combines_alpha_and_beta(self):
+        link = Link(source=0, dest=1, alpha=0.5e-6, beta=bandwidth_to_beta(50.0))
+        expected = 0.5e-6 + 1e6 / (50.0 * GIGABYTE)
+        assert link.cost(1e6) == pytest.approx(expected)
+
+    def test_zero_size_cost_is_alpha(self):
+        link = Link(source=0, dest=1, alpha=2e-6, beta=1e-11)
+        assert link.cost(0.0) == pytest.approx(2e-6)
+
+    def test_negative_size_rejected(self):
+        link = Link(source=0, dest=1, alpha=1e-6, beta=1e-11)
+        with pytest.raises(TopologyError):
+            link.cost(-1.0)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(TopologyError):
+            Link(source=2, dest=2, alpha=1e-6, beta=1e-11)
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(TopologyError):
+            Link(source=0, dest=1, alpha=-1e-6, beta=1e-11)
+
+    def test_non_positive_beta_rejected(self):
+        with pytest.raises(TopologyError):
+            Link(source=0, dest=1, alpha=1e-6, beta=0.0)
+
+    def test_key(self):
+        link = Link(source=3, dest=7, alpha=1e-6, beta=1e-11)
+        assert link.key == (3, 7)
+
+    def test_bandwidth_property(self):
+        link = Link(source=0, dest=1, alpha=1e-6, beta=bandwidth_to_beta(100.0))
+        assert link.bandwidth_gbps == pytest.approx(100.0)
+
+    def test_reversed_swaps_endpoints(self):
+        link = Link(source=1, dest=4, alpha=1e-6, beta=1e-11)
+        reverse = link.reversed()
+        assert reverse.source == 4
+        assert reverse.dest == 1
+        assert reverse.alpha == link.alpha
+        assert reverse.beta == link.beta
+
+    def test_scaled_bandwidth_multiplies_beta(self):
+        link = Link(source=0, dest=1, alpha=1e-6, beta=1e-11)
+        shared = link.scaled_bandwidth(4)
+        assert shared.beta == pytest.approx(4e-11)
+        assert shared.alpha == pytest.approx(1e-6)
+
+    def test_scaled_bandwidth_rejects_non_positive_factor(self):
+        link = Link(source=0, dest=1, alpha=1e-6, beta=1e-11)
+        with pytest.raises(TopologyError):
+            link.scaled_bandwidth(0)
+
+    def test_links_are_hashable_and_comparable(self):
+        a = Link(source=0, dest=1, alpha=1e-6, beta=1e-11)
+        b = Link(source=0, dest=1, alpha=1e-6, beta=1e-11)
+        assert a == b
+        assert hash(a) == hash(b)

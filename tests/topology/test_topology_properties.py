@@ -1,0 +1,105 @@
+"""Property-based tests for topologies and their builders."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology import (
+    build_binary_hypercube,
+    build_fully_connected,
+    build_mesh,
+    build_ring,
+    build_switch,
+    build_torus,
+)
+from tests.conftest import random_connected_topology
+
+
+@given(num_npus=st.integers(min_value=2, max_value=32))
+def test_ring_every_npu_has_one_successor(num_npus):
+    topology = build_ring(num_npus, bidirectional=False)
+    assert all(topology.out_degree(npu) == 1 for npu in topology.npus)
+    assert topology.is_connected()
+
+
+@given(num_npus=st.integers(min_value=2, max_value=16))
+def test_fully_connected_diameter_is_one(num_npus):
+    assert build_fully_connected(num_npus).diameter_hops() == 1
+
+
+@given(
+    dims=st.lists(st.integers(min_value=1, max_value=4), min_size=1, max_size=3).filter(
+        lambda dims: 2 <= __import__("math").prod(dims) <= 48
+    )
+)
+def test_mesh_link_count_formula(dims):
+    topology = build_mesh(dims)
+    total = 1
+    for dim in dims:
+        total *= dim
+    expected = 0
+    for axis, dim in enumerate(dims):
+        expected += 2 * (dim - 1) * (total // dim)
+    assert topology.num_links == expected
+
+
+@given(
+    dims=st.lists(st.integers(min_value=2, max_value=4), min_size=1, max_size=3).filter(
+        lambda dims: __import__("math").prod(dims) <= 48
+    )
+)
+def test_torus_is_degree_regular(dims):
+    topology = build_torus(dims)
+    degrees = {topology.out_degree(npu) for npu in topology.npus}
+    assert len(degrees) == 1
+    assert topology.is_symmetric()
+
+
+@given(
+    num_npus=st.integers(min_value=3, max_value=12),
+    degree=st.integers(min_value=1, max_value=11),
+)
+def test_switch_unwinding_preserves_port_bandwidth(num_npus, degree):
+    degree = min(degree, num_npus - 1)
+    topology = build_switch(num_npus, unwind_degree=degree, bandwidth_gbps=120.0)
+    for npu in topology.npus:
+        assert abs(topology.npu_egress_bandwidth(npu) - 120e9) < 1e-3
+    assert topology.is_connected()
+
+
+@given(dimension=st.integers(min_value=1, max_value=6))
+def test_binary_hypercube_link_count(dimension):
+    topology = build_binary_hypercube(dimension)
+    assert topology.num_links == dimension * (1 << dimension)
+
+
+@settings(deadline=None)
+@given(
+    num_npus=st.integers(min_value=2, max_value=12),
+    extra_links=st.integers(min_value=0, max_value=10),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_random_topologies_are_strongly_connected(num_npus, extra_links, seed):
+    topology = random_connected_topology(num_npus, random.Random(seed), extra_links=extra_links)
+    assert topology.is_connected()
+    # Reversal preserves connectivity and link count.
+    reverse = topology.reversed()
+    assert reverse.is_connected()
+    assert reverse.num_links == topology.num_links
+
+
+@settings(deadline=None)
+@given(
+    num_npus=st.integers(min_value=2, max_value=10),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_shortest_paths_are_valid_walks(num_npus, seed):
+    topology = random_connected_topology(num_npus, random.Random(seed), extra_links=5)
+    for dest in topology.npus:
+        if dest == 0:
+            continue
+        path = topology.shortest_path(0, dest)
+        assert path[0] == 0 and path[-1] == dest
+        for hop_source, hop_dest in zip(path, path[1:]):
+            assert topology.has_link(hop_source, hop_dest)

@@ -1,0 +1,135 @@
+"""Tests for the training workload model (models, parallelism, iteration time)."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import (
+    MODEL_ZOO,
+    ModelConfig,
+    ParallelismStrategy,
+    TrainingBreakdown,
+    get_model,
+    training_iteration_time,
+)
+
+
+class TestModels:
+    def test_zoo_contains_the_paper_models(self):
+        assert set(MODEL_ZOO) == {"GNMT", "ResNet-50", "Turing-NLG", "MSFT-1T"}
+
+    def test_gradient_bytes(self):
+        model = get_model("ResNet-50")
+        assert model.gradient_bytes == pytest.approx(25.6e6 * 2)
+
+    def test_compute_time_is_sum_of_passes(self):
+        model = get_model("GNMT")
+        assert model.compute_time == pytest.approx(
+            model.forward_compute_time + model.backward_compute_time
+        )
+
+    def test_model_sizes_are_ordered_as_expected(self):
+        assert get_model("MSFT-1T").parameter_count > get_model("Turing-NLG").parameter_count
+        assert get_model("Turing-NLG").parameter_count > get_model("GNMT").parameter_count
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(WorkloadError):
+            get_model("AlexNet")
+
+    def test_invalid_model_config_rejected(self):
+        with pytest.raises(WorkloadError):
+            ModelConfig(
+                name="bad",
+                parameter_count=0,
+                bytes_per_parameter=2,
+                forward_compute_time=1.0,
+                backward_compute_time=1.0,
+            )
+
+
+class TestParallelism:
+    def test_data_parallel_requires_all_reduce(self):
+        strategy = ParallelismStrategy("data", 64)
+        requirements = strategy.collectives(get_model("ResNet-50"))
+        assert [req.pattern for req in requirements] == ["AllReduce"]
+        assert requirements[0].size == pytest.approx(get_model("ResNet-50").gradient_bytes)
+
+    def test_fsdp_requires_all_gather_and_reduce_scatter(self):
+        strategy = ParallelismStrategy("fsdp", 64)
+        patterns = {req.pattern for req in strategy.collectives(get_model("GNMT"))}
+        assert patterns == {"AllGather", "ReduceScatter"}
+
+    def test_hybrid_requires_all_three(self):
+        strategy = ParallelismStrategy("hybrid", 64)
+        patterns = [req.pattern for req in strategy.collectives(get_model("MSFT-1T"))]
+        assert patterns == ["AllReduce", "AllGather", "ReduceScatter"]
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(WorkloadError):
+            ParallelismStrategy("pipeline-only", 8)
+
+    def test_too_few_npus_rejected(self):
+        with pytest.raises(WorkloadError):
+            ParallelismStrategy("data", 1)
+
+
+class TestTrainingIterationTime:
+    def _constant_provider(self, seconds: float):
+        def provider(pattern: str, size: float) -> float:
+            return seconds
+
+        return provider
+
+    def test_breakdown_totals(self):
+        model = get_model("ResNet-50")
+        strategy = ParallelismStrategy("data", 16)
+        breakdown = training_iteration_time(model, strategy, self._constant_provider(0.010))
+        assert breakdown.exposed_communication == pytest.approx(0.010)
+        assert breakdown.total == pytest.approx(model.compute_time + 0.010)
+        assert 0.0 < breakdown.communication_fraction < 1.0
+
+    def test_communication_grouped_by_label(self):
+        model = get_model("MSFT-1T")
+        strategy = ParallelismStrategy("hybrid", 16)
+        breakdown = training_iteration_time(model, strategy, self._constant_provider(1.0))
+        assert set(breakdown.communication_by_label) == {"WG Comm", "IG Comm"}
+        assert breakdown.exposed_communication == pytest.approx(3.0)
+
+    def test_faster_collective_reduces_total(self):
+        model = get_model("Turing-NLG")
+        strategy = ParallelismStrategy("data", 16)
+        slow = training_iteration_time(model, strategy, self._constant_provider(1.0))
+        fast = training_iteration_time(model, strategy, self._constant_provider(0.1))
+        assert fast.total < slow.total
+
+    def test_negative_collective_time_rejected(self):
+        model = get_model("GNMT")
+        strategy = ParallelismStrategy("data", 16)
+        with pytest.raises(WorkloadError):
+            training_iteration_time(model, strategy, self._constant_provider(-1.0))
+
+    def test_normalized_by(self):
+        breakdown = TrainingBreakdown(
+            forward_compute=1.0,
+            backward_compute=2.0,
+            exposed_communication=1.0,
+            communication_by_label={"WG Comm": 1.0},
+        )
+        normalized = breakdown.normalized_by(4.0)
+        assert normalized.total == pytest.approx(1.0)
+        assert normalized.communication_by_label["WG Comm"] == pytest.approx(0.25)
+        with pytest.raises(WorkloadError):
+            breakdown.normalized_by(0.0)
+
+    def test_provider_receives_gradient_size(self):
+        model = get_model("GNMT")
+        strategy = ParallelismStrategy("data", 16)
+        seen = {}
+
+        def provider(pattern: str, size: float) -> float:
+            seen["pattern"] = pattern
+            seen["size"] = size
+            return 0.0
+
+        training_iteration_time(model, strategy, provider)
+        assert seen["pattern"] == "AllReduce"
+        assert seen["size"] == pytest.approx(model.gradient_bytes)
