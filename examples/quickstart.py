@@ -1,16 +1,25 @@
-"""Quickstart: synthesize a topology-aware All-Gather with TACOS.
+"""Quickstart: drive TACOS through the declarative Run API.
 
 This example rebuilds the paper's running example (Fig. 9 / Fig. 10c): a
 4-NPU asymmetric topology for which no predefined collective algorithm is a
-good fit.  TACOS synthesizes an All-Gather, we verify it implements the
-collective contract, and print every chunk's path through the network.
+good fit.  Instead of wiring synthesizer, simulator, and analysis by hand,
+we describe the run as data (a :class:`repro.RunSpec`), execute it with
+:func:`repro.run`, and compare TACOS against a Ring baseline and the
+theoretical ideal bound with one :func:`repro.run_batch` call.
 
 Run with:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-from repro import AllGather, TacosSynthesizer, Topology, verify_algorithm
+from repro import (
+    AlgorithmSpec,
+    CollectiveSpec,
+    RunSpec,
+    Topology,
+    run_batch,
+    topology_to_spec,
+)
 
 MB = 1e6
 
@@ -25,25 +34,32 @@ def build_asymmetric_topology() -> Topology:
 
 
 def main() -> None:
-    topology = build_asymmetric_topology()
-    pattern = AllGather(num_npus=topology.num_npus)
-    collective_size = 4 * MB  # 1 MB chunk per NPU
+    # Any in-memory topology -- including heterogeneous, asymmetric ones --
+    # becomes a serializable spec; named topologies ("ring", "mesh", ...)
+    # work too: TopologySpec(name="mesh", params={"dims": [3, 3]}).
+    topology_spec = topology_to_spec(build_asymmetric_topology())
+    collective = CollectiveSpec(name="all_gather", collective_size=4 * MB)
 
-    synthesizer = TacosSynthesizer()
-    algorithm = synthesizer.synthesize(topology, pattern, collective_size)
-    verify_algorithm(algorithm, topology, pattern)
+    specs = [
+        RunSpec(topology=topology_spec, collective=collective,
+                algorithm=AlgorithmSpec(name=name))
+        for name in ("tacos", "taccl_like", "ideal")
+    ]
 
-    print(f"Topology : {topology.name} ({topology.num_links} links)")
-    print(f"Pattern  : {pattern.name} of {collective_size / MB:.0f} MB")
-    print(f"Result   : {algorithm.summary()}")
+    # The TACOS spec is plain JSON -- save it, queue it, or POST it somewhere.
+    print("The TACOS run as a JSON document:")
+    print(specs[0].to_json(indent=2))
     print()
-    print("Chunk paths (time in microseconds):")
-    for chunk, transfers in sorted(algorithm.chunk_paths().items()):
-        hops = ", ".join(
-            f"{t.source}->{t.dest} @ [{t.start * 1e6:.1f}, {t.end * 1e6:.1f}]us"
-            for t in transfers
-        )
-        print(f"  chunk {chunk}: {hops}")
+
+    results = run_batch(specs)
+    print("Results:")
+    for result in results:
+        print(f"  {result.summary()}")
+
+    tacos, _, ideal = results
+    print()
+    print(f"TACOS achieves {tacos.bandwidth_gbps / ideal.bandwidth_gbps:.0%} "
+          f"of the ideal bandwidth on {tacos.topology}.")
 
 
 if __name__ == "__main__":

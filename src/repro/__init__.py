@@ -10,11 +10,30 @@ The package is organised in layers (bottom-up):
 * :mod:`repro.baselines` — basic and manually designed collective algorithms.
 * :mod:`repro.analysis` — ideal bounds, bandwidth, heat maps, utilization.
 * :mod:`repro.workloads` — DNN training workload / parallelism model.
-* :mod:`repro.experiments` — paper table and figure reproduction harness.
+* :mod:`repro.api` — the declarative Run API: serializable
+  :class:`~repro.api.specs.RunSpec` documents, name-based registries, and
+  the :func:`~repro.api.runner.run` / :func:`~repro.api.runner.run_batch`
+  execution path with result caching.  This is the recommended front door
+  for new code, the CLI, and services.
+* :mod:`repro.experiments` — paper table and figure reproduction harness
+  (each data point is a :class:`~repro.api.specs.RunSpec` executed through
+  :mod:`repro.api`).
 
-The most common entry points are re-exported here.
+The most common entry points — including the Run API — are re-exported here.
 """
 
+from repro.api import (
+    AlgorithmSpec,
+    CollectiveSpec,
+    ResultCache,
+    RunResult,
+    RunSpec,
+    SimulationSpec,
+    TopologySpec,
+    run,
+    run_batch,
+    topology_to_spec,
+)
 from repro.collectives import (
     AllGather,
     AllReduce,
@@ -66,9 +85,10 @@ from repro.topology import (
     build_torus_3d,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "AlgorithmSpec",
     "AllGather",
     "AllReduce",
     "AllToAll",
@@ -77,20 +97,26 @@ __all__ = [
     "CollectiveAlgorithm",
     "CollectiveError",
     "CollectivePattern",
+    "CollectiveSpec",
     "DimensionSpec",
     "Gather",
     "Link",
     "Reduce",
     "ReduceScatter",
     "ReproError",
+    "ResultCache",
+    "RunResult",
+    "RunSpec",
     "Scatter",
     "SimulationError",
+    "SimulationSpec",
     "SynthesisConfig",
     "SynthesisError",
     "SynthesisResult",
     "TacosSynthesizer",
     "Topology",
     "TopologyError",
+    "TopologySpec",
     "VerificationError",
     "WorkloadError",
     "build_2d_switch",
@@ -109,7 +135,10 @@ __all__ = [
     "build_torus",
     "build_torus_2d",
     "build_torus_3d",
+    "run",
+    "run_batch",
     "synthesize",
+    "topology_to_spec",
     "verify_algorithm",
     "__version__",
 ]

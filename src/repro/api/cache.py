@@ -1,0 +1,99 @@
+"""Result cache keyed by :meth:`RunSpec.spec_hash`.
+
+Two layers: an in-memory dictionary (always on) and an optional on-disk JSON
+store, one ``<hash>.json`` file per result, shared between processes.  Cache
+reads return results flagged ``cached=True``; corrupt or unreadable disk
+entries are treated as misses.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import threading
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """In-memory plus optional on-disk cache of :class:`RunResult` objects.
+
+    Parameters
+    ----------
+    directory:
+        When given, results are also persisted as JSON files under this
+        directory (created on demand), surviving process restarts.
+    """
+
+    def __init__(self, directory: Optional[Union[str, Path]] = None) -> None:
+        self.directory = Path(directory) if directory is not None else None
+        self._memory: Dict[str, "RunResult"] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # Lookup / store
+    # ------------------------------------------------------------------
+    def get(self, spec: "RunSpec") -> Optional["RunResult"]:
+        """Cached result for ``spec``, flagged ``cached=True``, or None."""
+        key = spec.spec_hash()
+        with self._lock:
+            result = self._memory.get(key)
+        if result is None and self.directory is not None:
+            result = self._read_disk(key)
+            if result is not None:
+                with self._lock:
+                    self._memory[key] = result
+        with self._lock:
+            if result is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+        return dataclasses.replace(result, cached=True)
+
+    def put(self, result: "RunResult") -> None:
+        """Store ``result`` under its spec's hash (memory and, if set, disk)."""
+        key = result.spec.spec_hash()
+        stored = dataclasses.replace(result, cached=False)
+        with self._lock:
+            self._memory[key] = stored
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            path = self.directory / f"{key}.json"
+            tmp = path.with_suffix(".json.tmp")
+            tmp.write_text(json.dumps(stored.to_dict(), sort_keys=True))
+            tmp.replace(path)
+
+    def _read_disk(self, key: str) -> Optional["RunResult"]:
+        from repro.api.runner import RunResult
+
+        path = self.directory / f"{key}.json"
+        try:
+            data = json.loads(path.read_text())
+            return dataclasses.replace(RunResult.from_dict(data), cached=False)
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def clear(self, *, disk: bool = False) -> None:
+        """Drop the in-memory layer (and, when ``disk=True``, the JSON files)."""
+        with self._lock:
+            self._memory.clear()
+            self.hits = 0
+            self.misses = 0
+        if disk and self.directory is not None and self.directory.exists():
+            for path in self.directory.glob("*.json"):
+                path.unlink()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._memory)
+
+    def __repr__(self) -> str:
+        where = f", directory={str(self.directory)!r}" if self.directory else ""
+        return f"ResultCache(entries={len(self)}, hits={self.hits}, misses={self.misses}{where})"

@@ -1,0 +1,271 @@
+"""Execute declarative :class:`RunSpec` documents and return uniform results.
+
+:func:`run` is the single execution path behind the CLI, the paper-figure
+experiments, and any future service front end: it resolves the spec against
+the registries, builds or synthesizes the algorithm, times it with the
+congestion-aware simulator, and returns a :class:`RunResult`.
+:func:`run_batch` runs many specs with de-duplication, optional
+:mod:`concurrent.futures` parallelism, and optional result caching.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+import repro.api.builtins  # noqa: F401  (populates the registries on import)
+from repro.api.cache import ResultCache
+from repro.api.registry import ALGORITHMS, COLLECTIVES, TOPOLOGIES, AlgorithmArtifact
+from repro.api.specs import (
+    AlgorithmSpec,
+    CollectiveSpec,
+    RunSpec,
+    SimulationSpec,
+    TopologySpec,
+)
+from repro.collectives.pattern import CollectivePattern
+from repro.errors import ReproError, SpecError
+from repro.simulator.adapters import simulate_algorithm, simulate_schedule
+from repro.topology.link import GIGABYTE
+from repro.topology.topology import Topology
+
+__all__ = [
+    "RunResult",
+    "run",
+    "run_batch",
+    "build_topology",
+    "build_collective",
+    "build_algorithm_artifact",
+]
+
+
+@dataclass
+class RunResult:
+    """Uniform outcome of executing one :class:`RunSpec`.
+
+    Attributes
+    ----------
+    spec:
+        The spec that produced this result.
+    algorithm / topology / collective:
+        Resolved human-readable names (canonical algorithm name, the built
+        topology's display name, the pattern name).
+    num_npus:
+        Number of NPUs in the resolved topology.
+    collective_size:
+        Per-NPU collective size in bytes.
+    collective_time:
+        Simulated (or analytic) collective completion time in seconds.
+    bandwidth_gbps:
+        Collective bandwidth in GB/s (size / time).
+    synthesis_seconds:
+        Synthesis wall-clock time when the algorithm was synthesized.
+    extras:
+        Additional numeric metrics (e.g. average link utilization).
+    cached:
+        True when the result was served from a :class:`ResultCache`
+        (excluded from equality comparisons).
+    """
+
+    spec: RunSpec
+    algorithm: str
+    topology: str
+    collective: str
+    num_npus: int
+    collective_size: float
+    collective_time: float
+    bandwidth_gbps: float
+    synthesis_seconds: Optional[float] = None
+    extras: Dict[str, float] = field(default_factory=dict)
+    cached: bool = field(default=False, compare=False)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable representation (used by the disk cache and CLI)."""
+        return {
+            "spec": self.spec.to_dict(),
+            "algorithm": self.algorithm,
+            "topology": self.topology,
+            "collective": self.collective,
+            "num_npus": self.num_npus,
+            "collective_size": self.collective_size,
+            "collective_time": self.collective_time,
+            "bandwidth_gbps": self.bandwidth_gbps,
+            "synthesis_seconds": self.synthesis_seconds,
+            "extras": dict(self.extras),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        return cls(
+            spec=RunSpec.from_dict(data["spec"]),
+            algorithm=data["algorithm"],
+            topology=data["topology"],
+            collective=data["collective"],
+            num_npus=int(data["num_npus"]),
+            collective_size=float(data["collective_size"]),
+            collective_time=float(data["collective_time"]),
+            bandwidth_gbps=float(data["bandwidth_gbps"]),
+            synthesis_seconds=data.get("synthesis_seconds"),
+            extras=dict(data.get("extras", {})),
+        )
+
+    def summary(self) -> str:
+        """One-line human summary of the result."""
+        synth = (
+            f", synthesized in {self.synthesis_seconds:.3f}s"
+            if self.synthesis_seconds is not None
+            else ""
+        )
+        return (
+            f"{self.algorithm} {self.collective} on {self.topology} "
+            f"({self.collective_size / 1e6:.1f} MB/NPU): "
+            f"{self.collective_time * 1e6:.2f} us, {self.bandwidth_gbps:.2f} GB/s{synth}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Spec resolution
+# ----------------------------------------------------------------------
+def build_topology(spec: TopologySpec) -> Topology:
+    """Resolve and build the topology described by ``spec``."""
+    builder = TOPOLOGIES.get(spec.name)
+    try:
+        return builder(**spec.params)
+    except TypeError as exc:
+        raise SpecError(f"bad parameters for topology {spec.name!r}: {exc}") from None
+
+
+def build_collective(spec: CollectiveSpec, num_npus: int) -> CollectivePattern:
+    """Resolve and instantiate the collective pattern described by ``spec``."""
+    factory = COLLECTIVES.get(spec.name)
+    try:
+        return factory(num_npus, spec.chunks_per_npu, **spec.params)
+    except TypeError as exc:
+        raise SpecError(f"bad parameters for collective {spec.name!r}: {exc}") from None
+
+
+def build_algorithm_artifact(
+    spec: AlgorithmSpec,
+    topology: Topology,
+    pattern: CollectivePattern,
+    collective_size: float,
+) -> AlgorithmArtifact:
+    """Resolve and invoke the algorithm builder described by ``spec``."""
+    builder = ALGORITHMS.get(spec.name)
+    try:
+        return builder(topology, pattern, collective_size, **spec.params)
+    except TypeError as exc:
+        raise SpecError(f"bad parameters for algorithm {spec.name!r}: {exc}") from None
+
+
+def _time_artifact(
+    artifact: AlgorithmArtifact,
+    topology: Topology,
+    simulation: SimulationSpec,
+) -> Tuple[float, Dict[str, float]]:
+    """Return ``(collective_time, extras)`` for the artifact under ``simulation``."""
+    extras = dict(artifact.extras)
+    if artifact.collective_time is not None:
+        return artifact.collective_time, extras
+    if artifact.algorithm is not None and not simulation.simulate:
+        return artifact.algorithm.collective_time, extras
+    if artifact.algorithm is not None:
+        result = simulate_algorithm(
+            topology, artifact.algorithm, routing_message_size=simulation.routing_message_size
+        )
+    elif artifact.schedule is not None:
+        if not simulation.simulate:
+            raise SpecError(
+                "logical schedules carry no intrinsic timing; "
+                "simulation cannot be disabled for this algorithm"
+            )
+        result = simulate_schedule(
+            topology, artifact.schedule, routing_message_size=simulation.routing_message_size
+        )
+    else:  # unreachable: AlgorithmArtifact enforces exactly one payload
+        raise SpecError("algorithm artifact carries no payload")
+    extras["avg_link_utilization"] = result.average_link_utilization()
+    return result.completion_time, extras
+
+
+def run(spec: RunSpec, *, cache: Optional[ResultCache] = None) -> RunResult:
+    """Execute one spec end-to-end; optionally consult/populate ``cache``."""
+    if cache is not None:
+        hit = cache.get(spec)
+        if hit is not None:
+            return hit
+
+    topology = build_topology(spec.topology)
+    pattern = build_collective(spec.collective, topology.num_npus)
+    collective_size = spec.collective.collective_size
+    artifact = build_algorithm_artifact(spec.algorithm, topology, pattern, collective_size)
+    collective_time, extras = _time_artifact(artifact, topology, spec.simulation)
+
+    if collective_time > 0:
+        bandwidth_gbps = collective_size / collective_time / GIGABYTE
+    else:
+        bandwidth_gbps = float("inf")
+    result = RunResult(
+        spec=spec,
+        algorithm=ALGORITHMS.canonical_name(spec.algorithm.name),
+        topology=topology.name,
+        collective=pattern.name,
+        num_npus=topology.num_npus,
+        collective_size=collective_size,
+        collective_time=collective_time,
+        bandwidth_gbps=bandwidth_gbps,
+        synthesis_seconds=artifact.synthesis_seconds,
+        extras=extras,
+    )
+    if cache is not None:
+        cache.put(result)
+    return result
+
+
+def run_batch(
+    specs: Iterable[RunSpec],
+    *,
+    max_workers: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+    return_exceptions: bool = False,
+) -> List[RunResult]:
+    """Execute many specs, preserving input order in the returned list.
+
+    Duplicate specs (same content hash) are executed once and share a
+    result.  With ``max_workers`` greater than 1, distinct specs run
+    concurrently on a :class:`~concurrent.futures.ThreadPoolExecutor`.
+
+    With ``return_exceptions=True``, a spec whose execution raises a
+    :class:`~repro.errors.ReproError` contributes the exception object to
+    the result list instead of aborting the whole batch (mirroring
+    ``asyncio.gather``); other exceptions always propagate.
+    """
+    specs = list(specs)
+    index_of: Dict[str, int] = {}
+    unique: List[RunSpec] = []
+    positions: List[int] = []
+    for spec in specs:
+        if not isinstance(spec, RunSpec):
+            raise SpecError(f"run_batch expects RunSpec items, got {type(spec).__name__}")
+        key = spec.spec_hash()
+        if key not in index_of:
+            index_of[key] = len(unique)
+            unique.append(spec)
+        positions.append(index_of[key])
+
+    def run_one(spec: RunSpec):
+        if not return_exceptions:
+            return run(spec, cache=cache)
+        try:
+            return run(spec, cache=cache)
+        except ReproError as exc:
+            return exc
+
+    if max_workers is not None and max_workers > 1 and len(unique) > 1:
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            results = list(pool.map(run_one, unique))
+    else:
+        results = [run_one(spec) for spec in unique]
+    return [results[position] for position in positions]

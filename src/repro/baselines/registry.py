@@ -14,14 +14,9 @@ This module centralizes two things the paper presents as Tables I and II:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Sequence
+from typing import Dict
 
-from repro.baselines.dbt import dbt_all_reduce
-from repro.baselines.direct import direct_all_reduce
-from repro.baselines.multitree import multitree_all_reduce
-from repro.baselines.rhd import rhd_all_reduce
-from repro.baselines.ring import ring_all_reduce
-from repro.errors import SimulationError
+from repro.errors import RegistryError, SimulationError
 from repro.simulator.schedule import LogicalSchedule
 from repro.topology.topology import Topology
 
@@ -40,28 +35,40 @@ def build_baseline_all_reduce(
     *,
     chunks_per_npu: int = 1,
 ) -> LogicalSchedule:
-    """Instantiate a basic All-Reduce baseline by name.
+    """Instantiate a schedule-producing All-Reduce baseline by name.
 
-    Supported names: ``"Ring"``, ``"UniRing"``, ``"Direct"``, ``"RHD"``,
-    ``"DBT"``, ``"MultiTree"``.  ``RHD`` requires a power-of-two NPU count.
+    This is a thin compatibility wrapper over the unified algorithm registry
+    (:data:`repro.api.registry.ALGORITHMS`); names are case-insensitive, so
+    the historical ``"Ring"``, ``"UniRing"``, ``"Direct"``, ``"RHD"``,
+    ``"DBT"``, and ``"MultiTree"`` spellings keep working.  ``RHD`` requires
+    a power-of-two NPU count.
     """
-    num_npus = topology.num_npus
-    if name in ("Ring", "UniRing"):
-        return ring_all_reduce(
-            num_npus,
-            collective_size,
-            chunks_per_npu=chunks_per_npu,
-            bidirectional=(name == "Ring"),
+    # Imported lazily: repro.api.builtins registers the baselines defined in
+    # this package, so a module-level import would be circular.
+    from repro.api.registry import ALGORITHMS
+    from repro.collectives.all_reduce import AllReduce
+
+    try:
+        builder = ALGORITHMS.get(name)
+    except RegistryError as exc:
+        raise SimulationError(f"unknown baseline algorithm {name!r}: {exc}") from None
+    try:
+        artifact = builder(
+            topology, AllReduce(topology.num_npus, chunks_per_npu), collective_size
         )
-    if name == "Direct":
-        return direct_all_reduce(num_npus, collective_size, chunks_per_npu=chunks_per_npu)
-    if name == "RHD":
-        return rhd_all_reduce(num_npus, collective_size, chunks_per_npu=chunks_per_npu)
-    if name == "DBT":
-        return dbt_all_reduce(num_npus, collective_size, chunks_per_npu=chunks_per_npu)
-    if name == "MultiTree":
-        return multitree_all_reduce(topology, collective_size, chunks_per_npu=chunks_per_npu)
-    raise SimulationError(f"unknown baseline algorithm {name!r}")
+    except TypeError as exc:
+        # e.g. BlueConnect/Themis require a `dims` parameter this simple
+        # entry point does not take; route those through repro.api.run.
+        raise SimulationError(
+            f"baseline {name!r} needs extra parameters not supported here "
+            f"(use repro.api.run): {exc}"
+        ) from None
+    if artifact.schedule is None:
+        raise SimulationError(
+            f"algorithm {name!r} does not produce a logical schedule; "
+            "use repro.api.run for synthesizer-style algorithms"
+        )
+    return artifact.schedule
 
 
 #: Names accepted by :func:`build_baseline_all_reduce` that need no extra inputs.

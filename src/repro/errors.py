@@ -16,6 +16,8 @@ __all__ = [
     "SimulationError",
     "WorkloadError",
     "VerificationError",
+    "SpecError",
+    "RegistryError",
 ]
 
 
@@ -45,3 +47,11 @@ class WorkloadError(ReproError):
 
 class VerificationError(ReproError):
     """Raised when a synthesized algorithm violates a collective contract."""
+
+
+class SpecError(ReproError):
+    """Raised when a declarative run specification is malformed."""
+
+
+class RegistryError(ReproError):
+    """Raised when a registry lookup or registration fails."""

@@ -1,7 +1,11 @@
 """Shared helpers for the paper-reproduction experiments.
 
 Every ``figXX_*`` / ``tableXX_*`` module builds its workload with these
-helpers so that algorithms are always compared the same way:
+helpers so that algorithms are always compared the same way.  Since the
+declarative Run API landed, each helper expresses its measurement as a
+:class:`~repro.api.specs.RunSpec` and executes it through
+:func:`repro.api.run` — the same path the CLI and batch sweeps use — so a
+figure's data point is always reproducible from a JSON document:
 
 * baselines are generated as logical schedules and timed by the
   congestion-aware simulator;
@@ -12,25 +16,19 @@ helpers so that algorithms are always compared the same way:
 
 from __future__ import annotations
 
-import time as _time
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Sequence
 
-from repro.analysis.bandwidth import collective_bandwidth_gbps
-from repro.analysis.ideal import ideal_all_reduce_bandwidth, ideal_all_reduce_time
-from repro.baselines.registry import build_baseline_all_reduce
-from repro.baselines.taccl_like import TacclLikeSynthesizer
-from repro.collectives.all_reduce import AllReduce
+from repro.api.runner import RunResult, run
+from repro.api.specs import AlgorithmSpec, CollectiveSpec, RunSpec, topology_to_spec
 from repro.core.config import SynthesisConfig
-from repro.core.synthesizer import TacosSynthesizer
 from repro.errors import ReproError
-from repro.simulator.adapters import simulate_algorithm, simulate_schedule
-from repro.simulator.result import SimulationResult
-from repro.topology.link import GIGABYTE
 from repro.topology.topology import Topology
 
 __all__ = [
     "Measurement",
+    "measurement_from_run",
+    "run_spec_for_all_reduce",
     "measure_baseline_all_reduce",
     "measure_tacos_all_reduce",
     "measure_taccl_like_all_reduce",
@@ -76,21 +74,38 @@ class Measurement:
         return self.bandwidth_gbps / ideal_bandwidth_gbps
 
 
-def _measurement_from_result(
-    label: str,
+def measurement_from_run(result: RunResult, *, label: Optional[str] = None) -> Measurement:
+    """Convert a Run API result into an experiment measurement row."""
+    return Measurement(
+        algorithm=label or result.algorithm,
+        topology=result.topology,
+        collective_size=result.collective_size,
+        collective_time=result.collective_time,
+        bandwidth_gbps=result.bandwidth_gbps,
+        synthesis_seconds=result.synthesis_seconds,
+        extras=dict(result.extras),
+    )
+
+
+def run_spec_for_all_reduce(
+    algorithm: str,
     topology: Topology,
     collective_size: float,
-    result: SimulationResult,
-    synthesis_seconds: Optional[float] = None,
-) -> Measurement:
-    return Measurement(
-        algorithm=label,
-        topology=topology.name,
-        collective_size=collective_size,
-        collective_time=result.completion_time,
-        bandwidth_gbps=collective_bandwidth_gbps(result),
-        synthesis_seconds=synthesis_seconds,
-        extras={"avg_link_utilization": result.average_link_utilization()},
+    *,
+    chunks_per_npu: int = 1,
+    algorithm_params: Optional[Dict] = None,
+    label: str = "",
+) -> RunSpec:
+    """Express one experiment All-Reduce data point as a declarative spec."""
+    return RunSpec(
+        topology=topology_to_spec(topology),
+        collective=CollectiveSpec(
+            name="all_reduce",
+            collective_size=collective_size,
+            chunks_per_npu=chunks_per_npu,
+        ),
+        algorithm=AlgorithmSpec(name=algorithm, params=algorithm_params or {}),
+        label=label,
     )
 
 
@@ -102,11 +117,10 @@ def measure_baseline_all_reduce(
     chunks_per_npu: int = 1,
 ) -> Measurement:
     """Simulate one of the registered baseline All-Reduce algorithms."""
-    schedule = build_baseline_all_reduce(
-        name, topology, collective_size, chunks_per_npu=chunks_per_npu
+    spec = run_spec_for_all_reduce(
+        name, topology, collective_size, chunks_per_npu=chunks_per_npu, label=name
     )
-    result = simulate_schedule(topology, schedule)
-    return _measurement_from_result(name, topology, collective_size, result)
+    return measurement_from_run(run(spec), label=name)
 
 
 def measure_tacos_all_reduce(
@@ -118,13 +132,15 @@ def measure_tacos_all_reduce(
     label: str = "TACOS",
 ) -> Measurement:
     """Synthesize an All-Reduce with TACOS and simulate it."""
-    synthesizer = TacosSynthesizer(config)
-    pattern = AllReduce(topology.num_npus, chunks_per_npu)
-    stats = synthesizer.synthesize_with_stats(topology, pattern, collective_size)
-    result = simulate_algorithm(topology, stats.algorithm)
-    return _measurement_from_result(
-        label, topology, collective_size, result, synthesis_seconds=stats.wall_clock_seconds
+    spec = run_spec_for_all_reduce(
+        "tacos",
+        topology,
+        collective_size,
+        chunks_per_npu=chunks_per_npu,
+        algorithm_params=asdict(config) if config is not None else None,
+        label=label,
     )
+    return measurement_from_run(run(spec), label=label)
 
 
 def measure_taccl_like_all_reduce(
@@ -136,27 +152,21 @@ def measure_taccl_like_all_reduce(
     label: str = "TACCL-like",
 ) -> Measurement:
     """Synthesize an All-Reduce with the TACCL-like baseline and simulate it."""
-    synthesizer = TacclLikeSynthesizer(restarts=restarts)
-    result = synthesizer.synthesize_all_reduce(
-        topology, collective_size, chunks_per_npu=chunks_per_npu
+    spec = run_spec_for_all_reduce(
+        "taccl_like",
+        topology,
+        collective_size,
+        chunks_per_npu=chunks_per_npu,
+        algorithm_params={"restarts": restarts},
+        label=label,
     )
-    simulated = simulate_schedule(topology, result.schedule)
-    return _measurement_from_result(
-        label, topology, collective_size, simulated, synthesis_seconds=result.wall_clock_seconds
-    )
+    return measurement_from_run(run(spec), label=label)
 
 
 def ideal_all_reduce_measurement(topology: Topology, collective_size: float) -> Measurement:
     """Theoretical ideal All-Reduce bound as a measurement row."""
-    duration = ideal_all_reduce_time(topology, collective_size)
-    bandwidth = ideal_all_reduce_bandwidth(topology, collective_size) / GIGABYTE
-    return Measurement(
-        algorithm="Ideal",
-        topology=topology.name,
-        collective_size=collective_size,
-        collective_time=duration,
-        bandwidth_gbps=bandwidth,
-    )
+    spec = run_spec_for_all_reduce("ideal", topology, collective_size, label="Ideal")
+    return measurement_from_run(run(spec), label="Ideal")
 
 
 def format_table(measurements: Sequence[Measurement], *, title: str = "") -> str:

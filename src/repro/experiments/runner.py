@@ -8,8 +8,10 @@ summary that mirrors the structure of EXPERIMENTS.md.
 from __future__ import annotations
 
 import argparse
+import sys
 import time as _time
-from typing import Callable, Dict, List
+import traceback
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.experiments import (
     fig01_heatmap,
@@ -55,8 +57,12 @@ def run_experiment(name: str) -> object:
     return EXPERIMENTS[name]()
 
 
-def main(argv: List[str] = None) -> int:
-    """Command-line entry point: run one or all experiments and print timings."""
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Command-line entry point: run one or all experiments and print timings.
+
+    Exit codes: 0 on success, 1 when any selected experiment raised, 2 when
+    an unknown experiment id was requested.
+    """
     parser = argparse.ArgumentParser(description="TACOS reproduction experiment runner")
     parser.add_argument(
         "experiments",
@@ -65,19 +71,37 @@ def main(argv: List[str] = None) -> int:
         help="experiment ids to run (default: all)",
     )
     parser.add_argument("--list", action="store_true", help="list available experiments")
-    arguments = parser.parse_args(argv)
+    arguments = parser.parse_args(argv if argv is None else list(argv))
 
     if arguments.list:
         for name in sorted(EXPERIMENTS):
             print(name)
         return 0
 
-    selected = arguments.experiments or sorted(EXPERIMENTS)
+    selected = list(arguments.experiments) or sorted(EXPERIMENTS)
+    unknown = [name for name in selected if name not in EXPERIMENTS]
+    if unknown:
+        print(
+            f"unknown experiment(s): {', '.join(unknown)}; available: {', '.join(sorted(EXPERIMENTS))}",
+            file=sys.stderr,
+        )
+        return 2
+
+    failed: List[str] = []
     for name in selected:
         started = _time.perf_counter()
         print(f"== {name} ==")
-        run_experiment(name)
-        print(f"   completed in {_time.perf_counter() - started:.1f}s")
+        try:
+            run_experiment(name)
+        except Exception:
+            traceback.print_exc()
+            print(f"   FAILED after {_time.perf_counter() - started:.1f}s", file=sys.stderr)
+            failed.append(name)
+        else:
+            print(f"   completed in {_time.perf_counter() - started:.1f}s")
+    if failed:
+        print(f"{len(failed)} experiment(s) failed: {', '.join(failed)}", file=sys.stderr)
+        return 1
     return 0
 
 

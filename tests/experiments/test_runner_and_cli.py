@@ -37,7 +37,36 @@ class TestCommandLine:
         assert "fig10" in captured.out
         assert "completed" in captured.out
 
-    def test_cli_module_exposes_main(self):
+    def test_cli_module_forwards_experiment_args(self, capsys):
+        # The rebuilt CLI keeps the historical invocation style working:
+        # bare experiment ids (and --list) are forwarded to the experiments
+        # subcommand.
         from repro import cli
 
-        assert cli.main is runner.main
+        exit_code = cli.main(["--list"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "fig15" in captured.out
+
+        exit_code = cli.main(["fig10"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "completed" in captured.out
+
+    def test_unknown_experiment_id_exits_nonzero(self, capsys):
+        exit_code = runner.main(["fig99"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "fig99" in captured.err
+        assert "fig10" in captured.err  # lists what is available
+
+    def test_failing_experiment_exits_nonzero(self, capsys, monkeypatch):
+        def explode():
+            raise RuntimeError("injected failure")
+
+        monkeypatch.setitem(runner.EXPERIMENTS, "fig10", explode)
+        exit_code = runner.main(["fig10"])
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "FAILED" in captured.err
+        assert "fig10" in captured.err

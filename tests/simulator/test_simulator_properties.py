@@ -95,21 +95,27 @@ def test_busy_intervals_never_overlap(num_npus, count, seed):
 @given(
     num_npus=st.integers(min_value=2, max_value=7),
     seed=st.integers(min_value=0, max_value=10_000),
-    dependency_probability=st.floats(min_value=0.0, max_value=0.3),
 )
-def test_more_dependencies_never_speed_things_up(num_npus, seed, dependency_probability):
+def test_dependencies_delay_dependents(num_npus, seed):
+    # Note: asserting "a run with dependencies is never faster overall than
+    # the same run without them" would be wrong — greedy FIFO link scheduling
+    # is not monotone (a Graham-style anomaly: delaying one message can
+    # reorder contention in everyone else's favour; observed up to ~33%).
+    # What the simulator does guarantee is that a message cannot even start
+    # before all of its dependencies have completed.
     rng = random.Random(seed)
     topology = random_connected_topology(num_npus, rng, extra_links=4)
     messages = _random_messages(topology, rng, 20)
-    without_deps = [
-        Message(
-            message_id=m.message_id, source=m.source, dest=m.dest, size=m.size, chunk=m.chunk
+    completion = CongestionAwareSimulator(topology).run(messages).message_completion
+    for message in messages:
+        if not message.depends_on:
+            continue
+        direct = topology.shortest_path(message.source, message.dest, message.size)
+        minimum = sum(
+            topology.link(a, b).cost(message.size) for a, b in zip(direct, direct[1:])
         )
-        for m in messages
-    ]
-    constrained = CongestionAwareSimulator(topology).run(messages).completion_time
-    unconstrained = CongestionAwareSimulator(topology).run(without_deps).completion_time
-    assert constrained >= unconstrained - 1e-12
+        dependencies_done = max(completion[dep] for dep in message.depends_on)
+        assert completion[message.message_id] >= dependencies_done + minimum - 1e-12
 
 
 @_settings
