@@ -1,0 +1,36 @@
+"""Shared thread-pool mapping used by :func:`repro.api.runner.run_batch`.
+
+Kept free of intra-package imports so lower layers (e.g. the synthesizer's
+randomized-trial fan-out) can reuse the exact same execution path without
+creating an import cycle.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, List, Optional, TypeVar
+
+__all__ = ["map_parallel"]
+
+_ItemT = TypeVar("_ItemT")
+_ResultT = TypeVar("_ResultT")
+
+
+def map_parallel(
+    fn: Callable[[_ItemT], _ResultT],
+    items: Iterable[_ItemT],
+    *,
+    max_workers: Optional[int] = None,
+) -> List[_ResultT]:
+    """Apply ``fn`` to every item, preserving input order in the result list.
+
+    With ``max_workers`` greater than 1 (and more than one item), items run
+    concurrently on a :class:`~concurrent.futures.ThreadPoolExecutor`;
+    otherwise the map is a plain serial loop.  Exceptions propagate to the
+    caller either way.
+    """
+    items = list(items)
+    if max_workers is not None and max_workers > 1 and len(items) > 1:
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            return list(pool.map(fn, items))
+    return [fn(item) for item in items]

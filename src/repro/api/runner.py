@@ -10,12 +10,12 @@ congestion-aware simulator, and returns a :class:`RunResult`.
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 
 import repro.api.builtins  # noqa: F401  (populates the registries on import)
 from repro.api.cache import ResultCache
+from repro.api.parallel import map_parallel
 from repro.api.registry import ALGORITHMS, COLLECTIVES, TOPOLOGIES, AlgorithmArtifact
 from repro.api.specs import (
     AlgorithmSpec,
@@ -263,9 +263,5 @@ def run_batch(
         except ReproError as exc:
             return exc
 
-    if max_workers is not None and max_workers > 1 and len(unique) > 1:
-        with ThreadPoolExecutor(max_workers=max_workers) as pool:
-            results = list(pool.map(run_one, unique))
-    else:
-        results = [run_one(spec) for spec in unique]
+    results = map_parallel(run_one, unique, max_workers=max_workers)
     return [results[position] for position in positions]

@@ -1,0 +1,28 @@
+"""First-class benchmark subsystem for the synthesis core.
+
+Three pieces:
+
+* :mod:`repro.bench.reference` — the frozen pre-refactor dict/set synthesis
+  engine, kept as the behavioural baseline;
+* :mod:`repro.bench.grid` — named scenario grids (``smoke``, ``fig19``,
+  ``full``) crossing topology families, NPU counts, and collective sizes;
+* :mod:`repro.bench.runner` — times synthesis and simulation over a grid
+  with both engines, asserts fixed-seed output equivalence, and emits a
+  machine-readable ``BENCH_*.json`` report.
+
+Run it via ``tacos-repro bench`` (``--smoke`` for the CI-sized grid).
+"""
+
+from repro.bench.grid import GRIDS, BenchScenario, get_grid
+from repro.bench.reference import REFERENCE_ENGINE
+from repro.bench.runner import BenchRecord, run_bench, write_report
+
+__all__ = [
+    "BenchRecord",
+    "BenchScenario",
+    "GRIDS",
+    "REFERENCE_ENGINE",
+    "get_grid",
+    "run_bench",
+    "write_report",
+]

@@ -1,0 +1,107 @@
+"""Named benchmark scenario grids.
+
+A scenario is one synthesis problem: a topology (registry shorthand), a
+collective, a per-NPU collective size, and a fixed seed.  Three grids are
+provided:
+
+* ``smoke`` — two tiny scenarios for CI (a couple of seconds end-to-end);
+* ``fig19`` — the paper's scalability grid (2D meshes and 3D hypercubes of
+  growing size, 64 MB All-Reduce), the grid the headline speedup is
+  reported on;
+* ``full`` — ``fig19`` plus ring / torus / switch families crossed with two
+  collective sizes and both All-Gather and All-Reduce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List
+
+from repro.errors import ReproError
+
+__all__ = ["BenchScenario", "GRIDS", "get_grid"]
+
+_MB = 1e6
+
+
+@dataclass(frozen=True)
+class BenchScenario:
+    """One synthesis problem of a benchmark grid."""
+
+    name: str
+    topology: str  #: registry shorthand, e.g. ``"mesh_2d:4,4"``
+    collective: str  #: collective registry name, e.g. ``"all_reduce"``
+    collective_size: float  #: per-NPU bytes
+    seed: int = 0
+    trials: int = 1
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+
+def _smoke_grid() -> List[BenchScenario]:
+    return [
+        BenchScenario("ring8-ag-1MB", "ring:8", "all_gather", 1 * _MB),
+        BenchScenario("mesh3x3-ar-1MB", "mesh_2d:3,3", "all_reduce", 1 * _MB),
+    ]
+
+
+def _fig19_grid() -> List[BenchScenario]:
+    # The paper's Fig. 19 families (2D Mesh, 3D Hypercube All-Reduce) at the
+    # sizes where synthesis cost is measurable in pure Python: 16..144 NPUs.
+    scenarios = [
+        BenchScenario(f"mesh{side}x{side}-ar-64MB", f"mesh_2d:{side},{side}", "all_reduce", 64 * _MB)
+        for side in (4, 5, 6, 8, 10, 12)
+    ]
+    scenarios += [
+        BenchScenario(
+            f"hypercube{side}^3-ar-64MB", f"hypercube_3d:{side},{side},{side}", "all_reduce", 64 * _MB
+        )
+        for side in (3, 4)
+    ]
+    return scenarios
+
+
+def _full_grid() -> List[BenchScenario]:
+    scenarios = list(_fig19_grid())
+    for num_npus in (8, 16, 32):
+        scenarios.append(
+            BenchScenario(f"ring{num_npus}-ag-4MB", f"ring:{num_npus}", "all_gather", 4 * _MB)
+        )
+        scenarios.append(
+            BenchScenario(f"ring{num_npus}-ar-64MB", f"ring:{num_npus}", "all_reduce", 64 * _MB)
+        )
+    for side in (4, 6):
+        scenarios.append(
+            BenchScenario(f"torus{side}x{side}-ar-64MB", f"torus_2d:{side},{side}", "all_reduce", 64 * _MB)
+        )
+    for num_npus in (8, 16):
+        scenarios.append(
+            BenchScenario(f"switch{num_npus}-ag-4MB", f"switch:{num_npus}", "all_gather", 4 * _MB)
+        )
+        scenarios.append(
+            BenchScenario(f"switch{num_npus}-ar-64MB", f"switch:{num_npus}", "all_reduce", 64 * _MB)
+        )
+    # Heterogeneous two-tier DGX-1: exercises the cheaper-link deferral path.
+    scenarios.append(
+        BenchScenario("dgx1-hetero-ar-64MB", "dgx1:heterogeneous=true", "all_reduce", 64 * _MB)
+    )
+    return scenarios
+
+
+GRIDS = {
+    "smoke": _smoke_grid,
+    "fig19": _fig19_grid,
+    "full": _full_grid,
+}
+
+
+def get_grid(name: str) -> List[BenchScenario]:
+    """Resolve a grid by name; raises :class:`ReproError` for unknown names."""
+    try:
+        factory = GRIDS[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown benchmark grid {name!r}; available: {', '.join(sorted(GRIDS))}"
+        ) from None
+    return factory()

@@ -1,0 +1,273 @@
+"""Frozen pre-refactor synthesis core: dict/set state, scan-based TEN.
+
+This module preserves the original reference implementation of the matching
+engine — per-NPU ``Dict[int, float]`` holdings, a ``Set[Tuple[int, int]]`` of
+unsatisfied postconditions, and full per-round Python scans — exactly as it
+stood before the array-backed refactor, so the benchmark subsystem can
+
+* measure the refactor's speedup against the real former hot path, and
+* assert that fixed seeds produce byte-identical algorithms on both engines.
+
+The deliberate deviations from the historical code are exactly the
+determinism contract shared with :mod:`repro.core.matching` (anything that
+feeds the RNG must be identical across engines, or fixed-seed outputs could
+not be compared):
+
+* the pending postconditions are enumerated in ``(dest, chunk)``
+  lexicographic order (``sorted(set)``) instead of raw set-iteration order,
+  so the permutation input is well-defined rather than an accident of hash
+  layout, and
+* the per-round permutation comes from the shared
+  :func:`repro.core.matching.shuffle_pairs` helper, which consumes the trial
+  RNG identically in both engines, and
+* picking among link candidates consumes one ``_randbelow`` draw only when
+  two or more links remain (a single candidate is returned without touching
+  the RNG).
+
+Do not "optimize" this module; its slowness is the point.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.algorithm import ChunkTransfer
+from repro.core.matching import shuffle_pairs
+from repro.core.synthesizer import SynthesisEngine
+from repro.errors import SynthesisError
+from repro.topology.topology import Topology
+
+__all__ = [
+    "REFERENCE_ENGINE",
+    "ReferenceMatchingState",
+    "ReferenceTimeExpandedNetwork",
+    "reference_run_matching_round",
+]
+
+#: Tolerance used when comparing floating-point times.
+_TIME_EPS = 1e-12
+
+
+class ReferenceTimeExpandedNetwork:
+    """Pre-refactor TEN: per-link dicts, event heap with duplicate pushes."""
+
+    def __init__(self, topology: Topology, chunk_size: float) -> None:
+        if chunk_size <= 0:
+            raise SynthesisError(f"chunk size must be positive, got {chunk_size}")
+        self.topology = topology
+        self.chunk_size = float(chunk_size)
+        self._link_cost: Dict[Tuple[int, int], float] = {
+            link.key: link.cost(chunk_size) for link in topology.links()
+        }
+        self._link_next_free: Dict[Tuple[int, int], float] = {
+            key: 0.0 for key in self._link_cost
+        }
+        self._event_heap: List[float] = []
+
+    def link_cost(self, key: Tuple[int, int]) -> float:
+        return self._link_cost[key]
+
+    def is_link_idle(self, key: Tuple[int, int], time: float) -> bool:
+        return self._link_next_free[key] <= time + _TIME_EPS
+
+    def idle_in_links(self, dest: int, time: float) -> List[Tuple[int, int]]:
+        links = []
+        for source in self.topology.in_neighbors(dest):
+            key = (source, dest)
+            if self.is_link_idle(key, time):
+                links.append(key)
+        return links
+
+    def idle_out_links(self, source: int, time: float) -> List[Tuple[int, int]]:
+        links = []
+        for dest in self.topology.out_neighbors(source):
+            key = (source, dest)
+            if self.is_link_idle(key, time):
+                links.append(key)
+        return links
+
+    def occupy(self, key: Tuple[int, int], time: float) -> float:
+        if not self.is_link_idle(key, time):
+            raise SynthesisError(
+                f"link {key} is busy until {self._link_next_free[key]:.3e}s, "
+                f"cannot occupy at {time:.3e}s"
+            )
+        end = time + self._link_cost[key]
+        self._link_next_free[key] = end
+        self.push_event(end)
+        return end
+
+    def push_event(self, time: float) -> None:
+        heapq.heappush(self._event_heap, time)
+
+    def next_event_after(self, time: float) -> Optional[float]:
+        while self._event_heap:
+            candidate = heapq.heappop(self._event_heap)
+            if candidate > time + _TIME_EPS:
+                return candidate
+        return None
+
+
+class ReferenceMatchingState:
+    """Pre-refactor chunk-ownership state: dict holdings, set of postconditions."""
+
+    def __init__(
+        self,
+        num_npus: int,
+        precondition: Dict[int, frozenset],
+        postcondition: Dict[int, frozenset],
+    ) -> None:
+        self.num_npus = num_npus
+        self.holdings: List[Dict[int, float]] = [dict() for _ in range(num_npus)]
+        for npu, chunks in precondition.items():
+            for chunk in chunks:
+                self.holdings[npu][chunk] = 0.0
+        self.unsatisfied: Set[Tuple[int, int]] = set()
+        for npu in range(num_npus):
+            needed = postcondition.get(npu, frozenset()) - precondition.get(npu, frozenset())
+            for chunk in needed:
+                self.unsatisfied.add((npu, chunk))
+
+    def holds(self, npu: int, chunk: int, time: float) -> bool:
+        acquired = self.holdings[npu].get(chunk)
+        return acquired is not None and acquired <= time + _TIME_EPS
+
+    def acquisition_time(self, npu: int, chunk: int) -> Optional[float]:
+        return self.holdings[npu].get(chunk)
+
+    def will_hold(self, npu: int, chunk: int) -> bool:
+        return chunk in self.holdings[npu]
+
+    def grant(self, npu: int, chunk: int, time: float) -> None:
+        existing = self.holdings[npu].get(chunk)
+        if existing is None or time < existing:
+            self.holdings[npu][chunk] = time
+        self.unsatisfied.discard((npu, chunk))
+
+    @property
+    def done(self) -> bool:
+        return not self.unsatisfied
+
+
+def _cheaper_source_pending(
+    ten: ReferenceTimeExpandedNetwork,
+    state: ReferenceMatchingState,
+    dest: int,
+    chunk: int,
+    candidates: Sequence[Tuple[int, int]],
+    cheap_regions: Optional[Dict[float, List[frozenset]]],
+) -> bool:
+    """Whether ``chunk`` can still reach ``dest`` over strictly cheaper links only."""
+    if cheap_regions is None:
+        return False
+    best_available = min(ten.link_cost(link) for link in candidates)
+    region_by_dest = cheap_regions.get(best_available)
+    if region_by_dest is None:
+        return False
+    for holder in region_by_dest[dest]:
+        if state.acquisition_time(holder, chunk) is not None:
+            return True
+    return False
+
+
+def _pick_link(
+    candidates: Sequence[Tuple[int, int]],
+    ten: ReferenceTimeExpandedNetwork,
+    rng: random.Random,
+    prefer_lowest_cost: bool,
+) -> Tuple[int, int]:
+    """Randomly select one candidate link, optionally restricted to the cheapest.
+
+    Determinism contract (shared with the flat engine's ``_pick_link_id``):
+    choosing among two or more links consumes exactly one ``_randbelow``
+    draw; a single remaining link is returned without touching the RNG.
+    """
+    if prefer_lowest_cost and len(candidates) > 1:
+        best = min(ten.link_cost(key) for key in candidates)
+        cheapest = [key for key in candidates if ten.link_cost(key) <= best + _TIME_EPS]
+        if len(cheapest) == 1:
+            return cheapest[0]
+        return rng.choice(cheapest)
+    if len(candidates) == 1:
+        return candidates[0]
+    return rng.choice(list(candidates))
+
+
+def reference_run_matching_round(
+    ten: ReferenceTimeExpandedNetwork,
+    state: ReferenceMatchingState,
+    time: float,
+    rng: random.Random,
+    *,
+    prefer_lowest_cost: bool = True,
+    enable_forwarding: bool = True,
+    hop_distances: Optional[List[List[int]]] = None,
+    cheap_regions: Optional[Dict[float, List[frozenset]]] = None,
+) -> List[ChunkTransfer]:
+    """Pre-refactor Alg. 1 round: full scans over pairs, links, and NPUs."""
+    transfers: List[ChunkTransfer] = []
+
+    # Pass 1 — direct matches.  sorted() + shuffle_pairs() rather than the
+    # historical list() + rng.shuffle(): see the module docstring's
+    # determinism contract.
+    pending = shuffle_pairs(sorted(state.unsatisfied), rng)
+    deferred: List[Tuple[int, int]] = []
+    for dest, chunk in pending:
+        if (dest, chunk) not in state.unsatisfied:
+            continue  # satisfied earlier in this round
+        idle_links = ten.idle_in_links(dest, time)
+        candidates = [
+            (source, dest)
+            for source, dest_ in idle_links
+            if state.holds(source, chunk, time)
+        ]
+        if not candidates:
+            deferred.append((dest, chunk))
+            continue
+        if prefer_lowest_cost and _cheaper_source_pending(
+            ten, state, dest, chunk, candidates, cheap_regions
+        ):
+            continue
+        link = _pick_link(candidates, ten, rng, prefer_lowest_cost)
+        end = ten.occupy(link, time)
+        state.grant(dest, chunk, end)
+        transfers.append(
+            ChunkTransfer(start=time, end=end, chunk=chunk, source=link[0], dest=link[1])
+        )
+
+    # Pass 2 — forwarding: push still-unserved chunks one hop closer.
+    if enable_forwarding and deferred and hop_distances is not None:
+        shuffle_pairs(deferred, rng)
+        for dest, chunk in deferred:
+            if (dest, chunk) not in state.unsatisfied:
+                continue
+            candidates = []
+            for holder in range(state.num_npus):
+                if not state.holds(holder, chunk, time):
+                    continue
+                for _, neighbour in ten.idle_out_links(holder, time):
+                    if state.will_hold(neighbour, chunk):
+                        continue
+                    if hop_distances[neighbour][dest] < hop_distances[holder][dest]:
+                        candidates.append((holder, neighbour))
+            if not candidates:
+                continue
+            link = _pick_link(candidates, ten, rng, prefer_lowest_cost)
+            end = ten.occupy(link, time)
+            state.grant(link[1], chunk, end)
+            transfers.append(
+                ChunkTransfer(start=time, end=end, chunk=chunk, source=link[0], dest=link[1])
+            )
+
+    return transfers
+
+
+#: The pre-refactor core packaged for :class:`repro.core.synthesizer.TacosSynthesizer`.
+REFERENCE_ENGINE = SynthesisEngine(
+    name="reference",
+    ten_factory=ReferenceTimeExpandedNetwork,
+    state_factory=ReferenceMatchingState,
+    matching_round=reference_run_matching_round,
+)

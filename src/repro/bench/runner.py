@@ -1,0 +1,198 @@
+"""Benchmark execution: time both engines, check equivalence, emit JSON.
+
+For every scenario of a grid the runner
+
+1. synthesizes with the array-backed flat engine (``repeats`` times, median
+   wall clock),
+2. synthesizes with the frozen pre-refactor reference engine on the same
+   seeds,
+3. asserts the two algorithms are identical (same transfers, same
+   collective time) — the refactor's behaviour-preservation proof, and
+4. times the congestion-aware simulator on the synthesized algorithm.
+
+The report is written as ``BENCH_<grid>_<timestamp>.json`` with a stable
+schema so CI can track the perf trajectory per PR.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time as _time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro import __version__
+from repro.api.builtins import parse_topology_spec
+from repro.api.registry import COLLECTIVES
+from repro.api.runner import build_topology
+from repro.bench.grid import BenchScenario, get_grid
+from repro.bench.reference import REFERENCE_ENGINE
+from repro.core.config import SynthesisConfig
+from repro.core.synthesizer import FLAT_ENGINE, TacosSynthesizer
+from repro.simulator.adapters import simulate_algorithm
+
+__all__ = ["BenchRecord", "run_bench", "write_report"]
+
+#: Report schema identifier (bump on breaking changes).
+SCHEMA = "tacos-repro-bench/v1"
+
+
+@dataclass
+class BenchRecord:
+    """Measured outcome of one benchmark scenario."""
+
+    scenario: str
+    topology: str
+    collective: str
+    collective_size: float
+    num_npus: int
+    num_links: int
+    seed: int
+    trials: int
+    flat_seconds: float
+    reference_seconds: float
+    speedup: float
+    equivalent: Optional[bool]  #: None when the equivalence check was skipped
+    num_transfers: int
+    collective_time: float
+    rounds: int
+    simulation_seconds: float
+    simulated_collective_time: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+
+def _median_wall_clock(synthesizer: TacosSynthesizer, topology, pattern, size, repeats: int):
+    """Run ``repeats`` syntheses; return (result_of_first, median wall clock)."""
+    first = None
+    samples = []
+    for _ in range(max(1, repeats)):
+        result = synthesizer.synthesize_with_stats(topology, pattern, size)
+        samples.append(result.wall_clock_seconds)
+        if first is None:
+            first = result
+    return first, statistics.median(samples)
+
+
+def _warmup() -> None:
+    """Run one tiny synthesis per engine so imports, registry resolution, and
+    lazy RNG setup are not billed to the first timed scenario."""
+    from repro.collectives.all_gather import AllGather
+    from repro.topology.builders.ring import build_ring
+
+    topology = build_ring(4)
+    pattern = AllGather(4)
+    for engine in (FLAT_ENGINE, REFERENCE_ENGINE):
+        TacosSynthesizer(engine=engine).synthesize(topology, pattern, 1e6)
+
+
+def run_bench(
+    grid: str = "fig19",
+    *,
+    repeats: int = 1,
+    check_equivalence: bool = True,
+    scenarios: Optional[List[BenchScenario]] = None,
+) -> List[BenchRecord]:
+    """Execute a benchmark grid and return one record per scenario."""
+    records: List[BenchRecord] = []
+    _warmup()
+    for scenario in scenarios if scenarios is not None else get_grid(grid):
+        topology = build_topology(parse_topology_spec(scenario.topology))
+        factory = COLLECTIVES.get(scenario.collective)
+        pattern = factory(topology.num_npus, 1)
+        config = SynthesisConfig(seed=scenario.seed, trials=scenario.trials)
+
+        flat = TacosSynthesizer(config, engine=FLAT_ENGINE)
+        flat_result, flat_seconds = _median_wall_clock(
+            flat, topology, pattern, scenario.collective_size, repeats
+        )
+
+        reference = TacosSynthesizer(config, engine=REFERENCE_ENGINE)
+        reference_result, reference_seconds = _median_wall_clock(
+            reference, topology, pattern, scenario.collective_size, repeats
+        )
+
+        equivalent: Optional[bool] = None
+        if check_equivalence:
+            equivalent = (
+                flat_result.algorithm.transfers == reference_result.algorithm.transfers
+                and flat_result.algorithm.collective_time
+                == reference_result.algorithm.collective_time
+            )
+
+        sim_started = _time.perf_counter()
+        sim_result = simulate_algorithm(topology, flat_result.algorithm)
+        simulation_seconds = _time.perf_counter() - sim_started
+
+        records.append(
+            BenchRecord(
+                scenario=scenario.name,
+                topology=scenario.topology,
+                collective=scenario.collective,
+                collective_size=scenario.collective_size,
+                num_npus=topology.num_npus,
+                num_links=topology.num_links,
+                seed=scenario.seed,
+                trials=scenario.trials,
+                flat_seconds=flat_seconds,
+                reference_seconds=reference_seconds,
+                speedup=(reference_seconds / flat_seconds) if flat_seconds > 0 else float("inf"),
+                equivalent=equivalent,
+                num_transfers=flat_result.algorithm.num_transfers,
+                collective_time=flat_result.algorithm.collective_time,
+                rounds=flat_result.rounds,
+                simulation_seconds=simulation_seconds,
+                simulated_collective_time=sim_result.completion_time,
+            )
+        )
+    return records
+
+
+def summarize(records: List[BenchRecord]) -> Dict[str, Any]:
+    """Aggregate per-grid summary statistics."""
+    speedups = [record.speedup for record in records]
+    checked = [record.equivalent for record in records if record.equivalent is not None]
+    return {
+        "num_scenarios": len(records),
+        "median_speedup": statistics.median(speedups) if speedups else None,
+        "min_speedup": min(speedups) if speedups else None,
+        "max_speedup": max(speedups) if speedups else None,
+        "total_flat_seconds": sum(record.flat_seconds for record in records),
+        "total_reference_seconds": sum(record.reference_seconds for record in records),
+        "equivalence_checked": len(checked),
+        "all_equivalent": all(checked) if checked else None,
+    }
+
+
+def write_report(
+    records: List[BenchRecord],
+    *,
+    grid: str,
+    repeats: int,
+    out_dir: str = ".",
+) -> Tuple[Path, Dict[str, Any]]:
+    """Serialize records to ``BENCH_<grid>_<timestamp>.json``; return (path, report)."""
+    report = {
+        "schema": SCHEMA,
+        "version": __version__,
+        "grid": grid,
+        "repeats": repeats,
+        "created_utc": _time.strftime("%Y-%m-%dT%H:%M:%SZ", _time.gmtime()),
+        "summary": summarize(records),
+        "records": [record.to_dict() for record in records],
+    }
+    directory = Path(out_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    stamp = _time.strftime("%Y%m%d_%H%M%S", _time.gmtime())
+    path = directory / f"BENCH_{grid}_{stamp}.json"
+    # Timestamps are second-granular; never clobber an earlier report from
+    # the same second (the smoke grid finishes well under a second).
+    suffix = 0
+    while path.exists():
+        suffix += 1
+        path = directory / f"BENCH_{grid}_{stamp}-{suffix}.json"
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path, report

@@ -8,6 +8,9 @@ Subcommands:
 * ``simulate`` — time a baseline algorithm on a topology;
 * ``sweep`` — cross topologies x algorithms x sizes through
   :func:`repro.api.run_batch`, with optional parallelism and caching;
+* ``bench`` — time the synthesis core against the frozen pre-refactor
+  reference engine over a scenario grid, check fixed-seed output
+  equivalence, and write a ``BENCH_*.json`` report;
 * ``experiments`` — run the paper-reproduction experiments.
 
 Every run-producing subcommand accepts ``--spec FILE`` to execute a
@@ -45,7 +48,7 @@ from repro.errors import ReproError
 
 __all__ = ["main", "build_parser"]
 
-_SUBCOMMANDS = ("list", "synthesize", "simulate", "sweep", "experiments")
+_SUBCOMMANDS = ("list", "synthesize", "simulate", "sweep", "bench", "experiments")
 
 
 # ----------------------------------------------------------------------
@@ -126,6 +129,32 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--workers", "-w", type=int, default=None, help="thread pool size")
     sweep.add_argument("--cache-dir", help="cache results as JSON under this directory")
     sweep.add_argument("--json", action="store_true", help="print results as JSON")
+
+    bench = subparsers.add_parser(
+        "bench", help="benchmark the synthesis core against the pre-refactor engine"
+    )
+    bench.add_argument(
+        "--grid", choices=("smoke", "fig19", "full"), default="fig19",
+        help="scenario grid (default: fig19)",
+    )
+    bench.add_argument(
+        "--smoke", action="store_true", help="shorthand for --grid smoke (CI-sized)"
+    )
+    bench.add_argument(
+        "--repeats", type=int, default=1, help="timing repetitions per engine (median kept)"
+    )
+    bench.add_argument(
+        "--out", default=".", help="directory for the BENCH_*.json report (default: .)"
+    )
+    bench.add_argument(
+        "--no-equivalence", action="store_true",
+        help="skip the fixed-seed output-equivalence check",
+    )
+    bench.add_argument(
+        "--min-speedup", type=float, default=None,
+        help="exit non-zero if the median speedup falls below this factor",
+    )
+    bench.add_argument("--json", action="store_true", help="print the report as JSON")
 
     experiments = subparsers.add_parser(
         "experiments", help="run the paper-reproduction experiments"
@@ -268,6 +297,56 @@ def _cmd_sweep(arguments: argparse.Namespace) -> int:
     return 1 if failed == len(results) and results else 0
 
 
+def _cmd_bench(arguments: argparse.Namespace) -> int:
+    from repro.bench import run_bench, write_report
+
+    grid = "smoke" if arguments.smoke else arguments.grid
+    records = run_bench(
+        grid,
+        repeats=arguments.repeats,
+        check_equivalence=not arguments.no_equivalence,
+    )
+    path, report = write_report(
+        records, grid=grid, repeats=arguments.repeats, out_dir=arguments.out
+    )
+    summary = report["summary"]
+    if arguments.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        header = (
+            f"{'scenario':<24} {'npus':>5} {'flat (ms)':>10} {'reference (ms)':>14} "
+            f"{'speedup':>8} {'equal':>6}"
+        )
+        print(header)
+        print("-" * len(header))
+        for record in records:
+            equal = "-" if record.equivalent is None else ("yes" if record.equivalent else "NO")
+            print(
+                f"{record.scenario:<24} {record.num_npus:>5} {record.flat_seconds * 1e3:>10.1f} "
+                f"{record.reference_seconds * 1e3:>14.1f} {record.speedup:>7.2f}x {equal:>6}"
+            )
+        print(
+            f"\nmedian speedup {summary['median_speedup']:.2f}x "
+            f"(min {summary['min_speedup']:.2f}x, max {summary['max_speedup']:.2f}x); "
+            f"report: {path}"
+        )
+    if summary["all_equivalent"] is False:
+        print("error: engines disagree on fixed-seed outputs", file=sys.stderr)
+        return 1
+    if (
+        arguments.min_speedup is not None
+        and summary["median_speedup"] is not None
+        and summary["median_speedup"] < arguments.min_speedup
+    ):
+        print(
+            f"error: median speedup {summary['median_speedup']:.2f}x is below "
+            f"the required {arguments.min_speedup:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_experiments(arguments: argparse.Namespace) -> int:
     from repro.experiments.runner import main as experiments_main
 
@@ -298,6 +377,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_run_one(arguments, default_collective="all_reduce")
         if arguments.command == "sweep":
             return _cmd_sweep(arguments)
+        if arguments.command == "bench":
+            return _cmd_bench(arguments)
         return _cmd_experiments(arguments)
     except BrokenPipeError:
         # Downstream consumer (e.g. `tacos-repro list | head`) closed the

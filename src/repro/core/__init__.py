@@ -3,14 +3,22 @@
 from repro.core.algorithm import ChunkTransfer, CollectiveAlgorithm
 from repro.core.config import SynthesisConfig
 from repro.core.matching import MatchingState, run_matching_round
-from repro.core.synthesizer import SynthesisResult, TacosSynthesizer, synthesize
+from repro.core.synthesizer import (
+    FLAT_ENGINE,
+    SynthesisEngine,
+    SynthesisResult,
+    TacosSynthesizer,
+    synthesize,
+)
 from repro.core.verification import verify_algorithm
 
 __all__ = [
     "ChunkTransfer",
     "CollectiveAlgorithm",
+    "FLAT_ENGINE",
     "MatchingState",
     "SynthesisConfig",
+    "SynthesisEngine",
     "SynthesisResult",
     "TacosSynthesizer",
     "run_matching_round",

@@ -10,17 +10,31 @@ congestion-aware simulator and the analysis utilities.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, NamedTuple, Optional, Tuple
 
 __all__ = ["ChunkTransfer", "CollectiveAlgorithm"]
 
 #: Tolerance used when comparing floating-point times.
 _TIME_EPS = 1e-9
 
+_tuple_new = tuple.__new__
 
-@dataclass(frozen=True, order=True)
-class ChunkTransfer:
+
+class _ChunkTransferFields(NamedTuple):
+    start: float
+    end: float
+    chunk: int
+    source: int
+    dest: int
+
+
+class ChunkTransfer(_ChunkTransferFields):
     """One link-chunk match: ``chunk`` travels ``source -> dest`` over [start, end].
+
+    A named tuple (ordered and compared field-by-field, hashable, immutable).
+    The synthesizer creates one instance per match on its innermost loop, so
+    construction is kept C-speed: the public constructor validates, while hot
+    paths with already-proven invariants use ``ChunkTransfer._make(values)``.
 
     Attributes
     ----------
@@ -32,15 +46,13 @@ class ChunkTransfer:
         Endpoint NPUs of the physical link used.
     """
 
-    start: float
-    end: float
-    chunk: int
-    source: int
-    dest: int
+    __slots__ = ()
 
-    def __post_init__(self) -> None:
-        if self.end < self.start:
+    def __new__(cls, start: float, end: float, chunk: int, source: int, dest: int):
+        self = _tuple_new(cls, (start, end, chunk, source, dest))
+        if end < start:
             raise ValueError(f"transfer ends before it starts: {self}")
+        return self
 
     @property
     def link(self) -> Tuple[int, int]:
@@ -166,14 +178,9 @@ class CollectiveAlgorithm:
     # ------------------------------------------------------------------
     def shifted(self, offset: float) -> "CollectiveAlgorithm":
         """Return a copy with every transfer shifted later by ``offset`` seconds."""
+        make = _tuple_new
         moved = [
-            ChunkTransfer(
-                start=transfer.start + offset,
-                end=transfer.end + offset,
-                chunk=transfer.chunk,
-                source=transfer.source,
-                dest=transfer.dest,
-            )
+            make(ChunkTransfer, (transfer[0] + offset, transfer[1] + offset, transfer[2], transfer[3], transfer[4]))
             for transfer in self.transfers
         ]
         return CollectiveAlgorithm(
@@ -194,14 +201,9 @@ class CollectiveAlgorithm:
         original topology.  ``duration`` defaults to the collective time.
         """
         total = self.collective_time if duration is None else duration
+        make = _tuple_new
         reversed_transfers = [
-            ChunkTransfer(
-                start=total - transfer.end,
-                end=total - transfer.start,
-                chunk=transfer.chunk,
-                source=transfer.dest,
-                dest=transfer.source,
-            )
+            make(ChunkTransfer, (total - transfer[1], total - transfer[0], transfer[2], transfer[4], transfer[3]))
             for transfer in self.transfers
         ]
         return CollectiveAlgorithm(

@@ -37,6 +37,15 @@ class SynthesisConfig:
     max_rounds:
         Safety bound on the number of time spans; exceeded only if synthesis
         cannot make progress (e.g. disconnected topology).
+    trial_workers:
+        Thread-pool size for dispatching independent randomized trials
+        (through the same pool helper as :func:`repro.api.runner.run_batch`).
+        ``None`` (the default) or 1 runs trials serially.  Note: the
+        pure-Python matching kernel holds the GIL, so today this does not
+        reduce wall-clock time — the seam exists so engines whose kernels
+        release the GIL can parallelize without API changes.  Either way the
+        selected algorithm is identical because the best-of-trials choice is
+        order-independent.
     """
 
     seed: int = 0
@@ -44,12 +53,17 @@ class SynthesisConfig:
     prefer_lowest_cost_links: bool = True
     enable_forwarding: bool = True
     max_rounds: int = 1_000_000
+    trial_workers: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.trials < 1:
             raise SynthesisError(f"trials must be at least 1, got {self.trials}")
         if self.max_rounds < 1:
             raise SynthesisError(f"max_rounds must be at least 1, got {self.max_rounds}")
+        if self.trial_workers is not None and self.trial_workers < 1:
+            raise SynthesisError(
+                f"trial_workers must be at least 1 (or None), got {self.trial_workers}"
+            )
 
     def trial_seed(self, trial: int) -> int:
         """Seed used for the ``trial``-th randomized synthesis run."""

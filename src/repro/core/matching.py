@@ -11,32 +11,120 @@ span, so at most one chunk rides a link at a time and congestion never forms.
 An optional *forwarding* pass extends Alg. 1 for rooted and personalized
 collectives (Gather / Scatter / All-to-All): when a requested chunk is not yet
 adjacent to its destination, it is pushed one hop closer along an idle link.
+
+The implementation is array-backed: chunk ownership lives in a flat
+``num_npus x num_chunks`` acquisition-time array (``math.inf`` = never held),
+per-chunk holder lists stay sorted, and each (dest, chunk) postcondition is a
+single int code ``dest * num_chunks + chunk`` carrying a one-byte pair state:
+
+* ``_SATISFIED`` — granted (or never needed);
+* ``_NEEDED`` — open, but **no** in-neighbour of ``dest`` holds the chunk
+  yet, so the pair provably has no candidate this span and is skipped with
+  one byte probe;
+* ``_MATCHABLE`` — open with at least one adjacent holder; only these pairs
+  pay for candidate collection.
+
+Pair states are promoted incrementally: every acquisition is pushed onto a
+time-ordered activation heap, and at the start of each span the acquisitions
+that have come due promote the pairs of their out-neighbours.  Combined with
+per-NPU idle-link caching and an idle-link budget that stops the scan once
+the span is saturated, a matching round touches each hopeless pair O(1)
+times instead of re-deriving its empty candidate set.
+
+Determinism contract
+--------------------
+The candidate enumeration order is part of the algorithm's observable
+behaviour (it feeds the shuffles and ``rng.choice``), so it is fixed
+explicitly rather than inherited from hash order:
+
+* pending pairs are enumerated in ``(dest, chunk)`` lexicographic order
+  before the shuffle (int codes sort exactly like the tuples);
+* the per-round random permutation comes from :func:`shuffle_pairs`, which
+  consumes the trial RNG identically regardless of the engine;
+* candidate links follow the topology's neighbour insertion order;
+* forwarding candidates enumerate holders in ascending NPU order.
+
+The reference (pre-refactor dict/set) engine in
+:mod:`repro.bench.reference` follows the same contract, which is what makes
+fixed-seed outputs byte-identical across the two engines.
 """
 
 from __future__ import annotations
 
 import random
+from bisect import insort
+from heapq import heappop, heappush
+from math import inf
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.algorithm import ChunkTransfer
 from repro.ten.network import TimeExpandedNetwork
 
-__all__ = ["MatchingState", "run_matching_round"]
+try:  # soft dependency: the core stays importable without numpy
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is present in the dev image
+    _np = None
+
+__all__ = ["MatchingState", "run_matching_round", "shuffle_pairs"]
 
 #: Tolerance used when comparing floating-point times.
 _TIME_EPS = 1e-12
+
+#: Below this round size the stdlib Fisher-Yates shuffle wins; above it the
+#: C-speed numpy permutation does.  Part of the determinism contract: both
+#: engines branch on the same constant, so they stay in RNG lockstep.
+_NUMPY_SHUFFLE_MIN = 128
+
+
+def _permuter(rng: random.Random):
+    """The per-trial numpy generator backing large-round permutations.
+
+    Seeded lazily with a single ``rng.getrandbits(64)`` draw the first time a
+    trial encounters a large round, so both engines consume the trial RNG
+    identically.
+    """
+    generator = getattr(rng, "_pair_permuter", None)
+    if generator is None:
+        generator = _np.random.default_rng(rng.getrandbits(64))
+        rng._pair_permuter = generator
+    return generator
+
+
+def shuffle_pairs(pending: List, rng: random.Random) -> List:
+    """Uniformly permute ``pending`` in place; return it.
+
+    This is the determinism-contract permutation shared by the flat and the
+    reference engines.  Small rounds use ``rng.shuffle``.  Large rounds (at
+    least :data:`_NUMPY_SHUFFLE_MIN` pairs) are permuted by a numpy
+    generator seeded once per trial RNG with a single ``rng.getrandbits(64)``
+    draw — a C-speed permutation instead of ``len(pending)`` Python-level
+    ``_randbelow`` calls, which otherwise dominates both engines equally.
+    Without numpy every round falls back to ``rng.shuffle`` (same uniform
+    distribution, different — but still deterministic — permutations).
+    """
+    if _np is None or len(pending) < _NUMPY_SHUFFLE_MIN:
+        rng.shuffle(pending)
+        return pending
+    permutation = _permuter(rng).permutation(len(pending))
+    if type(pending[0]) is int:  # flat engine: C-speed gather over int codes
+        codes = _np.fromiter(pending, dtype=_np.intp, count=len(pending))
+        pending[:] = codes[permutation].tolist()
+    else:  # reference engine: tuple pairs
+        pending[:] = [pending[index] for index in permutation.tolist()]
+    return pending
+
+#: Pair states (values of ``MatchingState._pair_state``).
+_SATISFIED = 0
+_NEEDED = 1
+_MATCHABLE = 2
 
 
 class MatchingState:
     """Mutable chunk-ownership state shared across matching rounds.
 
-    Attributes
-    ----------
-    holdings:
-        ``holdings[npu][chunk]`` is the time at which ``npu`` acquired
-        ``chunk`` (0.0 for precondition chunks).
-    unsatisfied:
-        The remaining (dest, chunk) postconditions.
+    The constructor signature is unchanged from the dict-based
+    implementation: ``(num_npus, precondition, postcondition)`` with
+    ownership maps from NPU index to a frozenset of chunk ids.
     """
 
     def __init__(
@@ -46,85 +134,193 @@ class MatchingState:
         postcondition: Dict[int, frozenset],
     ) -> None:
         self.num_npus = num_npus
-        self.holdings: List[Dict[int, float]] = [dict() for _ in range(num_npus)]
-        for npu, chunks in precondition.items():
+        max_chunk = -1
+        for chunks in precondition.values():
             for chunk in chunks:
-                self.holdings[npu][chunk] = 0.0
-        self.unsatisfied: Set[Tuple[int, int]] = set()
+                if chunk > max_chunk:
+                    max_chunk = chunk
+        for chunks in postcondition.values():
+            for chunk in chunks:
+                if chunk > max_chunk:
+                    max_chunk = chunk
+        #: Total number of distinct chunk ids (chunks are ``0 .. num_chunks - 1``).
+        self.num_chunks = max_chunk + 1
+
+        size = num_npus * self.num_chunks
+        #: acquisition[npu * num_chunks + chunk] = time the chunk was (or will
+        #: be) acquired; ``inf`` = never held nor scheduled.
+        self._acquisition: List[float] = [inf] * size
+        #: Per chunk, the NPUs holding or scheduled to receive it (ascending).
+        self._holders: List[List[int]] = [[] for _ in range(self.num_chunks)]
+        #: Acquisitions not yet applied to pair states: (time, npu, chunk).
+        self._activations: List[Tuple[float, int, int]] = []
+        num_chunks = self.num_chunks
+        for npu in sorted(precondition):
+            for chunk in sorted(precondition[npu]):
+                if self._acquisition[npu * num_chunks + chunk] == inf:
+                    self._holders[chunk].append(npu)
+                    self._activations.append((0.0, npu, chunk))
+                self._acquisition[npu * num_chunks + chunk] = 0.0
+        self._activations.sort()
+
+        #: One byte per (npu, chunk) pair: _SATISFIED / _NEEDED / _MATCHABLE.
+        self._pair_state = bytearray(size)
+        #: Unsatisfied pair codes in ascending (lexicographic) order; lazily
+        #: compacted by :meth:`_pending_codes` as pairs are granted.
+        self._pair_codes: List[int] = []
         for npu in range(num_npus):
             needed = postcondition.get(npu, frozenset()) - precondition.get(npu, frozenset())
-            for chunk in needed:
-                self.unsatisfied.add((npu, chunk))
+            for chunk in sorted(needed):
+                code = npu * num_chunks + chunk
+                self._pair_state[code] = _NEEDED
+                self._pair_codes.append(code)
+        self._unsatisfied_count = len(self._pair_codes)
+        #: numpy mirror of ``_pair_codes`` (compaction and permutation then
+        #: run at C speed); ``None`` without numpy.
+        self._codes_array = (
+            _np.array(self._pair_codes, dtype=_np.intp) if _np is not None else None
+        )
 
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
     def holds(self, npu: int, chunk: int, time: float) -> bool:
         """Whether ``npu`` holds ``chunk`` no later than ``time``."""
-        acquired = self.holdings[npu].get(chunk)
-        return acquired is not None and acquired <= time + _TIME_EPS
+        return self._acquisition[npu * self.num_chunks + chunk] <= time + _TIME_EPS
 
     def acquisition_time(self, npu: int, chunk: int) -> Optional[float]:
         """Time at which ``npu`` holds (or is scheduled to receive) ``chunk``, if any."""
-        return self.holdings[npu].get(chunk)
+        acquired = self._acquisition[npu * self.num_chunks + chunk]
+        return None if acquired == inf else acquired
 
     def will_hold(self, npu: int, chunk: int) -> bool:
         """Whether ``npu`` holds or is already scheduled to receive ``chunk``."""
-        return chunk in self.holdings[npu]
+        return self._acquisition[npu * self.num_chunks + chunk] != inf
 
+    def is_needed(self, npu: int, chunk: int) -> bool:
+        """Whether the postcondition (npu, chunk) is still unsatisfied."""
+        return self._pair_state[npu * self.num_chunks + chunk] != _SATISFIED
+
+    def holders(self, chunk: int) -> Sequence[int]:
+        """NPUs holding or scheduled to receive ``chunk``, ascending (read-only)."""
+        return self._holders[chunk]
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
     def grant(self, npu: int, chunk: int, time: float) -> None:
         """Record that ``npu`` acquires ``chunk`` at ``time``."""
-        existing = self.holdings[npu].get(chunk)
-        if existing is None or time < existing:
-            self.holdings[npu][chunk] = time
-        self.unsatisfied.discard((npu, chunk))
+        index = npu * self.num_chunks + chunk
+        existing = self._acquisition[index]
+        if time < existing:
+            if existing == inf:
+                insort(self._holders[chunk], npu)
+            self._acquisition[index] = time
+            heappush(self._activations, (time, npu, chunk))
+        if self._pair_state[index]:
+            self._pair_state[index] = _SATISFIED
+            self._unsatisfied_count -= 1
+
+    def activate_until(self, time: float, out_adjacency: List[List[int]]) -> None:
+        """Promote pairs whose adjacent holder's acquisition has come due.
+
+        Pops every acquisition scheduled at or before ``time`` and marks the
+        still-needed (out-neighbour, chunk) pairs of the new holder as
+        matchable.  Called at the start of each matching round; promotions
+        are permanent because chunks are never un-acquired.
+        """
+        activations = self._activations
+        if not activations:
+            return
+        threshold = time + _TIME_EPS
+        pair_state = self._pair_state
+        num_chunks = self.num_chunks
+        while activations and activations[0][0] <= threshold:
+            _, npu, chunk = heappop(activations)
+            for neighbour in out_adjacency[npu]:
+                code = neighbour * num_chunks + chunk
+                if pair_state[code] == _NEEDED:
+                    pair_state[code] = _MATCHABLE
+
+    def pending_pairs(self) -> List[Tuple[int, int]]:
+        """The unsatisfied (dest, chunk) pairs in lexicographic order."""
+        num_chunks = self.num_chunks
+        return [divmod(code, num_chunks) for code in self._pending_codes()]
+
+    def _pending_array(self):
+        """Unsatisfied pair codes as a compacted ascending numpy array."""
+        array = self._codes_array
+        if len(array) != self._unsatisfied_count:
+            states = _np.frombuffer(self._pair_state, dtype=_np.uint8)
+            array = array[states[array] != _SATISFIED]
+            self._codes_array = array
+        return array
+
+    def _pending_codes(self) -> List[int]:
+        """Unsatisfied pair codes, ascending; compacts the internal store."""
+        if self._codes_array is not None:
+            return self._pending_array().tolist()
+        pair_state = self._pair_state
+        if len(self._pair_codes) != self._unsatisfied_count:
+            self._pair_codes = [code for code in self._pair_codes if pair_state[code]]
+        return list(self._pair_codes)
+
+    # ------------------------------------------------------------------
+    # Compatibility views
+    # ------------------------------------------------------------------
+    @property
+    def unsatisfied(self) -> Set[Tuple[int, int]]:
+        """The remaining (dest, chunk) postconditions as a set (materialized view)."""
+        num_chunks = self.num_chunks
+        pair_state = self._pair_state
+        return {
+            divmod(code, num_chunks) for code in self._pair_codes if pair_state[code]
+        }
+
+    @property
+    def holdings(self) -> List[Dict[int, float]]:
+        """Per-NPU ``{chunk: acquisition_time}`` snapshot (compatibility view)."""
+        acquisition = self._acquisition
+        num_chunks = self.num_chunks
+        return [
+            {
+                chunk: acquisition[npu * num_chunks + chunk]
+                for chunk in range(num_chunks)
+                if acquisition[npu * num_chunks + chunk] != inf
+            }
+            for npu in range(self.num_npus)
+        ]
 
     @property
     def done(self) -> bool:
         """Whether every postcondition has been satisfied or scheduled."""
-        return not self.unsatisfied
+        return self._unsatisfied_count == 0
 
 
-def _cheaper_source_pending(
-    ten: TimeExpandedNetwork,
-    state: "MatchingState",
-    dest: int,
-    chunk: int,
-    candidates: Sequence[Tuple[int, int]],
-    cheap_regions: Optional[Dict[float, List[frozenset]]],
-) -> bool:
-    """Whether ``chunk`` can still reach ``dest`` over strictly cheaper links only.
-
-    This implements the lower-cost-link prioritization of Sec. IV-F for
-    heterogeneous networks: if the chunk is already held — or scheduled to be
-    received — by some NPU from which ``dest`` is reachable using only links
-    strictly cheaper than the best currently matchable candidate, the match is
-    deferred.  Burning a scarce high-cost (low-bandwidth) link on a chunk that
-    the cheap portion of the network can deliver shortly wastes exactly the
-    capacity that limits the collective.  On homogeneous topologies there is
-    no strictly cheaper tier, so this never defers.
-    """
-    if cheap_regions is None:
-        return False
-    best_available = min(ten.link_cost(link) for link in candidates)
-    region_by_dest = cheap_regions.get(best_available)
-    if region_by_dest is None:
-        return False
-    for holder in region_by_dest[dest]:
-        if state.acquisition_time(holder, chunk) is not None:
-            return True
-    return False
-
-
-def _pick_link(
-    candidates: Sequence[Tuple[int, int]],
-    ten: TimeExpandedNetwork,
+def _pick_link_id(
+    candidates: List[int],
+    link_costs: List[float],
     rng: random.Random,
     prefer_lowest_cost: bool,
-) -> Tuple[int, int]:
-    """Randomly select one candidate link, optionally restricted to the cheapest."""
+) -> int:
+    """Randomly select one candidate link id, optionally restricted to the cheapest.
+
+    Mirrors the reference engine's ``_pick_link`` exactly, including its RNG
+    consumption: one uniform draw per choice among two or more links
+    (``randrange(n)`` and ``choice`` consume the identical single
+    ``_randbelow(n)`` draw), no draw when a single link remains (part of the
+    determinism contract).
+    """
     if prefer_lowest_cost and len(candidates) > 1:
-        best = min(ten.link_cost(key) for key in candidates)
-        cheapest = [key for key in candidates if ten.link_cost(key) <= best + _TIME_EPS]
-        return rng.choice(cheapest)
-    return rng.choice(list(candidates))
+        best = min(link_costs[link_id] for link_id in candidates)
+        threshold = best + _TIME_EPS
+        cheapest = [link_id for link_id in candidates if link_costs[link_id] <= threshold]
+        if len(cheapest) == 1:
+            return cheapest[0]
+        return cheapest[rng.randrange(len(cheapest))]
+    if len(candidates) == 1:
+        return candidates[0]
+    return candidates[rng.randrange(len(candidates))]
 
 
 def run_matching_round(
@@ -168,64 +364,188 @@ def run_matching_round(
         deferral (homogeneous topologies need none).
     """
     transfers: List[ChunkTransfer] = []
+    num_chunks = state.num_chunks
+    num_npus = state.num_npus
+    acquisition = state._acquisition
+    pair_state = state._pair_state
+    holders = state._holders
+    activations = state._activations
+    link_costs = ten.link_costs
+    link_sources = ten.link_sources
+    link_dests = ten.link_dests
+    free_times = ten.free_times
+    event_heap = ten._event_heap
+    event_times = ten._event_times
+    threshold = time + _TIME_EPS
+
+    state.activate_until(time, ten.out_adjacency)
+
+    # Links only become busy during a round (occupy is the sole mutation), so
+    # per-NPU idle-link lists can be cached for the span and invalidated on
+    # occupy, and the scan can stop once every link of the span is taken.
+    idle_total = ten.idle_link_count(time)
+    idle_in_cache: List[Optional[List[int]]] = [None] * num_npus
+    idle_out_cache: List[Optional[List[int]]] = [None] * num_npus
+
+    # The deferred pairs only matter when a forwarding pass will consume them.
+    collect_deferred = enable_forwarding and hop_distances is not None
+    # On uniform-cost (homogeneous) spans the lowest-cost restriction keeps
+    # every candidate, so the min/filter step reduces to a plain rng.choice
+    # over the same list — identical RNG consumption, no scan.
+    uniform_cost = ten.uniform_cost
+    tuple_new = tuple.__new__
+    transfer_cls = ChunkTransfer
+    rand_range = rng.randrange
 
     # ------------------------------------------------------------------
     # Pass 1 — Alg. 1: direct matches onto destinations that request a chunk.
     # ------------------------------------------------------------------
-    pending = list(state.unsatisfied)
-    rng.shuffle(pending)
-    deferred: List[Tuple[int, int]] = []
-    for dest, chunk in pending:
-        if (dest, chunk) not in state.unsatisfied:
+    if (
+        _np is not None
+        and not collect_deferred
+        and state._unsatisfied_count >= _NUMPY_SHUFFLE_MIN
+    ):
+        # Forwarding is off, so deferred pairs are never consumed: restrict
+        # the scan to the matchable pairs (in permutation order) with one
+        # C-speed gather.  _NEEDED pairs cannot become matchable mid-round
+        # (promotions only happen in activate_until), so the prefilter is
+        # exact; _SATISFIED is re-checked per pair below as usual.
+        codes = state._pending_array()
+        codes = codes[_permuter(rng).permutation(len(codes))]
+        matchable = _np.frombuffer(pair_state, dtype=_np.uint8)[codes] == _MATCHABLE
+        pending = codes[matchable].tolist()
+    else:
+        pending = shuffle_pairs(state._pending_codes(), rng)
+    deferred: List[int] = []
+    for position, code in enumerate(pending):
+        pair = pair_state[code]
+        if pair == _SATISFIED:
             continue  # satisfied earlier in this round
-        idle_links = ten.idle_in_links(dest, time)
+        if idle_total == 0:
+            # The span is saturated: every remaining open pair has no idle
+            # link and therefore no candidates — defer them all unscanned.
+            if collect_deferred:
+                deferred.extend(
+                    later for later in pending[position:] if pair_state[later]
+                )
+            break
+        if pair == _NEEDED:
+            # No in-neighbour of the destination holds this chunk yet, so the
+            # candidate set is provably empty (one byte probe, no link scan).
+            if collect_deferred:
+                deferred.append(code)
+            continue
+        dest, chunk = divmod(code, num_chunks)
+        idle_links = idle_in_cache[dest]
+        if idle_links is None:
+            idle_links = [
+                link_id
+                for link_id in ten.in_link_ids(dest)
+                if free_times[link_id] <= threshold
+            ]
+            idle_in_cache[dest] = idle_links
         candidates = [
-            (source, dest)
-            for source, dest_ in idle_links
-            if state.holds(source, chunk, time)
+            link_id
+            for link_id in idle_links
+            if acquisition[link_sources[link_id] * num_chunks + chunk] <= threshold
         ]
         if not candidates:
-            deferred.append((dest, chunk))
+            if collect_deferred:
+                deferred.append(code)
             continue
-        if prefer_lowest_cost and _cheaper_source_pending(
-            ten, state, dest, chunk, candidates, cheap_regions
-        ):
+        if prefer_lowest_cost and cheap_regions is not None:
             # Lower-cost-link prioritization (Sec. IV-F): a strictly cheaper
             # incoming link will be able to supply this chunk soon (its source
             # is already scheduled to receive it), so do not burn an expensive
             # link on it now.  On homogeneous topologies this never triggers.
-            continue
-        link = _pick_link(candidates, ten, rng, prefer_lowest_cost)
-        end = ten.occupy(link, time)
-        state.grant(dest, chunk, end)
-        transfers.append(
-            ChunkTransfer(start=time, end=end, chunk=chunk, source=link[0], dest=link[1])
-        )
+            best_available = min(link_costs[link_id] for link_id in candidates)
+            region_by_dest = cheap_regions.get(best_available)
+            if region_by_dest is not None:
+                region = region_by_dest[dest]
+                if any(holder in region for holder in holders[chunk]):
+                    continue
+        num_candidates = len(candidates)
+        if num_candidates == 1:
+            link_id = candidates[0]
+        elif uniform_cost or not prefer_lowest_cost:
+            link_id = candidates[rand_range(num_candidates)]
+        else:
+            link_id = _pick_link_id(candidates, link_costs, rng, prefer_lowest_cost)
+        # Inlined commit (occupy + event push + grant): one transfer is the
+        # innermost unit of work, so the method-call overhead matters here.
+        end = time + link_costs[link_id]
+        free_times[link_id] = end
+        if end not in event_times:
+            event_times.add(end)
+            heappush(event_heap, end)
+        idle_total -= 1
+        source = link_sources[link_id]
+        idle_in_cache[dest] = None
+        idle_out_cache[source] = None
+        insort(holders[chunk], dest)
+        acquisition[code] = end
+        heappush(activations, (end, dest, chunk))
+        pair_state[code] = _SATISFIED
+        state._unsatisfied_count -= 1
+        transfers.append(tuple_new(transfer_cls, (time, end, chunk, source, dest)))
 
     # ------------------------------------------------------------------
     # Pass 2 — forwarding: push still-unserved chunks one hop closer.
     # ------------------------------------------------------------------
-    if enable_forwarding and deferred and hop_distances is not None:
-        rng.shuffle(deferred)
-        for dest, chunk in deferred:
-            if (dest, chunk) not in state.unsatisfied:
+    if deferred:
+        shuffle_pairs(deferred, rng)
+        for code in deferred:
+            if pair_state[code] == _SATISFIED:
                 continue
+            if idle_total == 0:
+                break  # no idle link anywhere: no forwarding candidate exists
+            dest, chunk = divmod(code, num_chunks)
             candidates = []
-            for holder in range(state.num_npus):
-                if not state.holds(holder, chunk, time):
-                    continue
-                for _, neighbour in ten.idle_out_links(holder, time):
-                    if state.will_hold(neighbour, chunk):
-                        continue
-                    if hop_distances[neighbour][dest] < hop_distances[holder][dest]:
-                        candidates.append((holder, neighbour))
+            for holder in holders[chunk]:
+                if acquisition[holder * num_chunks + chunk] > threshold:
+                    continue  # scheduled for the future, not held yet
+                idle_links = idle_out_cache[holder]
+                if idle_links is None:
+                    idle_links = [
+                        link_id
+                        for link_id in ten.out_link_ids(holder)
+                        if free_times[link_id] <= threshold
+                    ]
+                    idle_out_cache[holder] = idle_links
+                holder_distance = hop_distances[holder][dest]
+                for link_id in idle_links:
+                    neighbour = link_dests[link_id]
+                    if acquisition[neighbour * num_chunks + chunk] != inf:
+                        continue  # already holds or scheduled to receive it
+                    if hop_distances[neighbour][dest] < holder_distance:
+                        candidates.append(link_id)
             if not candidates:
                 continue
-            link = _pick_link(candidates, ten, rng, prefer_lowest_cost)
-            end = ten.occupy(link, time)
-            state.grant(link[1], chunk, end)
-            transfers.append(
-                ChunkTransfer(start=time, end=end, chunk=chunk, source=link[0], dest=link[1])
-            )
+            num_candidates = len(candidates)
+            if num_candidates == 1:
+                link_id = candidates[0]
+            elif uniform_cost or not prefer_lowest_cost:
+                link_id = candidates[rand_range(num_candidates)]
+            else:
+                link_id = _pick_link_id(candidates, link_costs, rng, prefer_lowest_cost)
+            end = time + link_costs[link_id]
+            free_times[link_id] = end
+            if end not in event_times:
+                event_times.add(end)
+                heappush(event_heap, end)
+            idle_total -= 1
+            source = link_sources[link_id]
+            neighbour = link_dests[link_id]
+            idle_in_cache[neighbour] = None
+            idle_out_cache[source] = None
+            # Inlined grant: the neighbour was checked to not hold the chunk.
+            insort(holders[chunk], neighbour)
+            neighbour_code = neighbour * num_chunks + chunk
+            acquisition[neighbour_code] = end
+            heappush(activations, (end, neighbour, chunk))
+            if pair_state[neighbour_code]:
+                pair_state[neighbour_code] = _SATISFIED
+                state._unsatisfied_count -= 1
+            transfers.append(tuple_new(transfer_cls, (time, end, chunk, source, neighbour)))
 
     return transfers

@@ -13,7 +13,7 @@ from __future__ import annotations
 import random
 import time as _time
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from repro.collectives.all_reduce import AllReduce
 from repro.collectives.pattern import CollectivePattern
@@ -24,7 +24,35 @@ from repro.errors import SynthesisError
 from repro.ten.network import TimeExpandedNetwork
 from repro.topology.topology import Topology
 
-__all__ = ["SynthesisResult", "TacosSynthesizer", "synthesize"]
+__all__ = [
+    "SynthesisEngine",
+    "FLAT_ENGINE",
+    "SynthesisResult",
+    "TacosSynthesizer",
+    "synthesize",
+]
+
+
+@dataclass(frozen=True)
+class SynthesisEngine:
+    """The pluggable chunk-state core driven by :class:`TacosSynthesizer`.
+
+    An engine bundles the three ingredients of one synthesis trial: the TEN
+    factory, the matching-state factory, and the per-span matching round.
+    The default :data:`FLAT_ENGINE` is the array-backed implementation; the
+    benchmark subsystem plugs in the frozen pre-refactor dict/set engine
+    (:data:`repro.bench.reference.REFERENCE_ENGINE`) to prove the two produce
+    identical algorithms on fixed seeds.
+    """
+
+    name: str
+    ten_factory: Callable = TimeExpandedNetwork
+    state_factory: Callable = MatchingState
+    matching_round: Callable = run_matching_round
+
+
+#: Default engine: flat array-backed state, CSR-indexed TEN.
+FLAT_ENGINE = SynthesisEngine(name="flat")
 
 
 @dataclass
@@ -58,6 +86,8 @@ class TacosSynthesizer:
     config:
         Search configuration; defaults to a single deterministic trial with
         lowest-cost-link prioritization enabled.
+    engine:
+        The chunk-state core to drive; defaults to :data:`FLAT_ENGINE`.
 
     Examples
     --------
@@ -69,8 +99,13 @@ class TacosSynthesizer:
     True
     """
 
-    def __init__(self, config: Optional[SynthesisConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[SynthesisConfig] = None,
+        engine: Optional[SynthesisEngine] = None,
+    ) -> None:
         self.config = config or SynthesisConfig()
+        self.engine = engine or FLAT_ENGINE
 
     # ------------------------------------------------------------------
     # Public API
@@ -172,13 +207,55 @@ class TacosSynthesizer:
         pattern: CollectivePattern,
         collective_size: float,
     ) -> SynthesisResult:
-        """Run the randomized search directly on ``pattern`` and keep the best trial."""
+        """Run the randomized search directly on ``pattern`` and keep the best trial.
+
+        Topology-level structures (adjacency, hop distances, cheaper-link
+        reachability regions) are resolved once here — cached on the topology
+        — and shared read-only by every trial.  Independent trials fan out
+        through the same thread-pool helper as :func:`repro.api.runner.run_batch`
+        when ``config.trial_workers`` asks for it.
+        """
+        chunk_size = pattern.chunk_size(collective_size)
+
+        hop_distances = None
+        if self.config.enable_forwarding and self._needs_forwarding(pattern):
+            hop_distances = topology.hop_distances()
+
+        cheap_regions = None
+        if self.config.prefer_lowest_cost_links and not topology.is_homogeneous():
+            cheap_regions = topology.cheaper_reachability_regions(chunk_size)
+
+        # Warm the adjacency caches before fanning out so concurrent trials
+        # only ever read them.
+        topology.in_adjacency()
+        topology.out_adjacency()
+
+        def run_one(seed: int) -> tuple:
+            return self._run_trial(
+                topology,
+                pattern,
+                collective_size,
+                seed=seed,
+                chunk_size=chunk_size,
+                hop_distances=hop_distances,
+                cheap_regions=cheap_regions,
+            )
+
+        seeds = [self.config.trial_seed(trial) for trial in range(self.config.trials)]
+        workers = self.config.trial_workers
+        if workers is not None and workers > 1 and len(seeds) > 1:
+            from repro.api.parallel import map_parallel  # deferred: avoids an import cycle
+
+            outcomes = map_parallel(run_one, seeds, max_workers=workers)
+        else:
+            outcomes = [run_one(seed) for seed in seeds]
+
+        # First-strictly-better selection over the seed-ordered outcomes: the
+        # winner does not depend on scheduling, so parallel and serial runs
+        # pick the same algorithm.
         best_algorithm: Optional[CollectiveAlgorithm] = None
         best_rounds = 0
-        for trial in range(self.config.trials):
-            algorithm, rounds = self._run_trial(
-                topology, pattern, collective_size, seed=self.config.trial_seed(trial)
-            )
+        for algorithm, rounds in outcomes:
             if best_algorithm is None or algorithm.collective_time < best_algorithm.collective_time:
                 best_algorithm = algorithm
                 best_rounds = rounds
@@ -196,22 +273,19 @@ class TacosSynthesizer:
         pattern: CollectivePattern,
         collective_size: float,
         seed: int,
+        *,
+        chunk_size: float,
+        hop_distances: Optional[List[List[int]]],
+        cheap_regions: Optional[dict],
     ) -> tuple:
         """One randomized synthesis run (Alg. 2): returns (algorithm, rounds)."""
-        chunk_size = pattern.chunk_size(collective_size)
-        ten = TimeExpandedNetwork(topology, chunk_size)
-        state = MatchingState(
+        engine = self.engine
+        ten = engine.ten_factory(topology, chunk_size)
+        state = engine.state_factory(
             topology.num_npus, pattern.precondition(), pattern.postcondition()
         )
+        matching_round = engine.matching_round
         rng = random.Random(seed)
-
-        hop_distances = None
-        if self.config.enable_forwarding and self._needs_forwarding(pattern):
-            hop_distances = _all_pairs_hop_distances(topology)
-
-        cheap_regions = None
-        if self.config.prefer_lowest_cost_links and not topology.is_homogeneous():
-            cheap_regions = _cheaper_reachability_regions(topology, chunk_size)
 
         transfers = []
         current_time = 0.0
@@ -223,7 +297,7 @@ class TacosSynthesizer:
                     f"synthesis of {pattern.name} on {topology.name} exceeded "
                     f"{self.config.max_rounds} time spans"
                 )
-            new_transfers = run_matching_round(
+            new_transfers = matching_round(
                 ten,
                 state,
                 current_time,
@@ -273,52 +347,15 @@ def _cheaper_reachability_regions(topology: Topology, chunk_size: float):
 
     Returns ``{cost: regions}`` where ``regions[dest]`` is a frozenset of NPUs
     from which ``dest`` is reachable using only links whose one-chunk cost is
-    strictly below ``cost``.  Used by the matching algorithm's lower-cost-link
-    prioritization on heterogeneous topologies.
+    strictly below ``cost``.  Delegates to the cached topology-level structure
+    (:meth:`repro.topology.topology.Topology.cheaper_reachability_regions`).
     """
-    from collections import deque
-
-    costs = sorted({link.cost(chunk_size) for link in topology.links()})
-    regions = {}
-    for cost in costs[1:]:  # the cheapest tier has no strictly cheaper links
-        cheaper_in: List[List[int]] = [[] for _ in range(topology.num_npus)]
-        for link in topology.links():
-            if link.cost(chunk_size) < cost - 1e-15:
-                cheaper_in[link.dest].append(link.source)
-        per_dest = []
-        for dest in topology.npus:
-            reachable = {dest}
-            queue = deque([dest])
-            while queue:
-                node = queue.popleft()
-                for predecessor in cheaper_in[node]:
-                    if predecessor not in reachable:
-                        reachable.add(predecessor)
-                        queue.append(predecessor)
-            reachable.discard(dest)
-            per_dest.append(frozenset(reachable))
-        regions[cost] = per_dest
-    return regions
+    return topology.cheaper_reachability_regions(chunk_size)
 
 
 def _all_pairs_hop_distances(topology: Topology) -> List[List[int]]:
-    """Hop distances between every NPU pair via per-source BFS."""
-    from collections import deque
-
-    size = topology.num_npus
-    unreachable = size + 1
-    distances = [[unreachable] * size for _ in range(size)]
-    for source in range(size):
-        row = distances[source]
-        row[source] = 0
-        queue = deque([source])
-        while queue:
-            node = queue.popleft()
-            for neighbour in topology.out_neighbors(node):
-                if row[neighbour] == unreachable:
-                    row[neighbour] = row[node] + 1
-                    queue.append(neighbour)
-    return distances
+    """Hop distances between every NPU pair via per-source BFS (cached on the topology)."""
+    return topology.hop_distances()
 
 
 def synthesize(

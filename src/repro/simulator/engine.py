@@ -136,15 +136,21 @@ class CongestionAwareSimulator:
     # Routing
     # ------------------------------------------------------------------
     def _route(self, message: Message) -> List[int]:
-        """Shortest physical path for ``message`` (cached per endpoint pair and size)."""
+        """Shortest physical path for ``message`` (cached per endpoint pair and size).
+
+        Routes are validated *before* they enter the cache: a degenerate
+        (fewer than two hop) route raises without being stored, so a bad
+        message cannot poison the cache for later messages sharing the same
+        endpoint pair.
+        """
         weight_size = self.routing_message_size if self.routing_message_size is not None else message.size
         cache_key = (message.source, message.dest, weight_size)
         route = self._route_cache.get(cache_key)
         if route is None:
             route = self.topology.shortest_path(message.source, message.dest, weight_size)
+            if len(route) < 2:
+                raise SimulationError(
+                    f"message {message.message_id} has a degenerate route {route}"
+                )
             self._route_cache[cache_key] = route
-        if len(route) < 2:
-            raise SimulationError(
-                f"message {message.message_id} has a degenerate route {route}"
-            )
         return route

@@ -12,12 +12,19 @@ expanded graph, this class keeps the equivalent sparse state:
 
 A link-chunk match occupies one link for one time span (``alpha + beta *
 chunk_size`` seconds), which is exactly one edge of the conceptual TEN.
+
+Storage is array-backed: links are numbered ``0 .. num_links - 1`` in
+topology insertion order, and per-link state lives in flat parallel lists
+(:attr:`link_sources`, :attr:`link_dests`, :attr:`link_costs`,
+:attr:`free_times`) with CSR-style per-NPU in/out link-id adjacency built
+once at construction.  The matching hot path works on integer link ids; the
+``(source, dest)`` key-tuple API is kept for callers and tests.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import SynthesisError
 from repro.topology.topology import Topology
@@ -26,6 +33,28 @@ __all__ = ["TimeExpandedNetwork"]
 
 #: Tolerance used when comparing floating-point event times.
 _TIME_EPS = 1e-12
+
+
+def _build_skeleton(topology: Topology):
+    """Chunk-size-independent link numbering + CSR adjacency (cached per topology)."""
+    id_of: Dict[Tuple[int, int], int] = {}
+    sources: List[int] = []
+    dests: List[int] = []
+    for link in topology.links():
+        id_of[link.key] = len(sources)
+        sources.append(link.source)
+        dests.append(link.dest)
+    in_adjacency = topology.in_adjacency()
+    out_adjacency = topology.out_adjacency()
+    in_ids = [
+        [id_of[(source, dest)] for source in in_adjacency[dest]]
+        for dest in range(topology.num_npus)
+    ]
+    out_ids = [
+        [id_of[(source, dest)] for dest in out_adjacency[source]]
+        for source in range(topology.num_npus)
+    ]
+    return id_of, sources, dests, in_ids, out_ids
 
 
 class TimeExpandedNetwork:
@@ -38,6 +67,13 @@ class TimeExpandedNetwork:
     chunk_size:
         Size of each chunk in bytes; fixes the per-link span length
         ``alpha + beta * chunk_size``.
+
+    Attributes
+    ----------
+    link_sources, link_dests, link_costs, free_times:
+        Flat per-link arrays indexed by link id (insertion order).  The hot
+        path reads them directly; ``free_times`` must only be written through
+        :meth:`occupy` / :meth:`occupy_id`.
     """
 
     def __init__(self, topology: Topology, chunk_size: float) -> None:
@@ -45,24 +81,76 @@ class TimeExpandedNetwork:
             raise SynthesisError(f"chunk size must be positive, got {chunk_size}")
         self.topology = topology
         self.chunk_size = float(chunk_size)
-        self._link_cost: Dict[Tuple[int, int], float] = {
-            link.key: link.cost(chunk_size) for link in topology.links()
-        }
-        self._link_next_free: Dict[Tuple[int, int], float] = {
-            key: 0.0 for key in self._link_cost
-        }
+
+        # The chunk-size-independent link numbering and CSR adjacency are
+        # cached on the topology so per-trial TEN construction only has to
+        # compute the cost table.
+        skeleton = topology._derived("ten_skeleton", lambda: _build_skeleton(topology))
+        self._id_of: Dict[Tuple[int, int], int] = skeleton[0]
+        self.link_sources: List[int] = skeleton[1]
+        self.link_dests: List[int] = skeleton[2]
+        # CSR-style adjacency: per NPU, the ids of its incoming / outgoing
+        # links in neighbour insertion order (the order idle_in_links /
+        # idle_out_links have always reported and the matching relies on).
+        self._in_ids: List[List[int]] = skeleton[3]
+        self._out_ids: List[List[int]] = skeleton[4]
+        #: Per-NPU outgoing neighbour lists (shared with the topology cache,
+        #: read-only); used by the matching state's pair-activation step.
+        self.out_adjacency: List[List[int]] = topology.out_adjacency()
+
+        self.link_costs: List[float] = [
+            link.cost(self.chunk_size) for link in topology.links()
+        ]
+        #: True when every link has the same span length (homogeneous case):
+        #: the lowest-cost restriction then never excludes a candidate.
+        self.uniform_cost: bool = len(set(self.link_costs)) <= 1
+        self.free_times: List[float] = [0.0] * len(self.link_costs)
+
         self._event_heap: List[float] = []
+        self._event_times: set = set()
 
     # ------------------------------------------------------------------
-    # Link state
+    # Link ids (hot path)
+    # ------------------------------------------------------------------
+    def link_id(self, key: Tuple[int, int]) -> int:
+        """Integer id of the link ``key`` (its topology insertion index)."""
+        return self._id_of[key]
+
+    def in_link_ids(self, dest: int) -> List[int]:
+        """Ids of all links into ``dest`` (read-only, in-neighbour order)."""
+        return self._in_ids[dest]
+
+    def out_link_ids(self, source: int) -> List[int]:
+        """Ids of all links out of ``source`` (read-only, out-neighbour order)."""
+        return self._out_ids[source]
+
+    def occupy_id(self, link_id: int, time: float) -> float:
+        """Mark link ``link_id`` busy starting at ``time``; return the completion time.
+
+        Id-based equivalent of :meth:`occupy`; the completion time is pushed
+        onto the event heap as a future time-span boundary.
+        """
+        if self.free_times[link_id] > time + _TIME_EPS:
+            key = (self.link_sources[link_id], self.link_dests[link_id])
+            raise SynthesisError(
+                f"link {key} is busy until {self.free_times[link_id]:.3e}s, "
+                f"cannot occupy at {time:.3e}s"
+            )
+        end = time + self.link_costs[link_id]
+        self.free_times[link_id] = end
+        self.push_event(end)
+        return end
+
+    # ------------------------------------------------------------------
+    # Link state (key-tuple API)
     # ------------------------------------------------------------------
     def link_cost(self, key: Tuple[int, int]) -> float:
         """Span length (transmission time) of the link ``key`` for one chunk."""
-        return self._link_cost[key]
+        return self.link_costs[self._id_of[key]]
 
     def is_link_idle(self, key: Tuple[int, int], time: float) -> bool:
         """Whether the link can start a new transmission at ``time``."""
-        return self._link_next_free[key] <= time + _TIME_EPS
+        return self.free_times[self._id_of[key]] <= time + _TIME_EPS
 
     def idle_in_links(self, dest: int, time: float) -> List[Tuple[int, int]]:
         """All links into ``dest`` that are idle at ``time``.
@@ -71,21 +159,25 @@ class TimeExpandedNetwork:
         from an unsatisfied postcondition at ``dest``, walk the TEN backwards
         over the incoming edges of the current time span.
         """
-        links = []
-        for source in self.topology.in_neighbors(dest):
-            key = (source, dest)
-            if self.is_link_idle(key, time):
-                links.append(key)
-        return links
+        free = self.free_times
+        threshold = time + _TIME_EPS
+        sources = self.link_sources
+        return [
+            (sources[link_id], dest)
+            for link_id in self._in_ids[dest]
+            if free[link_id] <= threshold
+        ]
 
     def idle_out_links(self, source: int, time: float) -> List[Tuple[int, int]]:
         """All links out of ``source`` that are idle at ``time``."""
-        links = []
-        for dest in self.topology.out_neighbors(source):
-            key = (source, dest)
-            if self.is_link_idle(key, time):
-                links.append(key)
-        return links
+        free = self.free_times
+        threshold = time + _TIME_EPS
+        dests = self.link_dests
+        return [
+            (source, dests[link_id])
+            for link_id in self._out_ids[source]
+            if free[link_id] <= threshold
+        ]
 
     def occupy(self, key: Tuple[int, int], time: float) -> float:
         """Mark ``key`` busy starting at ``time``; return the completion time.
@@ -93,21 +185,26 @@ class TimeExpandedNetwork:
         The completion time is also pushed onto the event heap so the
         synthesizer revisits it as a future time span boundary.
         """
-        if not self.is_link_idle(key, time):
-            raise SynthesisError(
-                f"link {key} is busy until {self._link_next_free[key]:.3e}s, cannot occupy at {time:.3e}s"
-            )
-        end = time + self._link_cost[key]
-        self._link_next_free[key] = end
-        self.push_event(end)
-        return end
+        return self.occupy_id(self._id_of[key], time)
+
+    def idle_link_count(self, time: float) -> int:
+        """Number of links that can start a new transmission at ``time``."""
+        threshold = time + _TIME_EPS
+        return sum(1 for free in self.free_times if free <= threshold)
 
     # ------------------------------------------------------------------
     # Event management (time-span expansion)
     # ------------------------------------------------------------------
     def push_event(self, time: float) -> None:
-        """Register a future time at which the network state changes."""
-        heapq.heappush(self._event_heap, time)
+        """Register a future time at which the network state changes.
+
+        Duplicate event times are coalesced: on homogeneous topologies every
+        transfer of a span completes at the same instant, so deduplication
+        keeps the heap at O(distinct times) instead of O(matches).
+        """
+        if time not in self._event_times:
+            self._event_times.add(time)
+            heapq.heappush(self._event_heap, time)
 
     def next_event_after(self, time: float) -> Optional[float]:
         """Pop and return the earliest event strictly after ``time``.
@@ -116,9 +213,12 @@ class TimeExpandedNetwork:
         synthesis is stuck (no in-flight transfer will ever free a link or
         deliver a chunk).
         """
-        while self._event_heap:
-            candidate = heapq.heappop(self._event_heap)
-            if candidate > time + _TIME_EPS:
+        heap = self._event_heap
+        threshold = time + _TIME_EPS
+        while heap:
+            candidate = heapq.heappop(heap)
+            self._event_times.discard(candidate)
+            if candidate > threshold:
                 return candidate
         return None
 
@@ -128,22 +228,23 @@ class TimeExpandedNetwork:
     @property
     def num_links(self) -> int:
         """Number of directed links (TEN edges per time span)."""
-        return len(self._link_cost)
+        return len(self.link_costs)
 
     def busy_links_at(self, time: float) -> int:
         """Number of links still transmitting at ``time``."""
-        return sum(1 for free in self._link_next_free.values() if free > time + _TIME_EPS)
+        threshold = time + _TIME_EPS
+        return sum(1 for free in self.free_times if free > threshold)
 
     def utilization_at(self, time: float) -> float:
         """Fraction of links busy at ``time``."""
-        if not self._link_cost:
+        if not self.link_costs:
             return 0.0
         return self.busy_links_at(time) / self.num_links
 
     def link_next_free(self, key: Tuple[int, int]) -> float:
         """Time at which link ``key`` next becomes idle."""
-        return self._link_next_free[key]
+        return self.free_times[self._id_of[key]]
 
     def snapshot_free_times(self) -> Dict[Tuple[int, int], float]:
         """Copy of the per-link next-free times (used by tests and analysis)."""
-        return dict(self._link_next_free)
+        return {key: self.free_times[link_id] for key, link_id in self._id_of.items()}

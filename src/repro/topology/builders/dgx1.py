@@ -10,6 +10,11 @@ where every GPU has 6 NVLink ports.  We reproduce that degree-6 structure as:
 The exact NVLink wiring of the product differs in which pairs receive doubled
 links, but the properties the C-Cube comparison relies on — 6 usable links per
 GPU, two disjoint binary trees embeddable using 4 of them — are preserved.
+
+With ``heterogeneous=True`` the builder mirrors the product's doubled NVLinks:
+the adjacent intra-quad pairs (0-1, 2-3, ...) and the straight cross-quad
+links (``i <-> i+4``) carry twice the bandwidth, giving the two-tier link-cost
+structure that exercises the synthesizer's lower-cost-link prioritization.
 """
 
 from __future__ import annotations
@@ -24,26 +29,32 @@ def build_dgx1(
     *,
     alpha: float = DEFAULT_ALPHA,
     bandwidth_gbps: float = 25.0,
+    heterogeneous: bool = False,
 ) -> Topology:
     """Build the 8-GPU DGX-1-like topology (degree 6 per GPU)."""
-    topology = Topology(8, name="DGX-1")
+    name = "DGX-1(2-tier)" if heterogeneous else "DGX-1"
+    topology = Topology(8, name=name)
     added = set()
 
-    def connect(a: int, b: int) -> None:
+    def connect(a: int, b: int, *, doubled: bool = False) -> None:
         if (a, b) in added or (b, a) in added:
             return
-        topology.add_link(a, b, alpha=alpha, bandwidth_gbps=bandwidth_gbps, bidirectional=True)
+        scale = 2.0 if (doubled and heterogeneous) else 1.0
+        topology.add_link(
+            a, b, alpha=alpha, bandwidth_gbps=bandwidth_gbps * scale, bidirectional=True
+        )
         added.add((a, b))
 
-    # Two fully-connected quads.
+    # Two fully-connected quads; the adjacent pairs get the doubled NVLinks.
     for base in (0, 4):
         for a in range(base, base + 4):
             for b in range(a + 1, base + 4):
-                connect(a, b)
+                connect(a, b, doubled=(b == a + 1 and a % 2 == 0))
 
-    # Cross-quad links giving every GPU three inter-quad neighbours.
+    # Cross-quad links giving every GPU three inter-quad neighbours; the
+    # straight ``i <-> i+4`` links are the doubled ones.
     for i in range(4):
-        connect(i, i + 4)
+        connect(i, i + 4, doubled=True)
         connect(i, ((i + 1) % 4) + 4)
         connect(i, ((i + 3) % 4) + 4)
     return topology

@@ -41,6 +41,9 @@ class Topology:
         self._links: Dict[Tuple[int, int], Link] = {}
         self._out: Dict[int, List[int]] = {npu: [] for npu in range(num_npus)}
         self._in: Dict[int, List[int]] = {npu: [] for npu in range(num_npus)}
+        #: Derived-structure cache (adjacency, hop distances, reachability
+        #: regions, reversed view); invalidated whenever a link is added.
+        self._derived_cache: Dict[object, object] = {}
 
     # ------------------------------------------------------------------
     # Construction
@@ -75,6 +78,7 @@ class Topology:
         self._links[key] = link
         self._out[source].append(dest)
         self._in[dest].append(source)
+        self._derived_cache.clear()
         if bidirectional:
             self.add_link(dest, source, alpha=alpha, beta=beta, bidirectional=False)
 
@@ -286,6 +290,101 @@ class Topology:
         return {dest: self.shortest_path(source, dest, message_size) for dest in self.npus if dest != source}
 
     # ------------------------------------------------------------------
+    # Cached derived structures (synthesis hot path)
+    # ------------------------------------------------------------------
+    def _derived(self, key: object, builder):
+        value = self._derived_cache.get(key)
+        if value is None:
+            value = builder()
+            self._derived_cache[key] = value
+        return value
+
+    def out_adjacency(self) -> List[List[int]]:
+        """Per-NPU outgoing neighbour lists, in link-insertion order.
+
+        The returned list-of-lists is cached and shared; treat it as
+        read-only.  It avoids the per-call tuple construction of
+        :meth:`out_neighbors` on the synthesis hot path.
+        """
+        return self._derived(
+            "out_adjacency", lambda: [list(self._out[npu]) for npu in self.npus]
+        )
+
+    def in_adjacency(self) -> List[List[int]]:
+        """Per-NPU incoming neighbour lists, in link-insertion order (read-only)."""
+        return self._derived(
+            "in_adjacency", lambda: [list(self._in[npu]) for npu in self.npus]
+        )
+
+    def hop_distances(self) -> List[List[int]]:
+        """All-pairs hop distances via per-source BFS, cached per topology.
+
+        ``hop_distances()[a][b]`` is the number of links on a shortest
+        directed path from ``a`` to ``b``; unreachable pairs get the sentinel
+        ``num_npus + 1``.  Used by the matching algorithm's forwarding pass to
+        push chunks strictly closer to their destinations.
+        """
+        return self._derived("hop_distances", self._compute_hop_distances)
+
+    def _compute_hop_distances(self) -> List[List[int]]:
+        from collections import deque
+
+        size = self._num_npus
+        unreachable = size + 1
+        out = self.out_adjacency()
+        distances = [[unreachable] * size for _ in range(size)]
+        for source in range(size):
+            row = distances[source]
+            row[source] = 0
+            queue = deque([source])
+            while queue:
+                node = queue.popleft()
+                for neighbour in out[node]:
+                    if row[neighbour] == unreachable:
+                        row[neighbour] = row[node] + 1
+                        queue.append(neighbour)
+        return distances
+
+    def cheaper_reachability_regions(self, chunk_size: float) -> Dict[float, List[frozenset]]:
+        """Per link-cost tier, the NPUs that can reach each destination over cheaper links only.
+
+        Returns ``{cost: regions}`` where ``regions[dest]`` is a frozenset of
+        NPUs from which ``dest`` is reachable using only links whose one-chunk
+        cost is strictly below ``cost``.  Used by the matching algorithm's
+        lower-cost-link prioritization on heterogeneous topologies (Sec. IV-F).
+        Cached per ``(topology, chunk_size)``.
+        """
+        return self._derived(
+            ("cheap_regions", float(chunk_size)),
+            lambda: self._compute_cheaper_regions(float(chunk_size)),
+        )
+
+    def _compute_cheaper_regions(self, chunk_size: float) -> Dict[float, List[frozenset]]:
+        from collections import deque
+
+        costs = sorted({link.cost(chunk_size) for link in self._links.values()})
+        regions: Dict[float, List[frozenset]] = {}
+        for cost in costs[1:]:  # the cheapest tier has no strictly cheaper links
+            cheaper_in: List[List[int]] = [[] for _ in range(self._num_npus)]
+            for link in self._links.values():
+                if link.cost(chunk_size) < cost - 1e-15:
+                    cheaper_in[link.dest].append(link.source)
+            per_dest = []
+            for dest in self.npus:
+                reachable = {dest}
+                queue = deque([dest])
+                while queue:
+                    node = queue.popleft()
+                    for predecessor in cheaper_in[node]:
+                        if predecessor not in reachable:
+                            reachable.add(predecessor)
+                            queue.append(predecessor)
+                reachable.discard(dest)
+                per_dest.append(frozenset(reachable))
+            regions[cost] = per_dest
+        return regions
+
+    # ------------------------------------------------------------------
     # Transformations
     # ------------------------------------------------------------------
     def reversed(self) -> "Topology":
@@ -293,7 +392,13 @@ class Topology:
 
         Used for synthesizing reduction collectives (Fig. 11): a Reduce-Scatter
         is an All-Gather over the reversed topology played backwards in time.
+        The reversed view is cached (and therefore shared) so repeated
+        All-Reduce syntheses on the same topology reuse its derived structures;
+        treat it as read-only.
         """
+        return self._derived("reversed", self._compute_reversed)
+
+    def _compute_reversed(self) -> "Topology":
         rev = Topology(self._num_npus, name=f"{self.name}.reversed")
         for link in self._links.values():
             rev.add_link(link.dest, link.source, alpha=link.alpha, beta=link.beta)

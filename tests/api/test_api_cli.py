@@ -120,6 +120,30 @@ class TestSimulateAndSweep:
         assert list(tmp_path.glob("*.json"))  # persisted to disk
 
 
+class TestBench:
+    def test_smoke_grid_writes_report(self, tmp_path, capsys):
+        assert cli.main(["bench", "--smoke", "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "median speedup" in out
+        reports = list(tmp_path.glob("BENCH_smoke_*.json"))
+        assert len(reports) == 1
+        payload = json.loads(reports[0].read_text())
+        assert payload["schema"] == "tacos-repro-bench/v1"
+        assert payload["summary"]["all_equivalent"] is True
+
+    def test_json_output(self, tmp_path, capsys):
+        assert cli.main(["bench", "--smoke", "--out", str(tmp_path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["grid"] == "smoke"
+        assert len(payload["records"]) >= 1
+
+    def test_min_speedup_gate_fails_when_unreachable(self, tmp_path, capsys):
+        assert (
+            cli.main(["bench", "--smoke", "--out", str(tmp_path), "--min-speedup", "1000"]) == 1
+        )
+        assert "below" in capsys.readouterr().err
+
+
 class TestVersionAndHelp:
     def test_version_flag(self, capsys):
         with pytest.raises(SystemExit) as excinfo:

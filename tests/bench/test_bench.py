@@ -1,0 +1,146 @@
+"""Tests for the benchmark subsystem: grids, runner, report, and the
+flat-vs-reference engine equivalence that proves the refactor behaviour-
+preserving."""
+
+import json
+
+import pytest
+
+from repro.bench import GRIDS, BenchScenario, REFERENCE_ENGINE, get_grid, run_bench, write_report
+from repro.bench.runner import summarize
+from repro.collectives import AllGather, AllReduce, AllToAll, Gather, ReduceScatter
+from repro.core import FLAT_ENGINE, SynthesisConfig, TacosSynthesizer
+from repro.errors import ReproError
+from repro.topology import (
+    build_dgx1,
+    build_mesh_2d,
+    build_ring,
+    build_switch,
+)
+
+MB = 1e6
+
+
+# ----------------------------------------------------------------------
+# Engine equivalence — the heart of the refactor's acceptance criteria
+# ----------------------------------------------------------------------
+ENGINE_CASES = [
+    ("ring-all_gather", lambda: build_ring(8), lambda n: AllGather(n), 4 * MB),
+    ("mesh-all_reduce", lambda: build_mesh_2d(3, 3), lambda n: AllReduce(n), 4 * MB),
+    ("hetero-dgx1", lambda: build_dgx1(heterogeneous=True), lambda n: AllReduce(n), 4 * MB),
+    ("forwarding-gather", lambda: build_ring(6), lambda n: Gather(n, root=0), 4 * MB),
+    ("forwarding-all_to_all", lambda: build_ring(5), lambda n: AllToAll(n), 2 * MB),
+    ("switch-reduce_scatter", lambda: build_switch(8), lambda n: ReduceScatter(n), 4 * MB),
+]
+
+
+class TestEngineEquivalence:
+    @pytest.mark.parametrize(
+        "name,topology_factory,pattern_factory,size",
+        ENGINE_CASES,
+        ids=[case[0] for case in ENGINE_CASES],
+    )
+    def test_fixed_seed_outputs_identical(self, name, topology_factory, pattern_factory, size):
+        topology = topology_factory()
+        pattern = pattern_factory(topology.num_npus)
+        config = SynthesisConfig(seed=13)
+        flat = TacosSynthesizer(config, engine=FLAT_ENGINE).synthesize(topology, pattern, size)
+        reference = TacosSynthesizer(config, engine=REFERENCE_ENGINE).synthesize(
+            topology, pattern, size
+        )
+        assert flat.transfers == reference.transfers
+        assert flat.collective_time == reference.collective_time
+
+    def test_multi_trial_selection_identical(self):
+        topology = build_mesh_2d(4, 4)
+        pattern = AllReduce(16)
+        config = SynthesisConfig(seed=1, trials=3)
+        flat = TacosSynthesizer(config).synthesize(topology, pattern, 16 * MB)
+        reference = TacosSynthesizer(config, engine=REFERENCE_ENGINE).synthesize(
+            topology, pattern, 16 * MB
+        )
+        assert flat.transfers == reference.transfers
+
+    def test_large_round_numpy_permutation_path_identical(self):
+        # 6x6 all-gather crosses the _NUMPY_SHUFFLE_MIN=128 pending-pair
+        # threshold, exercising the numpy permutation + prefilter path.
+        topology = build_mesh_2d(6, 6)
+        pattern = AllGather(36)
+        config = SynthesisConfig(seed=0)
+        flat = TacosSynthesizer(config).synthesize(topology, pattern, 4 * MB)
+        reference = TacosSynthesizer(config, engine=REFERENCE_ENGINE).synthesize(
+            topology, pattern, 4 * MB
+        )
+        assert flat.transfers == reference.transfers
+
+
+# ----------------------------------------------------------------------
+# Grids
+# ----------------------------------------------------------------------
+class TestGrids:
+    def test_known_grids(self):
+        assert set(GRIDS) == {"smoke", "fig19", "full"}
+
+    def test_unknown_grid_raises(self):
+        with pytest.raises(ReproError):
+            get_grid("nope")
+
+    def test_smoke_grid_is_small(self):
+        assert len(get_grid("smoke")) <= 3
+
+    def test_fig19_grid_covers_both_families(self):
+        names = [scenario.name for scenario in get_grid("fig19")]
+        assert any("mesh" in name for name in names)
+        assert any("hypercube" in name for name in names)
+
+    def test_full_grid_covers_four_families(self):
+        topologies = " ".join(scenario.topology for scenario in get_grid("full"))
+        for family in ("ring", "mesh", "torus", "switch"):
+            assert family in topologies
+
+    def test_scenarios_round_trip(self):
+        scenario = get_grid("smoke")[0]
+        assert BenchScenario(**scenario.to_dict()) == scenario
+
+
+# ----------------------------------------------------------------------
+# Runner + report
+# ----------------------------------------------------------------------
+class TestRunnerAndReport:
+    @pytest.fixture(scope="class")
+    def smoke_records(self):
+        return run_bench("smoke", repeats=1)
+
+    def test_records_shape(self, smoke_records):
+        assert len(smoke_records) == len(get_grid("smoke"))
+        for record in smoke_records:
+            assert record.flat_seconds > 0
+            assert record.reference_seconds > 0
+            assert record.speedup > 0
+            assert record.num_transfers > 0
+            assert record.collective_time > 0
+            assert record.simulated_collective_time > 0
+
+    def test_equivalence_holds_on_smoke_grid(self, smoke_records):
+        assert all(record.equivalent for record in smoke_records)
+
+    def test_summary(self, smoke_records):
+        summary = summarize(smoke_records)
+        assert summary["num_scenarios"] == len(smoke_records)
+        assert summary["all_equivalent"] is True
+        assert summary["median_speedup"] > 0
+
+    def test_write_report(self, smoke_records, tmp_path):
+        path, report = write_report(smoke_records, grid="smoke", repeats=1, out_dir=str(tmp_path))
+        assert path.name.startswith("BENCH_smoke_")
+        assert path.suffix == ".json"
+        loaded = json.loads(path.read_text())
+        assert loaded == json.loads(json.dumps(report))
+        assert loaded["schema"] == "tacos-repro-bench/v1"
+        assert loaded["summary"]["all_equivalent"] is True
+        assert len(loaded["records"]) == len(smoke_records)
+
+    def test_equivalence_can_be_skipped(self):
+        scenario = BenchScenario("tiny", "ring:4", "all_gather", MB)
+        records = run_bench(scenarios=[scenario], check_equivalence=False)
+        assert records[0].equivalent is None

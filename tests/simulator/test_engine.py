@@ -151,6 +151,35 @@ class TestAccounting:
             simulator.run([Message(message_id=0, source=2, dest=0, size=MB)])
 
 
+class TestRouteValidation:
+    def test_degenerate_route_raises_without_poisoning_cache(self):
+        """Regression: a <2-hop route must be rejected *before* it is cached.
+
+        ``Message`` itself rejects ``source == dest``, so drive ``_route``
+        with a message-shaped object directly the way a buggy adapter could.
+        """
+        from types import SimpleNamespace
+
+        topology = line_topology()
+        simulator = CongestionAwareSimulator(topology)
+        degenerate = SimpleNamespace(message_id=7, source=1, dest=1, size=MB)
+        with pytest.raises(SimulationError):
+            simulator._route(degenerate)
+        # The degenerate route must not have been stored.
+        assert (1, 1, MB) not in simulator._route_cache
+        # And it must keep raising on every retry, not just the first one.
+        with pytest.raises(SimulationError):
+            simulator._route(degenerate)
+
+    def test_valid_routes_are_cached_once(self):
+        topology = line_topology()
+        simulator = CongestionAwareSimulator(topology)
+        message = Message(message_id=0, source=0, dest=2, size=MB)
+        route = simulator._route(message)
+        assert route == [0, 1, 2]
+        assert simulator._route(message) is route  # served from the cache
+
+
 class TestMessageValidation:
     def test_self_message_rejected(self):
         with pytest.raises(SimulationError):
