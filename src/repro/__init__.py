@@ -85,7 +85,7 @@ from repro.topology import (
     build_torus_3d,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "AlgorithmSpec",

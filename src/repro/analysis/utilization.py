@@ -7,24 +7,34 @@ from typing import Dict, Tuple, Union
 import numpy as np
 
 from repro.core.algorithm import CollectiveAlgorithm
-from repro.simulator.result import SimulationResult
+from repro.simulator.result import SimulationResult, sweep_busy_link_counts
 
 __all__ = ["utilization_timeline", "average_utilization", "normalized_timeline"]
 
 _Measurable = Union[CollectiveAlgorithm, SimulationResult]
+_Columns = Dict[Tuple[int, int], Tuple[np.ndarray, np.ndarray]]
 
 
-def _busy_intervals(measured: _Measurable) -> Tuple[Dict[Tuple[int, int], list], float, int]:
+def _busy_columns(measured: _Measurable) -> Tuple[_Columns, float, int]:
+    """Per-link columnar busy intervals plus (horizon, default link count).
+
+    A :class:`SimulationResult` hands out its cached columns directly; a
+    synthesized :class:`CollectiveAlgorithm` gets its link occupancy
+    converted once.
+    """
     if isinstance(measured, SimulationResult):
-        return measured.link_busy_intervals, measured.completion_time, measured.num_links
-    intervals = {
-        link: [(transfer.start, transfer.end) for transfer in transfers]
+        return measured.busy_columns(), measured.completion_time, measured.num_links
+    columns = {
+        link: (
+            np.asarray([transfer.start for transfer in transfers], dtype=float),
+            np.asarray([transfer.end for transfer in transfers], dtype=float),
+        )
         for link, transfers in measured.link_occupancy().items()
     }
     # For a synthesized algorithm the number of physical links is not stored;
     # use the links it touches as the denominator (a lower bound used only
     # when a topology-aware denominator is unavailable).
-    return intervals, measured.collective_time, len(intervals)
+    return columns, measured.collective_time, len(columns)
 
 
 def utilization_timeline(
@@ -37,26 +47,27 @@ def utilization_timeline(
 
     ``num_links`` overrides the denominator (pass ``topology.num_links`` when
     analysing a :class:`CollectiveAlgorithm` so idle links count as idle).
+    Runs as one vectorized event sweep; instantaneous (zero-width)
+    transmissions count at their sample point rather than being dropped (see
+    :func:`repro.simulator.result.sweep_busy_link_counts`).
     """
-    intervals, horizon, default_links = _busy_intervals(measured)
+    columns, horizon, default_links = _busy_columns(measured)
     denominator = num_links or default_links
     times = np.linspace(0.0, horizon, num_samples) if horizon > 0 else np.zeros(num_samples)
-    utilization = np.zeros(num_samples)
     if denominator == 0 or horizon <= 0:
-        return times, utilization
-    for link_intervals in intervals.values():
-        for start, end in link_intervals:
-            utilization[(times >= start) & (times < end)] += 1.0
-    return times, utilization / denominator
+        return times, np.zeros(num_samples)
+    return times, sweep_busy_link_counts(times, columns) / denominator
 
 
 def average_utilization(measured: _Measurable, *, num_links: int = 0) -> float:
     """Time-averaged fraction of busy links over the collective's duration."""
-    intervals, horizon, default_links = _busy_intervals(measured)
+    columns, horizon, default_links = _busy_columns(measured)
     denominator = num_links or default_links
     if denominator == 0 or horizon <= 0:
         return 0.0
-    busy = sum(end - start for link_intervals in intervals.values() for start, end in link_intervals)
+    busy = sum(
+        float(np.sum(ends) - np.sum(starts)) for starts, ends in columns.values()
+    )
     return busy / (denominator * horizon)
 
 

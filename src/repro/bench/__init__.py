@@ -1,28 +1,47 @@
-"""First-class benchmark subsystem for the synthesis core.
+"""First-class benchmark subsystem for the synthesis core and the simulator.
 
-Three pieces:
+Four pieces:
 
 * :mod:`repro.bench.reference` — the frozen pre-refactor dict/set synthesis
-  engine, kept as the behavioural baseline;
+  engine *and* the frozen dict-keyed :class:`ReferenceSimulator`, kept as
+  the behavioural baselines;
 * :mod:`repro.bench.grid` — named scenario grids (``smoke``, ``fig19``,
-  ``full``) crossing topology families, NPU counts, and collective sizes;
+  ``full``, ``sim_stress``) crossing topology families, NPU counts,
+  collective sizes, and logical schedules;
 * :mod:`repro.bench.runner` — times synthesis and simulation over a grid
   with both engines, asserts fixed-seed output equivalence, and emits a
-  machine-readable ``BENCH_*.json`` report.
+  machine-readable ``BENCH_*.json`` report (strict JSON);
+* :mod:`repro.bench.compare` — diffs two reports per scenario and flags
+  median regressions (the ``tacos-repro bench --compare`` trend gate).
 
-Run it via ``tacos-repro bench`` (``--smoke`` for the CI-sized grid).
+Run it via ``tacos-repro bench`` (``--smoke`` for the CI-sized grid,
+``--grid sim_stress`` for the simulator grid, ``--compare`` for the trend
+check).
 """
 
-from repro.bench.grid import GRIDS, BenchScenario, get_grid
-from repro.bench.reference import REFERENCE_ENGINE
-from repro.bench.runner import BenchRecord, run_bench, write_report
+from repro.bench.compare import (
+    ScenarioDelta,
+    compare_reports,
+    find_previous_report,
+    load_report,
+)
+from repro.bench.grid import GRIDS, BenchScenario, SimScenario, get_grid
+from repro.bench.reference import REFERENCE_ENGINE, ReferenceSimulator
+from repro.bench.runner import BenchRecord, run_bench, summarize, write_report
 
 __all__ = [
     "BenchRecord",
     "BenchScenario",
     "GRIDS",
     "REFERENCE_ENGINE",
+    "ReferenceSimulator",
+    "ScenarioDelta",
+    "SimScenario",
+    "compare_reports",
+    "find_previous_report",
     "get_grid",
+    "load_report",
     "run_bench",
+    "summarize",
     "write_report",
 ]

@@ -1,0 +1,174 @@
+"""Bench trend tracking: compare two ``BENCH_*.json`` reports across PRs.
+
+``tacos-repro bench --compare [PREV]`` runs a grid, writes the new report,
+then diffs it per scenario against a previous report (by default the newest
+``BENCH_<grid>_*.json`` under ``benchmarks/results/``) and fails loudly when
+the median per-scenario wall-clock ratio regresses past a threshold.  This is
+the ROADMAP's "bench trend tracking across PRs": CI keeps the artifact chain
+honest, and local runs can diff against any recorded baseline.
+
+Reports are parsed strictly: a bare ``NaN`` / ``Infinity`` constant (which
+:func:`json.dumps` emits unless ``allow_nan=False``) is rejected instead of
+silently round-tripping, so a malformed artifact fails at the comparison
+boundary rather than corrupting the trend.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import statistics
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.errors import ReproError
+
+__all__ = [
+    "DEFAULT_RESULTS_DIR",
+    "DEFAULT_THRESHOLD",
+    "ScenarioDelta",
+    "compare_reports",
+    "find_previous_report",
+    "load_report",
+]
+
+#: Where recorded benchmark reports live in the repository.
+DEFAULT_RESULTS_DIR = "benchmarks/results"
+
+#: Median per-scenario slowdown beyond which the comparison fails (20%).
+DEFAULT_THRESHOLD = 0.20
+
+_SCHEMA_PREFIX = "tacos-repro-bench/"
+
+
+def _reject_constant(value: str) -> None:
+    raise ReproError(
+        f"bench report contains the non-finite JSON constant {value!r}; "
+        "reports must be strict JSON (regenerate with a current tacos-repro)"
+    )
+
+
+def load_report(path: Union[str, Path]) -> Dict[str, Any]:
+    """Load and validate a ``BENCH_*.json`` report (strict JSON, any schema version)."""
+    path = Path(path)
+    try:
+        report = json.loads(path.read_text(), parse_constant=_reject_constant)
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"{path} is not valid JSON: {exc}") from None
+    schema = str(report.get("schema", ""))
+    if not schema.startswith(_SCHEMA_PREFIX):
+        raise ReproError(
+            f"{path} does not look like a bench report (schema {schema!r})"
+        )
+    return report
+
+
+def _report_order_key(path: Path) -> tuple:
+    """Chronological sort key for ``BENCH_<grid>_<stamp>[-N].json`` names.
+
+    Filenames embed a UTC timestamp, so plain lexicographic order is almost
+    chronological — except same-second collision suffixes: ``<stamp>-1.json``
+    is *newer* than ``<stamp>.json`` but ``-`` sorts before ``.``.  Splitting
+    the numeric suffix out restores the true order.
+    """
+    stem = path.stem
+    base, sep, suffix = stem.rpartition("-")
+    if sep and suffix.isdigit():
+        return (base, int(suffix))
+    return (stem, -1)
+
+
+def find_previous_report(
+    grid: str,
+    directory: Union[str, Path] = DEFAULT_RESULTS_DIR,
+    *,
+    exclude: Optional[Union[str, Path]] = None,
+) -> Optional[Path]:
+    """Newest recorded ``BENCH_<grid>_*.json``, or ``None`` when none exists.
+
+    ``exclude`` drops the report just written, so comparing into the same
+    directory never diffs a report against itself.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        return None
+    candidates = sorted(directory.glob(f"BENCH_{grid}_*.json"), key=_report_order_key)
+    if exclude is not None:
+        excluded = Path(exclude).resolve()
+        candidates = [path for path in candidates if path.resolve() != excluded]
+    return candidates[-1] if candidates else None
+
+
+@dataclass
+class ScenarioDelta:
+    """Wall-clock movement of one scenario between two reports."""
+
+    scenario: str
+    current_seconds: float
+    previous_seconds: float
+    ratio: Optional[float]  #: current / previous; > 1 means slower now
+
+    @property
+    def delta_percent(self) -> Optional[float]:
+        """Percentage change (positive = regression), ``None`` when undefined."""
+        if self.ratio is None:
+            return None
+        return (self.ratio - 1.0) * 100.0
+
+
+def compare_reports(
+    current: Dict[str, Any],
+    previous: Dict[str, Any],
+    *,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> Dict[str, Any]:
+    """Per-scenario wall-clock deltas between two reports.
+
+    Scenarios are matched by name on their ``flat_seconds`` (the timed
+    engine's median wall clock — synthesis for synthesis records, the array
+    simulator for simulation records).  Returns a dict with the matched
+    deltas, the median ratio, and a ``regressed`` verdict
+    (``median ratio > 1 + threshold``).  Works across schema versions —
+    v1 reports carry the same two fields.
+    """
+    current_records = {
+        record["scenario"]: record for record in current.get("records", [])
+    }
+    previous_records = {
+        record["scenario"]: record for record in previous.get("records", [])
+    }
+    deltas: List[ScenarioDelta] = []
+    for name, record in current_records.items():
+        baseline = previous_records.get(name)
+        if baseline is None:
+            continue
+        current_seconds = float(record["flat_seconds"])
+        previous_seconds = float(baseline["flat_seconds"])
+        ratio: Optional[float] = None
+        if previous_seconds > 0:
+            candidate = current_seconds / previous_seconds
+            if math.isfinite(candidate):
+                ratio = candidate
+        deltas.append(
+            ScenarioDelta(
+                scenario=name,
+                current_seconds=current_seconds,
+                previous_seconds=previous_seconds,
+                ratio=ratio,
+            )
+        )
+    ratios = [delta.ratio for delta in deltas if delta.ratio is not None]
+    median_ratio = statistics.median(ratios) if ratios else None
+    return {
+        "grid": current.get("grid"),
+        "baseline_grid": previous.get("grid"),
+        "baseline_created_utc": previous.get("created_utc"),
+        "matched": len(deltas),
+        "only_current": sorted(set(current_records) - set(previous_records)),
+        "only_previous": sorted(set(previous_records) - set(current_records)),
+        "median_ratio": median_ratio,
+        "threshold": threshold,
+        "regressed": median_ratio is not None and median_ratio > 1.0 + threshold,
+        "deltas": [asdict(delta) for delta in deltas],
+    }

@@ -1,25 +1,37 @@
 """Named benchmark scenario grids.
 
-A scenario is one synthesis problem: a topology (registry shorthand), a
-collective, a per-NPU collective size, and a fixed seed.  Three grids are
-provided:
+Two kinds of scenarios exist:
 
-* ``smoke`` — two tiny scenarios for CI (a couple of seconds end-to-end);
+* :class:`BenchScenario` — one *synthesis* problem: a topology (registry
+  shorthand), a collective, a per-NPU collective size, and a fixed seed.
+  Both synthesis engines (flat and frozen reference) are timed on it.
+* :class:`SimScenario` — one *simulation* problem: a logical schedule
+  (Ring / Direct / RHD) executed on a physical topology.  Both simulator
+  engines (array-backed and frozen reference) are timed on the same message
+  list.
+
+Four grids are provided:
+
+* ``smoke`` — tiny scenarios of both kinds for CI (a couple of seconds
+  end-to-end);
 * ``fig19`` — the paper's scalability grid (2D meshes and 3D hypercubes of
-  growing size, 64 MB All-Reduce), the grid the headline speedup is
-  reported on;
+  growing size, 64 MB All-Reduce), the grid the synthesis headline speedup
+  is reported on;
 * ``full`` — ``fig19`` plus ring / torus / switch families crossed with two
-  collective sizes and both All-Gather and All-Reduce.
+  collective sizes and both All-Gather and All-Reduce;
+* ``sim_stress`` — the simulator's own grid: logical Ring / Direct / RHD
+  All-Reduces on 2D meshes up to 16x16 (well over 50k messages in total),
+  the grid the simulator speedup trajectory is recorded on.
 """
 
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Union
 
 from repro.errors import ReproError
 
-__all__ = ["BenchScenario", "GRIDS", "get_grid"]
+__all__ = ["BenchScenario", "SimScenario", "GRIDS", "get_grid"]
 
 _MB = 1e6
 
@@ -39,17 +51,42 @@ class BenchScenario:
         return asdict(self)
 
 
-def _smoke_grid() -> List[BenchScenario]:
+@dataclass(frozen=True)
+class SimScenario:
+    """One simulation problem of a benchmark grid.
+
+    The schedule is built by the named logical All-Reduce baseline
+    (``ring`` / ``direct`` / ``rhd``), converted to dependency-linked
+    messages once, and simulated on the topology by both simulator engines.
+    """
+
+    name: str
+    topology: str  #: registry shorthand, e.g. ``"mesh_2d:16,16"``
+    schedule: str  #: logical algorithm: ``"ring"``, ``"direct"``, or ``"rhd"``
+    collective_size: float  #: per-NPU bytes
+    chunks_per_npu: int = 1
+    seed: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+
+#: Either scenario kind; ``repro.bench.runner.run_bench`` dispatches on type.
+Scenario = Union[BenchScenario, SimScenario]
+
+
+def _smoke_grid() -> List[Scenario]:
     return [
         BenchScenario("ring8-ag-1MB", "ring:8", "all_gather", 1 * _MB),
         BenchScenario("mesh3x3-ar-1MB", "mesh_2d:3,3", "all_reduce", 1 * _MB),
+        SimScenario("sim-ring-mesh3x3-1MB", "mesh_2d:3,3", "ring", 1 * _MB),
     ]
 
 
-def _fig19_grid() -> List[BenchScenario]:
+def _fig19_grid() -> List[Scenario]:
     # The paper's Fig. 19 families (2D Mesh, 3D Hypercube All-Reduce) at the
     # sizes where synthesis cost is measurable in pure Python: 16..144 NPUs.
-    scenarios = [
+    scenarios: List[Scenario] = [
         BenchScenario(f"mesh{side}x{side}-ar-64MB", f"mesh_2d:{side},{side}", "all_reduce", 64 * _MB)
         for side in (4, 5, 6, 8, 10, 12)
     ]
@@ -62,7 +99,7 @@ def _fig19_grid() -> List[BenchScenario]:
     return scenarios
 
 
-def _full_grid() -> List[BenchScenario]:
+def _full_grid() -> List[Scenario]:
     scenarios = list(_fig19_grid())
     for num_npus in (8, 16, 32):
         scenarios.append(
@@ -89,14 +126,32 @@ def _full_grid() -> List[BenchScenario]:
     return scenarios
 
 
+def _sim_stress_grid() -> List[Scenario]:
+    # Logical schedules executed on mismatched meshes: ring neighbours are
+    # mostly physically adjacent (short routes, queue-dominated), while
+    # Direct and RHD partners are far apart (routing- and multi-hop-
+    # dominated).  Message counts range from ~8k to ~261k per scenario
+    # (~475k in total), so both the routing layer and the event loop are
+    # exercised well past the 50k-message mark.
+    return [
+        SimScenario("sim-ring-mesh8x8-64MB", "mesh_2d:8,8", "ring", 64 * _MB),
+        SimScenario("sim-ring-mesh16x16-64MB", "mesh_2d:16,16", "ring", 64 * _MB),
+        SimScenario("sim-direct-mesh8x8-4MB", "mesh_2d:8,8", "direct", 4 * _MB, chunks_per_npu=2),
+        SimScenario("sim-direct-mesh12x12-4MB", "mesh_2d:12,12", "direct", 4 * _MB),
+        SimScenario("sim-rhd-mesh8x8-64MB", "mesh_2d:8,8", "rhd", 64 * _MB),
+        SimScenario("sim-rhd-mesh16x16-64MB", "mesh_2d:16,16", "rhd", 64 * _MB),
+    ]
+
+
 GRIDS = {
     "smoke": _smoke_grid,
     "fig19": _fig19_grid,
     "full": _full_grid,
+    "sim_stress": _sim_stress_grid,
 }
 
 
-def get_grid(name: str) -> List[BenchScenario]:
+def get_grid(name: str) -> List[Scenario]:
     """Resolve a grid by name; raises :class:`ReproError` for unknown names."""
     try:
         factory = GRIDS[name]

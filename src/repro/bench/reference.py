@@ -1,11 +1,13 @@
-"""Frozen pre-refactor synthesis core: dict/set state, scan-based TEN.
+"""Frozen pre-refactor cores: dict/set synthesis state, dict-keyed simulator.
 
-This module preserves the original reference implementation of the matching
-engine — per-NPU ``Dict[int, float]`` holdings, a ``Set[Tuple[int, int]]`` of
-unsatisfied postconditions, and full per-round Python scans — exactly as it
-stood before the array-backed refactor, so the benchmark subsystem can
+This module preserves the original reference implementations — the matching
+engine's per-NPU ``Dict[int, float]`` holdings, a ``Set[Tuple[int, int]]`` of
+unsatisfied postconditions, and full per-round Python scans, plus the
+congestion-aware simulator's dict-keyed link queues and per-destination
+Dijkstra routing (:class:`ReferenceSimulator`) — exactly as they stood before
+the array-backed refactors, so the benchmark subsystem can
 
-* measure the refactor's speedup against the real former hot path, and
+* measure the refactors' speedups against the real former hot paths, and
 * assert that fixed seeds produce byte-identical algorithms on both engines.
 
 The deliberate deviations from the historical code are exactly the
@@ -30,20 +32,27 @@ Do not "optimize" this module; its slowness is the point.
 from __future__ import annotations
 
 import heapq
+import itertools
+import math
 import random
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.algorithm import ChunkTransfer
 from repro.core.matching import shuffle_pairs
 from repro.core.synthesizer import SynthesisEngine
-from repro.errors import SynthesisError
+from repro.errors import SimulationError, SynthesisError, TopologyError
+from repro.simulator.messages import Message, validate_messages
+from repro.simulator.result import SimulationResult
 from repro.topology.topology import Topology
 
 __all__ = [
     "REFERENCE_ENGINE",
     "ReferenceMatchingState",
+    "ReferenceSimulator",
     "ReferenceTimeExpandedNetwork",
+    "reference_link_busy_time",
     "reference_run_matching_round",
+    "reference_utilization_timeline",
 ]
 
 #: Tolerance used when comparing floating-point times.
@@ -271,3 +280,208 @@ REFERENCE_ENGINE = SynthesisEngine(
     state_factory=ReferenceMatchingState,
     matching_round=reference_run_matching_round,
 )
+
+
+class ReferenceSimulator:
+    """Frozen pre-refactor congestion-aware simulator: dict-keyed queues.
+
+    This is the discrete-event engine exactly as it stood before the
+    array-backed rewrite of :class:`repro.simulator.engine.CongestionAwareSimulator`:
+    link queues keyed by ``(source, dest)`` tuples, dependency bookkeeping in
+    dicts keyed by message id, and one early-exit Dijkstra run per
+    ``(source, dest, size)`` routing query.
+
+    Determinism contract (shared with the array engine — the simulator
+    consumes no RNG, so the contract is purely structural):
+
+    * messages are enumerated in input order, which fixes the sequence
+      numbers that break FCFS ties at equal event times;
+    * dependency fan-out follows each message's ``depends_on`` iteration
+      order (both engines iterate the *same* frozenset objects);
+    * routes come from strict-improvement Dijkstra with heap entries ordered
+      by ``(distance, node)`` and neighbours relaxed in link insertion order,
+      which the topology's cached shortest-path trees reproduce exactly;
+    * per-hop arithmetic is ``start = max(ready, next_free)``,
+      ``serialization_end = start + beta * size``,
+      ``arrival = serialization_end + alpha`` — the same float operations in
+      the same order as the array engine.
+
+    Fixed message lists therefore produce byte-identical
+    ``message_completion`` maps on both engines, which ``tacos-repro bench``
+    asserts per scenario.  Do not "optimize" this class; its slowness is the
+    point.
+    """
+
+    def __init__(self, topology: Topology, routing_message_size: Optional[float] = None) -> None:
+        self.topology = topology
+        self.routing_message_size = routing_message_size
+        self._route_cache: Dict[Tuple[int, int, float], List[int]] = {}
+
+    def run(self, messages: Sequence[Message], *, collective_size: float = 0.0) -> SimulationResult:
+        """Simulate ``messages`` and return timing plus per-link statistics."""
+        messages = list(messages)
+        validate_messages(messages)
+        by_id = {message.message_id: message for message in messages}
+
+        dependents: Dict[int, List[int]] = {message.message_id: [] for message in messages}
+        missing_deps: Dict[int, int] = {}
+        ready_time: Dict[int, float] = {}
+        for message in messages:
+            missing_deps[message.message_id] = len(message.depends_on)
+            ready_time[message.message_id] = 0.0
+            for dep in message.depends_on:
+                dependents[dep].append(message.message_id)
+
+        routes = {message.message_id: self._route(message) for message in messages}
+
+        link_next_free: Dict[Tuple[int, int], float] = {key: 0.0 for key in self.topology.link_keys()}
+        link_busy_intervals: Dict[Tuple[int, int], List[Tuple[float, float]]] = {}
+        link_bytes: Dict[Tuple[int, int], float] = {}
+        message_completion: Dict[int, float] = {}
+
+        counter = itertools.count()
+        # Event: (time, sequence, message_id, hop_index). A hop event means the
+        # message is ready to *enter* the queue of its ``hop_index``-th link.
+        events: List[Tuple[float, int, int, int]] = []
+
+        def schedule_hop(message_id: int, hop_index: int, time: float) -> None:
+            heapq.heappush(events, (time, next(counter), message_id, hop_index))
+
+        for message in messages:
+            if missing_deps[message.message_id] == 0:
+                schedule_hop(message.message_id, 0, 0.0)
+
+        completed = 0
+        while events:
+            time, _, message_id, hop_index = heapq.heappop(events)
+            message = by_id[message_id]
+            route = routes[message_id]
+            link_key = (route[hop_index], route[hop_index + 1])
+            link = self.topology.link(*link_key)
+
+            start = max(time, link_next_free[link_key])
+            serialization_end = start + link.beta * message.size
+            arrival = serialization_end + link.alpha
+            link_next_free[link_key] = serialization_end
+            link_busy_intervals.setdefault(link_key, []).append((start, serialization_end))
+            link_bytes[link_key] = link_bytes.get(link_key, 0.0) + message.size
+
+            if hop_index + 1 < len(route) - 1:
+                schedule_hop(message_id, hop_index + 1, arrival)
+                continue
+
+            # Final hop: the message is delivered.
+            message_completion[message_id] = arrival
+            completed += 1
+            for dependent_id in dependents[message_id]:
+                ready_time[dependent_id] = max(ready_time[dependent_id], arrival)
+                missing_deps[dependent_id] -= 1
+                if missing_deps[dependent_id] == 0:
+                    schedule_hop(dependent_id, 0, ready_time[dependent_id])
+
+        if completed != len(messages):
+            unfinished = sorted(set(by_id) - set(message_completion))
+            raise SimulationError(
+                f"{len(unfinished)} messages never became ready (dependency cycle?): {unfinished[:10]}"
+            )
+
+        completion_time = max(message_completion.values()) if message_completion else 0.0
+        return SimulationResult(
+            completion_time=completion_time,
+            message_completion=message_completion,
+            link_busy_intervals=link_busy_intervals,
+            link_bytes=link_bytes,
+            num_links=self.topology.num_links,
+            collective_size=collective_size,
+        )
+
+    def _route(self, message: Message) -> List[int]:
+        """Shortest physical path for ``message`` via early-exit Dijkstra.
+
+        The frozen pre-refactor routing: one Dijkstra run per cached
+        ``(source, dest, weight_size)`` triple, as ``Topology.shortest_path``
+        performed before shortest-path trees existed.
+        """
+        weight_size = self.routing_message_size if self.routing_message_size is not None else message.size
+        cache_key = (message.source, message.dest, weight_size)
+        route = self._route_cache.get(cache_key)
+        if route is None:
+            route = self._dijkstra_path(message.source, message.dest, weight_size)
+            if len(route) < 2:
+                raise SimulationError(
+                    f"message {message.message_id} has a degenerate route {route}"
+                )
+            self._route_cache[cache_key] = route
+        return route
+
+    @staticmethod
+    def utilization_timeline(result: SimulationResult, num_samples: int = 100):
+        """Frozen alias for :func:`reference_utilization_timeline`."""
+        return reference_utilization_timeline(result, num_samples)
+
+    @staticmethod
+    def link_busy_time(result: SimulationResult) -> Dict[Tuple[int, int], float]:
+        """Frozen alias for :func:`reference_link_busy_time`."""
+        return reference_link_busy_time(result)
+
+    def _dijkstra_path(self, source: int, dest: int, message_size: float) -> List[int]:
+        topology = self.topology
+        if source == dest:
+            return [source]
+        num_npus = topology.num_npus
+        distances = [math.inf] * num_npus
+        previous: List[Optional[int]] = [None] * num_npus
+        distances[source] = 0.0
+        heap: List[Tuple[float, int]] = [(0.0, source)]
+        while heap:
+            dist, node = heapq.heappop(heap)
+            if node == dest:
+                break
+            if dist > distances[node]:
+                continue
+            for nxt in topology.out_neighbors(node):
+                candidate = dist + topology.link(node, nxt).cost(message_size)
+                if candidate < distances[nxt]:
+                    distances[nxt] = candidate
+                    previous[nxt] = node
+                    heapq.heappush(heap, (candidate, nxt))
+        if math.isinf(distances[dest]):
+            raise TopologyError(f"no path from {source} to {dest} in {topology.name}")
+        path = [dest]
+        while path[-1] != source:
+            path.append(previous[path[-1]])
+        path.reverse()
+        return path
+
+
+def reference_utilization_timeline(result: SimulationResult, num_samples: int = 100):
+    """Frozen pre-refactor Fig. 16(b) metric: nested interval scans.
+
+    The historical ``SimulationResult.utilization_timeline`` — one boolean
+    mask over all samples *per busy interval*, O(links x intervals x
+    samples) — before the columnar rewrite turned it into a vectorized event
+    sweep.  Note it also reproduces the historical zero-width-interval bug
+    (instantaneous transmissions are dropped); the benchmark only times it,
+    it never asserts metric equality across implementations.
+    """
+    import numpy as np
+
+    horizon = result.completion_time
+    times = np.linspace(0.0, horizon, num_samples) if horizon > 0 else np.zeros(num_samples)
+    utilization = np.zeros(num_samples)
+    if result.num_links == 0 or horizon <= 0:
+        return times, utilization
+    for intervals in result.link_busy_intervals.values():
+        for start, end in intervals:
+            busy = (times >= start) & (times < end)
+            utilization[busy] += 1.0
+    utilization /= result.num_links
+    return times, utilization
+
+
+def reference_link_busy_time(result: SimulationResult) -> Dict[Tuple[int, int], float]:
+    """Frozen pre-refactor per-link busy seconds: a Python sum per interval."""
+    return {
+        link: sum(end - start for start, end in intervals)
+        for link, intervals in result.link_busy_intervals.items()
+    }

@@ -1,49 +1,93 @@
 """Benchmark execution: time both engines, check equivalence, emit JSON.
 
-For every scenario of a grid the runner
+Two scenario kinds are executed (see :mod:`repro.bench.grid`):
 
-1. synthesizes with the array-backed flat engine (``repeats`` times, median
-   wall clock),
-2. synthesizes with the frozen pre-refactor reference engine on the same
-   seeds,
-3. asserts the two algorithms are identical (same transfers, same
-   collective time) — the refactor's behaviour-preservation proof, and
-4. times the congestion-aware simulator on the synthesized algorithm.
+* **synthesis** scenarios time the array-backed flat synthesis engine
+  against the frozen pre-refactor reference engine (``repeats`` times,
+  median wall clock), assert the two algorithms are identical, then time
+  *both* simulator engines on the synthesized algorithm's messages and
+  assert byte-identical ``message_completion`` / ``completion_time``;
+* **simulation** scenarios build a logical Ring / Direct / RHD schedule,
+  convert it to messages once, and time one *backend pipeline run* —
+  simulate, then derive the utilization timeline and per-link busy times,
+  i.e. what every Fig. 16(b)/18-style consumer does — for the array-backed
+  :class:`~repro.simulator.engine.CongestionAwareSimulator` (vectorized
+  sweeps) against the frozen
+  :class:`~repro.bench.reference.ReferenceSimulator` (dict engine + nested
+  O(links x intervals x samples) metric scans) on the same message list,
+  with the same byte-identical ``message_completion`` assertion.
+
+A fresh simulator instance is used for every timed repeat, so per-simulator
+route caches never carry over; the topology-level shortest-path-tree cache
+*does* persist, because sharing trees across runs is precisely the
+array engine's design (the reference engine, frozen before trees existed,
+re-runs its per-pair Dijkstra every repeat).
 
 The report is written as ``BENCH_<grid>_<timestamp>.json`` with a stable
-schema so CI can track the perf trajectory per PR.
+schema so CI can track the perf trajectory per PR; it is strict JSON
+(``allow_nan=False`` — a non-finite value fails the write loudly instead of
+silently emitting a bare ``Infinity`` the consumer cannot parse).
 """
 
 from __future__ import annotations
 
 import json
+import math
 import statistics
 import time as _time
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro import __version__
 from repro.api.builtins import parse_topology_spec
 from repro.api.registry import COLLECTIVES
 from repro.api.runner import build_topology
-from repro.bench.grid import BenchScenario, get_grid
-from repro.bench.reference import REFERENCE_ENGINE
+from repro.baselines import direct_all_reduce, rhd_all_reduce, ring_all_reduce
+from repro.bench.grid import BenchScenario, Scenario, SimScenario, get_grid
+from repro.bench.reference import (
+    REFERENCE_ENGINE,
+    ReferenceSimulator,
+    reference_link_busy_time,
+    reference_utilization_timeline,
+)
 from repro.core.config import SynthesisConfig
 from repro.core.synthesizer import FLAT_ENGINE, TacosSynthesizer
-from repro.simulator.adapters import simulate_algorithm
+from repro.errors import ReproError
+from repro.simulator.adapters import algorithm_to_messages, schedule_to_messages
+from repro.simulator.engine import CongestionAwareSimulator
+from repro.simulator.messages import Message
+from repro.simulator.result import SimulationResult
+from repro.topology.topology import Topology
 
-__all__ = ["BenchRecord", "run_bench", "write_report"]
+__all__ = ["BenchRecord", "run_bench", "summarize", "write_report"]
 
-#: Report schema identifier (bump on breaking changes).
-SCHEMA = "tacos-repro-bench/v1"
+#: Report schema identifier (bump on breaking changes).  v2 adds the
+#: simulator-engine fields and replaces non-finite speedups with ``null``.
+SCHEMA = "tacos-repro-bench/v2"
+
+#: Logical schedule builders available to :class:`SimScenario`.
+_SCHEDULE_BUILDERS: Dict[str, Callable] = {
+    "ring": ring_all_reduce,
+    "direct": direct_all_reduce,
+    "rhd": rhd_all_reduce,
+}
 
 
 @dataclass
 class BenchRecord:
-    """Measured outcome of one benchmark scenario."""
+    """Measured outcome of one benchmark scenario.
+
+    For ``kind == "synthesis"`` the ``flat_seconds`` / ``reference_seconds``
+    / ``speedup`` triple measures the synthesis engines and the
+    ``simulation_*`` fields measure the simulator engines on the synthesized
+    algorithm.  For ``kind == "simulation"`` the primary triple *is* the
+    simulator measurement (mirrored into the ``simulation_*`` fields), so
+    grid-level summaries report the simulator speedup directly.
+    """
 
     scenario: str
+    kind: str  #: ``"synthesis"`` or ``"simulation"``
     topology: str
     collective: str
     collective_size: float
@@ -53,16 +97,32 @@ class BenchRecord:
     trials: int
     flat_seconds: float
     reference_seconds: float
-    speedup: float
+    speedup: Optional[float]  #: None when undefined (zero/non-finite ratio)
     equivalent: Optional[bool]  #: None when the equivalence check was skipped
     num_transfers: int
     collective_time: float
     rounds: int
-    simulation_seconds: float
+    num_messages: int
+    simulation_seconds: float  #: array-backed simulator, median wall clock
+    reference_simulation_seconds: Optional[float]
+    simulation_speedup: Optional[float]
+    simulation_equivalent: Optional[bool]
     simulated_collective_time: float
 
     def to_dict(self) -> Dict[str, Any]:
         return asdict(self)
+
+
+def _safe_speedup(reference_seconds: float, flat_seconds: float) -> Optional[float]:
+    """Reference/flat ratio, or ``None`` when it is not a finite number.
+
+    ``float("inf")`` would serialize as bare ``Infinity`` — invalid strict
+    JSON that breaks the CI artifact and any trend tooling downstream.
+    """
+    if flat_seconds <= 0:
+        return None
+    value = reference_seconds / flat_seconds
+    return value if math.isfinite(value) else None
 
 
 def _median_wall_clock(synthesizer: TacosSynthesizer, topology, pattern, size, repeats: int):
@@ -77,16 +137,202 @@ def _median_wall_clock(synthesizer: TacosSynthesizer, topology, pattern, size, r
     return first, statistics.median(samples)
 
 
+#: Sample count used for the timed utilization-timeline derivation.
+_TIMELINE_SAMPLES = 100
+
+
+def _flat_sim_pipeline(
+    topology: Topology, messages: Sequence[Message], collective_size: float
+) -> SimulationResult:
+    """One array-backed simulator backend run: simulate + derive metrics."""
+    result = CongestionAwareSimulator(topology).run(
+        messages, collective_size=collective_size
+    )
+    result.utilization_timeline(_TIMELINE_SAMPLES)
+    result.link_busy_time()
+    return result
+
+
+def _reference_sim_pipeline(
+    topology: Topology, messages: Sequence[Message], collective_size: float
+) -> SimulationResult:
+    """One frozen-reference backend run: dict engine + nested metric scans."""
+    result = ReferenceSimulator(topology).run(messages, collective_size=collective_size)
+    reference_utilization_timeline(result, _TIMELINE_SAMPLES)
+    reference_link_busy_time(result)
+    return result
+
+
+def _time_simulator(
+    pipeline: Callable[[Topology, Sequence[Message], float], SimulationResult],
+    topology: Topology,
+    messages: Sequence[Message],
+    collective_size: float,
+    repeats: int,
+) -> Tuple[SimulationResult, float]:
+    """Time ``repeats`` backend pipeline runs; return (first result, median seconds).
+
+    A backend "run" is what every figure pipeline does with the simulator:
+    simulate the workload, then derive the utilization timeline and per-link
+    busy times.  Each repeat constructs a fresh simulator (per-simulator
+    route caches never carry over); the topology-level shortest-path-tree
+    cache does persist, because sharing trees is the array engine's design —
+    the reference engine, frozen before trees existed, re-runs its per-pair
+    Dijkstra and nested metric scans every repeat, exactly as the historical
+    code did.
+    """
+    first: Optional[SimulationResult] = None
+    samples = []
+    for _ in range(max(1, repeats)):
+        started = _time.perf_counter()
+        result = pipeline(topology, messages, collective_size)
+        samples.append(_time.perf_counter() - started)
+        if first is None:
+            first = result
+    return first, statistics.median(samples)
+
+
+def _simulators_agree(flat: SimulationResult, reference: SimulationResult) -> bool:
+    """Byte-identical delivery schedule: exact float equality, no tolerance."""
+    return (
+        flat.message_completion == reference.message_completion
+        and flat.completion_time == reference.completion_time
+    )
+
+
 def _warmup() -> None:
-    """Run one tiny synthesis per engine so imports, registry resolution, and
-    lazy RNG setup are not billed to the first timed scenario."""
+    """Run one tiny synthesis + simulation per engine so imports, registry
+    resolution, and lazy RNG setup are not billed to the first timed scenario."""
     from repro.collectives.all_gather import AllGather
     from repro.topology.builders.ring import build_ring
 
     topology = build_ring(4)
     pattern = AllGather(4)
+    algorithm = None
     for engine in (FLAT_ENGINE, REFERENCE_ENGINE):
-        TacosSynthesizer(engine=engine).synthesize(topology, pattern, 1e6)
+        algorithm = TacosSynthesizer(engine=engine).synthesize(topology, pattern, 1e6)
+    messages = algorithm_to_messages(algorithm)
+    CongestionAwareSimulator(topology).run(messages)
+    ReferenceSimulator(topology).run(messages)
+
+
+def _run_synthesis_scenario(
+    scenario: BenchScenario, repeats: int, check_equivalence: bool
+) -> BenchRecord:
+    topology = build_topology(parse_topology_spec(scenario.topology))
+    factory = COLLECTIVES.get(scenario.collective)
+    pattern = factory(topology.num_npus, 1)
+    config = SynthesisConfig(seed=scenario.seed, trials=scenario.trials)
+
+    flat = TacosSynthesizer(config, engine=FLAT_ENGINE)
+    flat_result, flat_seconds = _median_wall_clock(
+        flat, topology, pattern, scenario.collective_size, repeats
+    )
+
+    reference = TacosSynthesizer(config, engine=REFERENCE_ENGINE)
+    reference_result, reference_seconds = _median_wall_clock(
+        reference, topology, pattern, scenario.collective_size, repeats
+    )
+
+    equivalent: Optional[bool] = None
+    if check_equivalence:
+        equivalent = (
+            flat_result.algorithm.transfers == reference_result.algorithm.transfers
+            and flat_result.algorithm.collective_time
+            == reference_result.algorithm.collective_time
+        )
+
+    messages = algorithm_to_messages(flat_result.algorithm)
+    collective_size = flat_result.algorithm.collective_size
+    sim_result, simulation_seconds = _time_simulator(
+        _flat_sim_pipeline, topology, messages, collective_size, repeats
+    )
+    ref_sim_result, reference_simulation_seconds = _time_simulator(
+        _reference_sim_pipeline, topology, messages, collective_size, repeats
+    )
+    simulation_equivalent: Optional[bool] = None
+    if check_equivalence:
+        simulation_equivalent = _simulators_agree(sim_result, ref_sim_result)
+
+    return BenchRecord(
+        scenario=scenario.name,
+        kind="synthesis",
+        topology=scenario.topology,
+        collective=scenario.collective,
+        collective_size=scenario.collective_size,
+        num_npus=topology.num_npus,
+        num_links=topology.num_links,
+        seed=scenario.seed,
+        trials=scenario.trials,
+        flat_seconds=flat_seconds,
+        reference_seconds=reference_seconds,
+        speedup=_safe_speedup(reference_seconds, flat_seconds),
+        equivalent=equivalent,
+        num_transfers=flat_result.algorithm.num_transfers,
+        collective_time=flat_result.algorithm.collective_time,
+        rounds=flat_result.rounds,
+        num_messages=len(messages),
+        simulation_seconds=simulation_seconds,
+        reference_simulation_seconds=reference_simulation_seconds,
+        simulation_speedup=_safe_speedup(reference_simulation_seconds, simulation_seconds),
+        simulation_equivalent=simulation_equivalent,
+        simulated_collective_time=sim_result.completion_time,
+    )
+
+
+def _run_sim_scenario(
+    scenario: SimScenario, repeats: int, check_equivalence: bool
+) -> BenchRecord:
+    try:
+        builder = _SCHEDULE_BUILDERS[scenario.schedule]
+    except KeyError:
+        raise ReproError(
+            f"unknown logical schedule {scenario.schedule!r}; "
+            f"available: {', '.join(sorted(_SCHEDULE_BUILDERS))}"
+        ) from None
+    topology = build_topology(parse_topology_spec(scenario.topology))
+    schedule = builder(
+        topology.num_npus, scenario.collective_size, chunks_per_npu=scenario.chunks_per_npu
+    )
+    # Convert once and share the exact message objects between engines: both
+    # iterate the same frozensets, which pins down dependency fan-out order.
+    messages = schedule_to_messages(schedule)
+
+    flat_result, flat_seconds = _time_simulator(
+        _flat_sim_pipeline, topology, messages, schedule.collective_size, repeats
+    )
+    ref_result, reference_seconds = _time_simulator(
+        _reference_sim_pipeline, topology, messages, schedule.collective_size, repeats
+    )
+    equivalent: Optional[bool] = None
+    if check_equivalence:
+        equivalent = _simulators_agree(flat_result, ref_result)
+
+    speedup = _safe_speedup(reference_seconds, flat_seconds)
+    return BenchRecord(
+        scenario=scenario.name,
+        kind="simulation",
+        topology=scenario.topology,
+        collective=f"{scenario.schedule}-all_reduce",
+        collective_size=scenario.collective_size,
+        num_npus=topology.num_npus,
+        num_links=topology.num_links,
+        seed=scenario.seed,
+        trials=1,
+        flat_seconds=flat_seconds,
+        reference_seconds=reference_seconds,
+        speedup=speedup,
+        equivalent=equivalent,
+        num_transfers=len(messages),
+        collective_time=flat_result.completion_time,
+        rounds=schedule.num_steps,
+        num_messages=len(messages),
+        simulation_seconds=flat_seconds,
+        reference_simulation_seconds=reference_seconds,
+        simulation_speedup=speedup,
+        simulation_equivalent=equivalent,
+        simulated_collective_time=flat_result.completion_time,
+    )
 
 
 def run_bench(
@@ -94,67 +340,34 @@ def run_bench(
     *,
     repeats: int = 1,
     check_equivalence: bool = True,
-    scenarios: Optional[List[BenchScenario]] = None,
+    scenarios: Optional[List[Scenario]] = None,
 ) -> List[BenchRecord]:
     """Execute a benchmark grid and return one record per scenario."""
     records: List[BenchRecord] = []
     _warmup()
     for scenario in scenarios if scenarios is not None else get_grid(grid):
-        topology = build_topology(parse_topology_spec(scenario.topology))
-        factory = COLLECTIVES.get(scenario.collective)
-        pattern = factory(topology.num_npus, 1)
-        config = SynthesisConfig(seed=scenario.seed, trials=scenario.trials)
-
-        flat = TacosSynthesizer(config, engine=FLAT_ENGINE)
-        flat_result, flat_seconds = _median_wall_clock(
-            flat, topology, pattern, scenario.collective_size, repeats
-        )
-
-        reference = TacosSynthesizer(config, engine=REFERENCE_ENGINE)
-        reference_result, reference_seconds = _median_wall_clock(
-            reference, topology, pattern, scenario.collective_size, repeats
-        )
-
-        equivalent: Optional[bool] = None
-        if check_equivalence:
-            equivalent = (
-                flat_result.algorithm.transfers == reference_result.algorithm.transfers
-                and flat_result.algorithm.collective_time
-                == reference_result.algorithm.collective_time
-            )
-
-        sim_started = _time.perf_counter()
-        sim_result = simulate_algorithm(topology, flat_result.algorithm)
-        simulation_seconds = _time.perf_counter() - sim_started
-
-        records.append(
-            BenchRecord(
-                scenario=scenario.name,
-                topology=scenario.topology,
-                collective=scenario.collective,
-                collective_size=scenario.collective_size,
-                num_npus=topology.num_npus,
-                num_links=topology.num_links,
-                seed=scenario.seed,
-                trials=scenario.trials,
-                flat_seconds=flat_seconds,
-                reference_seconds=reference_seconds,
-                speedup=(reference_seconds / flat_seconds) if flat_seconds > 0 else float("inf"),
-                equivalent=equivalent,
-                num_transfers=flat_result.algorithm.num_transfers,
-                collective_time=flat_result.algorithm.collective_time,
-                rounds=flat_result.rounds,
-                simulation_seconds=simulation_seconds,
-                simulated_collective_time=sim_result.completion_time,
-            )
-        )
+        if isinstance(scenario, SimScenario):
+            records.append(_run_sim_scenario(scenario, repeats, check_equivalence))
+        else:
+            records.append(_run_synthesis_scenario(scenario, repeats, check_equivalence))
     return records
 
 
+def _finite(values: List[Optional[float]]) -> List[float]:
+    """Drop ``None`` and non-finite entries before aggregating."""
+    return [value for value in values if value is not None and math.isfinite(value)]
+
+
 def summarize(records: List[BenchRecord]) -> Dict[str, Any]:
-    """Aggregate per-grid summary statistics."""
-    speedups = [record.speedup for record in records]
+    """Aggregate per-grid summary statistics (non-finite speedups skipped)."""
+    speedups = _finite([record.speedup for record in records])
+    sim_speedups = _finite([record.simulation_speedup for record in records])
     checked = [record.equivalent for record in records if record.equivalent is not None]
+    sim_checked = [
+        record.simulation_equivalent
+        for record in records
+        if record.simulation_equivalent is not None
+    ]
     return {
         "num_scenarios": len(records),
         "median_speedup": statistics.median(speedups) if speedups else None,
@@ -164,6 +377,11 @@ def summarize(records: List[BenchRecord]) -> Dict[str, Any]:
         "total_reference_seconds": sum(record.reference_seconds for record in records),
         "equivalence_checked": len(checked),
         "all_equivalent": all(checked) if checked else None,
+        "median_simulation_speedup": statistics.median(sim_speedups) if sim_speedups else None,
+        "min_simulation_speedup": min(sim_speedups) if sim_speedups else None,
+        "max_simulation_speedup": max(sim_speedups) if sim_speedups else None,
+        "simulation_equivalence_checked": len(sim_checked),
+        "all_simulation_equivalent": all(sim_checked) if sim_checked else None,
     }
 
 
@@ -174,7 +392,12 @@ def write_report(
     repeats: int,
     out_dir: str = ".",
 ) -> Tuple[Path, Dict[str, Any]]:
-    """Serialize records to ``BENCH_<grid>_<timestamp>.json``; return (path, report)."""
+    """Serialize records to ``BENCH_<grid>_<timestamp>.json``; return (path, report).
+
+    The report is strict JSON: ``allow_nan=False`` makes a stray NaN or
+    Infinity fail the write loudly instead of producing a file that
+    ``json.loads`` with a strict ``parse_constant`` rejects.
+    """
     report = {
         "schema": SCHEMA,
         "version": __version__,
@@ -194,5 +417,5 @@ def write_report(
     while path.exists():
         suffix += 1
         path = directory / f"BENCH_{grid}_{stamp}-{suffix}.json"
-    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    path.write_text(json.dumps(report, indent=2, sort_keys=True, allow_nan=False) + "\n")
     return path, report

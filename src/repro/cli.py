@@ -27,7 +27,7 @@ import json
 import os
 import sys
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.api import (
     ALGORITHMS,
@@ -131,11 +131,11 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--json", action="store_true", help="print results as JSON")
 
     bench = subparsers.add_parser(
-        "bench", help="benchmark the synthesis core against the pre-refactor engine"
+        "bench", help="benchmark the synthesis core and simulator against the pre-refactor engines"
     )
     bench.add_argument(
-        "--grid", choices=("smoke", "fig19", "full"), default="fig19",
-        help="scenario grid (default: fig19)",
+        "--grid", choices=("smoke", "fig19", "full", "sim_stress"), default="fig19",
+        help="scenario grid (default: fig19; sim_stress exercises the simulator)",
     )
     bench.add_argument(
         "--smoke", action="store_true", help="shorthand for --grid smoke (CI-sized)"
@@ -153,6 +153,16 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--min-speedup", type=float, default=None,
         help="exit non-zero if the median speedup falls below this factor",
+    )
+    bench.add_argument(
+        "--compare", nargs="?", const="auto", default=None, metavar="PREV_JSON",
+        help="compare against a previous BENCH report (default: the newest "
+        "benchmarks/results/BENCH_<grid>_*.json) and exit non-zero on a "
+        "median wall-clock regression beyond the threshold",
+    )
+    bench.add_argument(
+        "--compare-threshold", type=float, default=None, metavar="FRACTION",
+        help="median regression tolerance for --compare (default: 0.20 = 20%%)",
     )
     bench.add_argument("--json", action="store_true", help="print the report as JSON")
 
@@ -297,6 +307,85 @@ def _cmd_sweep(arguments: argparse.Namespace) -> int:
     return 1 if failed == len(results) and results else 0
 
 
+def _format_speedup(value: Optional[float]) -> str:
+    return "-" if value is None else f"{value:.2f}x"
+
+
+def _resolve_comparison(
+    arguments: argparse.Namespace, grid: str, report: Dict[str, Any], path: Path
+) -> Tuple[int, Optional[Dict[str, Any]], Optional[Path]]:
+    """Resolve the --compare baseline and diff the fresh report against it.
+
+    Returns ``(exit_code, comparison, previous_path)``; errors are reported
+    on stderr with ``comparison`` left as ``None``.
+    """
+    from repro.bench.compare import (
+        DEFAULT_RESULTS_DIR,
+        DEFAULT_THRESHOLD,
+        compare_reports,
+        find_previous_report,
+        load_report,
+    )
+
+    threshold = (
+        arguments.compare_threshold
+        if arguments.compare_threshold is not None
+        else DEFAULT_THRESHOLD
+    )
+    if arguments.compare == "auto":
+        previous_path = find_previous_report(grid, DEFAULT_RESULTS_DIR, exclude=path)
+        if previous_path is None:
+            print(
+                f"error: no previous BENCH_{grid}_*.json under {DEFAULT_RESULTS_DIR} "
+                "to compare against (pass an explicit --compare PREV_JSON)",
+                file=sys.stderr,
+            )
+            return 2, None, None
+    else:
+        previous_path = Path(arguments.compare)
+    comparison = compare_reports(report, load_report(previous_path), threshold=threshold)
+    if comparison["baseline_grid"] not in (None, grid):
+        print(
+            f"warning: comparing grid {grid!r} against a {comparison['baseline_grid']!r} "
+            "baseline; only scenarios sharing a name are matched",
+            file=sys.stderr,
+        )
+    median_ratio = comparison["median_ratio"]
+    if median_ratio is None:
+        print("error: no comparable scenarios between the two reports", file=sys.stderr)
+        return 2, comparison, previous_path
+    if comparison["regressed"]:
+        print(
+            f"error: median wall clock regressed {(median_ratio - 1.0) * 100.0:+.1f}% "
+            f"(> {threshold * 100.0:.0f}% allowed)",
+            file=sys.stderr,
+        )
+        return 1, comparison, previous_path
+    return 0, comparison, previous_path
+
+
+def _print_comparison(comparison: Dict[str, Any], previous_path: Path) -> None:
+    header = f"{'scenario':<26} {'now (ms)':>10} {'prev (ms)':>10} {'delta':>8}"
+    print(f"\ncompare vs {previous_path}:")
+    print(header)
+    print("-" * len(header))
+    for delta in comparison["deltas"]:
+        ratio = delta["ratio"]
+        change = "-" if ratio is None else f"{(ratio - 1.0) * 100.0:+.1f}%"
+        print(
+            f"{delta['scenario']:<26} {delta['current_seconds'] * 1e3:>10.1f} "
+            f"{delta['previous_seconds'] * 1e3:>10.1f} {change:>8}"
+        )
+    for name in comparison["only_current"]:
+        print(f"{name:<26} (new scenario, no baseline)")
+    median_ratio = comparison["median_ratio"]
+    if median_ratio is not None:
+        print(
+            f"median wall-clock ratio {median_ratio:.3f} "
+            f"(threshold {1.0 + comparison['threshold']:.2f})"
+        )
+
+
 def _cmd_bench(arguments: argparse.Namespace) -> int:
     from repro.bench import run_bench, write_report
 
@@ -310,28 +399,60 @@ def _cmd_bench(arguments: argparse.Namespace) -> int:
         records, grid=grid, repeats=arguments.repeats, out_dir=arguments.out
     )
     summary = report["summary"]
+    compare_code = 0
+    comparison: Optional[Dict[str, Any]] = None
+    previous_path: Optional[Path] = None
+    if arguments.compare is not None:
+        compare_code, comparison, previous_path = _resolve_comparison(
+            arguments, grid, report, path
+        )
     if arguments.json:
-        print(json.dumps(report, indent=2, sort_keys=True))
+        # Keep stdout a single JSON document: the comparison is embedded in
+        # the payload instead of printed as a table.
+        payload = dict(report)
+        if comparison is not None:
+            payload["comparison"] = comparison
+        print(json.dumps(payload, indent=2, sort_keys=True))
     else:
         header = (
-            f"{'scenario':<24} {'npus':>5} {'flat (ms)':>10} {'reference (ms)':>14} "
-            f"{'speedup':>8} {'equal':>6}"
+            f"{'scenario':<26} {'npus':>5} {'flat (ms)':>10} {'reference (ms)':>14} "
+            f"{'speedup':>8} {'sim x':>7} {'equal':>6}"
         )
         print(header)
         print("-" * len(header))
         for record in records:
-            equal = "-" if record.equivalent is None else ("yes" if record.equivalent else "NO")
+            checks = [
+                check
+                for check in (record.equivalent, record.simulation_equivalent)
+                if check is not None
+            ]
+            equal = "-" if not checks else ("yes" if all(checks) else "NO")
             print(
-                f"{record.scenario:<24} {record.num_npus:>5} {record.flat_seconds * 1e3:>10.1f} "
-                f"{record.reference_seconds * 1e3:>14.1f} {record.speedup:>7.2f}x {equal:>6}"
+                f"{record.scenario:<26} {record.num_npus:>5} {record.flat_seconds * 1e3:>10.1f} "
+                f"{record.reference_seconds * 1e3:>14.1f} {_format_speedup(record.speedup):>8} "
+                f"{_format_speedup(record.simulation_speedup):>7} {equal:>6}"
             )
-        print(
-            f"\nmedian speedup {summary['median_speedup']:.2f}x "
-            f"(min {summary['min_speedup']:.2f}x, max {summary['max_speedup']:.2f}x); "
-            f"report: {path}"
-        )
+        if summary["median_speedup"] is not None:
+            print(
+                f"\nmedian speedup {summary['median_speedup']:.2f}x "
+                f"(min {summary['min_speedup']:.2f}x, max {summary['max_speedup']:.2f}x); "
+                f"report: {path}"
+            )
+        else:
+            print(f"\nno finite speedups measured; report: {path}")
+        if summary["median_simulation_speedup"] is not None:
+            print(
+                f"median simulator speedup {summary['median_simulation_speedup']:.2f}x "
+                f"(min {summary['min_simulation_speedup']:.2f}x, "
+                f"max {summary['max_simulation_speedup']:.2f}x)"
+            )
+        if comparison is not None and previous_path is not None:
+            _print_comparison(comparison, previous_path)
     if summary["all_equivalent"] is False:
-        print("error: engines disagree on fixed-seed outputs", file=sys.stderr)
+        print("error: synthesis engines disagree on fixed-seed outputs", file=sys.stderr)
+        return 1
+    if summary["all_simulation_equivalent"] is False:
+        print("error: simulator engines disagree on fixed-seed outputs", file=sys.stderr)
         return 1
     if (
         arguments.min_speedup is not None
@@ -344,7 +465,7 @@ def _cmd_bench(arguments: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
-    return 0
+    return compare_code
 
 
 def _cmd_experiments(arguments: argparse.Namespace) -> int:

@@ -44,6 +44,15 @@ _FORMAT = "tacos-topology"
 _VERSION = 1
 
 
+def _link_rate_fields(link) -> Dict:
+    """Serialize a link's rate as ``bandwidth_gbps``, or raw ``beta`` for a
+    pure-latency (``beta == 0``) link — its bandwidth is infinite, and bare
+    ``Infinity`` is not valid strict JSON."""
+    if link.beta == 0:
+        return {"beta": 0.0}
+    return {"bandwidth_gbps": beta_to_bandwidth(link.beta)}
+
+
 def topology_to_dict(topology: Topology) -> Dict:
     """Convert a topology into a JSON-serializable dictionary."""
     return {
@@ -56,7 +65,7 @@ def topology_to_dict(topology: Topology) -> Dict:
                 "source": link.source,
                 "dest": link.dest,
                 "alpha": link.alpha,
-                "bandwidth_gbps": beta_to_bandwidth(link.beta),
+                **_link_rate_fields(link),
             }
             for link in sorted(topology.links(), key=lambda item: item.key)
         ],
@@ -95,9 +104,9 @@ def topology_from_dict(document: Dict) -> Topology:
 
 
 def save_topology_json(topology: Topology, path: Union[str, Path]) -> Path:
-    """Write a topology to ``path`` as JSON; returns the path written."""
+    """Write a topology to ``path`` as strict JSON; returns the path written."""
     path = Path(path)
-    path.write_text(json.dumps(topology_to_dict(topology), indent=2))
+    path.write_text(json.dumps(topology_to_dict(topology), indent=2, allow_nan=False))
     return path
 
 

@@ -87,7 +87,14 @@ def algorithm_to_messages(algorithm: CollectiveAlgorithm) -> List[Message]:
 def schedule_to_messages(schedule: LogicalSchedule) -> List[Message]:
     """Convert a logical step schedule into dependency-linked messages."""
     schedule.validate()
-    sends = sorted(schedule.sends, key=lambda send: (send.step, send.source, send.dest, send.chunk))
+    # Walk the cached step index rather than sorting the full send list: the
+    # per-step groups are already materialized, so only the (much smaller)
+    # within-step ordering remains to be sorted.
+    sends = [
+        send
+        for _, step_sends in schedule.steps()
+        for send in sorted(step_sends, key=lambda send: (send.source, send.dest, send.chunk))
+    ]
     inbound: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
     for index, send in enumerate(sends):
         inbound.setdefault((send.dest, send.chunk), []).append((send.step, index))

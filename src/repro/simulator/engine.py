@@ -16,13 +16,38 @@ The simulator reproduces the behaviour of the paper's analytical backend:
 * a message becomes ready only after all of its dependencies have completed,
   which models the data dependencies inside a collective algorithm (a chunk
   cannot be forwarded before it has been received / reduced).
+
+The engine is array-backed (the PR 2 treatment applied to the simulator):
+
+* routes are tuples of integer link ids, resolved through per-``(source,
+  weight_size)`` shortest-path *trees* cached on the topology
+  (:meth:`~repro.topology.topology.Topology.shortest_path_tree`) instead of
+  one Dijkstra run per ``(source, dest, size)`` triple;
+* per-link state (``link_next_free`` and the busy-interval / byte columns)
+  is dense-array-indexed by the shared
+  :meth:`~repro.topology.topology.Topology.link_arrays` link ids;
+* dependency tracking (``missing_deps``, ``ready_time``, dependents) is
+  dense-array-indexed over message positions, and the event heap holds
+  ``(time, seq, pos)`` entries where ``pos`` is a flat (message, hop) slot
+  into numpy-precomputed per-hop columns;
+* busy intervals and byte counters are reconstructed vectorized after the
+  loop into per-link columnar ``(starts, ends)`` arrays consumed directly by
+  :class:`~repro.simulator.result.SimulationResult`'s vectorized sweeps.
+
+Behaviour is byte-identical to the frozen pre-refactor engine
+(:class:`repro.bench.reference.ReferenceSimulator`): same routes, same float
+operations in the same order, same FCFS tie-breaking.  ``tacos-repro bench``
+asserts this on every grid scenario.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
+from heapq import heappop, heappush
+from itertools import chain
+from operator import attrgetter
 from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.errors import SimulationError
 from repro.simulator.messages import Message, validate_messages
@@ -30,6 +55,11 @@ from repro.simulator.result import SimulationResult
 from repro.topology.topology import Topology
 
 __all__ = ["CongestionAwareSimulator"]
+
+#: C-level attribute readers for the per-message setup columns.
+_get_message_id = attrgetter("message_id")
+_get_size = attrgetter("size")
+_get_depends_on = attrgetter("depends_on")
 
 
 class CongestionAwareSimulator:
@@ -50,107 +80,304 @@ class CongestionAwareSimulator:
         self.topology = topology
         self.routing_message_size = routing_message_size
         self._route_cache: Dict[Tuple[int, int, float], List[int]] = {}
+        self._link_route_cache: Dict[Tuple[int, int, float], Tuple[int, ...]] = {}
 
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
     def run(self, messages: Sequence[Message], *, collective_size: float = 0.0) -> SimulationResult:
-        """Simulate ``messages`` and return timing plus per-link statistics."""
+        """Simulate ``messages`` and return timing plus per-link statistics.
+
+        The hot loop works on flat *hop positions*: every (message, hop) pair
+        gets one slot ``pos`` in per-hop columns precomputed with numpy
+        (``hop_links``, ``hop_serialization`` = beta x size,
+        ``hop_latency`` = alpha), so an event is just ``(time, seq, pos)``
+        and the loop body is a handful of list reads.  Only ``(pos, start)``
+        is recorded per transmission; ends, per-link grouping, and byte
+        counters are reconstructed vectorized after the loop with the exact
+        same float operands, keeping outputs byte-identical to the frozen
+        reference engine.
+        """
         messages = list(messages)
         validate_messages(messages)
-        by_id = {message.message_id: message for message in messages}
+        num_messages = len(messages)
+        arrays = self.topology.link_arrays()
 
-        dependents: Dict[int, List[int]] = {message.message_id: [] for message in messages}
-        missing_deps: Dict[int, int] = {}
-        ready_time: Dict[int, float] = {}
-        for message in messages:
-            missing_deps[message.message_id] = len(message.depends_on)
-            ready_time[message.message_id] = 0.0
-            for dep in message.depends_on:
-                dependents[dep].append(message.message_id)
+        # Dense message indexing: message ids are arbitrary ints, positions
+        # 0..n-1 follow input order (the same enumeration order the frozen
+        # reference engine uses, which fixes FCFS tie-breaking).  Setup runs
+        # through C-level iterators (attrgetter / map / chain) — per-message
+        # Python bytecode here costs as much as the event loop itself on
+        # 100k+ message workloads.  The adapters emit ids 0..n-1, so the
+        # id -> position map collapses to identity on that common case.
+        message_ids = list(map(_get_message_id, messages))
+        identity_ids = message_ids == list(range(num_messages))
+        index_of = (
+            None if identity_ids else {mid: index for index, mid in enumerate(message_ids)}
+        )
+        sizes = list(map(_get_size, messages))
+        dependency_sets = list(map(_get_depends_on, messages))
+        missing_deps = list(map(len, dependency_sets))
+        dependents: List[List[int]] = [[] for _ in range(num_messages)]
+        if identity_ids:
+            for index, depends_on in enumerate(dependency_sets):
+                if depends_on:
+                    for dep in depends_on:
+                        dependents[dep].append(index)
+        else:
+            for index, depends_on in enumerate(dependency_sets):
+                if depends_on:
+                    for dep in depends_on:
+                        dependents[index_of[dep]].append(index)
 
-        routes = {message.message_id: self._route(message) for message in messages}
+        routes = self._resolve_routes(messages)
 
-        link_next_free: Dict[Tuple[int, int], float] = {key: 0.0 for key in self.topology.link_keys()}
-        link_busy_intervals: Dict[Tuple[int, int], List[Tuple[float, float]]] = {}
-        link_bytes: Dict[Tuple[int, int], float] = {}
-        message_completion: Dict[int, float] = {}
+        # Flat per-hop columns, vectorized: position `pos` of message `index`
+        # at hop `h` is offsets[index] + h; consecutive hops are consecutive
+        # positions, so advancing a message is `pos + 1`.  A message's final
+        # hop stores its link id bitwise-inverted (always negative), folding
+        # the is-last-hop test into the link read the loop does anyway.
+        route_lengths = np.fromiter(map(len, routes), dtype=np.int64, count=num_messages)
+        offsets_arr = np.zeros(num_messages + 1, dtype=np.int64)
+        np.cumsum(route_lengths, out=offsets_arr[1:])
+        num_hops = int(offsets_arr[-1])
+        hop_links_arr = np.fromiter(
+            chain.from_iterable(routes), dtype=np.int64, count=num_hops
+        )
+        betas_arr = np.asarray(arrays.betas, dtype=float)
+        alphas_arr = np.asarray(arrays.alphas, dtype=float)
+        hop_sizes_arr = np.repeat(np.asarray(sizes, dtype=float), route_lengths)
+        hop_serialization_arr = betas_arr[hop_links_arr] * hop_sizes_arr
+        last_positions = offsets_arr[1:] - 1
+        signed_links_arr = hop_links_arr.copy()
+        signed_links_arr[last_positions] = ~signed_links_arr[last_positions]
+        # Scalar access in the loop is fastest on plain lists of Python
+        # floats/ints, so the columns are materialized once with tolist().
+        hop_links = signed_links_arr.tolist()
+        hop_serialization = hop_serialization_arr.tolist()
+        hop_latency = alphas_arr[hop_links_arr].tolist() if num_hops else []
+        message_of_hop = np.repeat(
+            np.arange(num_messages, dtype=np.int64), route_lengths
+        ).tolist()
+        first_pos = offsets_arr[:-1].tolist()
 
-        counter = itertools.count()
-        # Event: (time, sequence, message_id, hop_index). A hop event means the
-        # message is ready to *enter* the queue of its ``hop_index``-th link.
-        events: List[Tuple[float, int, int, int]] = []
+        ready_time = [0.0] * num_messages
+        link_next_free = [0.0] * len(arrays.alphas)
+        completion: List[Optional[float]] = [None] * num_messages
+        # Busy intervals accumulate as flat (pos, start) pairs; everything
+        # else about an interval is a pure function of pos.
+        event_positions: List[int] = []
+        event_starts: List[float] = []
+        record_pos = event_positions.append
+        record_start = event_starts.append
 
-        def schedule_hop(message_id: int, hop_index: int, time: float) -> None:
-            heapq.heappush(events, (time, next(counter), message_id, hop_index))
+        # Event heap entries are (time, seq, pos): seq preserves push order
+        # among equal times (FCFS tie-breaking identical to the reference
+        # engine) and keeps comparisons from ever reaching pos.
+        events: List[Tuple[float, int, int]] = []
+        push = heappush
+        pop = heappop
+        seq = 0
 
-        for message in messages:
-            if missing_deps[message.message_id] == 0:
-                schedule_hop(message.message_id, 0, 0.0)
+        for index in range(num_messages):
+            if missing_deps[index] == 0:
+                push(events, (0.0, seq, first_pos[index]))
+                seq += 1
 
         completed = 0
         while events:
-            time, _, message_id, hop_index = heapq.heappop(events)
-            message = by_id[message_id]
-            route = routes[message_id]
-            link_key = (route[hop_index], route[hop_index + 1])
-            link = self.topology.link(*link_key)
+            time, _, pos = pop(events)
+            while True:
+                link_id = hop_links[pos]
+                if link_id >= 0:
+                    next_free = link_next_free[link_id]
+                    start = next_free if next_free > time else time
+                    serialization_end = start + hop_serialization[pos]
+                    link_next_free[link_id] = serialization_end
+                    record_pos(pos)
+                    record_start(start)
+                    arrival = serialization_end + hop_latency[pos]
+                    pos += 1
+                    # Skip-heap fast path: if the next hop is strictly
+                    # earlier than everything queued, pushing it would pop
+                    # it right back (a strictly smaller key never ties, so
+                    # sequence numbers cannot reorder it).  Processing it
+                    # inline elides the push/pop pair without changing the
+                    # event order.
+                    if events and events[0][0] <= arrival:
+                        push(events, (arrival, seq, pos))
+                        seq += 1
+                        break
+                    time = arrival
+                    continue
 
-            start = max(time, link_next_free[link_key])
-            serialization_end = start + link.beta * message.size
-            arrival = serialization_end + link.alpha
-            link_next_free[link_key] = serialization_end
-            link_busy_intervals.setdefault(link_key, []).append((start, serialization_end))
-            link_bytes[link_key] = link_bytes.get(link_key, 0.0) + message.size
+                # Final hop (negative-encoded link): the message is delivered.
+                link_id = ~link_id
+                next_free = link_next_free[link_id]
+                start = next_free if next_free > time else time
+                serialization_end = start + hop_serialization[pos]
+                link_next_free[link_id] = serialization_end
+                record_pos(pos)
+                record_start(start)
+                arrival = serialization_end + hop_latency[pos]
+                index = message_of_hop[pos]
+                completion[index] = arrival
+                completed += 1
+                for dependent in dependents[index]:
+                    if arrival > ready_time[dependent]:
+                        ready_time[dependent] = arrival
+                    remaining = missing_deps[dependent] - 1
+                    missing_deps[dependent] = remaining
+                    if remaining == 0:
+                        push(events, (ready_time[dependent], seq, first_pos[dependent]))
+                        seq += 1
+                break
 
-            if hop_index + 1 < len(route) - 1:
-                schedule_hop(message_id, hop_index + 1, arrival)
-                continue
-
-            # Final hop: the message is delivered.
-            message_completion[message_id] = arrival
-            completed += 1
-            for dependent_id in dependents[message_id]:
-                ready_time[dependent_id] = max(ready_time[dependent_id], arrival)
-                missing_deps[dependent_id] -= 1
-                if missing_deps[dependent_id] == 0:
-                    schedule_hop(dependent_id, 0, ready_time[dependent_id])
-
-        if completed != len(messages):
-            unfinished = sorted(set(by_id) - set(message_completion))
+        if completed != num_messages:
+            unfinished = sorted(
+                messages[index].message_id
+                for index in range(num_messages)
+                if completion[index] is None
+            )
             raise SimulationError(
                 f"{len(unfinished)} messages never became ready (dependency cycle?): {unfinished[:10]}"
             )
 
+        message_completion = dict(zip(message_ids, completion))
         completion_time = max(message_completion.values()) if message_completion else 0.0
+        busy_columns, link_bytes = self._collect_link_stats(
+            arrays,
+            event_positions,
+            event_starts,
+            hop_links_arr,
+            hop_serialization_arr,
+            hop_sizes_arr,
+        )
         return SimulationResult(
             completion_time=completion_time,
             message_completion=message_completion,
-            link_busy_intervals=link_busy_intervals,
+            busy_columns=busy_columns,
             link_bytes=link_bytes,
             num_links=self.topology.num_links,
             collective_size=collective_size,
         )
 
+    def _resolve_routes(self, messages: Sequence[Message]) -> List[Tuple[int, ...]]:
+        """Per-message link-id routes, resolved through the route cache."""
+        route_cache = self._link_route_cache
+        weight_override = self.routing_message_size
+        routes: List[Tuple[int, ...]] = []
+        append = routes.append
+        for message in messages:
+            weight = message.size if weight_override is None else weight_override
+            route = route_cache.get((message.source, message.dest, weight))
+            if route is None:
+                route = self._route_links(message)
+            append(route)
+        return routes
+
+    @staticmethod
+    def _collect_link_stats(
+        arrays,
+        event_positions: List[int],
+        event_starts: List[float],
+        hop_links_arr: np.ndarray,
+        hop_serialization_arr: np.ndarray,
+        hop_sizes_arr: np.ndarray,
+    ):
+        """Reconstruct per-link columnar intervals and byte counters.
+
+        The loop recorded only ``(pos, start)``; the interval end is
+        ``start + serialization[pos]`` with the identical float operands the
+        loop used for ``link_next_free``, and the stable per-link grouping
+        preserves chronological order, so byte counters accumulate in the
+        same order (and therefore to the same floats) as the reference
+        engine's sequential dict updates.
+        """
+        count = len(event_positions)
+        if count == 0:
+            return {}, {}
+        positions = np.fromiter(event_positions, dtype=np.int64, count=count)
+        starts = np.fromiter(event_starts, dtype=float, count=count)
+        ends = starts + hop_serialization_arr[positions]
+        link_ids = hop_links_arr[positions]
+        event_sizes = hop_sizes_arr[positions]
+        order = np.argsort(link_ids, kind="stable")
+        link_ids = link_ids[order]
+        starts = starts[order]
+        ends = ends[order]
+        event_sizes = event_sizes[order]
+        boundaries = np.flatnonzero(np.diff(link_ids)) + 1
+        # ufunc.at is unbuffered and applies the adds in index order, which
+        # after the stable sort is each link's chronological order — the same
+        # left-to-right float accumulation as the reference engine's
+        # sequential dict updates, and therefore the same values.
+        byte_totals = np.zeros(len(arrays.alphas))
+        np.add.at(byte_totals, link_ids, event_sizes)
+        sources = arrays.sources
+        dests = arrays.dests
+        busy_columns = {}
+        link_bytes = {}
+        for group_links, group_starts, group_ends in zip(
+            np.split(link_ids, boundaries),
+            np.split(starts, boundaries),
+            np.split(ends, boundaries),
+        ):
+            link_id = int(group_links[0])
+            key = (sources[link_id], dests[link_id])
+            busy_columns[key] = (group_starts, group_ends)
+            link_bytes[key] = float(byte_totals[link_id])
+        return busy_columns, link_bytes
+
     # ------------------------------------------------------------------
     # Routing
     # ------------------------------------------------------------------
-    def _route(self, message: Message) -> List[int]:
-        """Shortest physical path for ``message`` (cached per endpoint pair and size).
+    def _weight_size(self, message: Message) -> float:
+        if self.routing_message_size is not None:
+            return self.routing_message_size
+        return message.size
 
-        Routes are validated *before* they enter the cache: a degenerate
-        (fewer than two hop) route raises without being stored, so a bad
+    def _route_links(self, message: Message) -> Tuple[int, ...]:
+        """Shortest physical path for ``message`` as a tuple of link ids.
+
+        Resolved through the topology's cached shortest-path tree for
+        ``(message.source, weight_size)``; cached per endpoint pair and size.
+        Degenerate (empty) routes raise without being stored, so a bad
         message cannot poison the cache for later messages sharing the same
         endpoint pair.
         """
-        weight_size = self.routing_message_size if self.routing_message_size is not None else message.size
+        weight_size = self._weight_size(message)
         cache_key = (message.source, message.dest, weight_size)
-        route = self._route_cache.get(cache_key)
+        route = self._link_route_cache.get(cache_key)
         if route is None:
-            route = self.topology.shortest_path(message.source, message.dest, weight_size)
-            if len(route) < 2:
+            if message.source == message.dest:
+                raise SimulationError(
+                    f"message {message.message_id} has a degenerate route [{message.source}]"
+                )
+            route = tuple(
+                self.topology.shortest_path_links(
+                    message.source, message.dest, weight_size
+                )
+            )
+            if not route:
                 raise SimulationError(
                     f"message {message.message_id} has a degenerate route {route}"
                 )
+            self._link_route_cache[cache_key] = route
+        return route
+
+    def _route(self, message: Message) -> List[int]:
+        """Shortest physical path for ``message`` as NPU indices (cached).
+
+        Kept for callers and tests that inspect routes; the hot path works on
+        :meth:`_route_links` link ids.
+        """
+        weight_size = self._weight_size(message)
+        cache_key = (message.source, message.dest, weight_size)
+        route = self._route_cache.get(cache_key)
+        if route is None:
+            link_route = self._route_links(message)
+            dests = self.topology.link_arrays().dests
+            route = [message.source] + [dests[link_id] for link_id in link_route]
             self._route_cache[cache_key] = route
         return route

@@ -52,12 +52,7 @@ def replay_contributions(schedule: LogicalSchedule) -> Dict[Tuple[int, int], Set
         for chunk in chunks:
             contributions[(npu, chunk)] = {npu}
 
-    sends_by_step: Dict[int, List] = {}
-    for send in schedule.sends:
-        sends_by_step.setdefault(send.step, []).append(send)
-
-    for step in sorted(sends_by_step):
-        step_sends = sends_by_step[step]
+    for step, step_sends in schedule.steps():
         # Sends at a step observe the state before any receive of that step.
         transmitted = [
             (send, frozenset(contributions[(send.source, send.chunk)])) for send in step_sends
@@ -110,12 +105,7 @@ def check_all_gather_schedule(schedule: LogicalSchedule, chunks_per_npu: int = 1
         for sub in range(chunks_per_npu):
             holdings[npu].add(npu * chunks_per_npu + sub)
 
-    sends_by_step: Dict[int, List] = {}
-    for send in schedule.sends:
-        sends_by_step.setdefault(send.step, []).append(send)
-
-    for step in sorted(sends_by_step):
-        step_sends = sends_by_step[step]
+    for step, step_sends in schedule.steps():
         for send in step_sends:
             if send.chunk not in holdings[send.source]:
                 raise VerificationError(

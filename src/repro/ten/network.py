@@ -35,28 +35,6 @@ __all__ = ["TimeExpandedNetwork"]
 _TIME_EPS = 1e-12
 
 
-def _build_skeleton(topology: Topology):
-    """Chunk-size-independent link numbering + CSR adjacency (cached per topology)."""
-    id_of: Dict[Tuple[int, int], int] = {}
-    sources: List[int] = []
-    dests: List[int] = []
-    for link in topology.links():
-        id_of[link.key] = len(sources)
-        sources.append(link.source)
-        dests.append(link.dest)
-    in_adjacency = topology.in_adjacency()
-    out_adjacency = topology.out_adjacency()
-    in_ids = [
-        [id_of[(source, dest)] for source in in_adjacency[dest]]
-        for dest in range(topology.num_npus)
-    ]
-    out_ids = [
-        [id_of[(source, dest)] for dest in out_adjacency[source]]
-        for source in range(topology.num_npus)
-    ]
-    return id_of, sources, dests, in_ids, out_ids
-
-
 class TimeExpandedNetwork:
     """Sparse time-expanded view of a topology for a fixed chunk size.
 
@@ -83,17 +61,17 @@ class TimeExpandedNetwork:
         self.chunk_size = float(chunk_size)
 
         # The chunk-size-independent link numbering and CSR adjacency are
-        # cached on the topology so per-trial TEN construction only has to
-        # compute the cost table.
-        skeleton = topology._derived("ten_skeleton", lambda: _build_skeleton(topology))
-        self._id_of: Dict[Tuple[int, int], int] = skeleton[0]
-        self.link_sources: List[int] = skeleton[1]
-        self.link_dests: List[int] = skeleton[2]
+        # cached on the topology (shared with the array-backed simulator) so
+        # per-trial TEN construction only has to compute the cost table.
+        arrays = topology.link_arrays()
+        self._id_of: Dict[Tuple[int, int], int] = arrays.id_of
+        self.link_sources: List[int] = arrays.sources
+        self.link_dests: List[int] = arrays.dests
         # CSR-style adjacency: per NPU, the ids of its incoming / outgoing
         # links in neighbour insertion order (the order idle_in_links /
         # idle_out_links have always reported and the matching relies on).
-        self._in_ids: List[List[int]] = skeleton[3]
-        self._out_ids: List[List[int]] = skeleton[4]
+        self._in_ids: List[List[int]] = arrays.in_ids
+        self._out_ids: List[List[int]] = arrays.out_ids
         #: Per-NPU outgoing neighbour lists (shared with the topology cache,
         #: read-only); used by the matching state's pair-activation step.
         self.out_adjacency: List[List[int]] = topology.out_adjacency()

@@ -42,9 +42,14 @@ def bandwidth_to_beta(bandwidth_gbps: float) -> float:
 
 
 def beta_to_bandwidth(beta: float) -> float:
-    """Convert a beta cost (seconds per byte) back into GB/s."""
-    if beta <= 0:
-        raise TopologyError(f"beta must be positive, got {beta}")
+    """Convert a beta cost (seconds per byte) back into GB/s.
+
+    A pure-latency link (``beta == 0``) has infinite bandwidth.
+    """
+    if beta < 0:
+        raise TopologyError(f"beta must be non-negative, got {beta}")
+    if beta == 0:
+        return float("inf")
     return 1.0 / (beta * GIGABYTE)
 
 
@@ -62,6 +67,9 @@ class Link:
         Link latency in seconds.
     beta:
         Serialization delay in seconds per byte (reciprocal of bandwidth).
+        ``beta == 0`` models a pure-latency link (e.g. a control channel):
+        transmissions occupy it for zero time and only pay ``alpha``
+        (which must then be positive — a link cannot be free in both terms).
     """
 
     source: int
@@ -74,8 +82,15 @@ class Link:
             raise TopologyError(f"self-loop link on NPU {self.source} is not allowed")
         if self.alpha < 0:
             raise TopologyError(f"alpha must be non-negative, got {self.alpha}")
-        if self.beta <= 0:
-            raise TopologyError(f"beta must be positive, got {self.beta}")
+        if self.beta < 0:
+            raise TopologyError(f"beta must be non-negative, got {self.beta}")
+        if self.beta == 0 and self.alpha == 0:
+            # A zero-cost link would create zero-length TEN spans, on which
+            # the flat and reference synthesis engines legitimately diverge
+            # (a transfer completing *at* the current time is visible to one
+            # scan order but not the other); a pure-latency link must carry
+            # real latency.
+            raise TopologyError("link must have positive cost: alpha and beta cannot both be 0")
 
     @property
     def key(self) -> tuple[int, int]:
@@ -84,8 +99,15 @@ class Link:
 
     @property
     def bandwidth_gbps(self) -> float:
-        """Link bandwidth in GB/s."""
+        """Link bandwidth in GB/s (infinite for a pure-latency link)."""
         return beta_to_bandwidth(self.beta)
+
+    @property
+    def bytes_per_second(self) -> float:
+        """Link bandwidth in bytes per second (infinite for ``beta == 0``)."""
+        if self.beta == 0:
+            return float("inf")
+        return 1.0 / self.beta
 
     def cost(self, message_size: float) -> float:
         """Transmission time in seconds for a message of ``message_size`` bytes."""

@@ -11,14 +11,34 @@ from __future__ import annotations
 
 import heapq
 import math
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, NamedTuple, Optional, Sequence, Tuple
 
 import networkx as nx
 
 from repro.errors import TopologyError
 from repro.topology.link import Link, bandwidth_to_beta
 
-__all__ = ["Topology"]
+__all__ = ["LinkArrays", "Topology"]
+
+
+class LinkArrays(NamedTuple):
+    """Flat array view of a topology's links, indexed by integer link id.
+
+    Link ids number the links ``0 .. num_links - 1`` in topology insertion
+    order — the numbering shared by the synthesis TEN
+    (:class:`repro.ten.network.TimeExpandedNetwork`) and the array-backed
+    simulator (:class:`repro.simulator.engine.CongestionAwareSimulator`).
+    All members are cached on the topology and shared; treat them as
+    read-only.
+    """
+
+    id_of: Dict[Tuple[int, int], int]  #: ``(source, dest)`` key -> link id
+    sources: List[int]  #: per-link source NPU
+    dests: List[int]  #: per-link destination NPU
+    alphas: List[float]  #: per-link latency (seconds)
+    betas: List[float]  #: per-link serialization delay (seconds/byte)
+    in_ids: List[List[int]]  #: per-NPU incoming link ids, in-neighbour order
+    out_ids: List[List[int]]  #: per-NPU outgoing link ids, out-neighbour order
 
 
 class Topology:
@@ -171,12 +191,19 @@ class Topology:
         return len(degrees) <= 1
 
     def npu_egress_bandwidth(self, npu: int) -> float:
-        """Aggregate outgoing bandwidth of ``npu`` in bytes per second."""
-        return sum(1.0 / self._links[(npu, dest)].beta for dest in self.out_neighbors(npu))
+        """Aggregate outgoing bandwidth of ``npu`` in bytes per second.
+
+        A pure-latency link (``beta == 0``) contributes infinite bandwidth.
+        """
+        return sum(
+            self._links[(npu, dest)].bytes_per_second for dest in self.out_neighbors(npu)
+        )
 
     def npu_ingress_bandwidth(self, npu: int) -> float:
         """Aggregate incoming bandwidth of ``npu`` in bytes per second."""
-        return sum(1.0 / self._links[(src, npu)].beta for src in self.in_neighbors(npu))
+        return sum(
+            self._links[(src, npu)].bytes_per_second for src in self.in_neighbors(npu)
+        )
 
     def min_npu_bandwidth(self) -> float:
         """Bottleneck NPU bandwidth (bytes/s), used by the ideal bound (Sec. V-A).
@@ -216,7 +243,7 @@ class Topology:
         """
         worst = 0.0
         for src in self.npus:
-            distances = self._dijkstra(src, message_size=0.0)
+            distances, _ = self.shortest_path_tree(src, 0.0)
             for dest in self.npus:
                 if src == dest:
                     continue
@@ -227,66 +254,119 @@ class Topology:
 
     def total_link_bandwidth(self) -> float:
         """Sum of all link bandwidths in bytes per second."""
-        return sum(1.0 / link.beta for link in self._links.values())
+        return sum(link.bytes_per_second for link in self._links.values())
 
     # ------------------------------------------------------------------
     # Routing helpers
     # ------------------------------------------------------------------
-    def _dijkstra(self, source: int, message_size: float) -> List[float]:
-        """Shortest transmission-cost distances from ``source`` to all NPUs."""
+    def shortest_path_tree(
+        self, source: int, message_size: float = 0.0
+    ) -> Tuple[List[float], List[int]]:
+        """Single-source shortest-path tree for ``message_size``-byte hops.
+
+        Returns ``(distances, parent_links)``: the cheapest transmission-cost
+        distance from ``source`` to every NPU, and for each NPU the link id
+        (see :meth:`link_arrays`) of the final hop on that cheapest path
+        (``-1`` for the source itself and for unreachable NPUs).
+
+        One tree answers every ``(source, *)`` routing query, replacing the
+        per-destination Dijkstra the simulator used to run; trees are cached
+        per ``(source, message_size)`` and invalidated when a link is added.
+        Ties between equal-cost paths break identically to the historical
+        per-destination search (heap pops ordered by ``(distance, node)``,
+        strict-improvement relaxation in link insertion order), so cached
+        trees yield byte-identical routes.
+        """
+        self._check_npu(source)
+        if message_size < 0:
+            raise TopologyError(f"message size must be non-negative, got {message_size}")
+        key = ("sp_tree", source, float(message_size))
+        return self._derived(
+            key, lambda: self._compute_shortest_path_tree(source, float(message_size))
+        )
+
+    def _compute_shortest_path_tree(
+        self, source: int, message_size: float
+    ) -> Tuple[List[float], List[int]]:
+        arrays = self.link_arrays()
+        out_ids = arrays.out_ids
+        dests = arrays.dests
+        alphas = arrays.alphas
+        betas = arrays.betas
         distances = [math.inf] * self._num_npus
+        parent_links = [-1] * self._num_npus
         distances[source] = 0.0
         heap: List[Tuple[float, int]] = [(0.0, source)]
+        pop = heapq.heappop
+        push = heapq.heappush
         while heap:
-            dist, node = heapq.heappop(heap)
+            dist, node = pop(heap)
             if dist > distances[node]:
                 continue
-            for dest in self._out[node]:
-                link = self._links[(node, dest)]
-                candidate = dist + link.cost(message_size)
+            for link_id in out_ids[node]:
+                candidate = dist + alphas[link_id] + betas[link_id] * message_size
+                dest = dests[link_id]
                 if candidate < distances[dest]:
                     distances[dest] = candidate
-                    heapq.heappush(heap, (candidate, dest))
-        return distances
+                    parent_links[dest] = link_id
+                    push(heap, (candidate, dest))
+        return distances, parent_links
 
     def shortest_path(self, source: int, dest: int, message_size: float = 0.0) -> List[int]:
         """Cheapest path (list of NPU indices) from ``source`` to ``dest``.
 
         The path cost of each hop is the alpha-beta transmission time of
         ``message_size`` bytes, so large messages prefer high-bandwidth links
-        while small messages prefer low-latency links.
+        while small messages prefer low-latency links.  Resolved through the
+        cached :meth:`shortest_path_tree` for ``source``.
         """
         self._check_npu(source)
         self._check_npu(dest)
         if source == dest:
             return [source]
-        distances = [math.inf] * self._num_npus
-        previous: List[Optional[int]] = [None] * self._num_npus
-        distances[source] = 0.0
-        heap: List[Tuple[float, int]] = [(0.0, source)]
-        while heap:
-            dist, node = heapq.heappop(heap)
-            if node == dest:
-                break
-            if dist > distances[node]:
-                continue
-            for nxt in self._out[node]:
-                link = self._links[(node, nxt)]
-                candidate = dist + link.cost(message_size)
-                if candidate < distances[nxt]:
-                    distances[nxt] = candidate
-                    previous[nxt] = node
-                    heapq.heappush(heap, (candidate, nxt))
+        distances, parent_links = self.shortest_path_tree(source, message_size)
         if math.isinf(distances[dest]):
             raise TopologyError(f"no path from {source} to {dest} in {self.name}")
+        sources = self.link_arrays().sources
         path = [dest]
-        while path[-1] != source:
-            path.append(previous[path[-1]])
+        node = dest
+        while node != source:
+            node = sources[parent_links[node]]
+            path.append(node)
         path.reverse()
         return path
 
+    def shortest_path_links(
+        self, source: int, dest: int, message_size: float = 0.0
+    ) -> List[int]:
+        """Cheapest path from ``source`` to ``dest`` as a list of link ids.
+
+        The hop sequence the array-backed simulator consumes directly; same
+        tree (and therefore the same path) as :meth:`shortest_path`.
+        """
+        self._check_npu(source)
+        self._check_npu(dest)
+        if source == dest:
+            return []
+        distances, parent_links = self.shortest_path_tree(source, message_size)
+        if math.isinf(distances[dest]):
+            raise TopologyError(f"no path from {source} to {dest} in {self.name}")
+        sources = self.link_arrays().sources
+        hops = []
+        node = dest
+        while node != source:
+            link_id = parent_links[node]
+            hops.append(link_id)
+            node = sources[link_id]
+        hops.reverse()
+        return hops
+
     def all_shortest_paths_from(self, source: int, message_size: float = 0.0) -> Dict[int, List[int]]:
-        """Cheapest paths from ``source`` to every other NPU."""
+        """Cheapest paths from ``source`` to every other NPU.
+
+        Resolved from one cached shortest-path tree rather than one Dijkstra
+        run per destination.
+        """
         return {dest: self.shortest_path(source, dest, message_size) for dest in self.npus if dest != source}
 
     # ------------------------------------------------------------------
@@ -314,6 +394,42 @@ class Topology:
         """Per-NPU incoming neighbour lists, in link-insertion order (read-only)."""
         return self._derived(
             "in_adjacency", lambda: [list(self._in[npu]) for npu in self.npus]
+        )
+
+    def link_arrays(self) -> LinkArrays:
+        """Flat link-id arrays + CSR-style adjacency, cached per topology.
+
+        See :class:`LinkArrays`.  Shared by the synthesis TEN and the
+        array-backed simulator so both layers agree on link numbering.
+        """
+        return self._derived("link_arrays", self._compute_link_arrays)
+
+    def _compute_link_arrays(self) -> LinkArrays:
+        id_of: Dict[Tuple[int, int], int] = {}
+        sources: List[int] = []
+        dests: List[int] = []
+        alphas: List[float] = []
+        betas: List[float] = []
+        for link in self._links.values():
+            id_of[link.key] = len(sources)
+            sources.append(link.source)
+            dests.append(link.dest)
+            alphas.append(link.alpha)
+            betas.append(link.beta)
+        in_ids = [
+            [id_of[(source, dest)] for source in self._in[dest]] for dest in self.npus
+        ]
+        out_ids = [
+            [id_of[(source, dest)] for dest in self._out[source]] for source in self.npus
+        ]
+        return LinkArrays(
+            id_of=id_of,
+            sources=sources,
+            dests=dests,
+            alphas=alphas,
+            betas=betas,
+            in_ids=in_ids,
+            out_ids=out_ids,
         )
 
     def hop_distances(self) -> List[List[int]]:

@@ -128,8 +128,51 @@ class TestBench:
         reports = list(tmp_path.glob("BENCH_smoke_*.json"))
         assert len(reports) == 1
         payload = json.loads(reports[0].read_text())
-        assert payload["schema"] == "tacos-repro-bench/v1"
+        assert payload["schema"] == "tacos-repro-bench/v2"
         assert payload["summary"]["all_equivalent"] is True
+        assert payload["summary"]["all_simulation_equivalent"] is True
+
+    def test_compare_against_previous_report(self, tmp_path, capsys):
+        assert cli.main(["bench", "--smoke", "--out", str(tmp_path)]) == 0
+        baseline = sorted(tmp_path.glob("BENCH_smoke_*.json"))[0]
+        capsys.readouterr()
+        assert (
+            cli.main(
+                ["bench", "--smoke", "--out", str(tmp_path), "--compare", str(baseline)]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "compare vs" in out
+        assert "median wall-clock ratio" in out
+
+    def test_compare_auto_without_baseline_errors(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)  # no benchmarks/results here
+        assert cli.main(["bench", "--smoke", "--out", str(tmp_path), "--compare"]) == 2
+        assert "no previous" in capsys.readouterr().err
+
+    def test_compare_detects_regression(self, tmp_path, capsys):
+        assert cli.main(["bench", "--smoke", "--out", str(tmp_path)]) == 0
+        baseline = sorted(tmp_path.glob("BENCH_smoke_*.json"))[0]
+        # An impossible threshold of -100% makes any run a "regression",
+        # exercising the non-zero exit path deterministically.
+        capsys.readouterr()
+        assert (
+            cli.main(
+                [
+                    "bench",
+                    "--smoke",
+                    "--out",
+                    str(tmp_path),
+                    "--compare",
+                    str(baseline),
+                    "--compare-threshold",
+                    "-1.0",
+                ]
+            )
+            == 1
+        )
+        assert "regressed" in capsys.readouterr().err
 
     def test_json_output(self, tmp_path, capsys):
         assert cli.main(["bench", "--smoke", "--out", str(tmp_path), "--json"]) == 0

@@ -3,11 +3,23 @@ flat-vs-reference engine equivalence that proves the refactor behaviour-
 preserving."""
 
 import json
+from pathlib import Path
 
 import pytest
 
-from repro.bench import GRIDS, BenchScenario, REFERENCE_ENGINE, get_grid, run_bench, write_report
-from repro.bench.runner import summarize
+from repro.bench import (
+    GRIDS,
+    BenchScenario,
+    REFERENCE_ENGINE,
+    SimScenario,
+    compare_reports,
+    find_previous_report,
+    get_grid,
+    load_report,
+    run_bench,
+    write_report,
+)
+from repro.bench.runner import BenchRecord, summarize
 from repro.collectives import AllGather, AllReduce, AllToAll, Gather, ReduceScatter
 from repro.core import FLAT_ENGINE, SynthesisConfig, TacosSynthesizer
 from repro.errors import ReproError
@@ -79,7 +91,7 @@ class TestEngineEquivalence:
 # ----------------------------------------------------------------------
 class TestGrids:
     def test_known_grids(self):
-        assert set(GRIDS) == {"smoke", "fig19", "full"}
+        assert set(GRIDS) == {"smoke", "fig19", "full", "sim_stress"}
 
     def test_unknown_grid_raises(self):
         with pytest.raises(ReproError):
@@ -87,6 +99,17 @@ class TestGrids:
 
     def test_smoke_grid_is_small(self):
         assert len(get_grid("smoke")) <= 3
+
+    def test_smoke_grid_covers_both_kinds(self):
+        kinds = {type(scenario) for scenario in get_grid("smoke")}
+        assert kinds == {BenchScenario, SimScenario}
+
+    def test_sim_stress_grid_shape(self):
+        scenarios = get_grid("sim_stress")
+        assert all(isinstance(scenario, SimScenario) for scenario in scenarios)
+        schedules = {scenario.schedule for scenario in scenarios}
+        assert schedules == {"ring", "direct", "rhd"}
+        assert any("16,16" in scenario.topology for scenario in scenarios)
 
     def test_fig19_grid_covers_both_families(self):
         names = [scenario.name for scenario in get_grid("fig19")]
@@ -136,11 +159,172 @@ class TestRunnerAndReport:
         assert path.suffix == ".json"
         loaded = json.loads(path.read_text())
         assert loaded == json.loads(json.dumps(report))
-        assert loaded["schema"] == "tacos-repro-bench/v1"
+        assert loaded["schema"] == "tacos-repro-bench/v2"
         assert loaded["summary"]["all_equivalent"] is True
+        assert loaded["summary"]["all_simulation_equivalent"] is True
         assert len(loaded["records"]) == len(smoke_records)
+
+    def test_report_is_strict_json(self, smoke_records, tmp_path):
+        """A written report must never contain bare NaN / Infinity constants."""
+
+        def reject(constant):
+            raise AssertionError(f"non-finite constant {constant!r} in report")
+
+        path, _ = write_report(smoke_records, grid="smoke", repeats=1, out_dir=str(tmp_path))
+        json.loads(path.read_text(), parse_constant=reject)
 
     def test_equivalence_can_be_skipped(self):
         scenario = BenchScenario("tiny", "ring:4", "all_gather", MB)
         records = run_bench(scenarios=[scenario], check_equivalence=False)
         assert records[0].equivalent is None
+        assert records[0].simulation_equivalent is None
+
+    def test_sim_scenario_record(self):
+        scenario = SimScenario("sim-tiny", "mesh_2d:3,3", "direct", MB)
+        (record,) = run_bench(scenarios=[scenario])
+        assert record.kind == "simulation"
+        assert record.equivalent is True
+        assert record.simulation_equivalent is True
+        assert record.num_messages > 0
+        assert record.speedup == record.simulation_speedup
+        assert record.simulated_collective_time > 0
+
+    def test_unknown_sim_schedule_raises(self):
+        with pytest.raises(ReproError):
+            run_bench(scenarios=[SimScenario("bad", "ring:4", "nope", MB)])
+
+
+def _record(scenario="s", flat=1.0, reference=2.0, speedup=2.0, **overrides):
+    values = dict(
+        scenario=scenario,
+        kind="synthesis",
+        topology="ring:4",
+        collective="all_gather",
+        collective_size=MB,
+        num_npus=4,
+        num_links=8,
+        seed=0,
+        trials=1,
+        flat_seconds=flat,
+        reference_seconds=reference,
+        speedup=speedup,
+        equivalent=True,
+        num_transfers=10,
+        collective_time=1e-3,
+        rounds=3,
+        num_messages=10,
+        simulation_seconds=flat,
+        reference_simulation_seconds=reference,
+        simulation_speedup=speedup,
+        simulation_equivalent=True,
+        simulated_collective_time=1e-3,
+    )
+    values.update(overrides)
+    return BenchRecord(**values)
+
+
+class TestSpeedupSerialization:
+    """Regression: a zero flat wall clock must not leak `Infinity` into JSON."""
+
+    def test_summarize_skips_none_speedups(self):
+        records = [
+            _record("a", speedup=2.0, simulation_speedup=3.0),
+            _record("b", flat=0.0, speedup=None, simulation_speedup=None),
+        ]
+        summary = summarize(records)
+        assert summary["median_speedup"] == 2.0
+        assert summary["median_simulation_speedup"] == 3.0
+
+    def test_summarize_all_none(self):
+        summary = summarize([_record(flat=0.0, speedup=None, simulation_speedup=None)])
+        assert summary["median_speedup"] is None
+        assert summary["min_speedup"] is None
+        assert summary["max_speedup"] is None
+
+    def test_write_report_with_none_speedup_round_trips(self, tmp_path):
+        records = [_record(flat=0.0, speedup=None, simulation_speedup=None)]
+        path, report = write_report(records, grid="smoke", repeats=1, out_dir=str(tmp_path))
+        loaded = load_report(path)
+        assert loaded["records"][0]["speedup"] is None
+
+    def test_write_report_rejects_non_finite_values(self, tmp_path):
+        # allow_nan=False makes a stray Infinity fail the write loudly
+        # instead of producing an unparseable artifact.
+        records = [_record(speedup=float("inf"))]
+        with pytest.raises(ValueError):
+            write_report(records, grid="smoke", repeats=1, out_dir=str(tmp_path))
+
+
+class TestCompare:
+    PR2_REPORT = (
+        Path(__file__).resolve().parents[2]
+        / "benchmarks"
+        / "results"
+        / "BENCH_fig19_20260728_175849.json"
+    )
+
+    def _report(self, records, tmp_path, grid="smoke"):
+        _, report = write_report(records, grid=grid, repeats=1, out_dir=str(tmp_path))
+        return report
+
+    def test_round_trips_against_pr2_schema_v1_report(self):
+        previous = load_report(self.PR2_REPORT)
+        comparison = compare_reports(previous, previous)
+        assert comparison["matched"] == len(previous["records"])
+        assert comparison["median_ratio"] == pytest.approx(1.0)
+        assert comparison["regressed"] is False
+
+    def test_detects_median_regression(self, tmp_path):
+        previous = self._report([_record("a"), _record("b")], tmp_path)
+        current = self._report(
+            [_record("a", flat=1.5), _record("b", flat=1.5)], tmp_path
+        )
+        comparison = compare_reports(current, previous)
+        assert comparison["median_ratio"] == pytest.approx(1.5)
+        assert comparison["regressed"] is True
+
+    def test_within_threshold_is_not_a_regression(self, tmp_path):
+        previous = self._report([_record("a")], tmp_path)
+        current = self._report([_record("a", flat=1.1)], tmp_path)
+        assert compare_reports(current, previous)["regressed"] is False
+
+    def test_unmatched_scenarios_reported(self, tmp_path):
+        previous = self._report([_record("a"), _record("gone")], tmp_path)
+        current = self._report([_record("a"), _record("new")], tmp_path)
+        comparison = compare_reports(current, previous)
+        assert comparison["only_current"] == ["new"]
+        assert comparison["only_previous"] == ["gone"]
+        assert comparison["matched"] == 1
+
+    def test_load_report_rejects_non_finite_constants(self, tmp_path):
+        bad = tmp_path / "BENCH_bad.json"
+        bad.write_text('{"schema": "tacos-repro-bench/v2", "records": [{"speedup": Infinity}]}')
+        with pytest.raises(ReproError):
+            load_report(bad)
+
+    def test_load_report_rejects_foreign_json(self, tmp_path):
+        alien = tmp_path / "BENCH_alien.json"
+        alien.write_text('{"hello": 1}')
+        with pytest.raises(ReproError):
+            load_report(alien)
+
+    def test_find_previous_report_picks_newest_and_excludes(self, tmp_path):
+        older = tmp_path / "BENCH_smoke_20260101_000000.json"
+        newer = tmp_path / "BENCH_smoke_20260201_000000.json"
+        other_grid = tmp_path / "BENCH_fig19_20260301_000000.json"
+        for file in (older, newer, other_grid):
+            file.write_text("{}")
+        assert find_previous_report("smoke", tmp_path) == newer
+        assert find_previous_report("smoke", tmp_path, exclude=newer) == older
+        assert find_previous_report("smoke", tmp_path / "missing") is None
+
+    def test_find_previous_report_orders_same_second_suffixes(self, tmp_path):
+        """Regression: '-1' collision suffixes mark *newer* reports of the
+        same second, but '-' sorts before '.' lexicographically."""
+        base = tmp_path / "BENCH_smoke_20260101_000000.json"
+        first_suffix = tmp_path / "BENCH_smoke_20260101_000000-1.json"
+        second_suffix = tmp_path / "BENCH_smoke_20260101_000000-2.json"
+        for file in (base, first_suffix, second_suffix):
+            file.write_text("{}")
+        assert find_previous_report("smoke", tmp_path) == second_suffix
+        assert find_previous_report("smoke", tmp_path, exclude=second_suffix) == first_suffix

@@ -166,6 +166,25 @@ class TestTopologyJson:
         assert topology.has_link(2, 1)
         assert topology.link(1, 2).beta == pytest.approx(2e-11)
 
+    def test_pure_latency_link_round_trips_as_strict_json(self, tmp_path):
+        """Regression: a beta=0 link must not serialize its bandwidth as the
+        bare `Infinity` constant (invalid strict JSON)."""
+        import json
+
+        from repro.topology import Topology
+
+        topology = Topology(2, name="control-plane")
+        topology.add_link(0, 1, alpha=1e-6, beta=0.0)
+        path = save_topology_json(topology, tmp_path / "topology.json")
+
+        def reject(constant):
+            raise AssertionError(f"non-finite constant {constant!r} in export")
+
+        json.loads(path.read_text(), parse_constant=reject)
+        restored = load_topology_json(path)
+        assert restored == topology
+        assert restored.link(0, 1).beta == 0.0
+
     def test_wrong_format_rejected(self):
         with pytest.raises(TopologyError):
             topology_from_dict({"format": "nope", "version": 1})

@@ -30,6 +30,35 @@ class TestLogicalSchedule:
         schedule = ring_all_gather(4, 4 * MB, bidirectional=False)
         assert len(schedule.sends_at_step(0)) == 4
 
+    def test_sends_at_step_uses_cached_index(self):
+        # Regression: per-step iteration used to rescan every send per call
+        # (O(steps x sends)); the lazily built index scans the list once.
+        schedule = ring_all_gather(4, 4 * MB, bidirectional=False)
+        assert schedule._step_index is None  # built lazily, not eagerly
+        by_scan = [
+            [send for send in schedule.sends if send.step == step]
+            for step in range(schedule.num_steps)
+        ]
+        assert [schedule.sends_at_step(step) for step in range(schedule.num_steps)] == by_scan
+        assert schedule._step_index is not None
+
+    def test_sends_at_step_missing_step_is_empty(self):
+        schedule = ring_all_gather(4, 4 * MB, bidirectional=False)
+        assert schedule.sends_at_step(99) == []
+
+    def test_steps_iterates_in_order(self):
+        schedule = ring_all_gather(4, 4 * MB, bidirectional=False)
+        steps = list(schedule.steps())
+        assert [step for step, _ in steps] == list(range(schedule.num_steps))
+        assert sum(len(sends) for _, sends in steps) == schedule.num_sends
+
+    def test_invalidate_step_index_after_mutation(self):
+        schedule = ring_all_gather(4, 4 * MB, bidirectional=False)
+        assert len(schedule.sends_at_step(3)) == 0
+        schedule.sends.append(LogicalSend(step=3, chunk=0, source=0, dest=1))
+        schedule.invalidate_step_index()
+        assert len(schedule.sends_at_step(3)) == 1
+
     def test_total_bytes(self):
         schedule = ring_all_gather(4, 4 * MB, bidirectional=False)
         assert schedule.total_bytes() == pytest.approx(12 * MB)

@@ -25,9 +25,12 @@ class TestBandwidthConversion:
         with pytest.raises(TopologyError):
             bandwidth_to_beta(-1.0)
 
-    def test_zero_beta_rejected(self):
+    def test_zero_beta_is_infinite_bandwidth(self):
+        assert beta_to_bandwidth(0.0) == math.inf
+
+    def test_negative_beta_rejected(self):
         with pytest.raises(TopologyError):
-            beta_to_bandwidth(0.0)
+            beta_to_bandwidth(-1e-11)
 
 
 class TestLink:
@@ -53,9 +56,21 @@ class TestLink:
         with pytest.raises(TopologyError):
             Link(source=0, dest=1, alpha=-1e-6, beta=1e-11)
 
-    def test_non_positive_beta_rejected(self):
+    def test_negative_link_beta_rejected(self):
         with pytest.raises(TopologyError):
-            Link(source=0, dest=1, alpha=1e-6, beta=0.0)
+            Link(source=0, dest=1, alpha=1e-6, beta=-1e-11)
+
+    def test_zero_beta_link_is_pure_latency(self):
+        link = Link(source=0, dest=1, alpha=1e-6, beta=0.0)
+        assert link.cost(1e9) == pytest.approx(1e-6)
+        assert link.bandwidth_gbps == math.inf
+        assert link.bytes_per_second == math.inf
+
+    def test_zero_cost_link_rejected(self):
+        # alpha == beta == 0 would create zero-length TEN spans, on which the
+        # synthesis engines legitimately diverge.
+        with pytest.raises(TopologyError):
+            Link(source=0, dest=1, alpha=0.0, beta=0.0)
 
     def test_key(self):
         link = Link(source=3, dest=7, alpha=1e-6, beta=1e-11)

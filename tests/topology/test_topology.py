@@ -152,6 +152,84 @@ class TestRouting:
         assert paths[1] == [0, 1]
 
 
+class TestShortestPathTrees:
+    def test_tree_matches_per_destination_paths(self):
+        topology = make_triangle()
+        distances, parent_links = topology.shortest_path_tree(0)
+        assert distances[0] == 0.0
+        assert parent_links[0] == -1
+        arrays = topology.link_arrays()
+        for dest in (1, 2):
+            path = topology.shortest_path(0, dest)
+            # The final hop recorded in the tree is the last link of the path.
+            assert arrays.dests[parent_links[dest]] == dest
+            assert arrays.sources[parent_links[dest]] == path[-2]
+
+    def test_tree_is_cached_per_source_and_size(self):
+        topology = make_triangle()
+        assert topology.shortest_path_tree(0, 1e6) is topology.shortest_path_tree(0, 1e6)
+        assert topology.shortest_path_tree(0, 1e6) is not topology.shortest_path_tree(0, 2e6)
+
+    def test_tree_cache_invalidated_on_add_link(self):
+        topology = Topology(3)
+        topology.add_link(0, 1, alpha=1e-6, bandwidth_gbps=50.0)
+        topology.add_link(1, 2, alpha=1e-6, bandwidth_gbps=50.0)
+        assert topology.shortest_path(0, 2) == [0, 1, 2]
+        topology.add_link(0, 2, alpha=1e-6, bandwidth_gbps=50.0)
+        assert topology.shortest_path(0, 2) == [0, 2]
+
+    def test_unreachable_distance_is_infinite(self):
+        topology = Topology(3)
+        topology.add_link(0, 1, alpha=1e-6, bandwidth_gbps=50.0)
+        distances, parent_links = topology.shortest_path_tree(0)
+        assert math.isinf(distances[2])
+        assert parent_links[2] == -1
+
+    def test_negative_message_size_rejected(self):
+        with pytest.raises(TopologyError):
+            make_triangle().shortest_path_tree(0, -1.0)
+
+    def test_shortest_path_links_matches_npu_path(self):
+        topology = make_triangle()
+        arrays = topology.link_arrays()
+        for dest in (1, 2):
+            npu_path = topology.shortest_path(1, dest) if dest != 1 else None
+            if npu_path is None:
+                continue
+            link_path = topology.shortest_path_links(1, dest)
+            hops = [(arrays.sources[lid], arrays.dests[lid]) for lid in link_path]
+            assert hops == list(zip(npu_path, npu_path[1:]))
+        assert topology.shortest_path_links(1, 1) == []
+
+
+class TestLinkArrays:
+    def test_arrays_follow_insertion_order(self):
+        topology = make_triangle()
+        arrays = topology.link_arrays()
+        for key, link_id in arrays.id_of.items():
+            assert (arrays.sources[link_id], arrays.dests[link_id]) == key
+            link = topology.link(*key)
+            assert arrays.alphas[link_id] == link.alpha
+            assert arrays.betas[link_id] == link.beta
+        assert list(arrays.id_of) == list(topology.link_keys())
+
+    def test_adjacency_ids_match_neighbors(self):
+        topology = make_triangle()
+        arrays = topology.link_arrays()
+        for npu in topology.npus:
+            out_dests = [arrays.dests[lid] for lid in arrays.out_ids[npu]]
+            assert out_dests == list(topology.out_neighbors(npu))
+            in_sources = [arrays.sources[lid] for lid in arrays.in_ids[npu]]
+            assert in_sources == list(topology.in_neighbors(npu))
+
+    def test_cached_and_invalidated(self):
+        topology = make_triangle()
+        first = topology.link_arrays()
+        assert topology.link_arrays() is first
+        topology.add_link(1, 0, alpha=1e-6, bandwidth_gbps=50.0)
+        assert topology.link_arrays() is not first
+
+
 class TestTransformations:
     def test_reversed_flips_every_link(self):
         topology = make_triangle()
