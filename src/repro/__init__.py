@@ -48,6 +48,7 @@ from repro.collectives import (
 from repro.core import (
     ChunkTransfer,
     CollectiveAlgorithm,
+    TransferTable,
     SynthesisConfig,
     SynthesisResult,
     TacosSynthesizer,
@@ -85,7 +86,7 @@ from repro.topology import (
     build_torus_3d,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "AlgorithmSpec",
@@ -114,6 +115,7 @@ __all__ = [
     "SynthesisError",
     "SynthesisResult",
     "TacosSynthesizer",
+    "TransferTable",
     "Topology",
     "TopologyError",
     "TopologySpec",

@@ -24,12 +24,21 @@ def _busy_columns(measured: _Measurable) -> Tuple[_Columns, float, int]:
     """
     if isinstance(measured, SimulationResult):
         return measured.busy_columns(), measured.completion_time, measured.num_links
+    # Slice the algorithm's columnar IR per link (sorted by start within each
+    # link) — no ChunkTransfer objects are materialized.
+    table = measured.table
+    order, indptr, group_sources, group_dests = table.by_link()
+    starts = table.starts[order]
+    ends = table.ends[order]
+    bounds = indptr.tolist()
     columns = {
-        link: (
-            np.asarray([transfer.start for transfer in transfers], dtype=float),
-            np.asarray([transfer.end for transfer in transfers], dtype=float),
+        (int(source), int(dest)): (
+            starts[bounds[group] : bounds[group + 1]],
+            ends[bounds[group] : bounds[group + 1]],
         )
-        for link, transfers in measured.link_occupancy().items()
+        for group, (source, dest) in enumerate(
+            zip(group_sources.tolist(), group_dests.tolist())
+        )
     }
     # For a synthesized algorithm the number of physical links is not stored;
     # use the links it touches as the denominator (a lower bound used only

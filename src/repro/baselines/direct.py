@@ -9,38 +9,43 @@ oversubscribes sparse networks (Fig. 2a).
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Tuple
+
+import numpy as np
 
 from repro.errors import SimulationError
-from repro.simulator.schedule import LogicalSchedule, LogicalSend
+from repro.simulator.schedule import LogicalSchedule, LogicalSend, sends_from_columns
 
 __all__ = ["direct_all_reduce", "direct_all_gather", "direct_reduce_scatter"]
 
 
-def _block_chunks(block: int, chunks_per_npu: int) -> range:
-    return range(block * chunks_per_npu, (block + 1) * chunks_per_npu)
+def _block_peer_chunks(num_npus: int, chunks_per_npu: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Columns enumerating (block, peer != block, chunk of block) block-major.
+
+    The historical nested-loop order: blocks ascending, peers ascending with
+    the block itself skipped, the block's sub-chunks innermost.
+    """
+    grid = np.tile(np.arange(num_npus, dtype=np.int64), num_npus).reshape(num_npus, num_npus)
+    peers = grid[grid != np.arange(num_npus, dtype=np.int64)[:, None]]
+    blocks = np.repeat(np.arange(num_npus, dtype=np.int64), num_npus - 1)
+    blocks = np.repeat(blocks, chunks_per_npu)
+    peers = np.repeat(peers, chunks_per_npu)
+    chunks = blocks * chunks_per_npu + np.tile(
+        np.arange(chunks_per_npu, dtype=np.int64), num_npus * (num_npus - 1)
+    )
+    return blocks, peers, chunks
 
 
 def _reduce_scatter_sends(num_npus: int, chunks_per_npu: int, step: int) -> List[LogicalSend]:
-    sends = []
-    for block in range(num_npus):
-        for source in range(num_npus):
-            if source == block:
-                continue
-            for chunk in _block_chunks(block, chunks_per_npu):
-                sends.append(LogicalSend(step=step, chunk=chunk, source=source, dest=block))
-    return sends
+    blocks, peers, chunks = _block_peer_chunks(num_npus, chunks_per_npu)
+    steps = np.full(chunks.shape[0], step, dtype=np.int64)
+    return sends_from_columns(steps, chunks, peers, blocks)
 
 
 def _all_gather_sends(num_npus: int, chunks_per_npu: int, step: int) -> List[LogicalSend]:
-    sends = []
-    for block in range(num_npus):
-        for dest in range(num_npus):
-            if dest == block:
-                continue
-            for chunk in _block_chunks(block, chunks_per_npu):
-                sends.append(LogicalSend(step=step, chunk=chunk, source=block, dest=dest))
-    return sends
+    blocks, peers, chunks = _block_peer_chunks(num_npus, chunks_per_npu)
+    steps = np.full(chunks.shape[0], step, dtype=np.int64)
+    return sends_from_columns(steps, chunks, blocks, peers)
 
 
 def direct_all_reduce(

@@ -12,8 +12,10 @@ from __future__ import annotations
 
 from typing import List
 
+import numpy as np
+
 from repro.errors import SimulationError
-from repro.simulator.schedule import LogicalSchedule, LogicalSend
+from repro.simulator.schedule import LogicalSchedule, LogicalSend, sends_from_columns
 
 __all__ = ["rhd_all_reduce", "rhd_all_gather"]
 
@@ -25,16 +27,31 @@ def _log2_exact(value: int) -> int:
     return exponent
 
 
-def _block_chunks(block: int, chunks_per_npu: int) -> range:
-    return range(block * chunks_per_npu, (block + 1) * chunks_per_npu)
+def _stage_sends(
+    num_npus: int, chunks_per_npu: int, step: int, k: int, low_bits: int
+) -> List[LogicalSend]:
+    """One exchange stage's sends at bit ``k`` over the (npu, block) grid.
 
-
-def _matches_in_low_bits(block: int, reference: int, bits: int) -> bool:
-    """Whether ``block`` and ``reference`` agree in bit positions ``0 .. bits-1``."""
-    if bits <= 0:
-        return True
-    mask = (1 << bits) - 1
-    return (block & mask) == (reference & mask)
+    A block is exchanged when it agrees with the NPU in bit positions
+    ``0 .. low_bits - 1`` and — for the halving phase, where ``low_bits ==
+    k`` — belongs to the partner's half at bit ``k`` (for doubling,
+    ``low_bits == k + 1`` subsumes the second condition).  Send order is the
+    historical nested-loop order: npu-major, block inner, sub-chunks
+    innermost.
+    """
+    npus = np.repeat(np.arange(num_npus, dtype=np.int64), num_npus)
+    blocks = np.tile(np.arange(num_npus, dtype=np.int64), num_npus)
+    partners = npus ^ (1 << k)
+    mask = (blocks & ((1 << low_bits) - 1)) == (npus & ((1 << low_bits) - 1))
+    if low_bits == k:
+        mask &= ((blocks >> k) & 1) == ((partners >> k) & 1)
+    sources = np.repeat(npus[mask], chunks_per_npu)
+    dests = np.repeat(partners[mask], chunks_per_npu)
+    chunks = np.repeat(blocks[mask], chunks_per_npu) * chunks_per_npu + np.tile(
+        np.arange(chunks_per_npu, dtype=np.int64), int(mask.sum())
+    )
+    steps = np.full(chunks.shape[0], step, dtype=np.int64)
+    return sends_from_columns(steps, chunks, sources, dests)
 
 
 def _halving_sends(
@@ -42,21 +59,9 @@ def _halving_sends(
 ) -> List[LogicalSend]:
     """Recursive-halving (Reduce-Scatter) exchange steps."""
     stages = _log2_exact(num_npus)
-    sends = []
+    sends: List[LogicalSend] = []
     for k in range(stages):
-        for npu in range(num_npus):
-            partner = npu ^ (1 << k)
-            for block in range(num_npus):
-                # Blocks still owned by this NPU's responsibility range ...
-                if not _matches_in_low_bits(block, npu, k):
-                    continue
-                # ... that belong to the partner's half at bit k.
-                if ((block >> k) & 1) != ((partner >> k) & 1):
-                    continue
-                for chunk in _block_chunks(block, chunks_per_npu):
-                    sends.append(
-                        LogicalSend(step=step_offset + k, chunk=chunk, source=npu, dest=partner)
-                    )
+        sends.extend(_stage_sends(num_npus, chunks_per_npu, step_offset + k, k, k))
     return sends
 
 
@@ -65,18 +70,9 @@ def _doubling_sends(
 ) -> List[LogicalSend]:
     """Recursive-doubling (All-Gather) exchange steps."""
     stages = _log2_exact(num_npus)
-    sends = []
+    sends: List[LogicalSend] = []
     for index, k in enumerate(reversed(range(stages))):
-        for npu in range(num_npus):
-            partner = npu ^ (1 << k)
-            for block in range(num_npus):
-                # The NPU currently holds blocks agreeing with it in bits 0..k.
-                if not _matches_in_low_bits(block, npu, k + 1):
-                    continue
-                for chunk in _block_chunks(block, chunks_per_npu):
-                    sends.append(
-                        LogicalSend(step=step_offset + index, chunk=chunk, source=npu, dest=partner)
-                    )
+        sends.extend(_stage_sends(num_npus, chunks_per_npu, step_offset + index, k, k + 1))
     return sends
 
 

@@ -16,8 +16,10 @@ from __future__ import annotations
 
 from typing import Iterable, List, Sequence, Tuple
 
+import numpy as np
+
 from repro.errors import SimulationError
-from repro.simulator.schedule import LogicalSchedule, LogicalSend
+from repro.simulator.schedule import LogicalSchedule, LogicalSend, sends_from_columns
 
 __all__ = ["ring_all_reduce", "ring_all_gather", "ring_reduce_scatter"]
 
@@ -40,19 +42,47 @@ def _chunk_assignments(
     return assignments
 
 
+def _ring_phase_sends(
+    num_npus: int,
+    assignments: Sequence[Tuple[int, int, int]],
+    step_offset: int,
+    start_of: "np.ndarray",
+    directions: "np.ndarray",
+    chunks: "np.ndarray",
+) -> List[LogicalSend]:
+    """Circulate every chunk ``num_npus - 1`` hops from its start rank.
+
+    The send columns are computed with vectorized modular arithmetic
+    (assignment-major, step-inner — the historical append order) and
+    materialized through the :func:`sends_from_columns` fast path.
+    """
+    hops = num_npus - 1
+    count = len(assignments)
+    steps = np.tile(np.arange(hops, dtype=np.int64), count)
+    starts = np.repeat(start_of, hops)
+    dirs = np.repeat(directions, hops)
+    sources = (starts + dirs * steps) % num_npus
+    dests = (sources + dirs) % num_npus
+    return sends_from_columns(step_offset + steps, np.repeat(chunks, hops), sources, dests)
+
+
+def _assignment_columns(assignments: Sequence[Tuple[int, int, int]]):
+    blocks, chunks, directions = zip(*assignments)
+    return (
+        np.asarray(blocks, dtype=np.int64),
+        np.asarray(chunks, dtype=np.int64),
+        np.asarray(directions, dtype=np.int64),
+    )
+
+
 def _reduce_scatter_sends(
     num_npus: int,
     assignments: Sequence[Tuple[int, int, int]],
     step_offset: int,
 ) -> List[LogicalSend]:
     """Reduce-Scatter ring sends: block ``b`` circulates and rests at rank ``b - direction``."""
-    sends = []
-    for block, chunk, direction in assignments:
-        for step in range(num_npus - 1):
-            source = (block + direction * step) % num_npus
-            dest = (source + direction) % num_npus
-            sends.append(LogicalSend(step=step_offset + step, chunk=chunk, source=source, dest=dest))
-    return sends
+    blocks, chunks, directions = _assignment_columns(assignments)
+    return _ring_phase_sends(num_npus, assignments, step_offset, blocks, directions, chunks)
 
 
 def _all_gather_sends(
@@ -67,14 +97,9 @@ def _all_gather_sends(
     All-Gather); otherwise it starts at rank ``b - direction``, where the
     Reduce-Scatter phase of a Ring All-Reduce left it.
     """
-    sends = []
-    for block, chunk, direction in assignments:
-        start = block if start_at_owner else (block - direction) % num_npus
-        for step in range(num_npus - 1):
-            source = (start + direction * step) % num_npus
-            dest = (source + direction) % num_npus
-            sends.append(LogicalSend(step=step_offset + step, chunk=chunk, source=source, dest=dest))
-    return sends
+    blocks, chunks, directions = _assignment_columns(assignments)
+    starts = blocks if start_at_owner else (blocks - directions) % num_npus
+    return _ring_phase_sends(num_npus, assignments, step_offset, starts, directions, chunks)
 
 
 def _build_schedule(

@@ -30,7 +30,9 @@ __all__ = [
     "ScenarioDelta",
     "compare_reports",
     "find_previous_report",
+    "load_history",
     "load_report",
+    "speedup_history",
 ]
 
 #: Where recorded benchmark reports live in the repository.
@@ -98,6 +100,77 @@ def find_previous_report(
         excluded = Path(exclude).resolve()
         candidates = [path for path in candidates if path.resolve() != excluded]
     return candidates[-1] if candidates else None
+
+
+def load_history(
+    directory: Union[str, Path] = DEFAULT_RESULTS_DIR,
+    *,
+    grid: Optional[str] = None,
+) -> List[Dict[str, Any]]:
+    """Every recorded report under ``directory``, chronological within a grid.
+
+    Returns ``[{"path": Path, "report": dict}, ...]`` ordered by filename —
+    which groups reports by grid and, within a grid, sorts them by their
+    embedded UTC timestamp (same-second ``-N`` suffixes handled).  Pass
+    ``grid`` to restrict to one grid's chain.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    pattern = f"BENCH_{grid}_*.json" if grid else "BENCH_*.json"
+    return [
+        {"path": path, "report": load_report(path)}
+        for path in sorted(directory.glob(pattern), key=_report_order_key)
+    ]
+
+
+def speedup_history(
+    directory: Union[str, Path] = DEFAULT_RESULTS_DIR,
+    *,
+    grid: Optional[str] = None,
+) -> List[Dict[str, Any]]:
+    """Cross-PR median-speedup trajectory over the recorded artifact chain.
+
+    Walks every ``BENCH_<grid>_*.json`` under ``directory`` (optionally one
+    grid) and returns one row per report: the grid, filename, creation time,
+    library version, the summary's median (synthesis/pipeline) and simulator
+    speedups, and the ratio of the median speedup against the *previous*
+    report of the same grid (> 1 means the recorded speedup grew).  This is
+    the ``tacos-repro bench --history`` payload.
+    """
+    rows: List[Dict[str, Any]] = []
+    previous_median: Dict[Optional[str], Optional[float]] = {}
+    for entry in load_history(directory, grid=grid):
+        report = entry["report"]
+        summary = report.get("summary", {})
+        report_grid = report.get("grid")
+        median = summary.get("median_speedup")
+        simulation_median = summary.get("median_simulation_speedup")
+        trajectory: Optional[float] = None
+        earlier = previous_median.get(report_grid)
+        if (
+            median is not None
+            and earlier is not None
+            and earlier > 0
+            and math.isfinite(median / earlier)
+        ):
+            trajectory = median / earlier
+        rows.append(
+            {
+                "grid": report_grid,
+                "file": entry["path"].name,
+                "created_utc": report.get("created_utc"),
+                "version": report.get("version"),
+                "schema": report.get("schema"),
+                "num_scenarios": summary.get("num_scenarios"),
+                "median_speedup": median,
+                "median_simulation_speedup": simulation_median,
+                "median_speedup_vs_previous": trajectory,
+            }
+        )
+        if median is not None:
+            previous_median[report_grid] = median
+    return rows
 
 
 @dataclass

@@ -1,6 +1,6 @@
 """Named benchmark scenario grids.
 
-Two kinds of scenarios exist:
+Three kinds of scenarios exist:
 
 * :class:`BenchScenario` — one *synthesis* problem: a topology (registry
   shorthand), a collective, a per-NPU collective size, and a fixed seed.
@@ -9,10 +9,13 @@ Two kinds of scenarios exist:
   (Ring / Direct / RHD) executed on a physical topology.  Both simulator
   engines (array-backed and frozen reference) are timed on the same message
   list.
+* :class:`PipelineScenario` — one *end-to-end pipeline* problem: synthesize,
+  verify, simulate, and derive metrics.  The columnar-IR path runs against
+  the frozen object path across every layer boundary.
 
-Four grids are provided:
+Five grids are provided:
 
-* ``smoke`` — tiny scenarios of both kinds for CI (a couple of seconds
+* ``smoke`` — tiny scenarios of all kinds for CI (a couple of seconds
   end-to-end);
 * ``fig19`` — the paper's scalability grid (2D meshes and 3D hypercubes of
   growing size, 64 MB All-Reduce), the grid the synthesis headline speedup
@@ -21,7 +24,10 @@ Four grids are provided:
   collective sizes and both All-Gather and All-Reduce;
 * ``sim_stress`` — the simulator's own grid: logical Ring / Direct / RHD
   All-Reduces on 2D meshes up to 16x16 (well over 50k messages in total),
-  the grid the simulator speedup trajectory is recorded on.
+  the grid the simulator speedup trajectory is recorded on;
+* ``pipeline`` — the end-to-end grid: meshes up to 20x20, sub-chunked
+  schedules, and Reduce-Scatter / All-to-All / Broadcast scenarios, the grid
+  the pipeline speedup trajectory is recorded on.
 """
 
 from __future__ import annotations
@@ -31,7 +37,7 @@ from typing import Any, Dict, List, Union
 
 from repro.errors import ReproError
 
-__all__ = ["BenchScenario", "SimScenario", "GRIDS", "get_grid"]
+__all__ = ["BenchScenario", "PipelineScenario", "SimScenario", "GRIDS", "get_grid"]
 
 _MB = 1e6
 
@@ -44,6 +50,32 @@ class BenchScenario:
     topology: str  #: registry shorthand, e.g. ``"mesh_2d:4,4"``
     collective: str  #: collective registry name, e.g. ``"all_reduce"``
     collective_size: float  #: per-NPU bytes
+    seed: int = 0
+    trials: int = 1
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+
+@dataclass(frozen=True)
+class PipelineScenario:
+    """One end-to-end *pipeline* problem of a benchmark grid.
+
+    The whole chain is timed: synthesize (TACOS), verify, simulate the
+    synthesized algorithm, and derive the standard metrics (utilization
+    timeline + per-link busy times).  The columnar path (flat synthesis
+    engine, vectorized verification, CSR adapters into the array simulator)
+    runs against the frozen object path (reference synthesis engine,
+    object-path verifier and adapters, dict-keyed reference simulator,
+    nested metric scans), asserting byte-identical transfers,
+    ``message_completion``, and verification verdicts.
+    """
+
+    name: str
+    topology: str  #: registry shorthand, e.g. ``"mesh_2d:16,16"``
+    collective: str  #: collective registry name, e.g. ``"reduce_scatter"``
+    collective_size: float  #: per-NPU bytes
+    chunks_per_npu: int = 1
     seed: int = 0
     trials: int = 1
 
@@ -71,8 +103,8 @@ class SimScenario:
         return asdict(self)
 
 
-#: Either scenario kind; ``repro.bench.runner.run_bench`` dispatches on type.
-Scenario = Union[BenchScenario, SimScenario]
+#: Any scenario kind; ``repro.bench.runner.run_bench`` dispatches on type.
+Scenario = Union[BenchScenario, SimScenario, PipelineScenario]
 
 
 def _smoke_grid() -> List[Scenario]:
@@ -80,6 +112,8 @@ def _smoke_grid() -> List[Scenario]:
         BenchScenario("ring8-ag-1MB", "ring:8", "all_gather", 1 * _MB),
         BenchScenario("mesh3x3-ar-1MB", "mesh_2d:3,3", "all_reduce", 1 * _MB),
         SimScenario("sim-ring-mesh3x3-1MB", "mesh_2d:3,3", "ring", 1 * _MB),
+        PipelineScenario("pipe-mesh3x3-ar-1MB", "mesh_2d:3,3", "all_reduce", 1 * _MB),
+        PipelineScenario("pipe-mesh3x3-rs-1MB", "mesh_2d:3,3", "reduce_scatter", 1 * _MB),
     ]
 
 
@@ -143,11 +177,36 @@ def _sim_stress_grid() -> List[Scenario]:
     ]
 
 
+def _pipeline_grid() -> List[Scenario]:
+    # End-to-end synthesize + verify + simulate + metrics scenarios, with the
+    # diversity the object path could not afford: meshes up to 20x20 (400
+    # NPUs, ~160k transfers), sub-chunked schedules (chunks_per_npu > 1), and
+    # the Reduce-Scatter / All-to-All / Broadcast patterns alongside the
+    # All-Reduce/All-Gather staples.
+    return [
+        PipelineScenario("pipe-ring16-ar-64MB", "ring:16", "all_reduce", 64 * _MB),
+        PipelineScenario("pipe-mesh6x6-ar-64MB", "mesh_2d:6,6", "all_reduce", 64 * _MB),
+        PipelineScenario(
+            "pipe-mesh6x6-ar-64MB-c2", "mesh_2d:6,6", "all_reduce", 64 * _MB, chunks_per_npu=2
+        ),
+        PipelineScenario("pipe-mesh8x8-rs-64MB", "mesh_2d:8,8", "reduce_scatter", 64 * _MB),
+        PipelineScenario(
+            "pipe-mesh8x8-rs-64MB-c2", "mesh_2d:8,8", "reduce_scatter", 64 * _MB, chunks_per_npu=2
+        ),
+        PipelineScenario("pipe-mesh8x8-bc-64MB", "mesh_2d:8,8", "broadcast", 64 * _MB),
+        PipelineScenario("pipe-mesh5x5-a2a-16MB", "mesh_2d:5,5", "all_to_all", 16 * _MB),
+        PipelineScenario("pipe-mesh12x12-ar-64MB", "mesh_2d:12,12", "all_reduce", 64 * _MB),
+        PipelineScenario("pipe-mesh16x16-ag-64MB", "mesh_2d:16,16", "all_gather", 64 * _MB),
+        PipelineScenario("pipe-mesh20x20-ag-64MB", "mesh_2d:20,20", "all_gather", 64 * _MB),
+    ]
+
+
 GRIDS = {
     "smoke": _smoke_grid,
     "fig19": _fig19_grid,
     "full": _full_grid,
     "sim_stress": _sim_stress_grid,
+    "pipeline": _pipeline_grid,
 }
 
 

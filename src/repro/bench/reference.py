@@ -50,9 +50,12 @@ __all__ = [
     "ReferenceMatchingState",
     "ReferenceSimulator",
     "ReferenceTimeExpandedNetwork",
+    "reference_algorithm_to_messages",
     "reference_link_busy_time",
     "reference_run_matching_round",
+    "reference_schedule_to_messages",
     "reference_utilization_timeline",
+    "reference_verify_algorithm",
 ]
 
 #: Tolerance used when comparing floating-point times.
@@ -485,3 +488,321 @@ def reference_link_busy_time(result: SimulationResult) -> Dict[Tuple[int, int], 
         link: sum(end - start for start, end in intervals)
         for link, intervals in result.link_busy_intervals.items()
     }
+
+
+# ----------------------------------------------------------------------
+# Frozen object-path adapters (pre-columnar-IR repro.simulator.adapters)
+# ----------------------------------------------------------------------
+def reference_algorithm_to_messages(algorithm) -> List[Message]:
+    """Frozen pre-refactor adapter: per-transfer dict-of-list dependency scan.
+
+    The historical ``repro.simulator.adapters.algorithm_to_messages`` exactly
+    as it stood before the columnar CSR derivation: sort the ChunkTransfer
+    objects, build ``(dest, chunk)`` provider dicts, and materialize one
+    :class:`Message` (with a per-message ``frozenset``) per transfer.  Its
+    output is the behavioural contract the flat adapter is benchmarked and
+    equivalence-checked against.  Do not "optimize" this function; its
+    object churn is the point.
+    """
+    transfers = sorted(algorithm.transfers, key=lambda item: (item.start, item.end))
+    inbound: Dict[Tuple[int, int], List[Tuple[float, int]]] = {}
+    for index, transfer in enumerate(transfers):
+        inbound.setdefault((transfer.dest, transfer.chunk), []).append((transfer.end, index))
+
+    # A static collective algorithm also prescribes the order in which each
+    # physical link transmits its chunks; preserving that order as a
+    # dependency keeps the simulated execution faithful to the algorithm.
+    previous_on_link: Dict[Tuple[int, int], int] = {}
+    link_predecessor: List[int] = []
+    for index, transfer in enumerate(transfers):
+        link_predecessor.append(previous_on_link.get(transfer.link, -1))
+        previous_on_link[transfer.link] = index
+
+    messages = []
+    for index, transfer in enumerate(transfers):
+        providers = inbound.get((transfer.source, transfer.chunk), [])
+        depends_on = {
+            provider_index
+            for end, provider_index in providers
+            if end <= transfer.start + _ADAPTER_TIME_EPS
+        }
+        if link_predecessor[index] >= 0:
+            depends_on.add(link_predecessor[index])
+        messages.append(
+            Message(
+                message_id=index,
+                source=transfer.source,
+                dest=transfer.dest,
+                size=algorithm.chunk_size,
+                chunk=transfer.chunk,
+                depends_on=frozenset(depends_on),
+            )
+        )
+    return messages
+
+
+def reference_schedule_to_messages(schedule) -> List[Message]:
+    """Frozen pre-refactor adapter for logical schedules (per-send dict scans)."""
+    schedule.validate()
+    sends = [
+        send
+        for _, step_sends in schedule.steps()
+        for send in sorted(step_sends, key=lambda send: (send.source, send.dest, send.chunk))
+    ]
+    inbound: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
+    for index, send in enumerate(sends):
+        inbound.setdefault((send.dest, send.chunk), []).append((send.step, index))
+
+    messages = []
+    for index, send in enumerate(sends):
+        providers = inbound.get((send.source, send.chunk), [])
+        depends_on = frozenset(
+            provider_index for step, provider_index in providers if step < send.step
+        )
+        messages.append(
+            Message(
+                message_id=index,
+                source=send.source,
+                dest=send.dest,
+                size=schedule.chunk_size,
+                chunk=send.chunk,
+                depends_on=depends_on,
+            )
+        )
+    return messages
+
+
+# ----------------------------------------------------------------------
+# Frozen object-path verification (pre-columnar-IR repro.core.verification)
+# ----------------------------------------------------------------------
+#: Tolerance of the frozen verification checks (matches core.verification).
+_VERIFY_TIME_EPS = 1e-9
+
+#: Tolerance of the frozen adapters (matches simulator.adapters).
+_ADAPTER_TIME_EPS = 1e-9
+
+
+def reference_verify_algorithm(
+    algorithm,
+    topology: Topology,
+    pattern,
+    *,
+    check_link_timing: bool = True,
+) -> bool:
+    """Frozen pre-refactor verifier: per-transfer Python scans over tuple lists.
+
+    The historical ``repro.core.verification.verify_algorithm`` exactly as it
+    stood before the vectorized column sweeps — dict-of-list link occupancy,
+    a sequential ``arrival`` dict for causality, per-chunk BFS for reduction
+    coverage.  Verdicts (success, or the :class:`VerificationError` raised)
+    are the contract the columnar verifier is benchmarked and
+    equivalence-checked against.  Do not "optimize" this function; its
+    object churn is the point.
+    """
+    from repro.collectives.all_reduce import AllReduce
+
+    _ref_check_links(algorithm, topology, check_link_timing)
+    _ref_check_no_link_overlap(algorithm)
+
+    if isinstance(pattern, AllReduce):
+        _ref_verify_all_reduce(algorithm, pattern)
+    elif pattern.requires_reduction:
+        _ref_verify_reduction(algorithm, pattern)
+    else:
+        _ref_verify_non_reducing(algorithm, pattern)
+    return True
+
+
+def _ref_link_occupancy(transfers) -> Dict[Tuple[int, int], List]:
+    occupancy: Dict[Tuple[int, int], List] = {}
+    for transfer in transfers:
+        occupancy.setdefault(transfer.link, []).append(transfer)
+    for entries in occupancy.values():
+        entries.sort(key=lambda transfer: transfer.start)
+    return occupancy
+
+
+def _ref_check_links(algorithm, topology: Topology, check_link_timing: bool) -> None:
+    from repro.errors import VerificationError
+
+    for transfer in algorithm.transfers:
+        if not topology.has_link(transfer.source, transfer.dest):
+            raise VerificationError(
+                f"transfer {transfer} uses a nonexistent link on {topology.name}"
+            )
+        if check_link_timing:
+            expected = topology.link(transfer.source, transfer.dest).cost(algorithm.chunk_size)
+            if abs(transfer.duration - expected) > max(_VERIFY_TIME_EPS, expected * 1e-6):
+                raise VerificationError(
+                    f"transfer {transfer} takes {transfer.duration:.3e}s but the link cost is {expected:.3e}s"
+                )
+
+
+def _ref_check_no_link_overlap(algorithm) -> None:
+    from repro.errors import VerificationError
+
+    for link, entries in _ref_link_occupancy(algorithm.transfers).items():
+        for earlier, later in zip(entries, entries[1:]):
+            if later.start < earlier.end - _VERIFY_TIME_EPS:
+                raise VerificationError(
+                    f"link {link} carries two chunks at overlapping times: {earlier} and {later}"
+                )
+
+
+def _ref_verify_non_reducing(algorithm, pattern) -> None:
+    precondition = pattern.precondition()
+    _ref_check_forward_causality(algorithm.transfers, precondition)
+    _ref_check_postcondition(algorithm, pattern)
+
+
+def _ref_check_forward_causality(transfers, precondition) -> None:
+    from repro.errors import VerificationError
+
+    arrival: Dict[Tuple[int, int], float] = {}
+    for npu, chunks in precondition.items():
+        for chunk in chunks:
+            arrival[(npu, chunk)] = 0.0
+    for transfer in sorted(transfers, key=lambda item: (item.start, item.end)):
+        key = (transfer.source, transfer.chunk)
+        if key not in arrival or arrival[key] > transfer.start + _VERIFY_TIME_EPS:
+            raise VerificationError(
+                f"forward causality violated: {transfer.source} sends chunk {transfer.chunk} "
+                f"at {transfer.start:.3e}s before holding it"
+            )
+        dest_key = (transfer.dest, transfer.chunk)
+        arrival[dest_key] = min(arrival.get(dest_key, float("inf")), transfer.end)
+
+
+def _ref_check_postcondition(algorithm, pattern) -> None:
+    from repro.errors import VerificationError
+
+    holdings = {npu: set(chunks) for npu, chunks in pattern.precondition().items()}
+    for npu in range(algorithm.num_npus):
+        holdings.setdefault(npu, set())
+    for transfer in sorted(algorithm.transfers, key=lambda item: item.end):
+        holdings[transfer.dest].add(transfer.chunk)
+    for npu, required in pattern.postcondition().items():
+        missing = set(required) - holdings.get(npu, set())
+        if missing:
+            raise VerificationError(
+                f"NPU {npu} is missing chunks {sorted(missing)} at the end of {algorithm.pattern_name}"
+            )
+
+
+def _ref_verify_reduction(algorithm, pattern) -> None:
+    _ref_check_reduction_causality(algorithm.transfers)
+    _ref_check_reduction_coverage(algorithm, pattern)
+
+
+def _ref_check_reduction_causality(transfers) -> None:
+    from repro.errors import VerificationError
+
+    inbound: Dict[Tuple[int, int], List] = {}
+    for transfer in transfers:
+        inbound.setdefault((transfer.dest, transfer.chunk), []).append(transfer)
+    for transfer in transfers:
+        for incoming in inbound.get((transfer.source, transfer.chunk), []):
+            if incoming.end > transfer.start + _VERIFY_TIME_EPS:
+                raise VerificationError(
+                    f"reduction causality violated: {transfer.source} forwards chunk {transfer.chunk} "
+                    f"at {transfer.start:.3e}s before the partial from {incoming.source} arrives "
+                    f"at {incoming.end:.3e}s"
+                )
+
+
+def _ref_check_reduction_coverage(algorithm, pattern) -> None:
+    from repro.errors import VerificationError
+
+    postcondition = pattern.postcondition()
+    owners: Dict[int, Set[int]] = {}
+    for npu, chunks in postcondition.items():
+        for chunk in chunks:
+            owners.setdefault(chunk, set()).add(npu)
+
+    by_chunk: Dict[int, List] = {}
+    for transfer in algorithm.transfers:
+        by_chunk.setdefault(transfer.chunk, []).append(transfer)
+
+    for chunk, chunk_owners in owners.items():
+        if len(chunk_owners) != 1:
+            raise VerificationError(
+                f"reduction chunk {chunk} has {len(chunk_owners)} final owners; expected exactly one"
+            )
+        owner = next(iter(chunk_owners))
+        transfers = by_chunk.get(chunk, [])
+
+        sends_per_npu: Dict[int, int] = {}
+        for transfer in transfers:
+            sends_per_npu[transfer.source] = sends_per_npu.get(transfer.source, 0) + 1
+        for npu in range(pattern.num_npus):
+            expected = 0 if npu == owner else 1
+            actual = sends_per_npu.get(npu, 0)
+            if actual != expected:
+                raise VerificationError(
+                    f"NPU {npu} sends its partial of chunk {chunk} {actual} times; expected {expected}"
+                )
+
+        # Walk the contribution tree backwards from the owner.
+        reached = {owner}
+        frontier = [owner]
+        inbound: Dict[int, List] = {}
+        for transfer in transfers:
+            inbound.setdefault(transfer.dest, []).append(transfer)
+        while frontier:
+            node = frontier.pop()
+            for transfer in inbound.get(node, []):
+                if transfer.source not in reached:
+                    reached.add(transfer.source)
+                    frontier.append(transfer.source)
+        missing = set(range(pattern.num_npus)) - reached
+        if missing:
+            raise VerificationError(
+                f"partials of chunk {chunk} from NPUs {sorted(missing)} never reach owner {owner}"
+            )
+
+
+def _ref_verify_all_reduce(algorithm, pattern) -> None:
+    from repro.core.algorithm import CollectiveAlgorithm
+    from repro.errors import VerificationError
+
+    boundary = algorithm.metadata.get("phase_boundary")
+    if boundary is None:
+        raise VerificationError(
+            "All-Reduce algorithm lacks the phase_boundary metadata required for verification"
+        )
+    reduce_scatter_transfers = [
+        transfer for transfer in algorithm.transfers if transfer.end <= boundary + _VERIFY_TIME_EPS
+    ]
+    all_gather_transfers = [
+        transfer for transfer in algorithm.transfers if transfer.end > boundary + _VERIFY_TIME_EPS
+    ]
+
+    reduce_scatter = CollectiveAlgorithm(
+        transfers=reduce_scatter_transfers,
+        num_npus=algorithm.num_npus,
+        chunk_size=algorithm.chunk_size,
+        collective_size=algorithm.collective_size,
+        pattern_name="ReduceScatter",
+        topology_name=algorithm.topology_name,
+    )
+    _ref_verify_reduction(reduce_scatter, pattern.reduce_scatter_phase())
+
+    shifted_back = [
+        ChunkTransfer(
+            start=transfer.start - boundary,
+            end=transfer.end - boundary,
+            chunk=transfer.chunk,
+            source=transfer.source,
+            dest=transfer.dest,
+        )
+        for transfer in all_gather_transfers
+    ]
+    all_gather = CollectiveAlgorithm(
+        transfers=shifted_back,
+        num_npus=algorithm.num_npus,
+        chunk_size=algorithm.chunk_size,
+        collective_size=algorithm.collective_size,
+        pattern_name="AllGather",
+        topology_name=algorithm.topology_name,
+    )
+    _ref_verify_non_reducing(all_gather, pattern.all_gather_phase())

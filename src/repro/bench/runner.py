@@ -44,17 +44,30 @@ from repro.api.builtins import parse_topology_spec
 from repro.api.registry import COLLECTIVES
 from repro.api.runner import build_topology
 from repro.baselines import direct_all_reduce, rhd_all_reduce, ring_all_reduce
-from repro.bench.grid import BenchScenario, Scenario, SimScenario, get_grid
+from repro.bench.grid import (
+    BenchScenario,
+    PipelineScenario,
+    Scenario,
+    SimScenario,
+    get_grid,
+)
 from repro.bench.reference import (
     REFERENCE_ENGINE,
     ReferenceSimulator,
+    reference_algorithm_to_messages,
     reference_link_busy_time,
     reference_utilization_timeline,
+    reference_verify_algorithm,
 )
 from repro.core.config import SynthesisConfig
 from repro.core.synthesizer import FLAT_ENGINE, TacosSynthesizer
-from repro.errors import ReproError
-from repro.simulator.adapters import algorithm_to_messages, schedule_to_messages
+from repro.core.verification import verify_algorithm
+from repro.errors import ReproError, VerificationError
+from repro.simulator.adapters import (
+    algorithm_to_messages,
+    schedule_to_messages,
+    simulate_algorithm,
+)
 from repro.simulator.engine import CongestionAwareSimulator
 from repro.simulator.messages import Message
 from repro.simulator.result import SimulationResult
@@ -62,9 +75,10 @@ from repro.topology.topology import Topology
 
 __all__ = ["BenchRecord", "run_bench", "summarize", "write_report"]
 
-#: Report schema identifier (bump on breaking changes).  v2 adds the
-#: simulator-engine fields and replaces non-finite speedups with ``null``.
-SCHEMA = "tacos-repro-bench/v2"
+#: Report schema identifier (bump on breaking changes).  v2 added the
+#: simulator-engine fields and replaced non-finite speedups with ``null``;
+#: v3 adds the ``pipeline`` scenario kind and the ``verified`` field.
+SCHEMA = "tacos-repro-bench/v3"
 
 #: Logical schedule builders available to :class:`SimScenario`.
 _SCHEDULE_BUILDERS: Dict[str, Callable] = {
@@ -83,11 +97,15 @@ class BenchRecord:
     ``simulation_*`` fields measure the simulator engines on the synthesized
     algorithm.  For ``kind == "simulation"`` the primary triple *is* the
     simulator measurement (mirrored into the ``simulation_*`` fields), so
-    grid-level summaries report the simulator speedup directly.
+    grid-level summaries report the simulator speedup directly.  For
+    ``kind == "pipeline"`` the primary triple measures the *end-to-end*
+    chain and no simulator-only timing exists, so the ``simulation_*``
+    fields are ``None`` — a pipeline record never inflates the grid's
+    simulator-speedup summary.
     """
 
     scenario: str
-    kind: str  #: ``"synthesis"`` or ``"simulation"``
+    kind: str  #: ``"synthesis"``, ``"simulation"``, or ``"pipeline"``
     topology: str
     collective: str
     collective_size: float
@@ -103,11 +121,12 @@ class BenchRecord:
     collective_time: float
     rounds: int
     num_messages: int
-    simulation_seconds: float  #: array-backed simulator, median wall clock
+    simulation_seconds: Optional[float]  #: array-backed simulator, median wall clock
     reference_simulation_seconds: Optional[float]
     simulation_speedup: Optional[float]
     simulation_equivalent: Optional[bool]
     simulated_collective_time: float
+    verified: Optional[bool] = None  #: verification verdict (pipeline scenarios)
 
     def to_dict(self) -> Dict[str, Any]:
         return asdict(self)
@@ -335,6 +354,119 @@ def _run_sim_scenario(
     )
 
 
+def _pipeline_verdict(verifier, algorithm, topology, pattern) -> Tuple[bool, str]:
+    """(passed, error-class) verdict of one verifier run — never raises."""
+    try:
+        verifier(algorithm, topology, pattern)
+        return True, ""
+    except VerificationError as exc:
+        return False, type(exc).__name__
+
+
+def _time_pipeline(pipeline: Callable[[], Tuple], repeats: int) -> Tuple[Tuple, float]:
+    """Time ``repeats`` full pipeline runs; return (first outcome, median seconds)."""
+    first = None
+    samples = []
+    for _ in range(max(1, repeats)):
+        started = _time.perf_counter()
+        outcome = pipeline()
+        samples.append(_time.perf_counter() - started)
+        if first is None:
+            first = outcome
+    return first, statistics.median(samples)
+
+
+def _run_pipeline_scenario(
+    scenario: PipelineScenario, repeats: int, check_equivalence: bool
+) -> BenchRecord:
+    """Time the whole synthesize → verify → simulate → metrics chain per path.
+
+    The columnar path is the production code: flat synthesis engine,
+    vectorized verification, CSR adapters feeding
+    :meth:`~repro.simulator.engine.CongestionAwareSimulator.run_flat`, and
+    the vectorized metric sweeps.  The reference path is the frozen object
+    pipeline across every layer boundary: reference synthesis engine,
+    object-path verifier, per-transfer ``Message`` adapters, dict-keyed
+    :class:`~repro.bench.reference.ReferenceSimulator`, and the nested
+    O(links x intervals x samples) metric scans.  Both paths share the
+    topology object (and therefore its cached derived structures), exactly
+    like the synthesis scenarios do.
+    """
+    topology = build_topology(parse_topology_spec(scenario.topology))
+    factory = COLLECTIVES.get(scenario.collective)
+    pattern = factory(topology.num_npus, scenario.chunks_per_npu)
+    config = SynthesisConfig(seed=scenario.seed, trials=scenario.trials)
+
+    def flat_pipeline() -> Tuple:
+        algorithm = TacosSynthesizer(config, engine=FLAT_ENGINE).synthesize(
+            topology, pattern, scenario.collective_size
+        )
+        verdict = _pipeline_verdict(verify_algorithm, algorithm, topology, pattern)
+        result = simulate_algorithm(topology, algorithm)
+        result.utilization_timeline(_TIMELINE_SAMPLES)
+        result.link_busy_time()
+        return algorithm, verdict, result
+
+    def reference_pipeline() -> Tuple:
+        algorithm = TacosSynthesizer(config, engine=REFERENCE_ENGINE).synthesize(
+            topology, pattern, scenario.collective_size
+        )
+        verdict = _pipeline_verdict(reference_verify_algorithm, algorithm, topology, pattern)
+        messages = reference_algorithm_to_messages(algorithm)
+        result = ReferenceSimulator(topology).run(
+            messages, collective_size=algorithm.collective_size
+        )
+        reference_utilization_timeline(result, _TIMELINE_SAMPLES)
+        reference_link_busy_time(result)
+        return algorithm, verdict, result
+
+    (flat_algorithm, flat_verdict, flat_result), flat_seconds = _time_pipeline(
+        flat_pipeline, repeats
+    )
+    (ref_algorithm, ref_verdict, ref_result), reference_seconds = _time_pipeline(
+        reference_pipeline, repeats
+    )
+
+    equivalent: Optional[bool] = None
+    if check_equivalence:
+        equivalent = (
+            flat_algorithm.transfers == ref_algorithm.transfers
+            and flat_algorithm.collective_time == ref_algorithm.collective_time
+            and flat_verdict == ref_verdict
+            and _simulators_agree(flat_result, ref_result)
+        )
+
+    speedup = _safe_speedup(reference_seconds, flat_seconds)
+    return BenchRecord(
+        scenario=scenario.name,
+        kind="pipeline",
+        topology=scenario.topology,
+        collective=scenario.collective,
+        collective_size=scenario.collective_size,
+        num_npus=topology.num_npus,
+        num_links=topology.num_links,
+        seed=scenario.seed,
+        trials=scenario.trials,
+        flat_seconds=flat_seconds,
+        reference_seconds=reference_seconds,
+        speedup=speedup,
+        equivalent=equivalent,
+        num_transfers=flat_algorithm.num_transfers,
+        collective_time=flat_algorithm.collective_time,
+        rounds=0,
+        num_messages=len(flat_result.message_completion),
+        # No simulator-only timing exists for an end-to-end pipeline run;
+        # leaving these None keeps the grid's simulator-speedup summary
+        # honest (summarize() skips None entries).
+        simulation_seconds=None,
+        reference_simulation_seconds=None,
+        simulation_speedup=None,
+        simulation_equivalent=None,
+        simulated_collective_time=flat_result.completion_time,
+        verified=flat_verdict[0],
+    )
+
+
 def run_bench(
     grid: str = "fig19",
     *,
@@ -346,7 +478,9 @@ def run_bench(
     records: List[BenchRecord] = []
     _warmup()
     for scenario in scenarios if scenarios is not None else get_grid(grid):
-        if isinstance(scenario, SimScenario):
+        if isinstance(scenario, PipelineScenario):
+            records.append(_run_pipeline_scenario(scenario, repeats, check_equivalence))
+        elif isinstance(scenario, SimScenario):
             records.append(_run_sim_scenario(scenario, repeats, check_equivalence))
         else:
             records.append(_run_synthesis_scenario(scenario, repeats, check_equivalence))

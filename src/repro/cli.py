@@ -134,8 +134,9 @@ def build_parser() -> argparse.ArgumentParser:
         "bench", help="benchmark the synthesis core and simulator against the pre-refactor engines"
     )
     bench.add_argument(
-        "--grid", choices=("smoke", "fig19", "full", "sim_stress"), default="fig19",
-        help="scenario grid (default: fig19; sim_stress exercises the simulator)",
+        "--grid", choices=("smoke", "fig19", "full", "sim_stress", "pipeline"), default="fig19",
+        help="scenario grid (default: fig19; sim_stress exercises the simulator, "
+        "pipeline the end-to-end synthesize+verify+simulate+metrics chain)",
     )
     bench.add_argument(
         "--smoke", action="store_true", help="shorthand for --grid smoke (CI-sized)"
@@ -163,6 +164,16 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--compare-threshold", type=float, default=None, metavar="FRACTION",
         help="median regression tolerance for --compare (default: 0.20 = 20%%)",
+    )
+    bench.add_argument(
+        "--history", action="store_true",
+        help="do not run the grid: walk the recorded benchmarks/results chain and "
+        "print the cross-PR median-speedup trajectory (with --compare, also diff "
+        "the two newest recorded reports of --grid per scenario)",
+    )
+    bench.add_argument(
+        "--results-dir", default=None, metavar="DIR",
+        help="recorded-report directory for --history (default: benchmarks/results)",
     )
     bench.add_argument("--json", action="store_true", help="print the report as JSON")
 
@@ -386,8 +397,92 @@ def _print_comparison(comparison: Dict[str, Any], previous_path: Path) -> None:
         )
 
 
+def _cmd_bench_history(arguments: argparse.Namespace) -> int:
+    """Walk the recorded report chain and print the speedup trajectory."""
+    from repro.bench.compare import (
+        DEFAULT_RESULTS_DIR,
+        DEFAULT_THRESHOLD,
+        compare_reports,
+        load_history,
+        load_report,
+        speedup_history,
+    )
+
+    directory = arguments.results_dir or DEFAULT_RESULTS_DIR
+    rows = speedup_history(directory)
+    if not rows:
+        print(f"error: no BENCH_*.json reports under {directory}", file=sys.stderr)
+        return 2
+
+    comparison: Optional[Dict[str, Any]] = None
+    previous_path: Optional[Path] = None
+    if arguments.compare is not None:
+        grid = "smoke" if arguments.smoke else arguments.grid
+        chain = load_history(directory, grid=grid)
+        if not chain:
+            print(
+                f"error: --history --compare found no recorded "
+                f"BENCH_{grid}_*.json reports under {directory}",
+                file=sys.stderr,
+            )
+            return 2
+        if arguments.compare == "auto":
+            # Diff the two newest recorded reports of the grid.
+            if len(chain) < 2:
+                print(
+                    f"error: --history --compare needs at least two recorded "
+                    f"BENCH_{grid}_*.json reports under {directory}",
+                    file=sys.stderr,
+                )
+                return 2
+            previous_path = chain[-2]["path"]
+            previous_report = chain[-2]["report"]
+        else:
+            # An explicit baseline: diff the newest recorded report against it.
+            previous_path = Path(arguments.compare)
+            previous_report = load_report(previous_path)
+        threshold = (
+            arguments.compare_threshold
+            if arguments.compare_threshold is not None
+            else DEFAULT_THRESHOLD
+        )
+        comparison = compare_reports(
+            chain[-1]["report"], previous_report, threshold=threshold
+        )
+
+    if arguments.json:
+        payload: Dict[str, Any] = {"history": rows}
+        if comparison is not None:
+            payload["comparison"] = comparison
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        header = (
+            f"{'grid':<12} {'report':<38} {'version':>8} {'median x':>9} "
+            f"{'sim x':>7} {'vs prev':>8}"
+        )
+        print(header)
+        print("-" * len(header))
+        for row in rows:
+            trajectory = row["median_speedup_vs_previous"]
+            print(
+                f"{row['grid'] or '-':<12} {row['file']:<38} {row['version'] or '-':>8} "
+                f"{_format_speedup(row['median_speedup']):>9} "
+                f"{_format_speedup(row['median_simulation_speedup']):>7} "
+                f"{'-' if trajectory is None else f'{trajectory:.2f}x':>8}"
+            )
+        if comparison is not None and previous_path is not None:
+            _print_comparison(comparison, previous_path)
+    if comparison is not None and comparison["regressed"]:
+        print("error: newest recorded report regressed against its predecessor", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_bench(arguments: argparse.Namespace) -> int:
     from repro.bench import run_bench, write_report
+
+    if arguments.history:
+        return _cmd_bench_history(arguments)
 
     grid = "smoke" if arguments.smoke else arguments.grid
     records = run_bench(

@@ -1,6 +1,7 @@
 """TACOS core: synthesizer, matching algorithm, and algorithm representation."""
 
 from repro.core.algorithm import ChunkTransfer, CollectiveAlgorithm
+from repro.core.transfers import TransferTable
 from repro.core.config import SynthesisConfig
 from repro.core.matching import MatchingState, run_matching_round
 from repro.core.synthesizer import (
@@ -21,6 +22,7 @@ __all__ = [
     "SynthesisEngine",
     "SynthesisResult",
     "TacosSynthesizer",
+    "TransferTable",
     "run_matching_round",
     "synthesize",
     "verify_algorithm",

@@ -5,12 +5,22 @@ A collective algorithm is the static path of every chunk through the network
 one time span.  :class:`CollectiveAlgorithm` is the output of both the TACOS
 synthesizer and the baseline algorithm generators, and the input to the
 congestion-aware simulator and the analysis utilities.
+
+Since the columnar-IR refactor, the canonical storage is a
+:class:`~repro.core.transfers.TransferTable` (struct-of-arrays numpy columns);
+the :class:`ChunkTransfer` tuple list is a lazily materialized *view* kept for
+API compatibility.  An algorithm can be built from either representation —
+the synthesizer's matching loop still appends tuples, while every
+transformation (``shifted`` / ``reversed_in_time`` / ``concatenated``) and
+every aggregate (``link_bytes``, ``link_occupancy``, ``collective_time``)
+runs as column arithmetic without touching per-transfer objects.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, NamedTuple, Optional, Tuple
+
+from repro.core.transfers import TransferTable
 
 __all__ = ["ChunkTransfer", "CollectiveAlgorithm"]
 
@@ -65,14 +75,19 @@ class ChunkTransfer(_ChunkTransferFields):
         return self.end - self.start
 
 
-@dataclass
 class CollectiveAlgorithm:
     """A complete collective algorithm: every chunk's static path with timing.
+
+    Exactly one of ``transfers`` (a :class:`ChunkTransfer` list) or ``table``
+    (a :class:`~repro.core.transfers.TransferTable`) must be provided; the
+    other representation is materialized lazily on first access.
 
     Attributes
     ----------
     transfers:
-        All link-chunk matches, in no particular order.
+        All link-chunk matches, in no particular order (lazy tuple view).
+    table:
+        The columnar transfer IR (lazy when constructed from ``transfers``).
     num_npus:
         Number of NPUs the algorithm spans.
     chunk_size:
@@ -88,13 +103,99 @@ class CollectiveAlgorithm:
         boundary of an All-Reduce, or the synthesizer trial that produced it).
     """
 
-    transfers: List[ChunkTransfer]
-    num_npus: int
-    chunk_size: float
-    collective_size: float
-    pattern_name: str = "Collective"
-    topology_name: str = ""
-    metadata: Dict[str, object] = field(default_factory=dict)
+    def __init__(
+        self,
+        transfers: Optional[List[ChunkTransfer]] = None,
+        num_npus: Optional[int] = None,
+        chunk_size: Optional[float] = None,
+        collective_size: Optional[float] = None,
+        pattern_name: str = "Collective",
+        topology_name: str = "",
+        metadata: Optional[Dict[str, object]] = None,
+        *,
+        table: Optional[TransferTable] = None,
+    ) -> None:
+        if (transfers is None) == (table is None):
+            raise TypeError("provide exactly one of transfers or table")
+        if num_npus is None or chunk_size is None or collective_size is None:
+            raise TypeError("num_npus, chunk_size, and collective_size are required")
+        self._transfers = transfers
+        self._table = table
+        self._view: Optional[List[ChunkTransfer]] = None
+        self.num_npus = num_npus
+        self.chunk_size = chunk_size
+        self.collective_size = collective_size
+        self.pattern_name = pattern_name
+        self.topology_name = topology_name
+        self.metadata: Dict[str, object] = {} if metadata is None else metadata
+
+    @classmethod
+    def from_table(
+        cls,
+        table: TransferTable,
+        num_npus: int,
+        chunk_size: float,
+        collective_size: float,
+        pattern_name: str = "Collective",
+        topology_name: str = "",
+        metadata: Optional[Dict[str, object]] = None,
+    ) -> "CollectiveAlgorithm":
+        """Columnar fast path: wrap ``table`` without materializing tuples."""
+        return cls(
+            table=table,
+            num_npus=num_npus,
+            chunk_size=chunk_size,
+            collective_size=collective_size,
+            pattern_name=pattern_name,
+            topology_name=topology_name,
+            metadata=metadata,
+        )
+
+    # ------------------------------------------------------------------
+    # Representations
+    # ------------------------------------------------------------------
+    @property
+    def transfers(self) -> List[ChunkTransfer]:
+        """The per-transfer tuple view.
+
+        For a list-constructed algorithm this is the authoritative list (it
+        may be mutated in place, exactly like the pre-refactor dataclass
+        field — the columnar view below always rebuilds from it).  For a
+        table-constructed algorithm it is a lazily materialized *snapshot*
+        of the columns; mutating that snapshot does not change the
+        algorithm.
+        """
+        if self._transfers is not None:
+            return self._transfers
+        if self._view is None:
+            self._view = self._table.to_transfers()
+        return self._view
+
+    @property
+    def table(self) -> TransferTable:
+        """The columnar transfer IR.
+
+        For a list-constructed algorithm the table is rebuilt from the
+        (possibly mutated) list on every access, so column ops never read
+        stale data; for a table-constructed algorithm the stored table — and
+        its cached groupings — is authoritative.
+        """
+        if self._table is not None:
+            return self._table
+        return TransferTable.from_transfers(self._transfers)
+
+    def _rebuild(self, table: TransferTable, **overrides) -> "CollectiveAlgorithm":
+        """A table-backed copy with this algorithm's scalar fields."""
+        fields = dict(
+            num_npus=self.num_npus,
+            chunk_size=self.chunk_size,
+            collective_size=self.collective_size,
+            pattern_name=self.pattern_name,
+            topology_name=self.topology_name,
+            metadata=dict(self.metadata),
+        )
+        fields.update(overrides)
+        return CollectiveAlgorithm(table=table, **fields)
 
     # ------------------------------------------------------------------
     # Timing
@@ -102,21 +203,19 @@ class CollectiveAlgorithm:
     @property
     def collective_time(self) -> float:
         """Completion time of the last transfer (seconds); 0 for empty algorithms."""
-        if not self.transfers:
-            return 0.0
-        return max(transfer.end for transfer in self.transfers)
+        return self.table.max_end
 
     @property
     def start_time(self) -> float:
         """Start time of the earliest transfer (seconds)."""
-        if not self.transfers:
-            return 0.0
-        return min(transfer.start for transfer in self.transfers)
+        return self.table.min_start
 
     @property
     def num_transfers(self) -> int:
         """Total number of link-chunk matches."""
-        return len(self.transfers)
+        if self._transfers is not None:
+            return len(self._transfers)
+        return len(self._table)
 
     def algorithmic_bandwidth(self) -> float:
         """Collective bandwidth (bytes/s) = collective size / collective time."""
@@ -130,35 +229,44 @@ class CollectiveAlgorithm:
     # ------------------------------------------------------------------
     def link_occupancy(self) -> Dict[Tuple[int, int], List[ChunkTransfer]]:
         """Transfers grouped by physical link, sorted by start time."""
+        table = self.table
+        order, indptr, group_sources, group_dests = table.by_link()
+        transfers = self.transfers
+        positions = order.tolist()
+        bounds = indptr.tolist()
         occupancy: Dict[Tuple[int, int], List[ChunkTransfer]] = {}
-        for transfer in self.transfers:
-            occupancy.setdefault(transfer.link, []).append(transfer)
-        for entries in occupancy.values():
-            entries.sort(key=lambda transfer: transfer.start)
+        for group, (source, dest) in enumerate(
+            zip(group_sources.tolist(), group_dests.tolist())
+        ):
+            occupancy[(source, dest)] = [
+                transfers[index] for index in positions[bounds[group] : bounds[group + 1]]
+            ]
         return occupancy
 
     def link_bytes(self) -> Dict[Tuple[int, int], float]:
         """Total bytes sent over each link (the Fig. 1 heat-map quantity)."""
-        loads: Dict[Tuple[int, int], float] = {}
-        for transfer in self.transfers:
-            loads[transfer.link] = loads.get(transfer.link, 0.0) + self.chunk_size
-        return loads
+        return self.table.link_totals(self.chunk_size)
 
     def link_busy_time(self) -> Dict[Tuple[int, int], float]:
         """Total busy time of each link in seconds."""
-        busy: Dict[Tuple[int, int], float] = {}
-        for transfer in self.transfers:
-            busy[transfer.link] = busy.get(transfer.link, 0.0) + transfer.duration
-        return busy
+        table = self.table
+        return table.link_totals(table.ends - table.starts)
 
     def chunk_paths(self) -> Dict[int, List[ChunkTransfer]]:
         """Transfers grouped by chunk id, sorted by start time."""
-        paths: Dict[int, List[ChunkTransfer]] = {}
-        for transfer in self.transfers:
-            paths.setdefault(transfer.chunk, []).append(transfer)
-        for entries in paths.values():
-            entries.sort(key=lambda transfer: transfer.start)
-        return paths
+        from repro.core.transfers import grouped_order
+
+        table = self.table
+        order, indptr, chunk_ids = grouped_order(table.chunks, table.starts)
+        transfers = self.transfers
+        positions = order.tolist()
+        bounds = indptr.tolist()
+        return {
+            int(chunk): [
+                transfers[index] for index in positions[bounds[group] : bounds[group + 1]]
+            ]
+            for group, chunk in enumerate(chunk_ids.tolist())
+        }
 
     def delivered_chunks(self, precondition: Mapping[int, Iterable[int]]) -> Dict[int, set]:
         """Final chunk ownership implied by the transfers.
@@ -169,29 +277,17 @@ class CollectiveAlgorithm:
         holdings = {npu: set(chunks) for npu, chunks in precondition.items()}
         for npu in range(self.num_npus):
             holdings.setdefault(npu, set())
-        for transfer in sorted(self.transfers, key=lambda item: item.end):
-            holdings[transfer.dest].add(transfer.chunk)
+        dests, chunks = self.table.delivered_pairs()
+        for dest, chunk in zip(dests.tolist(), chunks.tolist()):
+            holdings[dest].add(chunk)
         return holdings
 
     # ------------------------------------------------------------------
-    # Transformations
+    # Transformations (column ops)
     # ------------------------------------------------------------------
     def shifted(self, offset: float) -> "CollectiveAlgorithm":
         """Return a copy with every transfer shifted later by ``offset`` seconds."""
-        make = _tuple_new
-        moved = [
-            make(ChunkTransfer, (transfer[0] + offset, transfer[1] + offset, transfer[2], transfer[3], transfer[4]))
-            for transfer in self.transfers
-        ]
-        return CollectiveAlgorithm(
-            transfers=moved,
-            num_npus=self.num_npus,
-            chunk_size=self.chunk_size,
-            collective_size=self.collective_size,
-            pattern_name=self.pattern_name,
-            topology_name=self.topology_name,
-            metadata=dict(self.metadata),
-        )
+        return self._rebuild(self.table.shifted(offset))
 
     def reversed_in_time(self, duration: Optional[float] = None) -> "CollectiveAlgorithm":
         """Time-reverse the algorithm and flip every transfer's direction.
@@ -201,20 +297,7 @@ class CollectiveAlgorithm:
         original topology.  ``duration`` defaults to the collective time.
         """
         total = self.collective_time if duration is None else duration
-        make = _tuple_new
-        reversed_transfers = [
-            make(ChunkTransfer, (total - transfer[1], total - transfer[0], transfer[2], transfer[4], transfer[3]))
-            for transfer in self.transfers
-        ]
-        return CollectiveAlgorithm(
-            transfers=reversed_transfers,
-            num_npus=self.num_npus,
-            chunk_size=self.chunk_size,
-            collective_size=self.collective_size,
-            pattern_name=self.pattern_name,
-            topology_name=self.topology_name,
-            metadata=dict(self.metadata),
-        )
+        return self._rebuild(self.table.reversed_in_time(total))
 
     def concatenated(
         self,
@@ -228,18 +311,13 @@ class CollectiveAlgorithm:
         phase boundary is recorded in the result's metadata.
         """
         boundary = self.collective_time
-        shifted_other = other.shifted(boundary)
-        combined = list(self.transfers) + list(shifted_other.transfers)
+        combined = self.table.concatenated(other.table.shifted(boundary))
         metadata = dict(self.metadata)
         metadata["phase_boundary"] = boundary
         metadata["phase_names"] = (self.pattern_name, other.pattern_name)
-        return CollectiveAlgorithm(
-            transfers=combined,
-            num_npus=self.num_npus,
-            chunk_size=self.chunk_size,
-            collective_size=self.collective_size,
+        return self._rebuild(
+            combined,
             pattern_name=pattern_name or f"{self.pattern_name}+{other.pattern_name}",
-            topology_name=self.topology_name,
             metadata=metadata,
         )
 
@@ -248,11 +326,7 @@ class CollectiveAlgorithm:
     # ------------------------------------------------------------------
     def has_link_overlap(self) -> bool:
         """Whether any link carries two chunks at overlapping times."""
-        for entries in self.link_occupancy().values():
-            for earlier, later in zip(entries, entries[1:]):
-                if later.start < earlier.end - _TIME_EPS:
-                    return True
-        return False
+        return self.table.first_overlap(_TIME_EPS) is not None
 
     def summary(self) -> str:
         """One-line human-readable description of the algorithm."""
@@ -261,6 +335,19 @@ class CollectiveAlgorithm:
             f"{self.num_transfers} transfers, "
             f"{self.collective_time * 1e6:.2f} us, "
             f"{self.algorithmic_bandwidth() / 1e9:.2f} GB/s"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CollectiveAlgorithm):
+            return NotImplemented
+        return (
+            self.num_npus == other.num_npus
+            and self.chunk_size == other.chunk_size
+            and self.collective_size == other.collective_size
+            and self.pattern_name == other.pattern_name
+            and self.topology_name == other.topology_name
+            and self.metadata == other.metadata
+            and self.transfers == other.transfers
         )
 
     def __repr__(self) -> str:

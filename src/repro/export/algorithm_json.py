@@ -29,7 +29,8 @@ import json
 from pathlib import Path
 from typing import Dict, Union
 
-from repro.core.algorithm import ChunkTransfer, CollectiveAlgorithm
+from repro.core.algorithm import CollectiveAlgorithm
+from repro.core.transfers import TransferTable
 from repro.errors import ReproError
 
 __all__ = [
@@ -47,7 +48,14 @@ _VERSION = 1
 
 
 def algorithm_to_dict(algorithm: CollectiveAlgorithm) -> Dict:
-    """Convert an algorithm into a JSON-serializable dictionary."""
+    """Convert an algorithm into a JSON-serializable dictionary.
+
+    Transfers are emitted in full lexicographic ``(start, end, chunk, source,
+    dest)`` order straight from the columnar IR — no :class:`ChunkTransfer`
+    objects are materialized.
+    """
+    table = algorithm.table
+    order = table.lexsorted_order()
     return {
         "format": _FORMAT,
         "version": _VERSION,
@@ -59,13 +67,19 @@ def algorithm_to_dict(algorithm: CollectiveAlgorithm) -> Dict:
         "metadata": {key: value for key, value in algorithm.metadata.items() if _is_plain(value)},
         "transfers": [
             {
-                "chunk": transfer.chunk,
-                "source": transfer.source,
-                "dest": transfer.dest,
-                "start": transfer.start,
-                "end": transfer.end,
+                "chunk": chunk,
+                "source": source,
+                "dest": dest,
+                "start": start,
+                "end": end,
             }
-            for transfer in sorted(algorithm.transfers)
+            for chunk, source, dest, start, end in zip(
+                table.chunks[order].tolist(),
+                table.sources[order].tolist(),
+                table.dests[order].tolist(),
+                table.starts[order].tolist(),
+                table.ends[order].tolist(),
+            )
         ],
     }
 
@@ -92,20 +106,18 @@ def algorithm_from_dict(document: Dict) -> CollectiveAlgorithm:
             f"unsupported document version {document.get('version')!r}; expected {_VERSION}"
         )
     try:
-        transfers = [
-            ChunkTransfer(
-                start=float(entry["start"]),
-                end=float(entry["end"]),
-                chunk=int(entry["chunk"]),
-                source=int(entry["source"]),
-                dest=int(entry["dest"]),
-            )
-            for entry in document["transfers"]
-        ]
+        entries = document["transfers"]
+        table = TransferTable.from_columns(
+            [entry["start"] for entry in entries],
+            [entry["end"] for entry in entries],
+            [entry["chunk"] for entry in entries],
+            [entry["source"] for entry in entries],
+            [entry["dest"] for entry in entries],
+        )
         metadata = dict(document.get("metadata", {}))
         metadata.setdefault("imported", True)
         return CollectiveAlgorithm(
-            transfers=transfers,
+            table=table,
             num_npus=int(document["num_npus"]),
             chunk_size=float(document["chunk_size"]),
             collective_size=float(document["collective_size"]),

@@ -18,7 +18,7 @@ collectives emit plain ``recv`` steps.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict, List, Tuple, Union
+from typing import Dict, List, Union
 from xml.etree import ElementTree
 from xml.dom import minidom
 
@@ -35,8 +35,16 @@ def _receive_opcode(pattern_name: str) -> str:
 
 
 def algorithm_to_msccl_xml(algorithm: CollectiveAlgorithm, *, proto: str = "Simple") -> str:
-    """Render ``algorithm`` as an MSCCL-style XML string."""
-    if not algorithm.transfers:
+    """Render ``algorithm`` as an MSCCL-style XML string.
+
+    The per-GPU threadblock groups are derived straight from the algorithm's
+    columnar IR: one lexicographic sort gives the in-block step order, a
+    second stable grouping pass splits the chunk column per ``(gpu, peer)``
+    pair — no :class:`~repro.core.algorithm.ChunkTransfer` objects are
+    materialized.
+    """
+    table = algorithm.table
+    if not len(table):
         raise ReproError("cannot export an empty collective algorithm")
 
     root = ElementTree.Element(
@@ -45,15 +53,15 @@ def algorithm_to_msccl_xml(algorithm: CollectiveAlgorithm, *, proto: str = "Simp
         proto=proto,
         ngpus=str(algorithm.num_npus),
         coll=algorithm.pattern_name.lower(),
-        nchunksperloop=str(_num_chunks(algorithm)),
+        nchunksperloop=str(table.num_chunks),
     )
 
-    transfers = sorted(algorithm.transfers)
-    sends_per_gpu: Dict[int, Dict[int, List]] = {}
-    receives_per_gpu: Dict[int, Dict[int, List]] = {}
-    for transfer in transfers:
-        sends_per_gpu.setdefault(transfer.source, {}).setdefault(transfer.dest, []).append(transfer)
-        receives_per_gpu.setdefault(transfer.dest, {}).setdefault(transfer.source, []).append(transfer)
+    # Steps within a threadblock follow the synthesized transmission order —
+    # the full lexicographic transfer order restricted to the block's pair.
+    order = table.lexsorted_order()
+    chunk_column = table.chunks[order]
+    sends_per_gpu = _grouped_chunks(table.sources[order], table.dests[order], chunk_column)
+    receives_per_gpu = _grouped_chunks(table.dests[order], table.sources[order], chunk_column)
 
     receive_opcode = _receive_opcode(algorithm.pattern_name)
 
@@ -64,16 +72,16 @@ def algorithm_to_msccl_xml(algorithm: CollectiveAlgorithm, *, proto: str = "Simp
             block = ElementTree.SubElement(
                 gpu_element, "tb", id=str(threadblock_id), send=str(peer), recv="-1", chan="0"
             )
-            for step_index, transfer in enumerate(outgoing):
+            for step_index, chunk in enumerate(outgoing):
                 ElementTree.SubElement(
                     block,
                     "step",
                     s=str(step_index),
                     type="s",
                     srcbuf="o",
-                    srcoff=str(transfer.chunk),
+                    srcoff=str(chunk),
                     dstbuf="o",
-                    dstoff=str(transfer.chunk),
+                    dstoff=str(chunk),
                     cnt="1",
                     depid="-1",
                     deps="-1",
@@ -84,16 +92,16 @@ def algorithm_to_msccl_xml(algorithm: CollectiveAlgorithm, *, proto: str = "Simp
             block = ElementTree.SubElement(
                 gpu_element, "tb", id=str(threadblock_id), send="-1", recv=str(peer), chan="0"
             )
-            for step_index, transfer in enumerate(incoming):
+            for step_index, chunk in enumerate(incoming):
                 ElementTree.SubElement(
                     block,
                     "step",
                     s=str(step_index),
                     type=receive_opcode,
                     srcbuf="o",
-                    srcoff=str(transfer.chunk),
+                    srcoff=str(chunk),
                     dstbuf="o",
-                    dstoff=str(transfer.chunk),
+                    dstoff=str(chunk),
                     cnt="1",
                     depid="-1",
                     deps="-1",
@@ -105,8 +113,20 @@ def algorithm_to_msccl_xml(algorithm: CollectiveAlgorithm, *, proto: str = "Simp
     return minidom.parseString(raw).toprettyxml(indent="  ")
 
 
-def _num_chunks(algorithm: CollectiveAlgorithm) -> int:
-    return max(transfer.chunk for transfer in algorithm.transfers) + 1
+def _grouped_chunks(gpus, peers, chunks) -> Dict[int, Dict[int, List[int]]]:
+    """``{gpu: {peer: [chunk, ...]}}`` with chunk lists in input order."""
+    import numpy as np
+
+    stride = int(max(int(gpus.max()), int(peers.max()))) + 1
+    codes = gpus * stride + peers
+    order = np.argsort(codes, kind="stable")
+    sorted_codes = codes[order]
+    boundaries = np.flatnonzero(sorted_codes[1:] != sorted_codes[:-1]) + 1
+    grouped: Dict[int, Dict[int, List[int]]] = {}
+    for members in np.split(order, boundaries):
+        gpu, peer = divmod(int(codes[members[0]]), stride)
+        grouped.setdefault(gpu, {})[peer] = chunks[members].tolist()
+    return grouped
 
 
 def save_msccl_xml(algorithm: CollectiveAlgorithm, path: Union[str, Path], *, proto: str = "Simple") -> Path:

@@ -1,7 +1,10 @@
 """Congestion-aware analytical network simulator (ASTRA-sim-like backend)."""
 
 from repro.simulator.adapters import (
+    FlatWorkload,
+    algorithm_to_flat_workload,
     algorithm_to_messages,
+    schedule_to_flat_workload,
     schedule_to_messages,
     simulate_algorithm,
     simulate_schedule,
@@ -18,14 +21,17 @@ from repro.simulator.semantics import (
 
 __all__ = [
     "CongestionAwareSimulator",
+    "FlatWorkload",
     "LogicalSchedule",
     "LogicalSend",
     "Message",
     "SimulationResult",
+    "algorithm_to_flat_workload",
     "algorithm_to_messages",
     "check_all_gather_schedule",
     "check_all_reduce_schedule",
     "replay_contributions",
+    "schedule_to_flat_workload",
     "schedule_to_messages",
     "simulate_algorithm",
     "simulate_schedule",

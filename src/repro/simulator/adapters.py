@@ -1,4 +1,4 @@
-"""Adapters that turn collective algorithms and schedules into simulator messages.
+"""Adapters that turn collective algorithms and schedules into simulator workloads.
 
 Two kinds of collective descriptions are simulated:
 
@@ -12,11 +12,26 @@ NPU ``s`` depends on every earlier send of chunk ``c`` *into* ``s``.  For
 non-reducing collectives that expresses forwarding order; for reduction
 collectives it expresses that all partials routed through ``s`` must have
 arrived before ``s`` forwards its accumulated partial.
+
+Since the columnar-IR refactor the hot path never materializes
+:class:`~repro.simulator.messages.Message` objects: the dependency structure
+is derived as a CSR directly from the algorithm's
+:class:`~repro.core.transfers.TransferTable` columns (or the schedule's send
+columns) with one grouped merge sweep, and handed to
+:meth:`~repro.simulator.engine.CongestionAwareSimulator.run_flat`.  The
+``*_to_messages`` functions remain as the compatibility view — they build
+``Message`` objects from the same flat workload, so both paths carry
+identical dependency sets, positions, and therefore identical simulated
+schedules (``tacos-repro bench`` asserts byte-identical
+``message_completion`` against the frozen object-path adapters in
+:mod:`repro.bench.reference`).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import List, NamedTuple, Optional
+
+import numpy as np
 
 from repro.core.algorithm import CollectiveAlgorithm
 from repro.simulator.engine import CongestionAwareSimulator
@@ -26,7 +41,10 @@ from repro.simulator.schedule import LogicalSchedule
 from repro.topology.topology import Topology
 
 __all__ = [
+    "FlatWorkload",
+    "algorithm_to_flat_workload",
     "algorithm_to_messages",
+    "schedule_to_flat_workload",
     "schedule_to_messages",
     "simulate_algorithm",
     "simulate_schedule",
@@ -35,87 +53,238 @@ __all__ = [
 #: Tolerance used when comparing floating-point times.
 _TIME_EPS = 1e-9
 
+_EMPTY_INT = np.zeros(0, dtype=np.int64)
 
-def algorithm_to_messages(algorithm: CollectiveAlgorithm) -> List[Message]:
-    """Convert a timed collective algorithm into dependency-linked messages.
+
+class FlatWorkload(NamedTuple):
+    """Columnar simulator workload: message endpoints plus a dependency CSR.
+
+    Message *positions* (row indices) double as message ids; ``size`` is the
+    uniform payload of every message.  ``dep_indices[dep_indptr[i]:
+    dep_indptr[i + 1]]`` are the positions message ``i`` depends on.
+    """
+
+    sources: np.ndarray
+    dests: np.ndarray
+    chunks: np.ndarray
+    size: float
+    dep_indptr: np.ndarray
+    dep_indices: np.ndarray
+
+    @property
+    def num_messages(self) -> int:
+        return int(self.sources.shape[0])
+
+
+def _grouped_prefix_bounds(
+    provider_keys: np.ndarray,
+    provider_vals: np.ndarray,
+    query_keys: np.ndarray,
+    query_vals: np.ndarray,
+    *,
+    strict: bool,
+) -> tuple:
+    """Per query, the slice of matching providers in ``(key, val)`` order.
+
+    Providers sorted stably by ``(key, val)`` form one array; for every query
+    this returns ``(lo, hi)`` such that providers ``lo..hi-1`` of that array
+    share the query's key and have ``val <= query_val`` (``<`` when
+    ``strict``).  One merged lexsort + segmented cumulative count — no
+    per-group Python loop.
+    """
+    num_providers = provider_keys.shape[0]
+    num_queries = query_keys.shape[0]
+    provider_kind, query_kind = (0, 1) if not strict else (1, 0)
+    keys = np.concatenate((provider_keys, query_keys))
+    vals = np.concatenate((provider_vals, query_vals))
+    kinds = np.concatenate(
+        (
+            np.full(num_providers, provider_kind, dtype=np.int8),
+            np.full(num_queries, query_kind, dtype=np.int8),
+        )
+    )
+    order = np.lexsort((kinds, vals, keys))
+    is_provider = order < num_providers
+    provider_running = np.cumsum(is_provider)
+    sorted_keys = keys[order]
+    segment_start = np.ones(order.shape[0], dtype=bool)
+    segment_start[1:] = sorted_keys[1:] != sorted_keys[:-1]
+    segment_id = np.cumsum(segment_start) - 1
+    base_per_segment = (provider_running - is_provider)[segment_start]
+    base = base_per_segment[segment_id]
+
+    query_mask = ~is_provider
+    query_index = order[query_mask] - num_providers
+    hi = np.empty(num_queries, dtype=np.int64)
+    lo = np.empty(num_queries, dtype=np.int64)
+    hi[query_index] = provider_running[query_mask]
+    lo[query_index] = base[query_mask]
+    return lo, hi
+
+
+def _dependency_csr(
+    provider_keys: np.ndarray,
+    provider_vals: np.ndarray,
+    query_keys: np.ndarray,
+    query_vals: np.ndarray,
+    link_predecessor: np.ndarray,
+    *,
+    strict: bool,
+) -> tuple:
+    """Assemble the per-message dependency CSR from providers + predecessors."""
+    provider_order = np.lexsort((provider_vals, provider_keys))
+    lo, hi = _grouped_prefix_bounds(
+        provider_keys, provider_vals, query_keys, query_vals, strict=strict
+    )
+    counts = hi - lo
+    has_predecessor = link_predecessor >= 0
+    dep_counts = counts + has_predecessor
+    dep_indptr = np.concatenate(
+        (np.zeros(1, dtype=np.int64), np.cumsum(dep_counts))
+    )
+    dep_indices = np.empty(int(dep_indptr[-1]), dtype=np.int64)
+    total_providers = int(counts.sum())
+    if total_providers:
+        offsets = np.cumsum(counts) - counts
+        intra = np.arange(total_providers, dtype=np.int64) - np.repeat(offsets, counts)
+        dep_indices[np.repeat(dep_indptr[:-1], counts) + intra] = provider_order[
+            np.repeat(lo, counts) + intra
+        ]
+    dep_indices[dep_indptr[1:][has_predecessor] - 1] = link_predecessor[has_predecessor]
+    return dep_indptr, dep_indices
+
+
+def _link_predecessors(link_codes: np.ndarray) -> np.ndarray:
+    """Per row, the previous row using the same link (``-1`` for the first)."""
+    count = link_codes.shape[0]
+    order = np.argsort(link_codes, kind="stable")
+    same = link_codes[order][1:] == link_codes[order][:-1]
+    predecessor = np.full(count, -1, dtype=np.int64)
+    predecessor[order[1:][same]] = order[:-1][same]
+    return predecessor
+
+
+def algorithm_to_flat_workload(algorithm: CollectiveAlgorithm) -> FlatWorkload:
+    """Derive the simulator workload columns from a timed collective algorithm.
 
     The synthesized timing is used only to derive the dependency structure
     (which inbound transfer enables which outbound transfer); the simulator
     re-times everything according to link availability, so a TACOS algorithm
     simulated on its own topology reproduces its synthesized schedule, while
     the same structure simulated on a slower network stretches accordingly.
+
+    Messages follow the transfers sorted by ``(start, end)`` (stable); a
+    message depends on every inbound transfer of its chunk into its source
+    that completes by its start time, plus — because a static collective
+    algorithm also prescribes the order in which each physical link transmits
+    its chunks — its predecessor on the same link.
     """
-    transfers = sorted(algorithm.transfers, key=lambda item: (item.start, item.end))
-    inbound: Dict[Tuple[int, int], List[Tuple[float, int]]] = {}
-    for index, transfer in enumerate(transfers):
-        inbound.setdefault((transfer.dest, transfer.chunk), []).append((transfer.end, index))
+    table = algorithm.table
+    count = len(table)
+    if count == 0:
+        return FlatWorkload(
+            _EMPTY_INT,
+            _EMPTY_INT,
+            _EMPTY_INT,
+            algorithm.chunk_size,
+            np.zeros(1, dtype=np.int64),
+            _EMPTY_INT,
+        )
+    order = table.time_sorted_order()
+    starts = table.starts[order]
+    ends = table.ends[order]
+    chunks = table.chunks[order]
+    sources = table.sources[order]
+    dests = table.dests[order]
 
-    # A static collective algorithm also prescribes the order in which each
-    # physical link transmits its chunks; preserving that order as a
-    # dependency keeps the simulated execution faithful to the algorithm
-    # (otherwise an early-ready later chunk could jump the queue and delay the
-    # chunk the algorithm scheduled first).
-    previous_on_link: Dict[Tuple[int, int], int] = {}
-    link_predecessor: List[int] = []
-    for index, transfer in enumerate(transfers):
-        link_predecessor.append(previous_on_link.get(transfer.link, -1))
-        previous_on_link[transfer.link] = index
+    chunk_stride = max(1, table.num_chunks)
+    npu_stride = int(max(sources.max(), dests.max())) + 1
+    dep_indptr, dep_indices = _dependency_csr(
+        dests * chunk_stride + chunks,
+        ends,
+        sources * chunk_stride + chunks,
+        starts + _TIME_EPS,
+        _link_predecessors(sources * npu_stride + dests),
+        strict=False,
+    )
+    return FlatWorkload(sources, dests, chunks, algorithm.chunk_size, dep_indptr, dep_indices)
 
-    messages = []
-    for index, transfer in enumerate(transfers):
-        providers = inbound.get((transfer.source, transfer.chunk), [])
-        depends_on = {
-            provider_index
-            for end, provider_index in providers
-            if end <= transfer.start + _TIME_EPS
-        }
-        if link_predecessor[index] >= 0:
-            depends_on.add(link_predecessor[index])
-        messages.append(
-            Message(
-                message_id=index,
-                source=transfer.source,
-                dest=transfer.dest,
-                size=algorithm.chunk_size,
-                chunk=transfer.chunk,
-                depends_on=frozenset(depends_on),
+
+def schedule_to_flat_workload(schedule: LogicalSchedule) -> FlatWorkload:
+    """Derive the simulator workload columns from a logical step schedule.
+
+    Messages follow the sends ordered by ``(step, source, dest, chunk)``
+    (stable); a message depends on every send of its chunk into its source at
+    a strictly earlier step.
+    """
+    schedule.validate()
+    count = len(schedule.sends)
+    if count == 0:
+        return FlatWorkload(
+            _EMPTY_INT,
+            _EMPTY_INT,
+            _EMPTY_INT,
+            schedule.chunk_size,
+            np.zeros(1, dtype=np.int64),
+            _EMPTY_INT,
+        )
+    steps, chunks, sources, dests = (
+        np.asarray(column, dtype=np.int64) for column in zip(*schedule.sends)
+    )
+    order = np.lexsort((chunks, dests, sources, steps))
+    steps = steps[order]
+    chunks = chunks[order]
+    sources = sources[order]
+    dests = dests[order]
+
+    chunk_stride = int(chunks.max()) + 1
+    dep_indptr, dep_indices = _dependency_csr(
+        dests * chunk_stride + chunks,
+        steps,
+        sources * chunk_stride + chunks,
+        steps,
+        np.full(count, -1, dtype=np.int64),
+        strict=True,
+    )
+    return FlatWorkload(sources, dests, chunks, schedule.chunk_size, dep_indptr, dep_indices)
+
+
+def _workload_to_messages(workload: FlatWorkload) -> List[Message]:
+    """Materialize the ``Message`` object view of a flat workload."""
+    indptr = workload.dep_indptr.tolist()
+    indices = workload.dep_indices.tolist()
+    return [
+        Message(
+            message_id=index,
+            source=source,
+            dest=dest,
+            size=workload.size,
+            chunk=chunk,
+            depends_on=frozenset(indices[indptr[index] : indptr[index + 1]]),
+        )
+        for index, (source, dest, chunk) in enumerate(
+            zip(
+                workload.sources.tolist(),
+                workload.dests.tolist(),
+                workload.chunks.tolist(),
             )
         )
-    return messages
+    ]
+
+
+def algorithm_to_messages(algorithm: CollectiveAlgorithm) -> List[Message]:
+    """Convert a timed collective algorithm into dependency-linked messages.
+
+    The object view of :func:`algorithm_to_flat_workload`, kept for API
+    compatibility and debugging; the simulation path feeds the flat columns
+    to the engine directly.
+    """
+    return _workload_to_messages(algorithm_to_flat_workload(algorithm))
 
 
 def schedule_to_messages(schedule: LogicalSchedule) -> List[Message]:
     """Convert a logical step schedule into dependency-linked messages."""
-    schedule.validate()
-    # Walk the cached step index rather than sorting the full send list: the
-    # per-step groups are already materialized, so only the (much smaller)
-    # within-step ordering remains to be sorted.
-    sends = [
-        send
-        for _, step_sends in schedule.steps()
-        for send in sorted(step_sends, key=lambda send: (send.source, send.dest, send.chunk))
-    ]
-    inbound: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
-    for index, send in enumerate(sends):
-        inbound.setdefault((send.dest, send.chunk), []).append((send.step, index))
-
-    messages = []
-    for index, send in enumerate(sends):
-        providers = inbound.get((send.source, send.chunk), [])
-        depends_on = frozenset(
-            provider_index for step, provider_index in providers if step < send.step
-        )
-        messages.append(
-            Message(
-                message_id=index,
-                source=send.source,
-                dest=send.dest,
-                size=schedule.chunk_size,
-                chunk=send.chunk,
-                depends_on=depends_on,
-            )
-        )
-    return messages
+    return _workload_to_messages(schedule_to_flat_workload(schedule))
 
 
 def simulate_algorithm(
@@ -126,8 +295,14 @@ def simulate_algorithm(
 ) -> SimulationResult:
     """Simulate a physically routed collective algorithm on ``topology``."""
     simulator = CongestionAwareSimulator(topology, routing_message_size=routing_message_size)
-    return simulator.run(
-        algorithm_to_messages(algorithm), collective_size=algorithm.collective_size
+    workload = algorithm_to_flat_workload(algorithm)
+    return simulator.run_flat(
+        workload.sources,
+        workload.dests,
+        workload.size,
+        workload.dep_indptr,
+        workload.dep_indices,
+        collective_size=algorithm.collective_size,
     )
 
 
@@ -139,6 +314,12 @@ def simulate_schedule(
 ) -> SimulationResult:
     """Simulate a topology-unaware logical schedule on ``topology``."""
     simulator = CongestionAwareSimulator(topology, routing_message_size=routing_message_size)
-    return simulator.run(
-        schedule_to_messages(schedule), collective_size=schedule.collective_size
+    workload = schedule_to_flat_workload(schedule)
+    return simulator.run_flat(
+        workload.sources,
+        workload.dests,
+        workload.size,
+        workload.dep_indptr,
+        workload.dep_indices,
+        collective_size=schedule.collective_size,
     )

@@ -101,7 +101,6 @@ class CongestionAwareSimulator:
         messages = list(messages)
         validate_messages(messages)
         num_messages = len(messages)
-        arrays = self.topology.link_arrays()
 
         # Dense message indexing: message ids are arbitrary ints, positions
         # 0..n-1 follow input order (the same enumeration order the frozen
@@ -115,22 +114,140 @@ class CongestionAwareSimulator:
         index_of = (
             None if identity_ids else {mid: index for index, mid in enumerate(message_ids)}
         )
-        sizes = list(map(_get_size, messages))
+        sizes_arr = np.fromiter(map(_get_size, messages), dtype=np.float64, count=num_messages)
         dependency_sets = list(map(_get_depends_on, messages))
         missing_deps = list(map(len, dependency_sets))
-        dependents: List[List[int]] = [[] for _ in range(num_messages)]
+        num_edges = sum(missing_deps)
         if identity_ids:
-            for index, depends_on in enumerate(dependency_sets):
-                if depends_on:
-                    for dep in depends_on:
-                        dependents[dep].append(index)
+            dep_flat = np.fromiter(
+                chain.from_iterable(dependency_sets), dtype=np.int64, count=num_edges
+            )
         else:
-            for index, depends_on in enumerate(dependency_sets):
-                if depends_on:
-                    for dep in depends_on:
-                        dependents[index_of[dep]].append(index)
-
+            dep_flat = np.fromiter(
+                (index_of[dep] for dep in chain.from_iterable(dependency_sets)),
+                dtype=np.int64,
+                count=num_edges,
+            )
         routes = self._resolve_routes(messages)
+        return self._execute(
+            message_ids if not identity_ids else None,
+            sizes_arr,
+            missing_deps,
+            dep_flat,
+            routes,
+            collective_size,
+        )
+
+    def run_flat(
+        self,
+        sources: Sequence[int],
+        dests: Sequence[int],
+        sizes,
+        dep_indptr: Sequence[int],
+        dep_indices: Sequence[int],
+        *,
+        collective_size: float = 0.0,
+    ) -> SimulationResult:
+        """Simulate a flat columnar workload without :class:`Message` objects.
+
+        The columnar twin of :meth:`run`: message ``i`` is described by
+        ``sources[i] -> dests[i]`` with payload ``sizes`` (a scalar for the
+        common uniform-chunk case, or a per-message array) and dependencies
+        ``dep_indices[dep_indptr[i]:dep_indptr[i + 1]]`` given as message
+        *positions*.  Positions double as message ids in the returned
+        :class:`SimulationResult`.  Behaviour — FCFS tie-breaking, float
+        operation order, outputs — is identical to feeding :meth:`run` the
+        equivalent ``Message`` list; the adapters derive these columns
+        directly from a :class:`~repro.core.transfers.TransferTable` or
+        :class:`~repro.simulator.schedule.LogicalSchedule`, skipping object
+        construction on the hot path.
+        """
+        sources = np.asarray(sources, dtype=np.int64)
+        dests = np.asarray(dests, dtype=np.int64)
+        dep_indptr = np.asarray(dep_indptr, dtype=np.int64)
+        dep_flat = np.asarray(dep_indices, dtype=np.int64)
+        num_messages = int(sources.shape[0])
+        if np.isscalar(sizes):
+            sizes_arr = np.full(num_messages, float(sizes))
+        else:
+            sizes_arr = np.asarray(sizes, dtype=np.float64)
+        self._validate_flat(sources, dests, sizes_arr, dep_indptr, dep_flat)
+        missing_deps = np.diff(dep_indptr).tolist()
+        routes = self._resolve_routes_flat(sources, dests, sizes_arr)
+        return self._execute(None, sizes_arr, missing_deps, dep_flat, routes, collective_size)
+
+    def _validate_flat(
+        self,
+        sources: np.ndarray,
+        dests: np.ndarray,
+        sizes_arr: np.ndarray,
+        dep_indptr: np.ndarray,
+        dep_flat: np.ndarray,
+    ) -> None:
+        """Columnar mirror of :func:`~repro.simulator.messages.validate_messages`."""
+        num_messages = int(sources.shape[0])
+        if dests.shape[0] != num_messages or sizes_arr.shape[0] != num_messages:
+            raise SimulationError("flat workload columns disagree in length")
+        if dep_indptr.shape[0] != num_messages + 1 or (
+            num_messages and int(dep_indptr[-1]) != dep_flat.shape[0]
+        ):
+            raise SimulationError("flat workload dependency CSR is malformed")
+        degenerate = sources == dests
+        if degenerate.any():
+            index = int(np.flatnonzero(degenerate)[0])
+            raise SimulationError(
+                f"message {index} has identical source and dest {int(sources[index])}"
+            )
+        nonpositive = sizes_arr <= 0
+        if nonpositive.any():
+            index = int(np.flatnonzero(nonpositive)[0])
+            raise SimulationError(
+                f"message {index} has non-positive size {float(sizes_arr[index])}"
+            )
+        if dep_flat.size:
+            if int(dep_flat.min()) < 0 or int(dep_flat.max()) >= num_messages:
+                raise SimulationError("flat workload dependency references an unknown message")
+            own = np.repeat(np.arange(num_messages, dtype=np.int64), np.diff(dep_indptr))
+            selfdep = dep_flat == own
+            if selfdep.any():
+                index = int(own[np.flatnonzero(selfdep)[0]])
+                raise SimulationError(f"message {index} depends on itself")
+
+    def _execute(
+        self,
+        message_ids: Optional[List[int]],
+        sizes_arr: np.ndarray,
+        missing_deps: List[int],
+        dep_flat: np.ndarray,
+        routes: List[Tuple[int, ...]],
+        collective_size: float,
+    ) -> SimulationResult:
+        """Shared event loop over flat hop columns (see :meth:`run`).
+
+        ``message_ids`` is ``None`` when ids equal positions (the adapters'
+        contract); ``dep_flat`` lists dependency positions consumer-major.
+        """
+        num_messages = sizes_arr.shape[0]
+        arrays = self.topology.link_arrays()
+
+        # Dependents CSR: edges stably sorted by dependency yield, per
+        # dependency, its dependents in ascending position order — the same
+        # lists the historical per-message append loop produced.
+        num_edges = int(dep_flat.shape[0])
+        if num_edges:
+            consumer_of_edge = np.repeat(
+                np.arange(num_messages, dtype=np.int64),
+                np.asarray(missing_deps, dtype=np.int64),
+            )
+            edge_order = np.argsort(dep_flat, kind="stable")
+            dependents_flat = consumer_of_edge[edge_order].tolist()
+            dependent_counts = np.bincount(dep_flat, minlength=num_messages)
+            dependents_indptr = np.concatenate(
+                (np.zeros(1, dtype=np.int64), np.cumsum(dependent_counts))
+            ).tolist()
+        else:
+            dependents_flat = []
+            dependents_indptr = [0] * (num_messages + 1)
 
         # Flat per-hop columns, vectorized: position `pos` of message `index`
         # at hop `h` is offsets[index] + h; consecutive hops are consecutive
@@ -146,7 +263,7 @@ class CongestionAwareSimulator:
         )
         betas_arr = np.asarray(arrays.betas, dtype=float)
         alphas_arr = np.asarray(arrays.alphas, dtype=float)
-        hop_sizes_arr = np.repeat(np.asarray(sizes, dtype=float), route_lengths)
+        hop_sizes_arr = np.repeat(sizes_arr, route_lengths)
         hop_serialization_arr = betas_arr[hop_links_arr] * hop_sizes_arr
         last_positions = offsets_arr[1:] - 1
         signed_links_arr = hop_links_arr.copy()
@@ -223,7 +340,9 @@ class CongestionAwareSimulator:
                 index = message_of_hop[pos]
                 completion[index] = arrival
                 completed += 1
-                for dependent in dependents[index]:
+                for dependent in dependents_flat[
+                    dependents_indptr[index] : dependents_indptr[index + 1]
+                ]:
                     if arrival > ready_time[dependent]:
                         ready_time[dependent] = arrival
                     remaining = missing_deps[dependent] - 1
@@ -234,16 +353,20 @@ class CongestionAwareSimulator:
                 break
 
         if completed != num_messages:
+            ids = message_ids if message_ids is not None else range(num_messages)
             unfinished = sorted(
-                messages[index].message_id
-                for index in range(num_messages)
+                message_id
+                for index, message_id in enumerate(ids)
                 if completion[index] is None
             )
             raise SimulationError(
                 f"{len(unfinished)} messages never became ready (dependency cycle?): {unfinished[:10]}"
             )
 
-        message_completion = dict(zip(message_ids, completion))
+        if message_ids is None:
+            message_completion = dict(enumerate(completion))
+        else:
+            message_completion = dict(zip(message_ids, completion))
         completion_time = max(message_completion.values()) if message_completion else 0.0
         busy_columns, link_bytes = self._collect_link_stats(
             arrays,
@@ -338,33 +461,70 @@ class CongestionAwareSimulator:
         return message.size
 
     def _route_links(self, message: Message) -> Tuple[int, ...]:
-        """Shortest physical path for ``message`` as a tuple of link ids.
+        """Shortest physical path for ``message`` as a tuple of link ids."""
+        return self._route_links_pair(
+            message.source, message.dest, self._weight_size(message), message.message_id
+        )
+
+    def _route_links_pair(
+        self, source: int, dest: int, weight_size: float, message_id
+    ) -> Tuple[int, ...]:
+        """Link-id route for one ``(source, dest, weight)`` triple.
 
         Resolved through the topology's cached shortest-path tree for
-        ``(message.source, weight_size)``; cached per endpoint pair and size.
+        ``(source, weight_size)``; cached per endpoint pair and size.
         Degenerate (empty) routes raise without being stored, so a bad
         message cannot poison the cache for later messages sharing the same
         endpoint pair.
         """
-        weight_size = self._weight_size(message)
-        cache_key = (message.source, message.dest, weight_size)
+        cache_key = (source, dest, weight_size)
         route = self._link_route_cache.get(cache_key)
         if route is None:
-            if message.source == message.dest:
+            if source == dest:
                 raise SimulationError(
-                    f"message {message.message_id} has a degenerate route [{message.source}]"
+                    f"message {message_id} has a degenerate route [{source}]"
                 )
-            route = tuple(
-                self.topology.shortest_path_links(
-                    message.source, message.dest, weight_size
-                )
-            )
+            route = tuple(self.topology.shortest_path_links(source, dest, weight_size))
             if not route:
                 raise SimulationError(
-                    f"message {message.message_id} has a degenerate route {route}"
+                    f"message {message_id} has a degenerate route {route}"
                 )
             self._link_route_cache[cache_key] = route
         return route
+
+    def _resolve_routes_flat(
+        self, sources: np.ndarray, dests: np.ndarray, sizes_arr: np.ndarray
+    ) -> List[Tuple[int, ...]]:
+        """Per-message routes for a columnar workload, one Dijkstra per pair.
+
+        For the uniform-weight case (a routing-size override, or all payloads
+        equal — every adapter-produced workload) the distinct ``(source,
+        dest)`` pairs are found with one ``np.unique`` and each pair is
+        resolved once; the per-message route list is then a C-speed gather.
+        """
+        num_messages = int(sources.shape[0])
+        if not num_messages:
+            return []
+        weight_override = self.routing_message_size
+        uniform = weight_override is not None or bool((sizes_arr == sizes_arr[0]).all())
+        if not uniform:
+            return [
+                self._route_links_pair(int(source), int(dest), float(size), index)
+                for index, (source, dest, size) in enumerate(
+                    zip(sources.tolist(), dests.tolist(), sizes_arr.tolist())
+                )
+            ]
+        weight = float(weight_override if weight_override is not None else sizes_arr[0])
+        stride = self.topology.num_npus
+        codes = sources * stride + dests
+        unique_codes, inverse = np.unique(codes, return_inverse=True)
+        first_of_code = np.zeros(unique_codes.shape[0], dtype=np.int64)
+        first_of_code[inverse[::-1]] = np.arange(num_messages - 1, -1, -1, dtype=np.int64)
+        pair_routes = [
+            self._route_links_pair(code // stride, code % stride, weight, int(first))
+            for code, first in zip(unique_codes.tolist(), first_of_code.tolist())
+        ]
+        return [pair_routes[group] for group in inverse.tolist()]
 
     def _route(self, message: Message) -> List[int]:
         """Shortest physical path for ``message`` as NPU indices (cached).

@@ -18,27 +18,84 @@ schedule having to enumerate dependencies explicitly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, NamedTuple, Optional, Sequence, Tuple
 
 from repro.errors import SimulationError
 
-__all__ = ["LogicalSend", "LogicalSchedule"]
+__all__ = ["LogicalSend", "LogicalSchedule", "sends_from_columns"]
+
+_tuple_new = tuple.__new__
 
 
-@dataclass(frozen=True, order=True)
-class LogicalSend:
-    """One logical chunk send at a given algorithm step."""
-
+class _LogicalSendFields(NamedTuple):
     step: int
     chunk: int
     source: int
     dest: int
 
-    def __post_init__(self) -> None:
-        if self.step < 0:
-            raise SimulationError(f"step must be non-negative, got {self.step}")
-        if self.source == self.dest:
+
+class LogicalSend(_LogicalSendFields):
+    """One logical chunk send at a given algorithm step.
+
+    A named tuple (ordered and compared field-by-field, hashable, immutable)
+    — the same treatment :class:`~repro.core.algorithm.ChunkTransfer` got:
+    the public constructor validates, while bulk construction from
+    already-validated columns goes through ``LogicalSend._make`` at C speed
+    (see :func:`sends_from_columns`).
+    """
+
+    __slots__ = ()
+
+    def __new__(cls, step: int, chunk: int, source: int, dest: int):
+        self = _tuple_new(cls, (step, chunk, source, dest))
+        if step < 0:
+            raise SimulationError(f"step must be non-negative, got {step}")
+        if source == dest:
             raise SimulationError(f"send {self} has identical source and dest")
+        return self
+
+
+def sends_from_columns(
+    steps: Sequence[int],
+    chunks: Sequence[int],
+    sources: Sequence[int],
+    dests: Sequence[int],
+) -> List[LogicalSend]:
+    """Materialize a send list from four parallel columns (the fast path).
+
+    Validates the columns wholesale — the checks the :class:`LogicalSend`
+    constructor performs per instance — then builds the tuples through
+    ``LogicalSend._make`` without per-send Python-level ``__new__`` calls.
+    Columns may be numpy arrays or plain sequences.
+    """
+    import numpy as np
+
+    steps_arr = np.asarray(steps, dtype=np.int64)
+    sources_arr = np.asarray(sources, dtype=np.int64)
+    dests_arr = np.asarray(dests, dtype=np.int64)
+    if (steps_arr < 0).any():
+        raise SimulationError(
+            f"step must be non-negative, got {int(steps_arr.min())}"
+        )
+    degenerate = sources_arr == dests_arr
+    if degenerate.any():
+        index = int(np.flatnonzero(degenerate)[0])
+        raise SimulationError(
+            f"send (step={int(steps_arr[index])}, source={int(sources_arr[index])}) "
+            "has identical source and dest"
+        )
+    chunks_arr = np.asarray(chunks, dtype=np.int64)
+    return list(
+        map(
+            LogicalSend._make,
+            zip(
+                steps_arr.tolist(),
+                chunks_arr.tolist(),
+                sources_arr.tolist(),
+                dests_arr.tolist(),
+            ),
+        )
+    )
 
 
 @dataclass

@@ -432,6 +432,26 @@ class Topology:
             out_ids=out_ids,
         )
 
+    def link_id_matrix(self):
+        """Dense ``source * num_npus + dest -> link id`` lookup (``-1`` = no link).
+
+        A flat ``numpy`` int array resolving whole columns of ``(source,
+        dest)`` pairs against :meth:`link_arrays` ids in one gather — the
+        vectorized verification and adapter layers use it instead of
+        per-transfer dict lookups.  Cached per topology; treat as read-only.
+        """
+
+        def build():
+            import numpy as np
+
+            size = self._num_npus
+            matrix = np.full(size * size, -1, dtype=np.int64)
+            for (source, dest), link_id in self.link_arrays().id_of.items():
+                matrix[source * size + dest] = link_id
+            return matrix
+
+        return self._derived("link_id_matrix", build)
+
     def hop_distances(self) -> List[List[int]]:
         """All-pairs hop distances via per-source BFS, cached per topology.
 

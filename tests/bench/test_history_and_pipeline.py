@@ -1,0 +1,217 @@
+"""Bench satellites: the --history trajectory walker and the pipeline grid.
+
+``speedup_history`` is tested against the repository's checked-in
+``benchmarks/results/BENCH_*.json`` artifact chain; the pipeline scenario
+runner is smoke-tested end-to-end (flat vs frozen reference pipelines,
+byte-identical outputs and verdicts)."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench import (
+    GRIDS,
+    PipelineScenario,
+    get_grid,
+    load_history,
+    run_bench,
+    speedup_history,
+    summarize,
+    write_report,
+)
+from repro.bench.runner import _run_pipeline_scenario
+from repro.cli import main
+
+RESULTS_DIR = Path(__file__).resolve().parents[2] / "benchmarks" / "results"
+
+MB = 1e6
+
+
+# ----------------------------------------------------------------------
+# History over the checked-in artifact chain
+# ----------------------------------------------------------------------
+class TestSpeedupHistory:
+    def test_checked_in_chain_is_walked(self):
+        rows = speedup_history(RESULTS_DIR)
+        assert len(rows) >= 4  # two fig19, one sim_stress, one pipeline
+        by_grid = {}
+        for row in rows:
+            by_grid.setdefault(row["grid"], []).append(row)
+        assert len(by_grid["fig19"]) >= 2
+        assert len(by_grid["sim_stress"]) >= 1
+        assert len(by_grid["pipeline"]) >= 1
+
+    def test_rows_match_report_summaries(self):
+        for row in speedup_history(RESULTS_DIR):
+            report = json.loads((RESULTS_DIR / row["file"]).read_text())
+            assert row["median_speedup"] == report["summary"]["median_speedup"]
+            assert row["created_utc"] == report["created_utc"]
+            assert row["version"] == report["version"]
+
+    def test_trajectory_ratio_links_consecutive_reports(self):
+        rows = [row for row in speedup_history(RESULTS_DIR, grid="fig19")]
+        assert len(rows) >= 2
+        assert rows[0]["median_speedup_vs_previous"] is None
+        for earlier, later in zip(rows, rows[1:]):
+            assert later["median_speedup_vs_previous"] == pytest.approx(
+                later["median_speedup"] / earlier["median_speedup"]
+            )
+
+    def test_grid_filter(self):
+        rows = speedup_history(RESULTS_DIR, grid="sim_stress")
+        assert rows and all(row["grid"] == "sim_stress" for row in rows)
+
+    def test_missing_directory_is_empty(self, tmp_path):
+        assert speedup_history(tmp_path / "nope") == []
+        assert load_history(tmp_path / "nope") == []
+
+    def test_chronological_within_grid(self):
+        rows = speedup_history(RESULTS_DIR, grid="fig19")
+        created = [row["created_utc"] for row in rows]
+        assert created == sorted(created)
+
+
+class TestHistoryCli:
+    def test_history_exits_zero(self, capsys):
+        code = main(["bench", "--history", "--results-dir", str(RESULTS_DIR)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fig19" in out
+        assert "pipeline" in out
+
+    def test_history_json(self, capsys):
+        code = main(["bench", "--history", "--results-dir", str(RESULTS_DIR), "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["history"]) >= 4
+
+    def test_history_compare_diffs_newest_two(self, capsys):
+        code = main(
+            [
+                "bench", "--history", "--compare", "--grid", "fig19",
+                "--results-dir", str(RESULTS_DIR), "--json",
+                "--compare-threshold", "1000",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["comparison"]["matched"] >= 1
+
+    def test_history_empty_directory_fails(self, tmp_path, capsys):
+        code = main(["bench", "--history", "--results-dir", str(tmp_path)])
+        assert code == 2
+
+    def test_history_compare_honors_explicit_baseline(self, capsys):
+        baseline = sorted(RESULTS_DIR.glob("BENCH_fig19_*.json"))[0]
+        code = main(
+            [
+                "bench", "--history", "--compare", str(baseline), "--grid", "fig19",
+                "--results-dir", str(RESULTS_DIR), "--json",
+                "--compare-threshold", "1000",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        expected = json.loads(baseline.read_text())
+        assert payload["comparison"]["baseline_created_utc"] == expected["created_utc"]
+
+    def test_history_compare_needs_two_reports(self, tmp_path, capsys):
+        report = json.loads((next(RESULTS_DIR.glob("BENCH_fig19_*.json"))).read_text())
+        (tmp_path / "BENCH_fig19_20260101_000000.json").write_text(json.dumps(report))
+        code = main(
+            ["bench", "--history", "--compare", "--grid", "fig19", "--results-dir", str(tmp_path)]
+        )
+        assert code == 2
+
+
+# ----------------------------------------------------------------------
+# The recorded pipeline report (the PR's acceptance artifact)
+# ----------------------------------------------------------------------
+class TestRecordedPipelineReport:
+    def _newest(self):
+        paths = sorted(RESULTS_DIR.glob("BENCH_pipeline_*.json"))
+        assert paths, "a recorded pipeline report must be checked in"
+        return json.loads(paths[-1].read_text())
+
+    def test_median_speedup_at_least_1_5x(self):
+        report = self._newest()
+        assert report["summary"]["median_speedup"] >= 1.5
+
+    def test_every_scenario_equivalent_and_verified(self):
+        report = self._newest()
+        assert report["summary"]["all_equivalent"] is True
+        for record in report["records"]:
+            assert record["kind"] == "pipeline"
+            assert record["equivalent"] is True
+            assert record["verified"] is True
+
+    def test_pipeline_records_claim_no_simulator_speedup(self):
+        # No simulator-only timing exists for a pipeline run; the
+        # simulation_* fields must stay null so the grid summary's
+        # simulator-speedup medians are never inflated by pipeline rows.
+        report = self._newest()
+        assert report["summary"]["median_simulation_speedup"] is None
+        for record in report["records"]:
+            assert record["simulation_seconds"] is None
+            assert record["simulation_speedup"] is None
+            assert record["simulation_equivalent"] is None
+
+    def test_grid_diversity_is_recorded(self):
+        names = {record["scenario"] for record in self._newest()["records"]}
+        assert "pipe-mesh20x20-ag-64MB" in names
+        assert any("-c2" in name for name in names)  # sub-chunked
+        assert any("-rs-" in name for name in names)  # Reduce-Scatter
+        assert any("-a2a-" in name for name in names)  # All-to-All
+        assert any("-bc-" in name for name in names)  # Broadcast
+
+
+# ----------------------------------------------------------------------
+# Pipeline scenarios end-to-end (small, CI-sized)
+# ----------------------------------------------------------------------
+class TestPipelineScenarios:
+    def test_pipeline_grid_registered(self):
+        assert "pipeline" in GRIDS
+        scenarios = get_grid("pipeline")
+        assert all(isinstance(s, PipelineScenario) for s in scenarios)
+        assert any(s.chunks_per_npu > 1 for s in scenarios)
+
+    def test_smoke_grid_contains_pipeline_scenarios(self):
+        assert any(isinstance(s, PipelineScenario) for s in get_grid("smoke"))
+
+    def test_small_pipeline_scenario_equivalent(self):
+        record = _run_pipeline_scenario(
+            PipelineScenario("pipe-test", "mesh_2d:3,3", "all_reduce", 1 * MB),
+            repeats=1,
+            check_equivalence=True,
+        )
+        assert record.kind == "pipeline"
+        assert record.equivalent is True
+        assert record.verified is True
+        assert record.num_messages == record.num_transfers > 0
+
+    def test_reduce_scatter_pipeline_scenario(self):
+        record = _run_pipeline_scenario(
+            PipelineScenario("pipe-rs", "mesh_2d:3,3", "reduce_scatter", 1 * MB, chunks_per_npu=2),
+            repeats=1,
+            check_equivalence=True,
+        )
+        assert record.equivalent is True
+        assert record.verified is True
+
+    def test_pipeline_records_survive_report_round_trip(self, tmp_path):
+        records = run_bench(
+            "smoke",
+            repeats=1,
+            scenarios=[PipelineScenario("pipe-rt", "ring:4", "all_gather", 1 * MB)],
+        )
+        path, report = write_report(records, grid="smoke", repeats=1, out_dir=tmp_path)
+        loaded = json.loads(path.read_text())
+        assert loaded["schema"].startswith("tacos-repro-bench/")
+        (record,) = loaded["records"]
+        assert record["kind"] == "pipeline"
+        assert record["verified"] is True
+        assert record["simulation_speedup"] is None
+        summary = summarize(records)
+        assert summary["num_scenarios"] == 1
+        assert summary["median_simulation_speedup"] is None

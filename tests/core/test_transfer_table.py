@@ -1,0 +1,272 @@
+"""IR equivalence: the columnar TransferTable vs the pre-refactor tuple-list
+semantics.
+
+Every column op that replaced a per-transfer Python loop is property-tested
+against a straight reimplementation of the historical tuple-list code:
+``shifted`` / ``reversed_in_time`` / ``concatenated`` must produce the exact
+same floats in the same order, and ``link_occupancy`` / ``link_bytes`` /
+``link_busy_time`` / ``chunk_paths`` / ``delivered_chunks`` /
+``has_link_overlap`` must match the dict-of-list results bit for bit."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import ChunkTransfer, CollectiveAlgorithm, TransferTable
+
+_settings = settings(
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+_TIME_EPS = 1e-9
+
+
+def _random_transfers(rng, count, num_npus=6, num_chunks=5):
+    transfers = []
+    for _ in range(count):
+        start = rng.uniform(0.0, 10.0)
+        duration = rng.choice([0.0, rng.uniform(0.0, 3.0)])
+        source = rng.randrange(num_npus)
+        dest = rng.randrange(num_npus)
+        while dest == source:
+            dest = rng.randrange(num_npus)
+        transfers.append(
+            ChunkTransfer(
+                start=start,
+                end=start + duration,
+                chunk=rng.randrange(num_chunks),
+                source=source,
+                dest=dest,
+            )
+        )
+    return transfers
+
+
+def _algorithm(transfers, num_npus=6, chunk_size=1e6):
+    return CollectiveAlgorithm(
+        transfers=list(transfers),
+        num_npus=num_npus,
+        chunk_size=chunk_size,
+        collective_size=chunk_size * num_npus,
+    )
+
+
+# ----------------------------------------------------------------------
+# Reference (pre-refactor) tuple-list implementations
+# ----------------------------------------------------------------------
+def _ref_shifted(transfers, offset):
+    return [
+        ChunkTransfer(t.start + offset, t.end + offset, t.chunk, t.source, t.dest)
+        for t in transfers
+    ]
+
+
+def _ref_reversed(transfers, total):
+    return [
+        ChunkTransfer(total - t.end, total - t.start, t.chunk, t.dest, t.source)
+        for t in transfers
+    ]
+
+
+def _ref_link_occupancy(transfers):
+    occupancy = {}
+    for t in transfers:
+        occupancy.setdefault(t.link, []).append(t)
+    for entries in occupancy.values():
+        entries.sort(key=lambda t: t.start)
+    return occupancy
+
+
+def _ref_link_bytes(transfers, chunk_size):
+    loads = {}
+    for t in transfers:
+        loads[t.link] = loads.get(t.link, 0.0) + chunk_size
+    return loads
+
+
+def _ref_link_busy_time(transfers):
+    busy = {}
+    for t in transfers:
+        busy[t.link] = busy.get(t.link, 0.0) + t.duration
+    return busy
+
+
+def _ref_chunk_paths(transfers):
+    paths = {}
+    for t in transfers:
+        paths.setdefault(t.chunk, []).append(t)
+    for entries in paths.values():
+        entries.sort(key=lambda t: t.start)
+    return paths
+
+
+def _ref_delivered(transfers, num_npus, precondition):
+    holdings = {npu: set(chunks) for npu, chunks in precondition.items()}
+    for npu in range(num_npus):
+        holdings.setdefault(npu, set())
+    for t in sorted(transfers, key=lambda item: item.end):
+        holdings[t.dest].add(t.chunk)
+    return holdings
+
+
+def _ref_has_overlap(transfers):
+    for entries in _ref_link_occupancy(transfers).values():
+        for earlier, later in zip(entries, entries[1:]):
+            if later.start < earlier.end - _TIME_EPS:
+                return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# Property tests
+# ----------------------------------------------------------------------
+@_settings
+@given(seed=st.integers(0, 10_000), count=st.integers(0, 60), offset=st.floats(-5.0, 5.0))
+def test_shifted_matches_tuple_semantics(seed, count, offset):
+    transfers = _random_transfers(random.Random(seed), count)
+    shifted = _algorithm(transfers).shifted(offset)
+    assert shifted.transfers == _ref_shifted(transfers, offset)
+
+
+@_settings
+@given(seed=st.integers(0, 10_000), count=st.integers(0, 60))
+def test_reversed_in_time_matches_tuple_semantics(seed, count):
+    transfers = _random_transfers(random.Random(seed), count)
+    algorithm = _algorithm(transfers)
+    total = algorithm.collective_time
+    reversed_algorithm = algorithm.reversed_in_time()
+    assert reversed_algorithm.transfers == _ref_reversed(transfers, total)
+    # An explicit duration must behave identically.
+    assert algorithm.reversed_in_time(total + 1.5).transfers == _ref_reversed(
+        transfers, total + 1.5
+    )
+
+
+@_settings
+@given(seed=st.integers(0, 10_000), first=st.integers(0, 40), second=st.integers(0, 40))
+def test_concatenated_matches_tuple_semantics(seed, first, second):
+    rng = random.Random(seed)
+    left = _random_transfers(rng, first)
+    right = _random_transfers(rng, second)
+    combined = _algorithm(left).concatenated(_algorithm(right))
+    boundary = _algorithm(left).collective_time
+    expected = list(left) + _ref_shifted(right, boundary)
+    assert combined.transfers == expected
+    assert combined.metadata["phase_boundary"] == boundary
+
+
+@_settings
+@given(seed=st.integers(0, 10_000), count=st.integers(0, 60))
+def test_link_views_match_tuple_semantics(seed, count):
+    transfers = _random_transfers(random.Random(seed), count)
+    algorithm = _algorithm(transfers)
+    assert algorithm.link_occupancy() == _ref_link_occupancy(transfers)
+    assert algorithm.link_bytes() == _ref_link_bytes(transfers, algorithm.chunk_size)
+    assert algorithm.link_busy_time() == _ref_link_busy_time(transfers)
+    assert algorithm.chunk_paths() == _ref_chunk_paths(transfers)
+    assert algorithm.has_link_overlap() == _ref_has_overlap(transfers)
+
+
+@_settings
+@given(seed=st.integers(0, 10_000), count=st.integers(0, 60))
+def test_delivered_chunks_matches_tuple_semantics(seed, count):
+    rng = random.Random(seed)
+    transfers = _random_transfers(rng, count)
+    precondition = {npu: frozenset(rng.sample(range(5), rng.randrange(3))) for npu in range(6)}
+    algorithm = _algorithm(transfers)
+    assert algorithm.delivered_chunks(precondition) == _ref_delivered(
+        transfers, 6, precondition
+    )
+
+
+@_settings
+@given(seed=st.integers(0, 10_000), count=st.integers(0, 60))
+def test_timing_reductions_match(seed, count):
+    transfers = _random_transfers(random.Random(seed), count)
+    algorithm = _algorithm(transfers)
+    if transfers:
+        assert algorithm.collective_time == max(t.end for t in transfers)
+        assert algorithm.start_time == min(t.start for t in transfers)
+    else:
+        assert algorithm.collective_time == 0.0
+        assert algorithm.start_time == 0.0
+
+
+# ----------------------------------------------------------------------
+# TransferTable unit behaviour
+# ----------------------------------------------------------------------
+class TestTransferTable:
+    def test_round_trip_preserves_tuples(self):
+        transfers = _random_transfers(random.Random(7), 25)
+        table = TransferTable.from_transfers(transfers)
+        assert table.to_transfers() == transfers
+        assert len(table) == 25
+
+    def test_from_columns_validates_lengths(self):
+        with pytest.raises(ValueError):
+            TransferTable.from_columns([0.0], [1.0, 2.0], [0], [0], [1])
+
+    def test_from_columns_rejects_negative_duration(self):
+        with pytest.raises(ValueError):
+            TransferTable.from_columns([2.0], [1.0], [0], [0], [1])
+
+    def test_empty_table(self):
+        table = TransferTable.empty()
+        assert len(table) == 0
+        assert table.max_end == 0.0
+        assert table.to_transfers() == []
+        assert len(table.concatenated(table)) == 0
+
+    def test_select_mask(self):
+        transfers = _random_transfers(random.Random(3), 10)
+        table = TransferTable.from_transfers(transfers)
+        subset = table.select(table.chunks == transfers[0].chunk)
+        assert all(t.chunk == transfers[0].chunk for t in subset.to_transfers())
+
+    def test_algorithm_from_table_fast_path(self):
+        transfers = _random_transfers(random.Random(11), 15)
+        table = TransferTable.from_transfers(transfers)
+        algorithm = CollectiveAlgorithm.from_table(
+            table, num_npus=6, chunk_size=1e6, collective_size=6e6
+        )
+        assert algorithm.transfers == transfers
+        assert algorithm.num_transfers == 15
+
+    def test_algorithm_requires_exactly_one_representation(self):
+        table = TransferTable.empty()
+        with pytest.raises(TypeError):
+            CollectiveAlgorithm(
+                transfers=[], table=table, num_npus=2, chunk_size=1.0, collective_size=1.0
+            )
+        with pytest.raises(TypeError):
+            CollectiveAlgorithm(num_npus=2, chunk_size=1.0, collective_size=1.0)
+
+    def test_list_backed_mutation_is_reflected_in_columns(self):
+        # Mutating .transfers in place was a supported pattern on the
+        # pre-refactor dataclass; column ops must never read stale data.
+        transfers = _random_transfers(random.Random(1), 5)
+        algorithm = _algorithm(transfers)
+        before = algorithm.collective_time  # builds (and discards) a table
+        late = ChunkTransfer(100.0, 200.0, 0, 0, 1)
+        algorithm.transfers.append(late)
+        assert algorithm.num_transfers == 6
+        assert algorithm.collective_time == 200.0 != before
+        assert algorithm.link_bytes()[(0, 1)] >= algorithm.chunk_size
+        replacement = ChunkTransfer(300.0, 400.0, 1, 2, 3)
+        algorithm.transfers[-1] = replacement
+        assert algorithm.collective_time == 400.0
+
+    def test_algorithm_equality_across_representations(self):
+        transfers = _random_transfers(random.Random(5), 8)
+        by_list = _algorithm(transfers)
+        by_table = CollectiveAlgorithm.from_table(
+            TransferTable.from_transfers(transfers),
+            num_npus=6,
+            chunk_size=1e6,
+            collective_size=6e6,
+        )
+        assert by_list == by_table

@@ -1,0 +1,187 @@
+"""Vectorized verification vs the frozen object-path verifier.
+
+The columnar checker in :mod:`repro.core.verification` must reach the same
+verdict (pass, or a :class:`VerificationError`) as the pre-refactor
+per-transfer scanner frozen in :mod:`repro.bench.reference` — on correct
+synthesized algorithms of every pattern family and on deliberately corrupted
+variants exercising each failure mode."""
+
+import pytest
+
+from repro.bench.reference import reference_verify_algorithm
+from repro.collectives import AllGather, AllReduce, AllToAll, Broadcast, ReduceScatter
+from repro.core import ChunkTransfer, CollectiveAlgorithm, SynthesisConfig, TacosSynthesizer
+from repro.core.verification import verify_algorithm
+from repro.errors import VerificationError
+from repro.topology import build_dgx1, build_mesh_2d, build_ring
+
+MB = 1e6
+
+
+def _verdict(verifier, algorithm, topology, pattern, **kwargs):
+    try:
+        return verifier(algorithm, topology, pattern, **kwargs), ""
+    except VerificationError as exc:
+        return False, str(exc)
+
+
+def _assert_same_verdict(algorithm, topology, pattern, **kwargs):
+    new_ok, new_msg = _verdict(verify_algorithm, algorithm, topology, pattern, **kwargs)
+    ref_ok, ref_msg = _verdict(
+        reference_verify_algorithm, algorithm, topology, pattern, **kwargs
+    )
+    assert new_ok == ref_ok, f"verdicts diverge: columnar={new_msg!r} reference={ref_msg!r}"
+    return new_ok
+
+
+CASES = [
+    ("mesh3x3-ag", lambda: build_mesh_2d(3, 3), lambda: AllGather(9)),
+    ("mesh3x3-ar", lambda: build_mesh_2d(3, 3), lambda: AllReduce(9)),
+    ("mesh3x3-ar-c2", lambda: build_mesh_2d(3, 3), lambda: AllReduce(9, 2)),
+    ("mesh4x4-rs", lambda: build_mesh_2d(4, 4), lambda: ReduceScatter(16)),
+    ("mesh3x3-a2a", lambda: build_mesh_2d(3, 3), lambda: AllToAll(9)),
+    ("mesh3x3-bc", lambda: build_mesh_2d(3, 3), lambda: Broadcast(9)),
+    ("ring8-ag", lambda: build_ring(8), lambda: AllGather(8)),
+    ("dgx1h-ar", lambda: build_dgx1(heterogeneous=True), lambda: AllReduce(8)),
+]
+
+
+@pytest.mark.parametrize("name,topo,patt", CASES, ids=[c[0] for c in CASES])
+def test_correct_algorithms_verify_on_both_paths(name, topo, patt):
+    topology = topo()
+    pattern = patt()
+    algorithm = TacosSynthesizer(SynthesisConfig(seed=2)).synthesize(topology, pattern, 4 * MB)
+    assert _assert_same_verdict(algorithm, topology, pattern) is True
+
+
+def _replace_transfer(algorithm, index, transfer):
+    transfers = list(algorithm.transfers)
+    transfers[index] = transfer
+    return CollectiveAlgorithm(
+        transfers=transfers,
+        num_npus=algorithm.num_npus,
+        chunk_size=algorithm.chunk_size,
+        collective_size=algorithm.collective_size,
+        pattern_name=algorithm.pattern_name,
+        topology_name=algorithm.topology_name,
+        metadata=dict(algorithm.metadata),
+    )
+
+
+def _synthesize(topology, pattern):
+    return TacosSynthesizer(SynthesisConfig(seed=2)).synthesize(topology, pattern, 4 * MB)
+
+
+class TestCorruptedAlgorithmsFailOnBothPaths:
+    def test_nonexistent_link(self):
+        topology = build_mesh_2d(3, 3)
+        pattern = AllGather(9)
+        algorithm = _synthesize(topology, pattern)
+        original = algorithm.transfers[0]
+        broken = _replace_transfer(
+            algorithm,
+            0,
+            ChunkTransfer(original.start, original.end, original.chunk, 0, 8),
+        )
+        assert _assert_same_verdict(broken, topology, pattern) is False
+
+    def test_wrong_link_timing(self):
+        topology = build_mesh_2d(3, 3)
+        pattern = AllGather(9)
+        algorithm = _synthesize(topology, pattern)
+        original = algorithm.transfers[0]
+        broken = _replace_transfer(
+            algorithm,
+            0,
+            ChunkTransfer(
+                original.start, original.end * 3 + 1.0, original.chunk,
+                original.source, original.dest,
+            ),
+        )
+        assert _assert_same_verdict(broken, topology, pattern) is False
+        # Disabling the timing check changes both verdicts in lockstep.
+        _assert_same_verdict(broken, topology, pattern, check_link_timing=False)
+
+    def test_link_overlap(self):
+        topology = build_mesh_2d(3, 3)
+        pattern = AllGather(9)
+        algorithm = _synthesize(topology, pattern)
+        # Duplicate the first transfer's window on the same link with another
+        # chunk: a congestion violation.
+        first = algorithm.transfers[0]
+        transfers = list(algorithm.transfers)
+        transfers.append(
+            ChunkTransfer(first.start, first.end, (first.chunk + 1) % 9, first.source, first.dest)
+        )
+        broken = CollectiveAlgorithm(
+            transfers=transfers,
+            num_npus=9,
+            chunk_size=algorithm.chunk_size,
+            collective_size=algorithm.collective_size,
+        )
+        assert _assert_same_verdict(broken, topology, pattern) is False
+
+    def test_causality_violation(self):
+        topology = build_mesh_2d(3, 3)
+        pattern = AllGather(9)
+        algorithm = _synthesize(topology, pattern)
+        # Find a forwarded transfer (source does not own the chunk initially)
+        # and pull it before the chunk can have arrived.
+        precondition = pattern.precondition()
+        target = next(
+            (index, t)
+            for index, t in enumerate(algorithm.transfers)
+            if t.chunk not in precondition.get(t.source, frozenset())
+        )
+        index, t = target
+        duration = t.end - t.start
+        broken = _replace_transfer(
+            algorithm, index, ChunkTransfer(0.0, duration, t.chunk, t.source, t.dest)
+        )
+        assert (
+            _assert_same_verdict(broken, topology, pattern, check_link_timing=False) is False
+        )
+
+    def test_missing_postcondition_chunk(self):
+        topology = build_mesh_2d(3, 3)
+        pattern = AllGather(9)
+        algorithm = _synthesize(topology, pattern)
+        truncated = CollectiveAlgorithm(
+            transfers=algorithm.transfers[:-1],
+            num_npus=9,
+            chunk_size=algorithm.chunk_size,
+            collective_size=algorithm.collective_size,
+        )
+        assert _assert_same_verdict(truncated, topology, pattern) is False
+
+    def test_reduction_coverage_violation(self):
+        topology = build_mesh_2d(3, 3)
+        pattern = ReduceScatter(9)
+        algorithm = _synthesize(topology, pattern)
+        truncated = CollectiveAlgorithm(
+            transfers=algorithm.transfers[:-1],
+            num_npus=9,
+            chunk_size=algorithm.chunk_size,
+            collective_size=algorithm.collective_size,
+        )
+        assert _assert_same_verdict(truncated, topology, pattern) is False
+
+    def test_all_reduce_without_boundary_metadata(self):
+        topology = build_mesh_2d(3, 3)
+        pattern = AllReduce(9)
+        algorithm = _synthesize(topology, pattern)
+        stripped = CollectiveAlgorithm(
+            transfers=list(algorithm.transfers),
+            num_npus=9,
+            chunk_size=algorithm.chunk_size,
+            collective_size=algorithm.collective_size,
+            pattern_name=algorithm.pattern_name,
+        )
+        assert _assert_same_verdict(stripped, topology, pattern) is False
+
+
+def test_empty_algorithm_fails_postcondition_on_both_paths():
+    topology = build_ring(4)
+    pattern = AllGather(4)
+    empty = CollectiveAlgorithm(transfers=[], num_npus=4, chunk_size=1e6, collective_size=4e6)
+    assert _assert_same_verdict(empty, topology, pattern) is False
