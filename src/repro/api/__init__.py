@@ -40,7 +40,14 @@ from repro.api.specs import (
     topology_to_spec,
 )
 from repro.api.builtins import build_custom_topology, parse_token, parse_topology_spec
-from repro.api.cache import ResultCache
+from repro.api.cache import ArtifactStore, ResultCache
+from repro.api.parallel import (
+    BACKENDS,
+    ExecutionBackend,
+    execution_scope,
+    map_parallel,
+    resolve_backend,
+)
 from repro.api.runner import (
     RunResult,
     build_algorithm_artifact,
@@ -52,12 +59,15 @@ from repro.api.runner import (
 
 __all__ = [
     "ALGORITHMS",
+    "BACKENDS",
     "COLLECTIVES",
     "SYNTHESIZERS",
     "TOPOLOGIES",
     "AlgorithmArtifact",
     "AlgorithmSpec",
+    "ArtifactStore",
     "CollectiveSpec",
+    "ExecutionBackend",
     "Registry",
     "RegistryEntry",
     "ResultCache",
@@ -69,10 +79,13 @@ __all__ = [
     "build_collective",
     "build_custom_topology",
     "build_topology",
+    "execution_scope",
+    "map_parallel",
     "normalize_name",
     "parse_size",
     "parse_token",
     "parse_topology_spec",
+    "resolve_backend",
     "run",
     "run_batch",
     "topology_to_spec",

@@ -1,20 +1,206 @@
-"""Result cache keyed by :meth:`RunSpec.spec_hash`.
+"""Process-safe, spec-hash-addressed artifact store and the result cache on top.
 
-Two layers: an in-memory dictionary (always on) and an optional on-disk JSON
-store, one ``<hash>.json`` file per result, shared between processes.  Cache
-reads return results flagged ``cached=True``; corrupt or unreadable disk
-entries are treated as misses.
+Two layers:
+
+* :class:`ArtifactStore` — the on-disk layer.  Every artifact is addressed by
+  a :meth:`~repro.api.specs.RunSpec.spec_hash` key and stored as either a
+  strict-JSON document (``<key>.json``) or a columnar numpy payload
+  (``<key>.<name>.npz`` — raw arrays, never pickles).  Writes go to a unique
+  temporary file and are renamed into place atomically under an advisory
+  file lock, so any number of worker *processes* can share one directory:
+  readers never observe a torn file, and concurrent writers of the same key
+  serialize instead of corrupting each other.
+* :class:`ResultCache` — the in-memory dictionary (always on) plus an
+  optional :class:`ArtifactStore`, keeping the historical ``get``/``put``
+  API of the run layer.  Cache reads return results flagged ``cached=True``;
+  corrupt or unreadable disk entries are treated as misses.
+
+Beyond run results, the store persists synthesized algorithms as columnar
+``.npz`` payloads (:meth:`ResultCache.put_algorithm` /
+:meth:`ResultCache.load_algorithm`), so repeated sessions — and concurrent
+sweep workers — share synthesis work, not just its timing summary.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import io
 import json
+import os
 import threading
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Any, Dict, Iterator, List, Optional, Union
 
-__all__ = ["ResultCache"]
+import numpy as np
+
+try:  # POSIX advisory locks; absent on some platforms.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
+
+__all__ = ["ArtifactStore", "ResultCache"]
+
+
+class _FileLock:
+    """Advisory exclusive lock on a sidecar file (POSIX ``flock``).
+
+    Serializes writers of one store across *processes*.  Where ``fcntl`` is
+    unavailable the lock degrades to a no-op — writes remain torn-free (each
+    is an atomic rename of a unique temporary file) but last-writer-wins races
+    are no longer ordered.
+    """
+
+    def __init__(self, path: Path) -> None:
+        self._path = path
+        self._handle: Optional[int] = None
+
+    def __enter__(self) -> "_FileLock":
+        if fcntl is not None:
+            self._handle = os.open(str(self._path), os.O_CREAT | os.O_RDWR, 0o644)
+            fcntl.flock(self._handle, fcntl.LOCK_EX)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._handle is not None:
+            fcntl.flock(self._handle, fcntl.LOCK_UN)
+            os.close(self._handle)
+            self._handle = None
+
+
+class ArtifactStore:
+    """Hash-addressed directory of JSON documents and columnar array payloads.
+
+    Parameters
+    ----------
+    directory:
+        Root of the store; created on first write.
+    """
+
+    #: Name of the advisory write-lock sidecar file.
+    LOCK_NAME = ".lock"
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        self._tmp_counter = 0
+        self._tmp_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Write machinery
+    # ------------------------------------------------------------------
+    def lock(self) -> _FileLock:
+        """The store-wide advisory writer lock (held across one write)."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        return _FileLock(self.directory / self.LOCK_NAME)
+
+    def _tmp_path(self, final: Path) -> Path:
+        """A collision-free temporary name unique per process, thread, and call."""
+        with self._tmp_lock:
+            self._tmp_counter += 1
+            serial = self._tmp_counter
+        return final.parent / (
+            f".{final.name}.{os.getpid()}.{threading.get_ident()}.{serial}.tmp"
+        )
+
+    def _write_atomic(self, path: Path, data: bytes) -> None:
+        self.directory.mkdir(parents=True, exist_ok=True)
+        tmp = self._tmp_path(path)
+        try:
+            with open(tmp, "wb") as handle:
+                handle.write(data)
+            with self.lock():
+                os.replace(tmp, path)
+        finally:
+            if tmp.exists():  # a failed write never leaves droppings
+                tmp.unlink()
+
+    # ------------------------------------------------------------------
+    # JSON documents
+    # ------------------------------------------------------------------
+    def _json_path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def write_json(self, key: str, payload: Dict[str, Any], *, strict: bool = True) -> Path:
+        """Persist ``payload`` under ``key`` as sorted JSON (atomic).
+
+        ``strict`` (the default) rejects NaN/Infinity so artifacts stay valid
+        strict JSON; pass ``strict=False`` for documents that may carry
+        legitimate non-finite values (e.g. the infinite bandwidth of a
+        zero-time run result, which ``json.loads`` round-trips).
+        """
+        path = self._json_path(key)
+        text = json.dumps(payload, sort_keys=True, allow_nan=not strict)
+        self._write_atomic(path, text.encode("utf-8"))
+        return path
+
+    def read_json(self, key: str) -> Optional[Dict[str, Any]]:
+        """The JSON document stored under ``key``, or ``None`` (corrupt = miss)."""
+        try:
+            return json.loads(self._json_path(key).read_text())
+        except (OSError, ValueError):
+            return None
+
+    # ------------------------------------------------------------------
+    # Columnar array payloads
+    # ------------------------------------------------------------------
+    def _npz_path(self, key: str, name: str) -> Path:
+        return self.directory / f"{key}.{name}.npz"
+
+    def write_arrays(self, key: str, name: str, arrays: Dict[str, np.ndarray]) -> Path:
+        """Persist named numpy columns under ``key`` as a ``.npz`` (atomic).
+
+        The payload is a plain (uncompressed) zip of raw arrays —
+        ``allow_pickle`` stays off at both ends, so object arrays are
+        rejected on write and nothing executes on load.
+        """
+        path = self._npz_path(key, name)
+        payload = {field: np.asarray(column) for field, column in arrays.items()}
+        for field, column in payload.items():
+            if column.dtype.hasobject:
+                # np.savez would silently pickle these; the store's contract
+                # is raw columns only (nothing executes on load).
+                raise ValueError(
+                    f"artifact column {field!r} has object dtype; "
+                    "only plain numeric/string columns can be stored"
+                )
+        buffer = io.BytesIO()
+        np.savez(buffer, **payload)
+        self._write_atomic(path, buffer.getvalue())
+        return path
+
+    def read_arrays(self, key: str, name: str) -> Optional[Dict[str, np.ndarray]]:
+        """The columns stored under ``(key, name)``, or ``None`` (corrupt = miss)."""
+        try:
+            with np.load(self._npz_path(key, name), allow_pickle=False) as payload:
+                return {field: payload[field] for field in payload.files}
+        except (OSError, ValueError):
+            return None
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def keys(self) -> List[str]:
+        """Keys with a JSON document present, sorted."""
+        if not self.directory.is_dir():
+            return []
+        return sorted(path.stem for path in self.directory.glob("*.json"))
+
+    def _entries(self) -> Iterator[Path]:
+        yield from self.directory.glob("*.json")
+        yield from self.directory.glob("*.npz")
+
+    def clear(self) -> None:
+        """Delete every stored artifact (JSON and npz), keeping the directory."""
+        if not self.directory.is_dir():
+            return
+        with self.lock():
+            for path in self._entries():
+                try:
+                    path.unlink()
+                except OSError:  # pragma: no cover - concurrent delete
+                    pass
+
+    def __repr__(self) -> str:
+        return f"ArtifactStore(directory={str(self.directory)!r})"
 
 
 class ResultCache:
@@ -23,12 +209,15 @@ class ResultCache:
     Parameters
     ----------
     directory:
-        When given, results are also persisted as JSON files under this
-        directory (created on demand), surviving process restarts.
+        When given, results are also persisted through a process-safe
+        :class:`ArtifactStore` under this directory (created on demand),
+        surviving process restarts and shared safely between concurrent
+        workers.
     """
 
     def __init__(self, directory: Optional[Union[str, Path]] = None) -> None:
         self.directory = Path(directory) if directory is not None else None
+        self.store = ArtifactStore(self.directory) if self.directory is not None else None
         self._memory: Dict[str, "RunResult"] = {}
         self._lock = threading.Lock()
         self.hits = 0
@@ -42,7 +231,7 @@ class ResultCache:
         key = spec.spec_hash()
         with self._lock:
             result = self._memory.get(key)
-        if result is None and self.directory is not None:
+        if result is None and self.store is not None:
             result = self._read_disk(key)
             if result is not None:
                 with self._lock:
@@ -60,35 +249,108 @@ class ResultCache:
         stored = dataclasses.replace(result, cached=False)
         with self._lock:
             self._memory[key] = stored
-        if self.directory is not None:
-            self.directory.mkdir(parents=True, exist_ok=True)
-            path = self.directory / f"{key}.json"
-            tmp = path.with_suffix(".json.tmp")
-            tmp.write_text(json.dumps(stored.to_dict(), sort_keys=True))
-            tmp.replace(path)
+        if self.store is not None:
+            self.store.write_json(key, stored.to_dict(), strict=False)
+
+    def absorb(self, result: "RunResult") -> None:
+        """Fold an externally computed result into the in-memory layer only.
+
+        For results that are already persisted — e.g. computed by a worker
+        process whose own :class:`ResultCache` wrote through the shared
+        artifact store — so the calling cache gains the memory-layer hit
+        without re-serializing and re-writing the disk entry.
+        """
+        key = result.spec.spec_hash()
+        with self._lock:
+            self._memory[key] = dataclasses.replace(result, cached=False)
 
     def _read_disk(self, key: str) -> Optional["RunResult"]:
         from repro.api.runner import RunResult
 
-        path = self.directory / f"{key}.json"
+        data = self.store.read_json(key)
+        if data is None:
+            return None
         try:
-            data = json.loads(path.read_text())
             return dataclasses.replace(RunResult.from_dict(data), cached=False)
-        except (OSError, ValueError, KeyError, TypeError):
+        except (ValueError, KeyError, TypeError):
+            return None
+
+    # ------------------------------------------------------------------
+    # Algorithm artifacts (columnar .npz payloads)
+    # ------------------------------------------------------------------
+    #: npz payload name under which the transfer columns are stored.
+    ALGORITHM_ARTIFACT = "algorithm"
+
+    def put_algorithm(self, spec: "RunSpec", algorithm: "CollectiveAlgorithm") -> None:
+        """Persist a synthesized algorithm's transfer columns under the spec hash.
+
+        A no-op without a disk store (the in-memory layer caches results, not
+        algorithms).  The table is stored as raw columns plus the scalar
+        fields needed to rebuild a :class:`~repro.core.algorithm.CollectiveAlgorithm`.
+        """
+        if self.store is None:
+            return
+        table = algorithm.table
+        self.store.write_arrays(
+            spec.spec_hash(),
+            self.ALGORITHM_ARTIFACT,
+            {
+                "starts": table.starts,
+                "ends": table.ends,
+                "chunks": table.chunks,
+                "sources": table.sources,
+                "dests": table.dests,
+                "scalars": np.asarray(
+                    [float(algorithm.num_npus), float(algorithm.chunk_size), float(algorithm.collective_size)]
+                ),
+                "names": np.asarray([algorithm.pattern_name, algorithm.topology_name]),
+                # Metadata rides along as JSON (tuples come back as lists):
+                # an All-Reduce algorithm is unverifiable without its
+                # phase_boundary, so dropping this would defeat the sharing.
+                "metadata": np.asarray([json.dumps(algorithm.metadata, default=str)]),
+            },
+        )
+
+    def load_algorithm(self, spec: "RunSpec") -> Optional["CollectiveAlgorithm"]:
+        """Rebuild the stored algorithm for ``spec``, or ``None`` when absent."""
+        if self.store is None:
+            return None
+        arrays = self.store.read_arrays(spec.spec_hash(), self.ALGORITHM_ARTIFACT)
+        if arrays is None:
+            return None
+        from repro.core.algorithm import CollectiveAlgorithm
+        from repro.core.transfers import TransferTable
+
+        try:
+            table = TransferTable.from_columns(
+                arrays["starts"], arrays["ends"], arrays["chunks"], arrays["sources"], arrays["dests"]
+            )
+            scalars = arrays["scalars"]
+            names = arrays["names"]
+            metadata = json.loads(str(arrays["metadata"][0])) if "metadata" in arrays else {}
+            return CollectiveAlgorithm.from_table(
+                table,
+                num_npus=int(scalars[0]),
+                chunk_size=float(scalars[1]),
+                collective_size=float(scalars[2]),
+                pattern_name=str(names[0]),
+                topology_name=str(names[1]),
+                metadata=metadata,
+            )
+        except (KeyError, IndexError, ValueError):
             return None
 
     # ------------------------------------------------------------------
     # Maintenance
     # ------------------------------------------------------------------
     def clear(self, *, disk: bool = False) -> None:
-        """Drop the in-memory layer (and, when ``disk=True``, the JSON files)."""
+        """Drop the in-memory layer (and, when ``disk=True``, the stored files)."""
         with self._lock:
             self._memory.clear()
             self.hits = 0
             self.misses = 0
-        if disk and self.directory is not None and self.directory.exists():
-            for path in self.directory.glob("*.json"):
-                path.unlink()
+        if disk and self.store is not None:
+            self.store.clear()
 
     def __len__(self) -> int:
         with self._lock:

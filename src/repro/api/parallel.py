@@ -1,36 +1,253 @@
-"""Shared thread-pool mapping used by :func:`repro.api.runner.run_batch`.
+"""Pluggable execution backends for every fan-out site in the pipeline.
 
-Kept free of intra-package imports so lower layers (e.g. the synthesizer's
-randomized-trial fan-out) can reuse the exact same execution path without
-creating an import cycle.
+The paper's synthesizer is trial-based and embarrassingly parallel: best-of-N
+synthesis, batch sweeps (:func:`repro.api.runner.run_batch`), and benchmark
+grids (:mod:`repro.bench.runner`) are all independent work items.  This
+module is the single seam those sites fan out through:
+
+* :class:`SerialBackend` — a plain loop (the default);
+* :class:`ThreadBackend` — a :class:`~concurrent.futures.ThreadPoolExecutor`
+  (useful when the work releases the GIL, and for overlap of I/O);
+* :class:`ProcessBackend` — a :class:`~concurrent.futures.ProcessPoolExecutor`
+  (real multi-core parallelism for the pure-Python matching hot path).
+
+All backends preserve input order in the result list and propagate worker
+exceptions to the caller, so swapping one for another never changes *what* is
+computed — only where.  The process backend additionally requires the mapped
+function and its items to be picklable; fan-out sites meet that contract with
+module-level task functions and columnar byte payloads
+(:meth:`repro.core.transfers.TransferTable.to_bytes`).
+
+Call sites that cannot thread explicit knobs through their API (e.g. the
+synthesizer driven via a declarative spec) consult the *ambient* policy
+installed by :func:`execution_scope`; the CLI's ``--workers`` / ``--execution``
+flags wrap their commands in such a scope.
+
+Kept free of intra-package imports (except :mod:`repro.errors`) so lower
+layers can import it without cycles.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Iterable, List, Optional, TypeVar
+import os
+import threading
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from contextlib import contextmanager
+from typing import Callable, Iterable, Iterator, List, Optional, Tuple, TypeVar, Union
 
-__all__ = ["map_parallel"]
+from repro.errors import ReproError
+
+__all__ = [
+    "BACKENDS",
+    "ExecutionBackend",
+    "ProcessBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "current_execution",
+    "default_worker_count",
+    "effective_backend",
+    "execution_scope",
+    "map_parallel",
+    "resolve_backend",
+]
 
 _ItemT = TypeVar("_ItemT")
 _ResultT = TypeVar("_ResultT")
 
+#: Anything :func:`resolve_backend` accepts: a backend name, an instance, or
+#: ``None`` (meaning "no explicit choice").
+BackendSpec = Union[None, str, "ExecutionBackend"]
 
+
+def default_worker_count() -> int:
+    """Workers used when a pool size is not given: the usable CPU count."""
+    try:
+        return len(os.sched_getaffinity(0))  # respects cgroup/affinity limits
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _effective_workers(max_workers: Optional[int], num_items: int) -> int:
+    """Pool size actually used: requested (or CPU count), capped by the items."""
+    workers = max_workers if max_workers is not None else default_worker_count()
+    return max(1, min(int(workers), num_items))
+
+
+class ExecutionBackend:
+    """Strategy object deciding *where* a fan-out's work items execute.
+
+    Subclasses implement :meth:`map`; the contract is exactly that of
+    ``list(map(fn, items))`` — input order preserved, exceptions propagated —
+    regardless of the underlying concurrency.
+    """
+
+    #: Registry name (``"serial"`` / ``"thread"`` / ``"process"``).
+    name: str = "abstract"
+
+    def map(
+        self,
+        fn: Callable[[_ItemT], _ResultT],
+        items: Iterable[_ItemT],
+        *,
+        max_workers: Optional[int] = None,
+    ) -> List[_ResultT]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class SerialBackend(ExecutionBackend):
+    """Run every item in the calling thread, one after another."""
+
+    name = "serial"
+
+    def map(self, fn, items, *, max_workers=None):
+        return [fn(item) for item in items]
+
+
+class ThreadBackend(ExecutionBackend):
+    """Run items on a thread pool.
+
+    Threads share the interpreter: pure-Python work gains no wall clock from
+    this backend (the GIL), but kernels that release the GIL — and anything
+    I/O-bound — do.  Item functions may be closures; nothing is pickled.
+    """
+
+    name = "thread"
+
+    def map(self, fn, items, *, max_workers=None):
+        items = list(items)
+        workers = _effective_workers(max_workers, len(items))
+        if workers <= 1 or len(items) <= 1:
+            return [fn(item) for item in items]
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(fn, items))
+
+
+class ProcessBackend(ExecutionBackend):
+    """Run items on a process pool (real multi-core parallelism).
+
+    The mapped function and every item/result must be picklable — use
+    module-level functions (or :func:`functools.partial` over them) and
+    columnar byte payloads for bulky results.  Worker processes are plain
+    (non-daemonic on the supported Python range, 3.9+) and may themselves
+    fan out further — a benched ``ParallelScenario`` opens its own pool
+    inside a ``bench --execution process`` worker.
+    """
+
+    name = "process"
+
+    def map(self, fn, items, *, max_workers=None):
+        items = list(items)
+        workers = _effective_workers(max_workers, len(items))
+        if workers <= 1 or len(items) <= 1:
+            return [fn(item) for item in items]
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(fn, items))
+
+
+#: The three built-in backends, shared instances (all stateless).
+BACKENDS = {
+    backend.name: backend
+    for backend in (SerialBackend(), ThreadBackend(), ProcessBackend())
+}
+
+
+def resolve_backend(spec: BackendSpec) -> Optional[ExecutionBackend]:
+    """Resolve a backend name or instance; ``None`` passes through as ``None``."""
+    if spec is None or isinstance(spec, ExecutionBackend):
+        return spec
+    try:
+        return BACKENDS[str(spec)]
+    except KeyError:
+        raise ReproError(
+            f"unknown execution backend {spec!r}; available: {', '.join(sorted(BACKENDS))}"
+        ) from None
+
+
+def effective_backend(
+    execution: BackendSpec, workers: Optional[int]
+) -> Optional[ExecutionBackend]:
+    """The one conventional resolution every fan-out site shares.
+
+    An explicit ``execution`` wins; ``workers`` greater than 1 alone implies
+    the thread backend (a requested pool width is never silently ignored);
+    otherwise ``None`` (callers treat that as serial).  Centralized so the
+    CLI's recorded report envelope, ``run_bench``, ``map_parallel``, and the
+    ambient :func:`execution_scope` can never drift apart on the promotion
+    rule.
+    """
+    backend = resolve_backend(execution)
+    if backend is not None:
+        return backend
+    if workers is not None and workers > 1:
+        return BACKENDS["thread"]
+    return None
+
+
+# ----------------------------------------------------------------------
+# Ambient execution policy
+# ----------------------------------------------------------------------
+_SCOPE = threading.local()
+
+
+def current_execution() -> Tuple[Optional[ExecutionBackend], Optional[int]]:
+    """The ambient ``(backend, workers)`` policy, ``(None, None)`` outside a scope.
+
+    Thread-local by design: worker threads (and fresh worker processes) start
+    with no ambient policy, so a parallel fan-out never implicitly nests
+    another parallel fan-out inside its own workers.
+    """
+    return getattr(_SCOPE, "value", None) or (None, None)
+
+
+@contextmanager
+def execution_scope(
+    execution: BackendSpec = None, workers: Optional[int] = None
+) -> Iterator[Tuple[Optional[ExecutionBackend], Optional[int]]]:
+    """Install an ambient execution policy for the enclosed block.
+
+    Code that takes no explicit knobs (e.g. the synthesizer's randomized-trial
+    fan-out when its :class:`~repro.core.config.SynthesisConfig` does not pin
+    one) resolves its backend through :func:`current_execution`.  Scopes nest;
+    ``None`` fields inherit from the enclosing scope.  ``workers`` greater
+    than 1 without a backend selects the thread backend — the same
+    "workers alone implies threads" convention every explicit fan-out site
+    follows — so a requested pool width is never silently ignored.
+    """
+    previous = getattr(_SCOPE, "value", None)
+    backend = resolve_backend(execution)
+    if previous is not None:
+        if backend is None:
+            backend = previous[0]
+        if workers is None:
+            workers = previous[1]
+    backend = effective_backend(backend, workers)
+    _SCOPE.value = (backend, workers)
+    try:
+        yield _SCOPE.value
+    finally:
+        _SCOPE.value = previous
+
+
+# ----------------------------------------------------------------------
+# Mapping front door
+# ----------------------------------------------------------------------
 def map_parallel(
     fn: Callable[[_ItemT], _ResultT],
     items: Iterable[_ItemT],
     *,
     max_workers: Optional[int] = None,
+    backend: BackendSpec = None,
 ) -> List[_ResultT]:
     """Apply ``fn`` to every item, preserving input order in the result list.
 
-    With ``max_workers`` greater than 1 (and more than one item), items run
-    concurrently on a :class:`~concurrent.futures.ThreadPoolExecutor`;
-    otherwise the map is a plain serial loop.  Exceptions propagate to the
-    caller either way.
+    With an explicit ``backend`` (name or instance) the items run there.
+    Without one, the historical policy applies: ``max_workers`` greater than 1
+    selects the thread backend, anything else runs serially.  Exceptions
+    propagate to the caller either way.
     """
     items = list(items)
-    if max_workers is not None and max_workers > 1 and len(items) > 1:
-        with ThreadPoolExecutor(max_workers=max_workers) as pool:
-            return list(pool.map(fn, items))
-    return [fn(item) for item in items]
+    resolved = effective_backend(backend, max_workers) or BACKENDS["serial"]
+    return resolved.map(fn, items, max_workers=max_workers)

@@ -11,11 +11,12 @@ congestion-aware simulator, and returns a :class:`RunResult`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 
 import repro.api.builtins  # noqa: F401  (populates the registries on import)
 from repro.api.cache import ResultCache
-from repro.api.parallel import map_parallel
+from repro.api.parallel import BackendSpec, map_parallel, resolve_backend
 from repro.api.registry import ALGORITHMS, COLLECTIVES, TOPOLOGIES, AlgorithmArtifact
 from repro.api.specs import (
     AlgorithmSpec,
@@ -191,7 +192,13 @@ def _time_artifact(
 
 
 def run(spec: RunSpec, *, cache: Optional[ResultCache] = None) -> RunResult:
-    """Execute one spec end-to-end; optionally consult/populate ``cache``."""
+    """Execute one spec end-to-end; optionally consult/populate ``cache``.
+
+    With a disk-backed cache, a synthesized algorithm's transfer columns are
+    persisted alongside the result (``ResultCache.put_algorithm``), so later
+    sessions — and concurrent sweep workers sharing the cache directory —
+    can reload the actual algorithm, not just its timing summary.
+    """
     if cache is not None:
         hit = cache.get(spec)
         if hit is not None:
@@ -221,7 +228,28 @@ def run(spec: RunSpec, *, cache: Optional[ResultCache] = None) -> RunResult:
     )
     if cache is not None:
         cache.put(result)
+        if artifact.algorithm is not None:
+            cache.put_algorithm(spec, artifact.algorithm)
     return result
+
+
+def _run_spec_task(
+    cache_directory: Optional[str], return_exceptions: bool, spec: RunSpec
+):
+    """Module-level batch work item (picklable for the process backend).
+
+    Each worker process opens its own :class:`ResultCache` over the shared
+    artifact-store directory — the store's file locking and atomic writes
+    make concurrent workers safe — so cache hits and writes behave exactly
+    as in the single-process path.
+    """
+    cache = ResultCache(cache_directory) if cache_directory is not None else None
+    if not return_exceptions:
+        return run(spec, cache=cache)
+    try:
+        return run(spec, cache=cache)
+    except ReproError as exc:
+        return exc
 
 
 def run_batch(
@@ -230,12 +258,20 @@ def run_batch(
     max_workers: Optional[int] = None,
     cache: Optional[ResultCache] = None,
     return_exceptions: bool = False,
+    execution: BackendSpec = None,
 ) -> List[RunResult]:
     """Execute many specs, preserving input order in the returned list.
 
     Duplicate specs (same content hash) are executed once and share a
-    result.  With ``max_workers`` greater than 1, distinct specs run
-    concurrently on a :class:`~concurrent.futures.ThreadPoolExecutor`.
+    result.  ``execution`` selects the backend for distinct specs —
+    ``"serial"``, ``"thread"``, or ``"process"`` (real multi-core
+    parallelism); without it, ``max_workers`` greater than 1 keeps the
+    historical thread-pool behaviour.  Results are identical across
+    backends: specs are deterministic and order is restored from the input.
+
+    With the process backend, worker processes share the cache through its
+    on-disk artifact store (the in-memory layer is per-process); results
+    computed by workers are folded back into the calling cache afterwards.
 
     With ``return_exceptions=True``, a spec whose execution raises a
     :class:`~repro.errors.ReproError` contributes the exception object to
@@ -255,13 +291,51 @@ def run_batch(
             unique.append(spec)
         positions.append(index_of[key])
 
-    def run_one(spec: RunSpec):
-        if not return_exceptions:
-            return run(spec, cache=cache)
-        try:
-            return run(spec, cache=cache)
-        except ReproError as exc:
-            return exc
+    backend = resolve_backend(execution)
+    if backend is not None and backend.name == "process":
+        # Serve what the calling cache already holds (its in-memory layer is
+        # invisible to worker processes) and ship only the misses out.
+        results: List[Any] = [None] * len(unique)
+        pending = list(range(len(unique)))
+        if cache is not None:
+            pending = []
+            for index, spec in enumerate(unique):
+                hit = cache.get(spec)
+                if hit is not None:
+                    results[index] = hit
+                else:
+                    pending.append(index)
+        if pending:
+            directory = (
+                str(cache.directory)
+                if cache is not None and cache.directory is not None
+                else None
+            )
+            computed = backend.map(
+                partial(_run_spec_task, directory, return_exceptions),
+                [unique[index] for index in pending],
+                max_workers=max_workers,
+            )
+            for index, result in zip(pending, computed):
+                results[index] = result
+                # Fold worker results into the calling cache's memory layer
+                # so subsequent same-process lookups hit without re-reading
+                # disk; the workers' own caches already persisted the disk
+                # entries (when a directory exists).
+                if cache is not None and isinstance(result, RunResult):
+                    if cache.directory is None:
+                        cache.put(result)
+                    else:
+                        cache.absorb(result)
+    else:
 
-    results = map_parallel(run_one, unique, max_workers=max_workers)
+        def run_one(spec: RunSpec):
+            if not return_exceptions:
+                return run(spec, cache=cache)
+            try:
+                return run(spec, cache=cache)
+            except ReproError as exc:
+                return exc
+
+        results = map_parallel(run_one, unique, max_workers=max_workers, backend=backend)
     return [results[position] for position in positions]

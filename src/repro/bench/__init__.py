@@ -6,11 +6,13 @@ Four pieces:
   engine, the frozen dict-keyed :class:`ReferenceSimulator`, and the frozen
   object-path adapters/verifier, kept as the behavioural baselines;
 * :mod:`repro.bench.grid` — named scenario grids (``smoke``, ``fig19``,
-  ``full``, ``sim_stress``, ``pipeline``) crossing topology families, NPU
-  counts, collective sizes, logical schedules, and end-to-end pipelines;
-* :mod:`repro.bench.runner` — times synthesis, simulation, and full
-  pipelines over a grid with both engine stacks, asserts fixed-seed output
-  equivalence, and emits a machine-readable ``BENCH_*.json`` report
+  ``full``, ``sim_stress``, ``pipeline``, ``parallel``) crossing topology
+  families, NPU counts, collective sizes, logical schedules, end-to-end
+  pipelines, and execution-backend scaling;
+* :mod:`repro.bench.runner` — times synthesis, simulation, full pipelines,
+  and execution-backend scaling over a grid, asserts fixed-seed output
+  equivalence (byte-identical across engines *and* across serial / thread /
+  process backends), and emits a machine-readable ``BENCH_*.json`` report
   (strict JSON);
 * :mod:`repro.bench.compare` — diffs two reports per scenario, flags median
   regressions (the ``tacos-repro bench --compare`` trend gate), and walks
@@ -33,6 +35,7 @@ from repro.bench.compare import (
 from repro.bench.grid import (
     GRIDS,
     BenchScenario,
+    ParallelScenario,
     PipelineScenario,
     SimScenario,
     get_grid,
@@ -50,6 +53,7 @@ __all__ = [
     "BenchRecord",
     "BenchScenario",
     "GRIDS",
+    "ParallelScenario",
     "PipelineScenario",
     "REFERENCE_ENGINE",
     "ReferenceSimulator",

@@ -124,6 +124,24 @@ def load_history(
     ]
 
 
+def _layer_medians(report: Dict[str, Any]) -> Optional[Dict[str, float]]:
+    """Median per-layer wall times across a report's pipeline records.
+
+    Schema v4 pipeline records carry ``layer_seconds`` (synthesize / verify /
+    simulate / metrics); older reports return ``None``.
+    """
+    samples: Dict[str, List[float]] = {}
+    for record in report.get("records", []):
+        layers = record.get("layer_seconds")
+        if not layers:
+            continue
+        for layer, seconds in layers.items():
+            samples.setdefault(layer, []).append(float(seconds))
+    if not samples:
+        return None
+    return {layer: statistics.median(values) for layer, values in samples.items()}
+
+
 def speedup_history(
     directory: Union[str, Path] = DEFAULT_RESULTS_DIR,
     *,
@@ -134,9 +152,10 @@ def speedup_history(
     Walks every ``BENCH_<grid>_*.json`` under ``directory`` (optionally one
     grid) and returns one row per report: the grid, filename, creation time,
     library version, the summary's median (synthesis/pipeline) and simulator
-    speedups, and the ratio of the median speedup against the *previous*
-    report of the same grid (> 1 means the recorded speedup grew).  This is
-    the ``tacos-repro bench --history`` payload.
+    speedups, the per-layer pipeline attribution medians (schema v4 reports),
+    and the ratio of the median speedup against the *previous* report of the
+    same grid (> 1 means the recorded speedup grew).  This is the
+    ``tacos-repro bench --history`` payload.
     """
     rows: List[Dict[str, Any]] = []
     previous_median: Dict[Optional[str], Optional[float]] = {}
@@ -166,6 +185,7 @@ def speedup_history(
                 "median_speedup": median,
                 "median_simulation_speedup": simulation_median,
                 "median_speedup_vs_previous": trajectory,
+                "median_layer_seconds": _layer_medians(report),
             }
         )
         if median is not None:

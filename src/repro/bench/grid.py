@@ -1,6 +1,6 @@
 """Named benchmark scenario grids.
 
-Three kinds of scenarios exist:
+Four kinds of scenarios exist:
 
 * :class:`BenchScenario` — one *synthesis* problem: a topology (registry
   shorthand), a collective, a per-NPU collective size, and a fixed seed.
@@ -11,9 +11,15 @@ Three kinds of scenarios exist:
   list.
 * :class:`PipelineScenario` — one *end-to-end pipeline* problem: synthesize,
   verify, simulate, and derive metrics.  The columnar-IR path runs against
-  the frozen object path across every layer boundary.
+  the frozen object path across every layer boundary.  Scenarios flagged
+  ``flat_only`` are too large to time the frozen object path on; they only
+  run under ``bench --no-reference``.
+* :class:`ParallelScenario` — one *execution-backend scaling* problem:
+  best-of-N TACOS synthesis run three times — serial, thread pool, process
+  pool — asserting byte-identical winning algorithms and recording the
+  process backend's wall-clock scaling over serial.
 
-Five grids are provided:
+Six grids are provided:
 
 * ``smoke`` — tiny scenarios of all kinds for CI (a couple of seconds
   end-to-end);
@@ -25,9 +31,13 @@ Five grids are provided:
 * ``sim_stress`` — the simulator's own grid: logical Ring / Direct / RHD
   All-Reduces on 2D meshes up to 16x16 (well over 50k messages in total),
   the grid the simulator speedup trajectory is recorded on;
-* ``pipeline`` — the end-to-end grid: meshes up to 20x20, sub-chunked
-  schedules, and Reduce-Scatter / All-to-All / Broadcast scenarios, the grid
-  the pipeline speedup trajectory is recorded on.
+* ``pipeline`` — the end-to-end grid: meshes up to 20x20 against the
+  reference path (28x28 with ``--no-reference``), sub-chunked schedules, and
+  Reduce-Scatter / All-to-All / Broadcast scenarios, the grid the pipeline
+  speedup trajectory is recorded on;
+* ``parallel`` — the execution-backend grid: best-of-8 synthesis scenarios
+  sized so each trial is CPU-chunky, the grid the process-backend scaling
+  trajectory is recorded on.
 """
 
 from __future__ import annotations
@@ -37,7 +47,14 @@ from typing import Any, Dict, List, Union
 
 from repro.errors import ReproError
 
-__all__ = ["BenchScenario", "PipelineScenario", "SimScenario", "GRIDS", "get_grid"]
+__all__ = [
+    "BenchScenario",
+    "ParallelScenario",
+    "PipelineScenario",
+    "SimScenario",
+    "GRIDS",
+    "get_grid",
+]
 
 _MB = 1e6
 
@@ -78,6 +95,32 @@ class PipelineScenario:
     chunks_per_npu: int = 1
     seed: int = 0
     trials: int = 1
+    #: Too big to time the frozen object path on; included only when the
+    #: bench runs with ``include_reference=False`` (``--no-reference``).
+    flat_only: bool = False
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+
+@dataclass(frozen=True)
+class ParallelScenario:
+    """One execution-backend scaling problem of a benchmark grid.
+
+    The same best-of-``trials`` TACOS synthesis runs under the serial,
+    thread, and process execution backends (``workers``-wide pools); the
+    record stores all three wall clocks, asserts the winning algorithms are
+    byte-identical (``TransferTable.to_bytes``), and reports the
+    serial/process ratio as the scenario speedup.
+    """
+
+    name: str
+    topology: str  #: registry shorthand, e.g. ``"mesh_2d:8,8"``
+    collective: str  #: collective registry name, e.g. ``"all_gather"``
+    collective_size: float  #: per-NPU bytes
+    trials: int = 8  #: best-of-N randomized trials fanned across the backend
+    workers: int = 4  #: pool width for the thread / process backends
+    seed: int = 0
 
     def to_dict(self) -> Dict[str, Any]:
         return asdict(self)
@@ -104,7 +147,7 @@ class SimScenario:
 
 
 #: Any scenario kind; ``repro.bench.runner.run_bench`` dispatches on type.
-Scenario = Union[BenchScenario, SimScenario, PipelineScenario]
+Scenario = Union[BenchScenario, SimScenario, PipelineScenario, ParallelScenario]
 
 
 def _smoke_grid() -> List[Scenario]:
@@ -114,6 +157,9 @@ def _smoke_grid() -> List[Scenario]:
         SimScenario("sim-ring-mesh3x3-1MB", "mesh_2d:3,3", "ring", 1 * _MB),
         PipelineScenario("pipe-mesh3x3-ar-1MB", "mesh_2d:3,3", "all_reduce", 1 * _MB),
         PipelineScenario("pipe-mesh3x3-rs-1MB", "mesh_2d:3,3", "reduce_scatter", 1 * _MB),
+        ParallelScenario(
+            "par-mesh4x4-ag-4MB-t4", "mesh_2d:4,4", "all_gather", 4 * _MB, trials=4, workers=2
+        ),
     ]
 
 
@@ -198,6 +244,28 @@ def _pipeline_grid() -> List[Scenario]:
         PipelineScenario("pipe-mesh12x12-ar-64MB", "mesh_2d:12,12", "all_reduce", 64 * _MB),
         PipelineScenario("pipe-mesh16x16-ag-64MB", "mesh_2d:16,16", "all_gather", 64 * _MB),
         PipelineScenario("pipe-mesh20x20-ag-64MB", "mesh_2d:20,20", "all_gather", 64 * _MB),
+        # Past 20x20 the frozen object path costs minutes per repeat; these
+        # grow the grid only where the reference is not timed (--no-reference).
+        PipelineScenario(
+            "pipe-mesh24x24-ag-64MB", "mesh_2d:24,24", "all_gather", 64 * _MB, flat_only=True
+        ),
+        PipelineScenario(
+            "pipe-mesh28x28-ag-64MB", "mesh_2d:28,28", "all_gather", 64 * _MB, flat_only=True
+        ),
+    ]
+
+
+def _parallel_grid() -> List[Scenario]:
+    # Best-of-8 synthesis scenarios whose individual trials are CPU-chunky
+    # (hundreds of milliseconds), so process-pool startup and the columnar
+    # byte transport amortize and the recorded scaling approaches the host's
+    # core count.  All-Reduce scenarios fan trials out twice (the RS and AG
+    # phases synthesize independently).
+    return [
+        ParallelScenario("par-mesh6x6-ar-64MB-t8", "mesh_2d:6,6", "all_reduce", 64 * _MB),
+        ParallelScenario("par-mesh8x8-ar-64MB-t8", "mesh_2d:8,8", "all_reduce", 64 * _MB),
+        ParallelScenario("par-mesh10x10-ag-64MB-t8", "mesh_2d:10,10", "all_gather", 64 * _MB),
+        ParallelScenario("par-mesh12x12-ag-64MB-t8", "mesh_2d:12,12", "all_gather", 64 * _MB),
     ]
 
 
@@ -207,6 +275,7 @@ GRIDS = {
     "full": _full_grid,
     "sim_stress": _sim_stress_grid,
     "pipeline": _pipeline_grid,
+    "parallel": _parallel_grid,
 }
 
 

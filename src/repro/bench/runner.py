@@ -33,7 +33,9 @@ from __future__ import annotations
 
 import json
 import math
+import os
 import statistics
+import threading
 import time as _time
 from dataclasses import asdict, dataclass
 from pathlib import Path
@@ -41,11 +43,13 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro import __version__
 from repro.api.builtins import parse_topology_spec
+from repro.api.parallel import BackendSpec, default_worker_count, effective_backend
 from repro.api.registry import COLLECTIVES
 from repro.api.runner import build_topology
 from repro.baselines import direct_all_reduce, rhd_all_reduce, ring_all_reduce
 from repro.bench.grid import (
     BenchScenario,
+    ParallelScenario,
     PipelineScenario,
     Scenario,
     SimScenario,
@@ -77,8 +81,12 @@ __all__ = ["BenchRecord", "run_bench", "summarize", "write_report"]
 
 #: Report schema identifier (bump on breaking changes).  v2 added the
 #: simulator-engine fields and replaced non-finite speedups with ``null``;
-#: v3 adds the ``pipeline`` scenario kind and the ``verified`` field.
-SCHEMA = "tacos-repro-bench/v3"
+#: v3 added the ``pipeline`` scenario kind and the ``verified`` field;
+#: v4 adds the ``parallel`` scenario kind (``backend_seconds`` / ``workers``),
+#: per-layer wall-time attribution for pipeline records (``layer_seconds`` /
+#: ``reference_layer_seconds``), nullable reference timings (``--no-reference``
+#: runs), and host/execution metadata on the report envelope.
+SCHEMA = "tacos-repro-bench/v4"
 
 #: Logical schedule builders available to :class:`SimScenario`.
 _SCHEDULE_BUILDERS: Dict[str, Callable] = {
@@ -101,11 +109,24 @@ class BenchRecord:
     ``kind == "pipeline"`` the primary triple measures the *end-to-end*
     chain and no simulator-only timing exists, so the ``simulation_*``
     fields are ``None`` — a pipeline record never inflates the grid's
-    simulator-speedup summary.
+    simulator-speedup summary; ``layer_seconds`` /
+    ``reference_layer_seconds`` attribute the pipeline wall clock to the
+    synthesize / verify / simulate / metrics layers.  For
+    ``kind == "parallel"`` the triple compares *execution backends* of the
+    same flat engine — ``reference_seconds`` is the serial wall clock,
+    ``flat_seconds`` the process-pool wall clock, ``speedup`` the measured
+    scaling — with all three backends' medians in ``backend_seconds``.
+
+    Reference timings are ``None`` when the run skipped the frozen object
+    path (``--no-reference``) — except on ``parallel`` records, which never
+    touch the frozen path in the first place: their serial-backend baseline
+    and backend byte-equivalence check always run, so ``--no-reference``
+    does not affect them (detect no-reference runs by kind, not by null
+    alone).
     """
 
     scenario: str
-    kind: str  #: ``"synthesis"``, ``"simulation"``, or ``"pipeline"``
+    kind: str  #: ``"synthesis"``, ``"simulation"``, ``"pipeline"``, or ``"parallel"``
     topology: str
     collective: str
     collective_size: float
@@ -114,7 +135,7 @@ class BenchRecord:
     seed: int
     trials: int
     flat_seconds: float
-    reference_seconds: float
+    reference_seconds: Optional[float]  #: None when the reference path was skipped
     speedup: Optional[float]  #: None when undefined (zero/non-finite ratio)
     equivalent: Optional[bool]  #: None when the equivalence check was skipped
     num_transfers: int
@@ -127,18 +148,27 @@ class BenchRecord:
     simulation_equivalent: Optional[bool]
     simulated_collective_time: float
     verified: Optional[bool] = None  #: verification verdict (pipeline scenarios)
+    #: Pipeline wall clock per layer (synthesize/verify/simulate/metrics).
+    layer_seconds: Optional[Dict[str, float]] = None
+    reference_layer_seconds: Optional[Dict[str, float]] = None
+    #: Per-backend median wall clocks (parallel scenarios).
+    backend_seconds: Optional[Dict[str, float]] = None
+    workers: Optional[int] = None  #: pool width (parallel scenarios)
 
     def to_dict(self) -> Dict[str, Any]:
         return asdict(self)
 
 
-def _safe_speedup(reference_seconds: float, flat_seconds: float) -> Optional[float]:
-    """Reference/flat ratio, or ``None`` when it is not a finite number.
+def _safe_speedup(
+    reference_seconds: Optional[float], flat_seconds: float
+) -> Optional[float]:
+    """Reference/flat ratio, or ``None`` when unmeasured or not finite.
 
     ``float("inf")`` would serialize as bare ``Infinity`` — invalid strict
-    JSON that breaks the CI artifact and any trend tooling downstream.
+    JSON that breaks the CI artifact and any trend tooling downstream; a
+    ``--no-reference`` run has no numerator at all.
     """
-    if flat_seconds <= 0:
+    if reference_seconds is None or flat_seconds <= 0:
         return None
     value = reference_seconds / flat_seconds
     return value if math.isfinite(value) else None
@@ -219,24 +249,37 @@ def _simulators_agree(flat: SimulationResult, reference: SimulationResult) -> bo
     )
 
 
-def _warmup() -> None:
-    """Run one tiny synthesis + simulation per engine so imports, registry
-    resolution, and lazy RNG setup are not billed to the first timed scenario."""
-    from repro.collectives.all_gather import AllGather
-    from repro.topology.builders.ring import build_ring
+_WARMUP_LOCK = threading.Lock()
+_WARMED = False
 
-    topology = build_ring(4)
-    pattern = AllGather(4)
-    algorithm = None
-    for engine in (FLAT_ENGINE, REFERENCE_ENGINE):
-        algorithm = TacosSynthesizer(engine=engine).synthesize(topology, pattern, 1e6)
-    messages = algorithm_to_messages(algorithm)
-    CongestionAwareSimulator(topology).run(messages)
-    ReferenceSimulator(topology).run(messages)
+
+def _warmup_once() -> None:
+    """Run one tiny synthesis + simulation per engine so imports, registry
+    resolution, and lazy RNG setup are not billed to the first timed scenario.
+
+    Idempotent per process (and thread-safe), so worker processes of a
+    parallel bench each warm up exactly once, before their first timing.
+    """
+    global _WARMED
+    with _WARMUP_LOCK:
+        if _WARMED:
+            return
+        from repro.collectives.all_gather import AllGather
+        from repro.topology.builders.ring import build_ring
+
+        topology = build_ring(4)
+        pattern = AllGather(4)
+        algorithm = None
+        for engine in (FLAT_ENGINE, REFERENCE_ENGINE):
+            algorithm = TacosSynthesizer(engine=engine).synthesize(topology, pattern, 1e6)
+        messages = algorithm_to_messages(algorithm)
+        CongestionAwareSimulator(topology).run(messages)
+        ReferenceSimulator(topology).run(messages)
+        _WARMED = True
 
 
 def _run_synthesis_scenario(
-    scenario: BenchScenario, repeats: int, check_equivalence: bool
+    scenario: BenchScenario, repeats: int, check_equivalence: bool, include_reference: bool
 ) -> BenchRecord:
     topology = build_topology(parse_topology_spec(scenario.topology))
     factory = COLLECTIVES.get(scenario.collective)
@@ -248,30 +291,33 @@ def _run_synthesis_scenario(
         flat, topology, pattern, scenario.collective_size, repeats
     )
 
-    reference = TacosSynthesizer(config, engine=REFERENCE_ENGINE)
-    reference_result, reference_seconds = _median_wall_clock(
-        reference, topology, pattern, scenario.collective_size, repeats
-    )
-
+    reference_seconds: Optional[float] = None
     equivalent: Optional[bool] = None
-    if check_equivalence:
-        equivalent = (
-            flat_result.algorithm.transfers == reference_result.algorithm.transfers
-            and flat_result.algorithm.collective_time
-            == reference_result.algorithm.collective_time
+    if include_reference:
+        reference = TacosSynthesizer(config, engine=REFERENCE_ENGINE)
+        reference_result, reference_seconds = _median_wall_clock(
+            reference, topology, pattern, scenario.collective_size, repeats
         )
+        if check_equivalence:
+            equivalent = (
+                flat_result.algorithm.transfers == reference_result.algorithm.transfers
+                and flat_result.algorithm.collective_time
+                == reference_result.algorithm.collective_time
+            )
 
     messages = algorithm_to_messages(flat_result.algorithm)
     collective_size = flat_result.algorithm.collective_size
     sim_result, simulation_seconds = _time_simulator(
         _flat_sim_pipeline, topology, messages, collective_size, repeats
     )
-    ref_sim_result, reference_simulation_seconds = _time_simulator(
-        _reference_sim_pipeline, topology, messages, collective_size, repeats
-    )
+    reference_simulation_seconds: Optional[float] = None
     simulation_equivalent: Optional[bool] = None
-    if check_equivalence:
-        simulation_equivalent = _simulators_agree(sim_result, ref_sim_result)
+    if include_reference:
+        ref_sim_result, reference_simulation_seconds = _time_simulator(
+            _reference_sim_pipeline, topology, messages, collective_size, repeats
+        )
+        if check_equivalence:
+            simulation_equivalent = _simulators_agree(sim_result, ref_sim_result)
 
     return BenchRecord(
         scenario=scenario.name,
@@ -300,7 +346,7 @@ def _run_synthesis_scenario(
 
 
 def _run_sim_scenario(
-    scenario: SimScenario, repeats: int, check_equivalence: bool
+    scenario: SimScenario, repeats: int, check_equivalence: bool, include_reference: bool
 ) -> BenchRecord:
     try:
         builder = _SCHEDULE_BUILDERS[scenario.schedule]
@@ -320,12 +366,14 @@ def _run_sim_scenario(
     flat_result, flat_seconds = _time_simulator(
         _flat_sim_pipeline, topology, messages, schedule.collective_size, repeats
     )
-    ref_result, reference_seconds = _time_simulator(
-        _reference_sim_pipeline, topology, messages, schedule.collective_size, repeats
-    )
+    reference_seconds: Optional[float] = None
     equivalent: Optional[bool] = None
-    if check_equivalence:
-        equivalent = _simulators_agree(flat_result, ref_result)
+    if include_reference:
+        ref_result, reference_seconds = _time_simulator(
+            _reference_sim_pipeline, topology, messages, schedule.collective_size, repeats
+        )
+        if check_equivalence:
+            equivalent = _simulators_agree(flat_result, ref_result)
 
     speedup = _safe_speedup(reference_seconds, flat_seconds)
     return BenchRecord(
@@ -363,21 +411,32 @@ def _pipeline_verdict(verifier, algorithm, topology, pattern) -> Tuple[bool, str
         return False, type(exc).__name__
 
 
-def _time_pipeline(pipeline: Callable[[], Tuple], repeats: int) -> Tuple[Tuple, float]:
-    """Time ``repeats`` full pipeline runs; return (first outcome, median seconds)."""
+def _time_pipeline(
+    pipeline: Callable[[], Tuple], repeats: int
+) -> Tuple[Tuple, float, Dict[str, float]]:
+    """Time ``repeats`` full pipeline runs.
+
+    Returns ``(first outcome, median seconds, median per-layer seconds)``;
+    each pipeline call returns its per-layer wall-clock dict as the last
+    element of its outcome tuple.
+    """
     first = None
     samples = []
+    layer_samples: Dict[str, List[float]] = {}
     for _ in range(max(1, repeats)):
         started = _time.perf_counter()
         outcome = pipeline()
         samples.append(_time.perf_counter() - started)
+        for layer, seconds in outcome[-1].items():
+            layer_samples.setdefault(layer, []).append(seconds)
         if first is None:
             first = outcome
-    return first, statistics.median(samples)
+    layers = {layer: statistics.median(values) for layer, values in layer_samples.items()}
+    return first, statistics.median(samples), layers
 
 
 def _run_pipeline_scenario(
-    scenario: PipelineScenario, repeats: int, check_equivalence: bool
+    scenario: PipelineScenario, repeats: int, check_equivalence: bool, include_reference: bool
 ) -> BenchRecord:
     """Time the whole synthesize → verify → simulate → metrics chain per path.
 
@@ -390,7 +449,10 @@ def _run_pipeline_scenario(
     :class:`~repro.bench.reference.ReferenceSimulator`, and the nested
     O(links x intervals x samples) metric scans.  Both paths share the
     topology object (and therefore its cached derived structures), exactly
-    like the synthesis scenarios do.
+    like the synthesis scenarios do.  Each run records per-layer wall times
+    (synthesize / verify / simulate / metrics), medians of which land in the
+    record's ``layer_seconds`` columns for ``--json`` / ``--history``
+    consumers.
     """
     topology = build_topology(parse_topology_spec(scenario.topology))
     factory = COLLECTIVES.get(scenario.collective)
@@ -398,43 +460,63 @@ def _run_pipeline_scenario(
     config = SynthesisConfig(seed=scenario.seed, trials=scenario.trials)
 
     def flat_pipeline() -> Tuple:
+        layers: Dict[str, float] = {}
+        started = _time.perf_counter()
         algorithm = TacosSynthesizer(config, engine=FLAT_ENGINE).synthesize(
             topology, pattern, scenario.collective_size
         )
+        layers["synthesize"] = _time.perf_counter() - started
+        started = _time.perf_counter()
         verdict = _pipeline_verdict(verify_algorithm, algorithm, topology, pattern)
+        layers["verify"] = _time.perf_counter() - started
+        started = _time.perf_counter()
         result = simulate_algorithm(topology, algorithm)
+        layers["simulate"] = _time.perf_counter() - started
+        started = _time.perf_counter()
         result.utilization_timeline(_TIMELINE_SAMPLES)
         result.link_busy_time()
-        return algorithm, verdict, result
+        layers["metrics"] = _time.perf_counter() - started
+        return algorithm, verdict, result, layers
 
     def reference_pipeline() -> Tuple:
+        layers: Dict[str, float] = {}
+        started = _time.perf_counter()
         algorithm = TacosSynthesizer(config, engine=REFERENCE_ENGINE).synthesize(
             topology, pattern, scenario.collective_size
         )
+        layers["synthesize"] = _time.perf_counter() - started
+        started = _time.perf_counter()
         verdict = _pipeline_verdict(reference_verify_algorithm, algorithm, topology, pattern)
+        layers["verify"] = _time.perf_counter() - started
+        started = _time.perf_counter()
         messages = reference_algorithm_to_messages(algorithm)
         result = ReferenceSimulator(topology).run(
             messages, collective_size=algorithm.collective_size
         )
+        layers["simulate"] = _time.perf_counter() - started
+        started = _time.perf_counter()
         reference_utilization_timeline(result, _TIMELINE_SAMPLES)
         reference_link_busy_time(result)
-        return algorithm, verdict, result
+        layers["metrics"] = _time.perf_counter() - started
+        return algorithm, verdict, result, layers
 
-    (flat_algorithm, flat_verdict, flat_result), flat_seconds = _time_pipeline(
+    (flat_algorithm, flat_verdict, flat_result, _), flat_seconds, flat_layers = _time_pipeline(
         flat_pipeline, repeats
     )
-    (ref_algorithm, ref_verdict, ref_result), reference_seconds = _time_pipeline(
-        reference_pipeline, repeats
-    )
-
+    reference_seconds: Optional[float] = None
+    reference_layers: Optional[Dict[str, float]] = None
     equivalent: Optional[bool] = None
-    if check_equivalence:
-        equivalent = (
-            flat_algorithm.transfers == ref_algorithm.transfers
-            and flat_algorithm.collective_time == ref_algorithm.collective_time
-            and flat_verdict == ref_verdict
-            and _simulators_agree(flat_result, ref_result)
+    if include_reference:
+        (ref_algorithm, ref_verdict, ref_result, _), reference_seconds, reference_layers = (
+            _time_pipeline(reference_pipeline, repeats)
         )
+        if check_equivalence:
+            equivalent = (
+                flat_algorithm.transfers == ref_algorithm.transfers
+                and flat_algorithm.collective_time == ref_algorithm.collective_time
+                and flat_verdict == ref_verdict
+                and _simulators_agree(flat_result, ref_result)
+            )
 
     speedup = _safe_speedup(reference_seconds, flat_seconds)
     return BenchRecord(
@@ -464,7 +546,98 @@ def _run_pipeline_scenario(
         simulation_equivalent=None,
         simulated_collective_time=flat_result.completion_time,
         verified=flat_verdict[0],
+        layer_seconds=flat_layers,
+        reference_layer_seconds=reference_layers,
     )
+
+
+def _run_parallel_scenario(
+    scenario: ParallelScenario, repeats: int, check_equivalence: bool
+) -> BenchRecord:
+    """Time best-of-N synthesis under the serial, thread, and process backends.
+
+    The scenario's primary triple compares *where* the same deterministic
+    work runs: ``reference_seconds`` holds the serial wall clock,
+    ``flat_seconds`` the process-pool wall clock, and ``speedup`` the
+    measured multi-core scaling (bounded by the host's usable cores —
+    recorded in the report envelope).  The equivalence check asserts the
+    three winning algorithms are byte-identical via
+    :meth:`~repro.core.transfers.TransferTable.to_bytes`.
+    """
+    topology = build_topology(parse_topology_spec(scenario.topology))
+    factory = COLLECTIVES.get(scenario.collective)
+    pattern = factory(topology.num_npus, 1)
+
+    outcomes: Dict[str, Tuple[Any, float]] = {}
+    for execution in ("serial", "thread", "process"):
+        config = SynthesisConfig(
+            seed=scenario.seed,
+            trials=scenario.trials,
+            trial_workers=None if execution == "serial" else scenario.workers,
+            execution=execution,
+        )
+        synthesizer = TacosSynthesizer(config, engine=FLAT_ENGINE)
+        result, seconds = _median_wall_clock(
+            synthesizer, topology, pattern, scenario.collective_size, repeats
+        )
+        outcomes[execution] = (result, seconds)
+
+    equivalent: Optional[bool] = None
+    if check_equivalence:
+        payloads = {
+            execution: result.algorithm.table.to_bytes()
+            for execution, (result, _) in outcomes.items()
+        }
+        equivalent = payloads["serial"] == payloads["thread"] == payloads["process"]
+
+    serial_result, serial_seconds = outcomes["serial"]
+    _, process_seconds = outcomes["process"]
+    return BenchRecord(
+        scenario=scenario.name,
+        kind="parallel",
+        topology=scenario.topology,
+        collective=scenario.collective,
+        collective_size=scenario.collective_size,
+        num_npus=topology.num_npus,
+        num_links=topology.num_links,
+        seed=scenario.seed,
+        trials=scenario.trials,
+        flat_seconds=process_seconds,
+        reference_seconds=serial_seconds,
+        speedup=_safe_speedup(serial_seconds, process_seconds),
+        equivalent=equivalent,
+        num_transfers=serial_result.algorithm.num_transfers,
+        collective_time=serial_result.algorithm.collective_time,
+        rounds=serial_result.rounds,
+        num_messages=0,
+        simulation_seconds=None,
+        reference_simulation_seconds=None,
+        simulation_speedup=None,
+        simulation_equivalent=None,
+        simulated_collective_time=0.0,
+        backend_seconds={
+            execution: seconds for execution, (_, seconds) in outcomes.items()
+        },
+        workers=scenario.workers,
+    )
+
+
+def _scenario_task(task: Tuple[Scenario, int, bool, bool]) -> BenchRecord:
+    """Execute one scenario (module-level and picklable for the process backend).
+
+    Warms the executing process up lazily — once per process, before its
+    first timed scenario — so parallel bench workers pay imports and lazy
+    setup outside the measured windows, exactly like the serial path.
+    """
+    scenario, repeats, check_equivalence, include_reference = task
+    _warmup_once()
+    if isinstance(scenario, ParallelScenario):
+        return _run_parallel_scenario(scenario, repeats, check_equivalence)
+    if isinstance(scenario, PipelineScenario):
+        return _run_pipeline_scenario(scenario, repeats, check_equivalence, include_reference)
+    if isinstance(scenario, SimScenario):
+        return _run_sim_scenario(scenario, repeats, check_equivalence, include_reference)
+    return _run_synthesis_scenario(scenario, repeats, check_equivalence, include_reference)
 
 
 def run_bench(
@@ -473,18 +646,56 @@ def run_bench(
     repeats: int = 1,
     check_equivalence: bool = True,
     scenarios: Optional[List[Scenario]] = None,
+    workers: Optional[int] = None,
+    execution: BackendSpec = None,
+    include_reference: bool = True,
 ) -> List[BenchRecord]:
-    """Execute a benchmark grid and return one record per scenario."""
-    records: List[BenchRecord] = []
-    _warmup()
-    for scenario in scenarios if scenarios is not None else get_grid(grid):
-        if isinstance(scenario, PipelineScenario):
-            records.append(_run_pipeline_scenario(scenario, repeats, check_equivalence))
-        elif isinstance(scenario, SimScenario):
-            records.append(_run_sim_scenario(scenario, repeats, check_equivalence))
-        else:
-            records.append(_run_synthesis_scenario(scenario, repeats, check_equivalence))
-    return records
+    """Execute a benchmark grid and return one record per scenario.
+
+    ``execution`` / ``workers`` fan the *scenarios* out across an execution
+    backend (``workers`` alone implies threads, matching the other fan-out
+    sites); per-scenario wall clocks then include scheduling noise from
+    neighbours sharing the machine, so parallel runs suit equivalence
+    sweeps and throughput, serial runs suit recorded timings.
+
+    ``include_reference=False`` skips the frozen object path entirely: no
+    reference timings, no engine-equivalence checks, and scenarios flagged
+    ``flat_only`` (too large to ever time the object path on) join the
+    grid.  ``parallel`` scenarios are unaffected — their serial baseline
+    and backend byte-equivalence check compare execution backends of the
+    flat engine, not the frozen path.
+    """
+    selected = list(scenarios) if scenarios is not None else get_grid(grid)
+    if include_reference:
+        selected = [
+            scenario for scenario in selected if not getattr(scenario, "flat_only", False)
+        ]
+    tasks = [
+        (scenario, repeats, check_equivalence, include_reference) for scenario in selected
+    ]
+    backend = effective_backend(execution, workers)
+    if backend is None or backend.name == "serial":
+        return [_scenario_task(task) for task in tasks]
+    if backend.name == "thread":
+        # Fork safety: a ParallelScenario opens its own process pool, and
+        # forking from a process with running sibling threads is
+        # deadlock-prone (CPython 3.12+ warns on it).  Run the parallel-kind
+        # scenarios on the calling thread *before* the pool spins up, and
+        # fan only the rest out; record order still follows the grid.
+        results: List[Optional[BenchRecord]] = [None] * len(tasks)
+        threaded_indices = []
+        for index, task in enumerate(tasks):
+            if isinstance(task[0], ParallelScenario):
+                results[index] = _scenario_task(task)
+            else:
+                threaded_indices.append(index)
+        mapped = backend.map(
+            _scenario_task, [tasks[index] for index in threaded_indices], max_workers=workers
+        )
+        for index, record in zip(threaded_indices, mapped):
+            results[index] = record
+        return results
+    return backend.map(_scenario_task, tasks, max_workers=workers)
 
 
 def _finite(values: List[Optional[float]]) -> List[float]:
@@ -493,10 +704,29 @@ def _finite(values: List[Optional[float]]) -> List[float]:
 
 
 def summarize(records: List[BenchRecord]) -> Dict[str, Any]:
-    """Aggregate per-grid summary statistics (non-finite speedups skipped)."""
-    speedups = _finite([record.speedup for record in records])
+    """Aggregate per-grid summary statistics (non-finite speedups skipped).
+
+    ``parallel`` records measure backend *scaling*, not engine speedup —
+    an incomparable population — so every engine aggregate (speedups,
+    wall-clock totals, equivalence counts) is computed over the non-parallel
+    records, and parallel records get their own ``*_parallel_speedup`` /
+    ``parallel_equivalence_checked`` keys.  Only when the grid contains
+    nothing else (the ``parallel`` grid itself) do the scaling records feed
+    the headline fields, so ``--history`` still shows that grid's
+    trajectory.  A mixed grid's engine summary (and the ``--min-speedup``
+    gate / cross-report trend built on it) therefore never moves because a
+    scaling scenario ran on a host with fewer cores.
+    """
+    engine_records = [record for record in records if record.kind != "parallel"]
+    parallel_records = [record for record in records if record.kind == "parallel"]
+    base = engine_records if engine_records else records
+    parallel_speedups = _finite([record.speedup for record in parallel_records])
+    speedups = _finite([record.speedup for record in base])
     sim_speedups = _finite([record.simulation_speedup for record in records])
-    checked = [record.equivalent for record in records if record.equivalent is not None]
+    checked = [record.equivalent for record in base if record.equivalent is not None]
+    parallel_checked = [
+        record.equivalent for record in parallel_records if record.equivalent is not None
+    ]
     sim_checked = [
         record.simulation_equivalent
         for record in records
@@ -507,15 +737,26 @@ def summarize(records: List[BenchRecord]) -> Dict[str, Any]:
         "median_speedup": statistics.median(speedups) if speedups else None,
         "min_speedup": min(speedups) if speedups else None,
         "max_speedup": max(speedups) if speedups else None,
-        "total_flat_seconds": sum(record.flat_seconds for record in records),
-        "total_reference_seconds": sum(record.reference_seconds for record in records),
+        "total_flat_seconds": sum(record.flat_seconds for record in base),
+        "total_reference_seconds": sum(
+            record.reference_seconds
+            for record in base
+            if record.reference_seconds is not None
+        ),
         "equivalence_checked": len(checked),
         "all_equivalent": all(checked) if checked else None,
+        "parallel_equivalence_checked": len(parallel_checked),
+        "all_parallel_equivalent": all(parallel_checked) if parallel_checked else None,
         "median_simulation_speedup": statistics.median(sim_speedups) if sim_speedups else None,
         "min_simulation_speedup": min(sim_speedups) if sim_speedups else None,
         "max_simulation_speedup": max(sim_speedups) if sim_speedups else None,
         "simulation_equivalence_checked": len(sim_checked),
         "all_simulation_equivalent": all(sim_checked) if sim_checked else None,
+        "median_parallel_speedup": (
+            statistics.median(parallel_speedups) if parallel_speedups else None
+        ),
+        "min_parallel_speedup": min(parallel_speedups) if parallel_speedups else None,
+        "max_parallel_speedup": max(parallel_speedups) if parallel_speedups else None,
     }
 
 
@@ -525,12 +766,17 @@ def write_report(
     grid: str,
     repeats: int,
     out_dir: str = ".",
+    execution: Optional[str] = None,
+    workers: Optional[int] = None,
 ) -> Tuple[Path, Dict[str, Any]]:
     """Serialize records to ``BENCH_<grid>_<timestamp>.json``; return (path, report).
 
     The report is strict JSON: ``allow_nan=False`` makes a stray NaN or
     Infinity fail the write loudly instead of producing a file that
-    ``json.loads`` with a strict ``parse_constant`` rejects.
+    ``json.loads`` with a strict ``parse_constant`` rejects.  The envelope
+    records the executing host's usable core count (and any scenario-level
+    execution backend), without which a ``parallel`` grid's scaling numbers
+    cannot be interpreted.
     """
     report = {
         "schema": SCHEMA,
@@ -538,6 +784,11 @@ def write_report(
         "grid": grid,
         "repeats": repeats,
         "created_utc": _time.strftime("%Y-%m-%dT%H:%M:%SZ", _time.gmtime()),
+        "host": {
+            "usable_cpus": default_worker_count(),
+            "cpu_count": os.cpu_count(),
+        },
+        "execution": {"backend": execution or "serial", "workers": workers},
         "summary": summarize(records),
         "records": [record.to_dict() for record in records],
     }

@@ -106,6 +106,15 @@ def build_parser() -> argparse.ArgumentParser:
         "synthesize", help="synthesize and time a collective (default algorithm: tacos)"
     )
     _add_run_options(synthesize, default_algorithm="tacos")
+    synthesize.add_argument(
+        "--workers", "-w", type=int, default=None,
+        help="pool size for the synthesizer's randomized-trial fan-out",
+    )
+    synthesize.add_argument(
+        "--execution", choices=("serial", "thread", "process"), default=None,
+        help="execution backend for the trial fan-out "
+        "(process = real multi-core parallelism; default: serial)",
+    )
 
     simulate = subparsers.add_parser(
         "simulate", help="time a baseline algorithm (default algorithm: ring)"
@@ -126,7 +135,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--sizes", default="4MB", help="comma-separated per-NPU sizes, e.g. 1MB,16MB,256MB"
     )
     sweep.add_argument("--chunks-per-npu", type=int, default=1)
-    sweep.add_argument("--workers", "-w", type=int, default=None, help="thread pool size")
+    sweep.add_argument("--workers", "-w", type=int, default=None, help="worker pool size")
+    sweep.add_argument(
+        "--execution", choices=("serial", "thread", "process"), default=None,
+        help="execution backend for the batch (--workers alone implies thread; "
+        "process workers share results through the --cache-dir artifact store)",
+    )
     sweep.add_argument("--cache-dir", help="cache results as JSON under this directory")
     sweep.add_argument("--json", action="store_true", help="print results as JSON")
 
@@ -134,9 +148,12 @@ def build_parser() -> argparse.ArgumentParser:
         "bench", help="benchmark the synthesis core and simulator against the pre-refactor engines"
     )
     bench.add_argument(
-        "--grid", choices=("smoke", "fig19", "full", "sim_stress", "pipeline"), default="fig19",
+        "--grid",
+        choices=("smoke", "fig19", "full", "sim_stress", "pipeline", "parallel"),
+        default="fig19",
         help="scenario grid (default: fig19; sim_stress exercises the simulator, "
-        "pipeline the end-to-end synthesize+verify+simulate+metrics chain)",
+        "pipeline the end-to-end synthesize+verify+simulate+metrics chain, "
+        "parallel the execution-backend scaling of best-of-N synthesis)",
     )
     bench.add_argument(
         "--smoke", action="store_true", help="shorthand for --grid smoke (CI-sized)"
@@ -150,6 +167,24 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--no-equivalence", action="store_true",
         help="skip the fixed-seed output-equivalence check",
+    )
+    bench.add_argument(
+        "--no-reference", action="store_true",
+        help="skip the frozen object path entirely (no reference timings or "
+        "engine-equivalence checks) and include the flat-only scenarios too "
+        "large to ever time it on; parallel scenarios are unaffected (their "
+        "serial baseline and backend byte-equivalence check are not the "
+        "frozen path)",
+    )
+    bench.add_argument(
+        "--workers", "-w", type=int, default=None,
+        help="fan scenarios out across a worker pool (timings then include "
+        "scheduling noise from concurrent neighbours)",
+    )
+    bench.add_argument(
+        "--execution", choices=("serial", "thread", "process"), default=None,
+        help="execution backend for the scenario fan-out "
+        "(--workers alone implies thread)",
     )
     bench.add_argument(
         "--min-speedup", type=float, default=None,
@@ -272,7 +307,19 @@ def _cmd_run_one(arguments: argparse.Namespace, *, default_collective: str) -> i
     if arguments.save_spec:
         Path(arguments.save_spec).write_text(spec.to_json(indent=2) + "\n")
     cache = ResultCache(arguments.cache_dir) if arguments.cache_dir else None
-    result = run(spec, cache=cache)
+    workers = getattr(arguments, "workers", None)
+    execution = getattr(arguments, "execution", None)
+    if workers is not None or execution is not None:
+        # Install the ambient execution policy the synthesizer's trial
+        # fan-out resolves when its config does not pin one; the spec (and
+        # therefore the cache key) stays execution-agnostic.  --workers
+        # without --execution selects threads (the scope's own convention).
+        from repro.api.parallel import execution_scope
+
+        with execution_scope(execution=execution, workers=workers):
+            result = run(spec, cache=cache)
+    else:
+        result = run(spec, cache=cache)
     if arguments.json:
         print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
     else:
@@ -300,7 +347,11 @@ def _cmd_sweep(arguments: argparse.Namespace) -> int:
     # power-of-two NPU count, C-Cube wants DGX-1, ...); one incompatible
     # cell must not discard the rest of the cross product.
     results = run_batch(
-        specs, max_workers=arguments.workers, cache=cache, return_exceptions=True
+        specs,
+        max_workers=arguments.workers,
+        cache=cache,
+        return_exceptions=True,
+        execution=arguments.execution,
     )
     failed = sum(isinstance(result, Exception) for result in results)
     if arguments.json:
@@ -320,6 +371,17 @@ def _cmd_sweep(arguments: argparse.Namespace) -> int:
 
 def _format_speedup(value: Optional[float]) -> str:
     return "-" if value is None else f"{value:.2f}x"
+
+
+def _format_ms(value: Optional[float]) -> str:
+    return "-" if value is None else f"{value * 1e3:.1f}"
+
+
+def _format_layers(layers: Dict[str, float]) -> str:
+    order = ("synthesize", "verify", "simulate", "metrics")
+    named = [layer for layer in order if layer in layers]
+    named += [layer for layer in sorted(layers) if layer not in order]
+    return " | ".join(f"{layer} {layers[layer] * 1e3:.1f}ms" for layer in named)
 
 
 def _resolve_comparison(
@@ -470,6 +532,17 @@ def _cmd_bench_history(arguments: argparse.Namespace) -> int:
                 f"{_format_speedup(row['median_simulation_speedup']):>7} "
                 f"{'-' if trajectory is None else f'{trajectory:.2f}x':>8}"
             )
+        # Per-layer attribution (schema v4 pipeline records): the newest
+        # report of each grid that carries it.
+        newest_layers: Dict[str, Any] = {}
+        for row in rows:
+            if row.get("median_layer_seconds"):
+                newest_layers[row["grid"]] = row
+        for row in newest_layers.values():
+            print(
+                f"\nlayers ({row['grid']}, {row['file']}): "
+                f"{_format_layers(row['median_layer_seconds'])}"
+            )
         if comparison is not None and previous_path is not None:
             _print_comparison(comparison, previous_path)
     if comparison is not None and comparison["regressed"]:
@@ -485,13 +558,29 @@ def _cmd_bench(arguments: argparse.Namespace) -> int:
         return _cmd_bench_history(arguments)
 
     grid = "smoke" if arguments.smoke else arguments.grid
+    # Resolve the effective backend through the one shared promotion rule
+    # (--workers alone implies threads) so the report envelope records
+    # exactly what run_bench executes — parallel scheduling noise is never
+    # attributed to a serial run.
+    from repro.api.parallel import effective_backend
+
+    backend = effective_backend(arguments.execution, arguments.workers)
+    execution = backend.name if backend is not None else None
     records = run_bench(
         grid,
         repeats=arguments.repeats,
         check_equivalence=not arguments.no_equivalence,
+        workers=arguments.workers,
+        execution=execution,
+        include_reference=not arguments.no_reference,
     )
     path, report = write_report(
-        records, grid=grid, repeats=arguments.repeats, out_dir=arguments.out
+        records,
+        grid=grid,
+        repeats=arguments.repeats,
+        out_dir=arguments.out,
+        execution=execution,
+        workers=arguments.workers,
     )
     summary = report["summary"]
     compare_code = 0
@@ -524,7 +613,7 @@ def _cmd_bench(arguments: argparse.Namespace) -> int:
             equal = "-" if not checks else ("yes" if all(checks) else "NO")
             print(
                 f"{record.scenario:<26} {record.num_npus:>5} {record.flat_seconds * 1e3:>10.1f} "
-                f"{record.reference_seconds * 1e3:>14.1f} {_format_speedup(record.speedup):>8} "
+                f"{_format_ms(record.reference_seconds):>14} {_format_speedup(record.speedup):>8} "
                 f"{_format_speedup(record.simulation_speedup):>7} {equal:>6}"
             )
         if summary["median_speedup"] is not None:
@@ -548,6 +637,9 @@ def _cmd_bench(arguments: argparse.Namespace) -> int:
         return 1
     if summary["all_simulation_equivalent"] is False:
         print("error: simulator engines disagree on fixed-seed outputs", file=sys.stderr)
+        return 1
+    if summary.get("all_parallel_equivalent") is False:
+        print("error: execution backends disagree on fixed-seed outputs", file=sys.stderr)
         return 1
     if (
         arguments.min_speedup is not None

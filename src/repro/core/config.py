@@ -38,14 +38,21 @@ class SynthesisConfig:
         Safety bound on the number of time spans; exceeded only if synthesis
         cannot make progress (e.g. disconnected topology).
     trial_workers:
-        Thread-pool size for dispatching independent randomized trials
-        (through the same pool helper as :func:`repro.api.runner.run_batch`).
-        ``None`` (the default) or 1 runs trials serially.  Note: the
-        pure-Python matching kernel holds the GIL, so today this does not
-        reduce wall-clock time — the seam exists so engines whose kernels
-        release the GIL can parallelize without API changes.  Either way the
-        selected algorithm is identical because the best-of-trials choice is
+        Pool size for dispatching independent randomized trials through the
+        shared execution backends (:mod:`repro.api.parallel`).  ``None`` (the
+        default) defers to the ambient
+        :func:`~repro.api.parallel.execution_scope` policy — serial when none
+        is installed; 1 forces serial.  With the default ``execution`` the
+        pool is a thread pool (the historical behaviour — note the
+        pure-Python matching kernel holds the GIL, so threads add no wall
+        clock); set ``execution="process"`` for real multi-core parallelism.
+        Either way the selected algorithm is byte-identical because every
+        trial is seeded deterministically and the best-of-trials choice is
         order-independent.
+    execution:
+        Execution backend for the trial fan-out: ``"serial"``, ``"thread"``,
+        ``"process"``, or ``None`` (the default) to follow ``trial_workers``
+        semantics / the ambient scope.
     """
 
     seed: int = 0
@@ -54,6 +61,7 @@ class SynthesisConfig:
     enable_forwarding: bool = True
     max_rounds: int = 1_000_000
     trial_workers: Optional[int] = None
+    execution: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.trials < 1:
@@ -63,6 +71,10 @@ class SynthesisConfig:
         if self.trial_workers is not None and self.trial_workers < 1:
             raise SynthesisError(
                 f"trial_workers must be at least 1 (or None), got {self.trial_workers}"
+            )
+        if self.execution is not None and self.execution not in ("serial", "thread", "process"):
+            raise SynthesisError(
+                f"execution must be serial, thread, or process (or None), got {self.execution!r}"
             )
 
     def trial_seed(self, trial: int) -> int:

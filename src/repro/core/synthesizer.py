@@ -13,7 +13,8 @@ from __future__ import annotations
 import random
 import time as _time
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from functools import partial
+from typing import Callable, List, Optional, Tuple
 
 from repro.collectives.all_reduce import AllReduce
 from repro.collectives.pattern import CollectivePattern
@@ -29,6 +30,7 @@ __all__ = [
     "FLAT_ENGINE",
     "SynthesisResult",
     "TacosSynthesizer",
+    "TrialPayload",
     "synthesize",
 ]
 
@@ -53,6 +55,112 @@ class SynthesisEngine:
 
 #: Default engine: flat array-backed state, CSR-indexed TEN.
 FLAT_ENGINE = SynthesisEngine(name="flat")
+
+
+@dataclass(frozen=True)
+class TrialPayload:
+    """Everything one randomized synthesis trial needs, minus its seed.
+
+    Built once per :meth:`TacosSynthesizer._synthesize_direct` call and shared
+    by every trial of the fan-out.  The payload (and the built-in engines) is
+    picklable, so the same object drives serial loops, thread pools, and —
+    via the module-level :func:`_run_trial_task` — process pools.
+    """
+
+    topology: Topology
+    pattern: CollectivePattern
+    collective_size: float
+    chunk_size: float
+    hop_distances: Optional[List[List[int]]]
+    cheap_regions: Optional[dict]
+    engine: SynthesisEngine
+    prefer_lowest_cost: bool
+    max_rounds: int
+
+
+def _execute_trial(payload: TrialPayload, seed: int) -> Tuple[CollectiveAlgorithm, int]:
+    """One randomized synthesis run (Alg. 2): returns (algorithm, rounds)."""
+    engine = payload.engine
+    topology = payload.topology
+    pattern = payload.pattern
+    ten = engine.ten_factory(topology, payload.chunk_size)
+    state = engine.state_factory(
+        topology.num_npus, pattern.precondition(), pattern.postcondition()
+    )
+    matching_round = engine.matching_round
+    rng = random.Random(seed)
+
+    transfers = []
+    current_time = 0.0
+    rounds = 0
+    while not state.done:
+        rounds += 1
+        if rounds > payload.max_rounds:
+            raise SynthesisError(
+                f"synthesis of {pattern.name} on {topology.name} exceeded "
+                f"{payload.max_rounds} time spans"
+            )
+        new_transfers = matching_round(
+            ten,
+            state,
+            current_time,
+            rng,
+            prefer_lowest_cost=payload.prefer_lowest_cost,
+            enable_forwarding=payload.hop_distances is not None,
+            hop_distances=payload.hop_distances,
+            cheap_regions=payload.cheap_regions,
+        )
+        transfers.extend(new_transfers)
+        if state.done:
+            break
+        next_time = ten.next_event_after(current_time)
+        if next_time is None:
+            raise SynthesisError(
+                f"synthesis of {pattern.name} on {topology.name} stalled at t={current_time:.3e}s; "
+                "is the topology strongly connected?"
+            )
+        current_time = next_time
+
+    algorithm = CollectiveAlgorithm(
+        transfers=transfers,
+        num_npus=topology.num_npus,
+        chunk_size=payload.chunk_size,
+        collective_size=float(payload.collective_size),
+        pattern_name=pattern.name,
+        topology_name=topology.name,
+        metadata={"seed": seed, "rounds": rounds},
+    )
+    return algorithm, rounds
+
+
+def _run_trial_task(payload: TrialPayload, seed: int) -> Tuple[bytes, dict, int]:
+    """Process-pool trial task: the algorithm crosses back as raw column bytes.
+
+    Returning ``TransferTable.to_bytes()`` instead of the object graph keeps
+    the inter-process transport compact and bit-exact — the parent rebuilds
+    an identical algorithm with :func:`_decode_trial_outcome`.
+    """
+    algorithm, rounds = _execute_trial(payload, seed)
+    return algorithm.table.to_bytes(), dict(algorithm.metadata), rounds
+
+
+def _decode_trial_outcome(
+    payload: TrialPayload, outcome: Tuple[bytes, dict, int]
+) -> Tuple[CollectiveAlgorithm, int]:
+    """Rebuild a trial's algorithm from the bytes a process worker returned."""
+    from repro.core.transfers import TransferTable
+
+    table_bytes, metadata, rounds = outcome
+    algorithm = CollectiveAlgorithm.from_table(
+        TransferTable.from_bytes(table_bytes),
+        num_npus=payload.topology.num_npus,
+        chunk_size=payload.chunk_size,
+        collective_size=float(payload.collective_size),
+        pattern_name=payload.pattern.name,
+        topology_name=payload.topology.name,
+        metadata=metadata,
+    )
+    return algorithm, rounds
 
 
 @dataclass
@@ -212,8 +320,12 @@ class TacosSynthesizer:
         Topology-level structures (adjacency, hop distances, cheaper-link
         reachability regions) are resolved once here — cached on the topology
         — and shared read-only by every trial.  Independent trials fan out
-        through the same thread-pool helper as :func:`repro.api.runner.run_batch`
-        when ``config.trial_workers`` asks for it.
+        through the pluggable execution backends (:mod:`repro.api.parallel`):
+        serial, thread, or process, per the config or the ambient
+        :func:`~repro.api.parallel.execution_scope`.  Every trial is seeded
+        deterministically (:meth:`SynthesisConfig.trial_seed`) and the
+        best-of-trials selection below is order-independent, so the chosen
+        algorithm is byte-identical regardless of backend.
         """
         chunk_size = pattern.chunk_size(collective_size)
 
@@ -226,29 +338,37 @@ class TacosSynthesizer:
             cheap_regions = topology.cheaper_reachability_regions(chunk_size)
 
         # Warm the adjacency caches before fanning out so concurrent trials
-        # only ever read them.
+        # only ever read them (process workers inherit them via the payload).
         topology.in_adjacency()
         topology.out_adjacency()
 
-        def run_one(seed: int) -> tuple:
-            return self._run_trial(
-                topology,
-                pattern,
-                collective_size,
-                seed=seed,
-                chunk_size=chunk_size,
-                hop_distances=hop_distances,
-                cheap_regions=cheap_regions,
-            )
-
+        payload = TrialPayload(
+            topology=topology,
+            pattern=pattern,
+            collective_size=float(collective_size),
+            chunk_size=chunk_size,
+            hop_distances=hop_distances,
+            cheap_regions=cheap_regions,
+            engine=self.engine,
+            prefer_lowest_cost=self.config.prefer_lowest_cost_links,
+            max_rounds=self.config.max_rounds,
+        )
         seeds = [self.config.trial_seed(trial) for trial in range(self.config.trials)]
-        workers = self.config.trial_workers
-        if workers is not None and workers > 1 and len(seeds) > 1:
-            from repro.api.parallel import map_parallel  # deferred: avoids an import cycle
-
-            outcomes = map_parallel(run_one, seeds, max_workers=workers)
+        backend, workers = self._trial_execution()
+        if backend is not None and len(seeds) > 1:
+            if backend.name == "process":
+                # Module-level task + columnar byte transport: picklable both
+                # ways, no per-transfer object graphs on the wire.
+                packed = backend.map(
+                    partial(_run_trial_task, payload), seeds, max_workers=workers
+                )
+                outcomes = [_decode_trial_outcome(payload, item) for item in packed]
+            else:
+                outcomes = backend.map(
+                    partial(_execute_trial, payload), seeds, max_workers=workers
+                )
         else:
-            outcomes = [run_one(seed) for seed in seeds]
+            outcomes = [_execute_trial(payload, seed) for seed in seeds]
 
         # First-strictly-better selection over the seed-ordered outcomes: the
         # winner does not depend on scheduling, so parallel and serial runs
@@ -267,6 +387,35 @@ class TacosSynthesizer:
             rounds=best_rounds,
         )
 
+    def _trial_execution(self):
+        """Resolve the ``(backend, workers)`` pair governing the trial fan-out.
+
+        Explicit config fields win; with neither set, the ambient
+        :func:`~repro.api.parallel.execution_scope` policy applies (serial
+        when none is installed).  ``trial_workers`` alone keeps the historical
+        thread-pool behaviour.
+        """
+        from repro.api.parallel import (  # deferred: avoids an import cycle
+            current_execution,
+            resolve_backend,
+        )
+
+        config = self.config
+        if config.execution is not None:
+            backend = resolve_backend(config.execution)
+            workers = config.trial_workers
+            if backend.name == "serial":
+                return None, None
+            return backend, workers
+        if config.trial_workers is not None:
+            if config.trial_workers <= 1:
+                return None, None
+            return resolve_backend("thread"), config.trial_workers
+        backend, workers = current_execution()
+        if backend is not None and backend.name == "serial":
+            return None, None
+        return backend, workers
+
     def _run_trial(
         self,
         topology: Topology,
@@ -278,56 +427,19 @@ class TacosSynthesizer:
         hop_distances: Optional[List[List[int]]],
         cheap_regions: Optional[dict],
     ) -> tuple:
-        """One randomized synthesis run (Alg. 2): returns (algorithm, rounds)."""
-        engine = self.engine
-        ten = engine.ten_factory(topology, chunk_size)
-        state = engine.state_factory(
-            topology.num_npus, pattern.precondition(), pattern.postcondition()
-        )
-        matching_round = engine.matching_round
-        rng = random.Random(seed)
-
-        transfers = []
-        current_time = 0.0
-        rounds = 0
-        while not state.done:
-            rounds += 1
-            if rounds > self.config.max_rounds:
-                raise SynthesisError(
-                    f"synthesis of {pattern.name} on {topology.name} exceeded "
-                    f"{self.config.max_rounds} time spans"
-                )
-            new_transfers = matching_round(
-                ten,
-                state,
-                current_time,
-                rng,
-                prefer_lowest_cost=self.config.prefer_lowest_cost_links,
-                enable_forwarding=hop_distances is not None,
-                hop_distances=hop_distances,
-                cheap_regions=cheap_regions,
-            )
-            transfers.extend(new_transfers)
-            if state.done:
-                break
-            next_time = ten.next_event_after(current_time)
-            if next_time is None:
-                raise SynthesisError(
-                    f"synthesis of {pattern.name} on {topology.name} stalled at t={current_time:.3e}s; "
-                    "is the topology strongly connected?"
-                )
-            current_time = next_time
-
-        algorithm = CollectiveAlgorithm(
-            transfers=transfers,
-            num_npus=topology.num_npus,
-            chunk_size=chunk_size,
+        """One randomized synthesis run (kept as a thin compatibility wrapper)."""
+        payload = TrialPayload(
+            topology=topology,
+            pattern=pattern,
             collective_size=float(collective_size),
-            pattern_name=pattern.name,
-            topology_name=topology.name,
-            metadata={"seed": seed, "rounds": rounds},
+            chunk_size=chunk_size,
+            hop_distances=hop_distances,
+            cheap_regions=cheap_regions,
+            engine=self.engine,
+            prefer_lowest_cost=self.config.prefer_lowest_cost_links,
+            max_rounds=self.config.max_rounds,
         )
-        return algorithm, rounds
+        return _execute_trial(payload, seed)
 
     @staticmethod
     def _needs_forwarding(pattern: CollectivePattern) -> bool:

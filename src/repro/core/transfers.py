@@ -28,6 +28,7 @@ cached groupings (:meth:`by_link`, :meth:`by_dest_chunk`,
 
 from __future__ import annotations
 
+import struct
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -36,6 +37,11 @@ __all__ = ["TransferTable", "grouped_order"]
 
 _EMPTY_FLOAT = np.zeros(0, dtype=np.float64)
 _EMPTY_INT = np.zeros(0, dtype=np.int64)
+
+#: Magic prefix + version byte of the :meth:`TransferTable.to_bytes` format.
+_BYTES_MAGIC = b"TACOSTT1"
+#: Bytes per row: five 8-byte little-endian columns.
+_BYTES_PER_ROW = 40
 
 
 def grouped_order(
@@ -147,6 +153,64 @@ class TransferTable:
     @classmethod
     def empty(cls) -> "TransferTable":
         return cls(_EMPTY_FLOAT, _EMPTY_FLOAT, _EMPTY_INT, _EMPTY_INT, _EMPTY_INT)
+
+    # ------------------------------------------------------------------
+    # Binary round-trip (the cheap cross-process transport)
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """Compact binary encoding: a header plus the five raw columns.
+
+        The format is a fixed 16-byte header (magic + row count) followed by
+        the ``starts``/``ends``/``chunks``/``sources``/``dests`` columns as
+        little-endian 8-byte values.  It is the transport used to move tables
+        across process boundaries (the process execution backend) and into
+        the artifact store without pickling per-transfer objects; the float
+        payload is bit-exact, so a round-trip preserves outputs byte for byte.
+        """
+        count = len(self)
+        parts = [_BYTES_MAGIC, struct.pack("<Q", count)]
+        parts.append(np.ascontiguousarray(self.starts, dtype="<f8").tobytes())
+        parts.append(np.ascontiguousarray(self.ends, dtype="<f8").tobytes())
+        parts.append(np.ascontiguousarray(self.chunks, dtype="<i8").tobytes())
+        parts.append(np.ascontiguousarray(self.sources, dtype="<i8").tobytes())
+        parts.append(np.ascontiguousarray(self.dests, dtype="<i8").tobytes())
+        return b"".join(parts)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "TransferTable":
+        """Decode :meth:`to_bytes` output, validating structure and invariants.
+
+        Raises :class:`ValueError` on a bad magic, a truncated or oversized
+        payload, or columns violating the table invariant (a transfer ending
+        before it starts) — a corrupt or foreign buffer never produces a
+        silently wrong table.
+        """
+        data = bytes(data)
+        header = len(_BYTES_MAGIC) + 8
+        if len(data) < header or data[: len(_BYTES_MAGIC)] != _BYTES_MAGIC:
+            raise ValueError("not a TransferTable byte payload (bad magic)")
+        (count,) = struct.unpack_from("<Q", data, len(_BYTES_MAGIC))
+        expected = header + count * _BYTES_PER_ROW
+        if len(data) != expected:
+            raise ValueError(
+                f"TransferTable byte payload declares {count} rows "
+                f"({expected} bytes) but carries {len(data)} bytes"
+            )
+
+        def column(index: int, dtype: str, native: type) -> np.ndarray:
+            offset = header + index * count * 8
+            raw = np.frombuffer(data, dtype=dtype, count=count, offset=offset)
+            return raw.astype(native, copy=True)
+
+        table = cls(
+            column(0, "<f8", np.float64),
+            column(1, "<f8", np.float64),
+            column(2, "<i8", np.int64),
+            column(3, "<i8", np.int64),
+            column(4, "<i8", np.int64),
+        )
+        table._validate()
+        return table
 
     def _validate(self) -> None:
         count = self.starts.shape[0]

@@ -291,8 +291,16 @@ class Topology:
         arrays = self.link_arrays()
         out_ids = arrays.out_ids
         dests = arrays.dests
-        alphas = arrays.alphas
-        betas = arrays.betas
+        # Per-link hop cost, grouped exactly like Link.cost (alpha + beta *
+        # size) before being added to the running distance.  The grouping is
+        # load-bearing: `dist + alpha + beta * size` associates the other way
+        # and can land one ulp away, silently flipping which of two
+        # equal-cost routes wins a tie against the historical per-destination
+        # Dijkstra.
+        costs = [
+            alpha + beta * message_size
+            for alpha, beta in zip(arrays.alphas, arrays.betas)
+        ]
         distances = [math.inf] * self._num_npus
         parent_links = [-1] * self._num_npus
         distances[source] = 0.0
@@ -304,7 +312,7 @@ class Topology:
             if dist > distances[node]:
                 continue
             for link_id in out_ids[node]:
-                candidate = dist + alphas[link_id] + betas[link_id] * message_size
+                candidate = dist + costs[link_id]
                 dest = dests[link_id]
                 if candidate < distances[dest]:
                     distances[dest] = candidate

@@ -1,0 +1,210 @@
+"""The spec-hash-addressed artifact store: atomicity, locking, columnar
+payloads, and concurrent multi-process writers sharing one directory."""
+
+import json
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    AlgorithmSpec,
+    ArtifactStore,
+    CollectiveSpec,
+    ResultCache,
+    RunSpec,
+    TopologySpec,
+    run,
+)
+from repro.core.algorithm import CollectiveAlgorithm
+from repro.core.transfers import TransferTable
+
+MB = 1e6
+
+
+def _spec(num_npus=4):
+    return RunSpec(
+        topology=TopologySpec(name="ring", params={"num_npus": num_npus}),
+        collective=CollectiveSpec(name="all_gather", collective_size=MB),
+        algorithm=AlgorithmSpec(name="tacos"),
+    )
+
+
+class TestArtifactStore:
+    def test_json_round_trip(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.write_json("k1", {"b": 2, "a": 1})
+        assert store.read_json("k1") == {"a": 1, "b": 2}
+        assert store.read_json("missing") is None
+        assert store.keys() == ["k1"]
+
+    def test_json_is_strict_by_default(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        with pytest.raises(ValueError):
+            store.write_json("bad", {"x": float("inf")})
+        store.write_json("ok", {"x": float("inf")}, strict=False)
+        assert store.read_json("ok") == {"x": float("inf")}
+
+    def test_corrupt_json_is_a_miss(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        (tmp_path / "broken.json").write_text("{not json")
+        assert store.read_json("broken") is None
+
+    def test_array_round_trip(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        columns = {
+            "starts": np.asarray([0.0, 1.5]),
+            "chunks": np.asarray([3, 4], dtype=np.int64),
+        }
+        store.write_arrays("k1", "algorithm", columns)
+        loaded = store.read_arrays("k1", "algorithm")
+        assert set(loaded) == {"starts", "chunks"}
+        assert np.array_equal(loaded["starts"], columns["starts"])
+        assert np.array_equal(loaded["chunks"], columns["chunks"])
+        assert store.read_arrays("k1", "other") is None
+
+    def test_corrupt_npz_is_a_miss(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        (tmp_path / "k1.algorithm.npz").write_bytes(b"not a zip archive")
+        assert store.read_arrays("k1", "algorithm") is None
+
+    def test_object_arrays_are_rejected(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        with pytest.raises(Exception):
+            store.write_arrays("k1", "algorithm", {"bad": np.asarray([{"a": 1}])})
+
+    def test_no_temporary_droppings(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        for index in range(5):
+            store.write_json(f"k{index}", {"index": index})
+            store.write_arrays(f"k{index}", "payload", {"x": np.arange(3)})
+        leftovers = [path.name for path in tmp_path.iterdir() if path.suffix == ".tmp"]
+        assert leftovers == []
+
+    def test_clear_removes_json_and_npz(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.write_json("k1", {"a": 1})
+        store.write_arrays("k1", "algorithm", {"x": np.arange(2)})
+        store.clear()
+        assert store.read_json("k1") is None
+        assert store.read_arrays("k1", "algorithm") is None
+
+
+class TestResultCacheOnStore:
+    def test_algorithm_artifact_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = _spec()
+        table = TransferTable.from_columns([0.0, 1.0], [1.0, 2.0], [0, 1], [0, 1], [1, 2])
+        algorithm = CollectiveAlgorithm.from_table(
+            table,
+            num_npus=3,
+            chunk_size=MB,
+            collective_size=MB,
+            pattern_name="AllGather",
+            topology_name="Ring(3)",
+        )
+        cache.put_algorithm(spec, algorithm)
+        loaded = cache.load_algorithm(spec)
+        assert loaded is not None
+        assert loaded.table.to_bytes() == table.to_bytes()
+        assert loaded.num_npus == 3
+        assert loaded.pattern_name == "AllGather"
+        assert loaded.topology_name == "Ring(3)"
+
+    def test_memory_only_cache_has_no_algorithm_store(self):
+        cache = ResultCache()
+        assert cache.load_algorithm(_spec()) is None
+
+    def test_run_persists_synthesized_algorithm(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = _spec()
+        result = run(spec, cache=cache)
+        loaded = cache.load_algorithm(spec)
+        assert loaded is not None
+        assert loaded.collective_time == pytest.approx(result.collective_time)
+
+    def test_reloaded_all_reduce_algorithm_is_verifiable(self, tmp_path):
+        # Metadata (notably phase_boundary) must survive the artifact store:
+        # without it a reloaded All-Reduce algorithm cannot be verified.
+        from repro.api.builtins import parse_topology_spec
+        from repro.api.registry import COLLECTIVES
+        from repro.api.runner import build_topology
+        from repro.core.verification import verify_algorithm
+
+        spec = RunSpec(
+            topology=TopologySpec(name="ring", params={"num_npus": 4}),
+            collective=CollectiveSpec(name="all_reduce", collective_size=MB),
+            algorithm=AlgorithmSpec(name="tacos"),
+        )
+        cache = ResultCache(tmp_path)
+        run(spec, cache=cache)
+        loaded = cache.load_algorithm(spec)
+        assert loaded is not None
+        assert "phase_boundary" in loaded.metadata
+        topology = build_topology(spec.topology)
+        pattern = COLLECTIVES.get("all_reduce")(4, 1)
+        assert verify_algorithm(loaded, topology, pattern)
+
+    def test_clear_disk_removes_algorithm_payloads(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run(_spec(), cache=cache)
+        cache.clear(disk=True)
+        assert cache.load_algorithm(_spec()) is None
+        assert ResultCache(tmp_path).get(_spec()) is None
+
+
+# ----------------------------------------------------------------------
+# Concurrent writers: two processes, one cache directory, no corruption
+# ----------------------------------------------------------------------
+def _hammer_store(args):
+    """Write many entries (some keys shared with the sibling process)."""
+    directory, worker, rounds = args
+    store = ArtifactStore(directory)
+    for index in range(rounds):
+        shared_key = f"shared{index % 5}"
+        store.write_json(shared_key, {"worker": worker, "index": index})
+        store.write_arrays(
+            shared_key, "columns", {"values": np.full(64, worker * 1000 + index)}
+        )
+        store.write_json(f"own-{worker}-{index}", {"worker": worker})
+    return worker
+
+
+@pytest.mark.backend_equivalence
+class TestConcurrentWriters:
+    def test_two_processes_one_directory_no_corruption(self, tmp_path):
+        rounds = 30
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            outcome = list(
+                pool.map(_hammer_store, [(str(tmp_path), 1, rounds), (str(tmp_path), 2, rounds)])
+            )
+        assert sorted(outcome) == [1, 2]
+        store = ArtifactStore(tmp_path)
+        # Every file parses; shared keys hold one complete document from
+        # either writer (never a torn mixture), own keys are all present.
+        for index in range(5):
+            document = store.read_json(f"shared{index}")
+            assert document is not None and document["worker"] in (1, 2)
+            columns = store.read_arrays(f"shared{index}", "columns")
+            assert columns is not None
+            values = columns["values"]
+            assert len(set(values.tolist())) == 1  # one writer's payload, whole
+        for worker in (1, 2):
+            for index in range(rounds):
+                assert store.read_json(f"own-{worker}-{index}") == {"worker": worker}
+        leftovers = [path.name for path in tmp_path.iterdir() if path.suffix == ".tmp"]
+        assert leftovers == []
+
+    def test_concurrent_caches_one_spec(self, tmp_path):
+        # Two processes running the same spec against one cache directory
+        # must both succeed and agree on the stored result document.
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            results = list(pool.map(_run_spec_in_worker, [str(tmp_path)] * 2))
+        assert results[0] == results[1]
+        stored = json.loads(next(tmp_path.glob("*.json")).read_text())
+        assert stored["collective_time"] == results[0]
+
+
+def _run_spec_in_worker(directory):
+    cache = ResultCache(directory)
+    return run(_spec(), cache=cache).collective_time

@@ -1,0 +1,251 @@
+"""Execution backends: unit behaviour plus serial == thread == process
+determinism for every fan-out site (the ``backend_equivalence`` marker is
+what CI's process-backend smoke job selects)."""
+
+import dataclasses
+
+import pytest
+
+from repro.api import (
+    AlgorithmSpec,
+    CollectiveSpec,
+    ResultCache,
+    RunSpec,
+    TopologySpec,
+    run_batch,
+)
+from repro.api.parallel import (
+    BACKENDS,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    current_execution,
+    execution_scope,
+    map_parallel,
+    resolve_backend,
+)
+from repro.collectives import AllGather
+from repro.core import SynthesisConfig, TacosSynthesizer
+from repro.errors import ReproError, SynthesisError
+from repro.topology import build_ring
+
+MB = 1e6
+
+
+def _square(value):
+    return value * value
+
+
+def _boom(value):
+    raise RuntimeError(f"boom {value}")
+
+
+# ----------------------------------------------------------------------
+# Backend units
+# ----------------------------------------------------------------------
+class TestBackends:
+    @pytest.mark.parametrize("name", ["serial", "thread", "process"])
+    def test_map_preserves_order(self, name):
+        backend = BACKENDS[name]
+        assert backend.map(_square, range(7), max_workers=3) == [
+            0, 1, 4, 9, 16, 25, 36,
+        ]
+
+    @pytest.mark.parametrize("name", ["serial", "thread", "process"])
+    def test_exceptions_propagate(self, name):
+        with pytest.raises(RuntimeError, match="boom"):
+            BACKENDS[name].map(_boom, [1, 2], max_workers=2)
+
+    def test_registry_instances(self):
+        assert isinstance(BACKENDS["serial"], SerialBackend)
+        assert isinstance(BACKENDS["thread"], ThreadBackend)
+        assert isinstance(BACKENDS["process"], ProcessBackend)
+
+    def test_resolve_backend(self):
+        assert resolve_backend(None) is None
+        assert resolve_backend("process") is BACKENDS["process"]
+        assert resolve_backend(BACKENDS["thread"]) is BACKENDS["thread"]
+        with pytest.raises(ReproError):
+            resolve_backend("gpu")
+
+    def test_map_parallel_legacy_policy(self):
+        # Without an explicit backend: serial unless max_workers > 1.
+        assert map_parallel(_square, [1, 2, 3]) == [1, 4, 9]
+        assert map_parallel(_square, [1, 2, 3], max_workers=2) == [1, 4, 9]
+        assert map_parallel(_square, [1, 2, 3], backend="process", max_workers=2) == [1, 4, 9]
+
+    def test_execution_scope_nests_and_restores(self):
+        assert current_execution() == (None, None)
+        with execution_scope(execution="process", workers=3):
+            backend, workers = current_execution()
+            assert backend.name == "process" and workers == 3
+            with execution_scope(workers=2):
+                backend, workers = current_execution()
+                assert backend.name == "process" and workers == 2
+            backend, workers = current_execution()
+            assert backend.name == "process" and workers == 3
+        assert current_execution() == (None, None)
+
+    def test_scope_workers_alone_imply_threads(self):
+        # A requested pool width is never silently ignored: workers without
+        # a backend select threads, matching every explicit fan-out site.
+        with execution_scope(workers=4):
+            backend, workers = current_execution()
+            assert backend.name == "thread" and workers == 4
+        with execution_scope(workers=1):
+            assert current_execution()[0] is None
+
+    def test_config_rejects_unknown_execution(self):
+        with pytest.raises(SynthesisError):
+            SynthesisConfig(execution="gpu")
+
+
+# ----------------------------------------------------------------------
+# Fan-out site equivalence (CI runs these under the process backend too)
+# ----------------------------------------------------------------------
+def _specs():
+    return [
+        RunSpec(
+            topology=TopologySpec(name="ring", params={"num_npus": num_npus}),
+            collective=CollectiveSpec(name="all_gather", collective_size=MB),
+            algorithm=AlgorithmSpec(name="tacos"),
+        )
+        for num_npus in (4, 5)
+    ] + [
+        RunSpec(
+            topology=TopologySpec(name="ring", params={"num_npus": 4}),
+            collective=CollectiveSpec(name="all_reduce", collective_size=MB),
+            algorithm=AlgorithmSpec(name="ring"),
+        )
+    ]
+
+
+def _strip_timing(results):
+    return [dataclasses.replace(result, synthesis_seconds=None) for result in results]
+
+
+@pytest.mark.backend_equivalence
+class TestRunBatchEquivalence:
+    def test_serial_thread_process_identical(self):
+        specs = _specs()
+        serial = run_batch(specs, execution="serial")
+        thread = run_batch(specs, max_workers=2, execution="thread")
+        process = run_batch(specs, max_workers=2, execution="process")
+        assert _strip_timing(serial) == _strip_timing(thread) == _strip_timing(process)
+
+    def test_process_workers_share_disk_cache(self, tmp_path):
+        specs = _specs()
+        cache = ResultCache(tmp_path)
+        first = run_batch(specs, max_workers=2, execution="process", cache=cache)
+        assert not any(result.cached for result in first)
+        # Worker-computed results were folded back into the calling cache's
+        # memory layer without rewriting the disk entries the workers
+        # already persisted through the shared store.
+        disk_state = {path.name: path.stat().st_mtime_ns for path in tmp_path.glob("*.json")}
+        assert disk_state  # workers did persist
+        again = run_batch(specs, cache=cache)
+        assert all(result.cached for result in again)
+        assert {
+            path.name: path.stat().st_mtime_ns for path in tmp_path.glob("*.json")
+        } == disk_state
+        assert _strip_timing(first) == _strip_timing(
+            [dataclasses.replace(result, cached=False) for result in again]
+        )
+        # The synthesized algorithm itself is shared through the store.
+        algorithm = cache.load_algorithm(specs[0])
+        assert algorithm is not None and algorithm.num_transfers > 0
+
+    def test_process_batch_serves_memory_only_cache_hits(self):
+        # A memory-only cache is invisible to worker processes; the parent
+        # must serve its hits itself instead of recomputing every spec.
+        specs = _specs()
+        cache = ResultCache()
+        first = run_batch(specs, max_workers=2, execution="process", cache=cache)
+        assert not any(result.cached for result in first)
+        again = run_batch(specs, max_workers=2, execution="process", cache=cache)
+        assert all(result.cached for result in again)
+        assert _strip_timing(first) == _strip_timing(
+            [dataclasses.replace(result, cached=False) for result in again]
+        )
+
+    def test_return_exceptions_across_process_boundary(self):
+        bad = RunSpec(
+            topology=TopologySpec(name="ring", params={"num_npus": 6}),
+            collective=CollectiveSpec(name="all_reduce", collective_size=MB),
+            # RHD needs a power-of-two NPU count: this cell must fail alone.
+            algorithm=AlgorithmSpec(name="rhd"),
+        )
+        specs = _specs() + [bad]
+        results = run_batch(
+            specs, max_workers=2, execution="process", return_exceptions=True
+        )
+        assert isinstance(results[-1], ReproError)
+        assert all(not isinstance(result, Exception) for result in results[:-1])
+
+
+@pytest.mark.backend_equivalence
+class TestTrialFanOutEquivalence:
+    def test_best_of_n_synthesis_byte_identical(self):
+        topology = build_ring(6)
+        pattern = AllGather(6)
+        outcomes = {}
+        for name, config in {
+            "serial": SynthesisConfig(seed=0, trials=4),
+            "thread": SynthesisConfig(seed=0, trials=4, trial_workers=2),
+            "process": SynthesisConfig(
+                seed=0, trials=4, trial_workers=2, execution="process"
+            ),
+        }.items():
+            outcomes[name] = TacosSynthesizer(config).synthesize(topology, pattern, MB)
+        serial = outcomes["serial"]
+        for name, algorithm in outcomes.items():
+            assert algorithm.transfers == serial.transfers, name
+            assert algorithm.table.to_bytes() == serial.table.to_bytes(), name
+            assert algorithm.metadata == serial.metadata, name
+
+    def test_ambient_scope_drives_unconfigured_synthesis(self):
+        topology = build_ring(5)
+        pattern = AllGather(5)
+        config = SynthesisConfig(seed=1, trials=3)
+        baseline = TacosSynthesizer(config).synthesize(topology, pattern, MB)
+        with execution_scope(execution="process", workers=2):
+            scoped = TacosSynthesizer(config).synthesize(topology, pattern, MB)
+        assert scoped.table.to_bytes() == baseline.table.to_bytes()
+
+    def test_explicit_serial_config_ignores_scope(self):
+        topology = build_ring(4)
+        pattern = AllGather(4)
+        config = SynthesisConfig(seed=2, trials=2, execution="serial")
+        with execution_scope(execution="process", workers=2):
+            algorithm = TacosSynthesizer(config).synthesize(topology, pattern, MB)
+        baseline = TacosSynthesizer(
+            SynthesisConfig(seed=2, trials=2)
+        ).synthesize(topology, pattern, MB)
+        assert algorithm.transfers == baseline.transfers
+
+
+@pytest.mark.backend_equivalence
+class TestBenchFanOutEquivalence:
+    def test_bench_records_identical_across_backends(self):
+        from repro.bench import BenchScenario, SimScenario, run_bench
+
+        scenarios = [
+            BenchScenario("ring6-ag-1MB", "ring:6", "all_gather", MB),
+            SimScenario("sim-ring-mesh3x3-1MB", "mesh_2d:3,3", "ring", MB),
+        ]
+        def stable(records):
+            return [
+                {
+                    field: value
+                    for field, value in record.to_dict().items()
+                    if "seconds" not in field and field != "speedup"
+                    and "speedup" not in field
+                }
+                for record in records
+            ]
+
+        serial = run_bench(scenarios=scenarios)
+        process = run_bench(scenarios=scenarios, workers=2, execution="process")
+        thread = run_bench(scenarios=scenarios, workers=2)  # workers alone = thread
+        assert stable(serial) == stable(process) == stable(thread)
+        assert all(record.equivalent for record in process)

@@ -91,20 +91,20 @@ class TestEngineEquivalence:
 # ----------------------------------------------------------------------
 class TestGrids:
     def test_known_grids(self):
-        assert set(GRIDS) == {"smoke", "fig19", "full", "sim_stress", "pipeline"}
+        assert set(GRIDS) == {"smoke", "fig19", "full", "sim_stress", "pipeline", "parallel"}
 
     def test_unknown_grid_raises(self):
         with pytest.raises(ReproError):
             get_grid("nope")
 
     def test_smoke_grid_is_small(self):
-        assert len(get_grid("smoke")) <= 5
+        assert len(get_grid("smoke")) <= 6
 
     def test_smoke_grid_covers_all_kinds(self):
-        from repro.bench import PipelineScenario
+        from repro.bench import ParallelScenario, PipelineScenario
 
         kinds = {type(scenario) for scenario in get_grid("smoke")}
-        assert kinds == {BenchScenario, SimScenario, PipelineScenario}
+        assert kinds == {BenchScenario, SimScenario, PipelineScenario, ParallelScenario}
 
     def test_sim_stress_grid_shape(self):
         scenarios = get_grid("sim_stress")
@@ -144,7 +144,13 @@ class TestRunnerAndReport:
             assert record.speedup > 0
             assert record.num_transfers > 0
             assert record.collective_time > 0
-            assert record.simulated_collective_time > 0
+            if record.kind == "parallel":
+                # Backend-scaling records time synthesis only: all three
+                # backend wall clocks are present, nothing is simulated.
+                assert set(record.backend_seconds) == {"serial", "thread", "process"}
+                assert all(value > 0 for value in record.backend_seconds.values())
+            else:
+                assert record.simulated_collective_time > 0
 
     def test_equivalence_holds_on_smoke_grid(self, smoke_records):
         assert all(record.equivalent for record in smoke_records)
@@ -161,7 +167,7 @@ class TestRunnerAndReport:
         assert path.suffix == ".json"
         loaded = json.loads(path.read_text())
         assert loaded == json.loads(json.dumps(report))
-        assert loaded["schema"] == "tacos-repro-bench/v3"
+        assert loaded["schema"] == "tacos-repro-bench/v4"
         assert loaded["summary"]["all_equivalent"] is True
         assert loaded["summary"]["all_simulation_equivalent"] is True
         assert len(loaded["records"]) == len(smoke_records)

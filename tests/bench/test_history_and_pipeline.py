@@ -184,17 +184,22 @@ class TestPipelineScenarios:
             PipelineScenario("pipe-test", "mesh_2d:3,3", "all_reduce", 1 * MB),
             repeats=1,
             check_equivalence=True,
+            include_reference=True,
         )
         assert record.kind == "pipeline"
         assert record.equivalent is True
         assert record.verified is True
         assert record.num_messages == record.num_transfers > 0
+        # Schema v4 per-layer attribution: both paths, all four layers.
+        assert set(record.layer_seconds) == {"synthesize", "verify", "simulate", "metrics"}
+        assert set(record.reference_layer_seconds) == set(record.layer_seconds)
 
     def test_reduce_scatter_pipeline_scenario(self):
         record = _run_pipeline_scenario(
             PipelineScenario("pipe-rs", "mesh_2d:3,3", "reduce_scatter", 1 * MB, chunks_per_npu=2),
             repeats=1,
             check_equivalence=True,
+            include_reference=True,
         )
         assert record.equivalent is True
         assert record.verified is True

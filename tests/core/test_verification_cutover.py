@@ -1,0 +1,143 @@
+"""The small-table verification cutover: dispatch happens exactly at
+``SMALL_TABLE_CUTOVER``, and the loop path's verdicts are indistinguishable
+from the vectorized path's on valid and corrupted algorithms alike."""
+
+import pytest
+
+import repro.core.verification as verification
+from repro.api.builtins import parse_topology_spec
+from repro.api.registry import COLLECTIVES
+from repro.api.runner import build_topology
+from repro.core import SynthesisConfig, TacosSynthesizer
+from repro.core.algorithm import ChunkTransfer, CollectiveAlgorithm
+from repro.core.verification import SMALL_TABLE_CUTOVER, verify_algorithm
+from repro.errors import VerificationError
+
+MB = 1e6
+
+CASES = [
+    ("ring:6", "all_gather"),
+    ("ring:6", "all_reduce"),
+    ("mesh_2d:3,3", "reduce_scatter"),
+    ("mesh_2d:3,3", "all_to_all"),
+    ("ring:8", "broadcast"),
+    ("mesh_2d:3,3", "gather"),
+]
+
+
+def _synthesize(topology_shorthand, collective):
+    topology = build_topology(parse_topology_spec(topology_shorthand))
+    pattern = COLLECTIVES.get(collective)(topology.num_npus, 1)
+    algorithm = TacosSynthesizer(SynthesisConfig(seed=5)).synthesize(
+        topology, pattern, MB
+    )
+    return topology, pattern, algorithm
+
+
+def _clone_with(algorithm, transfers):
+    return CollectiveAlgorithm(
+        transfers=transfers,
+        num_npus=algorithm.num_npus,
+        chunk_size=algorithm.chunk_size,
+        collective_size=algorithm.collective_size,
+        pattern_name=algorithm.pattern_name,
+        topology_name=algorithm.topology_name,
+        metadata=dict(algorithm.metadata),
+    )
+
+
+def _corruptions(algorithm):
+    """Valid plus two corrupted variants of an algorithm."""
+    transfers = algorithm.transfers
+    middle = len(transfers) // 2
+    broken = list(transfers)
+    victim = broken[middle]
+    broken[middle] = ChunkTransfer._make(
+        (
+            victim.start - 0.5 * (victim.duration or 1e-6),
+            victim.end,
+            victim.chunk,
+            victim.source,
+            victim.dest,
+        )
+    )
+    return {
+        "valid": algorithm,
+        "dropped": _clone_with(algorithm, transfers[:-3]),
+        "stretched": _clone_with(algorithm, broken),
+    }
+
+
+def _verdict(check, algorithm, topology, pattern):
+    try:
+        check(algorithm, topology, pattern, True)
+    except VerificationError as exc:
+        return (False, str(exc))
+    return (True, "")
+
+
+class TestVerdictEquivalence:
+    @pytest.mark.parametrize("topology_shorthand,collective", CASES)
+    def test_small_and_columnar_paths_agree(self, topology_shorthand, collective):
+        topology, pattern, algorithm = _synthesize(topology_shorthand, collective)
+        for name, variant in _corruptions(algorithm).items():
+            small = _verdict(verification._verify_small, variant, topology, pattern)
+            columnar = _verdict(verification._verify_columnar, variant, topology, pattern)
+            assert small == columnar, (topology_shorthand, collective, name)
+
+    def test_nonexistent_link_message_identical(self):
+        topology, pattern, algorithm = _synthesize("ring:6", "all_gather")
+        bad = _clone_with(
+            algorithm, algorithm.transfers + [ChunkTransfer(0.0, 1.0, 0, 0, 3)]
+        )
+        small = _verdict(verification._verify_small, bad, topology, pattern)
+        columnar = _verdict(verification._verify_columnar, bad, topology, pattern)
+        assert small == columnar
+        assert small[0] is False and "nonexistent link" in small[1]
+
+
+class TestDispatch:
+    def _spy(self, monkeypatch):
+        calls = []
+        real_small = verification._verify_small
+        real_columnar = verification._verify_columnar
+
+        def small(*args, **kwargs):
+            calls.append("small")
+            return real_small(*args, **kwargs)
+
+        def columnar(*args, **kwargs):
+            calls.append("columnar")
+            return real_columnar(*args, **kwargs)
+
+        monkeypatch.setattr(verification, "_verify_small", small)
+        monkeypatch.setattr(verification, "_verify_columnar", columnar)
+        return calls
+
+    def test_small_algorithm_takes_loop_path(self, monkeypatch):
+        topology, pattern, algorithm = _synthesize("ring:6", "all_gather")
+        assert algorithm.num_transfers < SMALL_TABLE_CUTOVER
+        calls = self._spy(monkeypatch)
+        assert verify_algorithm(algorithm, topology, pattern)
+        assert calls == ["small"]
+
+    def test_dispatch_pins_the_cutover_boundary(self, monkeypatch):
+        topology, pattern, algorithm = _synthesize("ring:6", "all_gather")
+        calls = self._spy(monkeypatch)
+        # Exactly at the boundary the columnar path runs; one below, the loop.
+        monkeypatch.setattr(
+            verification, "SMALL_TABLE_CUTOVER", algorithm.num_transfers
+        )
+        assert verify_algorithm(algorithm, topology, pattern)
+        monkeypatch.setattr(
+            verification, "SMALL_TABLE_CUTOVER", algorithm.num_transfers + 1
+        )
+        assert verify_algorithm(algorithm, topology, pattern)
+        assert calls == ["columnar", "small"]
+
+    def test_large_algorithm_takes_columnar_path(self, monkeypatch):
+        topology, pattern, algorithm = _synthesize("mesh_2d:3,3", "all_reduce")
+        calls = self._spy(monkeypatch)
+        monkeypatch.setattr(verification, "SMALL_TABLE_CUTOVER", 1)
+        assert verify_algorithm(algorithm, topology, pattern)
+        assert calls == ["columnar"]
