@@ -20,6 +20,15 @@ New topologies, collectives, and algorithms plug in through the registries'
 ``register`` decorator hook.
 """
 
+from repro.api.builtins import build_custom_topology, parse_token, parse_topology_spec
+from repro.api.cache import ArtifactStore, ResultCache
+from repro.api.parallel import (
+    BACKENDS,
+    ExecutionBackend,
+    execution_scope,
+    map_parallel,
+    resolve_backend,
+)
 from repro.api.registry import (
     ALGORITHMS,
     COLLECTIVES,
@@ -30,6 +39,14 @@ from repro.api.registry import (
     RegistryEntry,
     normalize_name,
 )
+from repro.api.runner import (
+    RunResult,
+    build_algorithm_artifact,
+    build_collective,
+    build_topology,
+    run,
+    run_batch,
+)
 from repro.api.specs import (
     AlgorithmSpec,
     CollectiveSpec,
@@ -38,23 +55,6 @@ from repro.api.specs import (
     TopologySpec,
     parse_size,
     topology_to_spec,
-)
-from repro.api.builtins import build_custom_topology, parse_token, parse_topology_spec
-from repro.api.cache import ArtifactStore, ResultCache
-from repro.api.parallel import (
-    BACKENDS,
-    ExecutionBackend,
-    execution_scope,
-    map_parallel,
-    resolve_backend,
-)
-from repro.api.runner import (
-    RunResult,
-    build_algorithm_artifact,
-    build_collective,
-    build_topology,
-    run,
-    run_batch,
 )
 
 __all__ = [

@@ -10,6 +10,11 @@ from __future__ import annotations
 
 from typing import Any, Sequence
 
+from repro.analysis.ideal import (
+    ideal_all_gather_time,
+    ideal_all_reduce_time,
+    ideal_reduce_scatter_time,
+)
 from repro.api.registry import (
     ALGORITHMS,
     COLLECTIVES,
@@ -17,11 +22,7 @@ from repro.api.registry import (
     TOPOLOGIES,
     AlgorithmArtifact,
 )
-from repro.analysis.ideal import (
-    ideal_all_gather_time,
-    ideal_all_reduce_time,
-    ideal_reduce_scatter_time,
-)
+from repro.api.specs import TopologySpec
 from repro.baselines.blueconnect import blueconnect_all_reduce
 from repro.baselines.ccube import ccube_all_reduce
 from repro.baselines.dbt import dbt_all_reduce
@@ -40,7 +41,6 @@ from repro.collectives.reduce_scatter import ReduceScatter
 from repro.core.config import SynthesisConfig
 from repro.core.synthesizer import TacosSynthesizer
 from repro.errors import RegistryError, SpecError, TopologyError
-from repro.api.specs import TopologySpec
 from repro.topology.builders import (
     build_2d_switch,
     build_3d_rfs,

@@ -307,7 +307,9 @@ class ResultCache:
                 # Metadata rides along as JSON (tuples come back as lists):
                 # an All-Reduce algorithm is unverifiable without its
                 # phase_boundary, so dropping this would defeat the sharing.
-                "metadata": np.asarray([json.dumps(algorithm.metadata, default=str)]),
+                "metadata": np.asarray(
+                    [json.dumps(algorithm.metadata, default=str, allow_nan=False)]
+                ),
             },
         )
 

@@ -337,5 +337,10 @@ def run_batch(
             except ReproError as exc:
                 return exc
 
-        results = map_parallel(run_one, unique, max_workers=max_workers, backend=backend)
+        results = map_parallel(
+            run_one,  # repro-lint: disable=P201 -- this branch only ever receives the serial/thread backend; the process path above ships a module-level partial
+            unique,
+            max_workers=max_workers,
+            backend=backend,
+        )
     return [results[position] for position in positions]

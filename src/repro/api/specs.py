@@ -72,7 +72,7 @@ class _SpecBase:
 
     def to_json(self, *, indent: Optional[int] = None) -> str:
         """Serialize the spec as a JSON document."""
-        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True, allow_nan=False)
 
     @classmethod
     def from_json(cls, text: str) -> "_SpecBase":
@@ -84,7 +84,9 @@ class _SpecBase:
 
     def canonical_json(self) -> str:
         """Key-sorted, whitespace-free JSON used for hashing and cache keys."""
-        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":"), allow_nan=False
+        )
 
     def spec_hash(self) -> str:
         """Stable content hash of the spec (hex digest)."""

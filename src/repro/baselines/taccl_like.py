@@ -160,7 +160,11 @@ class TacclLikeSynthesizer:
                     f"TACCL-like synthesis did not converge on {topology.name} after {max_steps} rounds"
                 )
             arrivals: List[Tuple[int, int]] = []
-            demands = list(unsatisfied)
+            # Sort before the seeded shuffle: the permutation rng.shuffle
+            # produces is a function of the input order, so shuffling a raw
+            # set-iteration snapshot would leak hash-table layout into the
+            # synthesized schedule.
+            demands = sorted(unsatisfied)
             rng.shuffle(demands)
             for dest, chunk in demands:
                 # Exhaustively score every in-neighbour holding the chunk

@@ -48,7 +48,7 @@ from repro.errors import ReproError
 
 __all__ = ["main", "build_parser"]
 
-_SUBCOMMANDS = ("list", "synthesize", "simulate", "sweep", "bench", "experiments")
+_SUBCOMMANDS = ("list", "synthesize", "simulate", "sweep", "bench", "experiments", "lint")
 
 
 # ----------------------------------------------------------------------
@@ -217,6 +217,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     experiments.add_argument("ids", nargs="*", help="experiment ids (default: all)")
     experiments.add_argument("--list", action="store_true", help="list available experiments")
+    experiments.add_argument(
+        "--workers", "-w", type=int, default=None,
+        help="worker pool size for the experiments' internal fan-outs "
+        "(--workers alone implies the thread backend)",
+    )
+    experiments.add_argument(
+        "--execution", choices=("serial", "thread", "process"), default=None,
+        help="ambient execution backend while each experiment runs",
+    )
+
+    # Listed here only so `tacos-repro --help` shows it; `main` forwards the
+    # subcommand to repro.lint.cli before this parser ever sees its flags,
+    # keeping the analyzer's own --help and exit contract intact.
+    subparsers.add_parser(
+        "lint",
+        help="run the static invariant analyzer (determinism, process-safety, "
+        "columnar hot paths, artifact hygiene, registry contracts)",
+        add_help=False,
+    )
     return parser
 
 
@@ -235,7 +254,12 @@ def _params_from_flags(pairs: Sequence[str]) -> Dict[str, Any]:
 
 def _spec_from_args(arguments: argparse.Namespace, *, default_collective: str) -> RunSpec:
     if arguments.spec:
-        return RunSpec.from_json(Path(arguments.spec).read_text())
+        try:
+            return RunSpec.from_json(Path(arguments.spec).read_text())
+        except ValueError as exc:
+            # json.JSONDecodeError is a ValueError; a malformed document is a
+            # usage error (exit 2), not an execution failure.
+            raise ReproError(f"--spec {arguments.spec}: invalid RunSpec JSON: {exc}") from exc
     if not arguments.topology:
         raise ReproError("either --topology or --spec is required")
     return RunSpec(
@@ -321,7 +345,9 @@ def _cmd_run_one(arguments: argparse.Namespace, *, default_collective: str) -> i
     else:
         result = run(spec, cache=cache)
     if arguments.json:
-        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+        # allow_nan=True is deliberate: measurements taken under the
+        # strict=False escape hatch may legally carry Infinity.
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True, allow_nan=True))
     else:
         print(result.summary())
     return 0
@@ -361,7 +387,8 @@ def _cmd_sweep(arguments: argparse.Namespace) -> int:
             else result.to_dict()
             for spec, result in zip(specs, results)
         ]
-        print(json.dumps(payload, indent=2, sort_keys=True))
+        # allow_nan=True is deliberate: strict=False sweeps may carry Infinity.
+        print(json.dumps(payload, indent=2, sort_keys=True, allow_nan=True))
     else:
         print("\n".join(_result_lines(specs, results)))
         if failed:
@@ -516,7 +543,7 @@ def _cmd_bench_history(arguments: argparse.Namespace) -> int:
         payload: Dict[str, Any] = {"history": rows}
         if comparison is not None:
             payload["comparison"] = comparison
-        print(json.dumps(payload, indent=2, sort_keys=True))
+        print(json.dumps(payload, indent=2, sort_keys=True, allow_nan=False))
     else:
         header = (
             f"{'grid':<12} {'report':<38} {'version':>8} {'median x':>9} "
@@ -596,7 +623,7 @@ def _cmd_bench(arguments: argparse.Namespace) -> int:
         payload = dict(report)
         if comparison is not None:
             payload["comparison"] = comparison
-        print(json.dumps(payload, indent=2, sort_keys=True))
+        print(json.dumps(payload, indent=2, sort_keys=True, allow_nan=False))
     else:
         header = (
             f"{'scenario':<26} {'npus':>5} {'flat (ms)':>10} {'reference (ms)':>14} "
@@ -661,6 +688,10 @@ def _cmd_experiments(arguments: argparse.Namespace) -> int:
     argv = list(arguments.ids)
     if arguments.list:
         argv.append("--list")
+    if arguments.workers is not None:
+        argv.extend(["--workers", str(arguments.workers)])
+    if arguments.execution is not None:
+        argv.extend(["--execution", arguments.execution])
     return experiments_main(argv)
 
 
@@ -671,6 +702,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     # (and --list) directly: forward anything that is not a subcommand.
     if argv and argv[0] not in _SUBCOMMANDS and argv[0] not in ("-h", "--help", "--version"):
         argv = ["experiments"] + argv
+    if argv and argv[0] == "lint":
+        from repro.lint.cli import main as lint_main
+
+        return lint_main(argv[1:])
     parser = build_parser()
     arguments = parser.parse_args(argv)
     if arguments.command is None:

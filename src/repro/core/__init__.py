@@ -1,7 +1,6 @@
 """TACOS core: synthesizer, matching algorithm, and algorithm representation."""
 
 from repro.core.algorithm import ChunkTransfer, CollectiveAlgorithm
-from repro.core.transfers import TransferTable
 from repro.core.config import SynthesisConfig
 from repro.core.matching import MatchingState, run_matching_round
 from repro.core.synthesizer import (
@@ -11,6 +10,7 @@ from repro.core.synthesizer import (
     TacosSynthesizer,
     synthesize,
 )
+from repro.core.transfers import TransferTable
 from repro.core.verification import verify_algorithm
 
 __all__ = [

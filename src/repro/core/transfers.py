@@ -235,7 +235,7 @@ class TransferTable:
         from repro.core.algorithm import ChunkTransfer
 
         return list(
-            map(
+            map(  # repro-lint: disable=C303 -- this IS the documented compat view; callers opt out of the columnar hot path on purpose
                 ChunkTransfer._make,
                 zip(
                     self.starts.tolist(),

@@ -17,10 +17,10 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.baselines.taccl_like import TacclLikeSynthesizer
 from repro.collectives.all_reduce import AllReduce
 from repro.core.config import SynthesisConfig
 from repro.core.synthesizer import TacosSynthesizer
-from repro.baselines.taccl_like import TacclLikeSynthesizer
 from repro.topology.builders.hypercube import build_hypercube_3d
 from repro.topology.builders.mesh import build_mesh_2d
 

@@ -8,6 +8,7 @@ summary that mirrors the structure of EXPERIMENTS.md.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 import time as _time
 import traceback
@@ -71,7 +72,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="experiment ids to run (default: all)",
     )
     parser.add_argument("--list", action="store_true", help="list available experiments")
+    parser.add_argument(
+        "--workers", "-w", type=int, default=None,
+        help="worker pool size for the experiments' internal fan-outs "
+        "(--workers alone implies the thread backend)",
+    )
+    parser.add_argument(
+        "--execution", choices=("serial", "thread", "process"), default=None,
+        help="execution backend installed as the ambient policy while each "
+        "experiment runs; experiment data is byte-identical across backends",
+    )
     arguments = parser.parse_args(argv if argv is None else list(argv))
+    if arguments.workers is not None and arguments.workers < 1:
+        parser.error(f"--workers must be >= 1, got {arguments.workers}")
 
     if arguments.list:
         for name in sorted(EXPERIMENTS):
@@ -87,18 +100,32 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
         return 2
 
+    if arguments.workers is not None or arguments.execution is not None:
+        # Install the ambient execution policy (same convention as the
+        # synthesize/sweep/bench subcommands): experiments take no explicit
+        # backend knobs, so their internal trial fan-outs resolve it through
+        # current_execution() inside this scope.
+        from repro.api.parallel import execution_scope
+
+        scope = execution_scope(
+            execution=arguments.execution, workers=arguments.workers
+        )
+    else:
+        scope = contextlib.nullcontext()
+
     failed: List[str] = []
-    for name in selected:
-        started = _time.perf_counter()
-        print(f"== {name} ==")
-        try:
-            run_experiment(name)
-        except Exception:
-            traceback.print_exc()
-            print(f"   FAILED after {_time.perf_counter() - started:.1f}s", file=sys.stderr)
-            failed.append(name)
-        else:
-            print(f"   completed in {_time.perf_counter() - started:.1f}s")
+    with scope:
+        for name in selected:
+            started = _time.perf_counter()
+            print(f"== {name} ==")
+            try:
+                run_experiment(name)
+            except Exception:
+                traceback.print_exc()
+                print(f"   FAILED after {_time.perf_counter() - started:.1f}s", file=sys.stderr)
+                failed.append(name)
+            else:
+                print(f"   completed in {_time.perf_counter() - started:.1f}s")
     if failed:
         print(f"{len(failed)} experiment(s) failed: {', '.join(failed)}", file=sys.stderr)
         return 1

@@ -132,7 +132,7 @@ def algorithm_from_dict(document: Dict) -> CollectiveAlgorithm:
 def save_algorithm_json(algorithm: CollectiveAlgorithm, path: Union[str, Path]) -> Path:
     """Write an algorithm to ``path`` as JSON; returns the path written."""
     path = Path(path)
-    path.write_text(json.dumps(algorithm_to_dict(algorithm), indent=2))
+    path.write_text(json.dumps(algorithm_to_dict(algorithm), indent=2, allow_nan=False))
     return path
 
 

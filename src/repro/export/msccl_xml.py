@@ -19,8 +19,8 @@ from __future__ import annotations
 
 from pathlib import Path
 from typing import Dict, List, Union
-from xml.etree import ElementTree
 from xml.dom import minidom
+from xml.etree import ElementTree
 
 from repro.core.algorithm import CollectiveAlgorithm
 from repro.errors import ReproError

@@ -1,0 +1,6 @@
+"""``python -m repro.lint`` — same front end as ``tacos-repro lint``."""
+
+from repro.lint.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

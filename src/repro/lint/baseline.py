@@ -1,0 +1,122 @@
+"""The checked-in baseline that grandfathers legacy findings.
+
+The gate starts at zero *new* findings: anything the analyzer flagged when
+it was introduced is recorded here (rule + path + stripped source line, no
+line numbers, so unrelated edits do not invalidate entries) and does not
+fail the run.  Deleting an entry — or fixing the code — ratchets the
+baseline down; a stale entry (no longer matching anything) fails a
+``--strict`` run so the file can only shrink, never rot.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.lint.findings import Finding
+
+__all__ = ["Baseline", "BaselineError", "load_baseline", "write_baseline"]
+
+_VERSION = 1
+
+Key = Tuple[str, str, str]  # (rule, path, snippet)
+
+
+class BaselineError(ReproError):
+    """Raised for an unreadable or malformed baseline file."""
+
+
+@dataclass
+class Baseline:
+    """Grandfathered finding fingerprints with per-fingerprint counts."""
+
+    entries: Dict[Key, int] = field(default_factory=dict)
+
+    @staticmethod
+    def from_findings(findings: Iterable[Finding]) -> "Baseline":
+        return Baseline(entries=dict(Counter(finding.fingerprint() for finding in findings)))
+
+    def partition(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], List[Finding], List[Dict[str, object]]]:
+        """Split findings into (new, baselined) and list stale entries.
+
+        Each baseline entry absorbs up to ``count`` findings with its
+        fingerprint; the remainder are new.  Entries left with unmatched
+        capacity are stale (the debt they recorded no longer exists).
+        """
+        remaining = dict(self.entries)
+        new: List[Finding] = []
+        baselined: List[Finding] = []
+        for finding in findings:
+            key = finding.fingerprint()
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                baselined.append(finding)
+            else:
+                new.append(finding)
+        stale = [
+            {"rule": rule, "path": path, "snippet": snippet, "unmatched": count}
+            for (rule, path, snippet), count in sorted(remaining.items())
+            if count > 0
+        ]
+        return new, baselined, stale
+
+
+def load_baseline(path: Path) -> Baseline:
+    """Load a baseline file; a missing file is an empty baseline."""
+    if not path.exists():
+        return Baseline()
+    try:
+        document = json.loads(path.read_text())
+    except OSError as exc:
+        raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"baseline {path} is not valid JSON: {exc}") from exc
+    if not isinstance(document, dict) or document.get("version") != _VERSION:
+        raise BaselineError(
+            f"baseline {path} must be a JSON object with version={_VERSION}"
+        )
+    raw_entries = document.get("findings")
+    if not isinstance(raw_entries, list):
+        raise BaselineError(f"baseline {path} must carry a 'findings' list")
+    entries: Dict[Key, int] = {}
+    for position, entry in enumerate(raw_entries):
+        if not isinstance(entry, dict):
+            raise BaselineError(f"baseline {path} entry #{position} is not an object")
+        try:
+            key = (str(entry["rule"]), str(entry["path"]), str(entry["snippet"]))
+        except KeyError as exc:
+            raise BaselineError(
+                f"baseline {path} entry #{position} is missing field {exc}"
+            ) from exc
+        count = entry.get("count", 1)
+        if not isinstance(count, int) or count < 1:
+            raise BaselineError(
+                f"baseline {path} entry #{position} has invalid count {count!r}"
+            )
+        entries[key] = entries.get(key, 0) + count
+    return Baseline(entries=entries)
+
+
+def write_baseline(baseline: Baseline, path: Path) -> None:
+    """Write the baseline as deterministic, strict, diff-friendly JSON."""
+    findings = [
+        {"rule": rule, "path": file_path, "snippet": snippet, "count": count}
+        for (rule, file_path, snippet), count in sorted(baseline.entries.items())
+    ]
+    document = {
+        "version": _VERSION,
+        "comment": (
+            "Grandfathered repro.lint findings. Entries match by (rule, path, "
+            "source line); fix the code (or add a reasoned inline suppression) "
+            "and delete the entry to ratchet the gate down. New entries should "
+            "never be added by hand - run `tacos-repro lint --update-baseline`."
+        ),
+        "findings": findings,
+    }
+    path.write_text(json.dumps(document, indent=2, sort_keys=True, allow_nan=False) + "\n")

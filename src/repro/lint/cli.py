@@ -1,0 +1,190 @@
+"""Command-line front end: ``tacos-repro lint`` / ``python -m repro.lint``.
+
+Exit-code contract (matching ``experiments/runner.py`` since PR 1):
+
+* ``0`` — clean: no non-baselined findings (and, under ``--strict``, no
+  stale baseline entries);
+* ``1`` — findings: the gate fails;
+* ``2`` — bad arguments, unreadable config/baseline, or unparseable input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.lint.baseline import Baseline, load_baseline, write_baseline
+from repro.lint.config import LintConfig, load_config
+from repro.lint.findings import Finding
+from repro.lint.rules import ALL_RULES, FAMILIES
+from repro.lint.runner import LintReport, run_lint
+
+__all__ = ["build_parser", "main", "run_from_args"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="tacos-repro lint",
+        description=(
+            "AST-based invariant analyzer: determinism (D), process-safety (P), "
+            "columnar hot paths (C), artifact hygiene (J), registry contracts (R)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to analyze (default: [tool.repro-lint] paths)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="also fail (exit 1) on stale baseline entries, so the baseline "
+        "can only ever shrink",
+    )
+    parser.add_argument(
+        "--config",
+        metavar="PYPROJECT",
+        default=None,
+        help="explicit pyproject.toml carrying [tool.repro-lint] "
+        "(default: discovered upward from the working directory)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help="baseline file overriding the configured one",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline: report every finding as new",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline to exactly the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--disable",
+        action="append",
+        default=[],
+        metavar="RULES",
+        help="comma-separated rule codes to disable (repeatable)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog and exit"
+    )
+    parser.add_argument("--json", action="store_true", help="machine-readable report")
+    return parser
+
+
+def _list_rules() -> int:
+    for letter, family_name, module in FAMILIES:
+        print(f"{letter} — {family_name}:")
+        for code in sorted(module.RULES):
+            print(f"  {code}  {module.RULES[code]}")
+        print()
+    print("meta:")
+    for code in ("S001", "S002", "E000"):
+        print(f"  {code}  {ALL_RULES[code]}")
+    return 0
+
+
+def _print_report(report: LintReport, strict: bool) -> None:
+    for finding in sorted(
+        report.new, key=lambda item: (item.path, item.line, item.rule)
+    ):
+        print(finding.render())
+    for entry in report.stale_baseline:
+        marker = "error" if strict else "warning"
+        print(
+            f"{entry['path']}: {marker}: stale baseline entry for {entry['rule']} "
+            f"(snippet no longer found: {entry['snippet']!r}); delete it from the "
+            "baseline",
+            file=sys.stderr,
+        )
+    summary = (
+        f"{report.files_checked} file(s) checked: {len(report.new)} finding(s), "
+        f"{len(report.baselined)} baselined, {len(report.suppressed)} suppressed"
+    )
+    if report.stale_baseline:
+        summary += f", {len(report.stale_baseline)} stale baseline entr(y/ies)"
+    print(summary)
+
+
+def run_from_args(arguments: argparse.Namespace) -> int:
+    if arguments.list_rules:
+        return _list_rules()
+
+    config_path = Path(arguments.config) if arguments.config else None
+    if config_path is not None and not config_path.is_file():
+        print(f"error: config {config_path} does not exist", file=sys.stderr)
+        return 2
+    config: LintConfig = load_config(config_path)
+
+    disable: List[str] = []
+    for chunk in arguments.disable:
+        disable.extend(code.strip() for code in chunk.split(",") if code.strip())
+
+    baseline_path = (
+        Path(arguments.baseline) if arguments.baseline else config.baseline_path()
+    )
+    baseline: Optional[Baseline]
+    if arguments.no_baseline or arguments.update_baseline:
+        baseline = Baseline()
+    else:
+        baseline = load_baseline(baseline_path)
+
+    report = run_lint(
+        config,
+        paths=arguments.paths or None,
+        baseline=baseline,
+        disable=disable,
+    )
+    if any(finding.rule == "E000" for finding in report.new):
+        for finding in report.new:
+            if finding.rule == "E000":
+                print(finding.render(), file=sys.stderr)
+        return 2
+
+    if arguments.update_baseline:
+        write_baseline(Baseline.from_findings(report.new), baseline_path)
+        print(
+            f"baseline updated: {baseline_path} now grandfathers "
+            f"{len(report.new)} finding(s)"
+        )
+        return 0
+
+    if arguments.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True, allow_nan=False))
+    else:
+        _print_report(report, arguments.strict)
+    return report.exit_code(strict=arguments.strict)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit code (0 clean / 1 findings / 2 usage)."""
+    parser = build_parser()
+    try:
+        arguments = parser.parse_args(list(argv) if argv is not None else None)
+    except SystemExit as exc:
+        # argparse exits 2 on bad usage and 0 for --help; surface it as a
+        # return code so embedding callers (the tacos-repro CLI) keep the
+        # exit contract without a SystemExit flying through them.
+        return int(exc.code or 0)
+    try:
+        return run_from_args(arguments)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,49 @@
+"""The :class:`Finding` record every rule emits, and its baseline fingerprint."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+__all__ = ["Finding"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location.
+
+    ``snippet`` is the stripped source line; the baseline matches findings by
+    ``(rule, path, snippet)`` rather than line number, so unrelated edits that
+    shift a grandfathered finding up or down the file do not invalidate it.
+    """
+
+    rule: str
+    path: str  # repo-relative, POSIX separators
+    line: int
+    col: int
+    message: str
+    snippet: str = ""
+    module: str = ""
+
+    @property
+    def family(self) -> str:
+        """The rule family letter (``"D"`` for ``D101``, ...)."""
+        return self.rule[:1]
+
+    def fingerprint(self) -> Tuple[str, str, str]:
+        """Line-number-independent identity used for baseline matching."""
+        return (self.rule, self.path, self.snippet)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "snippet": self.snippet,
+            "module": self.module,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"

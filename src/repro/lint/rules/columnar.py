@@ -1,0 +1,196 @@
+"""C family — columnar hot-path discipline.
+
+PRs 2–4 rewrote the synthesis/simulation stack onto flat numpy columns
+(:class:`~repro.core.transfers.TransferTable`); the recorded 4.37x median
+end-to-end speedup exists precisely because the hot modules do not walk
+Python object rows.  These rules keep it that way: in modules tagged
+``hot``, a Python loop over transfer rows, per-row attribute access, or
+``ChunkTransfer`` materialization is either a regression to fix, an entry
+in the baseline (acknowledged debt), or an explicitly reasoned suppression
+(e.g. a compat view that is not on the hot path).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set
+
+from repro.lint.context import ModuleContext, ProjectIndex
+from repro.lint.findings import Finding
+
+__all__ = ["RULES", "check"]
+
+RULES: Dict[str, str] = {
+    "C301": "Python loop over transfer rows in a module tagged hot",
+    "C302": "per-row attribute access on a loop variable in a module tagged hot",
+    "C303": "ChunkTransfer materialization inside a loop in a module tagged hot",
+}
+
+
+def check(context: ModuleContext, index: ProjectIndex) -> Iterator[Finding]:
+    if "hot" not in context.tags:
+        return
+    yield from _check_row_loops(context)
+    yield from _check_row_attribute_access(context)
+    yield from _check_chunk_transfer_materialization(context)
+
+
+# ----------------------------------------------------------------------
+# C301 — loops over transfer-row sequences
+# ----------------------------------------------------------------------
+def _row_source(node: ast.AST, row_sources: Set[str]) -> Optional[str]:
+    if isinstance(node, ast.Attribute) and node.attr in row_sources:
+        return f".{node.attr}"
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in row_sources:
+            return f".{func.attr}()"
+    if isinstance(node, ast.Name) and node.id in row_sources:
+        return node.id
+    return None
+
+
+def _check_row_loops(context: ModuleContext) -> Iterator[Finding]:
+    row_sources = set(context.config.row_sources)
+    for node in ast.walk(context.tree):
+        iters: List[ast.AST] = []
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            iters.append(node.iter)
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)):
+            iters.extend(generator.iter for generator in node.generators)
+        for candidate in iters:
+            source = _row_source(candidate, row_sources)
+            if source is not None:
+                yield context.finding(
+                    "C301",
+                    candidate,
+                    f"Python loop over transfer rows ({source}) in a hot module; "
+                    "operate on the TransferTable columns (numpy) instead of "
+                    "materialized row objects",
+                )
+
+
+# ----------------------------------------------------------------------
+# C302 — per-row attribute access inside loops
+# ----------------------------------------------------------------------
+def _simple_loop_targets(target: ast.AST) -> Set[str]:
+    names: Set[str] = set()
+    if isinstance(target, ast.Name):
+        names.add(target.id)
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            if isinstance(element, ast.Name):
+                names.add(element.id)
+    return names
+
+
+def _check_row_attribute_access(context: ModuleContext) -> Iterator[Finding]:
+    row_fields = set(context.config.row_fields)
+    for node in ast.walk(context.tree):
+        if not isinstance(node, (ast.For, ast.AsyncFor)):
+            continue
+        loop_vars = _simple_loop_targets(node.target)
+        if not loop_vars:
+            continue
+        reported: Set[int] = set()
+        for statement in node.body:
+            for inner in ast.walk(statement):
+                if (
+                    isinstance(inner, ast.Attribute)
+                    and isinstance(inner.value, ast.Name)
+                    and inner.value.id in loop_vars
+                    and inner.attr in row_fields
+                    and inner.lineno not in reported
+                ):
+                    reported.add(inner.lineno)
+                    yield context.finding(
+                        "C302",
+                        inner,
+                        f"per-row attribute read {inner.value.id}.{inner.attr} "
+                        "inside a hot-module loop; gather the column once "
+                        "outside the loop (or vectorize the whole traversal)",
+                    )
+
+
+# ----------------------------------------------------------------------
+# C303 — ChunkTransfer materialization in loops
+# ----------------------------------------------------------------------
+def _references_chunk_transfer(node: ast.AST, context: ModuleContext) -> bool:
+    if isinstance(node, ast.Name) and node.id == "ChunkTransfer":
+        return True
+    if isinstance(node, ast.Attribute):
+        return _references_chunk_transfer(node.value, context)
+    qualified = context.qualified_name(node)
+    return qualified is not None and qualified.endswith(".ChunkTransfer")
+
+
+def _check_chunk_transfer_materialization(context: ModuleContext) -> Iterator[Finding]:
+    loops: List[ast.AST] = [
+        node
+        for node in ast.walk(context.tree)
+        if isinstance(node, (ast.For, ast.AsyncFor, ast.While))
+    ]
+    seen: Set[int] = set()
+    for loop in loops:
+        body = loop.body + getattr(loop, "orelse", [])
+        for statement in body:
+            for inner in ast.walk(statement):
+                if not isinstance(inner, ast.Call) or id(inner) in seen:
+                    continue
+                if _is_chunk_transfer_materialization(inner, context):
+                    seen.add(id(inner))
+                    yield context.finding(
+                        "C303",
+                        inner,
+                        "ChunkTransfer objects materialized inside a hot-module "
+                        "loop; build the five columns and construct one "
+                        "TransferTable after the loop instead",
+                    )
+    # Comprehensions and map() materializations count as loops too.
+    for node in ast.walk(context.tree):
+        calls: List[ast.Call] = []
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            calls = [inner for inner in ast.walk(node.elt) if isinstance(inner, ast.Call)]
+            if isinstance(node.elt, ast.Call):
+                calls.append(node.elt)
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "map"
+            and node.args
+        ):
+            mapped = node.args[0]
+            if _references_chunk_transfer(mapped, context):
+                if id(node) not in seen:
+                    seen.add(id(node))
+                    yield context.finding(
+                        "C303",
+                        node,
+                        "map() over a ChunkTransfer constructor materializes row "
+                        "objects in a hot module; keep the columnar form on hot "
+                        "paths",
+                    )
+            continue
+        for call in calls:
+            if id(call) in seen:
+                continue
+            if _is_chunk_transfer_materialization(call, context):
+                seen.add(id(call))
+                yield context.finding(
+                    "C303",
+                    call,
+                    "ChunkTransfer objects materialized inside a hot-module "
+                    "comprehension; keep the columnar form on hot paths",
+                )
+
+
+def _is_chunk_transfer_materialization(call: ast.Call, context: ModuleContext) -> bool:
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id == "ChunkTransfer"
+    if isinstance(func, ast.Attribute):
+        # ChunkTransfer._make(...) and qualified module paths.
+        if func.attr in ("_make", "ChunkTransfer"):
+            return _references_chunk_transfer(func, context)
+        return False
+    return False

@@ -1,0 +1,307 @@
+"""D family — determinism invariants.
+
+The platform's contract is byte-identical outputs for identical specs, on
+any engine and any execution backend.  These rules catch the bug classes
+that have already broken it once each:
+
+* unordered iteration feeding an order-sensitive sink (the PR 1 seed-test
+  Graham anomaly surfaced through unordered candidate handling);
+* float-accumulation-order hazards (the PR 5 one-ulp ``dist + alpha +
+  beta*size`` vs ``dist + (alpha + beta*size)`` Dijkstra tie-break flip);
+* unseeded module-level RNG and wall-clock reads, which make a "pure"
+  synthesis function depend on interpreter-global or machine state.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set
+
+from repro.lint.context import ModuleContext, ProjectIndex
+from repro.lint.findings import Finding
+
+__all__ = ["RULES", "check"]
+
+RULES: Dict[str, str] = {
+    "D101": "iteration over a set/frozenset (or .keys()) feeds an order-sensitive sink",
+    "D102": "unseeded module-level RNG call (random.* / numpy.random.*)",
+    "D103": "wall-clock read inside a module tagged deterministic",
+    "D104": "unparenthesized a+b+c float accumulation over cost terms (association hazard)",
+}
+
+#: Wall-clock calls that are nondeterministic regardless of arguments.
+_WALL_CLOCK_ALWAYS = {
+    "time.time",
+    "time.time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+#: Wall-clock only when called with no positional argument (defaulting to now).
+_WALL_CLOCK_NO_ARGS = {"time.gmtime", "time.localtime", "time.ctime"}
+
+#: ``numpy.random`` members that construct explicit generators/seeds (fine
+#: when given a seed; flagged separately when called bare).
+_NP_RANDOM_CONSTRUCTORS = {
+    "default_rng",
+    "Generator",
+    "RandomState",
+    "SeedSequence",
+    "PCG64",
+    "PCG64DXSM",
+    "MT19937",
+    "Philox",
+    "SFC64",
+    "BitGenerator",
+}
+
+_ORDER_SENSITIVE_WRAPPERS = {"list", "tuple", "enumerate"}
+
+
+def check(context: ModuleContext, index: ProjectIndex) -> Iterator[Finding]:
+    yield from _check_set_iteration(context)
+    yield from _check_rng(context)
+    if "deterministic" in context.tags:
+        yield from _check_wall_clock(context)
+        yield from _check_float_association(context)
+
+
+# ----------------------------------------------------------------------
+# D101 — unordered iteration into order-sensitive sinks
+# ----------------------------------------------------------------------
+def _is_set_expression(node: ast.AST, set_vars: Set[str]) -> Optional[str]:
+    """Classify ``node`` as an unordered iterable; return a description."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return "a set"
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+            return f"a {func.id}()"
+        if isinstance(func, ast.Attribute) and func.attr == "keys" and not node.args:
+            return "a .keys() view"
+    if isinstance(node, ast.Name) and node.id in set_vars:
+        return f"the set {node.id!r}"
+    return None
+
+
+class _ScopeSets(ast.NodeVisitor):
+    """Collect names assigned set-valued expressions, per function scope.
+
+    Flow-insensitive and scope-local: a name counts as a set inside the
+    scope where it was assigned ``set(...)``/``{...}``/a set comprehension,
+    and nested scopes are analyzed independently (closures reading an outer
+    set variable are out of scope for this heuristic).
+    """
+
+    def __init__(self) -> None:
+        self.set_vars: Set[str] = set()
+
+    def _visit_body_only(self, node: ast.AST) -> None:
+        pass  # do not descend into nested scopes
+
+    visit_FunctionDef = _visit_body_only
+    visit_AsyncFunctionDef = _visit_body_only
+    visit_Lambda = _visit_body_only
+    visit_ClassDef = _visit_body_only
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if _is_set_expression(node.value, set()) is not None:
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self.set_vars.add(target.id)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if (
+            node.value is not None
+            and _is_set_expression(node.value, set()) is not None
+            and isinstance(node.target, ast.Name)
+        ):
+            self.set_vars.add(node.target.id)
+        self.generic_visit(node)
+
+
+def _scope_set_vars(scope: ast.AST) -> Set[str]:
+    collector = _ScopeSets()
+    for child in ast.iter_child_nodes(scope):
+        collector.visit(child)
+    return collector.set_vars
+
+
+def _iter_scope_bodies(tree: ast.Module) -> Iterator[ast.AST]:
+    yield tree
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _check_set_iteration(context: ModuleContext) -> Iterator[Finding]:
+    for scope in _iter_scope_bodies(context.tree):
+        set_vars = _scope_set_vars(scope)
+        for node in _walk_scope(scope):
+            sinks: List[ast.AST] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                sinks.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+                sinks.extend(generator.iter for generator in node.generators)
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in _ORDER_SENSITIVE_WRAPPERS
+                and node.args
+            ):
+                sinks.append(node.args[0])
+            for sink in sinks:
+                described = _is_set_expression(sink, set_vars)
+                if described is None:
+                    continue
+                yield context.finding(
+                    "D101",
+                    sink,
+                    f"iterating {described} feeds an order-sensitive sink; "
+                    "wrap it in sorted(...) (or keep an explicitly ordered "
+                    "structure) so the traversal order is deterministic",
+                )
+
+
+def _walk_scope(scope: ast.AST) -> Iterator[ast.AST]:
+    """Walk a scope without descending into nested function scopes."""
+    stack: List[ast.AST] = list(ast.iter_child_nodes(scope))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+# ----------------------------------------------------------------------
+# D102 — unseeded module-level RNG
+# ----------------------------------------------------------------------
+def _check_rng(context: ModuleContext) -> Iterator[Finding]:
+    for node in ast.walk(context.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        qualified = context.qualified_name(node.func)
+        if qualified is None:
+            continue
+        if qualified.startswith("random."):
+            member = qualified[len("random."):]
+            if "." in member:
+                continue  # methods on an explicit instance path
+            if member in ("Random", "SystemRandom"):
+                if not node.args and not node.keywords:
+                    yield context.finding(
+                        "D102",
+                        node,
+                        f"random.{member}() constructed without a seed draws from "
+                        "OS entropy; pass an explicit seed so runs replay",
+                    )
+                continue
+            yield context.finding(
+                "D102",
+                node,
+                f"module-level random.{member}() uses the interpreter-global RNG; "
+                "use a seeded random.Random(seed) instance instead",
+            )
+        elif qualified.startswith("numpy.random."):
+            member = qualified[len("numpy.random."):]
+            if "." in member:
+                continue
+            if member in _NP_RANDOM_CONSTRUCTORS:
+                if not node.args and not node.keywords:
+                    yield context.finding(
+                        "D102",
+                        node,
+                        f"numpy.random.{member}() without a seed is entropy-seeded; "
+                        "pass an explicit seed so runs replay",
+                    )
+                continue
+            yield context.finding(
+                "D102",
+                node,
+                f"module-level numpy.random.{member}() uses the process-global "
+                "RNG; use numpy.random.default_rng(seed) instead",
+            )
+
+
+# ----------------------------------------------------------------------
+# D103 — wall-clock reads in deterministic modules
+# ----------------------------------------------------------------------
+def _check_wall_clock(context: ModuleContext) -> Iterator[Finding]:
+    for node in ast.walk(context.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        qualified = context.qualified_name(node.func)
+        if qualified is None:
+            continue
+        flagged = qualified in _WALL_CLOCK_ALWAYS or (
+            qualified in _WALL_CLOCK_NO_ARGS and not node.args
+        )
+        if flagged:
+            yield context.finding(
+                "D103",
+                node,
+                f"{qualified}() reads the wall clock inside a module tagged "
+                "deterministic; outputs must not depend on machine time "
+                "(time.perf_counter() is fine for timing metadata)",
+            )
+
+
+# ----------------------------------------------------------------------
+# D104 — float accumulation association hazards
+# ----------------------------------------------------------------------
+def _add_chain_leaves(node: ast.AST, leaves: List[ast.AST]) -> None:
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+        _add_chain_leaves(node.left, leaves)
+        _add_chain_leaves(node.right, leaves)
+    else:
+        leaves.append(node)
+
+
+def _is_cost_term(node: ast.AST, cost_terms: Set[str]) -> bool:
+    if isinstance(node, ast.Name):
+        return _matches_cost_term(node.id, cost_terms)
+    if isinstance(node, ast.Attribute):
+        return _matches_cost_term(node.attr, cost_terms)
+    if isinstance(node, ast.Subscript):
+        return _is_cost_term(node.value, cost_terms)
+    if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Mult, ast.Div)):
+        return _is_cost_term(node.left, cost_terms) or _is_cost_term(node.right, cost_terms)
+    return False
+
+
+def _matches_cost_term(identifier: str, cost_terms: Set[str]) -> bool:
+    lowered = identifier.lower()
+    return any(term in lowered for term in cost_terms)
+
+
+def _check_float_association(context: ModuleContext) -> Iterator[Finding]:
+    cost_terms = set(context.config.cost_terms)
+    parents: Dict[int, ast.AST] = {}
+    for node in ast.walk(context.tree):
+        for child in ast.iter_child_nodes(node):
+            parents[id(child)] = node
+    for node in ast.walk(context.tree):
+        if not (isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add)):
+            continue
+        # Only the outermost node of a +-chain reports, once.
+        parent = parents.get(id(node))
+        if isinstance(parent, ast.BinOp) and isinstance(parent.op, ast.Add):
+            continue
+        leaves: List[ast.AST] = []
+        _add_chain_leaves(node, leaves)
+        if len(leaves) < 3:
+            continue
+        cost_leaves = [leaf for leaf in leaves if _is_cost_term(leaf, cost_terms)]
+        if len(cost_leaves) < 2:
+            continue
+        yield context.finding(
+            "D104",
+            node,
+            f"{len(leaves)}-term float addition over cost terms associates "
+            "left-to-right; one ulp of difference from a differently "
+            "parenthesized twin flips tie-breaks (the PR 5 Dijkstra bug). "
+            "Parenthesize explicitly or precompute the combined term once",
+        )

@@ -1,0 +1,189 @@
+"""Analysis orchestration: discover files, run rules, apply suppressions
+and the baseline, and fold everything into a :class:`LintReport`."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.lint.baseline import Baseline
+from repro.lint.config import LintConfig
+from repro.lint.context import ModuleContext, ProjectIndex, module_name_for
+from repro.lint.findings import Finding
+from repro.lint.rules import ALL_RULES, run_rules
+from repro.lint.suppressions import collect_suppressions
+
+__all__ = ["LintReport", "lint_paths", "run_lint"]
+
+
+class LintPathError(ReproError):
+    """Raised when a configured or requested lint path does not exist."""
+
+
+@dataclass
+class LintReport:
+    """Everything one analyzer run produced, pre-partitioned for the gate."""
+
+    new: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    stale_baseline: List[Dict[str, object]] = field(default_factory=list)
+    files_checked: int = 0
+
+    def exit_code(self, strict: bool = False) -> int:
+        """The gate: 1 on any non-baselined finding (and, under ``--strict``,
+        on stale baseline entries so the baseline can only shrink)."""
+        if self.new:
+            return 1
+        if strict and self.stale_baseline:
+            return 1
+        return 0
+
+    def all_findings(self) -> List[Finding]:
+        return sorted(
+            self.new + self.baselined + self.suppressed,
+            key=lambda finding: (finding.path, finding.line, finding.rule),
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "files_checked": self.files_checked,
+            "new": [finding.to_dict() for finding in self.new],
+            "baselined": [finding.to_dict() for finding in self.baselined],
+            "suppressed": [finding.to_dict() for finding in self.suppressed],
+            "stale_baseline": list(self.stale_baseline),
+            "summary": {
+                "new": len(self.new),
+                "baselined": len(self.baselined),
+                "suppressed": len(self.suppressed),
+                "stale_baseline": len(self.stale_baseline),
+            },
+        }
+
+
+def _discover_files(config: LintConfig, paths: Optional[Sequence[str]]) -> List[Path]:
+    requested = list(paths) if paths else list(config.paths)
+    files: List[Path] = []
+    seen = set()
+    for entry in requested:
+        target = Path(entry)
+        if not target.is_absolute():
+            target = config.root / target
+        if target.is_file() and target.suffix == ".py":
+            candidates = [target]
+        elif target.is_dir():
+            candidates = sorted(target.rglob("*.py"))
+        else:
+            raise LintPathError(f"lint path {entry!r} is not a file or directory")
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                files.append(candidate)
+    return files
+
+
+def _relative_path(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def _parse_modules(
+    files: Sequence[Path], config: LintConfig
+) -> Tuple[Dict[str, ModuleContext], List[Finding]]:
+    contexts: Dict[str, ModuleContext] = {}
+    errors: List[Finding] = []
+    for path in files:
+        relative = _relative_path(path, config.root)
+        try:
+            source = path.read_text()
+        except OSError as exc:
+            raise LintPathError(f"cannot read {relative}: {exc}") from exc
+        module_name = module_name_for(path, config.root)
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            errors.append(
+                Finding(
+                    rule="E000",
+                    path=relative,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 0) + 1,
+                    message=f"file does not parse: {exc.msg}",
+                    snippet="",
+                    module=module_name,
+                )
+            )
+            continue
+        contexts[module_name] = ModuleContext(
+            path=path,
+            relative_path=relative,
+            source=source,
+            tree=tree,
+            module_name=module_name,
+            config=config,
+        )
+    return contexts, errors
+
+
+def run_lint(
+    config: LintConfig,
+    *,
+    paths: Optional[Sequence[str]] = None,
+    baseline: Optional[Baseline] = None,
+    disable: Sequence[str] = (),
+) -> LintReport:
+    """Run the full analysis and partition findings against ``baseline``."""
+    unknown = sorted(
+        {code.upper() for code in (*config.disable, *disable)} - set(ALL_RULES)
+    )
+    if unknown:
+        raise ReproError(
+            f"unknown rule code(s) in disable list: {', '.join(unknown)}"
+        )
+    disabled = tuple(sorted({code.upper() for code in (*config.disable, *disable)}))
+    files = _discover_files(config, paths)
+    contexts, parse_errors = _parse_modules(files, config)
+    index = ProjectIndex(contexts)
+
+    raw: List[Finding] = list(parse_errors)
+    suppressed: List[Finding] = []
+    for module_name in sorted(contexts):
+        context = contexts[module_name]
+        suppressions = collect_suppressions(
+            context.source, context.relative_path, module_name, ALL_RULES
+        )
+        raw.extend(
+            problem for problem in suppressions.problems if problem.rule not in disabled
+        )
+        for finding in run_rules(context, index, disabled):
+            if suppressions.suppresses(finding):
+                suppressed.append(finding)
+            else:
+                raw.append(finding)
+
+    raw.sort(key=lambda finding: (finding.path, finding.line, finding.rule))
+    effective_baseline = baseline if baseline is not None else Baseline()
+    new, baselined, stale = effective_baseline.partition(raw)
+    return LintReport(
+        new=new,
+        baselined=baselined,
+        suppressed=suppressed,
+        stale_baseline=stale,
+        files_checked=len(files),
+    )
+
+
+def lint_paths(
+    paths: Sequence[str],
+    *,
+    config: Optional[LintConfig] = None,
+    baseline: Optional[Baseline] = None,
+) -> LintReport:
+    """Convenience API: lint explicit paths with an optional config."""
+    return run_lint(config or LintConfig(), paths=paths, baseline=baseline)

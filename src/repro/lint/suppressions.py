@@ -1,0 +1,123 @@
+"""Inline suppression comments: ``# repro-lint: disable=RULE -- reason``.
+
+Two scopes:
+
+* line scope — a trailing comment on the offending line:
+  ``x = list(items)  # repro-lint: disable=D101 -- insertion order is the contract here``
+* file scope — a standalone comment anywhere in the module:
+  ``# repro-lint: disable-file=C301,C302 -- frozen reference engine, exempt by design``
+
+Every suppression **requires** a trailing reason after ``--``.  A
+suppression without one does not suppress anything and additionally raises
+an ``S001`` finding; naming a rule code the analyzer does not know raises
+``S002`` (typo protection — a misspelled code would otherwise silently
+suppress nothing while looking authoritative in review).
+"""
+
+from __future__ import annotations
+
+import re
+import tokenize
+from dataclasses import dataclass, field
+from io import StringIO
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.lint.findings import Finding
+
+__all__ = ["Suppressions", "collect_suppressions"]
+
+_PATTERN = re.compile(
+    r"#\s*repro-lint:\s*(?P<scope>disable(?:-file)?)\s*=\s*(?P<rules>[A-Za-z0-9_,\s]+?)"
+    r"\s*(?:--\s*(?P<reason>.*\S))?\s*$"
+)
+
+
+@dataclass
+class Suppressions:
+    """Parsed suppression directives for one module."""
+
+    #: rule code -> line numbers carrying a valid line-scoped suppression.
+    by_line: Dict[str, Set[int]] = field(default_factory=dict)
+    #: rule codes suppressed for the whole file (with a valid reason).
+    file_wide: Set[str] = field(default_factory=set)
+    #: malformed/unknown-code directives, reported as S-findings.
+    problems: List[Finding] = field(default_factory=list)
+    #: (rule, line) pairs that matched at least one finding — used to flag
+    #: nothing today, kept for a future unused-suppression rule.
+    used: Set[Tuple[str, int]] = field(default_factory=set)
+
+    def suppresses(self, finding: Finding) -> bool:
+        if finding.rule in self.file_wide:
+            self.used.add((finding.rule, 0))
+            return True
+        lines = self.by_line.get(finding.rule)
+        if lines and finding.line in lines:
+            self.used.add((finding.rule, finding.line))
+            return True
+        return False
+
+
+def collect_suppressions(
+    source: str, path: str, module: str, known_rules: Iterable[str]
+) -> Suppressions:
+    """Extract every suppression directive from ``source``.
+
+    Comments are found with :mod:`tokenize` so that directive-looking text
+    inside string literals is never treated as a directive.
+    """
+    known = set(known_rules)
+    suppressions = Suppressions()
+    try:
+        tokens = list(tokenize.generate_tokens(StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return suppressions  # the parse-error path reports separately
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _PATTERN.search(token.string)
+        if match is None:
+            continue
+        line = token.start[0]
+        codes = [code.strip().upper() for code in match.group("rules").split(",") if code.strip()]
+        reason = match.group("reason")
+        snippet = token.string.strip()
+        if not reason:
+            suppressions.problems.append(
+                Finding(
+                    rule="S001",
+                    path=path,
+                    line=line,
+                    col=token.start[1] + 1,
+                    message=(
+                        "suppression requires a trailing reason: "
+                        "`# repro-lint: disable=RULE -- why this is exempt` "
+                        "(directive ignored)"
+                    ),
+                    snippet=snippet,
+                    module=module,
+                )
+            )
+            continue
+        unknown = [code for code in codes if code not in known]
+        if unknown:
+            suppressions.problems.append(
+                Finding(
+                    rule="S002",
+                    path=path,
+                    line=line,
+                    col=token.start[1] + 1,
+                    message=(
+                        f"suppression names unknown rule(s) {', '.join(unknown)} "
+                        "(directive ignored; see `tacos-repro lint --list-rules`)"
+                    ),
+                    snippet=snippet,
+                    module=module,
+                )
+            )
+            continue
+        if match.group("scope") == "disable-file":
+            suppressions.file_wide.update(codes)
+        else:
+            for code in codes:
+                suppressions.by_line.setdefault(code, set()).add(line)
+    return suppressions

@@ -220,7 +220,7 @@ class SimulationResult:
         outcomes crossing process boundaries or resting in the artifact store.
         """
         columns = self._link_columns()
-        link_keys = list(columns.keys())
+        link_keys = list(columns)
         interval_counts = [columns[key][0].shape[0] for key in link_keys]
         indptr = np.concatenate(
             (np.zeros(1, dtype=np.int64), np.cumsum(interval_counts, dtype=np.int64))
@@ -233,7 +233,7 @@ class SimulationResult:
             dtype=np.float64,
             count=len(self.message_completion),
         )
-        byte_keys = list(self.link_bytes.keys())
+        byte_keys = list(self.link_bytes)
         parts = [
             _BYTES_MAGIC,
             _HEADER.pack(

@@ -1,0 +1,6 @@
+"""Synthetic fixture package for the repro.lint rule tests.
+
+Each ``*_bad`` module carries known true positives for one rule family and
+each ``*_good`` module is the clean twin; the tests assert both directions.
+These modules are analyzed as source only and never imported.
+"""

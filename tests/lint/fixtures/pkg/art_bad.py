@@ -1,0 +1,12 @@
+"""Known-bad artifact-hygiene fixture: lax JSON and pickle."""
+
+import json
+import pickle  # J402: pickle-family import
+
+
+def save(payload, path):
+    path.write_text(json.dumps(payload))  # J401: no allow_nan decision
+
+
+def load(path):
+    return pickle.loads(path.read_bytes())

@@ -1,0 +1,11 @@
+"""Known-good artifact-hygiene fixture: strict JSON artifacts."""
+
+import json
+
+
+def save(payload, path):
+    path.write_text(json.dumps(payload, allow_nan=False))
+
+
+def load(path):
+    return json.loads(path.read_text())

@@ -1,0 +1,21 @@
+"""Known-bad determinism fixture: one true positive per D rule."""
+
+import random
+import time
+
+
+def order_hazard(items):
+    pool = set(items)
+    return list(pool)  # D101: set iteration feeding an order-sensitive sink
+
+
+def global_rng():
+    return random.random()  # D102: interpreter-global RNG
+
+
+def wall_clock():
+    return time.time()  # D103: wall clock in a deterministic module
+
+
+def path_cost(dist, alpha, beta, size):
+    return dist + alpha + beta * size  # D104: unparenthesized accumulation

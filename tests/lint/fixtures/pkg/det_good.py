@@ -1,0 +1,17 @@
+"""Known-good determinism fixture: ordered, seeded, and clock-free."""
+
+import random
+
+
+def ordered(items):
+    pool = set(items)
+    return sorted(pool)
+
+
+def seeded_rng(seed):
+    return random.Random(seed).random()
+
+
+def path_cost(dist, alpha, beta, size):
+    edge_cost = alpha + beta * size
+    return dist + edge_cost

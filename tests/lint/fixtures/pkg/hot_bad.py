@@ -1,0 +1,17 @@
+"""Known-bad columnar fixture: row loops, row reads, row materialization."""
+
+from repro.core.algorithm import ChunkTransfer
+
+
+def total_chunks(table):
+    total = 0
+    for transfer in table.transfers:  # C301: row loop in a hot module
+        total += transfer.chunk  # C302: per-row attribute read
+    return total
+
+
+def rebuild(rows):
+    out = []
+    for start, end in rows:
+        out.append(ChunkTransfer(start, end, 0, 0, 0))  # C303: row objects
+    return out

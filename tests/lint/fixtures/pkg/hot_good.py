@@ -1,0 +1,9 @@
+"""Known-good columnar fixture: column-wise operations only."""
+
+
+def total_chunks(table):
+    return int(table.chunks.sum())
+
+
+def span(table):
+    return float(table.ends.max() - table.starts.min())

@@ -1,0 +1,20 @@
+"""Known-bad process-safety fixture: closures at the seam, lock payloads."""
+
+import threading
+
+from repro.api.parallel import map_parallel
+
+
+def run_all(items):
+    def run_one(item):
+        return item + 1
+
+    return map_parallel(run_one, items)  # P201: nested def (closure)
+
+
+def run_inline(items):
+    return map_parallel(lambda item: item + 1, items)  # P201: lambda
+
+
+class TrialPayload:
+    lock = threading.Lock()  # P202: unpicklable field

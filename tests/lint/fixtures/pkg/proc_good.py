@@ -1,0 +1,18 @@
+"""Known-good process-safety fixture: module-level defs, plain payloads."""
+
+from functools import partial
+
+from repro.api.parallel import map_parallel
+
+
+def _work(offset, item):
+    return item + offset
+
+
+def run_all(items):
+    return map_parallel(partial(_work, 1), items)
+
+
+class CleanPayload:
+    seed: int = 0
+    name: str = ""

@@ -1,0 +1,17 @@
+"""Known-bad registry fixture: builders violating their registry contracts."""
+
+from repro.api.registry import ALGORITHMS, TOPOLOGIES
+
+
+@ALGORITHMS.register("fixture-bad-algo")
+def build_bad(topology):  # R501: contract is fn(topology, pattern, size, **p)
+    return topology
+
+
+def build_star(hub_bandwidth=100.0):
+    return hub_bandwidth
+
+
+TOPOLOGIES.register(
+    "fixture-bad-star", build_star, positional=("spokes",)  # R502: no such param
+)

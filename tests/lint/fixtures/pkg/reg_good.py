@@ -1,0 +1,15 @@
+"""Known-good registry fixture: signatures matching the contracts."""
+
+from repro.api.registry import ALGORITHMS, TOPOLOGIES
+
+
+@ALGORITHMS.register("fixture-good-algo")
+def build_good(topology, pattern, collective_size, **params):
+    return topology, pattern, collective_size, params
+
+
+def build_ring_like(num_npus=4, link_bandwidth=50.0):
+    return num_npus, link_bandwidth
+
+
+TOPOLOGIES.register("fixture-good-ring", build_ring_like, positional=("num_npus",))

@@ -1,0 +1,7 @@
+"""Fixture exercising a reasoned inline suppression (counts as suppressed)."""
+
+import json
+
+
+def save(payload):
+    return json.dumps(payload)  # repro-lint: disable=J401 -- fixture: exercising the suppression machinery itself

@@ -1,0 +1,149 @@
+"""Exit-code sweep for ``tacos-repro lint`` / ``python -m repro.lint``.
+
+The contract (PR 1, shared by every subcommand): 0 clean, 1 findings,
+2 bad arguments / unreadable inputs.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as tacos_main
+from repro.lint.cli import main as lint_main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+def _write_project(tmp_path, body="x = 1\n"):
+    (tmp_path / "pyproject.toml").write_text(
+        '[tool.repro-lint]\npaths = ["pkg"]\n'
+    )
+    package = tmp_path / "pkg"
+    package.mkdir()
+    (package / "mod.py").write_text(body)
+    return tmp_path / "pyproject.toml"
+
+
+class TestExitCodes:
+    def test_clean_project_exits_0(self, tmp_path, capsys):
+        pyproject = _write_project(tmp_path)
+        assert lint_main(["--config", str(pyproject)]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_findings_exit_1(self, tmp_path, capsys):
+        pyproject = _write_project(tmp_path, "import json\ny = json.dumps({})\n")
+        assert lint_main(["--config", str(pyproject)]) == 1
+        assert "J401" in capsys.readouterr().out
+
+    def test_unknown_flag_exits_2(self, capsys):
+        assert lint_main(["--definitely-not-a-flag"]) == 2
+        capsys.readouterr()
+
+    def test_help_exits_0(self, capsys):
+        assert lint_main(["--help"]) == 0
+        assert "determinism" in capsys.readouterr().out
+
+    def test_missing_config_exits_2(self, tmp_path, capsys):
+        assert lint_main(["--config", str(tmp_path / "nope.toml")]) == 2
+        capsys.readouterr()
+
+    def test_bad_lint_path_exits_2(self, tmp_path, capsys):
+        pyproject = _write_project(tmp_path)
+        assert lint_main(["--config", str(pyproject), str(tmp_path / "gone")]) == 2
+        capsys.readouterr()
+
+    def test_unknown_disable_code_exits_2(self, tmp_path, capsys):
+        pyproject = _write_project(tmp_path)
+        assert lint_main(["--config", str(pyproject), "--disable", "Z999"]) == 2
+        assert "Z999" in capsys.readouterr().err
+
+    def test_syntax_error_exits_2(self, tmp_path, capsys):
+        pyproject = _write_project(tmp_path, "def broken(:\n")
+        assert lint_main(["--config", str(pyproject)]) == 2
+        assert "E000" in capsys.readouterr().err
+
+    def test_malformed_config_exits_2(self, tmp_path, capsys):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text("[tool.repro-lint]\npaths = 7\n")
+        assert lint_main(["--config", str(pyproject)]) == 2
+        capsys.readouterr()
+
+    def test_disable_silences_the_family(self, tmp_path, capsys):
+        pyproject = _write_project(tmp_path, "import json\ny = json.dumps({})\n")
+        assert lint_main(["--config", str(pyproject), "--disable", "J401"]) == 0
+        capsys.readouterr()
+
+
+class TestBaselineFlow:
+    def test_update_baseline_then_strict_is_clean(self, tmp_path, capsys):
+        pyproject = _write_project(tmp_path, "import json\ny = json.dumps({})\n")
+        assert lint_main(["--config", str(pyproject), "--update-baseline"]) == 0
+        assert (tmp_path / "lint-baseline.json").is_file()
+        assert lint_main(["--config", str(pyproject), "--strict"]) == 0
+        capsys.readouterr()
+
+    def test_no_baseline_reports_everything(self, tmp_path, capsys):
+        pyproject = _write_project(tmp_path, "import json\ny = json.dumps({})\n")
+        assert lint_main(["--config", str(pyproject), "--update-baseline"]) == 0
+        assert lint_main(["--config", str(pyproject), "--no-baseline"]) == 1
+        capsys.readouterr()
+
+    def test_stale_entry_fails_only_strict(self, tmp_path, capsys):
+        pyproject = _write_project(tmp_path, "import json\ny = json.dumps({})\n")
+        assert lint_main(["--config", str(pyproject), "--update-baseline"]) == 0
+        (tmp_path / "pkg" / "mod.py").write_text("x = 1\n")  # debt fixed
+        assert lint_main(["--config", str(pyproject)]) == 0
+        assert lint_main(["--config", str(pyproject), "--strict"]) == 1
+        capsys.readouterr()
+
+    def test_json_report_is_strict_json(self, tmp_path, capsys):
+        pyproject = _write_project(tmp_path, "import json\ny = json.dumps({})\n")
+        assert lint_main(["--config", str(pyproject), "--json"]) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["summary"]["new"] == 1
+        assert document["new"][0]["rule"] == "J401"
+
+
+class TestTacosCliIntegration:
+    def test_lint_subcommand_forwards(self, tmp_path, capsys):
+        pyproject = _write_project(tmp_path, "import json\ny = json.dumps({})\n")
+        assert tacos_main(["lint", "--config", str(pyproject)]) == 1
+        assert "J401" in capsys.readouterr().out
+
+    def test_lint_subcommand_strict_on_repo_is_clean(self, capsys):
+        assert tacos_main(["lint", "--strict", "--config", str(REPO_ROOT / "pyproject.toml")]) == 0
+        capsys.readouterr()
+
+    def test_lint_listed_in_help(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            tacos_main(["--help"])
+        assert excinfo.value.code == 0
+        assert "lint" in capsys.readouterr().out
+
+    def test_list_rules(self, capsys):
+        assert tacos_main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("D101", "P201", "C301", "J401", "R501", "S001"):
+            assert code in out
+
+    def test_bad_spec_json_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "spec.json"
+        bad.write_text("{not json")
+        assert tacos_main(["simulate", "--spec", str(bad)]) == 2
+        assert "invalid RunSpec JSON" in capsys.readouterr().err
+
+    def test_missing_spec_file_exits_2(self, tmp_path, capsys):
+        assert tacos_main(["simulate", "--spec", str(tmp_path / "gone.json")]) == 2
+        capsys.readouterr()
+
+    def test_experiments_bad_workers_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            tacos_main(["experiments", "fig10", "--workers", "0"])
+        assert excinfo.value.code == 2
+        capsys.readouterr()
+
+    def test_experiments_unknown_id_exits_2(self, capsys):
+        assert tacos_main(["experiments", "figZZ"]) == 2
+        capsys.readouterr()

@@ -1,0 +1,106 @@
+"""Config loading: TOML parsing (tomllib and the 3.9 fallback), tag
+matching, and validation errors."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.lint.config import (
+    LintConfig,
+    LintConfigError,
+    _parse_minitoml,
+    load_config,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+class TestLoadConfig:
+    def test_fixture_config_tags(self):
+        config = load_config(FIXTURES / "pyproject.toml")
+        assert config.paths == ("pkg",)
+        assert config.module_tags("pkg.det_bad") == frozenset({"deterministic"})
+        assert config.module_tags("pkg.hot_bad") == frozenset({"hot"})
+        assert config.module_tags("pkg.art_bad") == frozenset()
+
+    def test_repo_config_tags_reference_engine_twice(self):
+        config = load_config(REPO_ROOT / "pyproject.toml")
+        assert config.module_tags("repro.bench.reference") == frozenset(
+            {"deterministic", "hot"}
+        )
+        assert config.module_tags("repro.core.matching") == frozenset(
+            {"deterministic", "hot"}
+        )
+        assert "hot" not in config.module_tags("repro.api.runner")
+
+    def test_defaults_without_pyproject(self, tmp_path):
+        config = LintConfig(root=tmp_path)
+        assert config.paths == ("src/repro",)
+        assert config.baseline_path() == tmp_path / "lint-baseline.json"
+
+    def test_unknown_key_raises(self, tmp_path):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text("[tool.repro-lint]\nmystery = true\n")
+        with pytest.raises(LintConfigError, match="mystery"):
+            load_config(pyproject)
+
+    def test_non_string_paths_raise(self, tmp_path):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text("[tool.repro-lint]\npaths = 7\n")
+        with pytest.raises(LintConfigError):
+            load_config(pyproject)
+
+    def test_kebab_case_overrides(self, tmp_path):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text(
+            '[tool.repro-lint]\nrow-fields = ["alpha", "beta"]\ndisable = ["J402"]\n'
+        )
+        config = load_config(pyproject)
+        assert config.row_fields == ("alpha", "beta")
+        assert config.disable == ("J402",)
+
+
+class TestMinitomlFallback:
+    """The 3.9 fallback parser must read [tool.repro-lint*] exactly and
+    skip every foreign section (which may use TOML it does not support)."""
+
+    def test_parses_the_repo_pyproject(self):
+        document = _parse_minitoml((REPO_ROOT / "pyproject.toml").read_text())
+        section = document["tool"]["repro-lint"]
+        assert section["paths"] == ["src/repro"]
+        assert "repro.bench.reference" in section["tags"]["hot"]
+
+    @pytest.mark.skipif(sys.version_info < (3, 11), reason="needs tomllib")
+    def test_agrees_with_tomllib_on_the_repo_config(self):
+        import tomllib
+
+        text = (REPO_ROOT / "pyproject.toml").read_text()
+        assert (
+            _parse_minitoml(text)["tool"]["repro-lint"]
+            == tomllib.loads(text)["tool"]["repro-lint"]
+        )
+
+    def test_skips_foreign_sections_with_inline_tables(self):
+        text = (
+            "[project]\n"
+            'license = { text = "MIT" }\n'
+            "[tool.repro-lint]\n"
+            'baseline = "b.json"\n'
+        )
+        document = _parse_minitoml(text)
+        assert document["tool"]["repro-lint"]["baseline"] == "b.json"
+        assert "license" not in document.get("project", {})
+
+    def test_multiline_arrays(self):
+        text = '[tool.repro-lint]\npaths = [\n    "a",  # comment\n    "b",\n]\n'
+        assert _parse_minitoml(text)["tool"]["repro-lint"]["paths"] == ["a", "b"]
+
+    def test_malformed_relevant_line_raises(self):
+        with pytest.raises(LintConfigError):
+            _parse_minitoml("[tool.repro-lint]\nnot a toml line\n")
+
+    def test_non_string_array_items_raise(self):
+        with pytest.raises(LintConfigError):
+            _parse_minitoml("[tool.repro-lint]\npaths = [1, 2]\n")

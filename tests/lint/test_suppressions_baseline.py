@@ -1,0 +1,112 @@
+"""Suppression-directive semantics and baseline round-trips."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint.baseline import Baseline, BaselineError, load_baseline, write_baseline
+from repro.lint.config import LintConfig
+from repro.lint.runner import run_lint
+from repro.lint.suppressions import collect_suppressions
+
+KNOWN = ("D101", "J401", "C301")
+
+
+def _collect(source):
+    return collect_suppressions(source, "mod.py", "mod", KNOWN)
+
+
+class TestSuppressionDirectives:
+    def test_line_scope_with_reason(self):
+        sup = _collect("x = list(items)  # repro-lint: disable=D101 -- order is the contract\n")
+        assert sup.by_line == {"D101": {1}}
+        assert not sup.problems
+
+    def test_file_scope_with_reason(self):
+        sup = _collect("# repro-lint: disable-file=C301, J401 -- frozen reference\n")
+        assert sup.file_wide == {"C301", "J401"}
+
+    def test_missing_reason_is_s001_and_ignored(self):
+        sup = _collect("x = 1  # repro-lint: disable=D101\n")
+        assert [p.rule for p in sup.problems] == ["S001"]
+        assert not sup.by_line and not sup.file_wide
+
+    def test_unknown_code_is_s002_and_ignored(self):
+        sup = _collect("x = 1  # repro-lint: disable=D999 -- typo\n")
+        assert [p.rule for p in sup.problems] == ["S002"]
+        assert not sup.by_line
+
+    def test_directive_in_string_literal_is_not_a_directive(self):
+        sup = _collect('text = "# repro-lint: disable=D101 -- not a comment"\n')
+        assert not sup.by_line and not sup.problems
+
+    def test_s001_fails_the_gate(self, tmp_path):
+        bad = tmp_path / "mod.py"
+        bad.write_text("import json\nx = json.dumps({})  # repro-lint: disable=J401\n")
+        report = run_lint(LintConfig(root=tmp_path, paths=(str(bad),)))
+        rules = sorted(f.rule for f in report.new)
+        assert "S001" in rules and "J401" in rules  # directive did not suppress
+        assert report.exit_code() == 1
+
+
+class TestBaselineRoundTrip:
+    def _report(self, tmp_path):
+        bad = tmp_path / "mod.py"
+        bad.write_text("import json\n\n\ndef save(x):\n    return json.dumps(x)\n")
+        config = LintConfig(root=tmp_path, paths=(str(bad),))
+        return config, run_lint(config)
+
+    def test_update_then_clean(self, tmp_path):
+        config, first = self._report(tmp_path)
+        assert [f.rule for f in first.new] == ["J401"]
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(Baseline.from_findings(first.new), baseline_path)
+        second = run_lint(config, baseline=load_baseline(baseline_path))
+        assert second.new == [] and len(second.baselined) == 1
+        assert second.exit_code(strict=True) == 0
+
+    def test_baseline_is_line_number_independent(self, tmp_path):
+        config, first = self._report(tmp_path)
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(Baseline.from_findings(first.new), baseline_path)
+        # Shift the offending line down; the fingerprint still matches.
+        target = tmp_path / "mod.py"
+        target.write_text("import json\n\n# moved\n\n\ndef save(x):\n    return json.dumps(x)\n")
+        report = run_lint(config, baseline=load_baseline(baseline_path))
+        assert report.new == [] and report.exit_code(strict=True) == 0
+
+    def test_stale_entry_fails_only_strict(self, tmp_path):
+        config, first = self._report(tmp_path)
+        baseline = Baseline.from_findings(first.new)
+        baseline.entries[("D101", "mod.py", "ghost = list(set())")] = 1
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline, baseline_path)
+        report = run_lint(config, baseline=load_baseline(baseline_path))
+        assert report.new == [] and len(report.stale_baseline) == 1
+        assert report.exit_code(strict=False) == 0
+        assert report.exit_code(strict=True) == 1
+
+    def test_missing_baseline_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "absent.json").entries == {}
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "not json",
+            '{"version": 99, "findings": []}',
+            '{"version": 1, "findings": [{"rule": "J401"}]}',
+            '{"version": 1, "findings": [{"rule": "J401", "path": "a", "snippet": "s", "count": 0}]}',
+        ],
+    )
+    def test_malformed_baseline_raises(self, tmp_path, text):
+        path = tmp_path / "baseline.json"
+        path.write_text(text)
+        with pytest.raises(BaselineError):
+            load_baseline(path)
+
+    def test_written_baseline_is_deterministic(self, tmp_path):
+        config, first = self._report(tmp_path)
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        write_baseline(Baseline.from_findings(first.new), a)
+        write_baseline(Baseline.from_findings(list(reversed(first.new))), b)
+        assert a.read_text() == b.read_text()

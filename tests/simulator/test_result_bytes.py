@@ -7,10 +7,10 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.simulator import CongestionAwareSimulator, algorithm_to_messages
-from repro.simulator.result import SimulationResult
 from repro.collectives import AllGather
 from repro.core import SynthesisConfig, TacosSynthesizer
+from repro.simulator import CongestionAwareSimulator, algorithm_to_messages
+from repro.simulator.result import SimulationResult
 from repro.topology import build_ring
 
 _settings = settings(max_examples=50, deadline=None)
