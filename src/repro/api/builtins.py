@@ -39,7 +39,7 @@ from repro.collectives.gather_scatter import AllToAll, Gather, Scatter
 from repro.collectives.pattern import CollectivePattern
 from repro.collectives.reduce_scatter import ReduceScatter
 from repro.core.config import SynthesisConfig
-from repro.core.synthesizer import TacosSynthesizer
+from repro.core.synthesizer import TacosSynthesizer, resolve_engine
 from repro.errors import RegistryError, SpecError, TopologyError
 from repro.topology.builders import (
     build_2d_switch,
@@ -348,8 +348,13 @@ def _check_dims(name: str, dims: Sequence[int], topology: Topology) -> None:
 def _tacos(
     topology: Topology, pattern: CollectivePattern, collective_size: float, **params: Any
 ) -> AlgorithmArtifact:
+    # `engine` is a registry name (flat / native / reference), not a
+    # SynthesisConfig field: resolve it here so `-p engine=native` (and the
+    # CLI's --engine sugar) works through specs, caches, and pickled batches.
+    engine_name = params.pop("engine", None)
+    engine = resolve_engine(str(engine_name)) if engine_name is not None else None
     config = SynthesisConfig(**params) if params else None
-    synthesizer = TacosSynthesizer(config)
+    synthesizer = TacosSynthesizer(config, engine=engine)
     stats = synthesizer.synthesize_with_stats(topology, pattern, collective_size)
     return AlgorithmArtifact(
         algorithm=stats.algorithm,

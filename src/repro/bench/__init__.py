@@ -6,9 +6,10 @@ Four pieces:
   engine, the frozen dict-keyed :class:`ReferenceSimulator`, and the frozen
   object-path adapters/verifier, kept as the behavioural baselines;
 * :mod:`repro.bench.grid` — named scenario grids (``smoke``, ``fig19``,
-  ``full``, ``sim_stress``, ``pipeline``, ``parallel``) crossing topology
-  families, NPU counts, collective sizes, logical schedules, end-to-end
-  pipelines, and execution-backend scaling;
+  ``full``, ``sim_stress``, ``pipeline``, ``parallel``, ``native``) crossing
+  topology families, NPU counts, collective sizes, logical schedules,
+  end-to-end pipelines, execution-backend scaling, and flat-vs-native
+  kernel races;
 * :mod:`repro.bench.runner` — times synthesis, simulation, full pipelines,
   and execution-backend scaling over a grid, asserts fixed-seed output
   equivalence (byte-identical across engines *and* across serial / thread /
@@ -35,6 +36,7 @@ from repro.bench.compare import (
 from repro.bench.grid import (
     GRIDS,
     BenchScenario,
+    NativeScenario,
     ParallelScenario,
     PipelineScenario,
     SimScenario,
@@ -53,6 +55,7 @@ __all__ = [
     "BenchRecord",
     "BenchScenario",
     "GRIDS",
+    "NativeScenario",
     "ParallelScenario",
     "PipelineScenario",
     "REFERENCE_ENGINE",

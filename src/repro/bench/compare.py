@@ -142,6 +142,21 @@ def _layer_medians(report: Dict[str, Any]) -> Optional[Dict[str, float]]:
     return {layer: statistics.median(values) for layer, values in samples.items()}
 
 
+def _kernel_tiers(report: Dict[str, Any]) -> Optional[str]:
+    """Distinct per-record kernel tiers of a report, ``None`` for pre-v5 ones.
+
+    v5 records carry a nullable ``kernel`` field (``"numba"`` / ``"python"``
+    / ``null``); older schemas have no such key at all, and both cases must
+    render as absent rather than KeyError.
+    """
+    tiers = {
+        record.get("kernel")
+        for record in report.get("records", [])
+        if record.get("kernel") is not None
+    }
+    return "+".join(sorted(tiers)) if tiers else None
+
+
 def speedup_history(
     directory: Union[str, Path] = DEFAULT_RESULTS_DIR,
     *,
@@ -186,6 +201,11 @@ def speedup_history(
                 "median_simulation_speedup": simulation_median,
                 "median_speedup_vs_previous": trajectory,
                 "median_layer_seconds": _layer_medians(report),
+                # Schema v5 envelope fields; None when absent, so v1-v4
+                # reports keep round-tripping through every consumer.
+                "engine": report.get("engine"),
+                "kernel": _kernel_tiers(report),
+                "median_native_speedup": summary.get("median_native_speedup"),
             }
         )
         if median is not None:

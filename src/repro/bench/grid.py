@@ -1,6 +1,6 @@
 """Named benchmark scenario grids.
 
-Four kinds of scenarios exist:
+Five kinds of scenarios exist:
 
 * :class:`BenchScenario` — one *synthesis* problem: a topology (registry
   shorthand), a collective, a per-NPU collective size, and a fixed seed.
@@ -18,14 +18,19 @@ Four kinds of scenarios exist:
   best-of-N TACOS synthesis run three times — serial, thread pool, process
   pool — asserting byte-identical winning algorithms and recording the
   process backend's wall-clock scaling over serial.
+* :class:`NativeScenario` — one *flat-vs-native engine race*: the same
+  fixed-seed synthesis under the flat engine and the numba kernel engine,
+  asserting byte-identical winning algorithms, verification verdicts, and
+  (Python event loop vs event-loop kernel) message completions.
 
-Six grids are provided:
+Seven grids are provided:
 
 * ``smoke`` — tiny scenarios of all kinds for CI (a couple of seconds
   end-to-end);
 * ``fig19`` — the paper's scalability grid (2D meshes and 3D hypercubes of
   growing size, 64 MB All-Reduce), the grid the synthesis headline speedup
-  is reported on;
+  is reported on; it now runs 144 through 1024 NPUs, the largest meshes
+  timed flat-only (``skip_reference``);
 * ``full`` — ``fig19`` plus ring / torus / switch families crossed with two
   collective sizes and both All-Gather and All-Reduce;
 * ``sim_stress`` — the simulator's own grid: logical Ring / Direct / RHD
@@ -37,7 +42,10 @@ Six grids are provided:
   speedup trajectory is recorded on;
 * ``parallel`` — the execution-backend grid: best-of-8 synthesis scenarios
   sized so each trial is CPU-chunky, the grid the process-backend scaling
-  trajectory is recorded on.
+  trajectory is recorded on;
+* ``native`` — the flat-vs-native equivalence grid: small scenarios across
+  topology/collective families raced under both engine tiers with
+  byte-identical assertions.
 """
 
 from __future__ import annotations
@@ -49,6 +57,7 @@ from repro.errors import ReproError
 
 __all__ = [
     "BenchScenario",
+    "NativeScenario",
     "ParallelScenario",
     "PipelineScenario",
     "SimScenario",
@@ -67,6 +76,40 @@ class BenchScenario:
     topology: str  #: registry shorthand, e.g. ``"mesh_2d:4,4"``
     collective: str  #: collective registry name, e.g. ``"all_reduce"``
     collective_size: float  #: per-NPU bytes
+    seed: int = 0
+    trials: int = 1
+    chunks_per_npu: int = 1
+    #: Run the scenario in every bench but never time the frozen reference
+    #: path on it (minutes per repeat at this size): the record's reference
+    #: timing / speedup stay ``None`` and no equivalence is asserted.  Unlike
+    #: a pipeline ``flat_only`` scenario it is *not* excluded from default
+    #: runs — the point is growing the timed grid past the reference ceiling.
+    skip_reference: bool = False
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+
+@dataclass(frozen=True)
+class NativeScenario:
+    """One flat-vs-native engine race of a benchmark grid.
+
+    The same fixed-seed synthesis problem runs under the flat engine (the
+    equivalence oracle) and the ``native`` kernel engine, asserting the
+    winning algorithms are byte-identical (``TransferTable.to_bytes``), the
+    verification verdicts agree, and — simulating the winner under both the
+    Python event loop and the event-loop kernel — the ``message_completion``
+    maps are byte-identical too.  Without numba the kernels run through the
+    identity-``njit`` pure-Python path (``FORCE_PY_KERNEL``), so the
+    assertions always exercise the real kernel code, never the fallback
+    delegation; scenarios are sized accordingly small.
+    """
+
+    name: str
+    topology: str  #: registry shorthand, e.g. ``"mesh_2d:4,4"``
+    collective: str  #: collective registry name, e.g. ``"all_reduce"``
+    collective_size: float  #: per-NPU bytes
+    chunks_per_npu: int = 1
     seed: int = 0
     trials: int = 1
 
@@ -147,7 +190,9 @@ class SimScenario:
 
 
 #: Any scenario kind; ``repro.bench.runner.run_bench`` dispatches on type.
-Scenario = Union[BenchScenario, SimScenario, PipelineScenario, ParallelScenario]
+Scenario = Union[
+    BenchScenario, SimScenario, PipelineScenario, ParallelScenario, NativeScenario
+]
 
 
 def _smoke_grid() -> List[Scenario]:
@@ -160,15 +205,58 @@ def _smoke_grid() -> List[Scenario]:
         ParallelScenario(
             "par-mesh4x4-ag-4MB-t4", "mesh_2d:4,4", "all_gather", 4 * _MB, trials=4, workers=2
         ),
+        # 4x4 on purpose: 16 chunks x 15 pending destinations crosses the
+        # 128-pair floor below which the matching kernel (like the blockwise
+        # flat path) delegates to the scalar loop, so smoke actually
+        # exercises the kernel code path.
+        NativeScenario("native-mesh4x4-ar-8MB", "mesh_2d:4,4", "all_reduce", 8 * _MB),
     ]
 
 
 def _fig19_grid() -> List[Scenario]:
-    # The paper's Fig. 19 families (2D Mesh, 3D Hypercube All-Reduce) at the
-    # sizes where synthesis cost is measurable in pure Python: 16..144 NPUs.
+    # The paper's Fig. 19 families (2D Mesh, 3D Hypercube All-Reduce) grown
+    # to paper scale: referenced scenarios stop where the frozen reference
+    # engine stays affordable (24x24 = 576 NPUs, minutes per repeat); the
+    # 28x28 and 32x32 (1024-NPU) meshes — including a sub-chunked 32x32 —
+    # run flat-only via ``skip_reference`` so the timed grid reaches the
+    # paper's largest topology in every recorded run.
+    # The referenced range starts at 144 NPUs, where the pre-extension grid
+    # stopped: one order of magnitude of growth, two topology families.
     scenarios: List[Scenario] = [
         BenchScenario(f"mesh{side}x{side}-ar-64MB", f"mesh_2d:{side},{side}", "all_reduce", 64 * _MB)
-        for side in (4, 5, 6, 8, 10, 12)
+        for side in (12, 16, 20, 24)
+    ]
+    scenarios += [
+        BenchScenario(
+            f"hypercube{side}^3-ar-64MB", f"hypercube_3d:{side},{side},{side}", "all_reduce", 64 * _MB
+        )
+        for side in (6, 7)
+    ]
+    scenarios += [
+        BenchScenario(
+            "mesh28x28-ar-64MB", "mesh_2d:28,28", "all_reduce", 64 * _MB, skip_reference=True
+        ),
+        BenchScenario(
+            "mesh32x32-ar-64MB", "mesh_2d:32,32", "all_reduce", 64 * _MB, skip_reference=True
+        ),
+        BenchScenario(
+            "mesh32x32-ag-64MB-c2",
+            "mesh_2d:32,32",
+            "all_gather",
+            64 * _MB,
+            chunks_per_npu=2,
+            skip_reference=True,
+        ),
+    ]
+    return scenarios
+
+
+def _full_grid() -> List[Scenario]:
+    scenarios = list(_fig19_grid())
+    # The small-mesh/hypercube range the extended fig19 grid graduated from.
+    scenarios += [
+        BenchScenario(f"mesh{side}x{side}-ar-64MB", f"mesh_2d:{side},{side}", "all_reduce", 64 * _MB)
+        for side in (4, 5, 6, 8, 10)
     ]
     scenarios += [
         BenchScenario(
@@ -176,11 +264,6 @@ def _fig19_grid() -> List[Scenario]:
         )
         for side in (3, 4)
     ]
-    return scenarios
-
-
-def _full_grid() -> List[Scenario]:
-    scenarios = list(_fig19_grid())
     for num_npus in (8, 16, 32):
         scenarios.append(
             BenchScenario(f"ring{num_npus}-ag-4MB", f"ring:{num_npus}", "all_gather", 4 * _MB)
@@ -252,6 +335,30 @@ def _pipeline_grid() -> List[Scenario]:
         PipelineScenario(
             "pipe-mesh28x28-ag-64MB", "mesh_2d:28,28", "all_gather", 64 * _MB, flat_only=True
         ),
+        PipelineScenario(
+            "pipe-mesh32x32-ag-64MB", "mesh_2d:32,32", "all_gather", 64 * _MB, flat_only=True
+        ),
+    ]
+
+
+def _native_grid() -> List[Scenario]:
+    # Flat-vs-native races.  Sized small on purpose: without numba the
+    # kernels execute through the identity-njit pure-Python path, which is
+    # slow but keeps the byte-identical assertions meaningful everywhere.
+    # The families cover uniform meshes/rings (uniform-cost pick), the 3D
+    # hypercube (higher-degree CSR fan-in), sub-chunking, and a forwarding
+    # collective (pass-2 delegation).
+    return [
+        NativeScenario("native-mesh4x4-ar-64MB", "mesh_2d:4,4", "all_reduce", 64 * _MB),
+        NativeScenario("native-mesh5x5-ag-64MB", "mesh_2d:5,5", "all_gather", 64 * _MB),
+        NativeScenario(
+            "native-mesh4x4-ag-64MB-c2", "mesh_2d:4,4", "all_gather", 64 * _MB, chunks_per_npu=2
+        ),
+        NativeScenario("native-ring16-ar-64MB", "ring:16", "all_reduce", 64 * _MB, seed=7),
+        NativeScenario(
+            "native-hypercube3^3-ar-64MB", "hypercube_3d:3,3,3", "all_reduce", 64 * _MB
+        ),
+        NativeScenario("native-mesh4x4-a2a-16MB", "mesh_2d:4,4", "all_to_all", 16 * _MB),
     ]
 
 
@@ -276,6 +383,7 @@ GRIDS = {
     "sim_stress": _sim_stress_grid,
     "pipeline": _pipeline_grid,
     "parallel": _parallel_grid,
+    "native": _native_grid,
 }
 
 

@@ -1,6 +1,7 @@
 """Benchmark execution: time both engines, check equivalence, emit JSON.
 
-Two scenario kinds are executed (see :mod:`repro.bench.grid`):
+Five scenario kinds are executed (see :mod:`repro.bench.grid`); the two
+fundamental ones:
 
 * **synthesis** scenarios time the array-backed flat synthesis engine
   against the frozen pre-refactor reference engine (``repeats`` times,
@@ -49,6 +50,7 @@ from repro.api.runner import build_topology
 from repro.baselines import direct_all_reduce, rhd_all_reduce, ring_all_reduce
 from repro.bench.grid import (
     BenchScenario,
+    NativeScenario,
     ParallelScenario,
     PipelineScenario,
     Scenario,
@@ -64,8 +66,15 @@ from repro.bench.reference import (
     reference_verify_algorithm,
 )
 from repro.core.config import SynthesisConfig
-from repro.core.synthesizer import FLAT_ENGINE, TacosSynthesizer
+from repro.core.synthesizer import (
+    FLAT_ENGINE,
+    NATIVE_ENGINE,
+    TacosSynthesizer,
+    resolve_engine,
+)
 from repro.core.verification import verify_algorithm
+from repro.kernels import NUMBA_AVAILABLE, NUMBA_VERSION
+from repro.kernels import matching as _kernel_matching
 from repro.errors import ReproError, VerificationError
 from repro.simulator.adapters import (
     algorithm_to_messages,
@@ -82,11 +91,16 @@ __all__ = ["BenchRecord", "run_bench", "summarize", "write_report"]
 #: Report schema identifier (bump on breaking changes).  v2 added the
 #: simulator-engine fields and replaced non-finite speedups with ``null``;
 #: v3 added the ``pipeline`` scenario kind and the ``verified`` field;
-#: v4 adds the ``parallel`` scenario kind (``backend_seconds`` / ``workers``),
+#: v4 added the ``parallel`` scenario kind (``backend_seconds`` / ``workers``),
 #: per-layer wall-time attribution for pipeline records (``layer_seconds`` /
 #: ``reference_layer_seconds``), nullable reference timings (``--no-reference``
-#: runs), and host/execution metadata on the report envelope.
-SCHEMA = "tacos-repro-bench/v4"
+#: runs), and host/execution metadata on the report envelope;
+#: v5 adds the ``native`` scenario kind, per-record ``engine`` / ``kernel``
+#: fields (the synthesis-engine tier each record timed), the envelope's
+#: ``engine`` and ``native`` (numba availability/version) blocks, and
+#: per-scenario ``skip_reference`` synthesis records with null reference
+#: timings inside otherwise-referenced runs.
+SCHEMA = "tacos-repro-bench/v5"
 
 #: Logical schedule builders available to :class:`SimScenario`.
 _SCHEDULE_BUILDERS: Dict[str, Callable] = {
@@ -115,7 +129,13 @@ class BenchRecord:
     ``kind == "parallel"`` the triple compares *execution backends* of the
     same flat engine — ``reference_seconds`` is the serial wall clock,
     ``flat_seconds`` the process-pool wall clock, ``speedup`` the measured
-    scaling — with all three backends' medians in ``backend_seconds``.
+    scaling — with all three backends' medians in ``backend_seconds``.  For
+    ``kind == "native"`` the triple races *engine tiers* of the same
+    synthesis problem — ``reference_seconds`` is the flat (oracle) wall
+    clock, ``flat_seconds`` the native-engine wall clock, ``speedup`` the
+    native-over-flat ratio (~1x on the forced pure-Python kernel path,
+    > 1x compiled) — and the ``simulation_*`` fields race the Python event
+    loop against the event-loop kernel the same way.
 
     Reference timings are ``None`` when the run skipped the frozen object
     path (``--no-reference``) — except on ``parallel`` records, which never
@@ -154,6 +174,14 @@ class BenchRecord:
     #: Per-backend median wall clocks (parallel scenarios).
     backend_seconds: Optional[Dict[str, float]] = None
     workers: Optional[int] = None  #: pool width (parallel scenarios)
+    #: Synthesis-engine tier the record's primary timing ran under
+    #: (``"flat"``, ``"native"``, ``"reference"``; simulation records report
+    #: the array simulator as ``"flat"``).
+    engine: str = "flat"
+    #: Kernel tier behind the timed engine: ``"numba"`` when the compiled
+    #: kernels ran, ``"python"`` for the forced pure-Python kernel path
+    #: (identity ``njit``), ``None`` when no kernel was involved.
+    kernel: Optional[str] = None
 
     def to_dict(self) -> Dict[str, Any]:
         return asdict(self)
@@ -278,15 +306,28 @@ def _warmup_once() -> None:
         _WARMED = True
 
 
+def _kernel_tier(engine_name: str) -> Optional[str]:
+    """Kernel tier behind a synthesis engine: only ``native`` has one."""
+    if engine_name != "native":
+        return None
+    return "numba" if NUMBA_AVAILABLE else "python"
+
+
 def _run_synthesis_scenario(
-    scenario: BenchScenario, repeats: int, check_equivalence: bool, include_reference: bool
+    scenario: BenchScenario,
+    repeats: int,
+    check_equivalence: bool,
+    include_reference: bool,
+    engine_name: str = "flat",
 ) -> BenchRecord:
+    engine = resolve_engine(engine_name)
     topology = build_topology(parse_topology_spec(scenario.topology))
     factory = COLLECTIVES.get(scenario.collective)
-    pattern = factory(topology.num_npus, 1)
+    pattern = factory(topology.num_npus, scenario.chunks_per_npu)
     config = SynthesisConfig(seed=scenario.seed, trials=scenario.trials)
+    include_reference = include_reference and not scenario.skip_reference
 
-    flat = TacosSynthesizer(config, engine=FLAT_ENGINE)
+    flat = TacosSynthesizer(config, engine=engine)
     flat_result, flat_seconds = _median_wall_clock(
         flat, topology, pattern, scenario.collective_size, repeats
     )
@@ -342,6 +383,8 @@ def _run_synthesis_scenario(
         simulation_speedup=_safe_speedup(reference_simulation_seconds, simulation_seconds),
         simulation_equivalent=simulation_equivalent,
         simulated_collective_time=sim_result.completion_time,
+        engine=engine.name,
+        kernel=_kernel_tier(engine.name),
     )
 
 
@@ -399,6 +442,9 @@ def _run_sim_scenario(
         simulation_speedup=speedup,
         simulation_equivalent=equivalent,
         simulated_collective_time=flat_result.completion_time,
+        # The array simulator auto-dispatches to the event-loop kernel when
+        # numba is importable; otherwise the Python loop ran (no kernel).
+        kernel="numba" if NUMBA_AVAILABLE else None,
     )
 
 
@@ -436,7 +482,11 @@ def _time_pipeline(
 
 
 def _run_pipeline_scenario(
-    scenario: PipelineScenario, repeats: int, check_equivalence: bool, include_reference: bool
+    scenario: PipelineScenario,
+    repeats: int,
+    check_equivalence: bool,
+    include_reference: bool,
+    engine_name: str = "flat",
 ) -> BenchRecord:
     """Time the whole synthesize → verify → simulate → metrics chain per path.
 
@@ -454,6 +504,7 @@ def _run_pipeline_scenario(
     record's ``layer_seconds`` columns for ``--json`` / ``--history``
     consumers.
     """
+    engine = resolve_engine(engine_name)
     topology = build_topology(parse_topology_spec(scenario.topology))
     factory = COLLECTIVES.get(scenario.collective)
     pattern = factory(topology.num_npus, scenario.chunks_per_npu)
@@ -462,7 +513,7 @@ def _run_pipeline_scenario(
     def flat_pipeline() -> Tuple:
         layers: Dict[str, float] = {}
         started = _time.perf_counter()
-        algorithm = TacosSynthesizer(config, engine=FLAT_ENGINE).synthesize(
+        algorithm = TacosSynthesizer(config, engine=engine).synthesize(
             topology, pattern, scenario.collective_size
         )
         layers["synthesize"] = _time.perf_counter() - started
@@ -548,6 +599,8 @@ def _run_pipeline_scenario(
         verified=flat_verdict[0],
         layer_seconds=flat_layers,
         reference_layer_seconds=reference_layers,
+        engine=engine.name,
+        kernel=_kernel_tier(engine.name),
     )
 
 
@@ -622,22 +675,142 @@ def _run_parallel_scenario(
     )
 
 
-def _scenario_task(task: Tuple[Scenario, int, bool, bool]) -> BenchRecord:
+#: Serializes mutation of the module-level ``FORCE_PY_KERNEL`` flag under
+#: thread fan-out: a native scenario restoring the flag must never race a
+#: sibling that still depends on it.
+_FORCE_PY_LOCK = threading.Lock()
+
+
+def _run_native_scenario(
+    scenario: NativeScenario, repeats: int, check_equivalence: bool
+) -> BenchRecord:
+    """Race the flat engine against the native kernel tier on one problem.
+
+    The triple compares engine *tiers*: ``reference_seconds`` is the flat
+    (oracle) synthesis wall clock, ``flat_seconds`` the native engine's, and
+    ``speedup`` the native-over-flat ratio.  The ``simulation_*`` fields race
+    the Python event loop against the event-loop kernel on the winning
+    algorithm's messages the same way.  Without numba the matching kernel is
+    forced through its identity-``njit`` pure-Python path for the duration
+    (``FORCE_PY_KERNEL``), so the byte-identical assertions always exercise
+    the real kernel code path — never the fallback delegation — at ~1x
+    parity; with numba compiled the same assertions hold at > 1x.
+    """
+    topology = build_topology(parse_topology_spec(scenario.topology))
+    factory = COLLECTIVES.get(scenario.collective)
+    pattern = factory(topology.num_npus, scenario.chunks_per_npu)
+    config = SynthesisConfig(seed=scenario.seed, trials=scenario.trials)
+
+    flat = TacosSynthesizer(config, engine=FLAT_ENGINE)
+    flat_result, flat_seconds = _median_wall_clock(
+        flat, topology, pattern, scenario.collective_size, repeats
+    )
+
+    with _FORCE_PY_LOCK:
+        previous = _kernel_matching.FORCE_PY_KERNEL
+        _kernel_matching.FORCE_PY_KERNEL = previous or not NUMBA_AVAILABLE
+        try:
+            native = TacosSynthesizer(config, engine=NATIVE_ENGINE)
+            native_result, native_seconds = _median_wall_clock(
+                native, topology, pattern, scenario.collective_size, repeats
+            )
+        finally:
+            _kernel_matching.FORCE_PY_KERNEL = previous
+
+    equivalent: Optional[bool] = None
+    verified: Optional[bool] = None
+    if check_equivalence:
+        flat_verdict = _pipeline_verdict(verify_algorithm, flat_result.algorithm, topology, pattern)
+        native_verdict = _pipeline_verdict(
+            verify_algorithm, native_result.algorithm, topology, pattern
+        )
+        equivalent = (
+            flat_result.algorithm.table.to_bytes() == native_result.algorithm.table.to_bytes()
+            and flat_result.algorithm.collective_time == native_result.algorithm.collective_time
+            and flat_verdict == native_verdict
+        )
+        verified = flat_verdict[0]
+
+    messages = algorithm_to_messages(flat_result.algorithm)
+    collective_size = flat_result.algorithm.collective_size
+
+    def python_loop_pipeline(topology, messages, collective_size):
+        result = CongestionAwareSimulator(topology, use_kernel=False).run(
+            messages, collective_size=collective_size
+        )
+        result.utilization_timeline(_TIMELINE_SAMPLES)
+        result.link_busy_time()
+        return result
+
+    def kernel_pipeline(topology, messages, collective_size):
+        result = CongestionAwareSimulator(topology, use_kernel=True).run(
+            messages, collective_size=collective_size
+        )
+        result.utilization_timeline(_TIMELINE_SAMPLES)
+        result.link_busy_time()
+        return result
+
+    python_sim, python_sim_seconds = _time_simulator(
+        python_loop_pipeline, topology, messages, collective_size, repeats
+    )
+    kernel_sim, kernel_sim_seconds = _time_simulator(
+        kernel_pipeline, topology, messages, collective_size, repeats
+    )
+    simulation_equivalent: Optional[bool] = None
+    if check_equivalence:
+        simulation_equivalent = _simulators_agree(kernel_sim, python_sim)
+
+    return BenchRecord(
+        scenario=scenario.name,
+        kind="native",
+        topology=scenario.topology,
+        collective=scenario.collective,
+        collective_size=scenario.collective_size,
+        num_npus=topology.num_npus,
+        num_links=topology.num_links,
+        seed=scenario.seed,
+        trials=scenario.trials,
+        flat_seconds=native_seconds,
+        reference_seconds=flat_seconds,
+        speedup=_safe_speedup(flat_seconds, native_seconds),
+        equivalent=equivalent,
+        num_transfers=flat_result.algorithm.num_transfers,
+        collective_time=flat_result.algorithm.collective_time,
+        rounds=flat_result.rounds,
+        num_messages=len(messages),
+        simulation_seconds=kernel_sim_seconds,
+        reference_simulation_seconds=python_sim_seconds,
+        simulation_speedup=_safe_speedup(python_sim_seconds, kernel_sim_seconds),
+        simulation_equivalent=simulation_equivalent,
+        simulated_collective_time=kernel_sim.completion_time,
+        verified=verified,
+        engine="native",
+        kernel="numba" if NUMBA_AVAILABLE else "python",
+    )
+
+
+def _scenario_task(task: Tuple[Scenario, int, bool, bool, str]) -> BenchRecord:
     """Execute one scenario (module-level and picklable for the process backend).
 
     Warms the executing process up lazily — once per process, before its
     first timed scenario — so parallel bench workers pay imports and lazy
     setup outside the measured windows, exactly like the serial path.
     """
-    scenario, repeats, check_equivalence, include_reference = task
+    scenario, repeats, check_equivalence, include_reference, engine_name = task
     _warmup_once()
+    if isinstance(scenario, NativeScenario):
+        return _run_native_scenario(scenario, repeats, check_equivalence)
     if isinstance(scenario, ParallelScenario):
         return _run_parallel_scenario(scenario, repeats, check_equivalence)
     if isinstance(scenario, PipelineScenario):
-        return _run_pipeline_scenario(scenario, repeats, check_equivalence, include_reference)
+        return _run_pipeline_scenario(
+            scenario, repeats, check_equivalence, include_reference, engine_name
+        )
     if isinstance(scenario, SimScenario):
         return _run_sim_scenario(scenario, repeats, check_equivalence, include_reference)
-    return _run_synthesis_scenario(scenario, repeats, check_equivalence, include_reference)
+    return _run_synthesis_scenario(
+        scenario, repeats, check_equivalence, include_reference, engine_name
+    )
 
 
 def run_bench(
@@ -649,6 +822,7 @@ def run_bench(
     workers: Optional[int] = None,
     execution: BackendSpec = None,
     include_reference: bool = True,
+    engine: str = "flat",
 ) -> List[BenchRecord]:
     """Execute a benchmark grid and return one record per scenario.
 
@@ -664,14 +838,25 @@ def run_bench(
     grid.  ``parallel`` scenarios are unaffected — their serial baseline
     and backend byte-equivalence check compare execution backends of the
     flat engine, not the frozen path.
+
+    ``engine`` selects the synthesis-engine tier the synthesis and pipeline
+    scenarios time on their primary (non-reference) side, resolved through
+    :func:`repro.core.synthesizer.resolve_engine` — ``"native"`` degrades to
+    the flat engine (with one warning) when numba is missing.  ``native``
+    and ``parallel`` scenarios pin their own engines and ignore it.
     """
+    # Resolve once up front: an unknown name fails before any scenario runs,
+    # and the native-fallback warning fires in the calling process instead
+    # of once per worker.
+    engine_name = resolve_engine(engine).name
     selected = list(scenarios) if scenarios is not None else get_grid(grid)
     if include_reference:
         selected = [
             scenario for scenario in selected if not getattr(scenario, "flat_only", False)
         ]
     tasks = [
-        (scenario, repeats, check_equivalence, include_reference) for scenario in selected
+        (scenario, repeats, check_equivalence, include_reference, engine_name)
+        for scenario in selected
     ]
     backend = effective_backend(execution, workers)
     if backend is None or backend.name == "serial":
@@ -710,26 +895,41 @@ def summarize(records: List[BenchRecord]) -> Dict[str, Any]:
     an incomparable population — so every engine aggregate (speedups,
     wall-clock totals, equivalence counts) is computed over the non-parallel
     records, and parallel records get their own ``*_parallel_speedup`` /
-    ``parallel_equivalence_checked`` keys.  Only when the grid contains
-    nothing else (the ``parallel`` grid itself) do the scaling records feed
-    the headline fields, so ``--history`` still shows that grid's
-    trajectory.  A mixed grid's engine summary (and the ``--min-speedup``
+    ``parallel_equivalence_checked`` keys.  ``native`` records are excluded
+    the same way for the same reason: their triple races engine *tiers*
+    (~1x parity on the pure-Python kernel path), and their simulator triple
+    races event-loop tiers, so they get their own ``*_native_speedup`` /
+    ``native_equivalence_checked`` keys and never feed the headline
+    engine or simulator aggregates.  Only when the grid contains nothing
+    else (the ``parallel`` / ``native`` grids themselves) do those records
+    feed the headline fields, so ``--history`` still shows their
+    trajectories.  A mixed grid's engine summary (and the ``--min-speedup``
     gate / cross-report trend built on it) therefore never moves because a
-    scaling scenario ran on a host with fewer cores.
+    scaling scenario ran on a host with fewer cores or a kernel race ran
+    without numba.
     """
-    engine_records = [record for record in records if record.kind != "parallel"]
+    engine_records = [record for record in records if record.kind not in ("parallel", "native")]
     parallel_records = [record for record in records if record.kind == "parallel"]
+    native_records = [record for record in records if record.kind == "native"]
     base = engine_records if engine_records else records
+    sim_base = engine_records if engine_records else records
     parallel_speedups = _finite([record.speedup for record in parallel_records])
+    native_speedups = _finite([record.speedup for record in native_records])
     speedups = _finite([record.speedup for record in base])
-    sim_speedups = _finite([record.simulation_speedup for record in records])
+    sim_speedups = _finite([record.simulation_speedup for record in sim_base])
     checked = [record.equivalent for record in base if record.equivalent is not None]
     parallel_checked = [
         record.equivalent for record in parallel_records if record.equivalent is not None
     ]
+    native_checked = [
+        check
+        for record in native_records
+        for check in (record.equivalent, record.simulation_equivalent)
+        if check is not None
+    ]
     sim_checked = [
         record.simulation_equivalent
-        for record in records
+        for record in sim_base
         if record.simulation_equivalent is not None
     ]
     return {
@@ -757,6 +957,13 @@ def summarize(records: List[BenchRecord]) -> Dict[str, Any]:
         ),
         "min_parallel_speedup": min(parallel_speedups) if parallel_speedups else None,
         "max_parallel_speedup": max(parallel_speedups) if parallel_speedups else None,
+        "median_native_speedup": (
+            statistics.median(native_speedups) if native_speedups else None
+        ),
+        "min_native_speedup": min(native_speedups) if native_speedups else None,
+        "max_native_speedup": max(native_speedups) if native_speedups else None,
+        "native_equivalence_checked": len(native_checked),
+        "all_native_equivalent": all(native_checked) if native_checked else None,
     }
 
 
@@ -768,6 +975,7 @@ def write_report(
     out_dir: str = ".",
     execution: Optional[str] = None,
     workers: Optional[int] = None,
+    engine: Optional[str] = None,
 ) -> Tuple[Path, Dict[str, Any]]:
     """Serialize records to ``BENCH_<grid>_<timestamp>.json``; return (path, report).
 
@@ -776,7 +984,9 @@ def write_report(
     ``json.loads`` with a strict ``parse_constant`` rejects.  The envelope
     records the executing host's usable core count (and any scenario-level
     execution backend), without which a ``parallel`` grid's scaling numbers
-    cannot be interpreted.
+    cannot be interpreted — and, since schema v5, the synthesis-engine tier
+    the run timed plus the numba availability/version, without which a
+    ``native`` grid's parity-vs-compiled numbers cannot be interpreted.
     """
     report = {
         "schema": SCHEMA,
@@ -789,6 +999,11 @@ def write_report(
             "cpu_count": os.cpu_count(),
         },
         "execution": {"backend": execution or "serial", "workers": workers},
+        "engine": engine or "flat",
+        "native": {
+            "numba_available": NUMBA_AVAILABLE,
+            "numba_version": NUMBA_VERSION,
+        },
         "summary": summarize(records),
         "records": [record.to_dict() for record in records],
     }

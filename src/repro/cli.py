@@ -115,6 +115,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="execution backend for the trial fan-out "
         "(process = real multi-core parallelism; default: serial)",
     )
+    synthesize.add_argument(
+        "--engine", default=None, metavar="NAME",
+        help="synthesis engine tier: flat (default), native (numba kernels; "
+        "degrades to flat with a warning when numba is missing), or reference",
+    )
 
     simulate = subparsers.add_parser(
         "simulate", help="time a baseline algorithm (default algorithm: ring)"
@@ -149,11 +154,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--grid",
-        choices=("smoke", "fig19", "full", "sim_stress", "pipeline", "parallel"),
+        choices=("smoke", "fig19", "full", "sim_stress", "pipeline", "parallel", "native"),
         default="fig19",
         help="scenario grid (default: fig19; sim_stress exercises the simulator, "
         "pipeline the end-to-end synthesize+verify+simulate+metrics chain, "
-        "parallel the execution-backend scaling of best-of-N synthesis)",
+        "parallel the execution-backend scaling of best-of-N synthesis, "
+        "native the flat-vs-native kernel equivalence races)",
     )
     bench.add_argument(
         "--smoke", action="store_true", help="shorthand for --grid smoke (CI-sized)"
@@ -185,6 +191,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--execution", choices=("serial", "thread", "process"), default=None,
         help="execution backend for the scenario fan-out "
         "(--workers alone implies thread)",
+    )
+    bench.add_argument(
+        "--engine", default="flat", metavar="NAME",
+        help="synthesis engine tier for the timed (non-reference) side: flat "
+        "(default), native (numba kernels; degrades to flat with a warning "
+        "when numba is missing), or reference",
     )
     bench.add_argument(
         "--min-speedup", type=float, default=None,
@@ -328,6 +340,10 @@ def _cmd_list(arguments: argparse.Namespace) -> int:
 
 def _cmd_run_one(arguments: argparse.Namespace, *, default_collective: str) -> int:
     spec = _spec_from_args(arguments, default_collective=default_collective)
+    if getattr(arguments, "engine", None):
+        # Sugar for `-p engine=NAME`: the engine choice travels inside the
+        # algorithm params, so saved specs and cache keys capture it.
+        spec.algorithm.params["engine"] = arguments.engine
     if arguments.save_spec:
         Path(arguments.save_spec).write_text(spec.to_json(indent=2) + "\n")
     cache = ResultCache(arguments.cache_dir) if arguments.cache_dir else None
@@ -546,15 +562,17 @@ def _cmd_bench_history(arguments: argparse.Namespace) -> int:
         print(json.dumps(payload, indent=2, sort_keys=True, allow_nan=False))
     else:
         header = (
-            f"{'grid':<12} {'report':<38} {'version':>8} {'median x':>9} "
-            f"{'sim x':>7} {'vs prev':>8}"
+            f"{'grid':<12} {'report':<38} {'version':>8} {'engine':>7} {'kernel':>7} "
+            f"{'median x':>9} {'sim x':>7} {'vs prev':>8}"
         )
         print(header)
         print("-" * len(header))
         for row in rows:
             trajectory = row["median_speedup_vs_previous"]
+            # engine/kernel are v5 envelope fields; pre-v5 rows carry None.
             print(
                 f"{row['grid'] or '-':<12} {row['file']:<38} {row['version'] or '-':>8} "
+                f"{row.get('engine') or '-':>7} {row.get('kernel') or '-':>7} "
                 f"{_format_speedup(row['median_speedup']):>9} "
                 f"{_format_speedup(row['median_simulation_speedup']):>7} "
                 f"{'-' if trajectory is None else f'{trajectory:.2f}x':>8}"
@@ -600,6 +618,7 @@ def _cmd_bench(arguments: argparse.Namespace) -> int:
         workers=arguments.workers,
         execution=execution,
         include_reference=not arguments.no_reference,
+        engine=arguments.engine,
     )
     path, report = write_report(
         records,
@@ -608,6 +627,7 @@ def _cmd_bench(arguments: argparse.Namespace) -> int:
         out_dir=arguments.out,
         execution=execution,
         workers=arguments.workers,
+        engine=arguments.engine,
     )
     summary = report["summary"]
     compare_code = 0
@@ -626,8 +646,8 @@ def _cmd_bench(arguments: argparse.Namespace) -> int:
         print(json.dumps(payload, indent=2, sort_keys=True, allow_nan=False))
     else:
         header = (
-            f"{'scenario':<26} {'npus':>5} {'flat (ms)':>10} {'reference (ms)':>14} "
-            f"{'speedup':>8} {'sim x':>7} {'equal':>6}"
+            f"{'scenario':<26} {'npus':>5} {'engine':>7} {'flat (ms)':>10} "
+            f"{'reference (ms)':>14} {'speedup':>8} {'sim x':>7} {'equal':>6}"
         )
         print(header)
         print("-" * len(header))
@@ -639,7 +659,8 @@ def _cmd_bench(arguments: argparse.Namespace) -> int:
             ]
             equal = "-" if not checks else ("yes" if all(checks) else "NO")
             print(
-                f"{record.scenario:<26} {record.num_npus:>5} {record.flat_seconds * 1e3:>10.1f} "
+                f"{record.scenario:<26} {record.num_npus:>5} {record.engine:>7} "
+                f"{record.flat_seconds * 1e3:>10.1f} "
                 f"{_format_ms(record.reference_seconds):>14} {_format_speedup(record.speedup):>8} "
                 f"{_format_speedup(record.simulation_speedup):>7} {equal:>6}"
             )
@@ -657,6 +678,13 @@ def _cmd_bench(arguments: argparse.Namespace) -> int:
                 f"(min {summary['min_simulation_speedup']:.2f}x, "
                 f"max {summary['max_simulation_speedup']:.2f}x)"
             )
+        if summary.get("median_native_speedup") is not None:
+            print(
+                f"median native/flat ratio {summary['median_native_speedup']:.2f}x "
+                f"(min {summary['min_native_speedup']:.2f}x, "
+                f"max {summary['max_native_speedup']:.2f}x; "
+                f"~1x expected on the pure-Python kernel path)"
+            )
         if comparison is not None and previous_path is not None:
             _print_comparison(comparison, previous_path)
     if summary["all_equivalent"] is False:
@@ -667,6 +695,9 @@ def _cmd_bench(arguments: argparse.Namespace) -> int:
         return 1
     if summary.get("all_parallel_equivalent") is False:
         print("error: execution backends disagree on fixed-seed outputs", file=sys.stderr)
+        return 1
+    if summary.get("all_native_equivalent") is False:
+        print("error: native kernel tier disagrees with the flat engine", file=sys.stderr)
         return 1
     if (
         arguments.min_speedup is not None

@@ -180,6 +180,12 @@ class MatchingState:
         self._codes_array = (
             _np.array(self._pair_codes, dtype=_np.intp) if _np is not None else None
         )
+        #: numpy mirror of "acquisition has come due": ``_held[code]`` flips
+        #: to True exactly when the pair's activation is popped in
+        #: :meth:`activate_until`, i.e. when ``acquisition[code] <= time +
+        #: eps`` for the round being activated.  Backs the matching round's
+        #: vectorized candidate prefilter; ``None`` without numpy.
+        self._held = _np.zeros(size, dtype=bool) if _np is not None else None
 
     # ------------------------------------------------------------------
     # Queries
@@ -235,8 +241,11 @@ class MatchingState:
         threshold = time + _TIME_EPS
         pair_state = self._pair_state
         num_chunks = self.num_chunks
+        held = self._held
         while activations and activations[0][0] <= threshold:
             _, npu, chunk = heappop(activations)
+            if held is not None:
+                held[npu * num_chunks + chunk] = True
             for neighbour in out_adjacency[npu]:
                 code = neighbour * num_chunks + chunk
                 if pair_state[code] == _NEEDED:
@@ -323,6 +332,160 @@ def _pick_link_id(
     return candidates[rng.randrange(len(candidates))]
 
 
+#: Pairs per candidate-prefilter block in :func:`_run_direct_pass_blockwise`.
+#: Purely a performance knob: the block boundaries never change the
+#: algorithm's output, only how often the exact prefilter re-runs.
+_PREFILTER_BLOCK = 512
+
+
+def _run_direct_pass_blockwise(
+    ten: TimeExpandedNetwork,
+    state: MatchingState,
+    time: float,
+    rng: random.Random,
+    transfers: List[ChunkTransfer],
+    idle_total: int,
+    *,
+    prefer_lowest_cost: bool,
+    cheap_regions: Optional[Dict[float, List[frozenset]]],
+) -> None:
+    """Vectorized-prefilter variant of the direct pass (large rounds, no forwarding).
+
+    Byte-identical to the scalar pass-1 loop in :func:`run_matching_round`.
+    The permuted pending pairs are processed in blocks of
+    :data:`_PREFILTER_BLOCK`; before each block one vectorized sweep over the
+    incoming-link CSR drops every pair whose candidate set is empty *right
+    now*, and extracts the surviving pairs' candidate lists, so the Python
+    loop only touches pairs that plausibly match.
+
+    Exactness argument (the determinism contract depends on it): within a
+    pass-1 round, links only become busy (``free_times`` never decreases)
+    and — because the caller guards ``time + min_link_cost > threshold`` —
+    no transfer committed this round comes due within it, so the holder set
+    visible to candidate checks (``acquisition <= threshold``, mirrored by
+    ``MatchingState._held``) is frozen for the whole round.  Both prefilter
+    conditions are therefore monotone: a candidate invalid at block-filter
+    time stays invalid, so per-pair candidate lists built at filter time,
+    re-checked against live ``free_times``, equal the scalar loop's lists
+    element-for-element (both follow in-neighbour order).  Pairs dropped by
+    the prefilter are exactly those the scalar loop would pass over without
+    consuming the RNG, and a saturated span (``idle_total == 0``) stops both
+    loops before any further draw, so the RNG streams coincide.
+    """
+    num_chunks = state.num_chunks
+    acquisition = state._acquisition
+    pair_state = state._pair_state
+    holders = state._holders
+    activations = state._activations
+    held = state._held
+    link_costs = ten.link_costs
+    link_sources = ten.link_sources
+    free_times = ten.free_times
+    event_heap = ten._event_heap
+    event_times = ten._event_times
+    threshold = time + _TIME_EPS
+    uniform_cost = ten.uniform_cost
+    tuple_new = tuple.__new__
+    transfer_cls = ChunkTransfer
+    rand_range = rng.randrange
+
+    codes = state._pending_array()
+    permutation = _permuter(rng).permutation(len(codes))
+    if idle_total == 0:
+        # Saturated span: the scalar loop would break before drawing
+        # anything, so only the permutation consumes the RNG.
+        return
+    codes = codes[permutation]
+    kept = codes[_np.frombuffer(pair_state, dtype=_np.uint8)[codes] == _MATCHABLE]
+    total_kept = len(kept)
+    if not total_kept:
+        return
+    in_flat, in_indptr, sources_arr = ten.in_link_csr()
+    num_links = len(free_times)
+
+    cursor = 0
+    while cursor < total_kept and idle_total > 0:
+        block = kept[cursor : cursor + _PREFILTER_BLOCK]
+        cursor += _PREFILTER_BLOCK
+        # One sweep over the block's incoming-link edges: a candidate is
+        # valid when its link is idle now and its source already holds the
+        # chunk (held is frozen for the round, see docstring).
+        dest_col = block // num_chunks
+        chunk_col = block - dest_col * num_chunks
+        starts = in_indptr[dest_col]
+        degrees = in_indptr[dest_col + 1] - starts
+        indptr = _np.empty(len(block) + 1, dtype=_np.intp)
+        indptr[0] = 0
+        _np.cumsum(degrees, out=indptr[1:])
+        num_edges = int(indptr[-1])
+        edges = in_flat[_np.repeat(starts - indptr[:-1], degrees) + _np.arange(num_edges)]
+        free_np = _np.fromiter(free_times, dtype=_np.float64, count=num_links)
+        valid = (free_np[edges] <= threshold) & held[
+            sources_arr[edges] * num_chunks + _np.repeat(chunk_col, degrees)
+        ]
+        running = _np.empty(num_edges + 1, dtype=_np.intp)
+        running[0] = 0
+        _np.cumsum(valid, out=running[1:])
+        counts = running[indptr[1:]] - running[indptr[:-1]]
+        keep = counts > 0
+        if not keep.any():
+            continue
+        codes_list = block[keep].tolist()
+        dest_list = dest_col[keep].tolist()
+        chunk_list = chunk_col[keep].tolist()
+        counts_list = counts[keep].tolist()
+        cand_flat = edges[valid].tolist()
+        base = 0
+        for index in range(len(codes_list)):
+            span = counts_list[index]
+            low = base
+            base += span
+            if idle_total == 0:
+                return  # span saturated: no remaining pair can match
+            code = codes_list[index]
+            if pair_state[code] == _SATISFIED:
+                continue
+            candidates = [
+                link_id
+                for link_id in cand_flat[low : low + span]
+                if free_times[link_id] <= threshold
+            ]
+            if not candidates:
+                continue
+            dest = dest_list[index]
+            chunk = chunk_list[index]
+            if prefer_lowest_cost and cheap_regions is not None:
+                # Lower-cost-link prioritization (Sec. IV-F), identical to
+                # the scalar loop's deferral.
+                best_available = min(link_costs[link_id] for link_id in candidates)
+                region_by_dest = cheap_regions.get(best_available)
+                if region_by_dest is not None:
+                    region = region_by_dest[dest]
+                    if any(holder in region for holder in holders[chunk]):
+                        continue
+            num_candidates = len(candidates)
+            if num_candidates == 1:
+                link_id = candidates[0]
+            elif uniform_cost or not prefer_lowest_cost:
+                link_id = candidates[rand_range(num_candidates)]
+            else:
+                link_id = _pick_link_id(candidates, link_costs, rng, prefer_lowest_cost)
+            # Inlined commit, same as the scalar loop.
+            end = time + link_costs[link_id]
+            free_times[link_id] = end
+            if end not in event_times:
+                event_times.add(end)
+                heappush(event_heap, end)
+            idle_total -= 1
+            source = link_sources[link_id]
+            insort(holders[chunk], dest)
+            acquisition[code] = end
+            heappush(activations, (end, dest, chunk))
+            pair_state[code] = _SATISFIED
+            state._unsatisfied_count -= 1
+            transfers.append(tuple_new(transfer_cls, (time, end, chunk, source, dest)))
+
+
 def run_matching_round(
     ten: TimeExpandedNetwork,
     state: MatchingState,
@@ -404,18 +567,27 @@ def run_matching_round(
         _np is not None
         and not collect_deferred
         and state._unsatisfied_count >= _NUMPY_SHUFFLE_MIN
+        and time + ten.min_link_cost > threshold
     ):
-        # Forwarding is off, so deferred pairs are never consumed: restrict
-        # the scan to the matchable pairs (in permutation order) with one
-        # C-speed gather.  _NEEDED pairs cannot become matchable mid-round
-        # (promotions only happen in activate_until), so the prefilter is
-        # exact; _SATISFIED is re-checked per pair below as usual.
-        codes = state._pending_array()
-        codes = codes[_permuter(rng).permutation(len(codes))]
-        matchable = _np.frombuffer(pair_state, dtype=_np.uint8)[codes] == _MATCHABLE
-        pending = codes[matchable].tolist()
-    else:
-        pending = shuffle_pairs(state._pending_codes(), rng)
+        # Forwarding is off, so deferred pairs are never consumed: run the
+        # pass over block-prefiltered candidate lists instead of the scalar
+        # scan.  The min_link_cost guard proves no commit made this round
+        # comes due within it, which is what makes the prefilter exact (see
+        # _run_direct_pass_blockwise); without it — sub-epsilon link costs —
+        # fall through to the scalar loop, which consumes the RNG
+        # identically via shuffle_pairs.
+        _run_direct_pass_blockwise(
+            ten,
+            state,
+            time,
+            rng,
+            transfers,
+            idle_total,
+            prefer_lowest_cost=prefer_lowest_cost,
+            cheap_regions=cheap_regions,
+        )
+        return transfers
+    pending = shuffle_pairs(state._pending_codes(), rng)
     deferred: List[int] = []
     for position, code in enumerate(pending):
         pair = pair_state[code]

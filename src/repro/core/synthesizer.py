@@ -12,9 +12,10 @@ from __future__ import annotations
 
 import random
 import time as _time
+import warnings
 from dataclasses import dataclass
 from functools import partial
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.collectives.all_reduce import AllReduce
 from repro.collectives.pattern import CollectivePattern
@@ -22,15 +23,21 @@ from repro.core.algorithm import CollectiveAlgorithm
 from repro.core.config import SynthesisConfig
 from repro.core.matching import MatchingState, run_matching_round
 from repro.errors import SynthesisError
+from repro.kernels import NUMBA_AVAILABLE
+from repro.kernels.matching import native_run_matching_round
 from repro.ten.network import TimeExpandedNetwork
 from repro.topology.topology import Topology
 
 __all__ = [
     "SynthesisEngine",
+    "ENGINES",
     "FLAT_ENGINE",
+    "NATIVE_ENGINE",
     "SynthesisResult",
     "TacosSynthesizer",
     "TrialPayload",
+    "register_engine",
+    "resolve_engine",
     "synthesize",
 ]
 
@@ -55,6 +62,65 @@ class SynthesisEngine:
 
 #: Default engine: flat array-backed state, CSR-indexed TEN.
 FLAT_ENGINE = SynthesisEngine(name="flat")
+
+#: Native engine: the numba matching-round kernel over the same flat state.
+#: Safe to use even without numba — the kernel wrapper delegates every round
+#: to the flat implementation then — but :func:`resolve_engine` resolves the
+#: *name* ``"native"`` to :data:`FLAT_ENGINE` (with one warning) in that
+#: case, so reports never claim a native tier that never compiled.
+NATIVE_ENGINE = SynthesisEngine(name="native", matching_round=native_run_matching_round)
+
+#: By-name registry of synthesis engines (the ``--engine`` CLI/bench seam).
+#: The frozen reference engine registers itself on import of
+#: :mod:`repro.bench.reference`.
+ENGINES: Dict[str, SynthesisEngine] = {}
+
+
+def register_engine(engine: SynthesisEngine) -> SynthesisEngine:
+    """Add ``engine`` to :data:`ENGINES` under its name; returns it."""
+    ENGINES[engine.name] = engine
+    return engine
+
+
+register_engine(FLAT_ENGINE)
+register_engine(NATIVE_ENGINE)
+
+_warned_native_fallback = False
+
+
+def resolve_engine(name: str) -> SynthesisEngine:
+    """Look up an engine by name, degrading ``native`` gracefully.
+
+    When ``"native"`` is requested on a host without numba, returns
+    :data:`FLAT_ENGINE` — the equivalence oracle the kernels are pinned
+    against, so results are identical — and emits a single
+    :class:`RuntimeWarning` per process.
+    """
+    if name == "native" and not NUMBA_AVAILABLE:
+        from repro.kernels.matching import FORCE_PY_KERNEL
+
+        if not FORCE_PY_KERNEL:
+            global _warned_native_fallback
+            if not _warned_native_fallback:
+                _warned_native_fallback = True
+                warnings.warn(
+                    "native engine requested but numba is not installed; "
+                    "falling back to the flat engine (install "
+                    "tacos-repro[native] to enable compiled kernels)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            return FLAT_ENGINE
+    if name == "reference" and name not in ENGINES:
+        # The frozen baseline lives in the bench subsystem; pull it in on
+        # demand so `--engine reference` works from any entry point.
+        import repro.bench.reference  # noqa: F401
+
+    try:
+        return ENGINES[name]
+    except KeyError:
+        known = ", ".join(sorted(ENGINES))
+        raise SynthesisError(f"unknown synthesis engine {name!r} (known: {known})") from None
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,20 @@
+"""Optional native execution tier (numba ``@njit`` kernels).
+
+Two kernels sit behind the existing engine seams, with graceful degradation
+to the pure-Python flat paths — which remain the equivalence oracles — when
+numba is not installed (install the ``tacos-repro[native]`` extra to enable
+compilation):
+
+* :func:`repro.kernels.matching.native_run_matching_round` — the matching
+  round of Alg. 1, registered as the ``native`` synthesis engine;
+* :func:`repro.kernels.event_loop.event_loop` — the simulator's FCFS event
+  loop, dispatched from ``CongestionAwareSimulator``.
+
+Both reproduce the flat engines' outputs byte-for-byte, including RNG
+consumption (see :mod:`repro.kernels.mt19937`) and float operation order;
+``tacos-repro bench --grid native`` races the two tiers and asserts it.
+"""
+
+from repro.kernels._numba import NUMBA_AVAILABLE, NUMBA_VERSION
+
+__all__ = ["NUMBA_AVAILABLE", "NUMBA_VERSION"]

@@ -1,0 +1,42 @@
+"""numba detection and the ``njit`` shim backing the native tier.
+
+The kernels in this package are written as plain Python functions decorated
+with :func:`njit`.  When numba is installed the decorator compiles them to
+native code; when it is absent the shim returns the function unchanged, so
+every kernel stays importable and callable in pure-Python ("py-mode").  That
+is what lets the equivalence test suites pin kernel outputs against the flat
+engine byte-for-byte on machines without numba: same code path, no compiler.
+
+Nothing in this module may import the rest of :mod:`repro` — it sits at the
+bottom of the kernel dependency stack.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["NUMBA_AVAILABLE", "NUMBA_VERSION", "njit"]
+
+try:  # pragma: no cover - exercised only when numba is installed
+    import numba as _numba
+    from numba import njit
+
+    NUMBA_AVAILABLE: bool = True
+    NUMBA_VERSION: Optional[str] = _numba.__version__
+except ImportError:
+    NUMBA_AVAILABLE = False
+    NUMBA_VERSION = None
+
+    def njit(*args, **kwargs):  # noqa: ANN001 - decorator shim
+        """Identity decorator: keeps kernels plain-Python when numba is absent.
+
+        Accepts both the bare ``@njit`` form and the parametrized
+        ``@njit(cache=True)`` form, mirroring numba's decorator protocol.
+        """
+        if args and callable(args[0]) and not kwargs:
+            return args[0]
+
+        def decorate(func):
+            return func
+
+        return decorate

@@ -1,0 +1,191 @@
+"""Native event-loop kernel for the congestion-aware simulator.
+
+:func:`event_loop` is the compiled twin of the heapq loop inside
+:meth:`repro.simulator.engine.CongestionAwareSimulator._execute`.  It runs
+over the already-materialized flat hop columns (signed link ids with the
+final hop bitwise-inverted, per-hop serialization/latency, dependents CSR)
+and returns the per-message completion times plus the ``(pos, start)``
+transmission records in the exact order the Python loop would emit them;
+the host reconstructs link statistics from those records unchanged.
+
+Determinism contract
+--------------------
+FCFS tie-breaking is provably identical to the heapq path: events carry the
+``(time, seq)`` key — ``seq`` increments per push and is unique — so the key
+order is *strictly total*, and any correct min-heap extracts the unique
+minimum of its current contents.  Push order is identical (same ready
+conditions, same skip-heap fast path guarded by the same root comparison),
+so the pop sequence, and with it every float operation
+(``start = max(next_free, time)``, ``end = start + serialization``,
+``arrival = end + latency``) in the same order, coincides with the
+reference.  The heap here is an array-backed binary heap with explicit
+sift-up/down on the ``(time, seq)`` key.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels._numba import njit
+
+__all__ = ["event_loop"]
+
+
+@njit(cache=True)
+def event_loop(
+    hop_links,
+    hop_serialization,
+    hop_latency,
+    message_of_hop,
+    first_pos,
+    missing_deps,
+    dependents_flat,
+    dependents_indptr,
+    num_links,
+):
+    """Run the FCFS event loop; see module docstring for the contract.
+
+    Returns ``(completion, event_positions, event_starts, recorded)``:
+    per-message completion times (``nan`` when a message never became
+    ready), the transmission records in emission order, and their count.
+    """
+    num_messages = first_pos.shape[0]
+    num_hops = hop_links.shape[0]
+    ready_time = np.zeros(num_messages, np.float64)
+    link_next_free = np.zeros(num_links, np.float64)
+    completion = np.full(num_messages, np.nan, np.float64)
+    event_positions = np.empty(num_hops, np.int64)
+    event_starts = np.empty(num_hops, np.float64)
+    recorded = 0
+
+    # Array-backed binary min-heap on (time, seq); at most one in-flight
+    # event per message exists at any moment.
+    heap_time = np.empty(num_messages + 1, np.float64)
+    heap_seq = np.empty(num_messages + 1, np.int64)
+    heap_pos = np.empty(num_messages + 1, np.int64)
+    heap_size = 0
+    seq = 0
+
+    for index in range(num_messages):
+        if missing_deps[index] == 0:
+            # Initial pushes carry increasing (0.0, seq): appending already
+            # satisfies the heap property, no sift needed.
+            heap_time[heap_size] = 0.0
+            heap_seq[heap_size] = seq
+            heap_pos[heap_size] = first_pos[index]
+            heap_size += 1
+            seq += 1
+
+    completed = 0
+    while heap_size > 0:
+        time = heap_time[0]
+        pos = heap_pos[0]
+        # Pop: move the last leaf to the root and sift it down.
+        heap_size -= 1
+        if heap_size > 0:
+            move_time = heap_time[heap_size]
+            move_seq = heap_seq[heap_size]
+            move_pos = heap_pos[heap_size]
+            hole = 0
+            while True:
+                child = 2 * hole + 1
+                if child >= heap_size:
+                    break
+                right = child + 1
+                if right < heap_size and (
+                    heap_time[right] < heap_time[child]
+                    or (
+                        heap_time[right] == heap_time[child]
+                        and heap_seq[right] < heap_seq[child]
+                    )
+                ):
+                    child = right
+                if heap_time[child] < move_time or (
+                    heap_time[child] == move_time and heap_seq[child] < move_seq
+                ):
+                    heap_time[hole] = heap_time[child]
+                    heap_seq[hole] = heap_seq[child]
+                    heap_pos[hole] = heap_pos[child]
+                    hole = child
+                else:
+                    break
+            heap_time[hole] = move_time
+            heap_seq[hole] = move_seq
+            heap_pos[hole] = move_pos
+
+        while True:
+            link_id = hop_links[pos]
+            if link_id >= 0:
+                next_free = link_next_free[link_id]
+                start = next_free if next_free > time else time
+                serialization_end = start + hop_serialization[pos]
+                link_next_free[link_id] = serialization_end
+                event_positions[recorded] = pos
+                event_starts[recorded] = start
+                recorded += 1
+                arrival = serialization_end + hop_latency[pos]
+                pos += 1
+                # Skip-heap fast path: identical root comparison to the
+                # Python loop; a strictly smaller key never ties, so
+                # processing inline preserves the event order.
+                if heap_size > 0 and heap_time[0] <= arrival:
+                    hole = heap_size
+                    heap_size += 1
+                    while hole > 0:
+                        parent = (hole - 1) // 2
+                        if heap_time[parent] > arrival:
+                            heap_time[hole] = heap_time[parent]
+                            heap_seq[hole] = heap_seq[parent]
+                            heap_pos[hole] = heap_pos[parent]
+                            hole = parent
+                        else:
+                            break
+                    heap_time[hole] = arrival
+                    heap_seq[hole] = seq
+                    heap_pos[hole] = pos
+                    seq += 1
+                    break
+                time = arrival
+                continue
+
+            # Final hop (negative-encoded link): the message is delivered.
+            link_id = ~link_id
+            next_free = link_next_free[link_id]
+            start = next_free if next_free > time else time
+            serialization_end = start + hop_serialization[pos]
+            link_next_free[link_id] = serialization_end
+            event_positions[recorded] = pos
+            event_starts[recorded] = start
+            recorded += 1
+            arrival = serialization_end + hop_latency[pos]
+            index = message_of_hop[pos]
+            completion[index] = arrival
+            completed += 1
+            for edge in range(dependents_indptr[index], dependents_indptr[index + 1]):
+                dependent = dependents_flat[edge]
+                if arrival > ready_time[dependent]:
+                    ready_time[dependent] = arrival
+                remaining = missing_deps[dependent] - 1
+                missing_deps[dependent] = remaining
+                if remaining == 0:
+                    push_time = ready_time[dependent]
+                    hole = heap_size
+                    heap_size += 1
+                    while hole > 0:
+                        parent = (hole - 1) // 2
+                        if heap_time[parent] > push_time or (
+                            heap_time[parent] == push_time and heap_seq[parent] > seq
+                        ):
+                            heap_time[hole] = heap_time[parent]
+                            heap_seq[hole] = heap_seq[parent]
+                            heap_pos[hole] = heap_pos[parent]
+                            hole = parent
+                        else:
+                            break
+                    heap_time[hole] = push_time
+                    heap_seq[hole] = seq
+                    heap_pos[hole] = first_pos[dependent]
+                    seq += 1
+            break
+
+    return completion, event_positions, event_starts, completed

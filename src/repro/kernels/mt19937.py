@@ -1,0 +1,120 @@
+"""MT19937 port compatible with :class:`random.Random`, njit-compilable.
+
+The native matching kernel must consume the trial RNG exactly like the flat
+engine does — one ``randrange(n)`` per multi-candidate pick — while running
+inside compiled code where :class:`random.Random` is unreachable.  This
+module ports the two CPython primitives the matching draws reduce to:
+
+* ``genrand_uint32`` — the Mersenne Twister word generator (including the
+  624-word twist), bit-for-bit CPython's ``_randommodule.c``;
+* ``_randbelow_with_getrandbits`` — CPython's rejection sampling
+  (``k = n.bit_length()``; draw ``getrandbits(k)`` =
+  ``genrand_uint32() >> (32 - k)`` until the value is below ``n``), which is
+  the single draw behind both ``randrange(n)`` and ``choice``.
+
+State crosses the boundary through :func:`mt_export` / :func:`mt_restore`,
+which round-trip ``random.Random.getstate()``: the kernel advances the
+generator in place, the host pushes the advanced state back, and subsequent
+Python-side draws continue the identical stream.  The 624-word key is held
+in ``uint64`` (values < 2^32) so the tempering shifts cannot overflow in
+either py-mode numpy or compiled numba arithmetic; every constant is a
+pre-cast ``np.uint64`` to keep the two modes' type promotion identical.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Tuple
+
+import numpy as np
+
+from repro.kernels._numba import njit
+
+__all__ = [
+    "mt_export",
+    "mt_fill",
+    "mt_genrand",
+    "mt_randbelow",
+    "mt_restore",
+]
+
+_N = 624
+_M = 397
+_MASK32 = np.uint64(0xFFFFFFFF)
+_UPPER = np.uint64(0x80000000)
+_LOWER = np.uint64(0x7FFFFFFF)
+_MATRIX_A = np.uint64(0x9908B0DF)
+_TEMPER_B = np.uint64(0x9D2C5680)
+_TEMPER_C = np.uint64(0xEFC60000)
+_ONE = np.uint64(1)
+_S1 = np.uint64(1)
+_S7 = np.uint64(7)
+_S11 = np.uint64(11)
+_S15 = np.uint64(15)
+_S18 = np.uint64(18)
+
+
+@njit(cache=True)
+def mt_fill(key):
+    """Regenerate all 624 state words in place (the MT19937 "twist")."""
+    for i in range(_N):
+        y = (key[i] & _UPPER) | (key[(i + 1) % _N] & _LOWER)
+        value = key[(i + _M) % _N] ^ (y >> _S1)
+        if y & _ONE:
+            value ^= _MATRIX_A
+        key[i] = value & _MASK32
+
+
+@njit(cache=True)
+def mt_genrand(key, pos):
+    """One tempered 32-bit draw; ``pos`` is a 1-element int64 cursor array."""
+    index = pos[0]
+    if index >= _N:
+        mt_fill(key)
+        index = 0
+    y = key[index]
+    pos[0] = index + 1
+    y ^= y >> _S11
+    y ^= (y << _S7) & _TEMPER_B
+    y ^= (y << _S15) & _TEMPER_C
+    y ^= y >> _S18
+    return y
+
+
+@njit(cache=True)
+def mt_randbelow(key, pos, n):
+    """Uniform int in ``[0, n)``, consuming draws exactly like CPython.
+
+    ``n`` must be at least 1 and below 2^32 (candidate-list sizes in
+    practice): CPython would use multi-word ``getrandbits`` beyond that.
+    """
+    bits = 0
+    value = n
+    while value > 0:
+        value >>= 1
+        bits += 1
+    shift = np.uint64(32 - bits)
+    bound = np.uint64(n)
+    result = mt_genrand(key, pos) >> shift
+    while result >= bound:
+        result = mt_genrand(key, pos) >> shift
+    return np.int64(result)
+
+
+def mt_export(rng: random.Random) -> Tuple[np.ndarray, np.ndarray, tuple]:
+    """Snapshot ``rng``'s state as kernel-ready arrays.
+
+    Returns ``(key, pos, meta)``: the 624-word key as ``uint64``, the cursor
+    as a 1-element ``int64`` array, and the opaque remainder of
+    ``getstate()`` (version, cached gauss value) to restore verbatim.
+    """
+    version, internal, gauss = rng.getstate()
+    key = np.array(internal[:_N], dtype=np.uint64)
+    pos = np.array([internal[_N]], dtype=np.int64)
+    return key, pos, (version, gauss)
+
+
+def mt_restore(rng: random.Random, key: np.ndarray, pos: np.ndarray, meta: tuple) -> None:
+    """Push a kernel-advanced state back into ``rng`` (inverse of :func:`mt_export`)."""
+    version, gauss = meta
+    rng.setstate((version, tuple(int(word) for word in key) + (int(pos[0]),), gauss))

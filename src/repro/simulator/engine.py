@@ -50,6 +50,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import SimulationError
+from repro.kernels import NUMBA_AVAILABLE as _NUMBA_AVAILABLE
+from repro.kernels.event_loop import event_loop as _event_loop_kernel
 from repro.simulator.messages import Message, validate_messages
 from repro.simulator.result import SimulationResult
 from repro.topology.topology import Topology
@@ -76,9 +78,21 @@ class CongestionAwareSimulator:
         bandwidth-bound messages prefer fast links.
     """
 
-    def __init__(self, topology: Topology, routing_message_size: Optional[float] = None) -> None:
+    def __init__(
+        self,
+        topology: Topology,
+        routing_message_size: Optional[float] = None,
+        *,
+        use_kernel: Optional[bool] = None,
+    ) -> None:
         self.topology = topology
         self.routing_message_size = routing_message_size
+        #: Event-loop tier selection: ``None`` picks the native kernel when
+        #: numba is installed and the Python loop otherwise; ``True`` forces
+        #: the kernel (py-mode without numba — slow, used by the equivalence
+        #: suites); ``False`` forces the Python loop.  Outputs are
+        #: byte-identical either way (see :mod:`repro.kernels.event_loop`).
+        self.use_kernel = use_kernel
         self._route_cache: Dict[Tuple[int, int, float], List[int]] = {}
         self._link_route_cache: Dict[Tuple[int, int, float], Tuple[int, ...]] = {}
 
@@ -240,14 +254,14 @@ class CongestionAwareSimulator:
                 np.asarray(missing_deps, dtype=np.int64),
             )
             edge_order = np.argsort(dep_flat, kind="stable")
-            dependents_flat = consumer_of_edge[edge_order].tolist()
+            dependents_flat_arr = consumer_of_edge[edge_order]
             dependent_counts = np.bincount(dep_flat, minlength=num_messages)
-            dependents_indptr = np.concatenate(
+            dependents_indptr_arr = np.concatenate(
                 (np.zeros(1, dtype=np.int64), np.cumsum(dependent_counts))
-            ).tolist()
+            )
         else:
-            dependents_flat = []
-            dependents_indptr = [0] * (num_messages + 1)
+            dependents_flat_arr = np.empty(0, dtype=np.int64)
+            dependents_indptr_arr = np.zeros(num_messages + 1, dtype=np.int64)
 
         # Flat per-hop columns, vectorized: position `pos` of message `index`
         # at hop `h` is offsets[index] + h; consecutive hops are consecutive
@@ -268,18 +282,104 @@ class CongestionAwareSimulator:
         last_positions = offsets_arr[1:] - 1
         signed_links_arr = hop_links_arr.copy()
         signed_links_arr[last_positions] = ~signed_links_arr[last_positions]
-        # Scalar access in the loop is fastest on plain lists of Python
-        # floats/ints, so the columns are materialized once with tolist().
-        hop_links = signed_links_arr.tolist()
-        hop_serialization = hop_serialization_arr.tolist()
-        hop_latency = alphas_arr[hop_links_arr].tolist() if num_hops else []
-        message_of_hop = np.repeat(
-            np.arange(num_messages, dtype=np.int64), route_lengths
-        ).tolist()
-        first_pos = offsets_arr[:-1].tolist()
+        hop_latency_arr = alphas_arr[hop_links_arr] if num_hops else np.empty(0)
+        message_of_hop_arr = np.repeat(np.arange(num_messages, dtype=np.int64), route_lengths)
 
+        use_kernel = self.use_kernel
+        if use_kernel is None:
+            use_kernel = _NUMBA_AVAILABLE
+        if use_kernel:
+            # Native tier: the same loop compiled over the same columns (see
+            # repro.kernels.event_loop for the FCFS-equivalence argument).
+            completion_arr, kernel_positions, kernel_starts, completed = _event_loop_kernel(
+                signed_links_arr,
+                hop_serialization_arr,
+                hop_latency_arr,
+                message_of_hop_arr,
+                offsets_arr[:-1],
+                np.asarray(missing_deps, dtype=np.int64),
+                dependents_flat_arr,
+                dependents_indptr_arr,
+                len(arrays.alphas),
+            )
+            event_positions = kernel_positions
+            event_starts = kernel_starts
+            if completed != num_messages:
+                never_ran = np.isnan(completion_arr)
+                completion = [
+                    None if missing else value
+                    for value, missing in zip(completion_arr.tolist(), never_ran.tolist())
+                ]
+            else:
+                completion = completion_arr.tolist()
+        else:
+            completion, event_positions, event_starts, completed = self._execute_python(
+                num_messages,
+                len(arrays.alphas),
+                signed_links_arr.tolist(),
+                hop_serialization_arr.tolist(),
+                hop_latency_arr.tolist(),
+                message_of_hop_arr.tolist(),
+                offsets_arr[:-1].tolist(),
+                missing_deps,
+                dependents_flat_arr.tolist(),
+                dependents_indptr_arr.tolist(),
+            )
+
+        if completed != num_messages:
+            ids = message_ids if message_ids is not None else range(num_messages)
+            unfinished = sorted(
+                message_id
+                for index, message_id in enumerate(ids)
+                if completion[index] is None
+            )
+            raise SimulationError(
+                f"{len(unfinished)} messages never became ready (dependency cycle?): {unfinished[:10]}"
+            )
+
+        if message_ids is None:
+            message_completion = dict(enumerate(completion))
+        else:
+            message_completion = dict(zip(message_ids, completion))
+        completion_time = max(message_completion.values()) if message_completion else 0.0
+        busy_columns, link_bytes = self._collect_link_stats(
+            arrays,
+            event_positions,
+            event_starts,
+            hop_links_arr,
+            hop_serialization_arr,
+            hop_sizes_arr,
+        )
+        return SimulationResult(
+            completion_time=completion_time,
+            message_completion=message_completion,
+            busy_columns=busy_columns,
+            link_bytes=link_bytes,
+            num_links=self.topology.num_links,
+            collective_size=collective_size,
+        )
+
+    @staticmethod
+    def _execute_python(
+        num_messages: int,
+        num_links: int,
+        hop_links: List[int],
+        hop_serialization: List[float],
+        hop_latency: List[float],
+        message_of_hop: List[int],
+        first_pos: List[int],
+        missing_deps: List[int],
+        dependents_flat: List[int],
+        dependents_indptr: List[int],
+    ):
+        """The pure-Python event loop (the kernel's equivalence oracle).
+
+        Scalar access is fastest on plain lists of Python floats/ints, so the
+        caller materializes the hop columns with ``tolist()`` for this path.
+        Returns ``(completion, event_positions, event_starts, completed)``.
+        """
         ready_time = [0.0] * num_messages
-        link_next_free = [0.0] * len(arrays.alphas)
+        link_next_free = [0.0] * num_links
         completion: List[Optional[float]] = [None] * num_messages
         # Busy intervals accumulate as flat (pos, start) pairs; everything
         # else about an interval is a pure function of pos.
@@ -352,38 +452,7 @@ class CongestionAwareSimulator:
                         seq += 1
                 break
 
-        if completed != num_messages:
-            ids = message_ids if message_ids is not None else range(num_messages)
-            unfinished = sorted(
-                message_id
-                for index, message_id in enumerate(ids)
-                if completion[index] is None
-            )
-            raise SimulationError(
-                f"{len(unfinished)} messages never became ready (dependency cycle?): {unfinished[:10]}"
-            )
-
-        if message_ids is None:
-            message_completion = dict(enumerate(completion))
-        else:
-            message_completion = dict(zip(message_ids, completion))
-        completion_time = max(message_completion.values()) if message_completion else 0.0
-        busy_columns, link_bytes = self._collect_link_stats(
-            arrays,
-            event_positions,
-            event_starts,
-            hop_links_arr,
-            hop_serialization_arr,
-            hop_sizes_arr,
-        )
-        return SimulationResult(
-            completion_time=completion_time,
-            message_completion=message_completion,
-            busy_columns=busy_columns,
-            link_bytes=link_bytes,
-            num_links=self.topology.num_links,
-            collective_size=collective_size,
-        )
+        return completion, event_positions, event_starts, completed
 
     def _resolve_routes(self, messages: Sequence[Message]) -> List[Tuple[int, ...]]:
         """Per-message link-id routes, resolved through the route cache."""
@@ -420,8 +489,9 @@ class CongestionAwareSimulator:
         count = len(event_positions)
         if count == 0:
             return {}, {}
-        positions = np.fromiter(event_positions, dtype=np.int64, count=count)
-        starts = np.fromiter(event_starts, dtype=float, count=count)
+        # The loop hands lists; the kernel hands ready-made arrays.
+        positions = np.asarray(event_positions, dtype=np.int64)
+        starts = np.asarray(event_starts, dtype=float)
         ends = starts + hop_serialization_arr[positions]
         link_ids = hop_links_arr[positions]
         event_sizes = hop_sizes_arr[positions]

@@ -29,6 +29,11 @@ from typing import Dict, List, Optional, Tuple
 from repro.errors import SynthesisError
 from repro.topology.topology import Topology
 
+try:  # soft dependency: the TEN stays usable without numpy
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is present in the dev image
+    _np = None
+
 __all__ = ["TimeExpandedNetwork"]
 
 #: Tolerance used when comparing floating-point event times.
@@ -82,10 +87,15 @@ class TimeExpandedNetwork:
         #: True when every link has the same span length (homogeneous case):
         #: the lowest-cost restriction then never excludes a candidate.
         self.uniform_cost: bool = len(set(self.link_costs)) <= 1
+        #: Shortest span length over all links; the matching prefilter uses it
+        #: to prove that no transfer committed at ``time`` can come due within
+        #: the same span (``time + min_link_cost > time + eps``).
+        self.min_link_cost: float = min(self.link_costs) if self.link_costs else 0.0
         self.free_times: List[float] = [0.0] * len(self.link_costs)
 
         self._event_heap: List[float] = []
         self._event_times: set = set()
+        self._in_csr = None
 
     # ------------------------------------------------------------------
     # Link ids (hot path)
@@ -101,6 +111,35 @@ class TimeExpandedNetwork:
     def out_link_ids(self, source: int) -> List[int]:
         """Ids of all links out of ``source`` (read-only, out-neighbour order)."""
         return self._out_ids[source]
+
+    def in_link_csr(self):
+        """Numpy CSR view of the incoming-link adjacency, built lazily per TEN.
+
+        Returns ``(in_flat, in_indptr, link_sources)`` where the incoming link
+        ids of NPU ``d`` are ``in_flat[in_indptr[d]:in_indptr[d + 1]]`` in the
+        same in-neighbour order as :meth:`in_link_ids`, and ``link_sources``
+        is the per-link source-NPU array.  Requires numpy (``None`` without
+        it); used by the matching round's vectorized candidate prefilter.
+        """
+        if _np is None:
+            return None
+        csr = self._in_csr
+        if csr is None:
+            in_ids = self._in_ids
+            in_indptr = _np.zeros(len(in_ids) + 1, dtype=_np.intp)
+            for npu, ids in enumerate(in_ids):
+                in_indptr[npu + 1] = in_indptr[npu] + len(ids)
+            in_flat = _np.fromiter(
+                (link_id for ids in in_ids for link_id in ids),
+                dtype=_np.intp,
+                count=int(in_indptr[-1]),
+            )
+            sources = _np.fromiter(
+                self.link_sources, dtype=_np.intp, count=len(self.link_sources)
+            )
+            csr = (in_flat, in_indptr, sources)
+            self._in_csr = csr
+        return csr
 
     def occupy_id(self, link_id: int, time: float) -> float:
         """Mark link ``link_id`` busy starting at ``time``; return the completion time.

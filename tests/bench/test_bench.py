@@ -91,20 +91,28 @@ class TestEngineEquivalence:
 # ----------------------------------------------------------------------
 class TestGrids:
     def test_known_grids(self):
-        assert set(GRIDS) == {"smoke", "fig19", "full", "sim_stress", "pipeline", "parallel"}
+        assert set(GRIDS) == {
+            "smoke", "fig19", "full", "sim_stress", "pipeline", "parallel", "native"
+        }
 
     def test_unknown_grid_raises(self):
         with pytest.raises(ReproError):
             get_grid("nope")
 
     def test_smoke_grid_is_small(self):
-        assert len(get_grid("smoke")) <= 6
+        assert len(get_grid("smoke")) <= 7
 
     def test_smoke_grid_covers_all_kinds(self):
-        from repro.bench import ParallelScenario, PipelineScenario
+        from repro.bench import NativeScenario, ParallelScenario, PipelineScenario
 
         kinds = {type(scenario) for scenario in get_grid("smoke")}
-        assert kinds == {BenchScenario, SimScenario, PipelineScenario, ParallelScenario}
+        assert kinds == {
+            BenchScenario,
+            SimScenario,
+            PipelineScenario,
+            ParallelScenario,
+            NativeScenario,
+        }
 
     def test_sim_stress_grid_shape(self):
         scenarios = get_grid("sim_stress")
@@ -167,7 +175,7 @@ class TestRunnerAndReport:
         assert path.suffix == ".json"
         loaded = json.loads(path.read_text())
         assert loaded == json.loads(json.dumps(report))
-        assert loaded["schema"] == "tacos-repro-bench/v4"
+        assert loaded["schema"] == "tacos-repro-bench/v5"
         assert loaded["summary"]["all_equivalent"] is True
         assert loaded["summary"]["all_simulation_equivalent"] is True
         assert len(loaded["records"]) == len(smoke_records)

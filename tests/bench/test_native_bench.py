@@ -1,0 +1,208 @@
+"""Tests for the native bench kind and the schema-v5 report surface."""
+
+import json
+
+import pytest
+
+from repro.bench import NativeScenario, run_bench, write_report
+from repro.bench.compare import compare_reports, speedup_history
+from repro.bench.grid import BenchScenario
+from repro.bench.runner import (
+    BenchRecord,
+    SCHEMA,
+    _run_native_scenario,
+    _run_synthesis_scenario,
+    summarize,
+)
+from repro.kernels import NUMBA_AVAILABLE
+
+MB = 1e6
+
+
+def _record(scenario, kind, **overrides):
+    """A plausible BenchRecord with every required field filled."""
+    base = dict(
+        scenario=scenario,
+        kind=kind,
+        topology="mesh_2d:4,4",
+        collective="all_reduce",
+        collective_size=4 * MB,
+        num_npus=16,
+        num_links=48,
+        seed=0,
+        trials=1,
+        flat_seconds=0.1,
+        reference_seconds=1.0,
+        speedup=10.0,
+        equivalent=True,
+        num_transfers=100,
+        collective_time=1e-3,
+        rounds=10,
+        num_messages=100,
+        simulation_seconds=0.01,
+        reference_simulation_seconds=0.02,
+        simulation_speedup=2.0,
+        simulation_equivalent=True,
+        simulated_collective_time=1e-3,
+    )
+    base.update(overrides)
+    return BenchRecord(**base)
+
+
+class TestNativeScenarioRecord:
+    @pytest.fixture(scope="class")
+    def record(self):
+        scenario = NativeScenario(
+            name="native-test-mesh4x4",
+            topology="mesh_2d:4,4",
+            collective="all_reduce",
+            collective_size=1 * MB,
+        )
+        return _run_native_scenario(scenario, repeats=1, check_equivalence=True)
+
+    def test_record_shape(self, record):
+        assert record.kind == "native"
+        assert record.engine == "native"
+        assert record.kernel == ("numba" if NUMBA_AVAILABLE else "python")
+        assert record.flat_seconds > 0  # native tier wall clock
+        assert record.reference_seconds > 0  # flat oracle wall clock
+        assert record.speedup is not None
+
+    def test_byte_identical_tiers(self, record):
+        assert record.equivalent is True
+        assert record.simulation_equivalent is True
+        assert record.verified is True
+
+    def test_simulation_race_ran(self, record):
+        assert record.simulation_seconds > 0
+        assert record.reference_simulation_seconds > 0
+        assert record.simulated_collective_time > 0
+
+
+class TestSummarizeNativeExclusion:
+    def test_native_records_stay_out_of_headline_aggregates(self):
+        records = [
+            _record("syn", "synthesis", speedup=10.0),
+            _record(
+                "nat",
+                "native",
+                speedup=0.9,
+                engine="native",
+                kernel="python",
+                simulation_speedup=0.8,
+            ),
+        ]
+        summary = summarize(records)
+        # Headline medians see only the synthesis record.
+        assert summary["median_speedup"] == 10.0
+        assert summary["median_simulation_speedup"] == 2.0
+        # The tier race lands in its own keys.
+        assert summary["median_native_speedup"] == 0.9
+        assert summary["native_equivalence_checked"] == 2  # synthesis + simulation checks
+        assert summary["all_native_equivalent"] is True
+
+    def test_native_only_grid_feeds_headline(self):
+        records = [_record("nat", "native", speedup=0.9, engine="native")]
+        summary = summarize(records)
+        assert summary["median_speedup"] == 0.9
+
+    def test_disagreement_is_visible(self):
+        records = [_record("nat", "native", engine="native", simulation_equivalent=False)]
+        assert summarize(records)["all_native_equivalent"] is False
+
+
+class TestSchemaV5Report:
+    def test_envelope_carries_engine_and_native_block(self, tmp_path):
+        records = [_record("syn", "synthesis")]
+        path, report = write_report(
+            records, grid="smoke", repeats=1, out_dir=str(tmp_path), engine="native"
+        )
+        assert report["schema"] == SCHEMA
+        assert report["engine"] == "native"
+        assert report["native"]["numba_available"] == NUMBA_AVAILABLE
+        assert "numba_version" in report["native"]
+        on_disk = json.loads(path.read_text())
+        assert on_disk["records"][0]["engine"] == "flat"
+        assert on_disk["records"][0]["kernel"] is None
+
+    def test_compare_round_trips_pre_v5_reports(self):
+        current = {
+            "schema": SCHEMA,
+            "grid": "fig19",
+            "records": [_record("a", "synthesis").to_dict()],
+        }
+        # v1-shaped baseline: no engine/kernel keys anywhere.
+        previous = {
+            "schema": "tacos-repro-bench/v1",
+            "grid": "fig19",
+            "records": [{"scenario": "a", "flat_seconds": 0.2}],
+        }
+        result = compare_reports(current, previous)
+        assert result["matched"] == 1
+        assert result["deltas"][0]["ratio"] == pytest.approx(0.5)
+
+    def test_history_renders_v5_next_to_older_schemas(self, tmp_path):
+        old = {
+            "schema": "tacos-repro-bench/v2",
+            "grid": "fig19",
+            "created_utc": "2026-01-01T00:00:00Z",
+            "version": "1.2.0",
+            "summary": {"median_speedup": 2.0, "num_scenarios": 3},
+            "records": [{"scenario": "a", "flat_seconds": 0.5}],
+        }
+        new = {
+            "schema": SCHEMA,
+            "grid": "fig19",
+            "created_utc": "2026-02-01T00:00:00Z",
+            "version": "1.7.0",
+            "engine": "native",
+            "summary": {
+                "median_speedup": 4.0,
+                "median_native_speedup": 1.1,
+                "num_scenarios": 3,
+            },
+            "records": [{"scenario": "a", "flat_seconds": 0.25, "kernel": "python"}],
+        }
+        (tmp_path / "BENCH_fig19_20260101T000000Z.json").write_text(json.dumps(old))
+        (tmp_path / "BENCH_fig19_20260201T000000Z.json").write_text(json.dumps(new))
+        rows = speedup_history(tmp_path)
+        assert [row["engine"] for row in rows] == [None, "native"]
+        assert [row["kernel"] for row in rows] == [None, "python"]
+        assert rows[1]["median_native_speedup"] == 1.1
+        assert rows[1]["median_speedup_vs_previous"] == pytest.approx(2.0)
+
+
+class TestEngineSelection:
+    def test_skip_reference_scenario_never_times_the_frozen_path(self):
+        scenario = BenchScenario(
+            name="big-mesh",
+            topology="mesh_2d:3,3",
+            collective="all_gather",
+            collective_size=1 * MB,
+            skip_reference=True,
+        )
+        record = _run_synthesis_scenario(
+            scenario, repeats=1, check_equivalence=True, include_reference=True
+        )
+        assert record.reference_seconds is None
+        assert record.equivalent is None
+        assert record.engine == "flat"
+
+    @pytest.mark.skipif(NUMBA_AVAILABLE, reason="fallback only exists without numba")
+    def test_run_bench_native_engine_degrades_to_flat_records(self, recwarn):
+        scenario = BenchScenario(
+            name="tiny",
+            topology="ring:4",
+            collective="all_gather",
+            collective_size=1 * MB,
+        )
+        records = run_bench(
+            scenarios=[scenario],
+            include_reference=False,
+            check_equivalence=False,
+            engine="native",
+        )
+        # Resolved in the calling process: the record is honest about the
+        # engine that actually ran.
+        assert records[0].engine == "flat"
+        assert records[0].kernel is None

@@ -1,0 +1,200 @@
+"""Native matching tier == flat engine, byte-identical.
+
+The py-mode suites run everywhere (``FORCE_PY_KERNEL`` routes the kernel
+wrapper through the identity-njit shim); the compiled class re-runs the same
+pins when numba is installed.  Either way the assertion is the determinism
+contract itself: identical transfer tables, identical collective times,
+identical RNG consumption.
+"""
+
+from __future__ import annotations
+
+import random
+import warnings
+from contextlib import contextmanager
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.collectives import AllGather, AllReduce
+from repro.core import SynthesisConfig, TacosSynthesizer
+from repro.core import synthesizer as synthesizer_module
+from repro.core.synthesizer import (
+    ENGINES,
+    FLAT_ENGINE,
+    NATIVE_ENGINE,
+    resolve_engine,
+)
+from repro.errors import SynthesisError
+from repro.kernels import NUMBA_AVAILABLE
+from repro.kernels import matching as kernel_matching
+from repro.topology import build_mesh_2d
+from tests.conftest import random_connected_topology
+
+_MB = 1024.0 * 1024.0
+
+_settings = settings(
+    max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+@contextmanager
+def forced_py_kernel():
+    """Run the native kernel in py-mode even without numba installed."""
+    previous = kernel_matching.FORCE_PY_KERNEL
+    kernel_matching.FORCE_PY_KERNEL = True
+    try:
+        yield
+    finally:
+        kernel_matching.FORCE_PY_KERNEL = previous
+
+
+def _synthesize_both(topology, pattern, collective_size, config):
+    flat = TacosSynthesizer(config, engine=FLAT_ENGINE).synthesize(
+        topology, pattern, collective_size
+    )
+    with forced_py_kernel():
+        native = TacosSynthesizer(config, engine=NATIVE_ENGINE).synthesize(
+            topology, pattern, collective_size
+        )
+    return flat, native
+
+
+def _assert_identical(flat, native):
+    assert native.table.to_bytes() == flat.table.to_bytes()
+    assert native.collective_time == flat.collective_time
+
+
+class TestEngineRegistry:
+    def test_known_engines(self):
+        assert {"flat", "native"}.issubset(ENGINES)
+        assert resolve_engine("flat") is FLAT_ENGINE
+
+    def test_reference_engine_lazily_importable(self):
+        assert resolve_engine("reference").name == "reference"
+
+    def test_unknown_engine_raises(self):
+        with pytest.raises(SynthesisError, match="unknown synthesis engine"):
+            resolve_engine("vectorised")
+
+    def test_forced_py_mode_resolves_to_native(self):
+        # With the kernel forced into py-mode the native tier is usable
+        # without numba, so the name must not silently degrade.
+        with forced_py_kernel():
+            assert resolve_engine("native") is NATIVE_ENGINE
+
+
+@pytest.mark.skipif(
+    NUMBA_AVAILABLE, reason="fallback path only exists when numba is absent"
+)
+def test_native_name_falls_back_to_flat_with_single_warning():
+    previous = synthesizer_module._warned_native_fallback
+    synthesizer_module._warned_native_fallback = False
+    try:
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            first = resolve_engine("native")
+            second = resolve_engine("native")
+    finally:
+        synthesizer_module._warned_native_fallback = previous
+    assert first is FLAT_ENGINE
+    assert second is FLAT_ENGINE
+    runtime_warnings = [
+        w for w in caught if issubclass(w.category, RuntimeWarning)
+    ]
+    assert len(runtime_warnings) == 1  # warn once per process, not per call
+    assert "numba" in str(runtime_warnings[0].message)
+
+
+@pytest.mark.native_equivalence
+class TestNativeMatchingEquivalence:
+    def test_kernel_actually_engages_on_large_rounds(self, monkeypatch):
+        # Guard against the delegation guard silently eating every round:
+        # mesh4x4 All-Reduce has 240 unsatisfied pairs in round one, well
+        # above the kernel's pair floor.
+        calls = {"count": 0}
+        real_kernel = kernel_matching._direct_match_kernel
+
+        def counting_kernel(*args):
+            calls["count"] += 1
+            return real_kernel(*args)
+
+        monkeypatch.setattr(kernel_matching, "_direct_match_kernel", counting_kernel)
+        topology = build_mesh_2d(4, 4)
+        flat, native = _synthesize_both(
+            topology, AllReduce(16), 16 * _MB, SynthesisConfig(seed=3)
+        )
+        assert calls["count"] > 0
+        _assert_identical(flat, native)
+
+    @_settings
+    @given(
+        num_npus=st.integers(min_value=12, max_value=18),
+        extra_links=st.integers(min_value=0, max_value=10),
+        heterogeneous=st.booleans(),
+        seed=st.integers(min_value=0, max_value=500),
+        all_reduce=st.booleans(),
+    )
+    def test_native_matches_flat_on_random_topologies(
+        self, num_npus, extra_links, heterogeneous, seed, all_reduce
+    ):
+        rng = random.Random(seed)
+        topology = random_connected_topology(
+            num_npus, rng, extra_links=extra_links, heterogeneous=heterogeneous
+        )
+        pattern = AllReduce(num_npus) if all_reduce else AllGather(num_npus)
+        flat, native = _synthesize_both(
+            topology, pattern, 4 * _MB, SynthesisConfig(seed=seed)
+        )
+        _assert_identical(flat, native)
+
+    @_settings
+    @given(
+        seed=st.integers(min_value=0, max_value=200),
+        trials=st.integers(min_value=1, max_value=3),
+    )
+    def test_best_of_n_trials_pick_the_same_winner(self, seed, trials):
+        # Trials share the engine through TrialPayload; the winner (and its
+        # tie-breaking by trial index) must not depend on the tier.
+        topology = build_mesh_2d(4, 4)
+        flat, native = _synthesize_both(
+            topology,
+            AllGather(16),
+            8 * _MB,
+            SynthesisConfig(seed=seed, trials=trials),
+        )
+        _assert_identical(flat, native)
+
+
+@pytest.mark.native_equivalence
+@pytest.mark.skipif(not NUMBA_AVAILABLE, reason="numba not installed")
+class TestCompiledMatchingKernel:
+    """Re-pin the contract on the actually-compiled kernel."""
+
+    def test_resolve_native_is_native(self):
+        assert resolve_engine("native") is NATIVE_ENGINE
+
+    @pytest.mark.parametrize("seed", [0, 11, 42])
+    def test_compiled_matches_flat(self, seed):
+        topology = build_mesh_2d(5, 5)
+        config = SynthesisConfig(seed=seed)
+        flat = TacosSynthesizer(config, engine=FLAT_ENGINE).synthesize(
+            topology, AllReduce(25), 64 * _MB
+        )
+        native = TacosSynthesizer(config, engine=NATIVE_ENGINE).synthesize(
+            topology, AllReduce(25), 64 * _MB
+        )
+        _assert_identical(flat, native)
+
+    def test_compiled_and_py_mode_agree(self):
+        topology = build_mesh_2d(4, 4)
+        config = SynthesisConfig(seed=9)
+        compiled = TacosSynthesizer(config, engine=NATIVE_ENGINE).synthesize(
+            topology, AllGather(16), 8 * _MB
+        )
+        with forced_py_kernel():
+            py_mode = TacosSynthesizer(config, engine=NATIVE_ENGINE).synthesize(
+                topology, AllGather(16), 8 * _MB
+            )
+        _assert_identical(py_mode, compiled)
