@@ -148,7 +148,7 @@ class TacclLikeSynthesizer:
         unsatisfied: Set[Tuple[int, int]] = set()
         postcondition = pattern.postcondition()
         for npu in range(num_npus):
-            for chunk in postcondition.get(npu, frozenset()) - frozenset(holdings[npu]):
+            for chunk in sorted(postcondition.get(npu, frozenset()) - frozenset(holdings[npu])):
                 unsatisfied.add((npu, chunk))
 
         sends: List[LogicalSend] = []

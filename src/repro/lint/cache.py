@@ -1,0 +1,149 @@
+"""Incremental per-module findings cache (``.lint-cache.json``).
+
+Warm runs skip re-analyzing modules whose *analysis inputs* are unchanged.
+The cache key per module is a single digest over:
+
+* the module's source bytes;
+* the effective configuration (every field except ``root`` — paths are
+  stored repo-relative, so the same tree hashes identically from any cwd);
+* the project-wide cross-module summaries (signatures, aliases,
+  set-returning facts) — the only channel through which *other* modules'
+  contents influence this module's findings, so a body-only edit elsewhere
+  leaves unrelated entries warm while an interface change goes cold;
+* an analyzer revision derived from the rule catalog and package version,
+  so upgrading the analyzer invalidates everything.
+
+Corrupt, unreadable, or version-mismatched cache files are treated as cold
+— the cache is a pure accelerator and never an input to correctness.
+Baseline partitioning is always recomputed; only raw per-module findings
+(and their suppressed partner list) are cached, so warm output is
+byte-identical to cold output by construction.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.lint.config import LintConfig
+from repro.lint.context import ProjectSummaries
+from repro.lint.findings import Finding
+
+__all__ = ["FindingsCache", "analysis_digest", "config_digest", "summaries_digest"]
+
+_CACHE_VERSION = 1
+
+
+def _sha256(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def analyzer_revision() -> str:
+    """Digest of the rule catalog + package version; bumps invalidate."""
+    from repro import __version__
+    from repro.lint.rules import ALL_RULES
+
+    catalog = json.dumps(sorted(ALL_RULES.items()), allow_nan=False)
+    return _sha256(f"{__version__}\x00{catalog}")
+
+
+def config_digest(config: LintConfig) -> str:
+    fields = asdict(config)
+    fields.pop("root", None)  # cwd-independent fingerprints
+    return _sha256(json.dumps(fields, sort_keys=True, default=str, allow_nan=False))
+
+
+def summaries_digest(summaries: ProjectSummaries) -> str:
+    payload = {
+        "functions": {
+            name: repr(info) for name, info in sorted(summaries.functions.items())
+        },
+        "aliases": dict(sorted(summaries.aliases.items())),
+        "set_returning": dict(sorted(summaries.set_returning.items())),
+    }
+    return _sha256(json.dumps(payload, sort_keys=True, allow_nan=False))
+
+
+def analysis_digest(
+    source: str,
+    config_hash: str,
+    summaries_hash: str,
+    disabled: Tuple[str, ...],
+) -> str:
+    parts = "\x00".join(
+        (analyzer_revision(), config_hash, summaries_hash, ",".join(disabled), source)
+    )
+    return _sha256(parts)
+
+
+class FindingsCache:
+    """Load/store per-module findings keyed by relative path + digest."""
+
+    def __init__(self, path: Optional[Path]) -> None:
+        self.path = path
+        self.hits = 0
+        self.misses = 0
+        self._entries: Dict[str, Dict[str, object]] = {}
+        self._dirty = False
+        if path is None:
+            return
+        try:
+            document = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return  # missing or corrupt: cold start
+        if (
+            not isinstance(document, dict)
+            or document.get("version") != _CACHE_VERSION
+            or not isinstance(document.get("modules"), dict)
+        ):
+            return
+        self._entries = document["modules"]
+
+    def get(
+        self, relative_path: str, digest: str
+    ) -> Optional[Tuple[List[Finding], List[Finding]]]:
+        entry = self._entries.get(relative_path)
+        if not isinstance(entry, dict) or entry.get("digest") != digest:
+            self.misses += 1
+            return None
+        try:
+            raw = [Finding.from_cache_dict(item) for item in entry["raw"]]
+            suppressed = [
+                Finding.from_cache_dict(item) for item in entry["suppressed"]
+            ]
+        except (KeyError, TypeError, ValueError, IndexError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return raw, suppressed
+
+    def put(
+        self,
+        relative_path: str,
+        digest: str,
+        raw: List[Finding],
+        suppressed: List[Finding],
+    ) -> None:
+        self._entries[relative_path] = {
+            "digest": digest,
+            "raw": [finding.to_cache_dict() for finding in raw],
+            "suppressed": [finding.to_cache_dict() for finding in suppressed],
+        }
+        self._dirty = True
+
+    def save(self) -> None:
+        """Best-effort atomic write; failures never fail the lint run."""
+        if self.path is None or not self._dirty:
+            return
+        document = {"version": _CACHE_VERSION, "modules": self._entries}
+        try:
+            tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+            tmp.write_text(
+                json.dumps(document, sort_keys=True, allow_nan=False) + "\n"
+            )
+            tmp.replace(self.path)
+        except OSError:
+            pass

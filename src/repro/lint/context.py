@@ -11,14 +11,21 @@ resolving a registered builder through package re-exports) go through
 from __future__ import annotations
 
 import ast
-from dataclasses import dataclass
+from dataclasses import dataclass, field as dataclass_field
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.lint.config import LintConfig
+from repro.lint.dataflow import SetTaint
 from repro.lint.findings import Finding
 
-__all__ = ["FunctionInfo", "ModuleContext", "ProjectIndex", "module_name_for"]
+__all__ = [
+    "FunctionInfo",
+    "ModuleContext",
+    "ProjectIndex",
+    "ProjectSummaries",
+    "module_name_for",
+]
 
 
 def module_name_for(path: Path, root: Path) -> str:
@@ -139,7 +146,13 @@ class ModuleContext:
             return self.lines[line - 1].strip()
         return ""
 
-    def finding(self, rule: str, node: ast.AST, message: str) -> Finding:
+    def finding(
+        self,
+        rule: str,
+        node: ast.AST,
+        message: str,
+        fix: Optional[Tuple[Tuple[int, int, int, int, str], ...]] = None,
+    ) -> Finding:
         line = getattr(node, "lineno", 1)
         col = getattr(node, "col_offset", 0) + 1
         return Finding(
@@ -150,6 +163,7 @@ class ModuleContext:
             message=message,
             snippet=self.snippet(line),
             module=self.module_name,
+            fix=fix,
         )
 
     # ------------------------------------------------------------------
@@ -200,13 +214,30 @@ def _function_info(qualified_name: str, args: ast.arguments) -> FunctionInfo:
     )
 
 
+@dataclass
+class ProjectSummaries:
+    """The picklable cross-module facts a worker needs to run every rule.
+
+    This is the entire surface rules consume from :class:`ProjectIndex`:
+    callable signatures, import alias chains, and the one-level
+    "returns a set" summaries the flow-sensitive D family follows across
+    module boundaries.  Plain dicts of frozen dataclasses and strings, so it
+    crosses the process boundary under the ``--workers`` fan-out.
+    """
+
+    functions: Dict[str, FunctionInfo] = dataclass_field(default_factory=dict)
+    aliases: Dict[str, str] = dataclass_field(default_factory=dict)
+    set_returning: Dict[str, str] = dataclass_field(default_factory=dict)
+
+
 class ProjectIndex:
     """Cross-module symbol table over every analyzed module.
 
     Resolution follows import re-export chains (``repro.topology.builders``
     re-exporting ``build_ring`` from ``.ring``) up to a small depth bound, so
     registry-contract rules can check builders registered in one module but
-    defined in another.
+    defined in another.  Worker processes rebuild an equivalent index from
+    the picklable :class:`ProjectSummaries` via :meth:`from_summaries`.
     """
 
     _MAX_HOPS = 8
@@ -215,28 +246,64 @@ class ProjectIndex:
         self.contexts = contexts
         self._functions: Dict[str, FunctionInfo] = {}
         self._aliases: Dict[str, str] = {}
+        self._set_returning: Dict[str, str] = {}
         for context in contexts.values():
+            taint = SetTaint(context.qualified_name)
             for name, node in context.module_defs.items():
                 qualified = f"{context.module_name}.{name}"
                 if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
                     self._functions[qualified] = _function_info(qualified, node.args)
+                    if taint.returns_set(node.body):
+                        self._set_returning[qualified] = (
+                            f"a set returned by {name}()"
+                        )
                 elif isinstance(node, ast.Assign) and isinstance(node.value, ast.Lambda):
                     self._functions[qualified] = _function_info(qualified, node.value.args)
             for local, target in context.imports.items():
                 self._aliases[f"{context.module_name}.{local}"] = target
 
-    def resolve_function(self, qualified_name: Optional[str]) -> Optional[FunctionInfo]:
-        """Follow alias chains from ``qualified_name`` to a known function."""
+    @classmethod
+    def from_summaries(cls, summaries: ProjectSummaries) -> "ProjectIndex":
+        index = cls.__new__(cls)
+        index.contexts = {}
+        index._functions = dict(summaries.functions)
+        index._aliases = dict(summaries.aliases)
+        index._set_returning = dict(summaries.set_returning)
+        return index
+
+    def summaries(self) -> ProjectSummaries:
+        return ProjectSummaries(
+            functions=dict(self._functions),
+            aliases=dict(self._aliases),
+            set_returning=dict(self._set_returning),
+        )
+
+    def _resolve_chain(self, qualified_name: Optional[str]) -> Optional[str]:
+        """Follow alias chains to a name present in any fact table."""
         seen = set()
         current = qualified_name
         for _ in range(self._MAX_HOPS):
             if current is None or current in seen:
                 return None
             seen.add(current)
-            if current in self._functions:
-                return self._functions[current]
+            if current in self._functions or current in self._set_returning:
+                return current
             if current in self._aliases:
                 current = self._aliases[current]
                 continue
             return None
         return None
+
+    def resolve_function(self, qualified_name: Optional[str]) -> Optional[FunctionInfo]:
+        """Follow alias chains from ``qualified_name`` to a known function."""
+        resolved = self._resolve_chain(qualified_name)
+        if resolved is None:
+            return None
+        return self._functions.get(resolved)
+
+    def set_origin(self, qualified_name: Optional[str]) -> Optional[str]:
+        """One-level call summary: origin description for set-returning defs."""
+        resolved = self._resolve_chain(qualified_name)
+        if resolved is None:
+            return None
+        return self._set_returning.get(resolved)

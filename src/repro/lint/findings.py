@@ -3,9 +3,14 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Tuple
+from typing import Any, Dict, Mapping, Optional, Tuple
 
-__all__ = ["Finding"]
+__all__ = ["Finding", "FixEdit"]
+
+#: One autofix edit: (start_line, start_col, end_line, end_col, replacement)
+#: with ast conventions — 1-based lines, 0-based UTF-8 byte columns.  A pure
+#: insertion has start == end.
+FixEdit = Tuple[int, int, int, int, str]
 
 
 @dataclass(frozen=True)
@@ -15,6 +20,8 @@ class Finding:
     ``snippet`` is the stripped source line; the baseline matches findings by
     ``(rule, path, snippet)`` rather than line number, so unrelated edits that
     shift a grandfathered finding up or down the file do not invalidate it.
+    ``fix`` optionally carries machine-applicable edits for ``--fix``; it is
+    deliberately excluded from the fingerprint.
     """
 
     rule: str
@@ -24,6 +31,7 @@ class Finding:
     message: str
     snippet: str = ""
     module: str = ""
+    fix: Optional[Tuple[FixEdit, ...]] = None
 
     @property
     def family(self) -> str:
@@ -43,7 +51,35 @@ class Finding:
             "message": self.message,
             "snippet": self.snippet,
             "module": self.module,
+            "fixable": self.fix is not None,
         }
+
+    def to_cache_dict(self) -> Dict[str, Any]:
+        """Lossless serialization for the incremental findings cache."""
+        entry = self.to_dict()
+        del entry["fixable"]
+        if self.fix is not None:
+            entry["fix"] = [list(edit) for edit in self.fix]
+        return entry
+
+    @classmethod
+    def from_cache_dict(cls, entry: Mapping[str, Any]) -> "Finding":
+        fix: Optional[Tuple[FixEdit, ...]] = None
+        if entry.get("fix") is not None:
+            fix = tuple(
+                (int(edit[0]), int(edit[1]), int(edit[2]), int(edit[3]), str(edit[4]))
+                for edit in entry["fix"]
+            )
+        return cls(
+            rule=str(entry["rule"]),
+            path=str(entry["path"]),
+            line=int(entry["line"]),
+            col=int(entry["col"]),
+            message=str(entry["message"]),
+            snippet=str(entry.get("snippet", "")),
+            module=str(entry.get("module", "")),
+            fix=fix,
+        )
 
     def render(self) -> str:
         return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"

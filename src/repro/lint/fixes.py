@@ -1,0 +1,83 @@
+"""``--fix``: apply the mechanical autofixes findings carry.
+
+A fix is a tuple of byte-precise edits ``(start_line, start_col, end_line,
+end_col, replacement)`` in ast conventions (1-based lines, 0-based UTF-8
+byte columns — ``col_offset`` counts bytes, so edits are applied on the
+encoded source, never on the decoded string).  Edits are applied bottom-up
+per file so earlier edits never shift later spans; overlapping edits are
+skipped conservatively (the second run reports whatever remains).
+
+Only rules whose fix is semantics-preserving carry one today:
+
+* J401 — append ``, allow_nan=False`` to a ``json.dump(s)`` call that made
+  no ``allow_nan`` decision (strict artifacts are the repo default).
+* D101 — replace a redundant ``X.keys()`` sink with ``X`` (iterating a dict
+  and its key view are the same traversal, minus the misleading view).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple
+
+from repro.lint.findings import Finding, FixEdit
+
+__all__ = ["apply_fixes"]
+
+
+def _line_offsets(data: bytes) -> List[int]:
+    offsets = [0]
+    for index, byte in enumerate(data):
+        if byte == 0x0A:  # \n
+            offsets.append(index + 1)
+    return offsets
+
+
+def _absolute_span(
+    offsets: List[int], edit: FixEdit
+) -> Tuple[int, int, bytes]:
+    start_line, start_col, end_line, end_col, replacement = edit
+    start = offsets[start_line - 1] + start_col
+    end = offsets[end_line - 1] + end_col
+    return start, end, replacement.encode("utf-8")
+
+
+def _apply_to_source(source: bytes, edits: List[FixEdit]) -> Tuple[bytes, int]:
+    offsets = _line_offsets(source)
+    spans = sorted(
+        (_absolute_span(offsets, edit) for edit in edits),
+        key=lambda span: (span[0], span[1]),
+        reverse=True,
+    )
+    applied = 0
+    previous_start = len(source) + 1
+    for start, end, replacement in spans:
+        if end > previous_start or start > end:
+            continue  # overlapping or malformed edit: leave for the re-run
+        source = source[:start] + replacement + source[end:]
+        previous_start = start
+        applied += 1
+    return source, applied
+
+
+def apply_fixes(findings: Iterable[Finding], root: Path) -> Dict[str, int]:
+    """Apply every carried fix, grouped per file; returns path -> edit count.
+
+    Files are written back only when at least one edit applied.  Callers
+    re-run the analysis afterwards: the content-hash cache invalidates the
+    touched modules automatically, and anything a skipped overlap left
+    behind is reported again.
+    """
+    by_path: Dict[str, List[FixEdit]] = {}
+    for finding in findings:
+        if finding.fix:
+            by_path.setdefault(finding.path, []).extend(finding.fix)
+    applied: Dict[str, int] = {}
+    for relative_path in sorted(by_path):
+        target = root / relative_path
+        source = target.read_bytes()
+        fixed, count = _apply_to_source(source, by_path[relative_path])
+        if count and fixed != source:
+            target.write_bytes(fixed)
+            applied[relative_path] = count
+    return applied

@@ -16,6 +16,7 @@ from repro.lint.rules import (
     artifacts,
     columnar,
     determinism,
+    kernel_contract,
     process_safety,
     registry_contracts,
 )
@@ -29,12 +30,14 @@ FAMILIES: List[Tuple[str, str, object]] = [
     ("C", "columnar hot path", columnar),
     ("J", "artifact hygiene", artifacts),
     ("R", "registry contracts", registry_contracts),
+    ("K", "kernel contract", kernel_contract),
 ]
 
 #: Meta rules emitted by the suppression parser itself.
 _META_RULES: Dict[str, str] = {
     "S001": "suppression directive is missing its required `-- reason`",
     "S002": "suppression directive names an unknown rule code",
+    "S003": "disable-scope directive outside any def/class body",
     "E000": "file could not be parsed as Python",
 }
 

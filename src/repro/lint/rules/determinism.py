@@ -10,6 +10,15 @@ that have already broken it once each:
   beta*size`` vs ``dist + (alpha + beta*size)`` Dijkstra tie-break flip);
 * unseeded module-level RNG and wall-clock reads, which make a "pure"
   synthesis function depend on interpreter-global or machine state.
+
+D101 is flow-sensitive (PR 8): set-origin taint from
+:class:`~repro.lint.dataflow.SetTaint` follows assignments, set-operator
+expressions, comprehensions, and — via the project index's one-level call
+summaries — functions that return sets, into order-sensitive sinks.
+Reassigning a name to a non-set kills the taint, as does passing it through
+``sorted(...)`` (``sorted`` is not a sink), so the dominant safe idiom
+``pool = set(items); return sorted(pool)`` stays clean while
+``q = p`` aliasing of a set no longer escapes the old syntactic match.
 """
 
 from __future__ import annotations
@@ -18,7 +27,8 @@ import ast
 from typing import Dict, Iterator, List, Optional, Set
 
 from repro.lint.context import ModuleContext, ProjectIndex
-from repro.lint.findings import Finding
+from repro.lint.dataflow import CFG, SetTaint, SinkHit, assigned_names
+from repro.lint.findings import Finding, FixEdit
 
 __all__ = ["RULES", "check"]
 
@@ -56,124 +66,84 @@ _NP_RANDOM_CONSTRUCTORS = {
     "BitGenerator",
 }
 
-_ORDER_SENSITIVE_WRAPPERS = {"list", "tuple", "enumerate"}
-
 
 def check(context: ModuleContext, index: ProjectIndex) -> Iterator[Finding]:
-    yield from _check_set_iteration(context)
+    yield from _check_set_iteration(context, index)
     yield from _check_rng(context)
     if "deterministic" in context.tags:
         yield from _check_wall_clock(context)
-        yield from _check_float_association(context)
+        if not context.config.is_kernel_module(context.module_name):
+            # Inside kernel modules K603 owns association hazards (the
+            # kernel-vs-flat-engine pairing policy is the stricter check).
+            yield from _check_float_association(context)
 
 
 # ----------------------------------------------------------------------
-# D101 — unordered iteration into order-sensitive sinks
+# D101 — unordered iteration into order-sensitive sinks (flow-sensitive)
 # ----------------------------------------------------------------------
-def _is_set_expression(node: ast.AST, set_vars: Set[str]) -> Optional[str]:
-    """Classify ``node`` as an unordered iterable; return a description."""
-    if isinstance(node, (ast.Set, ast.SetComp)):
-        return "a set"
-    if isinstance(node, ast.Call):
-        func = node.func
-        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
-            return f"a {func.id}()"
-        if isinstance(func, ast.Attribute) and func.attr == "keys" and not node.args:
-            return "a .keys() view"
-    if isinstance(node, ast.Name) and node.id in set_vars:
-        return f"the set {node.id!r}"
-    return None
+def _scope_parameters(scope: ast.AST) -> Set[str]:
+    if not isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return set()
+    args = scope.args
+    names = {arg.arg for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs)}
+    if args.vararg is not None:
+        names.add(args.vararg.arg)
+    if args.kwarg is not None:
+        names.add(args.kwarg.arg)
+    return names
 
 
-class _ScopeSets(ast.NodeVisitor):
-    """Collect names assigned set-valued expressions, per function scope.
-
-    Flow-insensitive and scope-local: a name counts as a set inside the
-    scope where it was assigned ``set(...)``/``{...}``/a set comprehension,
-    and nested scopes are analyzed independently (closures reading an outer
-    set variable are out of scope for this heuristic).
-    """
-
-    def __init__(self) -> None:
-        self.set_vars: Set[str] = set()
-
-    def _visit_body_only(self, node: ast.AST) -> None:
-        pass  # do not descend into nested scopes
-
-    visit_FunctionDef = _visit_body_only
-    visit_AsyncFunctionDef = _visit_body_only
-    visit_Lambda = _visit_body_only
-    visit_ClassDef = _visit_body_only
-
-    def visit_Assign(self, node: ast.Assign) -> None:
-        if _is_set_expression(node.value, set()) is not None:
-            for target in node.targets:
-                if isinstance(target, ast.Name):
-                    self.set_vars.add(target.id)
-        self.generic_visit(node)
-
-    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
-        if (
-            node.value is not None
-            and _is_set_expression(node.value, set()) is not None
-            and isinstance(node.target, ast.Name)
-        ):
-            self.set_vars.add(node.target.id)
-        self.generic_visit(node)
+def _keys_removal_fix(
+    context: ModuleContext, call: ast.Call
+) -> Optional[tuple]:
+    """Edit replacing ``X.keys()`` with ``X`` (the redundant-view autofix)."""
+    receiver = call.func.value  # type: ignore[attr-defined]
+    receiver_text = ast.get_source_segment(context.source, receiver)
+    end_lineno = getattr(call, "end_lineno", None)
+    end_col = getattr(call, "end_col_offset", None)
+    if receiver_text is None or end_lineno is None or end_col is None:
+        return None
+    edit: FixEdit = (call.lineno, call.col_offset, end_lineno, end_col, receiver_text)
+    return (edit,)
 
 
-def _scope_set_vars(scope: ast.AST) -> Set[str]:
-    collector = _ScopeSets()
-    for child in ast.iter_child_nodes(scope):
-        collector.visit(child)
-    return collector.set_vars
+def _sink_finding(context: ModuleContext, hit: SinkHit) -> Finding:
+    fix = None
+    if hit.is_keys_call and isinstance(hit.expr, ast.Call):
+        fix = _keys_removal_fix(context, hit.expr)
+    return context.finding(
+        "D101",
+        hit.expr,
+        f"iterating {hit.origin} feeds an order-sensitive sink; "
+        "wrap it in sorted(...) (or keep an explicitly ordered "
+        "structure) so the traversal order is deterministic",
+        fix=fix,
+    )
 
 
-def _iter_scope_bodies(tree: ast.Module) -> Iterator[ast.AST]:
-    yield tree
-    for node in ast.walk(tree):
-        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-            yield node
+def _check_set_iteration(
+    context: ModuleContext, index: ProjectIndex
+) -> Iterator[Finding]:
+    taint = SetTaint(context.qualified_name, call_origin=index.set_origin)
+    # Module scope first; its exit state seeds function scopes so that a
+    # module-level `PENDING = set()` tracked into a function still reports.
+    cfg, states = taint.analyze(context.tree.body, name=context.module_name)
+    for hit in taint.iter_sinks(cfg, states):
+        yield _sink_finding(context, hit)
+    module_seed = states[CFG.EXIT] or {}
 
-
-def _check_set_iteration(context: ModuleContext) -> Iterator[Finding]:
-    for scope in _iter_scope_bodies(context.tree):
-        set_vars = _scope_set_vars(scope)
-        for node in _walk_scope(scope):
-            sinks: List[ast.AST] = []
-            if isinstance(node, (ast.For, ast.AsyncFor)):
-                sinks.append(node.iter)
-            elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
-                sinks.extend(generator.iter for generator in node.generators)
-            elif (
-                isinstance(node, ast.Call)
-                and isinstance(node.func, ast.Name)
-                and node.func.id in _ORDER_SENSITIVE_WRAPPERS
-                and node.args
-            ):
-                sinks.append(node.args[0])
-            for sink in sinks:
-                described = _is_set_expression(sink, set_vars)
-                if described is None:
-                    continue
-                yield context.finding(
-                    "D101",
-                    sink,
-                    f"iterating {described} feeds an order-sensitive sink; "
-                    "wrap it in sorted(...) (or keep an explicitly ordered "
-                    "structure) so the traversal order is deterministic",
-                )
-
-
-def _walk_scope(scope: ast.AST) -> Iterator[ast.AST]:
-    """Walk a scope without descending into nested function scopes."""
-    stack: List[ast.AST] = list(ast.iter_child_nodes(scope))
-    while stack:
-        node = stack.pop()
-        yield node
-        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)):
+    for node in ast.walk(context.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
             continue
-        stack.extend(ast.iter_child_nodes(node))
+        shadowed = assigned_names(node.body) | _scope_parameters(node)
+        seed = {
+            name: origins
+            for name, origins in module_seed.items()
+            if name not in shadowed
+        }
+        scope_cfg, scope_states = taint.analyze(node.body, seed=seed, name=node.name)
+        for hit in taint.iter_sinks(scope_cfg, scope_states):
+            yield _sink_finding(context, hit)
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,424 @@
+"""K family — the native kernel tier's statically checkable contract.
+
+PR 7's compiled kernels (``src/repro/kernels/``) are only correct under a
+contract documented in ``docs/determinism.md`` and enforced dynamically by
+the equivalence suites — but the default CI matrix is numba-free, so a
+kernel drifting outside the compilable subset (or reordering an RNG draw)
+would not fail until the ``native`` job, if at all.  These rules encode the
+contract over the CFG/dataflow layer so it breaks in the cheap lint job:
+
+* K601 — a kernel must decide to delegate to the flat engine *before* its
+  first RNG draw (including ``mt_export``: exporting commits to the native
+  stream).  A delegation call reachable after a draw means the two engines
+  consume different MT19937 streams and silently diverge.
+* K602 — ``@njit`` bodies must stay inside the numba nopython whitelist:
+  no try/except, no nested functions or lambdas (closures), no
+  ``*args``/``**kwargs``, no Python-object containers (dict/set literals,
+  comprehensions, or constructors), no ``with``, no ``global``/``nonlocal``,
+  and no reads of enclosing-scope state that is neither a parameter, a
+  local, a module-level definition, nor a builtin.
+* K603 — float accumulation inside ``@njit`` bodies must keep the flat
+  engine's pairwise parenthesization policy: a 3+-term unparenthesized
+  ``a + b + c`` over cost-like operands associates left-to-right and one
+  ulp of difference against the flat twin flips tie-breaks.
+* K604 — every ``mt_export`` must be matched by an ``mt_restore`` on every
+  non-delegating exit path, or the host RNG object and the exported key
+  desynchronize for all subsequent draws.
+
+The family is scoped to ``[tool.repro-lint] kernel-modules`` (default
+``repro.kernels.*``); delegation entry points and draw names are
+configurable (``kernel-delegates`` / ``rng-draw-names``).
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from typing import Dict, FrozenSet, Iterator, List, Optional
+
+from repro.lint.context import ModuleContext, ProjectIndex
+from repro.lint.dataflow import (
+    CFGNode,
+    State,
+    build_cfg,
+    node_expressions,
+    run_forward,
+)
+from repro.lint.findings import Finding
+from repro.lint.rules.determinism import _add_chain_leaves, _is_cost_term
+
+__all__ = ["RULES", "check"]
+
+RULES: Dict[str, str] = {
+    "K601": "kernel delegation to the flat engine is reachable after an RNG draw",
+    "K602": "@njit body uses a construct outside the numba nopython whitelist",
+    "K603": "unparenthesized 3+-term float accumulation inside an @njit kernel",
+    "K604": "mt_export without mt_restore on a non-delegating exit path",
+}
+
+#: RNG-consuming method names on generator-like receivers (``rng.shuffle``,
+#: ``permuter.permutation``); receiver-independent by design, since the
+#: receiver is usually the product of another call.
+_RNG_DRAW_METHODS = frozenset(
+    {
+        "random",
+        "randrange",
+        "randint",
+        "shuffle",
+        "choice",
+        "choices",
+        "sample",
+        "getrandbits",
+        "permutation",
+        "integers",
+        "uniform",
+        "normal",
+    }
+)
+
+_BUILTIN_NAMES = frozenset(dir(builtins))
+
+#: Synthetic dataflow facts.
+_DRAWN = "<rng-drawn>"
+_EXPORTED = "<mt-exported>"
+_FACT = frozenset({"yes"})
+
+
+def check(context: ModuleContext, index: ProjectIndex) -> Iterator[Finding]:
+    if not context.config.is_kernel_module(context.module_name):
+        return
+    classifier = _CallClassifier(context)
+    for node in ast.walk(context.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        njit = _njit_decorator(node)
+        if njit:
+            yield from _check_njit_whitelist(context, node)
+            yield from _check_float_association(context, node)
+        yield from _check_stream_contract(context, node, classifier)
+
+
+# ----------------------------------------------------------------------
+# Call classification shared by K601/K604
+# ----------------------------------------------------------------------
+class _CallClassifier:
+    """Classify calls as draw / export / restore / delegate (or None)."""
+
+    def __init__(self, context: ModuleContext) -> None:
+        self.context = context
+        config = context.config
+        self.delegates = frozenset(config.kernel_delegates)
+        self.delegate_basenames = frozenset(
+            name.rpartition(".")[2] for name in config.kernel_delegates
+        )
+        self.draw_names = frozenset(config.rng_draw_names)
+
+    def kind(self, call: ast.Call) -> Optional[str]:
+        func = call.func
+        name: Optional[str] = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        if name == "mt_restore":
+            return "restore"
+        qualified = self.context.qualified_name(func)
+        if qualified in self.delegates or (
+            name is not None and name in self.delegate_basenames
+        ):
+            return "delegate"
+        if name == "mt_export":
+            return "export"
+        if name is not None and name in self.draw_names:
+            return "draw"
+        if isinstance(func, ast.Attribute) and func.attr in _RNG_DRAW_METHODS:
+            return "draw"
+        return None
+
+
+def _node_calls(node: CFGNode) -> Iterator[ast.Call]:
+    """Calls owned by a CFG node, in source order, nested scopes excluded."""
+    for expr in node_expressions(node):
+        stack: List[ast.expr] = [expr]
+        collected: List[ast.Call] = []
+        while stack:
+            current = stack.pop()
+            if isinstance(current, ast.Lambda):
+                continue
+            if isinstance(current, ast.Call):
+                collected.append(current)
+            stack.extend(
+                child
+                for child in ast.iter_child_nodes(current)
+                if isinstance(child, ast.expr)
+            )
+        collected.sort(key=lambda call: (call.lineno, call.col_offset))
+        yield from collected
+
+
+# ----------------------------------------------------------------------
+# K601 / K604 — RNG stream discipline via forward dataflow
+# ----------------------------------------------------------------------
+def _check_stream_contract(
+    context: ModuleContext,
+    scope: ast.AST,
+    classifier: _CallClassifier,
+) -> Iterator[Finding]:
+    kinds_present = set()
+    for node in ast.walk(scope):
+        if isinstance(node, ast.Call):
+            kind = classifier.kind(node)
+            if kind is not None:
+                kinds_present.add(kind)
+    check_delegation = "delegate" in kinds_present
+    check_pairing = "export" in kinds_present
+    if not check_delegation and not check_pairing:
+        return
+
+    def transfer(node: CFGNode, state: State) -> State:
+        new = state
+        for call in _node_calls(node):
+            kind = classifier.kind(call)
+            if kind in ("draw", "export"):
+                if new is state:
+                    new = dict(state)
+                new[_DRAWN] = _FACT
+            if kind == "export":
+                if new is state:
+                    new = dict(state)
+                new[_EXPORTED] = _FACT
+            elif kind == "restore":
+                if new is state:
+                    new = dict(state)
+                new.pop(_EXPORTED, None)
+        return new
+
+    cfg = build_cfg(scope.body, getattr(scope, "name", "<scope>"))  # type: ignore[attr-defined]
+    in_states = run_forward(cfg, transfer)
+
+    if check_delegation:
+        for node in cfg.nodes:
+            state = in_states[node.index]
+            if state is None or _DRAWN not in state:
+                continue
+            for call in _node_calls(node):
+                if classifier.kind(call) == "delegate":
+                    yield context.finding(
+                        "K601",
+                        call,
+                        "delegation to the flat engine is reachable after an "
+                        "RNG draw/export on this path; the flat engine would "
+                        "re-consume draws the kernel already took, desyncing "
+                        "the MT19937 streams — decide to delegate before the "
+                        "first draw",
+                    )
+
+    if check_pairing:
+        for index in cfg.return_nodes:
+            node = cfg.nodes[index]
+            state = in_states[index]
+            if state is None or _EXPORTED not in state:
+                continue
+            value = node.ast_node.value  # type: ignore[union-attr]
+            if isinstance(value, ast.Call) and classifier.kind(value) == "delegate":
+                continue  # delegating exits are K601's concern
+            yield context.finding(
+                "K604",
+                node.ast_node,  # type: ignore[arg-type]
+                "mt_export state reaches this return without mt_restore; the "
+                "host rng and the exported key desynchronize for every "
+                "subsequent draw — restore on all non-delegating exit paths",
+            )
+        for index in cfg.falloff_nodes:
+            node = cfg.nodes[index]
+            if node.kind in ("entry", "exit"):
+                continue
+            state = in_states[index]
+            if state is None:
+                continue
+            out = transfer(node, state)
+            if _EXPORTED in out:
+                yield context.finding(
+                    "K604",
+                    node.ast_node or scope,
+                    "mt_export state reaches the implicit end of this function "
+                    "without mt_restore; restore on all exit paths",
+                )
+
+
+# ----------------------------------------------------------------------
+# K602 — the numba nopython whitelist
+# ----------------------------------------------------------------------
+def _njit_decorator(node: ast.AST) -> bool:
+    for decorator in getattr(node, "decorator_list", []):
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        if isinstance(target, ast.Name) and target.id == "njit":
+            return True
+        if isinstance(target, ast.Attribute) and target.attr == "njit":
+            return True
+    return False
+
+
+def _check_njit_whitelist(
+    context: ModuleContext, func: ast.FunctionDef
+) -> Iterator[Finding]:
+    prefix = f"@njit kernel {func.name!r}"
+    args = func.args
+    if args.vararg is not None:
+        yield context.finding(
+            "K602",
+            func,
+            f"{prefix} takes *{args.vararg.arg}; numba nopython kernels need "
+            "a fixed positional signature",
+        )
+    if args.kwarg is not None:
+        yield context.finding(
+            "K602",
+            func,
+            f"{prefix} takes **{args.kwarg.arg}; numba nopython kernels need "
+            "a fixed positional signature",
+        )
+    yield from _flag_constructs(context, func, prefix)
+    yield from _flag_enclosing_reads(context, func, prefix)
+
+
+def _flag_constructs(
+    context: ModuleContext, func: ast.FunctionDef, prefix: str
+) -> Iterator[Finding]:
+    stack: List[ast.AST] = list(func.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            label = getattr(node, "name", "<lambda>")
+            yield context.finding(
+                "K602",
+                node,
+                f"{prefix} defines nested callable {label!r}; closures are "
+                "outside the nopython whitelist — hoist it to module level",
+            )
+            continue  # the nested body is its own (already flagged) problem
+        if isinstance(node, ast.ClassDef):
+            yield context.finding(
+                "K602",
+                node,
+                f"{prefix} defines a class; classes are outside the nopython "
+                "whitelist",
+            )
+            continue
+        construct: Optional[str] = None
+        if isinstance(node, ast.Try):
+            construct = "try/except"
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            construct = "a with block"
+        elif isinstance(node, (ast.Dict, ast.DictComp)):
+            construct = "a dict (Python-object container)"
+        elif isinstance(node, (ast.Set, ast.SetComp)):
+            construct = "a set (Python-object container)"
+        elif isinstance(node, (ast.Global, ast.Nonlocal)):
+            construct = f"{type(node).__name__.lower()} (mutable enclosing state)"
+        elif isinstance(node, (ast.Await, ast.AsyncFor)):
+            construct = "async constructs"
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ("dict", "set", "frozenset")
+        ):
+            construct = f"a {node.func.id}() container"
+        if construct is not None:
+            yield context.finding(
+                "K602",
+                node,
+                f"{prefix} uses {construct}; outside the numba nopython "
+                "whitelist — the kernel would silently fall back (or fail to "
+                "compile) on the native tier",
+            )
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _flag_enclosing_reads(
+    context: ModuleContext, func: ast.FunctionDef, prefix: str
+) -> Iterator[Finding]:
+    args = func.args
+    params = {arg.arg for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs)}
+    if args.vararg is not None:
+        params.add(args.vararg.arg)
+    if args.kwarg is not None:
+        params.add(args.kwarg.arg)
+    known: FrozenSet[str] = (
+        frozenset(params)
+        | _collect_all_stores(func.body)
+        | frozenset(context.module_defs)
+        | frozenset(context.imports)
+        | _BUILTIN_NAMES
+    )
+    reported = set()
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Name)
+            and isinstance(node.ctx, ast.Load)
+            and node.id not in known
+            and node.id not in reported
+        ):
+            reported.add(node.id)
+            yield context.finding(
+                "K602",
+                node,
+                f"{prefix} reads {node.id!r} from an enclosing scope; closures "
+                "over mutable state are outside the nopython whitelist — pass "
+                "it as a parameter",
+            )
+
+
+def _collect_all_stores(body: List[ast.stmt]) -> FrozenSet[str]:
+    """Every stored name anywhere under ``body`` (incl. nested scopes).
+
+    Over-collection is deliberate: nested defs are flagged separately, and
+    counting their locals avoids double-reporting their names as
+    enclosing-scope reads.
+    """
+    stored = set()
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Name) and isinstance(node.ctx, (ast.Store, ast.Del)):
+                stored.add(node.id)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                stored.add(node.name)
+            elif isinstance(node, ast.ExceptHandler) and node.name:
+                stored.add(node.name)
+            elif isinstance(node, ast.arg):
+                stored.add(node.arg)
+    return frozenset(stored)
+
+
+# ----------------------------------------------------------------------
+# K603 — float association inside @njit bodies
+# ----------------------------------------------------------------------
+def _check_float_association(
+    context: ModuleContext, func: ast.FunctionDef
+) -> Iterator[Finding]:
+    cost_terms = set(context.config.cost_terms)
+    parents: Dict[int, ast.AST] = {}
+    for node in ast.walk(func):
+        for child in ast.iter_child_nodes(node):
+            parents[id(child)] = node
+    for node in ast.walk(func):
+        if not (isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add)):
+            continue
+        parent = parents.get(id(node))
+        if isinstance(parent, ast.BinOp) and isinstance(parent.op, ast.Add):
+            continue  # only the outermost chain node reports
+        leaves: List[ast.AST] = []
+        _add_chain_leaves(node, leaves)
+        if len(leaves) < 3:
+            continue
+        if not any(_is_cost_term(leaf, cost_terms) for leaf in leaves):
+            continue
+        yield context.finding(
+            "K603",
+            node,
+            f"{len(leaves)}-term float addition inside @njit kernel "
+            f"{func.name!r} associates left-to-right; the flat engine "
+            "accumulates pairwise, so an unparenthesized chain diverges by "
+            "one ulp and breaks byte-identical equivalence — parenthesize "
+            "to match the flat engine's pairing",
+        )

@@ -1,0 +1,47 @@
+"""Known-bad kernel fixtures: every K (kernel-contract) rule fires.
+
+Parsed, never imported — the names only have to look like the real kernel
+tier (``run_flat_round`` is the fixture config's delegation entry point).
+"""
+
+from numba import njit
+
+from pkg.flat import run_flat_round
+
+
+def draws_then_delegates(rng, table):
+    seed = mt_genrand(rng)  # the first draw commits to the native stream
+    if seed % 2:
+        return run_flat_round(table)  # K601: delegate reachable after a draw
+    return seed
+
+
+def exports_without_restore(rng, table):
+    key = mt_export(rng)
+    if table:
+        return key  # K604: exported state reaches a non-delegating return
+    mt_restore(rng, key)
+    return None
+
+
+@njit(cache=True)
+def outside_whitelist(values):
+    try:  # K602: try/except
+        lookup = {0: 1}  # K602: dict container
+    except KeyError:
+        lookup = None
+
+    def helper(value):  # K602: nested callable (closure)
+        return value
+
+    return helper(values) + MAGIC_TABLE  # K602: enclosing-scope read
+
+
+@njit(cache=True)
+def variadic_kernel(*rows, **options):  # K602 x2: variadic signature
+    return len(rows) + len(options)
+
+
+@njit(cache=True)
+def long_cost_chain(alpha, beta, gamma):
+    return alpha + beta + gamma  # K603: 3-term chain over cost-like operands

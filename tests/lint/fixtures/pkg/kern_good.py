@@ -1,0 +1,28 @@
+"""Clean twins for the kernel-contract family: the contract, followed."""
+
+from numba import njit
+
+from pkg.flat import run_flat_round
+
+_FLAT_CUTOVER = 64
+
+
+def delegates_before_drawing(rng, table):
+    if len(table) < _FLAT_CUTOVER:
+        return run_flat_round(table)  # the delegation decision precedes draws
+    return mt_genrand(rng)
+
+
+def exports_and_restores(rng, table):
+    key = mt_export(rng)
+    total = poll(table, key)
+    mt_restore(rng, key)  # every non-delegating exit restores first
+    return total
+
+
+@njit(cache=True)
+def pairwise_kernel(alpha, beta, payload):
+    base = alpha + beta  # two-term additions only: matches the flat pairing
+    for index in range(payload.shape[0]):
+        base = base + payload[index]
+    return base

@@ -1,0 +1,29 @@
+"""Flow-sensitive D101 true positives: taint reaches sinks through bindings."""
+
+
+def local_set_factory():
+    return {"a", "b"}  # summarized: a set-returning function
+
+
+def iterates_alias(items):
+    pool = set(items)
+    alias = pool
+    for item in alias:  # D101: alias of a set()
+        print(item)
+
+
+def iterates_keys_view(table):
+    for key in table.keys():  # D101 (autofixable): redundant .keys() view
+        print(key)
+
+
+def iterates_summary_call():
+    for item in local_set_factory():  # D101: one-level call summary
+        print(item)
+
+
+def materializes_union(left, right):
+    combined = left | right  # untainted: plain-name operands
+    chosen = {1} | set(right)
+    ordered = list(chosen)  # D101: list() over a set union
+    return combined, ordered

@@ -1,0 +1,23 @@
+"""Flow-sensitive D101 true negatives: kills, sanitizers, benign sinks."""
+
+
+def sorted_before_iteration(items):
+    pool = set(items)
+    for item in sorted(pool):  # sanitized: sorted() defines the order
+        print(item)
+
+
+def rebinding_kills_taint(items, rows):
+    pool = set(items)
+    pool = list(rows)  # rebinding to an ordered value kills the taint
+    for item in pool:
+        print(item)
+
+
+def set_to_set_is_order_free(items):
+    return {item for item in set(items)}  # SetComp generators are not sinks
+
+
+def dict_iteration_is_insertion_ordered(table):
+    for key in table:  # plain dict iteration: insertion order, no view
+        print(key)

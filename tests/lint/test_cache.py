@@ -1,0 +1,89 @@
+"""Incremental-cache semantics: warm == cold, byte for byte, or re-analyze."""
+
+import json
+
+from repro.lint.config import load_config
+from repro.lint.runner import run_lint
+
+
+def _project(tmp_path):
+    (tmp_path / "pyproject.toml").write_text('[tool.repro-lint]\npaths = ["pkg"]\n')
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "alpha.py").write_text("def factory():\n    return {1, 2}\n")
+    (pkg / "beta.py").write_text(
+        "from pkg.alpha import factory\n"
+        "\n"
+        "\n"
+        "def use():\n"
+        "    for item in factory():\n"
+        "        print(item)\n"
+    )
+    return load_config(tmp_path / "pyproject.toml")
+
+
+class TestWarmRuns:
+    def test_warm_report_is_identical_to_cold(self, tmp_path):
+        config = _project(tmp_path)
+        cold = run_lint(config, use_cache=True)
+        assert (cold.cache_hits, cold.cache_misses) == (0, 2)
+        assert (tmp_path / ".lint-cache.json").is_file()
+        warm = run_lint(config, use_cache=True)
+        assert (warm.cache_hits, warm.cache_misses) == (2, 0)
+        assert json.dumps(warm.to_dict(), sort_keys=True) == json.dumps(
+            cold.to_dict(), sort_keys=True
+        )
+        # The cross-module D101 actually fired and was served from cache.
+        assert [f.rule for f in warm.new] == ["D101"]
+
+    def test_cache_report_never_serializes_cache_stats(self, tmp_path):
+        config = _project(tmp_path)
+        document = run_lint(config, use_cache=True).to_dict()
+        assert "cache" not in json.dumps(document)
+
+    def test_no_cache_mode_writes_nothing(self, tmp_path):
+        config = _project(tmp_path)
+        run_lint(config, use_cache=False)
+        assert not (tmp_path / ".lint-cache.json").exists()
+
+
+class TestInvalidation:
+    def test_corrupt_cache_is_a_cold_start(self, tmp_path):
+        config = _project(tmp_path)
+        cold = run_lint(config, use_cache=True)
+        (tmp_path / ".lint-cache.json").write_text("{definitely not json")
+        recovered = run_lint(config, use_cache=True)
+        assert (recovered.cache_hits, recovered.cache_misses) == (0, 2)
+        assert [f.fingerprint() for f in recovered.new] == [
+            f.fingerprint() for f in cold.new
+        ]
+
+    def test_body_edit_reanalyzes_only_that_module(self, tmp_path):
+        config = _project(tmp_path)
+        run_lint(config, use_cache=True)
+        beta = tmp_path / "pkg" / "beta.py"
+        beta.write_text("# shifted\n" + beta.read_text())
+        warm = run_lint(config, use_cache=True)
+        # alpha's summaries are unchanged, so only beta goes cold.
+        assert (warm.cache_hits, warm.cache_misses) == (1, 1)
+        assert [f.rule for f in warm.new] == ["D101"]
+
+    def test_interface_change_invalidates_dependents(self, tmp_path):
+        config = _project(tmp_path)
+        first = run_lint(config, use_cache=True)
+        assert [f.rule for f in first.new] == ["D101"]
+        # factory() no longer returns a set: the summaries digest changes,
+        # so every module is re-analyzed and beta's finding disappears.
+        (tmp_path / "pkg" / "alpha.py").write_text(
+            "def factory():\n    return [1, 2]\n"
+        )
+        second = run_lint(config, use_cache=True)
+        assert second.cache_hits == 0 and second.cache_misses == 2
+        assert second.new == []
+
+    def test_disable_set_is_part_of_the_key(self, tmp_path):
+        config = _project(tmp_path)
+        run_lint(config, use_cache=True)
+        disabled = run_lint(config, disable=("D101",), use_cache=True)
+        assert disabled.cache_misses == 2  # different analysis inputs
+        assert disabled.new == []

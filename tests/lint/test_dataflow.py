@@ -1,0 +1,208 @@
+"""Unit tests for the CFG builder and the set-origin taint analysis."""
+
+import ast
+import textwrap
+
+from repro.lint.config import LintConfig
+from repro.lint.dataflow import SetTaint, assigned_names, build_cfg
+from repro.lint.runner import run_lint
+
+
+def _cfg(source):
+    return build_cfg(ast.parse(textwrap.dedent(source)).body)
+
+
+def _kinds(cfg):
+    return [node.kind for node in cfg.nodes]
+
+
+class TestCFGShapes:
+    def test_if_else_diamond(self):
+        cfg = _cfg(
+            """
+            if flag:
+                x = 1
+            else:
+                y = 2
+            z = 3
+            """
+        )
+        assert _kinds(cfg) == ["entry", "exit", "cond", "stmt", "stmt", "stmt"]
+        assert cfg.successors(2) == (3, 4)  # cond -> both arms
+        assert cfg.successors(3) == (5,) and cfg.successors(4) == (5,)
+        assert cfg.successors(5) == (1,)
+
+    def test_and_short_circuit_gets_one_node_per_operand(self):
+        cfg = _cfg(
+            """
+            if a and b:
+                x = 1
+            done = 2
+            """
+        )
+        assert _kinds(cfg) == ["entry", "exit", "cond", "cond", "stmt", "stmt"]
+        # `a` false skips `b`; both false edges reach `done` directly.
+        assert cfg.successors(2) == (3, 5)
+        assert cfg.successors(3) == (4, 5)
+
+    def test_while_loop_has_back_edge_and_exit(self):
+        cfg = _cfg(
+            """
+            while cond:
+                x = 1
+            after = 2
+            """
+        )
+        assert _kinds(cfg) == ["entry", "exit", "loop", "cond", "stmt", "stmt"]
+        assert cfg.successors(4) == (2,)  # body -> join (back edge)
+        assert cfg.successors(3) == (4, 5)  # test -> body / after
+
+    def test_while_true_only_exits_through_break(self):
+        cfg = _cfg(
+            """
+            while True:
+                if stop:
+                    break
+            x = 1
+            """
+        )
+        assert cfg.successors(2) == (3,)  # the loop join has no false exit
+        assert cfg.successors(3) == (4, 2)  # test -> break / back to join
+        assert cfg.successors(4) == (5,)  # break -> after-loop statement
+
+    def test_for_node_is_the_join_with_zero_iteration_exit(self):
+        cfg = _cfg(
+            """
+            for item in rows:
+                x = 1
+            """
+        )
+        assert _kinds(cfg) == ["entry", "exit", "for", "stmt"]
+        assert cfg.successors(2) == (3, 1)
+        assert cfg.successors(3) == (2,)
+
+    def test_try_body_edges_into_the_handler(self):
+        cfg = _cfg(
+            """
+            try:
+                a = 1
+                b = 2
+            except ValueError:
+                c = 3
+            d = 4
+            """
+        )
+        kinds = _kinds(cfg)
+        assert kinds == ["entry", "exit", "stmt", "stmt", "except", "stmt", "stmt"]
+        # An exception may surface after either body statement.
+        assert 4 in cfg.successors(2) and 4 in cfg.successors(3)
+        assert cfg.successors(5) == (6,) and 6 in cfg.successors(3)
+
+    def test_return_terminates_the_path(self):
+        tree = ast.parse("def f():\n    return 1\n    x = 2\n")
+        cfg = build_cfg(tree.body[0].body)
+        assert _kinds(cfg) == ["entry", "exit", "stmt"]  # x = 2 is unreachable
+        assert cfg.return_nodes == [2]
+        assert cfg.falloff_nodes == []
+
+
+def _sinks(source):
+    taint = SetTaint(lambda node: None)
+    cfg, states = taint.analyze(ast.parse(textwrap.dedent(source)).body)
+    return [hit.origin for hit in taint.iter_sinks(cfg, states)]
+
+
+class TestSetTaint:
+    def test_taint_survives_a_branch_join(self):
+        assert _sinks(
+            """
+            if flag:
+                p = set(xs)
+            else:
+                p = xs
+            for item in p:
+                use(item)
+            """
+        ) == ["a set()"]
+
+    def test_rebinding_kills_taint(self):
+        assert _sinks(
+            """
+            p = set(xs)
+            p = list(xs)
+            for item in p:
+                use(item)
+            """
+        ) == []
+
+    def test_taint_flows_around_the_loop_back_edge(self):
+        assert _sinks(
+            """
+            p = xs
+            for _ in rounds:
+                for item in p:
+                    use(item)
+                p = set(xs)
+            """
+        ) == ["a set()"]
+
+    def test_walrus_binding_and_wrapper_sink(self):
+        assert _sinks("materialized = list((q := {1, 2}))\n") == ["a set literal"]
+
+    def test_sorted_sanitizes(self):
+        assert _sinks("for item in sorted(set(xs)):\n    use(item)\n") == []
+
+    def test_set_comprehension_generator_is_not_a_sink(self):
+        assert _sinks(
+            """
+            a = [item for item in set(xs)]
+            b = {item for item in set(xs)}
+            """
+        ) == ["a set()"]
+
+    def test_returns_set_summary(self):
+        taint = SetTaint(lambda node: None)
+        returning = ast.parse("def f():\n    return {1}\n").body[0].body
+        ordered = ast.parse("def f():\n    return sorted(xs)\n").body[0].body
+        assert taint.returns_set(returning) is True
+        assert taint.returns_set(ordered) is False
+
+    def test_assigned_names_excludes_nested_scopes(self):
+        body = ast.parse(
+            "x = 1\n"
+            "def g():\n"
+            "    y = 2\n"
+            "import os\n"
+            "for i in r:\n"
+            "    pass\n"
+        ).body
+        assert assigned_names(body) == frozenset({"x", "g", "os", "i"})
+
+
+class TestModuleSeeding:
+    """Module-level taint flows into functions unless shadowed locally."""
+
+    def test_module_state_taints_function_reads_but_not_locals(self, tmp_path):
+        module = tmp_path / "mod.py"
+        module.write_text(
+            textwrap.dedent(
+                """
+                POOL = set(load())
+
+
+                def uses_module_state():
+                    for item in POOL:
+                        print(item)
+
+
+                def shadows_locally(rows):
+                    POOL = list(rows)
+                    for item in POOL:
+                        print(item)
+                """
+            )
+        )
+        report = run_lint(LintConfig(root=tmp_path, paths=(str(module),)))
+        lines = sorted(f.line for f in report.new if f.rule == "D101")
+        assert len(lines) == 1  # only the un-shadowed read
+        assert "POOL" in report.new[0].snippet

@@ -1,0 +1,90 @@
+"""Autofix round-trips: apply the carried edits, re-lint, come back clean."""
+
+from repro.lint.cli import main as lint_main
+from repro.lint.config import LintConfig
+from repro.lint.fixes import apply_fixes
+from repro.lint.runner import run_lint
+
+
+def _lint(tmp_path, name="mod.py"):
+    config = LintConfig(root=tmp_path, paths=(str(tmp_path / name),))
+    return config, run_lint(config)
+
+
+class TestJ401Fix:
+    def test_allow_nan_round_trip(self, tmp_path):
+        module = tmp_path / "mod.py"
+        module.write_text("import json\n\n\ndef save(x):\n    return json.dumps(x)\n")
+        config, report = _lint(tmp_path)
+        assert [f.rule for f in report.new] == ["J401"]
+        applied = apply_fixes(report.fixable_findings(), tmp_path)
+        assert applied == {"mod.py": 1}
+        assert "json.dumps(x, allow_nan=False)" in module.read_text()
+        assert run_lint(config).new == []
+
+    def test_existing_keywords_are_preserved(self, tmp_path):
+        module = tmp_path / "mod.py"
+        module.write_text("import json\nraw = json.dumps([1.0], indent=2)\n")
+        _, report = _lint(tmp_path)
+        apply_fixes(report.fixable_findings(), tmp_path)
+        assert "json.dumps([1.0], indent=2, allow_nan=False)" in module.read_text()
+
+    def test_multibyte_source_keeps_byte_columns_straight(self, tmp_path):
+        module = tmp_path / "mod.py"
+        module.write_text('import json\nraw = json.dumps("café")\n')
+        _, report = _lint(tmp_path)
+        apply_fixes(report.fixable_findings(), tmp_path)
+        assert 'json.dumps("café", allow_nan=False)' in module.read_text()
+
+
+class TestD101KeysFix:
+    def test_redundant_keys_view_is_removed(self, tmp_path):
+        module = tmp_path / "mod.py"
+        module.write_text(
+            "def walk(table):\n"
+            "    for key in table.keys():\n"
+            "        print(key)\n"
+        )
+        config, report = _lint(tmp_path)
+        assert [f.rule for f in report.new] == ["D101"]
+        assert report.new[0].fix is not None
+        apply_fixes(report.fixable_findings(), tmp_path)
+        assert "for key in table:" in module.read_text()
+        assert run_lint(config).new == []
+
+    def test_non_keys_d101_carries_no_fix(self, tmp_path):
+        module = tmp_path / "mod.py"
+        module.write_text("for item in {1, 2}:\n    print(item)\n")
+        _, report = _lint(tmp_path)
+        assert [f.rule for f in report.new] == ["D101"]
+        assert report.new[0].fix is None  # sorted() would change semantics
+
+
+class TestCliFix:
+    def test_fix_flag_applies_and_reruns(self, tmp_path, capsys):
+        (tmp_path / "pyproject.toml").write_text(
+            '[tool.repro-lint]\npaths = ["pkg"]\n'
+        )
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "mod.py").write_text("import json\nraw = json.dumps({})\n")
+        code = lint_main(
+            ["--config", str(tmp_path / "pyproject.toml"), "--fix", "--no-baseline"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "fixed 1 finding(s)" in captured.err
+        assert "allow_nan=False" in (pkg / "mod.py").read_text()
+
+    def test_fix_leaves_unfixable_findings_failing(self, tmp_path, capsys):
+        (tmp_path / "pyproject.toml").write_text(
+            '[tool.repro-lint]\npaths = ["pkg"]\n'
+        )
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "mod.py").write_text("import pickle\n")
+        code = lint_main(
+            ["--config", str(tmp_path / "pyproject.toml"), "--fix", "--no-baseline"]
+        )
+        capsys.readouterr()
+        assert code == 1  # J402 has no mechanical fix

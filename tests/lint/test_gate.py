@@ -23,6 +23,7 @@ SUPPRESSED_FILES = [
     "src/repro/api/runner.py",
     "src/repro/core/transfers.py",
     "src/repro/bench/reference.py",
+    "src/repro/core/verification.py",
 ]
 
 
@@ -41,13 +42,11 @@ class TestRepoSelfCheck:
     def test_baseline_only_names_acknowledged_debt(self):
         document = json.loads((REPO_ROOT / "lint-baseline.json").read_text())
         paths = {entry["path"] for entry in document["findings"]}
-        # The grandfathered debt is the verification checker's deliberate
-        # row-loop design and the simulator's legacy object path — nothing
-        # else may hide in the baseline.
-        assert paths == {
-            "src/repro/core/verification.py",
-            "src/repro/simulator/engine.py",
-        }
+        # The verification checker's deliberate row loops moved to reasoned
+        # disable-scope suppressions; the only grandfathered debt left is
+        # the simulator's legacy object path — nothing else may hide here.
+        assert paths == {"src/repro/simulator/engine.py"}
+        assert sum(entry["count"] for entry in document["findings"]) <= 10
 
     def test_every_deleted_baseline_entry_fails_strict(self):
         config = _repo_config()

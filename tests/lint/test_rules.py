@@ -39,6 +39,22 @@ class TestTruePositives:
     def test_registry_family(self, report):
         assert _rules_for(report, "reg_bad.py") == ["R501", "R502"]
 
+    def test_kernel_contract_family(self, report):
+        assert _rules_for(report, "kern_bad.py") == [
+            "K601",
+            "K602",
+            "K602",
+            "K602",
+            "K602",
+            "K602",
+            "K602",
+            "K603",
+            "K604",
+        ]
+
+    def test_flow_sensitive_taint(self, report):
+        assert _rules_for(report, "taint_bad.py") == ["D101"] * 4
+
     def test_bad_fixtures_fail_the_gate(self, report):
         assert report.exit_code(strict=True) == 1
 
@@ -46,7 +62,15 @@ class TestTruePositives:
 class TestCleanFixtures:
     @pytest.mark.parametrize(
         "filename",
-        ["det_good.py", "hot_good.py", "proc_good.py", "art_good.py", "reg_good.py"],
+        [
+            "det_good.py",
+            "hot_good.py",
+            "proc_good.py",
+            "art_good.py",
+            "reg_good.py",
+            "kern_good.py",
+            "taint_good.py",
+        ],
     )
     def test_good_twin_is_clean(self, report, filename):
         assert _rules_for(report, filename) == []
@@ -63,6 +87,8 @@ class TestCleanFixtures:
                     "proc_good.py",
                     "art_good.py",
                     "reg_good.py",
+                    "kern_good.py",
+                    "taint_good.py",
                 )
             ],
         )

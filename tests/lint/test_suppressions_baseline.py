@@ -49,6 +49,55 @@ class TestSuppressionDirectives:
         assert report.exit_code() == 1
 
 
+class TestScopedSuppressions:
+    def test_scope_directive_covers_only_its_def(self, tmp_path):
+        module = tmp_path / "mod.py"
+        module.write_text(
+            "import json\n"
+            "\n"
+            "\n"
+            "def covered(x):\n"
+            "    # repro-lint: disable-scope=J401 -- parity with the frozen twin\n"
+            "    return json.dumps(x)\n"
+            "\n"
+            "\n"
+            "def uncovered(x):\n"
+            "    return json.dumps(x)\n"
+        )
+        report = run_lint(LintConfig(root=tmp_path, paths=(str(module),)))
+        assert [f.rule for f in report.new] == ["J401"]
+        assert report.new[0].line == 10  # only the uncovered def reports
+        assert [f.rule for f in report.suppressed] == ["J401"]
+
+    def test_innermost_scope_wins(self, tmp_path):
+        module = tmp_path / "mod.py"
+        module.write_text(
+            "import json\n"
+            "\n"
+            "\n"
+            "def outer(x):\n"
+            "    def inner(y):\n"
+            "        # repro-lint: disable-scope=J401 -- inner only\n"
+            "        return json.dumps(y)\n"
+            "\n"
+            "    return json.dumps(x), inner\n"
+        )
+        report = run_lint(LintConfig(root=tmp_path, paths=(str(module),)))
+        assert [f.rule for f in report.new] == ["J401"]
+        assert report.new[0].line == 9  # outer's own call is not covered
+
+    def test_scope_directive_outside_any_def_is_s003(self, tmp_path):
+        module = tmp_path / "mod.py"
+        module.write_text(
+            "# repro-lint: disable-scope=J401 -- floating directive\n"
+            "import json\n"
+            "x = json.dumps({})\n"
+        )
+        report = run_lint(LintConfig(root=tmp_path, paths=(str(module),)))
+        rules = sorted(f.rule for f in report.new)
+        assert rules == ["J401", "S003"]  # ignored directive suppresses nothing
+
+
 class TestBaselineRoundTrip:
     def _report(self, tmp_path):
         bad = tmp_path / "mod.py"
