@@ -1,0 +1,253 @@
+"""One-shot payload broadcast plane for process fan-outs.
+
+Process backends used to ship the bulky shared input of a fan-out — the
+synthesizer's :class:`~repro.core.synthesizer.TrialPayload` with its topology,
+pattern, and precomputed hop tables — pickled once *per work item*.  This
+module is the transport that replaces that: the caller publishes the shared
+input once per fan-out as a content-hash-addressed blob, work items carry only
+the tiny :class:`BlobRef`, and each worker process fetches and decodes the
+blob at most once.
+
+Two transports, chosen automatically at :func:`publish` time:
+
+* **shared memory** — the blob is copied into a
+  :class:`multiprocessing.shared_memory.SharedMemory` segment named after its
+  content hash; workers attach by name and read it zero-copy.  The publisher
+  owns the segment: it is unlinked on :func:`release` (refcounted, so
+  overlapping fan-outs of the same content share one segment) and at exit.
+* **inline bytes** — when shared memory is unavailable (or segment creation
+  fails), the blob rides inside the ref itself and therefore inside each task
+  pickle.  Chunked submission keeps that amortized: one copy per *chunk*, not
+  per item.
+
+Identity is the blob's SHA-256 — :func:`fetch` re-hashes what it read and
+refuses a mismatch, so a torn or stale segment can never silently feed a
+worker wrong inputs.  Content addressing is also what makes worker-side
+caches (keyed by ``ref.key``) safe across the warm pools of
+:class:`~repro.api.parallel.PoolBackend`: equal key implies equal bytes.
+
+Kept free of intra-package imports (except :mod:`repro.errors`) so lower
+layers can import it without cycles.
+"""
+
+from __future__ import annotations
+
+import atexit
+import hashlib
+import os
+import threading
+from typing import Dict, NamedTuple, Optional, Tuple
+
+from repro.errors import ReproError
+
+__all__ = [
+    "BlobRef",
+    "fetch",
+    "publish",
+    "published_segments",
+    "release",
+    "shared_memory_available",
+    "shutdown",
+]
+
+try:  # pragma: no cover - import succeeds on every supported platform
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - stripped-down interpreters
+    _shared_memory = None
+
+
+def shared_memory_available() -> bool:
+    """Whether the shared-memory transport can be used on this host."""
+    return _shared_memory is not None
+
+
+class BlobRef(NamedTuple):
+    """Handle to a published blob; small enough to ride in every task pickle.
+
+    ``key`` is the blob's SHA-256 hex digest (its content identity), ``size``
+    the exact byte length.  ``segment`` names the shared-memory segment, or is
+    ``None`` when the blob travels inline in ``payload`` (the fallback
+    transport).
+    """
+
+    key: str
+    size: int
+    segment: Optional[str]
+    payload: Optional[bytes]
+
+
+# Publisher-side registry: key -> (segment, refcount).  The lock also guards
+# the worker-side bytes cache below; contention is one lock hop per fan-out
+# (publish/release) plus one per first fetch in a worker.
+_LOCK = threading.Lock()
+_PUBLISHED: Dict[str, Tuple[object, int]] = {}
+
+# Worker-side raw-bytes cache (decoded-object caches live at the call sites,
+# keyed by the same content hash).  Bounded: long-lived pool workers must not
+# accumulate every blob they ever saw.
+_FETCHED: Dict[str, bytes] = {}
+_FETCHED_ORDER: list = []
+_FETCH_CACHE_LIMIT = 4
+
+_atexit_registered = False
+
+
+def _segment_name(key: str) -> str:
+    # Content hash + publisher pid: unique across concurrent publishers,
+    # stable within one, and short enough for macOS' 31-char POSIX limit.
+    return f"tr{os.getpid():x}_{key[:16]}"
+
+
+_ATTACH_LOCK = threading.Lock()
+
+
+def _attach_readonly(name: str) -> object:
+    """Attach to a segment without registering it with the resource tracker.
+
+    Workers only *read* segments the publisher owns and unlinks.  On 3.13+
+    ``track=False`` says exactly that.  Older interpreters register every
+    attach with the resource tracker — which forked pool workers *share*
+    with the publisher, and whose per-name set cannot refcount: a worker
+    unregistering after the fact would erase the publisher's registration
+    and both sides' cleanup would then crash the tracker loop.  So on the
+    3.9+ floor the registration is suppressed for the duration of the
+    attach instead (serialized: the swap is process-global state).
+    """
+    try:
+        return _shared_memory.SharedMemory(name=name, create=False, track=False)
+    except TypeError:  # Python < 3.13: no track flag
+        pass
+    from multiprocessing import resource_tracker
+
+    with _ATTACH_LOCK:
+        original = resource_tracker.register
+
+        def _skip_shared_memory(rname: str, rtype: str) -> None:
+            if rtype != "shared_memory":
+                original(rname, rtype)
+
+        resource_tracker.register = _skip_shared_memory
+        try:
+            return _shared_memory.SharedMemory(name=name, create=False)
+        finally:
+            resource_tracker.register = original
+
+
+def publish(data: bytes) -> BlobRef:
+    """Publish ``data`` for one fan-out; returns the ref tasks should carry.
+
+    Prefers a shared-memory segment; falls back to carrying the bytes inline
+    in the ref when segments are unavailable or creation fails.  Publishing
+    the same content twice (nested or overlapping fan-outs) refcounts one
+    segment.  Pair every publish with exactly one :func:`release`.
+    """
+    key = hashlib.sha256(data).hexdigest()
+    if _shared_memory is None:
+        return BlobRef(key=key, size=len(data), segment=None, payload=data)
+    global _atexit_registered
+    with _LOCK:
+        existing = _PUBLISHED.get(key)
+        if existing is not None:
+            segment, refcount = existing
+            _PUBLISHED[key] = (segment, refcount + 1)
+            return BlobRef(key=key, size=len(data), segment=segment.name, payload=None)
+        try:
+            segment = _shared_memory.SharedMemory(
+                name=_segment_name(key), create=True, size=max(1, len(data))
+            )
+        except OSError:
+            return BlobRef(key=key, size=len(data), segment=None, payload=data)
+        segment.buf[: len(data)] = data
+        _PUBLISHED[key] = (segment, 1)
+        if not _atexit_registered:
+            _atexit_registered = True
+            atexit.register(shutdown)
+        return BlobRef(key=key, size=len(data), segment=segment.name, payload=None)
+
+
+def release(ref: BlobRef) -> None:
+    """Drop one publisher reference; the segment is unlinked at zero."""
+    if ref.segment is None:
+        return
+    with _LOCK:
+        entry = _PUBLISHED.get(ref.key)
+        if entry is None:
+            return
+        segment, refcount = entry
+        if refcount > 1:
+            _PUBLISHED[ref.key] = (segment, refcount - 1)
+            return
+        del _PUBLISHED[ref.key]
+    segment.close()
+    try:
+        segment.unlink()
+    except FileNotFoundError:  # pragma: no cover - already gone
+        pass
+
+
+def shutdown() -> None:
+    """Unlink every still-published segment (atexit safety net)."""
+    with _LOCK:
+        entries = list(_PUBLISHED.values())
+        _PUBLISHED.clear()
+    for segment, _ in entries:
+        segment.close()
+        try:
+            segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+
+def published_segments() -> int:
+    """Number of live publisher-side segments (observability/tests)."""
+    with _LOCK:
+        return len(_PUBLISHED)
+
+
+def _attach_bytes(ref: BlobRef) -> bytes:
+    if _shared_memory is None:  # pragma: no cover - publisher had it, so do we
+        raise ReproError(f"broadcast blob {ref.key[:12]} needs shared memory, which is unavailable")
+    try:
+        segment = _attach_readonly(ref.segment)
+    except FileNotFoundError:
+        raise ReproError(
+            f"broadcast blob {ref.key[:12]} (segment {ref.segment}) is no longer "
+            "published; was release() called before the fan-out finished?"
+        ) from None
+    try:
+        return bytes(segment.buf[: ref.size])
+    finally:
+        segment.close()
+
+
+def fetch(ref: BlobRef) -> bytes:
+    """Return the published bytes for ``ref``, verifying their content hash.
+
+    Safe to call from worker processes (attaches to the named segment) and
+    from the publishing process itself (served from the registry without a
+    second mapping).  Fetched bytes are cached per process under the content
+    hash, so a warm pool worker touches the transport once per distinct blob.
+    """
+    with _LOCK:
+        cached = _FETCHED.get(ref.key)
+        if cached is not None:
+            return cached
+        entry = _PUBLISHED.get(ref.key)
+    if entry is not None:
+        data = bytes(entry[0].buf[: ref.size])
+    elif ref.payload is not None:
+        data = ref.payload
+    else:
+        data = _attach_bytes(ref)
+    if hashlib.sha256(data).hexdigest() != ref.key:
+        raise ReproError(
+            f"broadcast blob {ref.key[:12]} failed its content-hash check "
+            "(torn read or stale segment); refusing to hand it to a worker"
+        )
+    with _LOCK:
+        if ref.key not in _FETCHED:
+            _FETCHED[ref.key] = data
+            _FETCHED_ORDER.append(ref.key)
+            while len(_FETCHED_ORDER) > _FETCH_CACHE_LIMIT:
+                _FETCHED.pop(_FETCHED_ORDER.pop(0), None)
+    return data

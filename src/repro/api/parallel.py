@@ -9,7 +9,10 @@ module is the single seam those sites fan out through:
 * :class:`ThreadBackend` — a :class:`~concurrent.futures.ThreadPoolExecutor`
   (useful when the work releases the GIL, and for overlap of I/O);
 * :class:`ProcessBackend` — a :class:`~concurrent.futures.ProcessPoolExecutor`
-  (real multi-core parallelism for the pure-Python matching hot path).
+  (real multi-core parallelism for the pure-Python matching hot path);
+* :class:`PoolBackend` — the persistent tier: process pools that stay warm
+  across ``map`` calls (keyed by worker count, lazily forked, re-forked after
+  worker death), so repeated fan-outs pay the spin-up cost once.
 
 All backends preserve input order in the result list and propagate worker
 exceptions to the caller, so swapping one for another never changes *what* is
@@ -29,26 +32,31 @@ layers can import it without cycles.
 
 from __future__ import annotations
 
+import atexit
 import os
 import threading
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
-from typing import Callable, Iterable, Iterator, List, Optional, Tuple, TypeVar, Union
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple, TypeVar, Union
 
 from repro.errors import ReproError
 
 __all__ = [
     "BACKENDS",
     "ExecutionBackend",
+    "PoolBackend",
     "ProcessBackend",
     "SerialBackend",
     "ThreadBackend",
+    "chunk_items",
     "current_execution",
     "default_worker_count",
     "effective_backend",
     "execution_scope",
     "map_parallel",
     "resolve_backend",
+    "shutdown_pools",
 ]
 
 _ItemT = TypeVar("_ItemT")
@@ -81,8 +89,15 @@ class ExecutionBackend:
     regardless of the underlying concurrency.
     """
 
-    #: Registry name (``"serial"`` / ``"thread"`` / ``"process"``).
+    #: Registry name (``"serial"`` / ``"thread"`` / ``"process"`` / ``"pool"``).
     name: str = "abstract"
+
+    #: Whether items cross a process boundary (and must therefore be
+    #: picklable).  Fan-out sites use this — not the name — to pick the
+    #: columnar byte transport and the broadcast plane
+    #: (:mod:`repro.api.broadcast`), so new process-based backends inherit
+    #: the thin-submission path automatically.
+    process_based: bool = False
 
     def map(
         self,
@@ -137,6 +152,7 @@ class ProcessBackend(ExecutionBackend):
     """
 
     name = "process"
+    process_based = True
 
     def map(self, fn, items, *, max_workers=None):
         items = list(items)
@@ -147,11 +163,122 @@ class ProcessBackend(ExecutionBackend):
             return list(pool.map(fn, items))
 
 
-#: The three built-in backends, shared instances (all stateless).
+class PoolBackend(ExecutionBackend):
+    """Process pools that stay warm across ``map`` calls (the persistent tier).
+
+    :class:`ProcessBackend` pays the full executor spin-up — fork, pipe
+    setup, worker bootstrap — on *every* fan-out.  This backend keeps one
+    long-lived :class:`~concurrent.futures.ProcessPoolExecutor` per requested
+    worker count, created lazily on first use and reused by every later
+    fan-out of the same width, so repeated dispatches (sweeps, services, the
+    ``dispatch`` bench) pay it once.  Warm workers cannot change results:
+    every trial is seeded explicitly and best-of selection is
+    order-independent, so the determinism contract holds regardless of which
+    worker ran what (see docs/determinism.md).
+
+    Lifecycle: pools are shut down at interpreter exit (``atexit``) or
+    explicitly via :meth:`shutdown` / :func:`shutdown_pools`.  A pool whose
+    workers died (:class:`~concurrent.futures.process.BrokenProcessPool`) is
+    discarded and re-forked once per ``map`` call — transient deaths recover,
+    a task that reliably kills its worker still raises.  The instance is
+    fork-aware: state inherited into a child process is discarded there (the
+    executor handles belong to the parent), so a pool worker that itself fans
+    out simply forks fresh pools of its own.
+    """
+
+    name = "pool"
+    process_based = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._pools: Dict[int, ProcessPoolExecutor] = {}
+        self._owner_pid = os.getpid()
+        self._atexit_registered = False
+
+    def map(self, fn, items, *, max_workers=None):
+        items = list(items)
+        workers = _effective_workers(max_workers, len(items))
+        if workers <= 1 or len(items) <= 1:
+            return [fn(item) for item in items]
+        try:
+            return list(self._pool(workers).map(fn, items))
+        except BrokenProcessPool:
+            # A worker died mid-fan-out (OOM kill, crash).  Re-fork the pool
+            # and retry the whole map once — results are deterministic, so a
+            # retry is indistinguishable from a slow first attempt.
+            self._discard(workers)
+            return list(self._pool(workers).map(fn, items))
+
+    def warm(self, workers: int) -> None:
+        """Fork the ``workers``-wide pool now (spin-up off the measured path)."""
+        width = max(1, int(workers))
+        pool = self._pool(width)
+        # submit/await one no-op round so the workers actually exist before
+        # warm-dispatch latency is measured.
+        list(pool.map(_pool_worker_ping, range(width)))
+
+    def pool_widths(self) -> List[int]:
+        """Worker counts with a live pool (observability/tests)."""
+        with self._lock:
+            self._reset_if_forked()
+            return sorted(self._pools)
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Shut down every live pool; the next ``map`` re-creates lazily."""
+        with self._lock:
+            self._reset_if_forked()
+            pools = list(self._pools.values())
+            self._pools.clear()
+        for pool in pools:
+            pool.shutdown(wait=wait)
+
+    def _pool(self, workers: int) -> ProcessPoolExecutor:
+        with self._lock:
+            self._reset_if_forked()
+            pool = self._pools.get(workers)
+            if pool is None:
+                pool = ProcessPoolExecutor(max_workers=workers)
+                self._pools[workers] = pool
+                if not self._atexit_registered:
+                    self._atexit_registered = True
+                    atexit.register(self.shutdown)
+            return pool
+
+    def _discard(self, workers: int) -> None:
+        with self._lock:
+            self._reset_if_forked()
+            pool = self._pools.pop(workers, None)
+        if pool is not None:
+            pool.shutdown(wait=False)
+
+    def _reset_if_forked(self) -> None:
+        # Called with the lock held.  In a forked child the inherited
+        # executors are the parent's; drop the handles without shutting down.
+        if os.getpid() != self._owner_pid:
+            self._owner_pid = os.getpid()
+            self._pools = {}
+            self._atexit_registered = False
+
+
+def _pool_worker_ping(index: int) -> int:
+    """No-op pool task used to warm workers and measure bare dispatch."""
+    return index
+
+
+#: The built-in backends, shared instances.  serial/thread/process are
+#: stateless; the pool backend owns the long-lived worker pools, so every
+#: caller resolving ``"pool"`` shares the same warm tier.
 BACKENDS = {
     backend.name: backend
-    for backend in (SerialBackend(), ThreadBackend(), ProcessBackend())
+    for backend in (SerialBackend(), ThreadBackend(), ProcessBackend(), PoolBackend())
 }
+
+
+def shutdown_pools(wait: bool = True) -> None:
+    """Shut down the shared :class:`PoolBackend`'s warm pools explicitly."""
+    pool_backend = BACKENDS["pool"]
+    assert isinstance(pool_backend, PoolBackend)
+    pool_backend.shutdown(wait=wait)
 
 
 def resolve_backend(spec: BackendSpec) -> Optional[ExecutionBackend]:
@@ -251,3 +378,31 @@ def map_parallel(
     items = list(items)
     resolved = effective_backend(backend, max_workers) or BACKENDS["serial"]
     return resolved.map(fn, items, max_workers=max_workers)
+
+
+def chunk_items(
+    items: Iterable[_ItemT], workers: Optional[int], *, chunks_per_worker: int = 4
+) -> List[List[_ItemT]]:
+    """Split ``items`` into contiguous chunks for thin chunked submission.
+
+    Process fan-outs submit chunks instead of single items so per-task IPC
+    (task pickle, result pickle, future bookkeeping) is amortized while load
+    still balances: ``chunks_per_worker`` chunks per worker keeps the tail
+    short when chunk runtimes vary.  Chunks are contiguous and in input
+    order, so concatenating per-chunk results reproduces the plain ``map``
+    order exactly — chunking can never reorder outcomes.
+    """
+    items = list(items)
+    if not items:
+        return []
+    width = workers if workers is not None else default_worker_count()
+    target = max(1, min(len(items), max(1, int(width)) * max(1, int(chunks_per_worker))))
+    base, extra = divmod(len(items), target)
+    chunks: List[List[_ItemT]] = []
+    start = 0
+    for index in range(target):
+        size = base + (1 if index < extra else 0)
+        if size:
+            chunks.append(items[start : start + size])
+        start += size
+    return chunks

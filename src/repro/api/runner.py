@@ -16,7 +16,7 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 
 import repro.api.builtins  # noqa: F401  (populates the registries on import)
 from repro.api.cache import ResultCache
-from repro.api.parallel import BackendSpec, map_parallel, resolve_backend
+from repro.api.parallel import BackendSpec, chunk_items, map_parallel, resolve_backend
 from repro.api.registry import ALGORITHMS, COLLECTIVES, TOPOLOGIES, AlgorithmArtifact
 from repro.api.specs import (
     AlgorithmSpec,
@@ -252,6 +252,29 @@ def _run_spec_task(
         return exc
 
 
+def _run_spec_chunk(
+    cache_directory: Optional[str], return_exceptions: bool, specs: List[RunSpec]
+) -> List[Any]:
+    """Chunked batch work item: one task pickle per spec *chunk*, not per spec.
+
+    The worker opens one :class:`ResultCache` for the whole chunk, so a
+    chunk's specs share the in-memory layer on top of the shared on-disk
+    store.  Results come back as a list in chunk order — concatenation in
+    the parent reproduces the per-spec order exactly.
+    """
+    cache = ResultCache(cache_directory) if cache_directory is not None else None
+    results: List[Any] = []
+    for spec in specs:
+        if not return_exceptions:
+            results.append(run(spec, cache=cache))
+            continue
+        try:
+            results.append(run(spec, cache=cache))
+        except ReproError as exc:
+            results.append(exc)
+    return results
+
+
 def run_batch(
     specs: Iterable[RunSpec],
     *,
@@ -264,13 +287,15 @@ def run_batch(
 
     Duplicate specs (same content hash) are executed once and share a
     result.  ``execution`` selects the backend for distinct specs —
-    ``"serial"``, ``"thread"``, or ``"process"`` (real multi-core
-    parallelism); without it, ``max_workers`` greater than 1 keeps the
-    historical thread-pool behaviour.  Results are identical across
-    backends: specs are deterministic and order is restored from the input.
+    ``"serial"``, ``"thread"``, ``"process"`` (real multi-core parallelism),
+    or ``"pool"`` (a persistent process pool kept warm across batches);
+    without it, ``max_workers`` greater than 1 keeps the historical
+    thread-pool behaviour.  Results are identical across backends: specs are
+    deterministic and order is restored from the input.
 
-    With the process backend, worker processes share the cache through its
-    on-disk artifact store (the in-memory layer is per-process); results
+    With the process-based backends, worker processes share the cache through
+    its on-disk artifact store (the in-memory layer is per-process); specs
+    are submitted in contiguous chunks to amortize per-task IPC, and results
     computed by workers are folded back into the calling cache afterwards.
 
     With ``return_exceptions=True``, a spec whose execution raises a
@@ -292,7 +317,7 @@ def run_batch(
         positions.append(index_of[key])
 
     backend = resolve_backend(execution)
-    if backend is not None and backend.name == "process":
+    if backend is not None and getattr(backend, "process_based", False):
         # Serve what the calling cache already holds (its in-memory layer is
         # invisible to worker processes) and ship only the misses out.
         results: List[Any] = [None] * len(unique)
@@ -311,11 +336,16 @@ def run_batch(
                 if cache is not None and cache.directory is not None
                 else None
             )
-            computed = backend.map(
-                partial(_run_spec_task, directory, return_exceptions),
-                [unique[index] for index in pending],
+            # Chunked submission (order-preserving, see chunk_items): the
+            # per-task IPC overhead is amortized over each chunk, which is
+            # what makes the warm PoolBackend's dispatch cost thin.
+            chunks = chunk_items([unique[index] for index in pending], max_workers)
+            computed_chunks = backend.map(
+                partial(_run_spec_chunk, directory, return_exceptions),
+                chunks,
                 max_workers=max_workers,
             )
+            computed = [result for chunk in computed_chunks for result in chunk]
             for index, result in zip(pending, computed):
                 results[index] = result
                 # Fold worker results into the calling cache's memory layer

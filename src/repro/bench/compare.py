@@ -213,14 +213,65 @@ def speedup_history(
     return rows
 
 
+def _dispatch_throughput(record: Dict[str, Any]) -> Optional[float]:
+    """A dispatch record's sustained trials/sec, ``None`` when not measured."""
+    if record.get("kind") != "dispatch":
+        return None
+    metrics = record.get("dispatch_metrics") or {}
+    value = metrics.get("trials_per_second")
+    if value is None:
+        return None
+    value = float(value)
+    return value if math.isfinite(value) and value > 0 else None
+
+
+def _scenario_delta(
+    name: str, record: Dict[str, Any], baseline: Dict[str, Any]
+) -> "ScenarioDelta":
+    """Kind-aware delta for one matched scenario (see :func:`compare_reports`)."""
+    current_throughput = _dispatch_throughput(record)
+    previous_throughput = _dispatch_throughput(baseline)
+    if current_throughput is not None and previous_throughput is not None:
+        # Higher is better: invert so > 1 still reads "worse now".
+        ratio = previous_throughput / current_throughput
+        return ScenarioDelta(
+            scenario=name,
+            current_seconds=current_throughput,
+            previous_seconds=previous_throughput,
+            ratio=ratio if math.isfinite(ratio) else None,
+            metric="trials_per_second",
+        )
+    current_seconds = float(record["flat_seconds"])
+    previous_seconds = float(baseline["flat_seconds"])
+    ratio: Optional[float] = None
+    if previous_seconds > 0:
+        candidate = current_seconds / previous_seconds
+        if math.isfinite(candidate):
+            ratio = candidate
+    return ScenarioDelta(
+        scenario=name,
+        current_seconds=current_seconds,
+        previous_seconds=previous_seconds,
+        ratio=ratio,
+    )
+
+
 @dataclass
 class ScenarioDelta:
-    """Wall-clock movement of one scenario between two reports."""
+    """Wall-clock movement of one scenario between two reports.
+
+    ``ratio`` is always oriented so that > 1 means *worse now*: for
+    wall-clock metrics that is ``current / previous`` (slower), for
+    higher-is-better metrics (a ``dispatch`` record's sustained
+    trials/sec) it is ``previous / current`` (throughput fell).  The
+    ``metric`` field names what was compared.
+    """
 
     scenario: str
     current_seconds: float
     previous_seconds: float
-    ratio: Optional[float]  #: current / previous; > 1 means slower now
+    ratio: Optional[float]  #: oriented so > 1 always means regression
+    metric: str = "flat_seconds"  #: which record field the delta compares
 
     @property
     def delta_percent(self) -> Optional[float]:
@@ -238,10 +289,17 @@ def compare_reports(
 ) -> Dict[str, Any]:
     """Per-scenario wall-clock deltas between two reports.
 
-    Scenarios are matched by name on their ``flat_seconds`` (the timed
-    engine's median wall clock — synthesis for synthesis records, the array
-    simulator for simulation records).  Returns a dict with the matched
-    deltas, the median ratio, and a ``regressed`` verdict
+    Scenarios are matched by name, and the compared metric is kind-aware:
+    most records compare on ``flat_seconds`` (the timed engine's median wall
+    clock — synthesis for synthesis records, the array simulator for
+    simulation records), but when *both* sides of a match are ``dispatch``
+    records carrying a sustained-throughput measurement the delta compares
+    ``dispatch_metrics.trials_per_second`` with the ratio inverted
+    (``previous / current``), because throughput is higher-is-better — a
+    warm pool getting *faster* must never trip the regression gate the way
+    a shrinking wall clock never does.  Either way every ratio is oriented
+    so > 1 means regression.  Returns a dict with the matched deltas, the
+    median ratio, and a ``regressed`` verdict
     (``median ratio > 1 + threshold``).  Works across schema versions —
     v1 reports carry the same two fields.
     """
@@ -256,21 +314,7 @@ def compare_reports(
         baseline = previous_records.get(name)
         if baseline is None:
             continue
-        current_seconds = float(record["flat_seconds"])
-        previous_seconds = float(baseline["flat_seconds"])
-        ratio: Optional[float] = None
-        if previous_seconds > 0:
-            candidate = current_seconds / previous_seconds
-            if math.isfinite(candidate):
-                ratio = candidate
-        deltas.append(
-            ScenarioDelta(
-                scenario=name,
-                current_seconds=current_seconds,
-                previous_seconds=previous_seconds,
-                ratio=ratio,
-            )
-        )
+        deltas.append(_scenario_delta(name, record, baseline))
     ratios = [delta.ratio for delta in deltas if delta.ratio is not None]
     median_ratio = statistics.median(ratios) if ratios else None
     return {

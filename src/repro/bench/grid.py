@@ -1,6 +1,6 @@
 """Named benchmark scenario grids.
 
-Five kinds of scenarios exist:
+Six kinds of scenarios exist:
 
 * :class:`BenchScenario` — one *synthesis* problem: a topology (registry
   shorthand), a collective, a per-NPU collective size, and a fixed seed.
@@ -22,8 +22,12 @@ Five kinds of scenarios exist:
   fixed-seed synthesis under the flat engine and the numba kernel engine,
   asserting byte-identical winning algorithms, verification verdicts, and
   (Python event loop vs event-loop kernel) message completions.
+* :class:`DispatchScenario` — one *dispatch-overhead* problem: per-trial
+  submitted payload bytes (per-call pickle vs broadcast plane), warm-vs-cold
+  pool dispatch latency, sustained trials/sec through the warm pool, and a
+  serial vs process vs pool race with byte-identical-output assertions.
 
-Seven grids are provided:
+Eight grids are provided:
 
 * ``smoke`` — tiny scenarios of all kinds for CI (a couple of seconds
   end-to-end);
@@ -45,7 +49,10 @@ Seven grids are provided:
   trajectory is recorded on;
 * ``native`` — the flat-vs-native equivalence grid: small scenarios across
   topology/collective families raced under both engine tiers with
-  byte-identical assertions.
+  byte-identical assertions;
+* ``dispatch`` — the execution-plane overhead grid: what the persistent
+  pool backend and the payload broadcast plane change, measured honestly on
+  any core count.
 """
 
 from __future__ import annotations
@@ -57,6 +64,7 @@ from repro.errors import ReproError
 
 __all__ = [
     "BenchScenario",
+    "DispatchScenario",
     "NativeScenario",
     "ParallelScenario",
     "PipelineScenario",
@@ -170,6 +178,42 @@ class ParallelScenario:
 
 
 @dataclass(frozen=True)
+class DispatchScenario:
+    """One dispatch-overhead problem: what the persistent execution plane buys.
+
+    Measures the *transport* around the workers rather than the work itself,
+    honestly on any core count (1-CPU containers included):
+
+    * **per-trial submitted payload bytes** — the per-call process path ships
+      one full :class:`~repro.core.synthesizer.TrialPayload` pickle per
+      trial; the broadcast plane ships one content-hash-addressed blob per
+      fan-out plus thin ``(ref, seeds)`` chunks.  Both are measured exactly
+      (via real pickles of what each transport submits).
+    * **warm vs cold dispatch latency** — wall clock of a trivial
+      ``workers``-wide fan-out on a freshly spun-up process pool (cold, the
+      per-call cost) vs on the persistent pool after warm-up (median of
+      ``repeats``): fork + bootstrap amortized away.
+    * **sustained trials/sec** — the same best-of-``trials`` synthesis run
+      through the warm pool backend at fixed N.
+
+    The scenario also races serial vs process vs pool on the full synthesis
+    and asserts byte-identical winning algorithms
+    (``TransferTable.to_bytes``), following the frozen-reference pattern.
+    """
+
+    name: str
+    topology: str  #: registry shorthand, e.g. ``"mesh_2d:6,6"``
+    collective: str  #: collective registry name, e.g. ``"all_gather"``
+    collective_size: float  #: per-NPU bytes
+    trials: int = 8  #: best-of-N randomized trials fanned across the backends
+    workers: int = 2  #: pool width for the process / pool backends
+    seed: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+
+@dataclass(frozen=True)
 class SimScenario:
     """One simulation problem of a benchmark grid.
 
@@ -191,7 +235,12 @@ class SimScenario:
 
 #: Any scenario kind; ``repro.bench.runner.run_bench`` dispatches on type.
 Scenario = Union[
-    BenchScenario, SimScenario, PipelineScenario, ParallelScenario, NativeScenario
+    BenchScenario,
+    SimScenario,
+    PipelineScenario,
+    ParallelScenario,
+    NativeScenario,
+    DispatchScenario,
 ]
 
 
@@ -210,6 +259,9 @@ def _smoke_grid() -> List[Scenario]:
         # flat path) delegates to the scalar loop, so smoke actually
         # exercises the kernel code path.
         NativeScenario("native-mesh4x4-ar-8MB", "mesh_2d:4,4", "all_reduce", 8 * _MB),
+        DispatchScenario(
+            "disp-mesh4x4-ag-1MB-t4", "mesh_2d:4,4", "all_gather", 1 * _MB, trials=4, workers=2
+        ),
     ]
 
 
@@ -376,6 +428,23 @@ def _parallel_grid() -> List[Scenario]:
     ]
 
 
+def _dispatch_grid() -> List[Scenario]:
+    # Dispatch-overhead scenarios: payloads bulky enough that the per-trial
+    # pickle cost is visible (hop tables and patterns grow with the mesh),
+    # trial counts high enough that chunked thin submission amortizes, and
+    # workers=2 so pools really fork even on a 1-CPU container.  The
+    # all_reduce scenario fans out twice per synthesis (RS + AG phases), so
+    # pool reuse *within* one measurement is exercised too.
+    return [
+        DispatchScenario("disp-mesh6x6-ag-16MB-t8", "mesh_2d:6,6", "all_gather", 16 * _MB),
+        DispatchScenario("disp-mesh8x8-ag-16MB-t8", "mesh_2d:8,8", "all_gather", 16 * _MB),
+        DispatchScenario("disp-mesh6x6-ar-16MB-t8", "mesh_2d:6,6", "all_reduce", 16 * _MB),
+        DispatchScenario(
+            "disp-ring16-bc-16MB-t16", "ring:16", "broadcast", 16 * _MB, trials=16
+        ),
+    ]
+
+
 GRIDS = {
     "smoke": _smoke_grid,
     "fig19": _fig19_grid,
@@ -384,6 +453,7 @@ GRIDS = {
     "pipeline": _pipeline_grid,
     "parallel": _parallel_grid,
     "native": _native_grid,
+    "dispatch": _dispatch_grid,
 }
 
 

@@ -1,6 +1,6 @@
 """Benchmark execution: time both engines, check equivalence, emit JSON.
 
-Five scenario kinds are executed (see :mod:`repro.bench.grid`); the two
+Six scenario kinds are executed (see :mod:`repro.bench.grid`); the two
 fundamental ones:
 
 * **synthesis** scenarios time the array-backed flat synthesis engine
@@ -35,6 +35,7 @@ from __future__ import annotations
 import json
 import math
 import os
+import pickle  # repro-lint: disable=J402 -- dispatch bench measures the legacy per-trial pickle transport's bytes; nothing is persisted
 import statistics
 import threading
 import time as _time
@@ -43,13 +44,22 @@ from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro import __version__
+from repro.api import broadcast
 from repro.api.builtins import parse_topology_spec
-from repro.api.parallel import BackendSpec, default_worker_count, effective_backend
+from repro.api.parallel import (
+    BackendSpec,
+    PoolBackend,
+    ProcessBackend,
+    chunk_items,
+    default_worker_count,
+    effective_backend,
+)
 from repro.api.registry import COLLECTIVES
 from repro.api.runner import build_topology
 from repro.baselines import direct_all_reduce, rhd_all_reduce, ring_all_reduce
 from repro.bench.grid import (
     BenchScenario,
+    DispatchScenario,
     NativeScenario,
     ParallelScenario,
     PipelineScenario,
@@ -57,6 +67,7 @@ from repro.bench.grid import (
     SimScenario,
     get_grid,
 )
+from repro.collectives import AllReduce
 from repro.bench.reference import (
     REFERENCE_ENGINE,
     ReferenceSimulator,
@@ -70,6 +81,7 @@ from repro.core.synthesizer import (
     FLAT_ENGINE,
     NATIVE_ENGINE,
     TacosSynthesizer,
+    TrialPayload,
     resolve_engine,
 )
 from repro.core.verification import verify_algorithm
@@ -99,8 +111,12 @@ __all__ = ["BenchRecord", "run_bench", "summarize", "write_report"]
 #: fields (the synthesis-engine tier each record timed), the envelope's
 #: ``engine`` and ``native`` (numba availability/version) blocks, and
 #: per-scenario ``skip_reference`` synthesis records with null reference
-#: timings inside otherwise-referenced runs.
-SCHEMA = "tacos-repro-bench/v5"
+#: timings inside otherwise-referenced runs;
+#: v6 adds the ``dispatch`` scenario kind (warm-vs-cold pool dispatch as the
+#: primary triple, per-trial submitted-payload-bytes and throughput in the new
+#: ``dispatch_metrics`` field) and the envelope's ``pool`` block (shared-memory
+#: broadcast availability/transport).
+SCHEMA = "tacos-repro-bench/v6"
 
 #: Logical schedule builders available to :class:`SimScenario`.
 _SCHEDULE_BUILDERS: Dict[str, Callable] = {
@@ -135,7 +151,18 @@ class BenchRecord:
     clock, ``flat_seconds`` the native-engine wall clock, ``speedup`` the
     native-over-flat ratio (~1x on the forced pure-Python kernel path,
     > 1x compiled) — and the ``simulation_*`` fields race the Python event
-    loop against the event-loop kernel the same way.
+    loop against the event-loop kernel the same way.  For
+    ``kind == "dispatch"`` the triple measures *dispatch overhead*, not
+    synthesis: ``reference_seconds`` is the cold path (spin up a fresh
+    process pool, run one fan-out, tear it down — what every per-call
+    ``process`` map pays), ``flat_seconds`` the same fan-out through an
+    already-warm persistent pool, ``speedup`` the cold/warm ratio; the
+    ``dispatch_metrics`` dict carries the per-trial submitted payload bytes
+    of the legacy pickle transport vs the broadcast plane (and their
+    reduction ratio), the broadcast blob size and transport, and the
+    sustained trials/sec through the warm pool, while ``backend_seconds``
+    holds full-synthesis medians for the serial/process/pool race whose
+    byte-identical winners back the ``equivalent`` flag.
 
     Reference timings are ``None`` when the run skipped the frozen object
     path (``--no-reference``) — except on ``parallel`` records, which never
@@ -146,7 +173,9 @@ class BenchRecord:
     """
 
     scenario: str
-    kind: str  #: ``"synthesis"``, ``"simulation"``, ``"pipeline"``, or ``"parallel"``
+    #: ``"synthesis"``, ``"simulation"``, ``"pipeline"``, ``"parallel"``,
+    #: ``"native"``, or ``"dispatch"``.
+    kind: str
     topology: str
     collective: str
     collective_size: float
@@ -171,9 +200,13 @@ class BenchRecord:
     #: Pipeline wall clock per layer (synthesize/verify/simulate/metrics).
     layer_seconds: Optional[Dict[str, float]] = None
     reference_layer_seconds: Optional[Dict[str, float]] = None
-    #: Per-backend median wall clocks (parallel scenarios).
+    #: Per-backend median wall clocks (parallel and dispatch scenarios).
     backend_seconds: Optional[Dict[str, float]] = None
-    workers: Optional[int] = None  #: pool width (parallel scenarios)
+    workers: Optional[int] = None  #: pool width (parallel/dispatch scenarios)
+    #: Dispatch-overhead measurements (dispatch scenarios): per-trial
+    #: submitted payload bytes on the legacy pickle vs broadcast transports,
+    #: their reduction ratio, blob size/transport, and warm-pool throughput.
+    dispatch_metrics: Optional[Dict[str, Any]] = None
     #: Synthesis-engine tier the record's primary timing ran under
     #: (``"flat"``, ``"native"``, ``"reference"``; simulation records report
     #: the array simulator as ``"flat"``).
@@ -675,6 +708,187 @@ def _run_parallel_scenario(
     )
 
 
+def _dispatch_probe(index: int) -> int:
+    """No-op fan-out task: measures dispatch machinery, not work (picklable)."""
+    return index
+
+
+def _direct_phase(pattern):
+    """The non-reducing pattern one direct synthesis trial of ``pattern`` runs.
+
+    This is what actually crosses the process boundary during a fan-out:
+    All-Reduce decomposes into Reduce-Scatter + All-Gather and reduction
+    patterns synthesize via their non-reducing dual, so the payload-bytes
+    measurement mirrors :meth:`TacosSynthesizer._synthesize_direct`'s inputs.
+    """
+    if isinstance(pattern, AllReduce):
+        return pattern.all_gather_phase()
+    if pattern.requires_reduction:
+        return pattern.non_reducing_dual() or pattern
+    return pattern
+
+
+def _run_dispatch_scenario(
+    scenario: DispatchScenario, repeats: int, check_equivalence: bool
+) -> BenchRecord:
+    """Measure what the persistent execution plane changes, honestly on 1 CPU.
+
+    Three independent measurements, none of which needs spare cores to be
+    meaningful:
+
+    * **per-trial submitted payload bytes** — the pickle the legacy per-call
+      ``process`` path ships for every trial (the full
+      :class:`~repro.core.synthesizer.TrialPayload` object graph) vs what the
+      broadcast plane actually submits (thin ``(BlobRef, seeds)`` chunks,
+      with the columnar blob published once per fan-out); the reduction
+      ratio is the headline payload metric;
+    * **cold vs warm dispatch latency** — the same no-op fan-out timed
+      through a fresh process pool (spin up, map, tear down — the per-call
+      cost every ``process`` map pays) and through an already-warm
+      :class:`~repro.api.parallel.PoolBackend` (the primary triple:
+      ``reference_seconds`` cold, ``flat_seconds`` warm);
+    * **sustained throughput** — full best-of-N syntheses through the warm
+      pool, reported as trials/sec in ``dispatch_metrics``.
+
+    The equivalence check races the identical synthesis under the serial,
+    process, and pool backends and asserts byte-identical winners via
+    :meth:`~repro.core.transfers.TransferTable.to_bytes`.
+    """
+    topology = build_topology(parse_topology_spec(scenario.topology))
+    factory = COLLECTIVES.get(scenario.collective)
+    pattern = factory(topology.num_npus, 1)
+
+    # --- payload bytes: legacy pickle transport vs broadcast plane --------
+    measured = _direct_phase(pattern)
+    chunk_size = measured.chunk_size(scenario.collective_size)
+    hop_distances = None
+    if TacosSynthesizer._needs_forwarding(measured):
+        hop_distances = topology.hop_distances()
+    cheap_regions = None
+    if not topology.is_homogeneous():
+        cheap_regions = topology.cheaper_reachability_regions(chunk_size)
+    payload = TrialPayload(
+        topology=topology,
+        pattern=measured,
+        collective_size=float(scenario.collective_size),
+        chunk_size=chunk_size,
+        hop_distances=hop_distances,
+        cheap_regions=cheap_regions,
+        engine=FLAT_ENGINE,
+        prefer_lowest_cost=True,
+        max_rounds=SynthesisConfig().max_rounds,
+    )
+    seeds = [scenario.seed + trial for trial in range(scenario.trials)]
+    legacy_bytes_per_trial = float(
+        len(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+    )
+    blob = payload.to_bytes()
+    ref = broadcast.publish(blob)
+    try:
+        shared_memory = ref.segment is not None
+        chunks = chunk_items(seeds, scenario.workers)
+        submitted = sum(
+            len(pickle.dumps((ref, chunk), protocol=pickle.HIGHEST_PROTOCOL))
+            for chunk in chunks
+        )
+    finally:
+        broadcast.release(ref)
+    pool_bytes_per_trial = submitted / len(seeds)
+    bytes_reduction = _safe_speedup(legacy_bytes_per_trial, pool_bytes_per_trial)
+
+    # --- cold vs warm dispatch latency ------------------------------------
+    probe_items = list(range(scenario.workers * 4))
+    cold_samples = []
+    for _ in range(max(1, repeats)):
+        started = _time.perf_counter()
+        ProcessBackend().map(_dispatch_probe, probe_items, max_workers=scenario.workers)
+        cold_samples.append(_time.perf_counter() - started)
+    cold_seconds = statistics.median(cold_samples)
+
+    warm_pool = PoolBackend()
+    try:
+        warm_pool.warm(scenario.workers)
+        warm_samples = []
+        for _ in range(max(3, repeats)):
+            started = _time.perf_counter()
+            warm_pool.map(_dispatch_probe, probe_items, max_workers=scenario.workers)
+            warm_samples.append(_time.perf_counter() - started)
+        warm_seconds = statistics.median(warm_samples)
+    finally:
+        warm_pool.shutdown()
+
+    # --- sustained throughput + serial/process/pool race ------------------
+    outcomes: Dict[str, Tuple[Any, float]] = {}
+    for execution in ("serial", "process", "pool"):
+        config = SynthesisConfig(
+            seed=scenario.seed,
+            trials=scenario.trials,
+            trial_workers=None if execution == "serial" else scenario.workers,
+            execution=execution,
+        )
+        synthesizer = TacosSynthesizer(config, engine=FLAT_ENGINE)
+        if execution == "pool":
+            # One unmeasured synthesis forks the persistent pool so the
+            # timed repeats measure sustained warm throughput, not spin-up.
+            synthesizer.synthesize_with_stats(
+                topology, pattern, scenario.collective_size
+            )
+        result, seconds = _median_wall_clock(
+            synthesizer, topology, pattern, scenario.collective_size, repeats
+        )
+        outcomes[execution] = (result, seconds)
+
+    equivalent: Optional[bool] = None
+    if check_equivalence:
+        payloads = {
+            execution: result.algorithm.table.to_bytes()
+            for execution, (result, _) in outcomes.items()
+        }
+        equivalent = payloads["serial"] == payloads["process"] == payloads["pool"]
+
+    serial_result, _ = outcomes["serial"]
+    _, pool_seconds = outcomes["pool"]
+    trials_per_second = scenario.trials / pool_seconds if pool_seconds > 0 else None
+    return BenchRecord(
+        scenario=scenario.name,
+        kind="dispatch",
+        topology=scenario.topology,
+        collective=scenario.collective,
+        collective_size=scenario.collective_size,
+        num_npus=topology.num_npus,
+        num_links=topology.num_links,
+        seed=scenario.seed,
+        trials=scenario.trials,
+        flat_seconds=warm_seconds,
+        reference_seconds=cold_seconds,
+        speedup=_safe_speedup(cold_seconds, warm_seconds),
+        equivalent=equivalent,
+        num_transfers=serial_result.algorithm.num_transfers,
+        collective_time=serial_result.algorithm.collective_time,
+        rounds=serial_result.rounds,
+        num_messages=0,
+        simulation_seconds=None,
+        reference_simulation_seconds=None,
+        simulation_speedup=None,
+        simulation_equivalent=None,
+        simulated_collective_time=0.0,
+        backend_seconds={
+            execution: seconds for execution, (_, seconds) in outcomes.items()
+        },
+        workers=scenario.workers,
+        dispatch_metrics={
+            "payload_bytes_per_trial_process": legacy_bytes_per_trial,
+            "payload_bytes_per_trial_pool": pool_bytes_per_trial,
+            "payload_bytes_reduction": bytes_reduction,
+            "broadcast_blob_bytes": float(len(blob)),
+            "broadcast_shared_memory": shared_memory,
+            "cold_dispatch_seconds": cold_seconds,
+            "warm_dispatch_seconds": warm_seconds,
+            "trials_per_second": trials_per_second,
+        },
+    )
+
+
 #: Serializes mutation of the module-level ``FORCE_PY_KERNEL`` flag under
 #: thread fan-out: a native scenario restoring the flag must never race a
 #: sibling that still depends on it.
@@ -802,6 +1016,8 @@ def _scenario_task(task: Tuple[Scenario, int, bool, bool, str]) -> BenchRecord:
         return _run_native_scenario(scenario, repeats, check_equivalence)
     if isinstance(scenario, ParallelScenario):
         return _run_parallel_scenario(scenario, repeats, check_equivalence)
+    if isinstance(scenario, DispatchScenario):
+        return _run_dispatch_scenario(scenario, repeats, check_equivalence)
     if isinstance(scenario, PipelineScenario):
         return _run_pipeline_scenario(
             scenario, repeats, check_equivalence, include_reference, engine_name
@@ -862,15 +1078,15 @@ def run_bench(
     if backend is None or backend.name == "serial":
         return [_scenario_task(task) for task in tasks]
     if backend.name == "thread":
-        # Fork safety: a ParallelScenario opens its own process pool, and
-        # forking from a process with running sibling threads is
-        # deadlock-prone (CPython 3.12+ warns on it).  Run the parallel-kind
-        # scenarios on the calling thread *before* the pool spins up, and
-        # fan only the rest out; record order still follows the grid.
+        # Fork safety: Parallel and Dispatch scenarios open their own process
+        # pools, and forking from a process with running sibling threads is
+        # deadlock-prone (CPython 3.12+ warns on it).  Run the forking
+        # scenario kinds on the calling thread *before* the pool spins up,
+        # and fan only the rest out; record order still follows the grid.
         results: List[Optional[BenchRecord]] = [None] * len(tasks)
         threaded_indices = []
         for index, task in enumerate(tasks):
-            if isinstance(task[0], ParallelScenario):
+            if isinstance(task[0], (ParallelScenario, DispatchScenario)):
                 results[index] = _scenario_task(task)
             else:
                 threaded_indices.append(index)
@@ -900,21 +1116,35 @@ def summarize(records: List[BenchRecord]) -> Dict[str, Any]:
     (~1x parity on the pure-Python kernel path), and their simulator triple
     races event-loop tiers, so they get their own ``*_native_speedup`` /
     ``native_equivalence_checked`` keys and never feed the headline
-    engine or simulator aggregates.  Only when the grid contains nothing
-    else (the ``parallel`` / ``native`` grids themselves) do those records
+    engine or simulator aggregates.  ``dispatch`` records measure pool
+    *dispatch overhead* (cold/warm spin-up ratio, submitted bytes) — again
+    incomparable — and get ``*_dispatch_speedup`` /
+    ``dispatch_equivalence_checked`` / ``median_payload_bytes_reduction``
+    keys.  Only when the grid contains nothing else (the ``parallel`` /
+    ``native`` / ``dispatch`` grids themselves) do those records
     feed the headline fields, so ``--history`` still shows their
     trajectories.  A mixed grid's engine summary (and the ``--min-speedup``
     gate / cross-report trend built on it) therefore never moves because a
     scaling scenario ran on a host with fewer cores or a kernel race ran
     without numba.
     """
-    engine_records = [record for record in records if record.kind not in ("parallel", "native")]
+    engine_records = [
+        record for record in records if record.kind not in ("parallel", "native", "dispatch")
+    ]
     parallel_records = [record for record in records if record.kind == "parallel"]
     native_records = [record for record in records if record.kind == "native"]
+    dispatch_records = [record for record in records if record.kind == "dispatch"]
     base = engine_records if engine_records else records
     sim_base = engine_records if engine_records else records
     parallel_speedups = _finite([record.speedup for record in parallel_records])
     native_speedups = _finite([record.speedup for record in native_records])
+    dispatch_speedups = _finite([record.speedup for record in dispatch_records])
+    payload_reductions = _finite(
+        [
+            (record.dispatch_metrics or {}).get("payload_bytes_reduction")
+            for record in dispatch_records
+        ]
+    )
     speedups = _finite([record.speedup for record in base])
     sim_speedups = _finite([record.simulation_speedup for record in sim_base])
     checked = [record.equivalent for record in base if record.equivalent is not None]
@@ -931,6 +1161,9 @@ def summarize(records: List[BenchRecord]) -> Dict[str, Any]:
         record.simulation_equivalent
         for record in sim_base
         if record.simulation_equivalent is not None
+    ]
+    dispatch_checked = [
+        record.equivalent for record in dispatch_records if record.equivalent is not None
     ]
     return {
         "num_scenarios": len(records),
@@ -964,6 +1197,16 @@ def summarize(records: List[BenchRecord]) -> Dict[str, Any]:
         "max_native_speedup": max(native_speedups) if native_speedups else None,
         "native_equivalence_checked": len(native_checked),
         "all_native_equivalent": all(native_checked) if native_checked else None,
+        "median_dispatch_speedup": (
+            statistics.median(dispatch_speedups) if dispatch_speedups else None
+        ),
+        "min_dispatch_speedup": min(dispatch_speedups) if dispatch_speedups else None,
+        "max_dispatch_speedup": max(dispatch_speedups) if dispatch_speedups else None,
+        "median_payload_bytes_reduction": (
+            statistics.median(payload_reductions) if payload_reductions else None
+        ),
+        "dispatch_equivalence_checked": len(dispatch_checked),
+        "all_dispatch_equivalent": all(dispatch_checked) if dispatch_checked else None,
     }
 
 
@@ -987,6 +1230,9 @@ def write_report(
     cannot be interpreted — and, since schema v5, the synthesis-engine tier
     the run timed plus the numba availability/version, without which a
     ``native`` grid's parity-vs-compiled numbers cannot be interpreted.
+    Schema v6 adds the ``pool`` block: whether the broadcast plane had
+    POSIX shared memory or fell back to inline bytes, without which a
+    ``dispatch`` grid's payload-bytes numbers cannot be interpreted.
     """
     report = {
         "schema": SCHEMA,
@@ -1003,6 +1249,12 @@ def write_report(
         "native": {
             "numba_available": NUMBA_AVAILABLE,
             "numba_version": NUMBA_VERSION,
+        },
+        "pool": {
+            "shared_memory_available": broadcast.shared_memory_available(),
+            "broadcast_transport": (
+                "shared_memory" if broadcast.shared_memory_available() else "inline"
+            ),
         },
         "summary": summarize(records),
         "records": [record.to_dict() for record in records],

@@ -111,7 +111,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="pool size for the synthesizer's randomized-trial fan-out",
     )
     synthesize.add_argument(
-        "--execution", choices=("serial", "thread", "process"), default=None,
+        "--execution", choices=("serial", "thread", "process", "pool"), default=None,
         help="execution backend for the trial fan-out "
         "(process = real multi-core parallelism; default: serial)",
     )
@@ -142,7 +142,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--chunks-per-npu", type=int, default=1)
     sweep.add_argument("--workers", "-w", type=int, default=None, help="worker pool size")
     sweep.add_argument(
-        "--execution", choices=("serial", "thread", "process"), default=None,
+        "--execution", choices=("serial", "thread", "process", "pool"), default=None,
         help="execution backend for the batch (--workers alone implies thread; "
         "process workers share results through the --cache-dir artifact store)",
     )
@@ -154,12 +154,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--grid",
-        choices=("smoke", "fig19", "full", "sim_stress", "pipeline", "parallel", "native"),
+        choices=("smoke", "fig19", "full", "sim_stress", "pipeline", "parallel", "native", "dispatch"),
         default="fig19",
         help="scenario grid (default: fig19; sim_stress exercises the simulator, "
         "pipeline the end-to-end synthesize+verify+simulate+metrics chain, "
         "parallel the execution-backend scaling of best-of-N synthesis, "
-        "native the flat-vs-native kernel equivalence races)",
+        "native the flat-vs-native kernel equivalence races, "
+        "dispatch the warm-pool dispatch overhead and payload-bytes plane)",
     )
     bench.add_argument(
         "--smoke", action="store_true", help="shorthand for --grid smoke (CI-sized)"
@@ -188,7 +189,7 @@ def build_parser() -> argparse.ArgumentParser:
         "scheduling noise from concurrent neighbours)",
     )
     bench.add_argument(
-        "--execution", choices=("serial", "thread", "process"), default=None,
+        "--execution", choices=("serial", "thread", "process", "pool"), default=None,
         help="execution backend for the scenario fan-out "
         "(--workers alone implies thread)",
     )
@@ -235,7 +236,7 @@ def build_parser() -> argparse.ArgumentParser:
         "(--workers alone implies the thread backend)",
     )
     experiments.add_argument(
-        "--execution", choices=("serial", "thread", "process"), default=None,
+        "--execution", choices=("serial", "thread", "process", "pool"), default=None,
         help="ambient execution backend while each experiment runs",
     )
 
@@ -481,17 +482,23 @@ def _resolve_comparison(
 
 
 def _print_comparison(comparison: Dict[str, Any], previous_path: Path) -> None:
-    header = f"{'scenario':<26} {'now (ms)':>10} {'prev (ms)':>10} {'delta':>8}"
+    header = f"{'scenario':<26} {'now':>12} {'prev':>12} {'delta':>8}"
     print(f"\ncompare vs {previous_path}:")
     print(header)
     print("-" * len(header))
     for delta in comparison["deltas"]:
         ratio = delta["ratio"]
+        # Every ratio is oriented so > 1 means regression; dispatch records
+        # compare throughput (trials/sec, higher is better), everything else
+        # wall clock in ms.
         change = "-" if ratio is None else f"{(ratio - 1.0) * 100.0:+.1f}%"
-        print(
-            f"{delta['scenario']:<26} {delta['current_seconds'] * 1e3:>10.1f} "
-            f"{delta['previous_seconds'] * 1e3:>10.1f} {change:>8}"
-        )
+        if delta.get("metric") == "trials_per_second":
+            now = f"{delta['current_seconds']:.1f}/s"
+            prev = f"{delta['previous_seconds']:.1f}/s"
+        else:
+            now = f"{delta['current_seconds'] * 1e3:.1f}ms"
+            prev = f"{delta['previous_seconds'] * 1e3:.1f}ms"
+        print(f"{delta['scenario']:<26} {now:>12} {prev:>12} {change:>8}")
     for name in comparison["only_current"]:
         print(f"{name:<26} (new scenario, no baseline)")
     median_ratio = comparison["median_ratio"]
@@ -685,6 +692,20 @@ def _cmd_bench(arguments: argparse.Namespace) -> int:
                 f"max {summary['max_native_speedup']:.2f}x; "
                 f"~1x expected on the pure-Python kernel path)"
             )
+        if summary.get("median_dispatch_speedup") is not None:
+            reduction = summary.get("median_payload_bytes_reduction")
+            reduction_text = (
+                f"; payload bytes/trial down {reduction:.1f}x via broadcast"
+                if reduction is not None
+                else ""
+            )
+            print(
+                f"median warm/cold dispatch speedup "
+                f"{summary['median_dispatch_speedup']:.2f}x "
+                f"(min {summary['min_dispatch_speedup']:.2f}x, "
+                f"max {summary['max_dispatch_speedup']:.2f}x)"
+                f"{reduction_text}"
+            )
         if comparison is not None and previous_path is not None:
             _print_comparison(comparison, previous_path)
     if summary["all_equivalent"] is False:
@@ -698,6 +719,12 @@ def _cmd_bench(arguments: argparse.Namespace) -> int:
         return 1
     if summary.get("all_native_equivalent") is False:
         print("error: native kernel tier disagrees with the flat engine", file=sys.stderr)
+        return 1
+    if summary.get("all_dispatch_equivalent") is False:
+        print(
+            "error: pool backend disagrees with serial/process on fixed-seed outputs",
+            file=sys.stderr,
+        )
         return 1
     if (
         arguments.min_speedup is not None

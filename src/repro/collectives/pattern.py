@@ -17,7 +17,7 @@ from typing import Dict, FrozenSet, Optional
 
 from repro.errors import CollectiveError
 
-__all__ = ["ChunkOwnership", "CollectivePattern"]
+__all__ = ["ChunkOwnership", "CollectivePattern", "FrozenPattern"]
 
 #: Mapping from NPU index to the (frozen) set of chunk ids it holds.
 ChunkOwnership = Dict[int, FrozenSet[int]]
@@ -137,3 +137,90 @@ class CollectivePattern(ABC):
 
     def __hash__(self) -> int:
         return hash((type(self).__name__, self.num_npus, self.chunks_per_npu))
+
+
+class FrozenPattern(CollectivePattern):
+    """A pattern reconstituted from serialized pre/postcondition columns.
+
+    The broadcast plane (:meth:`repro.core.synthesizer.TrialPayload.to_bytes`)
+    ships patterns as their observable *conditions* — exactly what one direct
+    synthesis trial consumes: the name, the dimensions, and the two ownership
+    maps.  A :class:`FrozenPattern` carries those verbatim and nothing else;
+    in particular it has no chunk-size rule (:meth:`chunk_size` raises),
+    because the trial payload ships the precomputed chunk size alongside it.
+
+    Equality is by conditions, not by type: a frozen pattern equals the
+    pattern it was frozen from whenever name, dimensions, and both ownership
+    maps match — that is what the broadcast round-trip suites assert.
+    """
+
+    requires_reduction = False
+
+    def __init__(
+        self,
+        name: str,
+        num_npus: int,
+        chunks_per_npu: int,
+        num_chunks: int,
+        precondition: ChunkOwnership,
+        postcondition: ChunkOwnership,
+    ) -> None:
+        super().__init__(num_npus, chunks_per_npu)
+        if num_chunks < 1:
+            raise CollectiveError(f"num_chunks must be at least 1, got {num_chunks}")
+        self.name = str(name)
+        self._num_chunks = int(num_chunks)
+        self._precondition = {
+            npu: frozenset(chunks) for npu, chunks in precondition.items()
+        }
+        self._postcondition = {
+            npu: frozenset(chunks) for npu, chunks in postcondition.items()
+        }
+
+    @property
+    def num_chunks(self) -> int:
+        return self._num_chunks
+
+    def precondition(self) -> ChunkOwnership:
+        return dict(self._precondition)
+
+    def postcondition(self) -> ChunkOwnership:
+        return dict(self._postcondition)
+
+    def chunk_size(self, collective_size: float) -> float:
+        raise CollectiveError(
+            f"{self.name}: a frozen pattern carries no chunk-size rule; the "
+            "trial payload ships the precomputed chunk size instead"
+        )
+
+    def conditions_equal(self, other: "CollectivePattern") -> bool:
+        """Whether ``other`` exposes the same observable conditions.
+
+        Ownership maps are compared with absent NPUs normalized to empty
+        chunk sets — patterns are free to omit empty rows, the serialized
+        columns always materialize them.
+        """
+
+        def normalized(ownership: ChunkOwnership, num_npus: int) -> ChunkOwnership:
+            return {
+                npu: frozenset(ownership.get(npu, frozenset())) for npu in range(num_npus)
+            }
+
+        return (
+            self.name == other.name
+            and self.num_npus == other.num_npus
+            and self.chunks_per_npu == other.chunks_per_npu
+            and self.num_chunks == other.num_chunks
+            and normalized(self._precondition, self.num_npus)
+            == normalized(other.precondition(), other.num_npus)
+            and normalized(self._postcondition, self.num_npus)
+            == normalized(other.postcondition(), other.num_npus)
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CollectivePattern):
+            return NotImplemented
+        return self.conditions_equal(other)
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.num_npus, self.chunks_per_npu, self._num_chunks))

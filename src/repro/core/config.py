@@ -51,7 +51,8 @@ class SynthesisConfig:
         order-independent.
     execution:
         Execution backend for the trial fan-out: ``"serial"``, ``"thread"``,
-        ``"process"``, or ``None`` (the default) to follow ``trial_workers``
+        ``"process"``, ``"pool"`` (a persistent process pool kept warm across
+        fan-outs), or ``None`` (the default) to follow ``trial_workers``
         semantics / the ambient scope.
     """
 
@@ -72,9 +73,15 @@ class SynthesisConfig:
             raise SynthesisError(
                 f"trial_workers must be at least 1 (or None), got {self.trial_workers}"
             )
-        if self.execution is not None and self.execution not in ("serial", "thread", "process"):
+        if self.execution is not None and self.execution not in (
+            "serial",
+            "thread",
+            "process",
+            "pool",
+        ):
             raise SynthesisError(
-                f"execution must be serial, thread, or process (or None), got {self.execution!r}"
+                "execution must be serial, thread, process, or pool (or None), "
+                f"got {self.execution!r}"
             )
 
     def trial_seed(self, trial: int) -> int:

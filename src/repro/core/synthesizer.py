@@ -11,14 +11,18 @@ time; an All-Reduce is a Reduce-Scatter followed by an All-Gather.
 from __future__ import annotations
 
 import random
+import struct
 import time as _time
 import warnings
+from collections import OrderedDict
 from dataclasses import dataclass
 from functools import partial
 from typing import Callable, Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.collectives.all_reduce import AllReduce
-from repro.collectives.pattern import CollectivePattern
+from repro.collectives.pattern import ChunkOwnership, CollectivePattern, FrozenPattern
 from repro.core.algorithm import CollectiveAlgorithm
 from repro.core.config import SynthesisConfig
 from repro.core.matching import MatchingState, run_matching_round
@@ -143,6 +147,222 @@ class TrialPayload:
     prefer_lowest_cost: bool
     max_rounds: int
 
+    def to_bytes(self) -> bytes:
+        """Serialize to the broadcast plane's columnar wire format.
+
+        Everything a trial consumes crosses as validated LE64 columns: the
+        topology via :meth:`~repro.topology.topology.Topology.to_bytes`, the
+        pattern as its pre/postcondition CSR columns (rebuilt as a
+        :class:`~repro.collectives.pattern.FrozenPattern`), hop distances and
+        cheaper-reachability regions as flat integer/float columns, and the
+        engine *by registry name*.  Chunk sets are emitted sorted, so equal
+        payloads always produce identical bytes — the blob's content hash is
+        a payload identity the broadcast plane and worker caches key on.
+
+        Raises :class:`~repro.errors.SynthesisError` when the engine is not
+        the registered engine of its name (an anonymous or shadowed engine
+        cannot be resolved on the worker side); callers fall back to the
+        per-item pickle transport then.
+        """
+        if ENGINES.get(self.engine.name) is not self.engine:
+            raise SynthesisError(
+                f"engine {self.engine.name!r} is not the registered engine of that "
+                "name; broadcast serialization ships engines by registry name"
+            )
+        topology_blob = self.topology.to_bytes()
+        pattern = self.pattern
+        name_bytes = pattern.name.encode("utf-8")
+        num_npus = pattern.num_npus
+        engine_bytes = self.engine.name.encode("utf-8")
+        parts = [
+            _PAYLOAD_MAGIC,
+            struct.pack("<Q", len(topology_blob)),
+            topology_blob,
+            struct.pack("<Q", len(name_bytes)),
+            name_bytes,
+            struct.pack("<QQQ", num_npus, pattern.chunks_per_npu, pattern.num_chunks),
+            _pack_ownership(pattern.precondition(), num_npus),
+            _pack_ownership(pattern.postcondition(), num_npus),
+            struct.pack("<dd", float(self.collective_size), float(self.chunk_size)),
+        ]
+        if self.hop_distances is None:
+            parts.append(struct.pack("<B", 0))
+        else:
+            parts.append(struct.pack("<B", 1))
+            flat = np.ascontiguousarray(self.hop_distances, dtype="<i8")
+            parts.append(flat.tobytes())
+        if self.cheap_regions is None:
+            parts.append(struct.pack("<B", 0))
+        else:
+            parts.append(struct.pack("<BQ", 1, len(self.cheap_regions)))
+            for cost, per_dest in self.cheap_regions.items():
+                parts.append(struct.pack("<d", float(cost)))
+                parts.append(_pack_region_columns(per_dest, self.topology.num_npus))
+        parts.append(struct.pack("<Q", len(engine_bytes)))
+        parts.append(engine_bytes)
+        parts.append(struct.pack("<BQ", 1 if self.prefer_lowest_cost else 0, self.max_rounds))
+        return b"".join(parts)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "TrialPayload":
+        """Rebuild a payload serialized by :meth:`to_bytes`, validating loudly.
+
+        The pattern comes back as a
+        :class:`~repro.collectives.pattern.FrozenPattern` (same observable
+        conditions, no size rule — the chunk size travels precomputed) and
+        the engine resolves through the registry by name, so a worker runs
+        exactly the engine the parent selected.
+        """
+        reader = _PayloadReader(data)
+        reader.expect_magic(_PAYLOAD_MAGIC)
+        topology = Topology.from_bytes(reader.read_sized())
+        pattern_name = reader.read_sized().decode("utf-8")
+        num_npus, chunks_per_npu, num_chunks = reader.unpack("<QQQ")
+        precondition = reader.read_ownership(num_npus)
+        postcondition = reader.read_ownership(num_npus)
+        collective_size, chunk_size = reader.unpack("<dd")
+        hop_distances: Optional[List[List[int]]] = None
+        (has_hops,) = reader.unpack("<B")
+        if has_hops:
+            flat = reader.read_int_column(topology.num_npus * topology.num_npus)
+            width = topology.num_npus
+            hop_distances = [
+                [int(value) for value in flat[row * width : (row + 1) * width]]
+                for row in range(width)
+            ]
+        cheap_regions: Optional[dict] = None
+        (has_cheap,) = reader.unpack("<B")
+        if has_cheap:
+            (tiers,) = reader.unpack("<Q")
+            cheap_regions = {}
+            for _ in range(tiers):
+                (cost,) = reader.unpack("<d")
+                cheap_regions[cost] = reader.read_region_columns(topology.num_npus)
+        engine_name = reader.read_sized().decode("utf-8")
+        prefer_lowest_cost, max_rounds = reader.unpack("<BQ")
+        reader.expect_exhausted()
+        engine = ENGINES.get(engine_name)
+        if engine is None:
+            engine = resolve_engine(engine_name)
+        pattern = FrozenPattern(
+            pattern_name,
+            int(num_npus),
+            int(chunks_per_npu),
+            int(num_chunks),
+            precondition,
+            postcondition,
+        )
+        return cls(
+            topology=topology,
+            pattern=pattern,
+            collective_size=float(collective_size),
+            chunk_size=float(chunk_size),
+            hop_distances=hop_distances,
+            cheap_regions=cheap_regions,
+            engine=engine,
+            prefer_lowest_cost=bool(prefer_lowest_cost),
+            max_rounds=int(max_rounds),
+        )
+
+
+#: Magic prefix of the :meth:`TrialPayload.to_bytes` wire format.
+_PAYLOAD_MAGIC = b"TACOSPL1"
+
+
+def _pack_ownership(ownership: ChunkOwnership, num_npus: int) -> bytes:
+    """CSR-encode an ownership map: ``<q`` indptr row, then sorted chunk ids."""
+    indptr = [0]
+    members: List[int] = []
+    for npu in range(num_npus):
+        members.extend(sorted(ownership.get(npu, frozenset())))
+        indptr.append(len(members))
+    return (
+        np.ascontiguousarray(indptr, dtype="<i8").tobytes()
+        + np.ascontiguousarray(members, dtype="<i8").tobytes()
+    )
+
+
+def _pack_region_columns(per_dest: List[frozenset], num_npus: int) -> bytes:
+    """CSR-encode one cheaper-reachability tier (per-dest NPU sets)."""
+    if len(per_dest) != num_npus:
+        raise SynthesisError(
+            f"cheap-region tier has {len(per_dest)} destinations, expected {num_npus}"
+        )
+    indptr = [0]
+    members: List[int] = []
+    for region in per_dest:
+        members.extend(sorted(region))
+        indptr.append(len(members))
+    return (
+        np.ascontiguousarray(indptr, dtype="<i8").tobytes()
+        + np.ascontiguousarray(members, dtype="<i8").tobytes()
+    )
+
+
+class _PayloadReader:
+    """Sequential validated reader over a :meth:`TrialPayload.to_bytes` blob."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._offset = 0
+
+    def expect_magic(self, magic: bytes) -> None:
+        if self._data[: len(magic)] != magic:
+            raise SynthesisError("not a serialized TrialPayload (bad magic)")
+        self._offset = len(magic)
+
+    def unpack(self, fmt: str) -> tuple:
+        size = struct.calcsize(fmt)
+        self._require(size)
+        values = struct.unpack_from(fmt, self._data, self._offset)
+        self._offset += size
+        return values
+
+    def read_sized(self) -> bytes:
+        (length,) = self.unpack("<Q")
+        self._require(length)
+        blob = self._data[self._offset : self._offset + length]
+        self._offset += length
+        return blob
+
+    def read_int_column(self, count: int) -> np.ndarray:
+        self._require(count * 8)
+        column = np.frombuffer(self._data, dtype="<i8", count=count, offset=self._offset)
+        self._offset += count * 8
+        return column
+
+    def read_ownership(self, num_npus: int) -> ChunkOwnership:
+        indptr = self.read_int_column(int(num_npus) + 1)
+        self._check_indptr(indptr)
+        members = self.read_int_column(int(indptr[-1]))
+        return {
+            npu: frozenset(int(chunk) for chunk in members[indptr[npu] : indptr[npu + 1]])
+            for npu in range(int(num_npus))
+        }
+
+    def read_region_columns(self, num_npus: int) -> List[frozenset]:
+        indptr = self.read_int_column(num_npus + 1)
+        self._check_indptr(indptr)
+        members = self.read_int_column(int(indptr[-1]))
+        return [
+            frozenset(int(npu) for npu in members[indptr[dest] : indptr[dest + 1]])
+            for dest in range(num_npus)
+        ]
+
+    def expect_exhausted(self) -> None:
+        if self._offset != len(self._data):
+            raise SynthesisError(
+                f"serialized TrialPayload has {len(self._data) - self._offset} trailing bytes"
+            )
+
+    def _check_indptr(self, indptr: np.ndarray) -> None:
+        if len(indptr) == 0 or indptr[0] != 0 or np.any(np.diff(indptr) < 0):
+            raise SynthesisError("serialized TrialPayload has a corrupt CSR index")
+
+    def _require(self, size: int) -> None:
+        if self._offset + size > len(self._data):
+            raise SynthesisError("serialized TrialPayload is truncated")
+
 
 def _execute_trial(payload: TrialPayload, seed: int) -> Tuple[CollectiveAlgorithm, int]:
     """One randomized synthesis run (Alg. 2): returns (algorithm, rounds)."""
@@ -227,6 +447,79 @@ def _decode_trial_outcome(
         metadata=metadata,
     )
     return algorithm, rounds
+
+
+# Worker-side decoded-payload cache, keyed by the blob's content hash.  A warm
+# PoolBackend worker decodes each distinct payload once and then serves every
+# later chunk of the same fan-out — and of *later* fan-outs over the same
+# inputs — from here.  Content addressing makes this safe: equal key implies
+# equal bytes implies an identical payload.  Bounded so long-lived workers do
+# not accumulate every payload they ever saw.
+_PAYLOAD_CACHE: "OrderedDict[str, TrialPayload]" = OrderedDict()
+_PAYLOAD_CACHE_LIMIT = 8
+
+
+def _fetch_payload(ref) -> TrialPayload:
+    """Resolve a broadcast ref to a decoded payload via the per-process cache."""
+    payload = _PAYLOAD_CACHE.get(ref.key)
+    if payload is not None:
+        _PAYLOAD_CACHE.move_to_end(ref.key)
+        return payload
+    from repro.api.broadcast import fetch  # deferred: avoids an import cycle
+
+    payload = TrialPayload.from_bytes(fetch(ref))
+    _PAYLOAD_CACHE[ref.key] = payload
+    while len(_PAYLOAD_CACHE) > _PAYLOAD_CACHE_LIMIT:
+        _PAYLOAD_CACHE.popitem(last=False)
+    return payload
+
+
+def _run_trial_chunk(ref, seeds: List[int]) -> List[Tuple[bytes, dict, int]]:
+    """Thin chunked trial task: a broadcast ref plus seeds, nothing bulky.
+
+    This is what actually crosses the process boundary on the broadcast
+    path — per chunk, one tiny :class:`~repro.api.broadcast.BlobRef` and a
+    list of integer seeds, instead of one full payload pickle per trial.
+    """
+    payload = _fetch_payload(ref)
+    return [_run_trial_task(payload, seed) for seed in seeds]
+
+
+def _fan_out_trials(
+    payload: TrialPayload, seeds: List[int], backend, workers: Optional[int]
+) -> List[Tuple[CollectiveAlgorithm, int]]:
+    """Broadcast-once/submit-thin trial fan-out for process-based backends.
+
+    The payload is published once per fan-out as a content-hash-addressed
+    blob (:mod:`repro.api.broadcast`) and the seeds are submitted in
+    contiguous chunks, so N trials ship N seeds plus a handful of refs — not
+    N topology pickles.  Payloads that cannot be serialized by name (an
+    unregistered custom engine) fall back to the per-trial pickle transport;
+    either way the outcomes, and therefore the best-of selection, are
+    byte-identical.
+    """
+    from repro.api.parallel import chunk_items  # deferred: avoids an import cycle
+
+    try:
+        blob = payload.to_bytes()
+    except SynthesisError:
+        packed = backend.map(partial(_run_trial_task, payload), seeds, max_workers=workers)
+        return [_decode_trial_outcome(payload, item) for item in packed]
+
+    from repro.api import broadcast  # deferred: avoids an import cycle
+
+    ref = broadcast.publish(blob)
+    try:
+        chunks = chunk_items(seeds, workers)
+        packed_chunks = backend.map(
+            partial(_run_trial_chunk, ref), chunks, max_workers=workers
+        )
+    finally:
+        broadcast.release(ref)
+    outcomes: List[Tuple[CollectiveAlgorithm, int]] = []
+    for chunk in packed_chunks:
+        outcomes.extend(_decode_trial_outcome(payload, item) for item in chunk)
+    return outcomes
 
 
 @dataclass
@@ -422,13 +715,13 @@ class TacosSynthesizer:
         seeds = [self.config.trial_seed(trial) for trial in range(self.config.trials)]
         backend, workers = self._trial_execution()
         if backend is not None and len(seeds) > 1:
-            if backend.name == "process":
-                # Module-level task + columnar byte transport: picklable both
-                # ways, no per-transfer object graphs on the wire.
-                packed = backend.map(
-                    partial(_run_trial_task, payload), seeds, max_workers=workers
-                )
-                outcomes = [_decode_trial_outcome(payload, item) for item in packed]
+            if getattr(backend, "process_based", False):
+                # Broadcast-once/submit-thin: the payload crosses the process
+                # boundary once as content-hash-addressed columnar bytes and
+                # the seeds follow in thin chunks; results come back as
+                # columnar TransferTable bytes.  No per-trial object graphs
+                # on the wire in either direction.
+                outcomes = _fan_out_trials(payload, seeds, backend, workers)
             else:
                 outcomes = backend.map(
                     partial(_execute_trial, payload), seeds, max_workers=workers

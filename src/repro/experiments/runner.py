@@ -78,7 +78,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "(--workers alone implies the thread backend)",
     )
     parser.add_argument(
-        "--execution", choices=("serial", "thread", "process"), default=None,
+        "--execution", choices=("serial", "thread", "process", "pool"), default=None,
         help="execution backend installed as the ambient policy while each "
         "experiment runs; experiment data is byte-identical across backends",
     )

@@ -99,7 +99,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--execution",
-        choices=("serial", "thread", "process"),
+        choices=("serial", "thread", "process", "pool"),
         default=None,
         help="execution backend for the per-module fan-out",
     )

@@ -66,6 +66,23 @@ DEFAULT_FANOUT_RECEIVERS: Tuple[str, ...] = ("backend",)
 #: Class-name suffixes identifying worker payload classes for rule P202.
 DEFAULT_PAYLOAD_SUFFIXES: Tuple[str, ...] = ("Payload",)
 
+#: Pool/executor constructor qualified names rule P203 watches for.
+DEFAULT_EXECUTOR_FACTORIES: Tuple[str, ...] = (
+    "concurrent.futures.ProcessPoolExecutor",
+    "concurrent.futures.ThreadPoolExecutor",
+    "concurrent.futures.process.ProcessPoolExecutor",
+    "concurrent.futures.thread.ThreadPoolExecutor",
+    "multiprocessing.Pool",
+    "multiprocessing.pool.Pool",
+    "multiprocessing.pool.ThreadPool",
+    "multiprocessing.dummy.Pool",
+)
+
+#: Modules exempt from P203: the execution-backend seam itself *owns* pool
+#: construction and lifecycle; everyone else should route fan-outs through
+#: it instead of spinning up ad-hoc executors per call.
+DEFAULT_EXECUTOR_MODULES: Tuple[str, ...] = ("repro.api.parallel",)
+
 #: Operand names treated as cost-model terms by the float-association rule.
 DEFAULT_COST_TERMS: Tuple[str, ...] = (
     "alpha",
@@ -136,6 +153,8 @@ class LintConfig:
     fanout_methods: Tuple[str, ...] = DEFAULT_FANOUT_METHODS
     fanout_receivers: Tuple[str, ...] = DEFAULT_FANOUT_RECEIVERS
     payload_suffixes: Tuple[str, ...] = DEFAULT_PAYLOAD_SUFFIXES
+    executor_factories: Tuple[str, ...] = DEFAULT_EXECUTOR_FACTORIES
+    executor_modules: Tuple[str, ...] = DEFAULT_EXECUTOR_MODULES
     cost_terms: Tuple[str, ...] = DEFAULT_COST_TERMS
     row_fields: Tuple[str, ...] = DEFAULT_ROW_FIELDS
     row_sources: Tuple[str, ...] = DEFAULT_ROW_SOURCES
@@ -314,6 +333,8 @@ def load_config(pyproject: Optional[Path] = None) -> LintConfig:
         "fanout-methods",
         "fanout-receivers",
         "payload-suffixes",
+        "executor-factories",
+        "executor-modules",
         "cost-terms",
         "row-fields",
         "row-sources",
@@ -346,6 +367,8 @@ def load_config(pyproject: Optional[Path] = None) -> LintConfig:
         "fanout-methods": "fanout_methods",
         "fanout-receivers": "fanout_receivers",
         "payload-suffixes": "payload_suffixes",
+        "executor-factories": "executor_factories",
+        "executor-modules": "executor_modules",
         "cost-terms": "cost_terms",
         "row-fields": "row_fields",
         "row-sources": "row_sources",

@@ -11,12 +11,16 @@ dynamic suites only exercise the code paths they know about.
 P201 classifies the callable argument at every fan-out call site; P202
 audits worker payload classes (``*Payload`` by naming convention) for
 fields that are structurally unpicklable (locks, open files, generators,
-lambda defaults).
+lambda defaults); P203 flags ad-hoc pool/executor construction inside a
+loop or inside a ``map``-shaped function outside the backend modules —
+every such call pays full process spin-up that the persistent
+:class:`~repro.api.parallel.PoolBackend` amortizes across fan-outs.
 """
 
 from __future__ import annotations
 
 import ast
+from fnmatch import fnmatchcase
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.lint.context import ModuleContext, ProjectIndex
@@ -27,6 +31,8 @@ __all__ = ["RULES", "check"]
 RULES: Dict[str, str] = {
     "P201": "callable at an ExecutionBackend fan-out seam is not a module-level def",
     "P202": "worker payload class carries a field of a known-unpicklable type",
+    "P203": "pool/executor constructed per call (in a loop or map-shaped function) "
+    "outside the execution-backend modules",
 }
 
 #: Annotation names (bare or qualified tail) that cannot cross a process
@@ -56,6 +62,7 @@ _UNPICKLABLE_ANNOTATIONS = {
 def check(context: ModuleContext, index: ProjectIndex) -> Iterator[Finding]:
     yield from _check_fanout_callables(context, index)
     yield from _check_payload_classes(context)
+    yield from _check_executor_construction(context)
 
 
 # ----------------------------------------------------------------------
@@ -230,3 +237,68 @@ def _check_payload_classes(context: ModuleContext) -> Iterator[Finding]:
                     "must cross the process boundary via pickle — carry plain "
                     "data (or columnar bytes) instead",
                 )
+
+
+# ----------------------------------------------------------------------
+# P203 — per-call executor construction
+# ----------------------------------------------------------------------
+#: Function-name shapes that mark a fan-out helper: a pool constructed
+#: inside one is re-created on *every* mapped batch.
+_MAP_SHAPED_NAMES = ("map", "map_*", "*_map")
+
+
+def _is_map_shaped(name: str) -> bool:
+    return any(fnmatchcase(name, pattern) for pattern in _MAP_SHAPED_NAMES)
+
+
+def _check_executor_construction(context: ModuleContext) -> Iterator[Finding]:
+    """P203: an executor born inside a loop or a ``map``-shaped function.
+
+    The execution-backend modules (``executor-modules`` config, default
+    ``repro.api.parallel``) are exempt — owning pool construction and
+    lifecycle is exactly their job; everywhere else a per-call executor
+    silently pays worker spin-up on every fan-out that the persistent
+    pool backend amortizes.  Conservative by construction: only
+    constructor calls that resolve to a known executor factory
+    (``executor-factories`` config) are flagged, and only when they sit
+    lexically inside a ``for``/``while`` body or a function whose name
+    matches a ``map`` shape.
+    """
+    if any(
+        fnmatchcase(context.module_name, pattern)
+        for pattern in context.config.executor_modules
+    ):
+        return
+    factories = set(context.config.executor_factories)
+
+    def walk(node: ast.AST, loop_depth: int, map_function: Optional[str]) -> Iterator[Finding]:
+        for child in ast.iter_child_nodes(node):
+            child_loop = loop_depth
+            child_map = map_function
+            if isinstance(child, (ast.For, ast.AsyncFor, ast.While)):
+                child_loop += 1
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # A nested def resets the loop context (its body runs per
+                # call, not per iteration) but inherits/establishes the
+                # map-shaped context.
+                child_loop = 0
+                child_map = child.name if _is_map_shaped(child.name) else map_function
+            elif isinstance(child, ast.Call):
+                qualified = context.qualified_name(child.func)
+                if qualified in factories and (loop_depth > 0 or map_function is not None):
+                    where = (
+                        "inside a loop"
+                        if loop_depth > 0
+                        else f"inside map-shaped function {map_function!r}"
+                    )
+                    yield context.finding(
+                        "P203",
+                        child,
+                        f"{qualified} constructed {where}: every fan-out pays "
+                        "full worker spin-up; construct the pool once outside "
+                        "(or route the fan-out through the persistent pool "
+                        "backend in repro.api.parallel)",
+                    )
+            yield from walk(child, child_loop, child_map)
+
+    yield from walk(context.tree, 0, None)

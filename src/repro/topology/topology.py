@@ -11,14 +11,19 @@ from __future__ import annotations
 
 import heapq
 import math
+import struct
 from typing import Dict, Iterable, Iterator, List, NamedTuple, Optional, Sequence, Tuple
 
 import networkx as nx
+import numpy as np
 
 from repro.errors import TopologyError
 from repro.topology.link import Link, bandwidth_to_beta
 
 __all__ = ["LinkArrays", "Topology"]
+
+#: Magic prefix of the :meth:`Topology.to_bytes` wire format.
+_BYTES_MAGIC = b"TACOSTP1"
 
 
 class LinkArrays(NamedTuple):
@@ -554,6 +559,71 @@ class Topology:
         for link in self._links.values():
             duplicate.add_link(link.source, link.dest, alpha=link.alpha, beta=link.beta)
         return duplicate
+
+    def to_bytes(self) -> bytes:
+        """Serialize to a compact validated binary blob (LE64 link columns).
+
+        Layout: an 8-byte magic, ``<Q`` NPU count / link count / name length,
+        the UTF-8 name, then four raw columns in link-id (insertion) order —
+        sources and dests as ``<i8``, alphas and betas as ``<f8`` (bit-exact,
+        so costs round-trip to the float, including ``beta == 0``
+        pure-latency links).  This is the broadcast-plane wire format
+        (:mod:`repro.api.broadcast`): the same topology always serializes to
+        the same bytes, so the blob's content hash is a topology identity.
+        """
+        arrays = self.link_arrays()
+        name_bytes = self.name.encode("utf-8")
+        parts = [
+            _BYTES_MAGIC,
+            struct.pack("<QQQ", self._num_npus, self.num_links, len(name_bytes)),
+            name_bytes,
+            np.ascontiguousarray(arrays.sources, dtype="<i8").tobytes(),
+            np.ascontiguousarray(arrays.dests, dtype="<i8").tobytes(),
+            np.ascontiguousarray(arrays.alphas, dtype="<f8").tobytes(),
+            np.ascontiguousarray(arrays.betas, dtype="<f8").tobytes(),
+        ]
+        return b"".join(parts)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Topology":
+        """Rebuild a topology serialized by :meth:`to_bytes`, validating loudly.
+
+        The magic, the exact byte length, and every link (NPU ranges,
+        duplicate links, alpha/beta domain checks via
+        :meth:`add_link`/:class:`~repro.topology.link.Link`) are verified;
+        corrupt input raises :class:`~repro.errors.TopologyError` rather than
+        producing a silently wrong network.  Link ids (insertion order) and
+        the name are preserved, so ``from_bytes(t.to_bytes())`` equals ``t``
+        and re-serializes to identical bytes.
+        """
+        header = len(_BYTES_MAGIC) + 24
+        if len(data) < header or data[: len(_BYTES_MAGIC)] != _BYTES_MAGIC:
+            raise TopologyError("not a serialized Topology (bad magic)")
+        num_npus, num_links, name_length = struct.unpack_from(
+            "<QQQ", data, len(_BYTES_MAGIC)
+        )
+        expected = header + name_length + num_links * 32
+        if len(data) != expected:
+            raise TopologyError(
+                f"serialized Topology length mismatch: expected {expected} bytes, got {len(data)}"
+            )
+        name = data[header : header + name_length].decode("utf-8")
+        offset = header + name_length
+        columns = []
+        for dtype in ("<i8", "<i8", "<f8", "<f8"):
+            column = np.frombuffer(data, dtype=dtype, count=num_links, offset=offset)
+            columns.append(column)
+            offset += num_links * 8
+        sources, dests, alphas, betas = columns
+        topology = cls(num_npus, name=name)
+        for index in range(num_links):
+            topology.add_link(
+                int(sources[index]),
+                int(dests[index]),
+                alpha=float(alphas[index]),
+                beta=float(betas[index]),
+            )
+        return topology
 
     def to_networkx(self) -> "nx.DiGraph":
         """Export the topology as a :class:`networkx.DiGraph`.

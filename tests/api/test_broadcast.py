@@ -1,0 +1,123 @@
+"""The broadcast plane: content-hash identity, refcounting, transports.
+
+These tests exercise the publisher registry in-process and the fallback
+transport by simulating a host without shared memory; the cross-process
+attach path is covered by the pool-backend equivalence suites, which fan
+real syntheses out through it.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.api import broadcast
+from repro.api.broadcast import BlobRef, fetch, publish, published_segments, release
+from repro.errors import ReproError
+
+
+@pytest.fixture(autouse=True)
+def _clean_caches():
+    # The worker-side bytes cache is per-process state; isolate each test.
+    with broadcast._LOCK:
+        broadcast._FETCHED.clear()
+        broadcast._FETCHED_ORDER.clear()
+    yield
+    with broadcast._LOCK:
+        broadcast._FETCHED.clear()
+        broadcast._FETCHED_ORDER.clear()
+
+
+class TestPublishFetch:
+    def test_round_trip_and_content_key(self):
+        data = b"broadcast me" * 100
+        ref = publish(data)
+        try:
+            assert ref.key == hashlib.sha256(data).hexdigest()
+            assert ref.size == len(data)
+            assert fetch(ref) == data
+        finally:
+            release(ref)
+
+    def test_publish_same_content_refcounts_one_segment(self):
+        data = b"shared content"
+        first = publish(data)
+        second = publish(data)
+        try:
+            if first.segment is not None:
+                assert first.segment == second.segment
+                assert published_segments() == 1
+            release(first)
+            # One reference remains: the blob is still fetchable.
+            assert fetch(second) == data
+        finally:
+            release(second)
+
+    def test_release_is_idempotent_and_final(self):
+        data = b"short lived"
+        ref = publish(data)
+        release(ref)
+        release(ref)  # double release must not raise or unlink a stranger
+        if ref.segment is not None:
+            with pytest.raises(ReproError, match="no longer published"):
+                fetch(ref)
+
+    def test_fetch_caches_per_process(self):
+        data = b"cache me"
+        ref = publish(data)
+        try:
+            assert fetch(ref) == data
+        finally:
+            release(ref)
+        # Served from the bounded bytes cache even after release.
+        assert fetch(ref) == data
+
+    def test_fetch_cache_is_bounded(self):
+        refs = [publish(f"blob {index}".encode()) for index in range(6)]
+        try:
+            for ref in refs:
+                fetch(ref)
+            assert len(broadcast._FETCHED) <= broadcast._FETCH_CACHE_LIMIT
+        finally:
+            for ref in refs:
+                release(ref)
+
+
+class TestInlineFallback:
+    def test_publish_without_shared_memory_carries_payload(self, monkeypatch):
+        monkeypatch.setattr(broadcast, "_shared_memory", None)
+        data = b"inline transport"
+        ref = publish(data)
+        assert ref.segment is None and ref.payload == data
+        assert fetch(ref) == data
+        release(ref)  # no-op for inline refs
+        assert not broadcast.shared_memory_available()
+
+    def test_segment_creation_failure_falls_back(self, monkeypatch):
+        class ExplodingSharedMemory:
+            def SharedMemory(self, *args, **kwargs):
+                raise OSError("no segments for you")
+
+        monkeypatch.setattr(broadcast, "_shared_memory", ExplodingSharedMemory())
+        data = b"fallback on OSError"
+        ref = publish(data)
+        assert ref.segment is None and ref.payload == data
+        assert fetch(ref) == data
+
+
+class TestIntegrity:
+    def test_fetch_rejects_corrupt_content(self):
+        data = b"authentic bytes"
+        ref = publish(data)
+        release(ref)
+        forged = BlobRef(
+            key=ref.key, size=len(data), segment=None, payload=b"tampered bytes!"
+        )
+        with pytest.raises(ReproError, match="content-hash"):
+            fetch(forged)
+
+    def test_fetch_unpublished_segment_is_loud(self):
+        if not broadcast.shared_memory_available():
+            pytest.skip("no shared memory on this host")
+        ref = BlobRef(key="0" * 64, size=4, segment="tr0_deadbeefdeadbeef", payload=None)
+        with pytest.raises(ReproError, match="no longer published"):
+            fetch(ref)

@@ -1,8 +1,9 @@
-"""Execution backends: unit behaviour plus serial == thread == process
-determinism for every fan-out site (the ``backend_equivalence`` marker is
-what CI's process-backend smoke job selects)."""
+"""Execution backends: unit behaviour plus serial == thread == process ==
+pool determinism for every fan-out site (the ``backend_equivalence`` marker
+is what CI's process-backend smoke job selects)."""
 
 import dataclasses
+import threading
 
 import pytest
 
@@ -16,6 +17,7 @@ from repro.api import (
 )
 from repro.api.parallel import (
     BACKENDS,
+    PoolBackend,
     ProcessBackend,
     SerialBackend,
     ThreadBackend,
@@ -23,6 +25,7 @@ from repro.api.parallel import (
     execution_scope,
     map_parallel,
     resolve_backend,
+    shutdown_pools,
 )
 from repro.collectives import AllGather
 from repro.core import SynthesisConfig, TacosSynthesizer
@@ -44,14 +47,14 @@ def _boom(value):
 # Backend units
 # ----------------------------------------------------------------------
 class TestBackends:
-    @pytest.mark.parametrize("name", ["serial", "thread", "process"])
+    @pytest.mark.parametrize("name", ["serial", "thread", "process", "pool"])
     def test_map_preserves_order(self, name):
         backend = BACKENDS[name]
         assert backend.map(_square, range(7), max_workers=3) == [
             0, 1, 4, 9, 16, 25, 36,
         ]
 
-    @pytest.mark.parametrize("name", ["serial", "thread", "process"])
+    @pytest.mark.parametrize("name", ["serial", "thread", "process", "pool"])
     def test_exceptions_propagate(self, name):
         with pytest.raises(RuntimeError, match="boom"):
             BACKENDS[name].map(_boom, [1, 2], max_workers=2)
@@ -60,6 +63,7 @@ class TestBackends:
         assert isinstance(BACKENDS["serial"], SerialBackend)
         assert isinstance(BACKENDS["thread"], ThreadBackend)
         assert isinstance(BACKENDS["process"], ProcessBackend)
+        assert isinstance(BACKENDS["pool"], PoolBackend)
 
     def test_resolve_backend(self):
         assert resolve_backend(None) is None
@@ -126,12 +130,18 @@ def _strip_timing(results):
 
 @pytest.mark.backend_equivalence
 class TestRunBatchEquivalence:
-    def test_serial_thread_process_identical(self):
+    def test_serial_thread_process_pool_identical(self):
         specs = _specs()
         serial = run_batch(specs, execution="serial")
         thread = run_batch(specs, max_workers=2, execution="thread")
         process = run_batch(specs, max_workers=2, execution="process")
-        assert _strip_timing(serial) == _strip_timing(thread) == _strip_timing(process)
+        pool = run_batch(specs, max_workers=2, execution="pool")
+        assert (
+            _strip_timing(serial)
+            == _strip_timing(thread)
+            == _strip_timing(process)
+            == _strip_timing(pool)
+        )
 
     def test_process_workers_share_disk_cache(self, tmp_path):
         specs = _specs()
@@ -195,6 +205,9 @@ class TestTrialFanOutEquivalence:
             "process": SynthesisConfig(
                 seed=0, trials=4, trial_workers=2, execution="process"
             ),
+            "pool": SynthesisConfig(
+                seed=0, trials=4, trial_workers=2, execution="pool"
+            ),
         }.items():
             outcomes[name] = TacosSynthesizer(config).synthesize(topology, pattern, MB)
         serial = outcomes["serial"]
@@ -225,6 +238,84 @@ class TestTrialFanOutEquivalence:
 
 
 @pytest.mark.backend_equivalence
+class TestPoolLifecycle:
+    """The persistent tier's contract: warm reuse, thread safety, recovery."""
+
+    def test_pool_reused_across_consecutive_fan_outs(self):
+        backend = PoolBackend()
+        try:
+            assert backend.map(_square, range(6), max_workers=2) == [
+                0, 1, 4, 9, 16, 25,
+            ]
+            first_pool = backend._pools[2]
+            assert backend.map(_square, range(8), max_workers=2) == [
+                0, 1, 4, 9, 16, 25, 36, 49,
+            ]
+            # Same executor object: the second fan-out paid no spin-up.
+            assert backend._pools[2] is first_pool
+            assert backend.pool_widths() == [2]
+        finally:
+            backend.shutdown()
+        assert backend.pool_widths() == []
+
+    def test_two_calling_threads_share_one_pool(self):
+        backend = PoolBackend()
+        results = {}
+        errors = []
+
+        def fan_out(tag, offset):
+            try:
+                results[tag] = backend.map(
+                    _square, range(offset, offset + 6), max_workers=2
+                )
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        try:
+            threads = [
+                threading.Thread(target=fan_out, args=("a", 0)),
+                threading.Thread(target=fan_out, args=("b", 10)),
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert not errors
+            assert results["a"] == [value * value for value in range(6)]
+            assert results["b"] == [value * value for value in range(10, 16)]
+            # Both threads went through one lazily created pool.
+            assert backend.pool_widths() == [2]
+        finally:
+            backend.shutdown()
+
+    def test_worker_death_recovers_with_correct_results(self):
+        backend = PoolBackend()
+        try:
+            backend.warm(2)
+            # Kill the warm workers out from under the backend: the next map
+            # hits BrokenProcessPool, re-forks once, and still returns the
+            # right answers.
+            for process in backend._pools[2]._processes.values():
+                process.terminate()
+            assert backend.map(_square, range(6), max_workers=2) == [
+                0, 1, 4, 9, 16, 25,
+            ]
+            assert backend.pool_widths() == [2]
+        finally:
+            backend.shutdown()
+
+    def test_shared_instance_shutdown_allows_reuse(self):
+        backend = BACKENDS["pool"]
+        assert backend.map(_square, range(4), max_workers=2) == [0, 1, 4, 9]
+        assert 2 in backend.pool_widths()
+        shutdown_pools()
+        assert backend.pool_widths() == []
+        # The next fan-out lazily re-creates the pool.
+        assert backend.map(_square, range(4), max_workers=2) == [0, 1, 4, 9]
+        shutdown_pools()
+
+
+@pytest.mark.backend_equivalence
 class TestBenchFanOutEquivalence:
     def test_bench_records_identical_across_backends(self):
         from repro.bench import BenchScenario, SimScenario, run_bench
@@ -247,5 +338,7 @@ class TestBenchFanOutEquivalence:
         serial = run_bench(scenarios=scenarios)
         process = run_bench(scenarios=scenarios, workers=2, execution="process")
         thread = run_bench(scenarios=scenarios, workers=2)  # workers alone = thread
-        assert stable(serial) == stable(process) == stable(thread)
+        pool = run_bench(scenarios=scenarios, workers=2, execution="pool")
+        assert stable(serial) == stable(process) == stable(thread) == stable(pool)
         assert all(record.equivalent for record in process)
+        assert all(record.equivalent for record in pool)

@@ -92,7 +92,8 @@ class TestEngineEquivalence:
 class TestGrids:
     def test_known_grids(self):
         assert set(GRIDS) == {
-            "smoke", "fig19", "full", "sim_stress", "pipeline", "parallel", "native"
+            "smoke", "fig19", "full", "sim_stress", "pipeline", "parallel",
+            "native", "dispatch",
         }
 
     def test_unknown_grid_raises(self):
@@ -100,10 +101,11 @@ class TestGrids:
             get_grid("nope")
 
     def test_smoke_grid_is_small(self):
-        assert len(get_grid("smoke")) <= 7
+        assert len(get_grid("smoke")) <= 8
 
     def test_smoke_grid_covers_all_kinds(self):
         from repro.bench import NativeScenario, ParallelScenario, PipelineScenario
+        from repro.bench.grid import DispatchScenario
 
         kinds = {type(scenario) for scenario in get_grid("smoke")}
         assert kinds == {
@@ -112,6 +114,7 @@ class TestGrids:
             PipelineScenario,
             ParallelScenario,
             NativeScenario,
+            DispatchScenario,
         }
 
     def test_sim_stress_grid_shape(self):
@@ -157,6 +160,10 @@ class TestRunnerAndReport:
                 # backend wall clocks are present, nothing is simulated.
                 assert set(record.backend_seconds) == {"serial", "thread", "process"}
                 assert all(value > 0 for value in record.backend_seconds.values())
+            elif record.kind == "dispatch":
+                # Dispatch records time the transport: nothing is simulated.
+                assert set(record.backend_seconds) == {"serial", "process", "pool"}
+                assert record.dispatch_metrics["trials_per_second"] > 0
             else:
                 assert record.simulated_collective_time > 0
 
@@ -175,7 +182,7 @@ class TestRunnerAndReport:
         assert path.suffix == ".json"
         loaded = json.loads(path.read_text())
         assert loaded == json.loads(json.dumps(report))
-        assert loaded["schema"] == "tacos-repro-bench/v5"
+        assert loaded["schema"] == "tacos-repro-bench/v6"
         assert loaded["summary"]["all_equivalent"] is True
         assert loaded["summary"]["all_simulation_equivalent"] is True
         assert len(loaded["records"]) == len(smoke_records)

@@ -1,0 +1,21 @@
+"""Known-bad pool-lifecycle fixture: executors constructed per call."""
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+
+
+def _work(item):
+    return item + 1
+
+
+def run_batches(batches):
+    results = []
+    for batch in batches:
+        with ProcessPoolExecutor(max_workers=2) as pool:  # P203: in a loop
+            results.extend(pool.map(_work, batch))
+    return results
+
+
+def map_items(items):
+    with multiprocessing.Pool(2) as pool:  # P203: map-shaped function
+        return pool.map(_work, items)

@@ -1,0 +1,17 @@
+"""Known-good pool-lifecycle twin: one long-lived pool, reused per batch."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def _work(item):
+    return item + 1
+
+
+_POOL = ProcessPoolExecutor(max_workers=2)
+
+
+def run_batches(batches):
+    results = []
+    for batch in batches:
+        results.extend(_POOL.map(_work, batch))
+    return results

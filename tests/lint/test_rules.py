@@ -33,6 +33,9 @@ class TestTruePositives:
     def test_process_safety_family(self, report):
         assert _rules_for(report, "proc_bad.py") == ["P201", "P201", "P202"]
 
+    def test_pool_lifecycle_rule(self, report):
+        assert _rules_for(report, "pool_bad.py") == ["P203", "P203"]
+
     def test_artifact_family(self, report):
         assert _rules_for(report, "art_bad.py") == ["J401", "J402"]
 
@@ -66,6 +69,7 @@ class TestCleanFixtures:
             "det_good.py",
             "hot_good.py",
             "proc_good.py",
+            "pool_good.py",
             "art_good.py",
             "reg_good.py",
             "kern_good.py",
@@ -85,6 +89,7 @@ class TestCleanFixtures:
                     "det_good.py",
                     "hot_good.py",
                     "proc_good.py",
+                    "pool_good.py",
                     "art_good.py",
                     "reg_good.py",
                     "kern_good.py",
