@@ -86,7 +86,7 @@ from repro.topology import (
     build_torus_3d,
 )
 
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 __all__ = [
     "AlgorithmSpec",

@@ -15,6 +15,7 @@ from repro.analysis.ideal import (
     ideal_all_reduce_time,
     ideal_reduce_scatter_time,
 )
+from repro.api.cache import ArtifactStore
 from repro.api.registry import (
     ALGORITHMS,
     COLLECTIVES,
@@ -41,6 +42,7 @@ from repro.collectives.reduce_scatter import ReduceScatter
 from repro.core.config import SynthesisConfig
 from repro.core.synthesizer import TacosSynthesizer, resolve_engine
 from repro.errors import RegistryError, SpecError, TopologyError
+from repro.search import GuidedSynthesizer
 from repro.topology.builders import (
     build_2d_switch,
     build_3d_rfs,
@@ -227,6 +229,11 @@ COLLECTIVES.register("all_to_all", AllToAll, aliases=("alltoall",))
 # ----------------------------------------------------------------------
 SYNTHESIZERS.register("tacos", TacosSynthesizer, description="TACOS TEN-matching synthesizer")
 SYNTHESIZERS.register(
+    "guided",
+    GuidedSynthesizer,
+    description="Guided TACOS search: portfolio-primed, incumbent-pruned, floor-terminated",
+)
+SYNTHESIZERS.register(
     "taccl_like",
     TacclLikeSynthesizer,
     aliases=("taccl",),
@@ -360,6 +367,48 @@ def _tacos(
         algorithm=stats.algorithm,
         synthesis_seconds=stats.wall_clock_seconds,
         extras={"trials": float(stats.trials), "rounds": float(stats.rounds)},
+        trial_stats=stats.trial_stats,
+    )
+
+
+@ALGORITHMS.register(
+    "guided",
+    description="Guided TACOS search: portfolio-primed, incumbent-pruned, floor-terminated",
+)
+def _guided(
+    topology: Topology, pattern: CollectivePattern, collective_size: float, **params: Any
+) -> AlgorithmArtifact:
+    # Same engine seam as the tacos entry; `store_dir` points the seed
+    # portfolio at an artifact-store directory (e.g. the --cache-dir of
+    # earlier runs) and `portfolio_limit` caps the front-loaded seeds.
+    # Pruning and floor termination default on — pass
+    # `incumbent_pruning=false` to get a pure stats-collecting search.
+    engine_name = params.pop("engine", None)
+    engine = resolve_engine(str(engine_name)) if engine_name is not None else None
+    store_dir = params.pop("store_dir", None)
+    portfolio_limit = int(params.pop("portfolio_limit", 8))
+    params.setdefault("incumbent_pruning", True)
+    params.setdefault("floor_termination", bool(params["incumbent_pruning"]))
+    params.setdefault("collect_trial_stats", True)
+    config = SynthesisConfig(**params)
+    store = ArtifactStore(store_dir) if store_dir else None
+    synthesizer = GuidedSynthesizer(
+        config, engine, store=store, portfolio_limit=portfolio_limit
+    )
+    stats = synthesizer.synthesize_with_stats(topology, pattern, collective_size)
+    trial_stats = stats.trial_stats or []
+    full = sum(1 for entry in trial_stats if entry.get("pruned_at_round") is None)
+    return AlgorithmArtifact(
+        algorithm=stats.algorithm,
+        synthesis_seconds=stats.wall_clock_seconds,
+        extras={
+            "trials": float(stats.trials),
+            "rounds": float(stats.rounds),
+            "full_trials": float(full),
+            "pruned_trials": float(len(trial_stats) - full),
+            "portfolio_seeds": float(len(synthesizer.last_portfolio_seeds)),
+        },
+        trial_stats=stats.trial_stats,
     )
 
 

@@ -184,6 +184,11 @@ class AlgorithmArtifact:
       and manually-designed baselines);
     * ``collective_time`` — an analytic bound with no executable form
       (the ideal bound).
+
+    ``trial_stats`` optionally carries the synthesizer's per-trial
+    bookkeeping (seed, rounds, collective time, pruned-at-round, wall
+    seconds — see :class:`~repro.core.synthesizer.SynthesisResult`) so the
+    run layer can surface it without re-synthesizing.
     """
 
     algorithm: Optional[CollectiveAlgorithm] = None
@@ -191,6 +196,7 @@ class AlgorithmArtifact:
     collective_time: Optional[float] = None
     synthesis_seconds: Optional[float] = None
     extras: Dict[str, float] = field(default_factory=dict)
+    trial_stats: Optional[List[Dict[str, Any]]] = None
 
     def __post_init__(self) -> None:
         populated = sum(

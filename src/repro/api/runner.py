@@ -64,6 +64,11 @@ class RunResult:
         Synthesis wall-clock time when the algorithm was synthesized.
     extras:
         Additional numeric metrics (e.g. average link utilization).
+    trial_stats:
+        Per-trial synthesis bookkeeping (seed, rounds, collective time,
+        pruned-at-round, wall seconds) when the algorithm builder collected
+        it — the tacos/guided tiers with ``collect_trial_stats`` or
+        ``incumbent_pruning`` on.  ``None`` otherwise.
     cached:
         True when the result was served from a :class:`ResultCache`
         (excluded from equality comparisons).
@@ -79,11 +84,12 @@ class RunResult:
     bandwidth_gbps: float
     synthesis_seconds: Optional[float] = None
     extras: Dict[str, float] = field(default_factory=dict)
+    trial_stats: Optional[List[Dict[str, Any]]] = None
     cached: bool = field(default=False, compare=False)
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-serializable representation (used by the disk cache and CLI)."""
-        return {
+        data = {
             "spec": self.spec.to_dict(),
             "algorithm": self.algorithm,
             "topology": self.topology,
@@ -95,6 +101,9 @@ class RunResult:
             "synthesis_seconds": self.synthesis_seconds,
             "extras": dict(self.extras),
         }
+        if self.trial_stats is not None:
+            data["trial_stats"] = [dict(stats) for stats in self.trial_stats]
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "RunResult":
@@ -110,6 +119,7 @@ class RunResult:
             bandwidth_gbps=float(data["bandwidth_gbps"]),
             synthesis_seconds=data.get("synthesis_seconds"),
             extras=dict(data.get("extras", {})),
+            trial_stats=data.get("trial_stats"),
         )
 
     def summary(self) -> str:
@@ -225,6 +235,7 @@ def run(spec: RunSpec, *, cache: Optional[ResultCache] = None) -> RunResult:
         bandwidth_gbps=bandwidth_gbps,
         synthesis_seconds=artifact.synthesis_seconds,
         extras=extras,
+        trial_stats=artifact.trial_stats,
     )
     if cache is not None:
         cache.put(result)

@@ -39,6 +39,7 @@ from repro.bench.grid import (
     NativeScenario,
     ParallelScenario,
     PipelineScenario,
+    SearchScenario,
     SimScenario,
     get_grid,
 )
@@ -61,6 +62,7 @@ __all__ = [
     "REFERENCE_ENGINE",
     "ReferenceSimulator",
     "ScenarioDelta",
+    "SearchScenario",
     "SimScenario",
     "compare_reports",
     "find_previous_report",

@@ -206,6 +206,8 @@ def speedup_history(
                 "engine": report.get("engine"),
                 "kernel": _kernel_tiers(report),
                 "median_native_speedup": summary.get("median_native_speedup"),
+                # Schema v7 summary field; None on older reports.
+                "median_search_speedup": summary.get("median_search_speedup"),
             }
         )
         if median is not None:
@@ -219,6 +221,25 @@ def _dispatch_throughput(record: Dict[str, Any]) -> Optional[float]:
         return None
     metrics = record.get("dispatch_metrics") or {}
     value = metrics.get("trials_per_second")
+    if value is None:
+        return None
+    value = float(value)
+    return value if math.isfinite(value) and value > 0 else None
+
+
+def _search_quality(record: Dict[str, Any]) -> Optional[float]:
+    """A search record's quality at the wall-clock budget, ``None`` otherwise.
+
+    Schema v7 search records carry ``search_metrics.guided_quality_at_budget``
+    — the collective time the guided tier holds at its own wall-clock budget.
+    Lower is better, and it is deterministic for a fixed grid (the winner is
+    seed-pinned), so any movement is a real search-quality regression rather
+    than timing noise.
+    """
+    if record.get("kind") != "search":
+        return None
+    metrics = record.get("search_metrics") or {}
+    value = metrics.get("guided_quality_at_budget")
     if value is None:
         return None
     value = float(value)
@@ -240,6 +261,19 @@ def _scenario_delta(
             previous_seconds=previous_throughput,
             ratio=ratio if math.isfinite(ratio) else None,
             metric="trials_per_second",
+        )
+    current_quality = _search_quality(record)
+    previous_quality = _search_quality(baseline)
+    if current_quality is not None and previous_quality is not None:
+        # Lower is better (a collective time), so current/previous keeps
+        # the "> 1 means worse now" orientation.
+        ratio = current_quality / previous_quality
+        return ScenarioDelta(
+            scenario=name,
+            current_seconds=current_quality,
+            previous_seconds=previous_quality,
+            ratio=ratio if math.isfinite(ratio) else None,
+            metric="guided_quality_at_budget",
         )
     current_seconds = float(record["flat_seconds"])
     previous_seconds = float(baseline["flat_seconds"])
@@ -263,8 +297,11 @@ class ScenarioDelta:
     ``ratio`` is always oriented so that > 1 means *worse now*: for
     wall-clock metrics that is ``current / previous`` (slower), for
     higher-is-better metrics (a ``dispatch`` record's sustained
-    trials/sec) it is ``previous / current`` (throughput fell).  The
-    ``metric`` field names what was compared.
+    trials/sec) it is ``previous / current`` (throughput fell).  A
+    ``search`` record compares its quality at the wall-clock budget
+    (``guided_quality_at_budget``, a collective time — lower is better, so
+    ``current / previous`` keeps the orientation).  The ``metric`` field
+    names what was compared.
     """
 
     scenario: str
@@ -297,7 +334,12 @@ def compare_reports(
     ``dispatch_metrics.trials_per_second`` with the ratio inverted
     (``previous / current``), because throughput is higher-is-better — a
     warm pool getting *faster* must never trip the regression gate the way
-    a shrinking wall clock never does.  Either way every ratio is oriented
+    a shrinking wall clock never does.  When both sides are ``search``
+    records the delta compares ``search_metrics.guided_quality_at_budget``
+    (quality at equal wall clock, lower-is-better, deterministic for a
+    fixed grid), so the gate guards search *quality*, not the noisy wall
+    clock of a race the guided tier wins by design.  Either way every
+    ratio is oriented
     so > 1 means regression.  Returns a dict with the matched deltas, the
     median ratio, and a ``regressed`` verdict
     (``median ratio > 1 + threshold``).  Works across schema versions —

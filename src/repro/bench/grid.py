@@ -1,6 +1,6 @@
 """Named benchmark scenario grids.
 
-Six kinds of scenarios exist:
+Seven kinds of scenarios exist:
 
 * :class:`BenchScenario` — one *synthesis* problem: a topology (registry
   shorthand), a collective, a per-NPU collective size, and a fixed seed.
@@ -26,8 +26,13 @@ Six kinds of scenarios exist:
   submitted payload bytes (per-call pickle vs broadcast plane), warm-vs-cold
   pool dispatch latency, sustained trials/sec through the warm pool, and a
   serial vs process vs pool race with byte-identical-output assertions.
+* :class:`SearchScenario` — one *guided-vs-uniform search race*: the same
+  best-of-N synthesis run by the uniform tier and by the guided tier
+  (incumbent pruning + floor termination), asserting byte-identical winners
+  and recording quality-at-equal-wallclock, time-to-target, pruned-trial
+  fraction, and effective trials/sec.
 
-Eight grids are provided:
+Nine grids are provided:
 
 * ``smoke`` — tiny scenarios of all kinds for CI (a couple of seconds
   end-to-end);
@@ -52,7 +57,11 @@ Eight grids are provided:
   byte-identical assertions;
 * ``dispatch`` — the execution-plane overhead grid: what the persistent
   pool backend and the payload broadcast plane change, measured honestly on
-  any core count.
+  any core count;
+* ``search`` — the guided-search grid: fig19-family scenarios whose tight
+  round-0 floors let floor termination collapse the search, plus
+  high-variance gather / all-to-all scenarios where mid-trial incumbent
+  pruning does the work.
 """
 
 from __future__ import annotations
@@ -68,6 +77,7 @@ __all__ = [
     "NativeScenario",
     "ParallelScenario",
     "PipelineScenario",
+    "SearchScenario",
     "SimScenario",
     "GRIDS",
     "get_grid",
@@ -214,6 +224,32 @@ class DispatchScenario:
 
 
 @dataclass(frozen=True)
+class SearchScenario:
+    """One guided-vs-uniform search race of a benchmark grid.
+
+    The same best-of-``trials`` synthesis problem runs under the uniform
+    tier (plain :class:`~repro.core.synthesizer.TacosSynthesizer`, stats
+    collection on) and the guided tier
+    (:class:`~repro.search.GuidedSynthesizer`: incumbent pruning + floor
+    termination; no portfolio store, so the seed lists are identical and the
+    winners must be byte-identical).  The record's ``search_metrics`` carry
+    quality-at-equal-wallclock, time-to-target-quality, the pruned-trial
+    fraction, and effective trials/sec for both tiers.
+    """
+
+    name: str
+    topology: str  #: registry shorthand, e.g. ``"mesh_2d:6,6"``
+    collective: str  #: collective registry name, e.g. ``"all_gather"``
+    collective_size: float  #: per-NPU bytes
+    trials: int = 32  #: best-of-N budget raced by both tiers
+    chunks_per_npu: int = 1
+    seed: int = 7
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+
+@dataclass(frozen=True)
 class SimScenario:
     """One simulation problem of a benchmark grid.
 
@@ -241,6 +277,7 @@ Scenario = Union[
     ParallelScenario,
     NativeScenario,
     DispatchScenario,
+    SearchScenario,
 ]
 
 
@@ -262,6 +299,10 @@ def _smoke_grid() -> List[Scenario]:
         DispatchScenario(
             "disp-mesh4x4-ag-1MB-t4", "mesh_2d:4,4", "all_gather", 1 * _MB, trials=4, workers=2
         ),
+        # mesh6x6 on purpose: its All-Gather floor is tight (every trial
+        # lands exactly on the round-0 bound), so smoke exercises floor
+        # termination, not just the pruning bookkeeping.
+        SearchScenario("search-mesh6x6-ag-1MB-t8", "mesh_2d:6,6", "all_gather", 1 * _MB, trials=8),
     ]
 
 
@@ -445,6 +486,42 @@ def _dispatch_grid() -> List[Scenario]:
     ]
 
 
+def _search_grid() -> List[Scenario]:
+    # Guided-vs-uniform quality-per-wallclock races.  Two populations on
+    # purpose: the fig19-family scenarios (mesh / hypercube All-Reduce and
+    # the All-Gather staples) have tight round-0 floors — every trial lands
+    # exactly on the bound, so floor termination collapses the search to
+    # one full trial per phase — while the gather / all-to-all scenarios
+    # have real inter-trial spread (up to ~60%) and no tight floor: mid-
+    # trial incumbent pruning aborts most trials there, but the bound
+    # upkeep roughly cancels the saved rounds at this scale (~1x wall),
+    # which is exactly the adversarial coverage the byte-identity and
+    # pruned-fraction accounting need.  Both tiers run the identical seed
+    # list (no portfolio store), so winners must be byte-identical.
+    #
+    # Whether a float trial sum lands *exactly* on the round-0 floor is
+    # ulp-sensitive to the chunk size (mesh6x6 fires at 1/2/16 MB but not
+    # 4/8 MB); the mesh6x6 scenarios pin 2 MB so the floor demonstrably
+    # fires.  A size where it does not fire is safe, just unaccelerated.
+    return [
+        SearchScenario("search-mesh6x6-ar-2MB-t32", "mesh_2d:6,6", "all_reduce", 2 * _MB),
+        SearchScenario(
+            "search-hypercube3^3-ar-4MB-t32", "hypercube_3d:3,3,3", "all_reduce", 4 * _MB
+        ),
+        SearchScenario(
+            "search-mesh6x6-ag-2MB-t64", "mesh_2d:6,6", "all_gather", 2 * _MB, trials=64
+        ),
+        SearchScenario("search-ring16-ag-4MB-t64", "ring:16", "all_gather", 4 * _MB, trials=64),
+        SearchScenario(
+            "search-mesh6x6-ag-4MB-c2-t32", "mesh_2d:6,6", "all_gather", 4 * _MB, chunks_per_npu=2
+        ),
+        SearchScenario("search-mesh6x6-gather-4MB-t32", "mesh_2d:6,6", "gather", 4 * _MB),
+        SearchScenario(
+            "search-torus6x6-a2a-4MB-t16", "torus_2d:6,6", "all_to_all", 4 * _MB, trials=16
+        ),
+    ]
+
+
 GRIDS = {
     "smoke": _smoke_grid,
     "fig19": _fig19_grid,
@@ -454,6 +531,7 @@ GRIDS = {
     "parallel": _parallel_grid,
     "native": _native_grid,
     "dispatch": _dispatch_grid,
+    "search": _search_grid,
 }
 
 

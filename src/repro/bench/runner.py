@@ -64,6 +64,7 @@ from repro.bench.grid import (
     ParallelScenario,
     PipelineScenario,
     Scenario,
+    SearchScenario,
     SimScenario,
     get_grid,
 )
@@ -115,8 +116,12 @@ __all__ = ["BenchRecord", "run_bench", "summarize", "write_report"]
 #: v6 adds the ``dispatch`` scenario kind (warm-vs-cold pool dispatch as the
 #: primary triple, per-trial submitted-payload-bytes and throughput in the new
 #: ``dispatch_metrics`` field) and the envelope's ``pool`` block (shared-memory
-#: broadcast availability/transport).
-SCHEMA = "tacos-repro-bench/v6"
+#: broadcast availability/transport);
+#: v7 adds the ``search`` scenario kind (guided-vs-uniform search race:
+#: uniform wall as the reference side of the triple, guided wall as the flat
+#: side, quality-at-equal-wallclock / time-to-target / pruned-fraction /
+#: effective-trials-per-second in the new ``search_metrics`` field).
+SCHEMA = "tacos-repro-bench/v7"
 
 #: Logical schedule builders available to :class:`SimScenario`.
 _SCHEDULE_BUILDERS: Dict[str, Callable] = {
@@ -162,7 +167,13 @@ class BenchRecord:
     reduction ratio), the broadcast blob size and transport, and the
     sustained trials/sec through the warm pool, while ``backend_seconds``
     holds full-synthesis medians for the serial/process/pool race whose
-    byte-identical winners back the ``equivalent`` flag.
+    byte-identical winners back the ``equivalent`` flag.  For
+    ``kind == "search"`` the triple races *search tiers* of the same
+    best-of-N problem — ``reference_seconds`` is the uniform tier's median
+    wall clock, ``flat_seconds`` the guided tier's (incumbent pruning +
+    floor termination), ``speedup`` the uniform/guided ratio — with the
+    quality-per-wallclock bookkeeping in ``search_metrics`` and the
+    ``equivalent`` flag asserting byte-identical winners.
 
     Reference timings are ``None`` when the run skipped the frozen object
     path (``--no-reference``) — except on ``parallel`` records, which never
@@ -174,7 +185,7 @@ class BenchRecord:
 
     scenario: str
     #: ``"synthesis"``, ``"simulation"``, ``"pipeline"``, ``"parallel"``,
-    #: ``"native"``, or ``"dispatch"``.
+    #: ``"native"``, ``"dispatch"``, or ``"search"``.
     kind: str
     topology: str
     collective: str
@@ -207,6 +218,11 @@ class BenchRecord:
     #: submitted payload bytes on the legacy pickle vs broadcast transports,
     #: their reduction ratio, blob size/transport, and warm-pool throughput.
     dispatch_metrics: Optional[Dict[str, Any]] = None
+    #: Guided-vs-uniform search measurements (search scenarios): wall
+    #: clocks, quality at the guided tier's wall-clock budget, time to the
+    #: target (winning) quality, full/pruned trial counts, and effective
+    #: trials/sec for both tiers.
+    search_metrics: Optional[Dict[str, Any]] = None
     #: Synthesis-engine tier the record's primary timing ran under
     #: (``"flat"``, ``"native"``, ``"reference"``; simulation records report
     #: the array simulator as ``"flat"``).
@@ -1003,6 +1019,192 @@ def _run_native_scenario(
     )
 
 
+def _quality_trajectory(
+    trial_stats: List[Dict[str, Any]],
+) -> List[Tuple[float, Optional[float]]]:
+    """Best-so-far collective time against cumulative trial wall clock.
+
+    One point per trial, in the synthesizer's seed order (composed
+    All-Reduce stats concatenate the two phases, which is exactly the order
+    a serial search spends its wall clock in).  Pruned and floor-skipped
+    trials advance the clock by their recorded wall without improving the
+    quality.
+
+    For composed syntheses (entries carrying a ``phase`` key) the quality
+    at a point is the *sum* of the per-phase bests — the collective time of
+    the algorithm the search could assemble right now — and is undefined
+    (``None``) until every phase of the schedule has completed at least one
+    trial.  A single per-phase best is never comparable to the combined
+    algorithm's time, so summing is the only honest trajectory.
+    """
+    phases = [stats.get("phase") for stats in trial_stats]
+    # dict preserves first-seen phase order; a phase-less search is the
+    # single-phase special case of the same bookkeeping.
+    phase_order = list(dict.fromkeys(phases))
+    best_per_phase: Dict[Any, Optional[float]] = {phase: None for phase in phase_order}
+    points: List[Tuple[float, Optional[float]]] = []
+    elapsed = 0.0
+    for stats, phase in zip(trial_stats, phases):
+        elapsed += stats["wall_seconds"]
+        finished = stats.get("collective_time")
+        best = best_per_phase[phase]
+        if finished is not None and (best is None or finished < best):
+            best_per_phase[phase] = finished
+        bests = list(best_per_phase.values())
+        combined = None if any(b is None for b in bests) else sum(bests)
+        points.append((elapsed, combined))
+    return points
+
+
+def _quality_at(
+    points: List[Tuple[float, Optional[float]]], budget: float
+) -> Optional[float]:
+    """Best quality reached within ``budget`` seconds, or ``None`` if none."""
+    best: Optional[float] = None
+    for elapsed, quality in points:
+        if elapsed > budget:
+            break
+        best = quality
+    return best
+
+
+def _time_to_target(
+    points: List[Tuple[float, Optional[float]]], target: float
+) -> Optional[float]:
+    """Cumulative seconds until the trajectory first reaches ``target``."""
+    for elapsed, quality in points:
+        if quality is not None and quality <= target:
+            return elapsed
+    return None
+
+
+def _run_search_scenario(
+    scenario: SearchScenario, repeats: int, check_equivalence: bool
+) -> BenchRecord:
+    """Race the guided search tier against the uniform best-of-N search.
+
+    Both tiers run the identical seed list (the guided tier gets no
+    portfolio store here), so the winning algorithms must be byte-identical
+    — incumbent pruning and floor termination are exact.  The primary triple
+    compares wall clocks (``reference_seconds`` uniform, ``flat_seconds``
+    guided); ``search_metrics`` adds the quality-per-wallclock view: the
+    quality each tier holds at the guided tier's wall-clock budget, the time
+    each needs to first reach the winning quality, the pruned-trial
+    fraction, and effective trials/sec (budgeted trials over wall clock).
+    """
+    from repro.search import GuidedSynthesizer  # deferred: keeps bench import light
+
+    topology = build_topology(parse_topology_spec(scenario.topology))
+    factory = COLLECTIVES.get(scenario.collective)
+    pattern = factory(topology.num_npus, scenario.chunks_per_npu)
+
+    uniform = TacosSynthesizer(
+        SynthesisConfig(
+            seed=scenario.seed, trials=scenario.trials, collect_trial_stats=True
+        ),
+        engine=FLAT_ENGINE,
+    )
+    guided = GuidedSynthesizer(
+        SynthesisConfig(
+            seed=scenario.seed,
+            trials=scenario.trials,
+            incumbent_pruning=True,
+            floor_termination=True,
+            collect_trial_stats=True,
+        ),
+        FLAT_ENGINE,
+    )
+    uniform_result, uniform_seconds = _median_wall_clock(
+        uniform, topology, pattern, scenario.collective_size, repeats
+    )
+    guided_result, guided_seconds = _median_wall_clock(
+        guided, topology, pattern, scenario.collective_size, repeats
+    )
+
+    equivalent: Optional[bool] = None
+    if check_equivalence:
+        equivalent = (
+            uniform_result.algorithm.table.to_bytes()
+            == guided_result.algorithm.table.to_bytes()
+            and uniform_result.algorithm.collective_time
+            == guided_result.algorithm.collective_time
+        )
+
+    uniform_stats = uniform_result.trial_stats or []
+    guided_stats = guided_result.trial_stats or []
+    target = uniform_result.algorithm.collective_time
+    uniform_points = _quality_trajectory(uniform_stats)
+    guided_points = _quality_trajectory(guided_stats)
+    # Equal-wallclock budget: what the guided tier actually spent.  The
+    # uniform tier's quality at that budget is read off its own trajectory
+    # (None when it had not completed a single trial yet).
+    budget = guided_seconds
+    uniform_quality_at_budget = _quality_at(uniform_points, budget)
+    guided_quality_at_budget = guided_result.algorithm.collective_time
+
+    full_uniform = sum(
+        1 for stats in uniform_stats if stats.get("pruned_at_round") is None
+    )
+    full_guided = sum(1 for stats in guided_stats if stats.get("pruned_at_round") is None)
+    floor_skipped = sum(1 for stats in guided_stats if stats.get("pruned_at_round") == 0)
+    budgeted = len(guided_stats) or scenario.trials
+    quality_ratio = None
+    if uniform_quality_at_budget is not None and uniform_quality_at_budget > 0:
+        quality_ratio = guided_quality_at_budget / uniform_quality_at_budget
+    search_metrics: Dict[str, Any] = {
+        "uniform_seconds": uniform_seconds,
+        "guided_seconds": guided_seconds,
+        "quality": target,
+        "budget_seconds": budget,
+        "uniform_quality_at_budget": uniform_quality_at_budget,
+        "guided_quality_at_budget": guided_quality_at_budget,
+        #: guided/uniform quality at the budget; <= 1 means the guided tier
+        #: is at least as good at equal wall clock (> 1 would mean worse).
+        "quality_at_budget_ratio": quality_ratio,
+        "time_to_target_uniform": _time_to_target(uniform_points, target),
+        "time_to_target_guided": _time_to_target(guided_points, target),
+        "full_trials_uniform": full_uniform,
+        "full_trials_guided": full_guided,
+        "pruned_trials_guided": len(guided_stats) - full_guided,
+        "floor_skipped_trials_guided": floor_skipped,
+        "pruned_fraction": (
+            (len(guided_stats) - full_guided) / len(guided_stats) if guided_stats else 0.0
+        ),
+        "effective_trials_per_second_uniform": (
+            budgeted / uniform_seconds if uniform_seconds > 0 else None
+        ),
+        "effective_trials_per_second_guided": (
+            budgeted / guided_seconds if guided_seconds > 0 else None
+        ),
+        "effective_trials_speedup": _safe_speedup(uniform_seconds, guided_seconds),
+    }
+    return BenchRecord(
+        scenario=scenario.name,
+        kind="search",
+        topology=scenario.topology,
+        collective=scenario.collective,
+        collective_size=scenario.collective_size,
+        num_npus=topology.num_npus,
+        num_links=topology.num_links,
+        seed=scenario.seed,
+        trials=scenario.trials,
+        flat_seconds=guided_seconds,
+        reference_seconds=uniform_seconds,
+        speedup=_safe_speedup(uniform_seconds, guided_seconds),
+        equivalent=equivalent,
+        num_transfers=uniform_result.algorithm.num_transfers,
+        collective_time=uniform_result.algorithm.collective_time,
+        rounds=uniform_result.rounds,
+        num_messages=0,
+        simulation_seconds=None,
+        reference_simulation_seconds=None,
+        simulation_speedup=None,
+        simulation_equivalent=None,
+        simulated_collective_time=0.0,
+        search_metrics=search_metrics,
+    )
+
+
 def _scenario_task(task: Tuple[Scenario, int, bool, bool, str]) -> BenchRecord:
     """Execute one scenario (module-level and picklable for the process backend).
 
@@ -1018,6 +1220,8 @@ def _scenario_task(task: Tuple[Scenario, int, bool, bool, str]) -> BenchRecord:
         return _run_parallel_scenario(scenario, repeats, check_equivalence)
     if isinstance(scenario, DispatchScenario):
         return _run_dispatch_scenario(scenario, repeats, check_equivalence)
+    if isinstance(scenario, SearchScenario):
+        return _run_search_scenario(scenario, repeats, check_equivalence)
     if isinstance(scenario, PipelineScenario):
         return _run_pipeline_scenario(
             scenario, repeats, check_equivalence, include_reference, engine_name
@@ -1120,8 +1324,11 @@ def summarize(records: List[BenchRecord]) -> Dict[str, Any]:
     *dispatch overhead* (cold/warm spin-up ratio, submitted bytes) — again
     incomparable — and get ``*_dispatch_speedup`` /
     ``dispatch_equivalence_checked`` / ``median_payload_bytes_reduction``
-    keys.  Only when the grid contains nothing else (the ``parallel`` /
-    ``native`` / ``dispatch`` grids themselves) do those records
+    keys.  ``search`` records race search *tiers* (guided vs uniform wall
+    clock at a fixed trial budget) and get ``*_search_speedup`` /
+    ``median_pruned_fraction`` / ``search_equivalence_checked`` keys.  Only
+    when the grid contains nothing else (the ``parallel`` / ``native`` /
+    ``dispatch`` / ``search`` grids themselves) do those records
     feed the headline fields, so ``--history`` still shows their
     trajectories.  A mixed grid's engine summary (and the ``--min-speedup``
     gate / cross-report trend built on it) therefore never moves because a
@@ -1129,11 +1336,14 @@ def summarize(records: List[BenchRecord]) -> Dict[str, Any]:
     without numba.
     """
     engine_records = [
-        record for record in records if record.kind not in ("parallel", "native", "dispatch")
+        record
+        for record in records
+        if record.kind not in ("parallel", "native", "dispatch", "search")
     ]
     parallel_records = [record for record in records if record.kind == "parallel"]
     native_records = [record for record in records if record.kind == "native"]
     dispatch_records = [record for record in records if record.kind == "dispatch"]
+    search_records = [record for record in records if record.kind == "search"]
     base = engine_records if engine_records else records
     sim_base = engine_records if engine_records else records
     parallel_speedups = _finite([record.speedup for record in parallel_records])
@@ -1164,6 +1374,16 @@ def summarize(records: List[BenchRecord]) -> Dict[str, Any]:
     ]
     dispatch_checked = [
         record.equivalent for record in dispatch_records if record.equivalent is not None
+    ]
+    search_speedups = _finite([record.speedup for record in search_records])
+    pruned_fractions = _finite(
+        [
+            (record.search_metrics or {}).get("pruned_fraction")
+            for record in search_records
+        ]
+    )
+    search_checked = [
+        record.equivalent for record in search_records if record.equivalent is not None
     ]
     return {
         "num_scenarios": len(records),
@@ -1207,6 +1427,16 @@ def summarize(records: List[BenchRecord]) -> Dict[str, Any]:
         ),
         "dispatch_equivalence_checked": len(dispatch_checked),
         "all_dispatch_equivalent": all(dispatch_checked) if dispatch_checked else None,
+        "median_search_speedup": (
+            statistics.median(search_speedups) if search_speedups else None
+        ),
+        "min_search_speedup": min(search_speedups) if search_speedups else None,
+        "max_search_speedup": max(search_speedups) if search_speedups else None,
+        "median_pruned_fraction": (
+            statistics.median(pruned_fractions) if pruned_fractions else None
+        ),
+        "search_equivalence_checked": len(search_checked),
+        "all_search_equivalent": all(search_checked) if search_checked else None,
     }
 
 

@@ -23,6 +23,7 @@ leading arguments (e.g. ``tacos-repro fig10``) are forwarded to
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import os
 import sys
@@ -107,6 +108,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_run_options(synthesize, default_algorithm="tacos")
     synthesize.add_argument(
+        "--synthesizer",
+        choices=("tacos", "guided"),
+        default=None,
+        help="search tier: tacos (uniform best-of-N) or guided (portfolio-primed, "
+        "incumbent-pruned, floor-terminated; same winners, fewer full trials). "
+        "Travels as the spec's algorithm name, so the two tiers hash and cache "
+        "separately.",
+    )
+    synthesize.add_argument(
         "--workers", "-w", type=int, default=None,
         help="pool size for the synthesizer's randomized-trial fan-out",
     )
@@ -154,13 +164,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--grid",
-        choices=("smoke", "fig19", "full", "sim_stress", "pipeline", "parallel", "native", "dispatch"),
+        choices=(
+            "smoke", "fig19", "full", "sim_stress", "pipeline", "parallel",
+            "native", "dispatch", "search",
+        ),
         default="fig19",
         help="scenario grid (default: fig19; sim_stress exercises the simulator, "
         "pipeline the end-to-end synthesize+verify+simulate+metrics chain, "
         "parallel the execution-backend scaling of best-of-N synthesis, "
         "native the flat-vs-native kernel equivalence races, "
-        "dispatch the warm-pool dispatch overhead and payload-bytes plane)",
+        "dispatch the warm-pool dispatch overhead and payload-bytes plane, "
+        "search the guided-vs-uniform quality-per-wallclock races)",
     )
     bench.add_argument(
         "--smoke", action="store_true", help="shorthand for --grid smoke (CI-sized)"
@@ -341,6 +355,17 @@ def _cmd_list(arguments: argparse.Namespace) -> int:
 
 def _cmd_run_one(arguments: argparse.Namespace, *, default_collective: str) -> int:
     spec = _spec_from_args(arguments, default_collective=default_collective)
+    synthesizer = getattr(arguments, "synthesizer", None)
+    if synthesizer:
+        # The search tier *is* the algorithm name (tacos vs guided are both
+        # registered builders), so specs, cache keys, and saved documents
+        # all distinguish the two searches.
+        spec = dataclasses.replace(
+            spec,
+            algorithm=dataclasses.replace(
+                spec.algorithm, name=ALGORITHMS.canonical_name(synthesizer)
+            ),
+        )
     if getattr(arguments, "engine", None):
         # Sugar for `-p engine=NAME`: the engine choice travels inside the
         # algorithm params, so saved specs and cache keys capture it.
@@ -495,6 +520,11 @@ def _print_comparison(comparison: Dict[str, Any], previous_path: Path) -> None:
         if delta.get("metric") == "trials_per_second":
             now = f"{delta['current_seconds']:.1f}/s"
             prev = f"{delta['previous_seconds']:.1f}/s"
+        elif delta.get("metric") == "guided_quality_at_budget":
+            # Search records compare synthesized collective time (a simulated
+            # quantity, microseconds scale), not bench wall clock.
+            now = f"{delta['current_seconds'] * 1e6:.2f}us"
+            prev = f"{delta['previous_seconds'] * 1e6:.2f}us"
         else:
             now = f"{delta['current_seconds'] * 1e3:.1f}ms"
             prev = f"{delta['previous_seconds'] * 1e3:.1f}ms"
@@ -706,6 +736,20 @@ def _cmd_bench(arguments: argparse.Namespace) -> int:
                 f"max {summary['max_dispatch_speedup']:.2f}x)"
                 f"{reduction_text}"
             )
+        if summary.get("median_search_speedup") is not None:
+            pruned = summary.get("median_pruned_fraction")
+            pruned_text = (
+                f"; median pruned fraction {pruned * 100.0:.0f}%"
+                if pruned is not None
+                else ""
+            )
+            print(
+                f"median guided-search speedup "
+                f"{summary['median_search_speedup']:.2f}x "
+                f"(min {summary['min_search_speedup']:.2f}x, "
+                f"max {summary['max_search_speedup']:.2f}x)"
+                f"{pruned_text}"
+            )
         if comparison is not None and previous_path is not None:
             _print_comparison(comparison, previous_path)
     if summary["all_equivalent"] is False:
@@ -723,6 +767,12 @@ def _cmd_bench(arguments: argparse.Namespace) -> int:
     if summary.get("all_dispatch_equivalent") is False:
         print(
             "error: pool backend disagrees with serial/process on fixed-seed outputs",
+            file=sys.stderr,
+        )
+        return 1
+    if summary.get("all_search_equivalent") is False:
+        print(
+            "error: guided search disagrees with uniform search on fixed-seed winners",
             file=sys.stderr,
         )
         return 1

@@ -54,6 +54,36 @@ class SynthesisConfig:
         ``"process"``, ``"pool"`` (a persistent process pool kept warm across
         fan-outs), or ``None`` (the default) to follow ``trial_workers``
         semantics / the ambient scope.
+    incumbent_pruning:
+        Abort a trial the moment a lower bound on its final collective time
+        *strictly* exceeds the best completed trial so far (the incumbent).
+        Exact: a pruned trial provably cannot win, and ties still resolve by
+        seed index, so the selected winner is byte-identical with pruning on
+        or off (see docs/determinism.md, "Incumbent pruning is exact").
+        Parallel backends share the incumbent across seed waves.
+    collect_trial_stats:
+        Record per-trial statistics (seed, rounds, collective time,
+        pruned-at-round, wall seconds) on the returned
+        :class:`~repro.core.synthesizer.SynthesisResult`.  Implied by
+        ``incumbent_pruning`` (the guided tier and the search bench consume
+        the bookkeeping either way).
+    wave_size:
+        Seeds per pruning wave on parallel backends: the incumbent bound is
+        re-shared between consecutive waves.  ``None`` (the default) sizes
+        waves at twice the worker count.  Smaller waves prune harder but
+        synchronize more often; the winner is identical for any value.
+    floor_termination:
+        Stop the whole search the moment a completed trial meets the
+        round-0 lower bound (the "floor": the :class:`~repro.core.matching.
+        TrialBound` value before any transfer is committed, which bounds
+        *every* trial's final collective time from below).  No remaining
+        trial can be strictly better than an incumbent at the floor, and
+        the strict-``<`` best-of selection never replaces the incumbent on
+        a tie, so skipping the rest is exact (see docs/determinism.md,
+        "Incumbent pruning is exact").  On bandwidth-optimal schedules
+        (All-Gather on meshes and rings, where every trial lands exactly on
+        the floor) this collapses an N-trial search to a single trial.
+        Requires ``incumbent_pruning``.
     """
 
     seed: int = 0
@@ -63,12 +93,25 @@ class SynthesisConfig:
     max_rounds: int = 1_000_000
     trial_workers: Optional[int] = None
     execution: Optional[str] = None
+    incumbent_pruning: bool = False
+    collect_trial_stats: bool = False
+    wave_size: Optional[int] = None
+    floor_termination: bool = False
 
     def __post_init__(self) -> None:
         if self.trials < 1:
             raise SynthesisError(f"trials must be at least 1, got {self.trials}")
         if self.max_rounds < 1:
             raise SynthesisError(f"max_rounds must be at least 1, got {self.max_rounds}")
+        if self.floor_termination and not self.incumbent_pruning:
+            raise SynthesisError(
+                "floor_termination requires incumbent_pruning (the floor is "
+                "the pruning bound evaluated before any transfer commits)"
+            )
+        if self.wave_size is not None and self.wave_size < 1:
+            raise SynthesisError(
+                f"wave_size must be at least 1 (or None), got {self.wave_size}"
+            )
         if self.trial_workers is not None and self.trial_workers < 1:
             raise SynthesisError(
                 f"trial_workers must be at least 1 (or None), got {self.trial_workers}"

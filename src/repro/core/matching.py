@@ -65,7 +65,7 @@ try:  # soft dependency: the core stays importable without numpy
 except ImportError:  # pragma: no cover - numpy is present in the dev image
     _np = None
 
-__all__ = ["MatchingState", "run_matching_round", "shuffle_pairs"]
+__all__ = ["MatchingState", "TrialBound", "run_matching_round", "shuffle_pairs"]
 
 #: Tolerance used when comparing floating-point times.
 _TIME_EPS = 1e-12
@@ -304,6 +304,242 @@ class MatchingState:
     def done(self) -> bool:
         """Whether every postcondition has been satisfied or scheduled."""
         return self._unsatisfied_count == 0
+
+
+class TrialBound:
+    """Lower-bound evaluator on a trial's final ``collective_time``.
+
+    Backs incumbent pruning (:class:`~repro.core.config.SynthesisConfig.
+    incumbent_pruning`): between matching rounds the synthesizer asks for a
+    bound on the best final time the trial can still reach, and aborts the
+    trial when the bound strictly exceeds the best completed trial.  Any
+    *valid* lower bound keeps that optimization exact (see
+    docs/determinism.md, "Incumbent pruning is exact"); this one combines
+    three cheap components, each valid on its own:
+
+    1. **Committed work.** The final collective time is at least the end of
+       the latest transfer committed so far (the caller tracks this running
+       maximum and passes it in; it is monotone non-decreasing across rounds
+       because link free-times only ever increase).
+
+    2. **Per-destination in-link capacity.** Every still-unsatisfied
+       (dest, chunk) pair needs one more transfer *into* ``dest`` that is not
+       committed yet, and future rounds start strictly after the current
+       span.  A destination owing ``u`` chunks over ``deg`` incoming links
+       must route ``ceil(u / deg)`` of them over one link, sequentially, each
+       occupying it for at least the destination's cheapest in-link cost —
+       so the trial cannot finish before ``time + ceil(u / deg) * min_cost``
+       for any destination.  On bandwidth-bound patterns (All-Gather on
+       meshes) this term is tight from round one, which is what lets losing
+       trials die early rather than at their own finish line.
+
+    3. **Hop-distance chains and work conservation** (forwarding patterns).
+       For a chunk with a *single* unsatisfied destination (personalized
+       patterns: All-to-All, Gather, Scatter), any delivery chain leaves the
+       committed schedule at some holder ``m`` and still needs
+       ``hop_distances[m][dest]`` distinct uncommitted hops, each occupying
+       a link for at least the global minimum cost and each starting after
+       its predecessor — so the trial cannot finish before ``time +
+       min_dist * min_cost`` for *every* such chunk (the straggler chain
+       that dominates losing Gather/All-to-All trials, where the capacity
+       term goes blind because only a handful of chunks remain owed).
+       Summing the same per-chunk transfer counts instead and spreading
+       them over the network's ``num_links`` links gives the complementary
+       work-conservation form ``time + total_transfers * min_cost /
+       num_links`` (chunks owing several destinations contribute one
+       transfer per owed destination — each delivery lands the chunk on a
+       distinct new node).  The per-chunk distances shrink only when a
+       commit creates a closer holder, which :meth:`update` applies from
+       each round's transfers.
+
+    4. **Per-source out-link capacity.**  A still-owed chunk held by a
+       *single* NPU must make its first uncommitted hop out of that NPU
+       (every delivery chain starts at a committed holder).  A source still
+       holding ``n`` such undeparted chunks over ``deg_out`` outgoing links
+       must push ``ceil(n / deg_out)`` of them over one link sequentially —
+       the mirror image of component 2, and the term that sees a Scatter
+       root (or the scatter half of All-to-All) falling behind on draining
+       long before the per-destination terms notice.  :meth:`update` marks
+       a chunk departed on its first committed transfer.
+
+    The capacity and distance components are computed over the flat engine's
+    state arrays; for engines with other state layouts (the frozen reference
+    engine) they degrade to the committed-work component alone — still
+    exact, just later pruning.  Evaluation never consumes RNG and never
+    mutates the TEN or the state.
+    """
+
+    __slots__ = (
+        "_state",
+        "_num_chunks",
+        "_num_npus",
+        "_degrees",
+        "_min_in_cost",
+        "_hop_rows",
+        "_chunk_dest",
+        "_chunk_dist",
+        "_min_cost",
+        "_per_link_cost",
+        "_origin",
+        "_departed",
+        "_undeparted_at",
+        "_out_degrees",
+        "_min_out_cost",
+        "_out_remaining",
+        "_out_stale",
+    )
+
+    def __init__(
+        self,
+        ten: TimeExpandedNetwork,
+        state: "MatchingState",
+        hop_distances: Optional[List[List[int]]] = None,
+    ) -> None:
+        self._state: Optional[MatchingState] = None
+        self._hop_rows: Optional[List[List[int]]] = None
+        self._chunk_dest: Optional[List[int]] = None
+        if _np is None or not isinstance(state, MatchingState):
+            return
+        csr_getter = getattr(ten, "in_link_csr", None)
+        csr = csr_getter() if csr_getter is not None else None
+        if csr is None:
+            return
+        in_flat, in_indptr, _sources = csr
+        num_npus = state.num_npus
+        num_chunks = state.num_chunks
+        degrees = _np.diff(in_indptr)
+        costs = _np.asarray(ten.link_costs, dtype=_np.float64)
+        gathered = costs[in_flat]
+        min_in_cost = _np.zeros(num_npus, dtype=_np.float64)
+        if gathered.size:
+            empty = degrees == 0
+            starts = in_indptr[:-1].copy()
+            starts[empty] = 0  # any in-range index; masked out below
+            min_in_cost = _np.minimum.reduceat(gathered, starts)
+            min_in_cost[empty] = 0.0
+        self._state = state
+        self._num_chunks = num_chunks
+        self._num_npus = num_npus
+        self._degrees = _np.maximum(degrees, 1)
+        self._min_in_cost = min_in_cost
+        self._min_cost = ten.min_link_cost
+        self._per_link_cost = (
+            ten.min_link_cost / len(ten.link_costs) if ten.link_costs else 0.0
+        )
+
+        # Out-capacity tracking: owed chunks whose full holder set is one NPU
+        # must make their first hop out of it.  Count them per source.
+        owed_chunks = {code % num_chunks for code in state._pair_codes}
+        origin = [-1] * num_chunks
+        undeparted_at = _np.zeros(num_npus, dtype=_np.intp)
+        for chunk in sorted(owed_chunks):
+            holders = state._holders[chunk]
+            if len(holders) == 1:
+                origin[chunk] = holders[0]
+                undeparted_at[holders[0]] += 1
+        sources = _np.asarray(ten.link_sources, dtype=_np.intp)
+        out_degrees = _np.bincount(sources, minlength=num_npus)
+        min_out_cost = _np.zeros(num_npus, dtype=_np.float64)
+        if costs.size:
+            min_out_cost = _np.full(num_npus, _np.inf)
+            _np.minimum.at(min_out_cost, sources, costs)
+            min_out_cost[out_degrees == 0] = 0.0
+        self._origin = origin
+        self._departed = [False] * num_chunks
+        self._undeparted_at = undeparted_at
+        self._out_degrees = _np.maximum(out_degrees, 1)
+        self._min_out_cost = min_out_cost
+        # Cached between rounds: departures are the only thing that changes
+        # the out-capacity term, and most rounds drain only a few sources.
+        self._out_remaining = 0.0
+        self._out_stale = True
+
+        if hop_distances is None:
+            return
+        # Distance tracking for single-destination chunks: dest per chunk
+        # (-1 = untracked) and the current min hop distance over holders.
+        owed_dest = [-1] * num_chunks
+        for code in state._pair_codes:
+            dest, chunk = divmod(code, num_chunks)
+            owed_dest[chunk] = dest if owed_dest[chunk] == -1 else -2
+        chunk_dist = _np.zeros(num_chunks, dtype=_np.float64)
+        for chunk in range(num_chunks):
+            dest = owed_dest[chunk]
+            if dest < 0:
+                owed_dest[chunk] = -1
+                continue
+            holders = state._holders[chunk]
+            chunk_dist[chunk] = (
+                min(hop_distances[holder][dest] for holder in holders) if holders else 0
+            )
+        self._hop_rows = hop_distances
+        self._chunk_dest = owed_dest
+        self._chunk_dist = chunk_dist
+
+    def update(self, transfers) -> None:
+        # repro-lint: disable-scope=C301,C302 -- one round's freshly committed
+        # transfers arrive as a short row list from the matcher, never a
+        # materialized TransferTable slice
+        """Fold one round's committed transfers into the incremental tracking."""
+        if self._state is None or not transfers:
+            return
+        chunk_dest = self._chunk_dest
+        hop_rows = self._hop_rows
+        chunk_dist = self._chunk_dist if chunk_dest is not None else None
+        origin = self._origin
+        departed = self._departed
+        undeparted_at = self._undeparted_at
+        for transfer in transfers:
+            chunk = transfer.chunk
+            if not departed[chunk]:
+                departed[chunk] = True
+                source = origin[chunk]
+                if source >= 0:
+                    undeparted_at[source] -= 1
+                    self._out_stale = True
+            if chunk_dest is None:
+                continue
+            dest = chunk_dest[chunk]
+            if dest < 0:
+                continue
+            hops = hop_rows[transfer.dest][dest]
+            if hops < chunk_dist[chunk]:
+                chunk_dist[chunk] = hops
+
+    def value(self, time: float, committed_end: float) -> float:
+        """The bound after the round at ``time``; ``committed_end`` = max transfer end so far."""
+        bound = committed_end if committed_end > time else time
+        state = self._state
+        if state is None:
+            return bound
+        codes = state._pending_array()
+        if not len(codes):
+            return bound
+        owed = _np.bincount(codes // self._num_chunks, minlength=self._num_npus)
+        spans = -(-owed // self._degrees)
+        remaining = float((spans * self._min_in_cost).max())
+        if remaining > 0.0:
+            candidate = time + remaining
+            if candidate > bound:
+                bound = candidate
+        if self._out_stale:
+            out_spans = -(-self._undeparted_at // self._out_degrees)
+            self._out_remaining = float((out_spans * self._min_out_cost).max())
+            self._out_stale = False
+        if self._out_remaining > 0.0:
+            candidate = time + self._out_remaining
+            if candidate > bound:
+                bound = candidate
+        if self._chunk_dest is not None and self._min_cost > 0.0:
+            chunk_col = codes % self._num_chunks
+            distances = _np.maximum(self._chunk_dist[chunk_col], 1.0)
+            candidate = time + float(distances.max()) * self._min_cost
+            if candidate > bound:
+                bound = candidate
+            candidate = time + float(distances.sum()) * self._per_link_cost
+            if candidate > bound:
+                bound = candidate
+        return bound
 
 
 def _pick_link_id(

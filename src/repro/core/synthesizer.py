@@ -17,7 +17,7 @@ import warnings
 from collections import OrderedDict
 from dataclasses import dataclass
 from functools import partial
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -25,7 +25,7 @@ from repro.collectives.all_reduce import AllReduce
 from repro.collectives.pattern import ChunkOwnership, CollectivePattern, FrozenPattern
 from repro.core.algorithm import CollectiveAlgorithm
 from repro.core.config import SynthesisConfig
-from repro.core.matching import MatchingState, run_matching_round
+from repro.core.matching import MatchingState, TrialBound, run_matching_round
 from repro.errors import SynthesisError
 from repro.kernels import NUMBA_AVAILABLE
 from repro.kernels.matching import native_run_matching_round
@@ -419,6 +419,112 @@ def _execute_trial(payload: TrialPayload, seed: int) -> Tuple[CollectiveAlgorith
     return algorithm, rounds
 
 
+#: Relative slack on the prune comparison: a trial aborts only when its lower
+#: bound exceeds the incumbent by more than one part in 1e9.  The slack keeps
+#: the comparison robust to the few-ulp difference between the bound's
+#: arithmetic and the schedule's own time accumulation; pruning *less* than
+#: the strict threshold allows is always exact (see docs/determinism.md).
+_PRUNE_REL_EPS = 1e-9
+
+
+def _execute_trial_stats(
+    payload: TrialPayload, seed: int, incumbent: Optional[float] = None
+) -> Tuple[Optional[CollectiveAlgorithm], Dict[str, Any]]:
+    """One randomized trial with per-trial bookkeeping and optional pruning.
+
+    Same loop as :func:`_execute_trial` (identical RNG consumption round for
+    round), plus: when ``incumbent`` is given, a :class:`TrialBound` is
+    evaluated after every round and the trial aborts — returning
+    ``(None, stats)`` — the moment the bound strictly exceeds the incumbent.
+    A pruned trial provably cannot beat the incumbent, so best-of selection
+    over the surviving trials picks the same winner as the unpruned search.
+
+    The returned stats dict carries ``seed``, ``rounds``, ``collective_time``
+    (``None`` when pruned), ``pruned_at_round`` (``None`` when completed),
+    and ``wall_seconds`` — the bookkeeping the seed portfolio and the
+    ``search`` bench consume.
+    """
+    started = _time.perf_counter()
+    engine = payload.engine
+    topology = payload.topology
+    pattern = payload.pattern
+    ten = engine.ten_factory(topology, payload.chunk_size)
+    state = engine.state_factory(
+        topology.num_npus, pattern.precondition(), pattern.postcondition()
+    )
+    matching_round = engine.matching_round
+    rng = random.Random(seed)
+
+    prune_limit = None
+    bound = None
+    if incumbent is not None:
+        prune_limit = incumbent + abs(incumbent) * _PRUNE_REL_EPS
+        bound = TrialBound(ten, state, payload.hop_distances)
+
+    transfers = []
+    committed_end = 0.0
+    current_time = 0.0
+    rounds = 0
+    while not state.done:
+        rounds += 1
+        if rounds > payload.max_rounds:
+            raise SynthesisError(
+                f"synthesis of {pattern.name} on {topology.name} exceeded "
+                f"{payload.max_rounds} time spans"
+            )
+        new_transfers = matching_round(
+            ten,
+            state,
+            current_time,
+            rng,
+            prefer_lowest_cost=payload.prefer_lowest_cost,
+            enable_forwarding=payload.hop_distances is not None,
+            hop_distances=payload.hop_distances,
+            cheap_regions=payload.cheap_regions,
+        )
+        if new_transfers:
+            transfers.extend(new_transfers)
+            for transfer in new_transfers:
+                if transfer.end > committed_end:
+                    committed_end = transfer.end
+            if bound is not None:
+                bound.update(new_transfers)
+        if state.done:
+            break
+        if prune_limit is not None and bound.value(current_time, committed_end) > prune_limit:
+            return None, {
+                "seed": seed,
+                "rounds": rounds,
+                "collective_time": None,
+                "pruned_at_round": rounds,
+                "wall_seconds": _time.perf_counter() - started,
+            }
+        next_time = ten.next_event_after(current_time)
+        if next_time is None:
+            raise SynthesisError(
+                f"synthesis of {pattern.name} on {topology.name} stalled at t={current_time:.3e}s; "
+                "is the topology strongly connected?"
+            )
+        current_time = next_time
+
+    algorithm = CollectiveAlgorithm(
+        transfers=transfers,
+        num_npus=topology.num_npus,
+        chunk_size=payload.chunk_size,
+        collective_size=float(payload.collective_size),
+        pattern_name=pattern.name,
+        topology_name=topology.name,
+        metadata={"seed": seed, "rounds": rounds},
+    )
+    return algorithm, {
+        "seed": seed,
+        "rounds": rounds,
+        "collective_time": algorithm.collective_time,
+        "pruned_at_round": None,
+        "wall_seconds": _time.perf_counter() - started,
+    }
+
+
 def _run_trial_task(payload: TrialPayload, seed: int) -> Tuple[bytes, dict, int]:
     """Process-pool trial task: the algorithm crosses back as raw column bytes.
 
@@ -522,6 +628,182 @@ def _fan_out_trials(
     return outcomes
 
 
+def _run_trial_task_stats(
+    payload: TrialPayload, seed: int, incumbent: Optional[float] = None
+) -> Tuple[Optional[Tuple[bytes, dict]], Dict[str, Any]]:
+    """Process-pool stats trial task; completed algorithms cross as column bytes."""
+    algorithm, stats = _execute_trial_stats(payload, seed, incumbent)
+    if algorithm is None:
+        return None, stats
+    return (algorithm.table.to_bytes(), dict(algorithm.metadata)), stats
+
+
+def _run_trial_chunk_stats(
+    ref, incumbent: Optional[float], seeds: List[int]
+) -> List[Tuple[Optional[Tuple[bytes, dict]], Dict[str, Any]]]:
+    """Chunked stats trial task: broadcast ref, shared incumbent bound, seeds."""
+    payload = _fetch_payload(ref)
+    return [_run_trial_task_stats(payload, seed, incumbent) for seed in seeds]
+
+
+def _decode_stats_outcome(
+    payload: TrialPayload,
+    outcome: Tuple[Optional[Tuple[bytes, dict]], Dict[str, Any]],
+) -> Tuple[Optional[CollectiveAlgorithm], Dict[str, Any]]:
+    """Rebuild a stats trial's algorithm (if it completed) from worker bytes."""
+    packed, stats = outcome
+    if packed is None:
+        return None, stats
+    table_bytes, metadata = packed
+    algorithm, _rounds = _decode_trial_outcome(
+        payload, (table_bytes, metadata, stats["rounds"])
+    )
+    return algorithm, stats
+
+
+def _floor_skip_stats(seed: int) -> Tuple[None, Dict[str, Any]]:
+    """Stats entry for a trial skipped outright by floor termination.
+
+    A skipped trial never starts, so it is recorded as pruned at round 0
+    with zero wall clock — distinguishable from a mid-trial prune (positive
+    ``pruned_at_round``) and from a completed trial (``collective_time``).
+    """
+    return None, {
+        "seed": seed,
+        "rounds": 0,
+        "collective_time": None,
+        "pruned_at_round": 0,
+        "wall_seconds": 0.0,
+    }
+
+
+def _search_floor(payload: TrialPayload) -> Optional[float]:
+    """The round-0 :class:`~repro.core.matching.TrialBound` of ``payload``.
+
+    Evaluated before any transfer commits, the bound depends only on the
+    topology and the collective — not on a trial's random choices — so it is
+    a valid lower bound on *every* trial's final collective time.  Returns
+    ``None`` when the bound degenerates to zero (no numpy, no owed chunks),
+    in which case floor termination can never fire.
+    """
+    engine = payload.engine
+    ten = engine.ten_factory(payload.topology, payload.chunk_size)
+    state = engine.state_factory(
+        payload.topology.num_npus,
+        payload.pattern.precondition(),
+        payload.pattern.postcondition(),
+    )
+    floor = TrialBound(ten, state, payload.hop_distances).value(0.0, 0.0)
+    return floor if floor > 0.0 else None
+
+
+def _run_stats_trials(
+    payload: TrialPayload,
+    seeds: List[int],
+    backend,
+    workers: Optional[int],
+    *,
+    prune: bool,
+    wave_size: Optional[int],
+    floor: Optional[float] = None,
+) -> List[Tuple[Optional[CollectiveAlgorithm], Dict[str, Any]]]:
+    """Seed-ordered trial fan-out with per-trial stats and incumbent sharing.
+
+    Serial execution threads the incumbent through every trial (maximal
+    pruning).  Parallel backends run the seeds in consecutive *waves* and
+    re-share the best completed time between waves — a wave only ever sees an
+    incumbent at least as large as the final one, so sharing it late prunes
+    less but never differently (any pruned trial is provably worse than some
+    completed trial).  Process-based backends reuse the broadcast plane: one
+    payload blob for all waves, thin ``(ref, incumbent, seeds)`` chunk tasks.
+
+    When ``floor`` is given (the round-0 bound, see :func:`_search_floor`)
+    and the incumbent reaches it, every remaining seed is skipped outright:
+    no trial can be *strictly* better than the floor, and the strict-``<``
+    best-of selection never replaces the incumbent on a tie, so the winner
+    is unchanged.
+    """
+    outcomes: List[Tuple[Optional[CollectiveAlgorithm], Dict[str, Any]]] = []
+    incumbent: Optional[float] = None
+
+    def absorb(wave_outcomes) -> None:
+        nonlocal incumbent
+        for algorithm, stats in wave_outcomes:
+            if algorithm is not None:
+                finished = algorithm.collective_time
+                if incumbent is None or finished < incumbent:
+                    incumbent = finished
+        outcomes.extend(wave_outcomes)
+
+    def at_floor() -> bool:
+        return floor is not None and incumbent is not None and incumbent <= floor
+
+    if backend is None or len(seeds) <= 1:
+        for index, seed in enumerate(seeds):
+            absorb([_execute_trial_stats(payload, seed, incumbent if prune else None)])
+            if at_floor() and index + 1 < len(seeds):
+                outcomes.extend(_floor_skip_stats(s) for s in seeds[index + 1 :])
+                break
+        return outcomes
+
+    from repro.api.parallel import chunk_items, default_worker_count
+
+    width = wave_size
+    if width is None:
+        width = 2 * (workers if workers else default_worker_count())
+    width = max(width, 1)
+
+    process_based = getattr(backend, "process_based", False)
+    ref = None
+    if process_based:
+        try:
+            blob = payload.to_bytes()
+        except SynthesisError:
+            blob = None  # unregistered engine: per-trial pickle fallback
+        if blob is not None:
+            from repro.api import broadcast  # deferred: avoids an import cycle
+
+            ref = broadcast.publish(blob)
+    try:
+        for start in range(0, len(seeds), width):
+            wave = seeds[start : start + width]
+            shared = incumbent if prune else None
+            if not process_based:
+                wave_outcomes = backend.map(
+                    partial(_execute_trial_stats, payload, incumbent=shared),
+                    wave,
+                    max_workers=workers,
+                )
+            elif ref is not None:
+                packed_chunks = backend.map(
+                    partial(_run_trial_chunk_stats, ref, shared),
+                    chunk_items(wave, workers),
+                    max_workers=workers,
+                )
+                wave_outcomes = [
+                    _decode_stats_outcome(payload, item)
+                    for chunk in packed_chunks
+                    for item in chunk
+                ]
+            else:
+                packed = backend.map(
+                    partial(_run_trial_task_stats, payload, incumbent=shared),
+                    wave,
+                    max_workers=workers,
+                )
+                wave_outcomes = [_decode_stats_outcome(payload, item) for item in packed]
+            absorb(wave_outcomes)
+            if at_floor() and start + width < len(seeds):
+                outcomes.extend(_floor_skip_stats(s) for s in seeds[start + width :])
+                break
+    finally:
+        if ref is not None:
+            from repro.api import broadcast
+
+            broadcast.release(ref)
+    return outcomes
+
+
 @dataclass
 class SynthesisResult:
     """Outcome of a synthesis call.
@@ -537,12 +819,33 @@ class SynthesisResult:
     rounds:
         Number of TEN time spans processed by the winning trial (0 when the
         algorithm was composed from sub-syntheses, e.g. All-Reduce).
+    trial_stats:
+        Per-trial bookkeeping (one dict per trial, in seed order: ``seed``,
+        ``rounds``, ``collective_time``, ``pruned_at_round``,
+        ``wall_seconds``; composed syntheses add a ``phase`` key).  ``None``
+        unless the config asked for it (``collect_trial_stats`` /
+        ``incumbent_pruning``).
     """
 
     algorithm: CollectiveAlgorithm
     wall_clock_seconds: float
     trials: int
     rounds: int = 0
+    trial_stats: Optional[List[Dict[str, Any]]] = None
+
+    @property
+    def full_trials(self) -> Optional[int]:
+        """Trials that ran to completion, or ``None`` without stats."""
+        if self.trial_stats is None:
+            return None
+        return sum(1 for stats in self.trial_stats if stats["pruned_at_round"] is None)
+
+    @property
+    def pruned_trials(self) -> Optional[int]:
+        """Trials aborted by incumbent pruning, or ``None`` without stats."""
+        if self.trial_stats is None:
+            return None
+        return sum(1 for stats in self.trial_stats if stats["pruned_at_round"] is not None)
 
 
 class TacosSynthesizer:
@@ -633,11 +936,23 @@ class TacosSynthesizer:
         combined.topology_name = topology.name
         combined.metadata["reduce_scatter_time"] = reduce_scatter.algorithm.collective_time
         combined.metadata["all_gather_time"] = all_gather.algorithm.collective_time
+        trial_stats = None
+        if reduce_scatter.trial_stats is not None or all_gather.trial_stats is not None:
+            trial_stats = []
+            for phase_name, phase in (
+                ("reduce_scatter", reduce_scatter),
+                ("all_gather", all_gather),
+            ):
+                for stats in phase.trial_stats or []:
+                    tagged = dict(stats)
+                    tagged["phase"] = phase_name
+                    trial_stats.append(tagged)
         return SynthesisResult(
             algorithm=combined,
             wall_clock_seconds=0.0,
             trials=self.config.trials,
             rounds=reduce_scatter.rounds + all_gather.rounds,
+            trial_stats=trial_stats,
         )
 
     def _synthesize_by_reversal(
@@ -663,6 +978,7 @@ class TacosSynthesizer:
             wall_clock_seconds=0.0,
             trials=dual_result.trials,
             rounds=dual_result.rounds,
+            trial_stats=dual_result.trial_stats,
         )
 
     # ------------------------------------------------------------------
@@ -712,8 +1028,42 @@ class TacosSynthesizer:
             prefer_lowest_cost=self.config.prefer_lowest_cost_links,
             max_rounds=self.config.max_rounds,
         )
-        seeds = [self.config.trial_seed(trial) for trial in range(self.config.trials)]
+        seeds = self._trial_seeds(topology)
         backend, workers = self._trial_execution()
+        if self.config.incumbent_pruning or self.config.collect_trial_stats:
+            floor = None
+            if self.config.floor_termination:
+                floor = _search_floor(payload)
+            stats_outcomes = _run_stats_trials(
+                payload,
+                seeds,
+                backend,
+                workers,
+                prune=self.config.incumbent_pruning,
+                wave_size=self.config.wave_size,
+                floor=floor,
+            )
+            best_algorithm = None
+            best_rounds = 0
+            for algorithm, stats in stats_outcomes:
+                if algorithm is None:
+                    continue
+                if (
+                    best_algorithm is None
+                    or algorithm.collective_time < best_algorithm.collective_time
+                ):
+                    best_algorithm = algorithm
+                    best_rounds = stats["rounds"]
+            if best_algorithm is None:  # unreachable: the first trial of the
+                # first wave runs with no incumbent and therefore completes
+                raise SynthesisError("every synthesis trial was pruned")
+            return SynthesisResult(
+                algorithm=best_algorithm,
+                wall_clock_seconds=0.0,
+                trials=len(seeds),
+                rounds=best_rounds,
+                trial_stats=[stats for _, stats in stats_outcomes],
+            )
         if backend is not None and len(seeds) > 1:
             if getattr(backend, "process_based", False):
                 # Broadcast-once/submit-thin: the payload crosses the process
@@ -745,6 +1095,17 @@ class TacosSynthesizer:
             trials=self.config.trials,
             rounds=best_rounds,
         )
+
+    def _trial_seeds(self, topology: Topology) -> List[int]:
+        """The per-trial seed list, in selection (tie-break) order.
+
+        The uniform search runs ``seed + i`` for ``i in range(trials)``.
+        Subclasses may reorder or substitute seeds — the guided tier
+        (:class:`repro.search.GuidedSynthesizer`) front-loads winning seeds of
+        previously synthesized specs on the same topology family — but the
+        list length is the trial budget and earlier entries win ties.
+        """
+        return [self.config.trial_seed(trial) for trial in range(self.config.trials)]
 
     def _trial_execution(self):
         """Resolve the ``(backend, workers)`` pair governing the trial fan-out.

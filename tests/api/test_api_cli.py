@@ -128,7 +128,7 @@ class TestBench:
         reports = list(tmp_path.glob("BENCH_smoke_*.json"))
         assert len(reports) == 1
         payload = json.loads(reports[0].read_text())
-        assert payload["schema"] == "tacos-repro-bench/v6"
+        assert payload["schema"] == "tacos-repro-bench/v7"
         assert payload["summary"]["all_equivalent"] is True
         assert payload["summary"]["all_simulation_equivalent"] is True
 

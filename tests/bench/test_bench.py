@@ -93,7 +93,7 @@ class TestGrids:
     def test_known_grids(self):
         assert set(GRIDS) == {
             "smoke", "fig19", "full", "sim_stress", "pipeline", "parallel",
-            "native", "dispatch",
+            "native", "dispatch", "search",
         }
 
     def test_unknown_grid_raises(self):
@@ -101,10 +101,15 @@ class TestGrids:
             get_grid("nope")
 
     def test_smoke_grid_is_small(self):
-        assert len(get_grid("smoke")) <= 8
+        assert len(get_grid("smoke")) <= 9
 
     def test_smoke_grid_covers_all_kinds(self):
-        from repro.bench import NativeScenario, ParallelScenario, PipelineScenario
+        from repro.bench import (
+            NativeScenario,
+            ParallelScenario,
+            PipelineScenario,
+            SearchScenario,
+        )
         from repro.bench.grid import DispatchScenario
 
         kinds = {type(scenario) for scenario in get_grid("smoke")}
@@ -115,6 +120,7 @@ class TestGrids:
             ParallelScenario,
             NativeScenario,
             DispatchScenario,
+            SearchScenario,
         }
 
     def test_sim_stress_grid_shape(self):
@@ -164,6 +170,9 @@ class TestRunnerAndReport:
                 # Dispatch records time the transport: nothing is simulated.
                 assert set(record.backend_seconds) == {"serial", "process", "pool"}
                 assert record.dispatch_metrics["trials_per_second"] > 0
+            elif record.kind == "search":
+                # Search records race two synthesis tiers: nothing is simulated.
+                assert record.search_metrics["guided_quality_at_budget"] > 0
             else:
                 assert record.simulated_collective_time > 0
 
@@ -182,7 +191,7 @@ class TestRunnerAndReport:
         assert path.suffix == ".json"
         loaded = json.loads(path.read_text())
         assert loaded == json.loads(json.dumps(report))
-        assert loaded["schema"] == "tacos-repro-bench/v6"
+        assert loaded["schema"] == "tacos-repro-bench/v7"
         assert loaded["summary"]["all_equivalent"] is True
         assert loaded["summary"]["all_simulation_equivalent"] is True
         assert len(loaded["records"]) == len(smoke_records)

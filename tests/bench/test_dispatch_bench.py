@@ -95,7 +95,7 @@ class TestDispatchRecord:
             [record], grid="dispatch", repeats=1, out_dir=str(tmp_path)
         )
         loaded = json.loads(path.read_text())
-        assert loaded["schema"] == "tacos-repro-bench/v6"
+        assert loaded["schema"] == "tacos-repro-bench/v7"
         pool = loaded["pool"]
         assert pool["broadcast_transport"] in ("shared_memory", "inline")
         assert isinstance(pool["shared_memory_available"], bool)

@@ -1,0 +1,156 @@
+"""The guided-search benchmark: quality-per-wallclock records, compare gate.
+
+The ``search`` kind races the guided tier against the uniform best-of-N
+search over the identical seed list, so its equivalence bit asserts the
+pruning-exactness contract, and its compare metric is the *quality at the
+wall-clock budget* (a deterministic collective time, lower is better) — not
+the noisy bench wall clock.
+"""
+
+import pytest
+
+from repro.bench import get_grid, run_bench, summarize
+from repro.bench.compare import compare_reports
+from repro.bench.grid import SearchScenario
+from repro.bench.runner import SCHEMA, _run_search_scenario
+
+MB = 1e6
+
+
+class TestSearchGrid:
+    def test_registered_and_shaped(self):
+        scenarios = get_grid("search")
+        assert scenarios
+        assert all(isinstance(scenario, SearchScenario) for scenario in scenarios)
+        assert all(scenario.trials >= 8 for scenario in scenarios)
+        # The grid spans the fig19 topology families plus pruning-only
+        # collectives (gather / all_to_all have no tight floor).
+        collectives = {scenario.collective for scenario in scenarios}
+        assert {"all_gather", "all_reduce", "gather", "all_to_all"} <= collectives
+
+    def test_smoke_grid_includes_search(self):
+        assert any(
+            isinstance(scenario, SearchScenario) for scenario in get_grid("smoke")
+        )
+
+    def test_round_trip(self):
+        scenario = get_grid("search")[0]
+        assert SearchScenario(**scenario.to_dict()) == scenario
+
+
+class TestSearchRecord:
+    @pytest.fixture(scope="class")
+    def record(self):
+        return _run_search_scenario(
+            SearchScenario(
+                "search-test", "mesh_2d:4,4", "all_gather", MB, trials=6
+            ),
+            repeats=1,
+            check_equivalence=True,
+        )
+
+    def test_record_shape(self, record):
+        assert record.kind == "search"
+        assert record.equivalent is True  # guided winner == uniform winner
+        assert record.flat_seconds > 0  # guided wall clock
+        assert record.reference_seconds > 0  # uniform wall clock
+        assert record.speedup == pytest.approx(
+            record.reference_seconds / record.flat_seconds
+        )
+
+    def test_search_metrics(self, record):
+        metrics = record.search_metrics
+        assert metrics["quality"] > 0
+        assert metrics["guided_quality_at_budget"] == metrics["quality"]
+        assert metrics["budget_seconds"] == record.flat_seconds
+        assert (
+            metrics["full_trials_guided"] + metrics["pruned_trials_guided"] == 6
+        )
+        assert metrics["full_trials_uniform"] == 6  # uniform never prunes
+        assert 0.0 <= metrics["pruned_fraction"] <= 1.0
+        assert metrics["effective_trials_per_second_guided"] > 0
+        assert metrics["time_to_target_guided"] is not None
+        # Quality at equal wall clock: guided never worse than uniform.
+        ratio = metrics["quality_at_budget_ratio"]
+        assert ratio is None or ratio <= 1.0
+
+    def test_summary_keys(self, record):
+        summary = summarize([record])
+        assert summary["median_search_speedup"] == pytest.approx(record.speedup)
+        assert summary["median_pruned_fraction"] == pytest.approx(
+            record.search_metrics["pruned_fraction"]
+        )
+        assert summary["search_equivalence_checked"] == 1
+        assert summary["all_search_equivalent"] is True
+        # Search wall clocks never pollute the engine-speedup headline.
+        assert summary["num_scenarios"] == 1
+
+    def test_to_dict_round_trips_metrics(self, record):
+        data = record.to_dict()
+        assert data["kind"] == "search"
+        assert data["search_metrics"]["quality"] == record.search_metrics["quality"]
+
+
+def _report(records):
+    # compare_reports walks report["records"]; schema + records is the
+    # minimal honest envelope (load_report accepts exactly this shape).
+    return {"schema": SCHEMA, "records": records}
+
+
+def _search_record(name, quality, *, with_metrics=True, flat_seconds=0.5):
+    record = {
+        "scenario": name,
+        "kind": "search",
+        "flat_seconds": flat_seconds,
+        "reference_seconds": 1.0,
+        "speedup": 1.0 / flat_seconds,
+        "equivalent": True,
+    }
+    if with_metrics:
+        record["search_metrics"] = {"guided_quality_at_budget": quality}
+    return record
+
+
+class TestCompareGate:
+    def test_quality_delta_orientation(self):
+        current = _report([_search_record("s", 2e-4)])
+        previous = _report([_search_record("s", 1e-4)])
+        comparison = compare_reports(current, previous, threshold=0.5)
+        (delta,) = comparison["deltas"]
+        assert delta["metric"] == "guided_quality_at_budget"
+        assert delta["ratio"] == pytest.approx(2.0)  # quality doubled = worse
+        assert comparison["regressed"] is True
+
+    def test_equal_quality_never_regresses_on_wall_noise(self):
+        # Same winner quality, 3x slower wall clock: the gate must not fire
+        # (search compares quality, not the noisy wall clock).
+        current = _report([_search_record("s", 1e-4, flat_seconds=1.5)])
+        previous = _report([_search_record("s", 1e-4, flat_seconds=0.5)])
+        comparison = compare_reports(current, previous, threshold=0.1)
+        (delta,) = comparison["deltas"]
+        assert delta["metric"] == "guided_quality_at_budget"
+        assert delta["ratio"] == pytest.approx(1.0)
+        assert comparison["regressed"] is False
+
+    def test_v6_baseline_falls_back_to_wall_clock(self):
+        # A pre-v7 baseline has no search_metrics: the delta degrades to the
+        # wall-clock comparison instead of crashing.
+        current = _report([_search_record("s", 1e-4, flat_seconds=1.0)])
+        previous = _report([_search_record("s", None, with_metrics=False)])
+        comparison = compare_reports(current, previous, threshold=0.5)
+        (delta,) = comparison["deltas"]
+        assert delta["metric"] == "flat_seconds"
+        assert delta["ratio"] == pytest.approx(2.0)  # 1.0s vs 0.5s wall
+
+
+class TestRunBenchSearch:
+    def test_search_scenario_through_run_bench(self):
+        scenario = SearchScenario(
+            "search-rb", "mesh_2d:3,3", "all_gather", MB, trials=4
+        )
+        (record,) = run_bench(scenarios=[scenario])
+        assert record.kind == "search"
+        assert record.equivalent is True
+        summary = summarize([record])
+        assert summary["all_search_equivalent"] is True
+        assert summary["median_search_speedup"] is not None

@@ -1,0 +1,102 @@
+"""Seed-portfolio mining from the artifact store.
+
+The portfolio is an optimization, never a correctness dependency: corrupt,
+partial, or foreign entries must be skipped silently, and the returned seed
+order must be deterministic for a given store state.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api.cache import ArtifactStore
+from repro.search import topology_family, winning_seeds
+
+
+def _put_entry(store, key, topology, metadata):
+    """A minimal store entry: a run document plus an algorithm payload."""
+    store.write_json(key, {"topology": topology, "collective_time": 1.0})
+    store.write_arrays(
+        key, "algorithm", {"metadata": np.asarray([json.dumps(metadata)])}
+    )
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return ArtifactStore(tmp_path / "store")
+
+
+class TestTopologyFamily:
+    @pytest.mark.parametrize(
+        ("name", "family"),
+        [
+            ("Mesh(6x6)", "Mesh"),
+            ("Mesh(4x4)", "Mesh"),
+            ("Ring(16)", "Ring"),
+            ("DragonFly(4x4)", "DragonFly"),
+            ("Hypercube(3x3x3)", "Hypercube"),
+            ("custom", "custom"),
+        ],
+    )
+    def test_prefix_before_parenthesis(self, name, family):
+        assert topology_family(name) == family
+
+
+class TestWinningSeeds:
+    def test_empty_store(self, store):
+        assert winning_seeds(store, "Mesh") == []
+
+    def test_family_match_only(self, store):
+        _put_entry(store, "a", "Mesh(6x6)", {"seed": 3})
+        _put_entry(store, "b", "Ring(16)", {"seed": 9})
+        _put_entry(store, "c", "Mesh(4x4)", {"seed": 5})
+        assert winning_seeds(store, "Mesh") == [3, 5]
+        assert winning_seeds(store, "Ring") == [9]
+        assert winning_seeds(store, "Torus") == []
+
+    def test_deterministic_sorted_key_order(self, store):
+        # Written out of key order; the scan sorts keys, not mtimes.
+        _put_entry(store, "z", "Mesh(6x6)", {"seed": 1})
+        _put_entry(store, "a", "Mesh(6x6)", {"seed": 2})
+        assert winning_seeds(store, "Mesh") == [2, 1]
+
+    def test_dedup_first_seen(self, store):
+        _put_entry(store, "a", "Mesh(6x6)", {"seed": 7})
+        _put_entry(store, "b", "Mesh(4x4)", {"seed": 7})
+        _put_entry(store, "c", "Mesh(8x8)", {"seed": 2})
+        assert winning_seeds(store, "Mesh") == [7, 2]
+
+    def test_limit_truncates(self, store):
+        for index in range(6):
+            _put_entry(store, f"k{index}", "Mesh(6x6)", {"seed": index})
+        assert winning_seeds(store, "Mesh", limit=3) == [0, 1, 2]
+        assert winning_seeds(store, "Mesh", limit=0) == []
+        assert winning_seeds(store, "Mesh", limit=-1) == []
+
+    def test_bool_seed_is_not_a_seed(self, store):
+        # bool subclasses int; a JSON true must never become seed 1.
+        _put_entry(store, "a", "Mesh(6x6)", {"seed": True})
+        _put_entry(store, "b", "Mesh(6x6)", {"seed": 4})
+        assert winning_seeds(store, "Mesh") == [4]
+
+    def test_skips_corrupt_and_partial_entries(self, store):
+        # JSON document without an algorithm payload.
+        store.write_json("no-arrays", {"topology": "Mesh(6x6)"})
+        # Algorithm payload whose metadata is not valid JSON.
+        store.write_json("bad-json", {"topology": "Mesh(6x6)"})
+        store.write_arrays(
+            "bad-json", "algorithm", {"metadata": np.asarray(["{not json"])}
+        )
+        # Metadata without a seed.
+        _put_entry(store, "no-seed", "Mesh(6x6)", {"rounds": 5})
+        # Non-dict metadata.
+        store.write_json("list-meta", {"topology": "Mesh(6x6)"})
+        store.write_arrays(
+            "list-meta", "algorithm", {"metadata": np.asarray([json.dumps([1, 2])])}
+        )
+        # Document without a topology string.
+        store.write_json("no-topo", {"collective_time": 1.0})
+        # One good entry among the wreckage.
+        _put_entry(store, "ok", "Mesh(6x6)", {"seed": 11})
+        assert winning_seeds(store, "Mesh") == [11]
